@@ -1,0 +1,237 @@
+//! Micro-benchmarks of the individual AOmpLib mechanisms: parallel-region
+//! spawn/join, barrier rounds, schedules, critical sections, single /
+//! master, thread-local access, tasks, and the weaver's join-point
+//! dispatch overhead (the cost the paper's <1 % claim rides on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aomp::prelude::*;
+use aomp_weaver::prelude::*;
+
+#[inline]
+fn ctx_work() -> usize {
+    aomp::ctx::thread_id() + aomp::ctx::team_size()
+}
+
+fn bench_region(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanisms/region");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    for t in [1usize, 2, 4] {
+        g.bench_function(format!("spawn_join_t{t}"), |b| {
+            b.iter(|| {
+                region::parallel_with(RegionConfig::new().threads(t), || {
+                    black_box(ctx_work());
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanisms/barrier");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    for t in [2usize, 4] {
+        g.bench_function(format!("barrier100_t{t}"), |b| {
+            b.iter(|| {
+                region::parallel_with(RegionConfig::new().threads(t), || {
+                    for _ in 0..100 {
+                        aomp::ctx::barrier();
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanisms/for");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    let sum = AtomicU64::new(0);
+    for (name, sched) in [
+        ("static_block", Schedule::StaticBlock),
+        ("static_cyclic", Schedule::StaticCyclic),
+        ("dynamic8", Schedule::Dynamic { chunk: 8 }),
+        ("guided", Schedule::GUIDED),
+    ] {
+        let for_c = ForConstruct::new(sched);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                region::parallel_with(RegionConfig::new().threads(2), || {
+                    for_c.execute(LoopRange::upto(0, 10_000), |lo, hi, step| {
+                        let mut local = 0u64;
+                        let mut i = lo;
+                        while i < hi {
+                            local = local.wrapping_add(i as u64);
+                            i += step;
+                        }
+                        sum.fetch_add(local, Ordering::Relaxed);
+                    });
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_critical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanisms/critical");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("uncontended_10k", |b| {
+        let h = CriticalHandle::new();
+        let mut v = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                h.run(|| v = v.wrapping_add(1));
+            }
+            black_box(v)
+        })
+    });
+    g.bench_function("contended_t2_10k", |b| {
+        let h = CriticalHandle::new();
+        b.iter(|| {
+            let counter = AtomicU64::new(0);
+            region::parallel_with(RegionConfig::new().threads(2), || {
+                for _ in 0..5_000 {
+                    h.run(|| counter.fetch_add(1, Ordering::Relaxed));
+                }
+            });
+            black_box(counter.load(Ordering::Relaxed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_gates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanisms/gates");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("single_broadcast_x100_t2", |b| {
+        let s = Single::new();
+        b.iter(|| {
+            region::parallel_with(RegionConfig::new().threads(2), || {
+                for _ in 0..100 {
+                    black_box(s.run(|| 42u64));
+                    aomp::ctx::barrier();
+                }
+            })
+        })
+    });
+    g.bench_function("master_broadcast_x100_t2", |b| {
+        let m = Master::new();
+        b.iter(|| {
+            region::parallel_with(RegionConfig::new().threads(2), || {
+                for _ in 0..100 {
+                    black_box(m.run(|| 42u64));
+                    aomp::ctx::barrier();
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_threadlocal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanisms/threadlocal");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("update_x10k", |b| {
+        let f = ThreadLocalField::new(0u64);
+        b.iter(|| {
+            for _ in 0..10_000 {
+                f.update(|v| *v = v.wrapping_add(1));
+            }
+            f.drain_locals()
+        })
+    });
+    g.finish();
+}
+
+fn bench_tasks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanisms/tasks");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("spawn_wait_x32", |b| {
+        b.iter(|| {
+            let group = TaskGroup::new();
+            for _ in 0..32 {
+                group.spawn(|| {
+                    black_box(1 + 1);
+                });
+            }
+            group.wait();
+        })
+    });
+    g.bench_function("future_x16", |b| {
+        b.iter(|| {
+            let futs: Vec<FutureTask<u64>> = (0..16).map(|i| task::spawn_future(move || i * 2)).collect();
+            futs.into_iter().map(|f| f.get()).sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_weaver_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanisms/weaver");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    // Unmatched join point: the cost of sequential semantics.
+    g.bench_function("unmatched_call_x10k", |b| {
+        let v = AtomicU64::new(0);
+        b.iter(|| {
+            for _ in 0..10_000 {
+                aomp_weaver::call("bench.unmatched", || {
+                    v.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            black_box(v.load(Ordering::Relaxed))
+        })
+    });
+    // Matched by an inert (non-parallel) aspect: dispatch + plan cost.
+    g.bench_function("matched_critical_call_x10k", |b| {
+        let aspect = AspectModule::builder("bench-matched")
+            .bind(Pointcut::call("bench.matched"), Mechanism::critical())
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            let v = AtomicU64::new(0);
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    aomp_weaver::call("bench.matched", || {
+                        v.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                black_box(v.load(Ordering::Relaxed))
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    mechanisms,
+    bench_region,
+    bench_barrier,
+    bench_schedules,
+    bench_critical,
+    bench_gates,
+    bench_threadlocal,
+    bench_tasks,
+    bench_weaver_dispatch
+);
+criterion_main!(mechanisms);

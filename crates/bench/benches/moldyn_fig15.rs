@@ -1,0 +1,40 @@
+//! Criterion bench backing Figure 15: the three MolDyn parallelisation
+//! strategies (JGF thread-local arrays, global critical, per-particle
+//! locks) on the real Rust kernels, at two particle counts.
+//!
+//! On this single-core container the absolute numbers measure per-variant
+//! overhead (locking, reduction) rather than parallel speed-up; the
+//! simulated Figure 15 lives in `--bin fig15`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_variants(c: &mut Criterion) {
+    for (mm, moves) in [(4usize, 3usize), (6, 2)] {
+        let d = aomp_jgf::moldyn::generate(mm, moves);
+        let n = aomp_jgf::moldyn::particles(mm);
+        let mut g = c.benchmark_group(format!("fig15/n{n}"));
+        g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+        for threads in [1usize, 2] {
+            g.bench_with_input(BenchmarkId::new("jgf-threadlocal", threads), &threads, |b, &t| {
+                b.iter(|| black_box(aomp_jgf::moldyn::mt::run(&d, t)))
+            });
+            g.bench_with_input(BenchmarkId::new("critical", threads), &threads, |b, &t| {
+                b.iter(|| black_box(aomp_jgf::moldyn::variants::run_critical(&d, t)))
+            });
+            g.bench_with_input(BenchmarkId::new("locks", threads), &threads, |b, &t| {
+                b.iter(|| black_box(aomp_jgf::moldyn::variants::run_locks(&d, t)))
+            });
+            g.bench_with_input(BenchmarkId::new("aomp-threadlocal", threads), &threads, |b, &t| {
+                b.iter(|| black_box(aomp_jgf::moldyn::aomp::run(&d, t)))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(fig15, bench_variants);
+criterion_main!(fig15);

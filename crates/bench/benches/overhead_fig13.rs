@@ -1,0 +1,126 @@
+//! Criterion bench backing Figure 13's comparative claim: for every JGF
+//! benchmark, the AOmp version is within ~1 % of the hand-threaded JGF
+//! version (both run the same schedule on the same team size, so the
+//! difference is pure aspect-machinery overhead).
+//!
+//! Sizes are the `Small` presets: this container has one core, so the
+//! point is the JGF-vs-AOmp *ratio*, not absolute scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use aomp_jgf::Size;
+
+const THREADS: usize = 2;
+
+fn bench_crypt(c: &mut Criterion) {
+    let data = aomp_jgf::crypt::generate(Size::Small);
+    let mut g = c.benchmark_group("fig13/crypt");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::crypt::mt::run(&data, THREADS))));
+    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::crypt::aomp::run(&data, THREADS))));
+    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::crypt::seq::run(&data))));
+    g.finish();
+}
+
+fn bench_lufact(c: &mut Criterion) {
+    let data = aomp_jgf::lufact::generate(Size::Small);
+    let mut g = c.benchmark_group("fig13/lufact");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::lufact::mt::run(&data, THREADS))));
+    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::lufact::aomp::run(&data, THREADS))));
+    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::lufact::seq::run(&data))));
+    g.finish();
+}
+
+fn bench_series(c: &mut Criterion) {
+    let n = aomp_jgf::series::coefficients_for(Size::Small);
+    let mut g = c.benchmark_group("fig13/series");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::series::mt::run(n, THREADS))));
+    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::series::aomp::run(n, THREADS))));
+    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::series::seq::run(n))));
+    g.finish();
+}
+
+fn bench_sor(c: &mut Criterion) {
+    let grid = aomp_jgf::sor::generate(Size::Small);
+    let iters = 20;
+    let mut g = c.benchmark_group("fig13/sor");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::sor::mt::run(&grid, iters, THREADS))));
+    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::sor::aomp::run(&grid, iters, THREADS))));
+    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::sor::seq::run(&grid, iters))));
+    g.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let d = aomp_jgf::sparse::generate(Size::Small);
+    let iters = 40;
+    let mut g = c.benchmark_group("fig13/sparse");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::sparse::mt::run(&d, iters, THREADS))));
+    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::sparse::aomp::run(&d, iters, THREADS))));
+    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::sparse::seq::run(&d, iters))));
+    g.finish();
+}
+
+fn bench_moldyn(c: &mut Criterion) {
+    let d = aomp_jgf::moldyn::generate(4, 4);
+    let mut g = c.benchmark_group("fig13/moldyn");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::moldyn::mt::run(&d, THREADS))));
+    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::moldyn::aomp::run(&d, THREADS))));
+    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::moldyn::seq::run(&d))));
+    g.finish();
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let d = aomp_jgf::montecarlo::generate(Size::Small);
+    let mut g = c.benchmark_group("fig13/montecarlo");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::montecarlo::mt::run(&d, THREADS))));
+    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::montecarlo::aomp::run(&d, THREADS))));
+    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::montecarlo::seq::run(&d))));
+    g.finish();
+}
+
+fn bench_raytracer(c: &mut Criterion) {
+    let scene = aomp_jgf::raytracer::generate(Size::Small);
+    let mut g = c.benchmark_group("fig13/raytracer");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::raytracer::mt::run(&scene, THREADS))));
+    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::raytracer::aomp::run(&scene, THREADS))));
+    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::raytracer::seq::run(&scene))));
+    g.finish();
+}
+
+criterion_group!(
+    fig13,
+    bench_crypt,
+    bench_lufact,
+    bench_series,
+    bench_sor,
+    bench_sparse,
+    bench_moldyn,
+    bench_montecarlo,
+    bench_raytracer
+);
+criterion_main!(fig13);

@@ -1,0 +1,117 @@
+//! Regenerates paper Figure 13: speed-up of the eight JGF benchmarks,
+//! hand-threaded (JGF) vs AOmpLib (Aomp), on the two modelled machines
+//! (i7 × 8 threads, Xeon × 24 threads), plus — when run with
+//! `--measure` — the AOmp/JGF wall-time ratio measured on this host with
+//! the real kernels (the paper's "difference … is less than 1 %" claim).
+
+use aomp_bench::{bar, fig13_series, json_arg, write_json};
+use aomp_jgf::harness::timed;
+use aomp_jgf::Size;
+
+/// Best-of-3 wall time of `f`, in seconds (one-shot timings on a busy
+/// single-core container are noisy).
+fn best_of<R>(mut f: impl FnMut() -> R) -> f64 {
+    (0..3).map(|_| timed(&mut f).1.as_secs_f64()).fold(f64::INFINITY, f64::min)
+}
+use aomp_simcore::Machine;
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--measure");
+
+    println!("Figure 13: Speed-up with Java-style threads (JGF) and the proposed approach (Aomp)");
+    println!("(virtual-time simulation of the paper's machines; see DESIGN.md §5)\n");
+    for (machine, t) in [(Machine::i7(), 8usize), (Machine::xeon(), 24)] {
+        println!("== {} — {} threads ==", machine.name, t);
+        println!("{:<12} {:>8} {:>8}   speed-up", "benchmark", "JGF", "Aomp");
+        for row in fig13_series(&machine, t) {
+            println!(
+                "{:<12} {:>8.2} {:>8.2}   {}",
+                row.benchmark,
+                row.jgf,
+                row.aomp,
+                bar(row.jgf, 3.0)
+            );
+        }
+        println!();
+    }
+
+    if let Some(path) = json_arg() {
+        let all: Vec<(String, usize, Vec<aomp_bench::Fig13Row>)> = [(Machine::i7(), 8usize), (Machine::xeon(), 24)]
+            .into_iter()
+            .map(|(m, t)| (m.name.clone(), t, fig13_series(&m, t)))
+            .collect();
+        write_json(&path, &all).expect("write fig13 json");
+        println!("(wrote {path})\n");
+    }
+
+    if measure {
+        println!("== Measured on this host: AOmp vs JGF wall time (size A, {} threads) ==", host_threads());
+        println!("(both versions run the same schedule; the paper reports <1% difference)\n");
+        measure_ratios();
+    } else {
+        println!("(run with --measure to also time the real kernels on this host)");
+    }
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn ratio_line(name: &str, jgf_s: f64, aomp_s: f64) {
+    let diff = (aomp_s - jgf_s) / jgf_s * 100.0;
+    println!("{name:<12} jgf {jgf_s:>8.3}s   aomp {aomp_s:>8.3}s   diff {diff:>+6.2}%");
+}
+
+fn measure_ratios() {
+    let t = host_threads();
+    {
+        let data = aomp_jgf::crypt::generate(Size::A);
+        let tj = best_of(|| aomp_jgf::crypt::mt::run(&data, t));
+        let ta = best_of(|| aomp_jgf::crypt::aomp::run(&data, t));
+        ratio_line("Crypt", tj, ta);
+    }
+    {
+        let data = aomp_jgf::lufact::generate(Size::A);
+        let tj = best_of(|| aomp_jgf::lufact::mt::run(&data, t));
+        let ta = best_of(|| aomp_jgf::lufact::aomp::run(&data, t));
+        ratio_line("LUFact", tj, ta);
+    }
+    {
+        let n = aomp_jgf::series::coefficients_for(Size::A);
+        let tj = best_of(|| aomp_jgf::series::mt::run(n, t));
+        let ta = best_of(|| aomp_jgf::series::aomp::run(n, t));
+        ratio_line("Series", tj, ta);
+    }
+    {
+        let grid = aomp_jgf::sor::generate(Size::A);
+        let iters = aomp_jgf::sor::ITERATIONS;
+        let tj = best_of(|| aomp_jgf::sor::mt::run(&grid, iters, t));
+        let ta = best_of(|| aomp_jgf::sor::aomp::run(&grid, iters, t));
+        ratio_line("SOR", tj, ta);
+    }
+    {
+        let d = aomp_jgf::sparse::generate(Size::A);
+        let iters = aomp_jgf::sparse::ITERATIONS;
+        let tj = best_of(|| aomp_jgf::sparse::mt::run(&d, iters, t));
+        let ta = best_of(|| aomp_jgf::sparse::aomp::run(&d, iters, t));
+        ratio_line("Sparse", tj, ta);
+    }
+    {
+        let d = aomp_jgf::moldyn::generate(aomp_jgf::moldyn::mm_for(Size::A), 10);
+        let tj = best_of(|| aomp_jgf::moldyn::mt::run(&d, t));
+        let ta = best_of(|| aomp_jgf::moldyn::aomp::run(&d, t));
+        ratio_line("MolDyn", tj, ta);
+    }
+    {
+        let d = aomp_jgf::montecarlo::generate(Size::A);
+        let tj = best_of(|| aomp_jgf::montecarlo::mt::run(&d, t));
+        let ta = best_of(|| aomp_jgf::montecarlo::aomp::run(&d, t));
+        ratio_line("MonteCarlo", tj, ta);
+    }
+    {
+        let scene = aomp_jgf::raytracer::generate(Size::A);
+        let tj = best_of(|| aomp_jgf::raytracer::mt::run(&scene, t));
+        let ta = best_of(|| aomp_jgf::raytracer::aomp::run(&scene, t));
+        ratio_line("RayTracer", tj, ta);
+    }
+}

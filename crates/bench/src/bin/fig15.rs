@@ -1,0 +1,76 @@
+//! Regenerates paper Figure 15: performance of the MolDyn
+//! parallelisation variants — force updates under a global critical
+//! section, one lock per particle, and the JGF thread-local arrays — for
+//! the paper's particle counts at 4 and 12 threads (Xeon model).
+//!
+//! With `--measure` it also times the real Rust variants on this host at
+//! a reduced size (relative ordering only; absolute speed-up is not
+//! observable on a single-core container).
+
+use aomp_bench::{bar, fig15_series, json_arg, write_json, FIG15_SIZES, FIG15_THREADS};
+use aomp_jgf::harness::timed;
+
+fn label(n: usize) -> String {
+    if n >= 1000 && n.is_multiple_of(1000) {
+        format!("{}k", n / 1000)
+    } else {
+        n.to_string()
+    }
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--measure");
+
+    println!("Figure 15: Performance of different JGF MolDyn parallelisations");
+    println!("(virtual-time simulation of the Xeon model; see DESIGN.md §5)\n");
+    let rows = fig15_series();
+    for &t in &FIG15_THREADS {
+        println!("== {t} threads ==");
+        for variant in ["Critical", "Locks"] {
+            for &n in &FIG15_SIZES {
+                let r = rows
+                    .iter()
+                    .find(|r| r.variant == variant && r.particles == n && r.threads == t)
+                    .expect("series row");
+                println!("{variant:<9} {:>7}  {:>6.2}  {}", label(n), r.speedup, bar(r.speedup, 6.0));
+            }
+        }
+        let jgf = rows.iter().find(|r| r.variant == "JGF" && r.threads == t).expect("jgf row");
+        println!("{:<9} {:>7}  {:>6.2}  {}", "JGF", label(jgf.particles), jgf.speedup, bar(jgf.speedup, 6.0));
+        println!();
+    }
+
+    if let Some(path) = json_arg() {
+        write_json(&path, &rows).expect("write fig15 json");
+        println!("(wrote {path})\n");
+    }
+
+    if measure {
+        measure_variants();
+    } else {
+        println!("(run with --measure to also time the real variants on this host)");
+    }
+}
+
+fn measure_variants() {
+    let t = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+    println!("== Measured on this host ({t} threads, 10 moves; per-variant overhead ordering) ==");
+    println!("{:<10} {:>12} {:>12} {:>12}", "particles", "thread-local", "critical", "locks");
+    for mm in [4usize, 6] {
+        let d = aomp_jgf::moldyn::generate(mm, 10);
+        // Interleaved best-of-2 per variant to tame container noise.
+        let mut best = [f64::INFINITY; 3];
+        for _ in 0..2 {
+            best[0] = best[0].min(timed(|| aomp_jgf::moldyn::mt::run(&d, t)).1.as_secs_f64());
+            best[1] = best[1].min(timed(|| aomp_jgf::moldyn::variants::run_critical(&d, t)).1.as_secs_f64());
+            best[2] = best[2].min(timed(|| aomp_jgf::moldyn::variants::run_locks(&d, t)).1.as_secs_f64());
+        }
+        println!(
+            "{:<10} {:>11.1}ms {:>11.1}ms {:>11.1}ms",
+            aomp_jgf::moldyn::particles(mm),
+            best[0] * 1e3,
+            best[1] * 1e3,
+            best[2] * 1e3
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! A command-line runner for the JGF suite: pick a benchmark, variant,
+//! size and thread count; the tool runs it, validates the result and
+//! prints the wall time.
+//!
+//! ```text
+//! jgf <benchmark> [--variant seq|mt|aomp] [--size small|A|B] [--threads N]
+//! jgf all         # run every benchmark's aomp variant at size small
+//! ```
+
+use aomp_jgf::harness::timed;
+use aomp_jgf::Size;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: jgf <crypt|lufact|series|sor|sparse|moldyn|montecarlo|raytracer|all>\n\
+         \x20      [--variant seq|mt|aomp] [--size small|A|B] [--threads N]"
+    );
+    std::process::exit(2)
+}
+
+struct Opts {
+    benchmark: String,
+    variant: String,
+    size: Size,
+    threads: usize,
+}
+
+fn parse_args() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut opts = Opts {
+        benchmark: args[0].clone(),
+        variant: "aomp".into(),
+        size: Size::Small,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--variant" => {
+                opts.variant = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--size" => {
+                opts.size = match args.get(i + 1).map(String::as_str) {
+                    Some("small") => Size::Small,
+                    Some("A") | Some("a") => Size::A,
+                    Some("B") | Some("b") => Size::B,
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--threads" => {
+                opts.threads = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Run one benchmark; returns (validated, seconds).
+fn run_one(name: &str, variant: &str, size: Size, threads: usize) -> (bool, f64) {
+    match name {
+        "crypt" => {
+            let d = aomp_jgf::crypt::generate(size);
+            let (r, t) = match variant {
+                "seq" => timed(|| aomp_jgf::crypt::seq::run(&d)),
+                "mt" => timed(|| aomp_jgf::crypt::mt::run(&d, threads)),
+                _ => timed(|| aomp_jgf::crypt::aomp::run(&d, threads)),
+            };
+            (aomp_jgf::crypt::validate(&d, &r), t.as_secs_f64())
+        }
+        "lufact" => {
+            let d = aomp_jgf::lufact::generate(size);
+            let (r, t) = match variant {
+                "seq" => timed(|| aomp_jgf::lufact::seq::run(&d)),
+                "mt" => timed(|| aomp_jgf::lufact::mt::run(&d, threads)),
+                _ => timed(|| aomp_jgf::lufact::aomp::run(&d, threads)),
+            };
+            (aomp_jgf::lufact::validate(&d, &r), t.as_secs_f64())
+        }
+        "series" => {
+            let n = aomp_jgf::series::coefficients_for(size);
+            let (r, t) = match variant {
+                "seq" => timed(|| aomp_jgf::series::seq::run(n)),
+                "mt" => timed(|| aomp_jgf::series::mt::run(n, threads)),
+                _ => timed(|| aomp_jgf::series::aomp::run(n, threads)),
+            };
+            (aomp_jgf::series::validate(&r), t.as_secs_f64())
+        }
+        "sor" => {
+            let g = aomp_jgf::sor::generate(size);
+            let iters = aomp_jgf::sor::ITERATIONS;
+            let (r, t) = match variant {
+                "seq" => timed(|| aomp_jgf::sor::seq::run(&g, iters)),
+                "mt" => timed(|| aomp_jgf::sor::mt::run(&g, iters, threads)),
+                _ => timed(|| aomp_jgf::sor::aomp::run(&g, iters, threads)),
+            };
+            (aomp_jgf::sor::validate(&r), t.as_secs_f64())
+        }
+        "sparse" => {
+            let d = aomp_jgf::sparse::generate(size);
+            let iters = aomp_jgf::sparse::ITERATIONS;
+            let (r, t) = match variant {
+                "seq" => timed(|| aomp_jgf::sparse::seq::run(&d, iters)),
+                "mt" => timed(|| aomp_jgf::sparse::mt::run(&d, iters, threads)),
+                _ => timed(|| aomp_jgf::sparse::aomp::run(&d, iters, threads)),
+            };
+            (aomp_jgf::sparse::ytotal(&r).is_finite(), t.as_secs_f64())
+        }
+        "moldyn" => {
+            let d = aomp_jgf::moldyn::generate(aomp_jgf::moldyn::mm_for(size), 10);
+            let (r, t) = match variant {
+                "seq" => timed(|| aomp_jgf::moldyn::seq::run(&d)),
+                "mt" => timed(|| aomp_jgf::moldyn::mt::run(&d, threads)),
+                "critical" => timed(|| aomp_jgf::moldyn::variants::run_critical(&d, threads)),
+                "locks" => timed(|| aomp_jgf::moldyn::variants::run_locks(&d, threads)),
+                _ => timed(|| aomp_jgf::moldyn::aomp::run(&d, threads)),
+            };
+            (aomp_jgf::moldyn::validate(&r), t.as_secs_f64())
+        }
+        "montecarlo" => {
+            let d = aomp_jgf::montecarlo::generate(size);
+            let (r, t) = match variant {
+                "seq" => timed(|| aomp_jgf::montecarlo::seq::run(&d)),
+                "mt" => timed(|| aomp_jgf::montecarlo::mt::run(&d, threads)),
+                "tasks" => timed(|| aomp_jgf::montecarlo::tasks::run(&d)),
+                _ => timed(|| aomp_jgf::montecarlo::aomp::run(&d, threads)),
+            };
+            (aomp_jgf::montecarlo::validate(&d, &r), t.as_secs_f64())
+        }
+        "raytracer" => {
+            let s = aomp_jgf::raytracer::generate(size);
+            let (r, t) = match variant {
+                "seq" => timed(|| aomp_jgf::raytracer::seq::run(&s)),
+                "mt" => timed(|| aomp_jgf::raytracer::mt::run(&s, threads)),
+                _ => timed(|| aomp_jgf::raytracer::aomp::run(&s, threads)),
+            };
+            (aomp_jgf::raytracer::validate(&s, &r), t.as_secs_f64())
+        }
+        _ => usage(),
+    }
+}
+
+const ALL: [&str; 8] =
+    ["crypt", "lufact", "series", "sor", "sparse", "moldyn", "montecarlo", "raytracer"];
+
+fn main() {
+    let opts = parse_args();
+    let names: Vec<&str> = if opts.benchmark == "all" {
+        ALL.to_vec()
+    } else {
+        vec![opts.benchmark.as_str()]
+    };
+    let mut failed = false;
+    for name in names {
+        let (ok, secs) = run_one(name, &opts.variant, opts.size, opts.threads);
+        println!(
+            "{name:<12} variant={:<6} size={:<5} threads={:<2}  {:>9.1} ms  valid={ok}",
+            opts.variant,
+            opts.size.name(),
+            opts.threads,
+            secs * 1e3
+        );
+        failed |= !ok;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Thread-sweep curves: simulated speed-up of every JGF benchmark for
+//! each thread count 1..=hw_threads on both machine models — a
+//! continuous version of Figure 13's two bar groups, useful for seeing
+//! where each kernel saturates (SMT knee, memory roofline, barrier
+//! overhead).
+//!
+//! `--json <path>` writes the full grid; `--event` uses the per-thread
+//! event executor instead of the bulk-synchronous one (the two agree on
+//! these barrier-separated models; the option exists for cross-checking).
+
+use aomp_bench::{json_arg, write_json};
+use aomp_simcore::models::{self, MolDynStrategy};
+use aomp_simcore::{EventSimulator, Machine, Program, Simulator};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    machine: String,
+    benchmark: String,
+    threads: usize,
+    speedup: f64,
+}
+
+fn benchmarks() -> Vec<(&'static str, Program)> {
+    vec![
+        ("Crypt", models::crypt(20_000_000, false)),
+        ("LUFact", models::lufact(1000, false)),
+        ("Series", models::series(10_000, false)),
+        ("SOR", models::sor(1000, 100, false)),
+        ("Sparse", models::sparse(500_000, 200, false)),
+        ("MonteCarlo", models::montecarlo(60_000, false)),
+        ("RayTracer", models::raytracer(500, false)),
+    ]
+}
+
+fn main() {
+    let use_event = std::env::args().any(|a| a == "--event");
+    let mut points = Vec::new();
+    for machine in [Machine::i7(), Machine::xeon()] {
+        println!("== {} ({}) ==", machine.name, if use_event { "event executor" } else { "bulk-sync executor" });
+        print!("{:<12}", "threads");
+        for t in 1..=machine.hw_threads {
+            print!("{t:>6}");
+        }
+        println!();
+        let run = |p: &Program, t: usize| -> f64 {
+            if use_event {
+                EventSimulator::new(machine.clone()).speedup(p, t)
+            } else {
+                Simulator::new(machine.clone()).speedup(p, t)
+            }
+        };
+        for (name, p) in benchmarks() {
+            print!("{name:<12}");
+            for t in 1..=machine.hw_threads {
+                let su = run(&p, t);
+                print!("{su:>6.2}");
+                points.push(SweepPoint {
+                    machine: machine.name.clone(),
+                    benchmark: name.to_owned(),
+                    threads: t,
+                    speedup: su,
+                });
+            }
+            println!();
+        }
+        // MolDyn is thread-aware: rebuild the model per thread count.
+        print!("{:<12}", "MolDyn");
+        for t in 1..=machine.hw_threads {
+            let base = Simulator::new(machine.clone())
+                .run(&models::moldyn(8788, 50, 1, MolDynStrategy::ThreadLocal, &machine, false), 1);
+            let this = Simulator::new(machine.clone())
+                .run(&models::moldyn(8788, 50, t, MolDynStrategy::ThreadLocal, &machine, false), t);
+            let su = base / this;
+            print!("{su:>6.2}");
+            points.push(SweepPoint {
+                machine: machine.name.clone(),
+                benchmark: "MolDyn".to_owned(),
+                threads: t,
+                speedup: su,
+            });
+        }
+        println!("\n");
+    }
+    if let Some(path) = json_arg() {
+        write_json(&path, &points).expect("write sweep json");
+        println!("(wrote {path})");
+    }
+}

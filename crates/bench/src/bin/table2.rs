@@ -1,0 +1,50 @@
+//! Regenerates paper Table 2 ("Refactoring and abstractions used") from
+//! the metadata each AOmp benchmark implementation registers, and checks
+//! it against the published rows.
+
+use aomp_jgf::meta::all_benchmarks;
+
+/// The paper's Table 2, row for row (benchmark, refactorings,
+/// abstractions).
+const PAPER: [(&str, &str, &str); 8] = [
+    ("Crypt", "M2FOR, M2M", "PR, FOR (block)"),
+    ("LUFact", "M2FOR, M2M", "PR, FOR (block), 4xBR, 2xMA"),
+    ("Series", "M2FOR, M2M", "PR, FOR (block)"),
+    ("SOR", "M2FOR, M2M", "PR, FOR (block), BR"),
+    ("Sparse", "M2FOR, M2M", "PR, FOR (Case Specific), CS"),
+    ("MolDyn", "M2FOR, 3xM2M", "PR, FOR (cyclic), 2xTLF"),
+    ("MonteCarlo", "M2FOR, M2M", "PR, FOR (cyclic)"),
+    ("RayTracer", "M2FOR", "PR, FOR (cyclic), TLF"),
+];
+
+fn main() {
+    println!("Table 2: Refactoring and abstractions used\n");
+    println!("{:<12} {:<16} Abstractions", "", "Refactorings");
+    let rows = all_benchmarks();
+    let mut mismatches = 0;
+    for meta in &rows {
+        let refs = meta.refactorings_column();
+        let abs = meta.abstractions_column();
+        println!("{:<12} {:<16} {}", meta.name, refs, abs);
+        let expected = PAPER.iter().find(|(n, _, _)| *n == meta.name);
+        match expected {
+            Some((_, er, ea)) => {
+                if &refs != er || &abs != ea {
+                    mismatches += 1;
+                    eprintln!("  MISMATCH vs paper: expected `{er}` / `{ea}`");
+                }
+            }
+            None => {
+                mismatches += 1;
+                eprintln!("  benchmark {} not in the paper's table", meta.name);
+            }
+        }
+    }
+    println!();
+    if mismatches == 0 {
+        println!("All {} rows match the paper's Table 2.", rows.len());
+    } else {
+        println!("{mismatches} rows deviate from the paper's Table 2.");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,195 @@
+//! # aomp-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the AOmpLib paper's evaluation
+//! section (§V):
+//!
+//! * **Figure 13** (`cargo run -p aomp-bench --bin fig13 --release`) —
+//!   speed-ups of the eight JGF benchmarks, JGF-MT vs AOmp, on the
+//!   modelled i7 (8 threads) and Xeon (24 threads), plus the measured
+//!   AOmp/JGF wall-time ratio on this host (the paper's <1 % claim).
+//! * **Table 2** (`--bin table2`) — refactorings and abstractions per
+//!   benchmark, assembled from the implementations' registered metadata.
+//! * **Figure 15** (`--bin fig15`) — MolDyn parallelisation variants
+//!   (Critical / Locks / JGF thread-local) across particle counts and
+//!   thread counts.
+//!
+//! Criterion benches (`cargo bench -p aomp-bench`) measure the real
+//! kernels on this host: `overhead_fig13` (JGF-MT vs AOmp pairs),
+//! `moldyn_fig15` (the three variants) and `mechanisms` (per-construct
+//! micro-costs).
+
+
+#![warn(missing_docs)]
+
+use aomp_simcore::models::{self, MolDynStrategy};
+use aomp_simcore::{Machine, Simulator};
+use serde::Serialize;
+
+/// One Figure 13 bar group: benchmark × the two variants.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Row {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Speed-up of the hand-threaded JGF version.
+    pub jgf: f64,
+    /// Speed-up of the AOmp version.
+    pub aomp: f64,
+}
+
+/// The per-benchmark simulated speed-ups for one machine at `t` threads
+/// (Figure 13's two groups: i7 × 8 and Xeon × 24).
+pub fn fig13_series(machine: &Machine, t: usize) -> Vec<Fig13Row> {
+    let sim = Simulator::new(machine.clone());
+    let mut rows = Vec::new();
+    let mut push = |name: &'static str, jgf: aomp_simcore::Program, aomp: aomp_simcore::Program| {
+        rows.push(Fig13Row { benchmark: name, jgf: sim.speedup(&jgf, t), aomp: sim.speedup(&aomp, t) });
+    };
+    push("Crypt", models::crypt(20_000_000, false), models::crypt(20_000_000, true));
+    push("LUFact", models::lufact(1000, false), models::lufact(1000, true));
+    push("Series", models::series(10_000, false), models::series(10_000, true));
+    push("SOR", models::sor(1000, 100, false), models::sor(1000, 100, true));
+    push("Sparse", models::sparse(500_000, 200, false), models::sparse(500_000, 200, true));
+    push("MonteCarlo", models::montecarlo(60_000, false), models::montecarlo(60_000, true));
+    push("RayTracer", models::raytracer(500, false), models::raytracer(500, true));
+    #[allow(dropping_copy_types, clippy::drop_non_drop)]
+    {
+        drop(push);
+    }
+    // MolDyn's model is thread-aware (thread-local arrays), so its
+    // speed-up is computed against the 1-thread model explicitly.
+    let base = sim.run(&models::moldyn(8788, 50, 1, MolDynStrategy::ThreadLocal, machine, false), 1);
+    let jgf = base / sim.run(&models::moldyn(8788, 50, t, MolDynStrategy::ThreadLocal, machine, false), t);
+    let base_a = sim.run(&models::moldyn(8788, 50, 1, MolDynStrategy::ThreadLocal, machine, true), 1);
+    let aomp = base_a / sim.run(&models::moldyn(8788, 50, t, MolDynStrategy::ThreadLocal, machine, true), t);
+    rows.insert(5, Fig13Row { benchmark: "MolDyn", jgf, aomp });
+    rows
+}
+
+/// One Figure 15 bar: variant × particle count × thread count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig15Row {
+    /// Series label (`Critical`, `Locks`, `JGF`).
+    pub variant: &'static str,
+    /// Particle count.
+    pub particles: usize,
+    /// Team size.
+    pub threads: usize,
+    /// Simulated speed-up over the 1-thread thread-local baseline
+    /// (matching the paper's normalisation to the sequential run).
+    pub speedup: f64,
+}
+
+/// Particle counts on the paper's Figure 15 x-axis.
+pub const FIG15_SIZES: [usize; 6] = [864, 2048, 8788, 19_652, 256_000, 500_000];
+/// Thread counts of Figure 15's two groups.
+pub const FIG15_THREADS: [usize; 2] = [4, 12];
+
+/// The full Figure 15 series (on the Xeon model, where the paper's 4 and
+/// 12 thread runs live).
+pub fn fig15_series() -> Vec<Fig15Row> {
+    let machine = Machine::xeon();
+    let sim = Simulator::new(machine.clone());
+    let mut rows = Vec::new();
+    for &t in &FIG15_THREADS {
+        for strategy in [MolDynStrategy::Critical, MolDynStrategy::Locks] {
+            for &n in &FIG15_SIZES {
+                let base = sim.run(&models::moldyn(n, 50, 1, MolDynStrategy::ThreadLocal, &machine, false), 1);
+                let this = sim.run(&models::moldyn(n, 50, t, strategy, &machine, false), t);
+                rows.push(Fig15Row { variant: strategy.label(), particles: n, threads: t, speedup: base / this });
+            }
+        }
+        // The paper shows the JGF (thread-local) series at its own size.
+        let n = 8788;
+        let base = sim.run(&models::moldyn(n, 50, 1, MolDynStrategy::ThreadLocal, &machine, false), 1);
+        let this = sim.run(&models::moldyn(n, 50, t, MolDynStrategy::ThreadLocal, &machine, false), t);
+        rows.push(Fig15Row { variant: "JGF", particles: n, threads: t, speedup: base / this });
+    }
+    rows
+}
+
+/// Write any serialisable result set to `path` as pretty JSON (the
+/// `--json <path>` option of the figure binaries).
+pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
+    let s = serde_json::to_string_pretty(value).expect("results serialise");
+    std::fs::write(path, s)
+}
+
+/// Parse a `--json <path>` argument pair from the command line.
+pub fn json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Render a simple ASCII bar.
+pub fn bar(value: f64, scale: f64) -> String {
+    let n = ((value * scale).round() as usize).min(120);
+    "#".repeat(n.max(usize::from(value > 0.25)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_has_eight_benchmarks_per_machine() {
+        for (m, t) in [(Machine::i7(), 8usize), (Machine::xeon(), 24)] {
+            let rows = fig13_series(&m, t);
+            assert_eq!(rows.len(), 8);
+            for r in &rows {
+                assert!(r.jgf > 0.9, "{} jgf {}", r.benchmark, r.jgf);
+                assert!((r.aomp - r.jgf).abs() / r.jgf < 0.02, "{}: {} vs {}", r.benchmark, r.jgf, r.aomp);
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_shape_matches_paper() {
+        // Xeon/24: embarrassingly parallel kernels above 10×; LUFact and
+        // SOR the two worst ("scale poorly due to the lack of locality").
+        let rows = fig13_series(&Machine::xeon(), 24);
+        let get = |n: &str| rows.iter().find(|r| r.benchmark == n).unwrap().jgf;
+        assert!(get("Series") > 12.0, "Series {}", get("Series"));
+        assert!(get("Crypt") > 10.0, "Crypt {}", get("Crypt"));
+        let worst_two = {
+            let mut v: Vec<(&str, f64)> = rows.iter().map(|r| (r.benchmark, r.jgf)).collect();
+            v.sort_by(|a, b| a.1.total_cmp(&b.1));
+            [v[0].0, v[1].0]
+        };
+        assert!(worst_two.contains(&"LUFact") && worst_two.contains(&"SOR"), "{worst_two:?}");
+    }
+
+    #[test]
+    fn fig15_rows_cover_grid() {
+        let rows = fig15_series();
+        // 2 thread counts × (2 variants × 6 sizes + 1 JGF row).
+        assert_eq!(rows.len(), 2 * (2 * 6 + 1));
+        for r in &rows {
+            assert!(r.speedup > 0.1 && r.speedup < 24.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig15_headline_claims() {
+        let rows = fig15_series();
+        let find = |v: &str, n: usize, t: usize| {
+            rows.iter()
+                .find(|r| r.variant == v && r.particles == n && r.threads == t)
+                .map(|r| r.speedup)
+                .unwrap()
+        };
+        // Locks beat the JGF thread-local version at 12 threads (8788).
+        assert!(find("Locks", 8788, 12) > find("JGF", 8788, 12));
+        // Critical is the best strategy at 256k/500k with few threads.
+        for n in [256_000, 500_000] {
+            assert!(find("Critical", n, 4) >= find("Locks", n, 4), "n={n}");
+        }
+        // Critical is the worst choice at the smallest size.
+        assert!(find("Critical", 864, 12) < find("Locks", 864, 12));
+    }
+
+    #[test]
+    fn bar_renders_monotonically() {
+        assert!(bar(8.0, 2.0).len() > bar(2.0, 2.0).len());
+        assert_eq!(bar(0.0, 2.0), "");
+    }
+}

@@ -1,0 +1,198 @@
+//! A reusable sense-reversing team barrier.
+//!
+//! Implements the paper's `@BarrierBefore` / `@BarrierAfter` semantics: a
+//! synchronisation point scoped to the *team* (unlike `@Critical`, whose
+//! scope is all threads in the system). The implementation is the classic
+//! sense-reversing barrier from the concurrency literature: a shared
+//! arrival counter plus a per-round "sense" bit, so the barrier is
+//! reusable across an unbounded number of rounds without re-initialisation.
+//!
+//! Threads spin briefly and then park on a condition variable. The spin is
+//! deliberately short: on oversubscribed hosts (including the single-core
+//! CI container this reproduction runs on) long spinning starves the very
+//! thread being waited for.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crate::error;
+
+/// Iterations of busy-waiting before parking on the condition variable.
+const SPIN_LIMIT: u32 = 64;
+
+/// Park timeout: bounds how long a thread sleeps before re-checking the
+/// team poison flag, so a panic elsewhere in the team cannot leave
+/// siblings blocked forever.
+const PARK_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// A reusable sense-reversing barrier for a fixed-size team.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl SenseBarrier {
+    /// Barrier for a team of `n` threads (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier team size must be >= 1");
+        Self {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Team size this barrier synchronises.
+    #[inline]
+    pub fn team_size(&self) -> usize {
+        self.n
+    }
+
+    /// Block until all `n` team threads have called `wait`. Returns `true`
+    /// on exactly one thread per round (the last arriver), mirroring
+    /// `std::sync::Barrier`'s leader token.
+    pub fn wait(&self) -> bool {
+        self.wait_impl(None)
+    }
+
+    /// Like [`wait`](Self::wait) but aborts (by panicking with
+    /// [`crate::error::TeamPoisoned`]) if `poison` becomes set while
+    /// waiting — used inside teams so a panicking sibling cannot deadlock
+    /// the region.
+    pub fn wait_poisonable(&self, poison: &AtomicBool) -> bool {
+        self.wait_impl(Some(poison))
+    }
+
+    fn wait_impl(&self, poison: Option<&AtomicBool>) -> bool {
+        if let Some(p) = poison {
+            if p.load(Ordering::Acquire) {
+                error::poisoned();
+            }
+        }
+        let local = !self.sense.load(Ordering::Acquire);
+        let prev = self.count.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev < self.n, "more threads than the barrier's team size called wait");
+        if prev + 1 == self.n {
+            // Last arriver: reset the counter for the next round *before*
+            // releasing this round, then flip the sense under the lock so
+            // parked waiters cannot miss the notification.
+            self.count.store(0, Ordering::Relaxed);
+            {
+                let _g = self.lock.lock();
+                self.sense.store(local, Ordering::Release);
+            }
+            self.cv.notify_all();
+            true
+        } else {
+            for _ in 0..SPIN_LIMIT {
+                if self.sense.load(Ordering::Acquire) == local {
+                    return false;
+                }
+                std::hint::spin_loop();
+            }
+            let mut g = self.lock.lock();
+            while self.sense.load(Ordering::Acquire) != local {
+                if let Some(p) = poison {
+                    if p.load(Ordering::Acquire) {
+                        error::poisoned();
+                    }
+                }
+                self.cv.wait_for(&mut g, PARK_TIMEOUT);
+            }
+            false
+        }
+    }
+
+    /// Wake all parked waiters so they can observe a freshly-set poison
+    /// flag. Called by the team when a member panics.
+    pub(crate) fn kick(&self) {
+        let _g = self.lock.lock();
+        drop(_g);
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_barrier_is_noop() {
+        let b = SenseBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn all_threads_meet() {
+        let n = 4;
+        let b = Arc::new(SenseBarrier::new(n));
+        let phase = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let b = Arc::clone(&b);
+                let phase = Arc::clone(&phase);
+                s.spawn(move || {
+                    for round in 0..50usize {
+                        // Everyone must observe the same phase before the
+                        // barrier releases the round.
+                        phase.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        assert_eq!(phase.load(Ordering::SeqCst), (round + 1) * n);
+                        b.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        let n = 3;
+        let rounds = 40;
+        let b = Arc::new(SenseBarrier::new(n));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let b = Arc::clone(&b);
+                let leaders = Arc::clone(&leaders);
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), rounds);
+    }
+
+    #[test]
+    fn poison_unblocks_waiters() {
+        let b = Arc::new(SenseBarrier::new(2));
+        let poison = Arc::new(AtomicBool::new(false));
+        let b2 = Arc::clone(&b);
+        let p2 = Arc::clone(&poison);
+        let waiter = std::thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                b2.wait_poisonable(&p2);
+            }));
+            r.is_err()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        poison.store(true, Ordering::Release);
+        b.kick();
+        assert!(waiter.join().unwrap(), "waiter should unwind with TeamPoisoned");
+    }
+}

@@ -1,0 +1,267 @@
+//! Schedule-disciplined shared arrays: [`SyncSlice`] (borrowed) and
+//! [`SyncVec`] (owned).
+//!
+//! OpenMP-style kernels share arrays between team threads under
+//! schedules that guarantee disjoint writes (each thread owns a
+//! row/column/element subset). Java expresses this with plain shared
+//! arrays; safe Rust needs either locks (which would distort performance
+//! comparisons) or a narrowly-scoped unsafe wrapper. These are those
+//! wrappers: unguarded shared storage whose users must uphold the
+//! schedule's disjointness contract, documented at every call site.
+
+use std::cell::UnsafeCell;
+
+/// A shared, unguarded slice. Cloneable handles alias the same storage.
+///
+/// # Safety contract
+///
+/// Callers of [`get_mut`](Self::get_mut) / [`set`](Self::set) must ensure
+/// no two threads concurrently touch the same index with at least one
+/// writer — exactly the guarantee a disjoint loop schedule (static block,
+/// static cyclic, dynamic chunks) provides for index-owned data.
+pub struct SyncSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: access discipline is delegated to the schedule (see type docs).
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+unsafe impl<T: Send> Send for SyncSlice<'_, T> {}
+
+impl<T> Clone for SyncSlice<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    /// Wrap a uniquely-borrowed slice for shared use.
+    pub fn new(data: &'a mut [T]) -> Self {
+        // SAFETY: &mut [T] -> &[UnsafeCell<T>] is sound (UnsafeCell<T> has
+        // the same layout as T) and the unique borrow is surrendered for
+        // the wrapper's lifetime.
+        let ptr = data.as_mut_ptr() as *const UnsafeCell<T>;
+        Self { data: unsafe { std::slice::from_raw_parts(ptr, data.len()) } }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// No concurrent writer to index `i`.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> &T {
+        &*self.data[i].get()
+    }
+
+    /// Mutable access to element `i`.
+    ///
+    /// # Safety
+    /// This thread is the sole accessor of index `i` for the borrow's
+    /// duration (schedule-owned index).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        &mut *self.data[i].get()
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// As for [`get_mut`](Self::get_mut).
+    #[inline]
+    pub unsafe fn set(&self, i: usize, v: T) {
+        *self.data[i].get() = v;
+    }
+}
+
+impl<T> SyncSlice<'_, T> {
+    /// Borrow `len` elements starting at `lo` as a plain shared slice.
+    ///
+    /// # Safety
+    /// No concurrent writer to any index in `lo..lo+len` for the
+    /// borrow's duration (e.g. the range was written in a previous,
+    /// barrier-separated phase or by this thread).
+    #[inline]
+    pub unsafe fn as_slice(&self, lo: usize, len: usize) -> &[T] {
+        std::slice::from_raw_parts(self.data[lo].get() as *const T, len)
+    }
+
+    /// Borrow `len` elements starting at `lo` as an exclusive slice.
+    ///
+    /// # Safety
+    /// This thread is the sole accessor of `lo..lo+len` for the borrow's
+    /// duration (schedule-owned block).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn as_mut_slice(&self, lo: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.data[lo].get(), len)
+    }
+}
+
+impl<T: Copy> SyncSlice<'_, T> {
+    /// Copy element `i` out.
+    ///
+    /// # Safety
+    /// No concurrent writer to index `i`.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T {
+        *self.data[i].get()
+    }
+}
+
+/// An owned, unguarded shared vector — the owned counterpart of
+/// [`SyncSlice`], for state that must live inside `Arc`-shared structures
+/// (e.g. the MolDyn particle arrays, which aspect modules need to reach
+/// with a `'static` lifetime).
+///
+/// # Safety contract
+/// Same as [`SyncSlice`]: concurrent accesses to one index must follow a
+/// disjoint-writer discipline established by the loop schedule or by
+/// barrier-separated phases.
+pub struct SyncVec<T> {
+    data: Vec<UnsafeCell<T>>,
+}
+
+// SAFETY: access discipline is delegated to the schedule (see type docs).
+unsafe impl<T: Send> Sync for SyncVec<T> {}
+unsafe impl<T: Send> Send for SyncVec<T> {}
+
+impl<T> SyncVec<T> {
+    /// Take ownership of `data` for shared use.
+    pub fn new(data: Vec<T>) -> Self {
+        Self { data: data.into_iter().map(UnsafeCell::new).collect() }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// No concurrent writer to index `i`.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> &T {
+        &*self.data[i].get()
+    }
+
+    /// Mutable access to element `i`.
+    ///
+    /// # Safety
+    /// This thread is the sole accessor of index `i` for the borrow.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        &mut *self.data[i].get()
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// As for [`get_mut`](Self::get_mut).
+    #[inline]
+    pub unsafe fn set(&self, i: usize, v: T) {
+        *self.data[i].get() = v;
+    }
+}
+
+impl<T: Copy> SyncVec<T> {
+    /// Copy element `i` out.
+    ///
+    /// # Safety
+    /// No concurrent writer to index `i`.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T {
+        *self.data[i].get()
+    }
+
+    /// Copy the whole vector out.
+    ///
+    /// # Safety
+    /// No concurrent writers anywhere in the vector.
+    pub unsafe fn snapshot(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.read(i)).collect()
+    }
+}
+
+impl<T: Copy + Default> SyncVec<T> {
+    /// Zero-filled vector of length `n`.
+    pub fn zeroed(n: usize) -> Self {
+        Self::new(vec![T::default(); n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut data = vec![0i64; 1000];
+        {
+            let s = SyncSlice::new(&mut data);
+            let for_c = ForConstruct::new(Schedule::StaticBlock);
+            crate::region::parallel_with(RegionConfig::new().threads(4), || {
+                for_c.execute(LoopRange::upto(0, 1000), |lo, hi, step| {
+                    let mut i = lo;
+                    while i < hi {
+                        // SAFETY: static block gives disjoint indices.
+                        unsafe { s.set(i as usize, i * 3) };
+                        i += step;
+                    }
+                });
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as i64 * 3));
+    }
+
+    #[test]
+    fn sync_vec_round_trips() {
+        let v = SyncVec::new(vec![1i64, 2, 3]);
+        unsafe {
+            v.set(1, 20);
+            assert_eq!(v.read(1), 20);
+            *v.get_mut(2) += 5;
+            assert_eq!(*v.get(2), 8);
+            assert_eq!(v.snapshot(), vec![1, 20, 8]);
+        }
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        let z: SyncVec<f64> = SyncVec::zeroed(4);
+        assert_eq!(unsafe { z.snapshot() }, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn copies_alias_same_storage() {
+        let mut data = vec![1u32, 2, 3];
+        let a = SyncSlice::new(&mut data);
+        let b = a;
+        unsafe {
+            b.set(0, 9);
+            assert_eq!(a.read(0), 9);
+        }
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+}

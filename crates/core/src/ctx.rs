@@ -1,0 +1,283 @@
+//! Team context: who am I, which team am I in, and the per-team shared
+//! state that constructs synchronise through.
+//!
+//! A thread may be a member of a stack of nested teams (the paper supports
+//! nested parallel regions, §III-D); the innermost team is the one all
+//! constructs bind to, mirroring OpenMP's binding rules.
+//!
+//! Besides the barrier, the team owns a *slot map*: anonymous shared state
+//! allocated on demand, keyed by `(construct key, encounter round)`. Each
+//! construct handle (a `Single`, a `ForConstruct` with dynamic schedule,
+//! an `Ordered`, …) owns a unique key; each thread counts its own
+//! encounters of that construct. Under the SPMD execution model of
+//! parallel regions — all team threads execute the same region body — the
+//! `k`-th encounter of a construct on one thread pairs with the `k`-th
+//! encounter on every sibling, so the slot map gives every construct
+//! occurrence its own fresh shared state without any global registration.
+//! Slots are reference-counted by team size and freed once every member
+//! has detached.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::barrier::SenseBarrier;
+use crate::error;
+
+/// Allocate a process-unique construct key. Every construct handle
+/// (`Single`, `Master`, `ForConstruct`, `Ordered`, …) calls this once at
+/// creation time.
+pub(crate) fn fresh_key() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+struct SlotEntry {
+    value: Arc<dyn Any + Send + Sync>,
+    remaining: usize,
+}
+
+/// State shared by all members of one team (one parallel-region
+/// execution).
+pub(crate) struct TeamShared {
+    /// Team size.
+    pub n: usize,
+    /// Nesting level: 1 for a team created outside any region.
+    pub level: usize,
+    /// The team barrier (implicit joins, `@BarrierBefore/After`, …).
+    pub barrier: SenseBarrier,
+    /// Set when a member panicked; checked by blocking primitives.
+    pub poisoned: AtomicBool,
+    slots: Mutex<HashMap<(u64, u64), SlotEntry>>,
+}
+
+impl TeamShared {
+    pub fn new(n: usize, level: usize) -> Self {
+        Self {
+            n,
+            level,
+            barrier: SenseBarrier::new(n),
+            poisoned: AtomicBool::new(false),
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fetch (or lazily create) the shared state for occurrence `round` of
+    /// construct `key`. The state type `T` is fixed by the construct.
+    ///
+    /// Panics if two constructs with the same key request different types
+    /// — impossible through the public API since keys are private and
+    /// unique per handle.
+    pub fn slot<T>(&self, key: u64, round: u64) -> Arc<T>
+    where
+        T: Default + Send + Sync + 'static,
+    {
+        let mut slots = self.slots.lock();
+        let entry = slots.entry((key, round)).or_insert_with(|| SlotEntry {
+            value: Arc::new(T::default()),
+            remaining: self.n,
+        });
+        Arc::clone(&entry.value)
+            .downcast::<T>()
+            .expect("aomp internal error: construct slot type mismatch")
+    }
+
+    /// Release one team member's reference to `(key, round)`; the slot is
+    /// dropped when all `n` members have detached.
+    pub fn detach_slot(&self, key: u64, round: u64) {
+        let mut slots = self.slots.lock();
+        if let Some(entry) = slots.get_mut(&(key, round)) {
+            entry.remaining -= 1;
+            if entry.remaining == 0 {
+                slots.remove(&(key, round));
+            }
+        }
+    }
+
+    /// Check the poison flag, unwinding with
+    /// [`TeamPoisoned`](crate::error::TeamPoisoned) if a sibling panicked.
+    #[inline]
+    pub fn check_poison(&self) {
+        if self.poisoned.load(Ordering::Acquire) {
+            error::poisoned();
+        }
+    }
+
+    /// Mark the team poisoned and wake blocked members.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.barrier.kick();
+    }
+}
+
+/// Per-thread view of a team membership.
+pub(crate) struct TeamCtx {
+    pub shared: Arc<TeamShared>,
+    pub tid: usize,
+    /// Per-construct encounter counters (see module docs).
+    rounds: RefCell<HashMap<u64, u64>>,
+}
+
+impl TeamCtx {
+    fn new(shared: Arc<TeamShared>, tid: usize) -> Self {
+        Self { shared, tid, rounds: RefCell::new(HashMap::new()) }
+    }
+
+    /// The encounter round for construct `key` on this thread, counting
+    /// from zero, incremented on each call.
+    pub fn next_round(&self, key: u64) -> u64 {
+        let mut rounds = self.rounds.borrow_mut();
+        let r = rounds.entry(key).or_insert(0);
+        let v = *r;
+        *r += 1;
+        v
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Rc<TeamCtx>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for team membership; popping in `Drop` keeps the context
+/// stack correct even when the region body panics, and poisons the team
+/// in that case so blocked siblings unwind too.
+pub(crate) struct CtxGuard {
+    shared: Arc<TeamShared>,
+}
+
+impl CtxGuard {
+    pub fn enter(shared: Arc<TeamShared>, tid: usize) -> Self {
+        let ctx = Rc::new(TeamCtx::new(Arc::clone(&shared), tid));
+        STACK.with(|s| s.borrow_mut().push(ctx));
+        Self { shared }
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        if std::thread::panicking() {
+            self.shared.poison();
+        }
+    }
+}
+
+/// Run `f` with the innermost team context, or `None` when the calling
+/// thread is not inside a parallel region.
+pub(crate) fn with_current<R>(f: impl FnOnce(Option<&Rc<TeamCtx>>) -> R) -> R {
+    STACK.with(|s| {
+        let stack = s.borrow();
+        f(stack.last())
+    })
+}
+
+/// Nesting depth of parallel regions on this thread (0 outside any).
+pub fn level() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// This thread's id within the innermost team (`0..team_size()`), or 0
+/// outside a parallel region — the paper's `getThreadId()`.
+pub fn thread_id() -> usize {
+    with_current(|c| c.map_or(0, |c| c.tid))
+}
+
+/// Size of the innermost team, or 1 outside a parallel region.
+pub fn team_size() -> usize {
+    with_current(|c| c.map_or(1, |c| c.shared.n))
+}
+
+/// True when called from inside a parallel region with more than one
+/// member thread.
+pub fn in_parallel() -> bool {
+    with_current(|c| c.is_some_and(|c| c.shared.n > 1))
+}
+
+/// Team barrier: block until every thread of the innermost team arrives.
+/// Outside a parallel region this is a no-op, preserving sequential
+/// semantics.
+pub fn barrier() {
+    with_current(|c| {
+        if let Some(c) = c {
+            c.shared.barrier.wait_poisonable(&c.shared.poisoned);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_team_defaults() {
+        assert_eq!(thread_id(), 0);
+        assert_eq!(team_size(), 1);
+        assert!(!in_parallel());
+        assert_eq!(level(), 0);
+        barrier(); // must not block
+    }
+
+    #[test]
+    fn ctx_guard_pushes_and_pops() {
+        let shared = Arc::new(TeamShared::new(1, 1));
+        {
+            let _g = CtxGuard::enter(Arc::clone(&shared), 0);
+            assert_eq!(level(), 1);
+            assert_eq!(team_size(), 1);
+            {
+                let inner = Arc::new(TeamShared::new(1, 2));
+                let _g2 = CtxGuard::enter(inner, 0);
+                assert_eq!(level(), 2);
+            }
+            assert_eq!(level(), 1);
+        }
+        assert_eq!(level(), 0);
+    }
+
+    #[test]
+    fn rounds_count_per_key() {
+        let shared = Arc::new(TeamShared::new(1, 1));
+        let ctx = TeamCtx::new(shared, 0);
+        let k1 = fresh_key();
+        let k2 = fresh_key();
+        assert_eq!(ctx.next_round(k1), 0);
+        assert_eq!(ctx.next_round(k1), 1);
+        assert_eq!(ctx.next_round(k2), 0);
+        assert_eq!(ctx.next_round(k1), 2);
+    }
+
+    #[test]
+    fn slots_freed_after_all_detach() {
+        let shared = TeamShared::new(2, 1);
+        let key = fresh_key();
+        let a: Arc<AtomicBool> = shared.slot(key, 0);
+        let b: Arc<AtomicBool> = shared.slot(key, 0);
+        assert!(Arc::ptr_eq(&a, &b));
+        shared.detach_slot(key, 0);
+        assert_eq!(shared.slots.lock().len(), 1);
+        shared.detach_slot(key, 0);
+        assert!(shared.slots.lock().is_empty());
+    }
+
+    #[test]
+    fn distinct_rounds_get_distinct_slots() {
+        let shared = TeamShared::new(1, 1);
+        let key = fresh_key();
+        let a: Arc<AtomicBool> = shared.slot(key, 0);
+        let b: Arc<AtomicBool> = shared.slot(key, 1);
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn fresh_keys_unique() {
+        let a = fresh_key();
+        let b = fresh_key();
+        assert_ne!(a, b);
+    }
+}

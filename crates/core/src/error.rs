@@ -1,0 +1,34 @@
+//! Error and panic-propagation support for teams.
+//!
+//! A parallel region joins all spawned threads before returning; if any
+//! team thread panics, the team is *poisoned* so that siblings blocked in
+//! team-wide synchronisation (barriers, single/master broadcasts, ordered
+//! sections) unblock promptly instead of deadlocking, and the panic is
+//! re-raised on the master after the join.
+
+use std::fmt;
+
+/// Raised (via `panic!`) inside team synchronisation primitives when a
+/// sibling thread of the same team has panicked.
+///
+/// This keeps a panicking region from deadlocking: blocked siblings are
+/// woken, observe the poison flag and unwind too; `std::thread::scope`
+/// then propagates the original panic to the caller of
+/// [`region::parallel`](crate::region::parallel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeamPoisoned;
+
+impl fmt::Display for TeamPoisoned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aomp team poisoned: a sibling thread panicked inside the parallel region")
+    }
+}
+
+impl std::error::Error for TeamPoisoned {}
+
+/// Panic with [`TeamPoisoned`]; used by primitives when they observe the
+/// team poison flag.
+#[cold]
+pub(crate) fn poisoned() -> ! {
+    std::panic::panic_any(TeamPoisoned)
+}

@@ -1,0 +1,330 @@
+//! A persistent team pool — the optimised parallel-region executor.
+//!
+//! The paper's Figure 9 model (and [`region::parallel`](crate::region::parallel)) spawns a fresh
+//! team per region, as AOmpLib v1.0 did; its §VII names "the optimisation
+//! of several mechanisms" as current work. This module is that
+//! optimisation: a [`TeamPool`] keeps `n − 1` workers parked and
+//! dispatches region bodies to them, eliminating thread creation from
+//! the region-entry path. The `region_pool` ablation bench quantifies the
+//! difference.
+//!
+//! Semantics match [`region::parallel_with`](crate::region::parallel_with): every member (the caller
+//! is the master, id 0) runs the body once under a fresh team context;
+//! panics poison the team and re-raise on the caller.
+//!
+//! One deliberate restriction: a body must not re-enter the *same* pool
+//! (the workers are busy executing it); use nested spawned regions or a
+//! second pool for nesting.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::ctx::{CtxGuard, TeamShared};
+
+/// Type-erased pointer to the job body. The pointee lives on the
+/// dispatching caller's stack; the completion protocol guarantees all
+/// uses happen before `parallel` returns.
+#[derive(Clone, Copy)]
+struct BodyPtr(*const (dyn Fn() + Sync));
+// SAFETY: the pointee is Sync and the pool's completion protocol bounds
+// every dereference within the lifetime of the `parallel` call.
+unsafe impl Send for BodyPtr {}
+
+struct Job {
+    generation: u64,
+    body: Option<BodyPtr>,
+    team: Option<Arc<TeamShared>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    job: Mutex<Job>,
+    start: Condvar,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    generation: AtomicU64,
+    /// Serialises concurrent `parallel` dispatches on one pool.
+    dispatch: Mutex<()>,
+}
+
+/// A reusable team of worker threads for executing parallel regions.
+pub struct TeamPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    size: usize,
+}
+
+impl TeamPool {
+    /// Pool executing regions with a team of `threads` (spawns
+    /// `threads − 1` persistent workers).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a team pool needs at least one thread");
+        let shared = Arc::new(PoolShared {
+            job: Mutex::new(Job { generation: 0, body: None, team: None, shutdown: false }),
+            start: Condvar::new(),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic_payload: Mutex::new(None),
+            generation: AtomicU64::new(0),
+            dispatch: Mutex::new(()),
+        });
+        let handles = (1..threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("aomp-pool-t{tid}"))
+                    .spawn(move || worker_loop(shared, tid))
+                    .expect("failed to spawn aomp pool worker")
+            })
+            .collect();
+        Self { shared, handles, size: threads }
+    }
+
+    /// Team size of this pool.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Execute `body` as a parallel region on the pooled team. Blocks
+    /// until every member has finished; panics (on the caller) if any
+    /// member panicked.
+    pub fn parallel<F>(&self, body: F)
+    where
+        F: Fn() + Sync,
+    {
+        let n = if crate::runtime::parallel_enabled() { self.size } else { 1 };
+        let team = Arc::new(TeamShared::new(n, crate::ctx::level() + 1));
+        if n == 1 {
+            let _guard = CtxGuard::enter(team, 0);
+            body();
+            return;
+        }
+        // One region at a time per pool; clear any stale panic payload
+        // left by a region whose master itself panicked.
+        let _dispatch = self.shared.dispatch.lock();
+        *self.shared.panic_payload.lock() = None;
+        // Erase the body's lifetime for the workers. SAFETY: the
+        // completion wait below ensures no worker touches the pointer
+        // after this frame ends.
+        let wide: &(dyn Fn() + Sync) = &body;
+        let ptr = BodyPtr(unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(wide) });
+
+        let generation = self.shared.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut job = self.shared.job.lock();
+            job.generation = generation;
+            job.body = Some(ptr);
+            job.team = Some(Arc::clone(&team));
+        }
+        self.shared.start.notify_all();
+
+        // The caller is the master.
+        let master_result = {
+            let _guard = CtxGuard::enter(Arc::clone(&team), 0);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(&body))
+        };
+        if master_result.is_err() {
+            team.poison();
+        }
+
+        // Wait for all workers of this generation.
+        {
+            let mut done = self.shared.done.lock();
+            while *done < self.size - 1 {
+                self.shared.done_cv.wait(&mut done);
+            }
+            *done = 0;
+        }
+        // Re-raise: the master's own panic wins, else a worker's.
+        if let Err(p) = master_result {
+            std::panic::resume_unwind(p);
+        }
+        if let Some(p) = self.shared.panic_payload.lock().take() {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for TeamPool {
+    fn drop(&mut self) {
+        {
+            let mut job = self.shared.job.lock();
+            job.shutdown = true;
+        }
+        self.shared.start.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, tid: usize) {
+    let mut last_generation = 0u64;
+    loop {
+        let (body, team) = {
+            let mut job = shared.job.lock();
+            loop {
+                if job.shutdown {
+                    return;
+                }
+                if job.generation != last_generation {
+                    break;
+                }
+                shared.start.wait(&mut job);
+            }
+            last_generation = job.generation;
+            (job.body.expect("job body set"), job.team.clone().expect("job team set"))
+        };
+        let result = {
+            let _guard = CtxGuard::enter(Arc::clone(&team), tid);
+            // SAFETY: the dispatching `parallel` frame is alive until all
+            // workers signal completion below.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*body.0)() }))
+        };
+        if let Err(p) = result {
+            team.poison();
+            let mut slot = shared.panic_payload.lock();
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+        let mut done = shared.done.lock();
+        *done += 1;
+        if *done == shared_workers(&shared, &team) {
+            shared.done_cv.notify_all();
+        }
+        drop(done);
+    }
+}
+
+fn shared_workers(_shared: &PoolShared, team: &TeamShared) -> usize {
+    team.n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::{team_size, thread_id};
+    use crate::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn pool_runs_body_on_every_member() {
+        let pool = TeamPool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.parallel(|| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_regions() {
+        let pool = TeamPool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.parallel(|| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 150);
+    }
+
+    #[test]
+    fn pool_provides_team_context() {
+        let pool = TeamPool::new(4);
+        let ids = StdMutex::new(HashSet::new());
+        pool.parallel(|| {
+            assert_eq!(team_size(), 4);
+            ids.lock().unwrap().insert(thread_id());
+        });
+        assert_eq!(ids.into_inner().unwrap(), (0..4).collect::<HashSet<_>>());
+    }
+
+    #[test]
+    fn pool_supports_constructs() {
+        let pool = TeamPool::new(4);
+        let for_c = ForConstruct::new(Schedule::Dynamic { chunk: 8 });
+        let sum = std::sync::atomic::AtomicI64::new(0);
+        pool.parallel(|| {
+            for_c.execute(LoopRange::upto(0, 1000), |lo, hi, step| {
+                let mut local = 0;
+                let mut i = lo;
+                while i < hi {
+                    local += i;
+                    i += step;
+                }
+                sum.fetch_add(local, Ordering::Relaxed);
+            });
+            crate::ctx::barrier();
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..1000).sum::<i64>());
+    }
+
+    #[test]
+    fn pool_of_one_runs_inline() {
+        let pool = TeamPool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.parallel(|| {
+            assert_eq!(team_size(), 1);
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = TeamPool::new(3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel(|| {
+                if thread_id() == 2 {
+                    panic!("pooled worker dies");
+                }
+                crate::ctx::barrier();
+            });
+        }));
+        assert!(r.is_err());
+        // Pool still usable.
+        let count = AtomicUsize::new(0);
+        pool.parallel(|| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn master_panic_propagates_and_pool_survives() {
+        let pool = TeamPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel(|| {
+                if thread_id() == 0 {
+                    panic!("pooled master dies");
+                }
+                crate::ctx::barrier();
+            });
+        }));
+        assert!(r.is_err());
+        let count = AtomicUsize::new(0);
+        pool.parallel(|| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn kill_switch_degrades_pool_to_sequential() {
+        let pool = TeamPool::new(4);
+        crate::runtime::set_parallel_enabled(false);
+        let count = AtomicUsize::new(0);
+        pool.parallel(|| {
+            assert_eq!(team_size(), 1);
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        crate::runtime::set_parallel_enabled(true);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Loop iteration ranges for *for methods*.
+//!
+//! The paper (§III-A) requires loops to be refactored into *for methods*
+//! whose first three integer parameters are the loop `start`, `end`
+//! (exclusive) and `step`. [`LoopRange`] is the canonical value carrying
+//! those three integers, together with the iteration-space arithmetic the
+//! work-sharing constructs need (iteration counts, iteration→element
+//! mapping, sub-range extraction).
+
+use std::fmt;
+
+/// A half-open, strided loop range `start .. end step step`, mirroring a
+/// for method's first three parameters.
+///
+/// `step` may be negative (counting down); `step == 0` is rejected by
+/// [`LoopRange::new`]. The element at logical iteration `k` is
+/// `start + k * step`, and the range covers iterations `0 .. count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopRange {
+    /// First element of the loop.
+    pub start: i64,
+    /// Exclusive bound: iteration continues while `i < end` (positive
+    /// step) or `i > end` (negative step).
+    pub end: i64,
+    /// Loop increment; never zero.
+    pub step: i64,
+}
+
+impl LoopRange {
+    /// Create a range. Panics if `step == 0`.
+    #[inline]
+    pub fn new(start: i64, end: i64, step: i64) -> Self {
+        assert!(step != 0, "LoopRange step must be non-zero");
+        Self { start, end, step }
+    }
+
+    /// The unit-stride range `start..end`.
+    #[inline]
+    pub fn upto(start: i64, end: i64) -> Self {
+        Self::new(start, end, 1)
+    }
+
+    /// Number of iterations the loop performs.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        if self.step > 0 {
+            if self.start >= self.end {
+                0
+            } else {
+                let span = (self.end - self.start) as u64;
+                let step = self.step as u64;
+                span.div_ceil(step)
+            }
+        } else if self.start <= self.end {
+            0
+        } else {
+            let span = (self.start - self.end) as u64;
+            let step = (-self.step) as u64;
+            span.div_ceil(step)
+        }
+    }
+
+    /// True when the loop performs no iterations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The element value at logical iteration `k` (not bounds-checked).
+    #[inline]
+    pub fn element(&self, k: u64) -> i64 {
+        self.start + (k as i64) * self.step
+    }
+
+    /// Sub-range covering logical iterations `iter_lo .. iter_hi` of this
+    /// range, with the same step. Used by block and dynamic schedules.
+    #[inline]
+    pub fn slice_iters(&self, iter_lo: u64, iter_hi: u64) -> LoopRange {
+        debug_assert!(iter_lo <= iter_hi);
+        debug_assert!(iter_hi <= self.count());
+        LoopRange {
+            start: self.element(iter_lo),
+            end: self.element(iter_hi),
+            step: self.step,
+        }
+    }
+
+    /// Cyclic sub-range for thread `tid` of `n`: starts at the `tid`-th
+    /// iteration and strides by `n` iterations — exactly the paper's
+    /// `for (i = id; i < mdsize; i += nthreads)` rewriting, expressed as a
+    /// (start, end, step) triple.
+    #[inline]
+    pub fn cyclic(&self, tid: usize, n: usize) -> LoopRange {
+        debug_assert!(n > 0 && tid < n);
+        LoopRange {
+            start: self.start + (tid as i64) * self.step,
+            end: self.end,
+            step: self.step * (n as i64),
+        }
+    }
+
+    /// Iterate over the elements of the range.
+    #[inline]
+    pub fn iter(&self) -> LoopRangeIter {
+        LoopRangeIter { next: self.start, remaining: self.count(), step: self.step }
+    }
+}
+
+impl fmt::Display for LoopRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}) step {}", self.start, self.end, self.step)
+    }
+}
+
+impl IntoIterator for LoopRange {
+    type Item = i64;
+    type IntoIter = LoopRangeIter;
+    fn into_iter(self) -> LoopRangeIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &LoopRange {
+    type Item = i64;
+    type IntoIter = LoopRangeIter;
+    fn into_iter(self) -> LoopRangeIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the elements of a [`LoopRange`].
+#[derive(Debug, Clone)]
+pub struct LoopRangeIter {
+    next: i64,
+    remaining: u64,
+    step: i64,
+}
+
+impl Iterator for LoopRangeIter {
+    type Item = i64;
+
+    #[inline]
+    fn next(&mut self) -> Option<i64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let v = self.next;
+        self.remaining -= 1;
+        self.next += self.step;
+        Some(v)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LoopRangeIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_positive_step() {
+        assert_eq!(LoopRange::new(0, 10, 1).count(), 10);
+        assert_eq!(LoopRange::new(0, 10, 3).count(), 4); // 0,3,6,9
+        assert_eq!(LoopRange::new(5, 5, 1).count(), 0);
+        assert_eq!(LoopRange::new(7, 5, 1).count(), 0);
+        assert_eq!(LoopRange::new(-3, 3, 2).count(), 3); // -3,-1,1
+    }
+
+    #[test]
+    fn count_negative_step() {
+        assert_eq!(LoopRange::new(10, 0, -1).count(), 10);
+        assert_eq!(LoopRange::new(10, 0, -3).count(), 4); // 10,7,4,1
+        assert_eq!(LoopRange::new(0, 10, -1).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_step_rejected() {
+        let _ = LoopRange::new(0, 10, 0);
+    }
+
+    #[test]
+    fn elements_match_manual_loop() {
+        let r = LoopRange::new(2, 17, 3);
+        let via_iter: Vec<i64> = r.iter().collect();
+        let mut manual = Vec::new();
+        let mut i = 2;
+        while i < 17 {
+            manual.push(i);
+            i += 3;
+        }
+        assert_eq!(via_iter, manual);
+    }
+
+    #[test]
+    fn elements_match_manual_loop_down() {
+        let r = LoopRange::new(17, 2, -4);
+        let via_iter: Vec<i64> = r.iter().collect();
+        let mut manual = Vec::new();
+        let mut i = 17;
+        while i > 2 {
+            manual.push(i);
+            i += -4;
+        }
+        assert_eq!(via_iter, manual);
+    }
+
+    #[test]
+    fn slice_iters_is_contiguous_partition() {
+        let r = LoopRange::new(3, 50, 4);
+        let n = r.count();
+        let a = r.slice_iters(0, n / 2);
+        let b = r.slice_iters(n / 2, n);
+        let mut all: Vec<i64> = a.iter().collect();
+        all.extend(b.iter());
+        assert_eq!(all, r.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cyclic_partition_covers_all() {
+        let r = LoopRange::new(0, 23, 1);
+        let n = 4;
+        let mut all: Vec<i64> = (0..n).flat_map(|t| r.cyclic(t, n).iter()).collect();
+        all.sort_unstable();
+        assert_eq!(all, r.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cyclic_with_step_and_down() {
+        let r = LoopRange::new(20, -1, -2);
+        let n = 3;
+        let mut all: Vec<i64> = (0..n).flat_map(|t| r.cyclic(t, n).iter()).collect();
+        all.sort_unstable();
+        let mut expect: Vec<i64> = r.iter().collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let r = LoopRange::new(0, 100, 7);
+        assert_eq!(r.iter().len(), r.count() as usize);
+    }
+}

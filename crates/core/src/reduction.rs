@@ -1,0 +1,186 @@
+//! Built-in reducers for `@Reduce` and a team-wide reduction helper.
+//!
+//! The paper's annotation style requires thread-local objects to implement
+//! a reducer interface "which provides a method to merge two thread local
+//! objects into a single object"; the pointcut style lets the concrete
+//! aspect supply the merge method. [`Reducer`] implementations here cover
+//! the common cases; [`FnReducer`] adapts any closure (the pointcut-style
+//! escape hatch).
+
+use crate::ctx;
+use crate::region::{parallel_map, RegionConfig};
+use crate::threadlocal::Reducer;
+
+/// Sum reduction (`acc += v`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumReducer;
+
+impl<T: std::ops::AddAssign> Reducer<T> for SumReducer {
+    fn merge(&self, acc: &mut T, v: T) {
+        *acc += v;
+    }
+}
+
+/// Product reduction (`acc *= v`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProdReducer;
+
+impl<T: std::ops::MulAssign> Reducer<T> for ProdReducer {
+    fn merge(&self, acc: &mut T, v: T) {
+        *acc *= v;
+    }
+}
+
+/// Minimum reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinReducer;
+
+impl<T: PartialOrd> Reducer<T> for MinReducer {
+    fn merge(&self, acc: &mut T, v: T) {
+        if v < *acc {
+            *acc = v;
+        }
+    }
+}
+
+/// Maximum reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxReducer;
+
+impl<T: PartialOrd> Reducer<T> for MaxReducer {
+    fn merge(&self, acc: &mut T, v: T) {
+        if v > *acc {
+            *acc = v;
+        }
+    }
+}
+
+/// Element-wise vector sum: merges per-thread accumulation arrays — the
+/// reduction the JGF MolDyn thread-local force arrays need.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VecSumReducer;
+
+impl<T: std::ops::AddAssign + Copy> Reducer<Vec<T>> for VecSumReducer {
+    fn merge(&self, acc: &mut Vec<T>, v: Vec<T>) {
+        assert_eq!(acc.len(), v.len(), "VecSumReducer requires equal-length vectors");
+        for (a, b) in acc.iter_mut().zip(v) {
+            *a += b;
+        }
+    }
+}
+
+/// Adapt a closure into a [`Reducer`] — the pointcut style's
+/// application-specific merge method.
+#[derive(Debug, Clone, Copy)]
+pub struct FnReducer<F>(pub F);
+
+impl<T, F: Fn(&mut T, T)> Reducer<T> for FnReducer<F> {
+    fn merge(&self, acc: &mut T, v: T) {
+        (self.0)(acc, v);
+    }
+}
+
+/// Run `body(thread_id)` on a team and reduce the per-thread results with
+/// `reducer`, folding into `init`. A convenience combining a parallel
+/// region, implicit thread-local results and `@Reduce` in one call.
+pub fn parallel_reduce<T, F, R>(cfg: RegionConfig, init: T, reducer: &R, body: F) -> T
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    R: Reducer<T>,
+{
+    let parts = parallel_map(cfg, body);
+    let mut acc = init;
+    for p in parts {
+        reducer.merge(&mut acc, p);
+    }
+    acc
+}
+
+/// Sequential-order fold of values produced per thread id — used by tests
+/// to compare against [`parallel_reduce`].
+pub fn sequential_reduce<T, R>(n: usize, init: T, reducer: &R, body: impl Fn(usize) -> T) -> T
+where
+    R: Reducer<T>,
+{
+    let mut acc = init;
+    for tid in 0..n {
+        reducer.merge(&mut acc, body(tid));
+    }
+    acc
+}
+
+/// Current team size — re-exported here for reduction call sites.
+pub fn team_size() -> usize {
+    ctx::team_size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_reducer_adds() {
+        let mut acc = 3;
+        SumReducer.merge(&mut acc, 4);
+        assert_eq!(acc, 7);
+    }
+
+    #[test]
+    fn prod_reducer_multiplies() {
+        let mut acc = 3.0f64;
+        ProdReducer.merge(&mut acc, 4.0);
+        assert_eq!(acc, 12.0);
+    }
+
+    #[test]
+    fn min_max_reducers() {
+        let mut lo = 5;
+        MinReducer.merge(&mut lo, 2);
+        MinReducer.merge(&mut lo, 9);
+        assert_eq!(lo, 2);
+        let mut hi = 5;
+        MaxReducer.merge(&mut hi, 2);
+        MaxReducer.merge(&mut hi, 9);
+        assert_eq!(hi, 9);
+    }
+
+    #[test]
+    fn vec_sum_elementwise() {
+        let mut acc = vec![1.0, 2.0, 3.0];
+        VecSumReducer.merge(&mut acc, vec![10.0, 20.0, 30.0]);
+        assert_eq!(acc, vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn vec_sum_rejects_mismatched_lengths() {
+        let mut acc = vec![1.0];
+        VecSumReducer.merge(&mut acc, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn fn_reducer_custom_merge() {
+        let r = FnReducer(|acc: &mut String, v: String| {
+            acc.push('|');
+            acc.push_str(&v);
+        });
+        let mut acc = "a".to_string();
+        r.merge(&mut acc, "b".to_string());
+        assert_eq!(acc, "a|b");
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential() {
+        let par = parallel_reduce(RegionConfig::new().threads(4), 0u64, &SumReducer, |tid| (tid as u64 + 1) * 11);
+        let seq = sequential_reduce(4, 0u64, &SumReducer, |tid| (tid as u64 + 1) * 11);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn parallel_reduce_min() {
+        let v =
+            parallel_reduce(RegionConfig::new().threads(3), i64::MAX, &MinReducer, |tid| 100 - tid as i64);
+        assert_eq!(v, 98);
+    }
+}

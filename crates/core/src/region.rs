@@ -1,0 +1,287 @@
+//! Parallel regions — the main source of parallelism (paper §III-A).
+//!
+//! A parallel region is the context of a method execution: when the master
+//! thread enters the region a team of threads is created, every thread
+//! executes the region body, and all of them implicitly synchronise when
+//! the body ends (paper Figure 9). This module is the runtime that the
+//! `ParallelRegion` aspect (crate `aomp-weaver`) and the `#[parallel]`
+//! annotation (crate `aomp-macros`) both dispatch into.
+
+use std::sync::Arc;
+
+use crate::ctx::{self, CtxGuard, TeamShared};
+use crate::runtime;
+
+/// Configuration of a parallel region — the Rust analogue of
+/// `@Parallel(threads = n)` / overriding `numThreads()` in a concrete
+/// aspect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionConfig {
+    threads: Option<usize>,
+    /// Allow creating a nested team when already inside a region.
+    /// Defaults to `true` (the library supports nested parallel regions,
+    /// paper §III-D); disable to serialise inner regions like OpenMP with
+    /// `OMP_NESTED=false`.
+    nested: Option<bool>,
+    /// OpenMP `if` clause: when `false` the region runs with one thread.
+    only_if: Option<bool>,
+}
+
+impl RegionConfig {
+    /// A region using the runtime default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the team size explicitly (`@Parallel(threads = n)`).
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a parallel region needs at least one thread");
+        self.threads = Some(n);
+        self
+    }
+
+    /// Control whether a region encountered inside another region creates
+    /// a real nested team (`true`, default) or runs with a team of one.
+    pub fn nested(mut self, nested: bool) -> Self {
+        self.nested = Some(nested);
+        self
+    }
+
+    /// OpenMP's `if` clause: parallelise only when `cond` is true —
+    /// typically a problem-size threshold (small inputs are not worth a
+    /// team spawn).
+    pub fn only_if(mut self, cond: bool) -> Self {
+        self.only_if = Some(cond);
+        self
+    }
+
+    fn resolve_threads(&self) -> usize {
+        let n = self.threads.unwrap_or_else(runtime::default_threads);
+        if !runtime::parallel_enabled() || self.only_if == Some(false) {
+            return 1;
+        }
+        if ctx::level() > 0 && !self.nested.unwrap_or(true) {
+            return 1;
+        }
+        n
+    }
+}
+
+/// Execute `body` as a parallel region with the default configuration.
+///
+/// Every thread of the new team runs `body` once; the call returns after
+/// all of them finished (the implicit join of paper Figure 9). Inside the
+/// body, [`ctx::thread_id`] yields the team-relative id.
+///
+/// If any team thread panics the team is poisoned (siblings blocked in
+/// team synchronisation unwind with
+/// [`TeamPoisoned`](crate::error::TeamPoisoned)) and the panic propagates
+/// to the caller.
+pub fn parallel<F>(body: F)
+where
+    F: Fn() + Sync,
+{
+    parallel_with(RegionConfig::default(), body)
+}
+
+/// Execute `body` as a parallel region with an explicit [`RegionConfig`].
+pub fn parallel_with<F>(cfg: RegionConfig, body: F)
+where
+    F: Fn() + Sync,
+{
+    let n = cfg.resolve_threads();
+    let level = ctx::level() + 1;
+    let shared = Arc::new(TeamShared::new(n, level));
+
+    if n == 1 {
+        // Sequential semantics: still push a (size-1) team context so
+        // constructs observe consistent `thread_id`/`team_size` values.
+        let _guard = CtxGuard::enter(shared, 0);
+        body();
+        return;
+    }
+
+    std::thread::scope(|scope| {
+        // Paper Figure 9: spawn n-1 workers; the master executes the body
+        // itself and then joins the spawned threads (done implicitly by
+        // `std::thread::scope`, which also re-raises their panics).
+        for tid in 1..n {
+            let shared = Arc::clone(&shared);
+            let body = &body;
+            std::thread::Builder::new()
+                .name(format!("aomp-l{}-t{tid}", shared.level))
+                .spawn_scoped(scope, move || {
+                    let _guard = CtxGuard::enter(shared, tid);
+                    body();
+                })
+                .expect("failed to spawn aomp team thread");
+        }
+        let _guard = CtxGuard::enter(Arc::clone(&shared), 0);
+        body();
+    });
+}
+
+/// Execute `body` on a team and collect each thread's return value,
+/// indexed by thread id. A convenience not present in OpenMP but natural
+/// in Rust; used by tests and by reductions.
+pub fn parallel_map<F, T>(cfg: RegionConfig, body: F) -> Vec<T>
+where
+    F: Fn(usize) -> T + Sync,
+    T: Send,
+{
+    use parking_lot::Mutex;
+    let n = cfg.resolve_threads();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    {
+        let results = &results;
+        let body = &body;
+        parallel_with(cfg, move || {
+            let tid = ctx::thread_id();
+            let v = body(tid);
+            *results[tid].lock() = Some(v);
+        });
+    }
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every team thread stores a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::{team_size, thread_id};
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn all_threads_execute_body() {
+        let count = AtomicUsize::new(0);
+        parallel_with(RegionConfig::new().threads(4), || {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn thread_ids_are_distinct_and_dense() {
+        let ids = StdMutex::new(HashSet::new());
+        parallel_with(RegionConfig::new().threads(6), || {
+            ids.lock().unwrap().insert(thread_id());
+        });
+        let ids = ids.into_inner().unwrap();
+        assert_eq!(ids, (0..6).collect::<HashSet<_>>());
+    }
+
+    #[test]
+    fn master_is_calling_thread() {
+        let master_seen = AtomicUsize::new(0);
+        let outer = std::thread::current().id();
+        parallel_with(RegionConfig::new().threads(3), || {
+            if thread_id() == 0 {
+                assert_eq!(std::thread::current().id(), outer);
+                master_seen.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(master_seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn single_thread_region_runs_inline() {
+        let flag = AtomicUsize::new(0);
+        parallel_with(RegionConfig::new().threads(1), || {
+            flag.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn region_sets_team_size() {
+        parallel_with(RegionConfig::new().threads(5), || {
+            assert_eq!(team_size(), 5);
+        });
+        assert_eq!(team_size(), 1);
+    }
+
+    #[test]
+    fn nested_regions_multiply() {
+        let count = AtomicUsize::new(0);
+        parallel_with(RegionConfig::new().threads(2), || {
+            parallel_with(RegionConfig::new().threads(3), || {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn nested_disabled_serialises_inner() {
+        let count = AtomicUsize::new(0);
+        parallel_with(RegionConfig::new().threads(2), || {
+            parallel_with(RegionConfig::new().threads(3).nested(false), || {
+                assert_eq!(team_size(), 1);
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn parallel_disabled_runs_sequentially() {
+        crate::runtime::set_parallel_enabled(false);
+        let count = AtomicUsize::new(0);
+        parallel_with(RegionConfig::new().threads(8), || {
+            assert_eq!(team_size(), 1);
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        crate::runtime::set_parallel_enabled(true);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn parallel_map_collects_by_tid() {
+        let v = parallel_map(RegionConfig::new().threads(4), |tid| tid * 10);
+        assert_eq!(v, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_with(RegionConfig::new().threads(2), || {
+                if thread_id() == 1 {
+                    panic!("worker exploded");
+                }
+                // Master waits at a team barrier; poison must unblock it.
+                crate::ctx::barrier();
+            });
+        });
+        assert!(result.is_err());
+        // The runtime must be usable again afterwards.
+        let count = AtomicUsize::new(0);
+        parallel_with(RegionConfig::new().threads(2), || {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn if_clause_serialises_when_false() {
+        let count = AtomicUsize::new(0);
+        parallel_with(RegionConfig::new().threads(4).only_if(false), || {
+            assert_eq!(team_size(), 1);
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        parallel_with(RegionConfig::new().threads(4).only_if(true), || {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = RegionConfig::new().threads(0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Global runtime configuration.
+//!
+//! Mirrors the OpenMP environment surface the paper relies on: the default
+//! team size (`OMP_NUM_THREADS` → `AOMP_NUM_THREADS`) and a process-wide
+//! kill switch that forces sequential execution (the paper's "programs can
+//! be valid if annotations for parallelisation are ignored").
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable controlling the default team size.
+pub const NUM_THREADS_ENV: &str = "AOMP_NUM_THREADS";
+
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+static PARALLEL_ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn env_default() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        if let Ok(v) = std::env::var(NUM_THREADS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Default number of threads a parallel region uses when neither the
+/// region configuration nor an aspect overrides it.
+///
+/// Resolution order: [`set_default_threads`] > `AOMP_NUM_THREADS` >
+/// `std::thread::available_parallelism()`.
+pub fn default_threads() -> usize {
+    let v = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if v == 0 {
+        env_default()
+    } else {
+        v
+    }
+}
+
+/// Override the process-wide default team size (like
+/// `omp_set_num_threads`). `n` must be at least 1.
+pub fn set_default_threads(n: usize) {
+    assert!(n >= 1, "default thread count must be >= 1");
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Globally disable or re-enable parallel execution.
+///
+/// With parallelism disabled every [`region::parallel`](crate::region::parallel)
+/// runs its body once on the calling thread — the sequential semantics the
+/// paper guarantees when aspects are unplugged. Useful for debugging and
+/// for verifying that a parallelisation did not change program results.
+pub fn set_parallel_enabled(enabled: bool) {
+    PARALLEL_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether parallel execution is globally enabled (default: `true`).
+pub fn parallel_enabled() -> bool {
+    PARALLEL_ENABLED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn set_default_threads_round_trips() {
+        // Note: global state; restore afterwards.
+        let before = default_threads();
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        set_default_threads(before.max(1));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn zero_default_rejected() {
+        set_default_threads(0);
+    }
+
+    #[test]
+    fn parallel_enabled_toggle() {
+        assert!(parallel_enabled());
+        set_parallel_enabled(false);
+        assert!(!parallel_enabled());
+        set_parallel_enabled(true);
+        assert!(parallel_enabled());
+    }
+}

@@ -1,0 +1,365 @@
+//! `@Task`, `@TaskWait`, `@FutureTask` and `@FutureResult`.
+//!
+//! The paper's `@Task` "spawns a new parallel activity to execute the
+//! annotated method" and can be used inside or outside parallel regions;
+//! an additional method acts as the join point between spawning and
+//! spawned activity (`@TaskWait`). `@FutureTask` targets methods with a
+//! return value: the result object's getter/setter act as synchronisation
+//! points (`@FutureResult`).
+//!
+//! Mapping: [`spawn`] creates a new activity (a thread, literally the
+//! paper's model); [`TaskGroup`] is the join point for `@TaskWait`;
+//! [`FutureTask`] is the future whose [`get`](FutureTask::get) is the
+//! `@FutureResult`-getter synchronisation point, backed by a hand-built
+//! one-shot channel.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One-shot rendezvous cell: written once by the producer, consumed once
+/// by `get`.
+enum ShotState<T> {
+    Empty,
+    Ready(T),
+    Taken,
+    /// Producer panicked before publishing.
+    Poisoned,
+}
+
+struct OneShot<T> {
+    state: Mutex<ShotState<T>>,
+    cv: Condvar,
+}
+
+impl<T> OneShot<T> {
+    fn new() -> Self {
+        Self { state: Mutex::new(ShotState::Empty), cv: Condvar::new() }
+    }
+
+    fn publish(&self, v: T) {
+        let mut s = self.state.lock();
+        debug_assert!(matches!(*s, ShotState::Empty));
+        *s = ShotState::Ready(v);
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    fn poison(&self) {
+        let mut s = self.state.lock();
+        if matches!(*s, ShotState::Empty) {
+            *s = ShotState::Poisoned;
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    fn take(&self) -> T {
+        let mut s = self.state.lock();
+        loop {
+            match std::mem::replace(&mut *s, ShotState::Taken) {
+                ShotState::Ready(v) => return v,
+                ShotState::Empty => {
+                    *s = ShotState::Empty;
+                    self.cv.wait(&mut s);
+                }
+                ShotState::Poisoned => panic!("aomp future task panicked before producing a result"),
+                ShotState::Taken => panic!("aomp future result consumed twice"),
+            }
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        matches!(*self.state.lock(), ShotState::Ready(_) | ShotState::Poisoned)
+    }
+}
+
+/// Spawn a detached parallel activity executing `f` — `@Task` without a
+/// join point. Prefer [`TaskGroup::spawn`] when completion must be
+/// awaited.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name("aomp-task".into())
+        .spawn(f)
+        .expect("failed to spawn aomp task");
+}
+
+/// Spawn an activity computing a value — `@FutureTask`. The returned
+/// [`FutureTask`] is the `@FutureResult` object.
+pub fn spawn_future<T, F>(f: F) -> FutureTask<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let shot = Arc::new(OneShot::new());
+    let shot2 = Arc::clone(&shot);
+    std::thread::Builder::new()
+        .name("aomp-future-task".into())
+        .spawn(move || {
+            // Poison the cell if `f` unwinds so `get` fails loudly instead
+            // of blocking forever.
+            struct Guard<T>(Arc<OneShot<T>>, bool);
+            impl<T> Drop for Guard<T> {
+                fn drop(&mut self) {
+                    if !self.1 {
+                        self.0.poison();
+                    }
+                }
+            }
+            let mut guard = Guard(shot2, false);
+            let v = f();
+            guard.0.publish(v);
+            guard.1 = true;
+        })
+        .expect("failed to spawn aomp future task");
+    FutureTask { shot }
+}
+
+/// Handle to a value being computed by a spawned activity
+/// (`@FutureTask`). [`get`](Self::get) blocks until the value is set —
+/// the `@FutureResult` getter synchronisation point.
+#[derive(Debug)]
+pub struct FutureTask<T> {
+    shot: Arc<OneShot<T>>,
+}
+
+impl<T> std::fmt::Debug for OneShot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match *self.state.lock() {
+            ShotState::Empty => "Empty",
+            ShotState::Ready(_) => "Ready",
+            ShotState::Taken => "Taken",
+            ShotState::Poisoned => "Poisoned",
+        };
+        write!(f, "OneShot({s})")
+    }
+}
+
+impl<T> FutureTask<T> {
+    /// Block until the producing activity publishes the value, then take
+    /// it. Panics if the producer panicked.
+    pub fn get(self) -> T {
+        self.shot.take()
+    }
+
+    /// True when the value is available (or the producer failed) and
+    /// [`get`](Self::get) would not block.
+    pub fn is_ready(&self) -> bool {
+        self.shot.is_ready()
+    }
+}
+
+/// A manually-created future: the `@FutureResult` setter/getter pair
+/// without a spawning activity. `promise()` gives the setter side.
+pub fn future_pair<T: Send>() -> (FuturePromise<T>, FutureTask<T>) {
+    let shot = Arc::new(OneShot::new());
+    (FuturePromise { shot: Arc::clone(&shot) }, FutureTask { shot })
+}
+
+/// Setter side of a [`future_pair`] — the `@FutureResult` setter
+/// synchronisation point.
+#[derive(Debug)]
+pub struct FuturePromise<T> {
+    shot: Arc<OneShot<T>>,
+}
+
+impl<T> FuturePromise<T> {
+    /// Publish the value, releasing all `get` waiters.
+    pub fn set(self, v: T) {
+        self.shot.publish(v);
+    }
+}
+
+impl<T> Drop for FuturePromise<T> {
+    fn drop(&mut self) {
+        // If set() consumed self, state is Ready/Taken and poison is a
+        // no-op; if the promise is dropped unfulfilled, wake getters.
+        self.shot.poison();
+    }
+}
+
+/// Inner state of a [`TaskGroup`].
+#[derive(Default)]
+struct GroupState {
+    outstanding: AtomicUsize,
+    failed: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// A join point between spawning and spawned activities — `@TaskWait`.
+///
+/// Tasks spawned through the group are counted; [`wait`](Self::wait)
+/// blocks until all of them completed and panics if any of them panicked.
+#[derive(Clone, Default)]
+pub struct TaskGroup {
+    state: Arc<GroupState>,
+}
+
+impl std::fmt::Debug for TaskGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskGroup")
+            .field("outstanding", &self.state.outstanding.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TaskGroup {
+    /// New, empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawn `f` as a new activity tracked by this group (`@Task` with a
+    /// join point).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let state = Arc::clone(&self.state);
+        state.outstanding.fetch_add(1, Ordering::AcqRel);
+        std::thread::Builder::new()
+            .name("aomp-task".into())
+            .spawn(move || {
+                let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_ok();
+                if !ok {
+                    state.failed.store(true, Ordering::Release);
+                }
+                let prev = state.outstanding.fetch_sub(1, Ordering::AcqRel);
+                if prev == 1 {
+                    let _g = state.lock.lock();
+                    drop(_g);
+                    state.cv.notify_all();
+                }
+            })
+            .expect("failed to spawn aomp task");
+    }
+
+    /// Number of not-yet-finished tasks.
+    pub fn outstanding(&self) -> usize {
+        self.state.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Block until every task spawned so far has finished — `@TaskWait`.
+    /// Panics if any task panicked.
+    pub fn wait(&self) {
+        let mut g = self.state.lock.lock();
+        while self.state.outstanding.load(Ordering::Acquire) != 0 {
+            self.state.cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        }
+        drop(g);
+        if self.state.failed.swap(false, Ordering::AcqRel) {
+            panic!("aomp task group: a task panicked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn task_group_waits_for_all() {
+        let group = TaskGroup::new();
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 0..8u64 {
+            let sum = Arc::clone(&sum);
+            group.spawn(move || {
+                sum.fetch_add(i, Ordering::SeqCst);
+            });
+        }
+        group.wait();
+        assert_eq!(sum.load(Ordering::SeqCst), (0..8).sum::<u64>());
+        assert_eq!(group.outstanding(), 0);
+    }
+
+    #[test]
+    fn task_group_reusable_after_wait() {
+        let group = TaskGroup::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        for _round in 0..3 {
+            for _ in 0..4 {
+                let hits = Arc::clone(&hits);
+                group.spawn(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            group.wait();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn future_task_returns_value() {
+        let fut = spawn_future(|| 6 * 7);
+        assert_eq!(fut.get(), 42);
+    }
+
+    #[test]
+    fn future_task_many_producers() {
+        let futures: Vec<FutureTask<u64>> = (0..10u64).map(|i| spawn_future(move || i * i)).collect();
+        let total: u64 = futures.into_iter().map(|f| f.get()).sum();
+        assert_eq!(total, (0..10u64).map(|i| i * i).sum::<u64>());
+    }
+
+    #[test]
+    fn future_pair_set_get() {
+        let (promise, fut) = future_pair::<&'static str>();
+        let t = std::thread::spawn(move || fut.get());
+        promise.set("done");
+        assert_eq!(t.join().unwrap(), "done");
+    }
+
+    #[test]
+    fn future_task_panics_propagate_to_get() {
+        let fut = spawn_future(|| -> u32 { panic!("producer dies") });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.get()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn dropped_promise_poisons_future() {
+        let (promise, fut) = future_pair::<u32>();
+        drop(promise);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.get()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn task_group_wait_panics_if_task_failed() {
+        let group = TaskGroup::new();
+        group.spawn(|| panic!("task dies"));
+        let g2 = group.clone();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g2.wait()));
+        assert!(r.is_err());
+        // Group must be reusable after the failure was reported.
+        group.spawn(|| {});
+        group.wait();
+    }
+
+    #[test]
+    fn is_ready_transitions() {
+        let (promise, fut) = future_pair::<u8>();
+        assert!(!fut.is_ready());
+        promise.set(1);
+        assert!(fut.is_ready());
+        assert_eq!(fut.get(), 1);
+    }
+
+    #[test]
+    fn detached_spawn_runs() {
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&flag);
+        spawn(move || {
+            f2.store(7, Ordering::SeqCst);
+        });
+        while flag.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+    }
+}

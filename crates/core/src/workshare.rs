@@ -1,0 +1,451 @@
+//! The `@For` work-sharing construct and `@Ordered` sections.
+//!
+//! A *for method* exposes its loop bounds as the first three integer
+//! parameters `(start, end, step)` (paper §III-A). A [`ForConstruct`]
+//! intercepts the call on every team thread and rewrites the range
+//! according to its [`Schedule`]:
+//!
+//! * static block — paper Figure 10: call once with this thread's block;
+//! * static cyclic — call once with `(start + tid*step, end, step*n)`;
+//! * dynamic / guided — paper Figure 11: repeatedly pull chunks from a
+//!   shared dispenser and call the body per chunk, then meet at a team
+//!   barrier (Figure 11's trailing `// call barrier`).
+//!
+//! Outside a parallel region the body runs once with the original range —
+//! sequential semantics.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::time::Duration;
+
+use crate::ctx::{self, fresh_key};
+use crate::range::LoopRange;
+use crate::schedule::{self, Schedule};
+
+const PARK_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// Shared dispenser for [`Schedule::Dynamic`]: the paper Figure 11
+/// `getTask()` counter.
+#[derive(Default)]
+struct DynState {
+    next: AtomicU64,
+}
+
+/// Shared dispenser for [`Schedule::Guided`].
+#[derive(Default)]
+struct GuidedState {
+    remaining: Mutex<Option<u64>>,
+}
+
+impl GuidedState {
+    /// Take the next chunk as logical iterations `[lo, hi)`.
+    fn take(&self, count: u64, n: usize, min_chunk: u64) -> Option<(u64, u64)> {
+        let mut g = self.remaining.lock();
+        let rem = g.get_or_insert(count);
+        if *rem == 0 {
+            return None;
+        }
+        let c = schedule::guided_chunk(*rem, n, min_chunk);
+        let lo = count - *rem;
+        *rem -= c;
+        Some((lo, lo + c))
+    }
+}
+
+/// Shared sequencing state for ordered sections.
+#[derive(Default)]
+struct OrderedState {
+    next: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl OrderedState {
+    fn enter(&self, ticket: u64, poison_check: impl Fn()) {
+        let mut next = self.next.lock();
+        while *next != ticket {
+            poison_check();
+            self.cv.wait_for(&mut next, PARK_TIMEOUT);
+        }
+    }
+
+    fn exit(&self, ticket: u64) {
+        let mut next = self.next.lock();
+        debug_assert_eq!(*next, ticket);
+        *next = ticket + 1;
+        drop(next);
+        self.cv.notify_all();
+    }
+}
+
+/// A `@For` work-sharing construct bound to one for method.
+///
+/// Create one handle per annotated for method (the attribute macro and the
+/// library aspects do this for you) and call [`execute`](Self::execute) in
+/// place of the original loop body invocation.
+#[derive(Debug)]
+pub struct ForConstruct {
+    key: u64,
+    schedule: Schedule,
+    nowait: bool,
+}
+
+impl ForConstruct {
+    /// A for construct with the given schedule. Dynamic and guided
+    /// schedules end with a team barrier (paper Figure 11) unless
+    /// [`nowait`](Self::nowait) is set; static schedules do not barrier —
+    /// the paper's LUFact adds explicit `@BarrierAfter` where needed.
+    pub fn new(schedule: Schedule) -> Self {
+        Self { key: fresh_key(), schedule, nowait: false }
+    }
+
+    /// Suppress the trailing team barrier of dynamic/guided schedules.
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// The schedule this construct applies.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Run the for method body over `range`, split across the team.
+    ///
+    /// `body(lo, hi, step)` must iterate exactly
+    /// `for (i = lo; step > 0 ? i < hi : i > hi; i += step)` — i.e. treat
+    /// its three arguments exactly as the original sequential loop did.
+    /// The body may be invoked multiple times (chunked schedules).
+    pub fn execute<F>(&self, range: LoopRange, mut body: F)
+    where
+        F: FnMut(i64, i64, i64),
+    {
+        self.execute_scoped(range, |r, _scope| body(r.start, r.end, r.step));
+    }
+
+    /// Like [`execute`](Self::execute) but the body also receives a
+    /// [`ForScope`] giving access to ordered sections and the logical
+    /// iteration numbering. Used by `@Ordered` (only supported within the
+    /// calling context of a for method, per paper §III-C).
+    pub fn execute_scoped<F>(&self, range: LoopRange, mut body: F)
+    where
+        F: FnMut(LoopRange, &ForScope<'_>),
+    {
+        ctx::with_current(|c| match c {
+            None => {
+                let scope = ForScope { full: range, shared: None };
+                body(range, &scope);
+            }
+            Some(c) => {
+                let n = c.shared.n;
+                let tid = c.tid;
+                if n == 1 {
+                    let round = c.next_round(self.key);
+                    let ordered = c.shared.slot::<OrderedState>(self.key, round);
+                    let scope =
+                        ForScope { full: range, shared: Some(ScopeShared { team: c, ordered: &ordered }) };
+                    body(range, &scope);
+                    c.shared.detach_slot(self.key, round);
+                    return;
+                }
+                let round = c.next_round(self.key);
+                let count = range.count();
+                // Ordered sequencing state is shared by every schedule.
+                let ordered = c.shared.slot::<OrderedState>(self.key, round);
+                let scope_shared = ScopeShared { team: c, ordered: &ordered };
+
+                match self.schedule {
+                    Schedule::StaticBlock => {
+                        let sub = schedule::static_block_range(range, tid, n);
+                        let scope = ForScope { full: range, shared: Some(scope_shared) };
+                        if !sub.is_empty() {
+                            body(sub, &scope);
+                        }
+                    }
+                    Schedule::StaticCyclic => {
+                        let sub = schedule::static_cyclic_range(range, tid, n);
+                        let scope = ForScope { full: range, shared: Some(scope_shared) };
+                        if !sub.is_empty() {
+                            body(sub, &scope);
+                        }
+                    }
+                    Schedule::Dynamic { chunk } => {
+                        let chunk = chunk.max(1);
+                        let dyn_state = c.shared.slot::<DynState>(self.key ^ DYN_KEY_SALT, round);
+                        let scope = ForScope { full: range, shared: Some(scope_shared) };
+                        loop {
+                            let lo = dyn_state.next.fetch_add(chunk, AtomicOrdering::Relaxed);
+                            if lo >= count {
+                                break;
+                            }
+                            let hi = (lo + chunk).min(count);
+                            body(range.slice_iters(lo, hi), &scope);
+                        }
+                        c.shared.detach_slot(self.key ^ DYN_KEY_SALT, round);
+                        if !self.nowait {
+                            c.shared.barrier.wait_poisonable(&c.shared.poisoned);
+                        }
+                    }
+                    Schedule::BlockCyclic { chunk } => {
+                        let chunk = chunk.max(1);
+                        let scope = ForScope { full: range, shared: Some(scope_shared) };
+                        for (lo, hi) in schedule::block_cyclic_iters(count, chunk, tid, n) {
+                            body(range.slice_iters(lo, hi), &scope);
+                        }
+                    }
+                    Schedule::Guided { min_chunk } => {
+                        let gstate = c.shared.slot::<GuidedState>(self.key ^ DYN_KEY_SALT, round);
+                        let scope = ForScope { full: range, shared: Some(scope_shared) };
+                        while let Some((lo, hi)) = gstate.take(count, n, min_chunk.max(1)) {
+                            body(range.slice_iters(lo, hi), &scope);
+                        }
+                        c.shared.detach_slot(self.key ^ DYN_KEY_SALT, round);
+                        if !self.nowait {
+                            c.shared.barrier.wait_poisonable(&c.shared.poisoned);
+                        }
+                    }
+                }
+                c.shared.detach_slot(self.key, round);
+            }
+        });
+    }
+}
+
+impl Default for ForConstruct {
+    fn default() -> Self {
+        Self::new(Schedule::StaticBlock)
+    }
+}
+
+/// Salt distinguishing the dispenser slot from the ordered slot of the
+/// same construct occurrence.
+const DYN_KEY_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+struct ScopeShared<'a> {
+    team: &'a std::rc::Rc<crate::ctx::TeamCtx>,
+    ordered: &'a OrderedState,
+}
+
+/// Per-encounter handle passed to [`ForConstruct::execute_scoped`]
+/// bodies: ordered sections and iteration bookkeeping.
+pub struct ForScope<'a> {
+    full: LoopRange,
+    shared: Option<ScopeShared<'a>>,
+}
+
+impl ForScope<'_> {
+    /// The complete (unsplit) iteration range of this for encounter.
+    pub fn full_range(&self) -> LoopRange {
+        self.full
+    }
+
+    /// Logical iteration number (0-based, in sequential order) of loop
+    /// element `i`.
+    pub fn iteration_of(&self, i: i64) -> u64 {
+        debug_assert_eq!((i - self.full.start) % self.full.step, 0);
+        ((i - self.full.start) / self.full.step) as u64
+    }
+
+    /// Execute `f` as an `@Ordered` section for loop element `i`:
+    /// sections run in sequential iteration order across the whole team.
+    /// Every iteration of the loop must execute exactly one ordered
+    /// section (OpenMP's rule, which the paper inherits).
+    pub fn ordered<R>(&self, i: i64, f: impl FnOnce() -> R) -> R {
+        let ticket = self.iteration_of(i);
+        match &self.shared {
+            None => f(),
+            Some(s) => {
+                s.ordered.enter(ticket, || s.team.shared.check_poison());
+                let r = f();
+                s.ordered.exit(ticket);
+                r
+            }
+        }
+    }
+}
+
+/// A standalone ordered sequencer: closures run in ascending ticket order
+/// `0, 1, 2, …` regardless of which thread submits them. The `@Ordered`
+/// support for code outside for methods.
+#[derive(Debug, Default)]
+pub struct Ordered {
+    state: OrderedState,
+}
+
+impl std::fmt::Debug for OrderedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderedState").field("next", &*self.next.lock()).finish()
+    }
+}
+
+impl Ordered {
+    /// New sequencer expecting tickets from 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Block until all tickets below `ticket` have completed, run `f`,
+    /// then release `ticket + 1`.
+    pub fn run<R>(&self, ticket: u64, f: impl FnOnce() -> R) -> R {
+        self.state.enter(ticket, || {
+            ctx::with_current(|c| {
+                if let Some(c) = c {
+                    c.shared.check_poison()
+                }
+            })
+        });
+        let r = f();
+        self.state.exit(ticket);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{parallel_with, RegionConfig};
+    use parking_lot::Mutex as PlMutex;
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    fn run_for(schedule: Schedule, threads: usize, range: LoopRange) -> Vec<i64> {
+        let seen = PlMutex::new(Vec::new());
+        let for_c = ForConstruct::new(schedule);
+        parallel_with(RegionConfig::new().threads(threads), || {
+            for_c.execute(range, |lo, hi, step| {
+                let mut local = Vec::new();
+                for i in LoopRange::new(lo, hi, step).iter() {
+                    local.push(i);
+                }
+                seen.lock().extend(local);
+            });
+        });
+        let mut v = seen.into_inner();
+        v.sort_unstable();
+        v
+    }
+
+    fn expect(range: LoopRange) -> Vec<i64> {
+        let mut v: Vec<i64> = range.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn static_block_covers_range() {
+        let r = LoopRange::new(0, 101, 1);
+        assert_eq!(run_for(Schedule::StaticBlock, 4, r), expect(r));
+    }
+
+    #[test]
+    fn static_cyclic_covers_range() {
+        let r = LoopRange::new(3, 50, 2);
+        assert_eq!(run_for(Schedule::StaticCyclic, 3, r), expect(r));
+    }
+
+    #[test]
+    fn dynamic_covers_range() {
+        let r = LoopRange::new(0, 57, 1);
+        assert_eq!(run_for(Schedule::Dynamic { chunk: 4 }, 4, r), expect(r));
+    }
+
+    #[test]
+    fn guided_covers_range() {
+        let r = LoopRange::new(0, 230, 1);
+        assert_eq!(run_for(Schedule::GUIDED, 4, r), expect(r));
+    }
+
+    #[test]
+    fn empty_range_runs_nothing() {
+        for s in [Schedule::StaticBlock, Schedule::StaticCyclic, Schedule::DYNAMIC] {
+            assert!(run_for(s, 3, LoopRange::new(5, 5, 1)).is_empty());
+        }
+    }
+
+    #[test]
+    fn negative_step_covers_range() {
+        let r = LoopRange::new(40, -1, -3);
+        assert_eq!(run_for(Schedule::StaticBlock, 3, r), expect(r));
+        assert_eq!(run_for(Schedule::StaticCyclic, 3, r), expect(r));
+        assert_eq!(run_for(Schedule::Dynamic { chunk: 2 }, 3, r), expect(r));
+    }
+
+    #[test]
+    fn sequential_fallback_runs_once_with_full_range() {
+        let for_c = ForConstruct::new(Schedule::DYNAMIC);
+        let calls = AtomicI64::new(0);
+        for_c.execute(LoopRange::upto(0, 10), |lo, hi, step| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!((lo, hi, step), (0, 10, 1));
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn repeated_encounters_get_fresh_dispensers() {
+        // A for method called in a loop inside one region (the LUFact
+        // pattern: dgefa calls reduceAllCols once per column).
+        let for_c = ForConstruct::new(Schedule::Dynamic { chunk: 2 });
+        let sum = AtomicI64::new(0);
+        parallel_with(RegionConfig::new().threads(3), || {
+            for _pass in 0..5 {
+                for_c.execute(LoopRange::upto(0, 20), |lo, hi, step| {
+                    let mut s = 0;
+                    for i in LoopRange::new(lo, hi, step).iter() {
+                        s += i;
+                    }
+                    sum.fetch_add(s, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 5 * (0..20).sum::<i64>());
+    }
+
+    #[test]
+    fn ordered_sections_run_in_iteration_order() {
+        let for_c = ForConstruct::new(Schedule::StaticCyclic);
+        let log = PlMutex::new(Vec::new());
+        parallel_with(RegionConfig::new().threads(4), || {
+            for_c.execute_scoped(LoopRange::upto(0, 32), |sub, scope| {
+                for i in sub.iter() {
+                    scope.ordered(i, || log.lock().push(i));
+                }
+            });
+        });
+        assert_eq!(log.into_inner(), (0..32).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn ordered_with_dynamic_schedule() {
+        let for_c = ForConstruct::new(Schedule::Dynamic { chunk: 3 });
+        let log = PlMutex::new(Vec::new());
+        parallel_with(RegionConfig::new().threads(3), || {
+            for_c.execute_scoped(LoopRange::upto(0, 20), |sub, scope| {
+                for i in sub.iter() {
+                    scope.ordered(i, || log.lock().push(i));
+                }
+            });
+        });
+        assert_eq!(log.into_inner(), (0..20).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn standalone_ordered_sequences_tickets() {
+        let ord = Ordered::new();
+        let log = PlMutex::new(Vec::new());
+        parallel_with(RegionConfig::new().threads(4), || {
+            let t = crate::ctx::thread_id() as u64;
+            // Submit in reverse thread order to stress the sequencing.
+            ord.run(t, || log.lock().push(t));
+        });
+        assert_eq!(log.into_inner(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scope_iteration_of_maps_elements() {
+        let for_c = ForConstruct::new(Schedule::StaticBlock);
+        for_c.execute_scoped(LoopRange::new(10, 30, 5), |_sub, scope| {
+            assert_eq!(scope.iteration_of(10), 0);
+            assert_eq!(scope.iteration_of(25), 3);
+            assert_eq!(scope.full_range(), LoopRange::new(10, 30, 5));
+        });
+    }
+}

@@ -1,0 +1,147 @@
+//! Level-synchronous breadth-first search.
+//!
+//! The base program is a textbook frontier loop; each level's expansion
+//! is a for method (`Graph.bfs.expand`) and the next-frontier collection
+//! is a master point — so a deployed aspect turns it into the classic
+//! parallel BFS (dynamic chunks over the frontier, barrier, master
+//! merge) without touching this file's logic.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use aomp::prelude::*;
+use aomp_weaver::prelude::*;
+use parking_lot::Mutex;
+
+use crate::graph::CsrGraph;
+
+/// Unreached marker in the level array.
+pub const UNREACHED: i64 = -1;
+
+/// The aspect parallelising [`run`]: dynamic for over the frontier with
+/// a trailing barrier, master-only frontier collection.
+pub fn aspect(threads: usize) -> AspectModule {
+    AspectModule::builder("ParallelBfs")
+        .bind(Pointcut::call("Graph.bfs.run"), Mechanism::parallel().threads(threads))
+        .bind(Pointcut::call("Graph.bfs.expand"), Mechanism::for_loop(Schedule::Dynamic { chunk: 64 }))
+        .bind(Pointcut::call("Graph.bfs.expand"), Mechanism::barrier_after())
+        .bind(Pointcut::call("Graph.bfs.collect"), Mechanism::master())
+        .bind(Pointcut::call("Graph.bfs.collect"), Mechanism::barrier_after())
+        .build()
+}
+
+struct BfsState<'a> {
+    g: &'a CsrGraph,
+    levels: Vec<AtomicI64>,
+    discovered: ThreadLocalField<Vec<u32>>,
+    frontier: Mutex<Vec<u32>>,
+}
+
+/// BFS levels from `source`; `UNREACHED` for unreachable vertices.
+/// Deterministic under any team size (claims are atomic; the next
+/// frontier is sorted).
+pub fn run(g: &CsrGraph, source: usize) -> Vec<i64> {
+    let n = g.vertices();
+    let state = BfsState {
+        g,
+        levels: (0..n).map(|_| AtomicI64::new(UNREACHED)).collect(),
+        discovered: ThreadLocalField::new(Vec::new()),
+        frontier: Mutex::new(vec![source as u32]),
+    };
+    state.levels[source].store(0, Ordering::Relaxed);
+
+    aomp_weaver::call("Graph.bfs.run", || {
+        let mut level = 0i64;
+        loop {
+            let frontier_len = state.frontier.lock().len();
+            if frontier_len == 0 {
+                break;
+            }
+            // Expand the current frontier (work-shared by the aspect).
+            aomp_weaver::call_for("Graph.bfs.expand", LoopRange::upto(0, frontier_len as i64), |lo, hi, step| {
+                let frontier = state.frontier.lock().clone();
+                let mut i = lo;
+                while i < hi {
+                    let v = frontier[i as usize] as usize;
+                    for &w in state.g.neighbours(v) {
+                        // Atomic claim: first visitor sets the level.
+                        if state.levels[w as usize]
+                            .compare_exchange(UNREACHED, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            state.discovered.update_or_init(Vec::new, |d| d.push(w));
+                        }
+                    }
+                    i += step;
+                }
+            });
+            // Master collects the next frontier from the thread-local
+            // buffers (sorted for determinism).
+            aomp_weaver::call("Graph.bfs.collect", || {
+                let mut next: Vec<u32> = state.discovered.drain_locals().into_iter().flatten().collect();
+                next.sort_unstable();
+                *state.frontier.lock() = next;
+            });
+            level += 1;
+        }
+    });
+    state.levels.into_iter().map(|l| l.into_inner()).collect()
+}
+
+/// Sequential reference BFS for validation.
+pub fn reference(g: &CsrGraph, source: usize) -> Vec<i64> {
+    let mut levels = vec![UNREACHED; g.vertices()];
+    let mut frontier = vec![source as u32];
+    levels[source] = 0;
+    let mut level = 0;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in g.neighbours(v as usize) {
+                if levels[w as usize] == UNREACHED {
+                    levels[w as usize] = level + 1;
+                    next.push(w);
+                }
+            }
+        }
+        next.sort_unstable();
+        frontier = next;
+        level += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    #[test]
+    fn bfs_on_a_path_graph() {
+        let g = CsrGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(run(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(run(&g, 3), vec![UNREACHED, UNREACHED, UNREACHED, 0]);
+    }
+
+    #[test]
+    fn parallel_bfs_matches_reference() {
+        for kind in [GraphKind::Uniform, GraphKind::PowerLaw] {
+            let g = CsrGraph::generate(kind, 500, 4, 11);
+            let expect = reference(&g, 0);
+            // Unwoven (sequential semantics).
+            assert_eq!(run(&g, 0), expect, "{kind:?} unwoven");
+            // Woven on several team sizes.
+            for t in [2usize, 4] {
+                let got = Weaver::global().with_deployed(aspect(t), || run(&g, 0));
+                assert_eq!(got, expect, "{kind:?} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreached() {
+        let g = CsrGraph::from_edges(5, vec![(0, 1), (3, 4)]);
+        let levels = run(&g, 0);
+        assert_eq!(levels[3], UNREACHED);
+        assert_eq!(levels[4], UNREACHED);
+    }
+}

@@ -1,0 +1,143 @@
+//! The CSR graph substrate and deterministic generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kinds of synthetic graphs the generator produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Uniform random (Erdős–Rényi-ish): balanced degrees.
+    Uniform,
+    /// Power-law-ish (preferential attachment flavour): a few hubs with
+    /// huge degree — the irregular case that breaks naive schedules.
+    PowerLaw,
+}
+
+/// A directed graph in compressed-sparse-row form.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// `adj[row_ptr[v] .. row_ptr[v+1]]` are v's out-neighbours.
+    pub row_ptr: Vec<usize>,
+    /// Flattened adjacency.
+    pub adj: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Out-neighbours of `v`.
+    #[inline]
+    pub fn neighbours(&self, v: usize) -> &[u32] {
+        &self.adj[self.row_ptr[v]..self.row_ptr[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.row_ptr[v + 1] - self.row_ptr[v]
+    }
+
+    /// Build from an edge list (deduplicated, self-loops dropped).
+    pub fn from_edges(n: usize, mut edges: Vec<(u32, u32)>) -> CsrGraph {
+        edges.retain(|(a, b)| a != b);
+        edges.sort_unstable();
+        edges.dedup();
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(a, _) in &edges {
+            row_ptr[a as usize + 1] += 1;
+        }
+        for v in 0..n {
+            row_ptr[v + 1] += row_ptr[v];
+        }
+        let adj = edges.into_iter().map(|(_, b)| b).collect();
+        CsrGraph { row_ptr, adj }
+    }
+
+    /// Deterministic synthetic graph with ~`avg_degree` out-edges per
+    /// vertex.
+    pub fn generate(kind: GraphKind, n: usize, avg_degree: usize, seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = n * avg_degree;
+        let mut edges = Vec::with_capacity(m);
+        match kind {
+            GraphKind::Uniform => {
+                for _ in 0..m {
+                    edges.push((rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32));
+                }
+            }
+            GraphKind::PowerLaw => {
+                // Quadratic skew towards low vertex ids: vertex 0 becomes
+                // a heavy hub, the tail stays sparse.
+                for _ in 0..m {
+                    let skew = |r: &mut StdRng| {
+                        let u: f64 = r.gen_range(0.0..1.0);
+                        ((u * u) * n as f64) as usize % n
+                    };
+                    edges.push((skew(&mut rng) as u32, rng.gen_range(0..n) as u32));
+                }
+            }
+        }
+        CsrGraph::from_edges(n, edges)
+    }
+
+    /// The graph with every edge reversed (used by PageRank's pull
+    /// formulation).
+    pub fn transpose(&self) -> CsrGraph {
+        let n = self.vertices();
+        let mut edges = Vec::with_capacity(self.edges());
+        for v in 0..n {
+            for &w in self.neighbours(v) {
+                edges.push((w, v as u32));
+            }
+        }
+        CsrGraph::from_edges(n, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_sorted_csr() {
+        let g = CsrGraph::from_edges(4, vec![(2, 1), (0, 1), (0, 3), (2, 0), (1, 1)]);
+        assert_eq!(g.vertices(), 4);
+        assert_eq!(g.neighbours(0), &[1, 3]);
+        assert_eq!(g.neighbours(1), &[] as &[u32]); // self-loop dropped
+        assert_eq!(g.neighbours(2), &[0, 1]);
+        assert_eq!(g.edges(), 4);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = CsrGraph::generate(GraphKind::Uniform, 100, 4, 7);
+        let b = CsrGraph::generate(GraphKind::Uniform, 100, 4, 7);
+        assert_eq!(a.adj, b.adj);
+        assert!(a.edges() > 300);
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let g = CsrGraph::generate(GraphKind::PowerLaw, 1000, 8, 3);
+        let max_deg = (0..g.vertices()).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.edges() as f64 / g.vertices() as f64;
+        assert!(max_deg as f64 > avg * 5.0, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn transpose_preserves_edge_count_and_reverses() {
+        let g = CsrGraph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]);
+        let t = g.transpose();
+        assert_eq!(t.edges(), g.edges());
+        assert_eq!(t.neighbours(1), &[0]);
+        assert_eq!(t.neighbours(2), &[0, 1]);
+    }
+}

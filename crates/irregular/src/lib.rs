@@ -1,0 +1,31 @@
+//! # aomp-irregular — graph algorithms over AOmp aspects
+//!
+//! The paper's conclusion names "the investigation of the feasibility of
+//! this approach in more irregular algorithms (e.g., graph based)" as
+//! current work (§VII). This crate carries that direction out: a CSR
+//! graph substrate plus three classic irregular kernels, each written as
+//! a plain sequential base program with join points, parallelised by
+//! pluggable aspect modules:
+//!
+//! * [`bfs`] — level-synchronous breadth-first search (dynamic for over
+//!   the frontier + barriers);
+//! * [`pagerank`] — power iteration (block for + master-reduced error);
+//! * [`components`] — connected components by label propagation
+//!   (fixpoint loop with a master-broadcast convergence flag);
+//! * [`triangles`] — triangle counting, the schedule-ablation workhorse:
+//!   its per-vertex cost is wildly skewed, so the crate ships a
+//!   degree-balanced *case-specific* schedule (a [`CustomAdvice`]) and a
+//!   test/bench matrix comparing it against the library schedules.
+//!
+//! [`CustomAdvice`]: aomp_weaver::CustomAdvice
+
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod components;
+pub mod graph;
+pub mod pagerank;
+pub mod triangles;
+
+pub use graph::{CsrGraph, GraphKind};

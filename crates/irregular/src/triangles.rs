@@ -1,0 +1,288 @@
+//! Triangle counting — the schedule ablation workhorse.
+//!
+//! The kernel orients each undirected edge from the lower-degree to the
+//! higher-degree endpoint and counts, per vertex, the adjacency
+//! intersections among its out-neighbours. Cost per vertex is roughly
+//! deg(v)², so on a power-law graph a block schedule is catastrophically
+//! imbalanced — which is exactly why the paper keeps case-specific
+//! schedules pluggable. [`DegreeBalancedSchedule`] is that case-specific
+//! aspect: it splits vertices at equal Σdeg² boundaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aomp::ctx;
+use aomp::prelude::*;
+use aomp_weaver::prelude::*;
+
+use crate::graph::CsrGraph;
+
+/// Orient an (implicitly undirected) graph: each edge appears once,
+/// pointing from the endpoint with smaller (degree, id) to the larger —
+/// the standard preprocessing that bounds per-vertex work.
+pub fn orient(g: &CsrGraph) -> CsrGraph {
+    let n = g.vertices();
+    // Total (in+out) degree as the ranking.
+    let mut total_deg = vec![0usize; n];
+    for v in 0..n {
+        total_deg[v] += g.degree(v);
+        for &w in g.neighbours(v) {
+            total_deg[w as usize] += 1;
+        }
+    }
+    let rank = |v: usize| (total_deg[v], v);
+    let mut edges = Vec::with_capacity(g.edges());
+    for v in 0..n {
+        for &w in g.neighbours(v) {
+            let w = w as usize;
+            let (a, b) = if rank(v) < rank(w) { (v, w) } else { (w, v) };
+            edges.push((a as u32, b as u32));
+        }
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+/// The case-specific schedule: split the vertex range at equal Σdeg²
+/// boundaries of the *oriented* graph (the paper's `CS` aspect idiom;
+/// compare Sparse's nnz-balanced ranges).
+pub struct DegreeBalancedSchedule {
+    /// Prefix sums of deg(v)² + 1.
+    cost_prefix: Vec<u64>,
+}
+
+impl DegreeBalancedSchedule {
+    /// Build the cost model for `oriented`.
+    pub fn new(oriented: &CsrGraph) -> Self {
+        let n = oriented.vertices();
+        let mut cost_prefix = vec![0u64; n + 1];
+        for v in 0..n {
+            let d = oriented.degree(v) as u64;
+            cost_prefix[v + 1] = cost_prefix[v] + d * d + 1;
+        }
+        Self { cost_prefix }
+    }
+
+    /// Vertex sub-range `[lo, hi)` for thread `tid` of `t`.
+    pub fn range(&self, tid: usize, t: usize) -> (usize, usize) {
+        let total = *self.cost_prefix.last().unwrap();
+        let target_lo = total * tid as u64 / t as u64;
+        let target_hi = total * (tid as u64 + 1) / t as u64;
+        let snap = |target: u64| self.cost_prefix.partition_point(|&c| c < target);
+        let lo = if tid == 0 { 0 } else { snap(target_lo) };
+        let hi = if tid + 1 == t { self.cost_prefix.len() - 1 } else { snap(target_hi) };
+        (lo, hi.max(lo))
+    }
+}
+
+impl CustomAdvice for DegreeBalancedSchedule {
+    fn around_for(&self, _jp: &JoinPoint<'_>, range: LoopRange, proceed: &mut dyn FnMut(i64, i64, i64)) {
+        let (lo, hi) = self.range(ctx::thread_id(), ctx::team_size());
+        let lo = (lo as i64).max(range.start);
+        let hi = (hi as i64).min(range.end);
+        if lo < hi {
+            proceed(lo, hi, range.step);
+        }
+    }
+}
+
+/// Which schedule to use for the counting loop (the ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriSchedule {
+    /// Library static block.
+    Block,
+    /// Library static cyclic.
+    Cyclic,
+    /// Library dynamic (chunked).
+    Dynamic,
+    /// Library guided.
+    Guided,
+    /// The case-specific degree-balanced aspect.
+    DegreeBalanced,
+}
+
+impl TriSchedule {
+    /// All ablation points.
+    pub const ALL: [TriSchedule; 5] =
+        [TriSchedule::Block, TriSchedule::Cyclic, TriSchedule::Dynamic, TriSchedule::Guided, TriSchedule::DegreeBalanced];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TriSchedule::Block => "block",
+            TriSchedule::Cyclic => "cyclic",
+            TriSchedule::Dynamic => "dynamic",
+            TriSchedule::Guided => "guided",
+            TriSchedule::DegreeBalanced => "degree-balanced (CS)",
+        }
+    }
+}
+
+/// The aspect running [`count`]'s loop under `schedule` on `threads`.
+pub fn aspect(threads: usize, schedule: TriSchedule, oriented: &CsrGraph) -> AspectModule {
+    let b = AspectModule::builder(format!("ParallelTriangles[{}]", schedule.name()))
+        .bind(Pointcut::call("Graph.triangles.run"), Mechanism::parallel().threads(threads));
+    match schedule {
+        TriSchedule::Block => b.bind(Pointcut::call("Graph.triangles.count"), Mechanism::for_loop(Schedule::StaticBlock)),
+        TriSchedule::Cyclic => b.bind(Pointcut::call("Graph.triangles.count"), Mechanism::for_loop(Schedule::StaticCyclic)),
+        TriSchedule::Dynamic => {
+            b.bind(Pointcut::call("Graph.triangles.count"), Mechanism::for_loop(Schedule::Dynamic { chunk: 32 }))
+        }
+        TriSchedule::Guided => {
+            b.bind(Pointcut::call("Graph.triangles.count"), Mechanism::for_loop(Schedule::Guided { min_chunk: 16 }))
+        }
+        TriSchedule::DegreeBalanced => b.bind(
+            Pointcut::call("Graph.triangles.count"),
+            Mechanism::custom(DegreeBalancedSchedule::new(oriented)),
+        ),
+    }
+    .build()
+}
+
+/// Count triangles in the (implicitly undirected) graph `g`. The base
+/// program: orient, then per-vertex sorted-adjacency intersections
+/// through the `Graph.triangles.count` for method.
+pub fn count(g: &CsrGraph) -> u64 {
+    let oriented = orient(g);
+    count_oriented(&oriented)
+}
+
+/// Count triangles given an already-oriented graph (used by the ablation
+/// harness so orientation cost is excluded).
+pub fn count_oriented(oriented: &CsrGraph) -> u64 {
+    let n = oriented.vertices();
+    let total = AtomicU64::new(0);
+    aomp_weaver::call("Graph.triangles.run", || {
+        aomp_weaver::call_for("Graph.triangles.count", LoopRange::upto(0, n as i64), |lo, hi, step| {
+            let mut local = 0u64;
+            let mut v = lo;
+            while v < hi {
+                let nv = oriented.neighbours(v as usize);
+                for (i, &u) in nv.iter().enumerate() {
+                    let nu = oriented.neighbours(u as usize);
+                    // |nv[i+1..] ∩ nu| by sorted merge.
+                    let (mut a, mut b) = (i + 1, 0);
+                    while a < nv.len() && b < nu.len() {
+                        match nv[a].cmp(&nu[b]) {
+                            std::cmp::Ordering::Less => a += 1,
+                            std::cmp::Ordering::Greater => b += 1,
+                            std::cmp::Ordering::Equal => {
+                                local += 1;
+                                a += 1;
+                                b += 1;
+                            }
+                        }
+                    }
+                }
+                v += step;
+            }
+            total.fetch_add(local, Ordering::Relaxed);
+        });
+    });
+    total.into_inner()
+}
+
+/// Sequential reference (brute force over vertex triples of the oriented
+/// graph) for small validation graphs.
+pub fn reference(g: &CsrGraph) -> u64 {
+    let oriented = orient(g);
+    let n = oriented.vertices();
+    let has_edge = |a: usize, b: u32| oriented.neighbours(a).binary_search(&b).is_ok();
+    let mut count = 0;
+    for v in 0..n {
+        let nv = oriented.neighbours(v);
+        for (i, &u) in nv.iter().enumerate() {
+            for &w in &nv[i + 1..] {
+                if has_edge(u as usize, w) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    #[test]
+    fn counts_the_triangle() {
+        let g = CsrGraph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(count(&g), 1);
+    }
+
+    #[test]
+    fn counts_k4() {
+        // K4 has 4 triangles.
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in a + 1..4 {
+                edges.push((a, b));
+            }
+        }
+        assert_eq!(count(&CsrGraph::from_edges(4, edges)), 4);
+    }
+
+    #[test]
+    fn no_triangles_in_a_star() {
+        let edges: Vec<(u32, u32)> = (1..20u32).map(|v| (0, v)).collect();
+        assert_eq!(count(&CsrGraph::from_edges(20, edges)), 0);
+    }
+
+    #[test]
+    fn all_schedules_agree_with_reference() {
+        let g = CsrGraph::generate(GraphKind::PowerLaw, 300, 6, 21);
+        let expect = reference(&g);
+        assert_eq!(count(&g), expect, "unwoven");
+        let oriented = orient(&g);
+        for sched in TriSchedule::ALL {
+            for t in [2usize, 4] {
+                let got = Weaver::global()
+                    .with_deployed(aspect(t, sched, &oriented), || count_oriented(&oriented));
+                assert_eq!(got, expect, "{} t={t}", sched.name());
+            }
+        }
+    }
+
+    #[test]
+    fn degree_balanced_ranges_partition_vertices() {
+        let g = CsrGraph::generate(GraphKind::PowerLaw, 500, 8, 5);
+        let oriented = orient(&g);
+        let cs = DegreeBalancedSchedule::new(&oriented);
+        for t in [1usize, 2, 3, 7] {
+            let mut prev = 0;
+            for tid in 0..t {
+                let (lo, hi) = cs.range(tid, t);
+                assert_eq!(lo, prev, "t={t} tid={tid}");
+                assert!(hi >= lo);
+                prev = hi;
+            }
+            assert_eq!(prev, oriented.vertices());
+        }
+    }
+
+    #[test]
+    fn degree_balanced_is_actually_balanced() {
+        let g = CsrGraph::generate(GraphKind::PowerLaw, 2000, 8, 13);
+        let oriented = orient(&g);
+        let cs = DegreeBalancedSchedule::new(&oriented);
+        let cost = |lo: usize, hi: usize| {
+            (lo..hi).map(|v| (oriented.degree(v) as u64).pow(2) + 1).sum::<u64>()
+        };
+        let t = 4;
+        let costs: Vec<u64> = (0..t).map(|tid| {
+            let (lo, hi) = cs.range(tid, t);
+            cost(lo, hi)
+        }).collect();
+        let max = *costs.iter().max().unwrap() as f64;
+        let avg = costs.iter().sum::<u64>() as f64 / t as f64;
+        assert!(max / avg < 1.6, "imbalance {}: {costs:?}", max / avg);
+    }
+
+    #[test]
+    fn orientation_halves_edges_of_symmetric_input() {
+        let g = CsrGraph::from_edges(3, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let o = orient(&g);
+        assert_eq!(o.edges(), 2);
+    }
+}

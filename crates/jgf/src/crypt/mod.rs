@@ -1,0 +1,116 @@
+//! JGF Crypt: IDEA encryption/decryption over a large byte buffer.
+//!
+//! The kernel encrypts `n` bytes with the IDEA block cipher, decrypts the
+//! ciphertext with the inverse key schedule, and validates that the
+//! round trip reproduces the plaintext (the JGF validation).
+//!
+//! Parallelisation (paper Table 2): refactor the block loop into a for
+//! method (`M2FOR`), extract the crypt phase into a method (`M2M`), then
+//! apply a parallel region plus a block-scheduled `@For`.
+
+mod idea;
+
+pub mod aomp;
+pub mod mt;
+pub mod seq;
+
+pub use idea::{calc_decrypt_key, calc_encrypt_key, cipher_block, mul, mul_inv, BLOCK, KEY_WORDS};
+
+use crate::harness::Size;
+use crate::meta::{Abstraction, BenchmarkMeta, ForKind, Refactoring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Problem definition: plaintext plus the two key schedules.
+#[derive(Clone)]
+pub struct CryptData {
+    /// Plaintext (multiple of 8 bytes).
+    pub plain: Vec<u8>,
+    /// Encryption subkeys.
+    pub z: [u16; KEY_WORDS],
+    /// Decryption subkeys.
+    pub dk: [u16; KEY_WORDS],
+}
+
+/// Bytes processed for each preset (JGF: A = 3,000,000; B = 20,000,000).
+pub fn bytes_for(size: Size) -> usize {
+    match size {
+        Size::Small => 8 * 512,
+        Size::A => 3_000_000,
+        Size::B => 20_000_000,
+    }
+}
+
+/// Deterministically generate plaintext and key schedules, JGF-style
+/// (random user key, random plaintext).
+pub fn generate(size: Size) -> CryptData {
+    let n = bytes_for(size) / BLOCK * BLOCK;
+    let mut rng = StdRng::seed_from_u64(0x1dea_5eed);
+    let user_key: [u16; 8] = std::array::from_fn(|_| rng.gen());
+    let z = calc_encrypt_key(&user_key);
+    let dk = calc_decrypt_key(&z);
+    let plain: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+    CryptData { plain, z, dk }
+}
+
+/// Outcome: ciphertext and the decrypted round trip.
+pub struct CryptResult {
+    /// Encrypted bytes.
+    pub cipher: Vec<u8>,
+    /// Decrypted bytes (must equal the plaintext).
+    pub round_trip: Vec<u8>,
+}
+
+/// JGF validation: the decrypted text equals the original plaintext.
+pub fn validate(data: &CryptData, result: &CryptResult) -> bool {
+    data.plain == result.round_trip
+}
+
+/// Paper Table 2 row.
+pub fn table2_meta() -> BenchmarkMeta {
+    BenchmarkMeta {
+        name: "Crypt",
+        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        abstractions: vec![
+            (Abstraction::ParallelRegion, 1),
+            (Abstraction::For(ForKind::Block), 1),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+
+    #[test]
+    fn all_variants_round_trip_and_agree() {
+        let data = generate(Size::Small);
+        let s = seq::run(&data);
+        assert!(validate(&data, &s));
+        for threads in [1, 2, 4] {
+            let m = mt::run(&data, threads);
+            assert!(validate(&data, &m), "mt threads={threads}");
+            assert_eq!(m.cipher, s.cipher, "mt ciphertext must match seq");
+            let a = aomp::run(&data, threads);
+            assert!(validate(&data, &a), "aomp threads={threads}");
+            assert_eq!(a.cipher, s.cipher, "aomp ciphertext must match seq");
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_block_aligned() {
+        let a = generate(Size::Small);
+        let b = generate(Size::Small);
+        assert_eq!(a.plain, b.plain);
+        assert_eq!(a.z, b.z);
+        assert_eq!(a.plain.len() % BLOCK, 0);
+    }
+
+    #[test]
+    fn cipher_differs_from_plain() {
+        let data = generate(Size::Small);
+        let s = seq::run(&data);
+        assert_ne!(s.cipher, data.plain, "encryption must change the text");
+    }
+}

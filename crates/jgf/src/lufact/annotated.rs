@@ -1,0 +1,146 @@
+//! LUFact in the **annotation style** — a line-for-line transliteration
+//! of paper Figure 8:
+//!
+//! ```java
+//! @Parallel            int  dgefa(...)
+//! @For @BarrierAfter   void reduceAllCols(...)
+//! @Master @BarrierBefore @BarrierAfter  void interchange(...)
+//! @Master @BarrierAfter                 void dscal(...)
+//! ```
+//!
+//! The attribute macros expand to the same Figure 12 shims the pointcut
+//! style produces, so this module and [`super::aomp`] must compute
+//! bitwise-identical factorisations (asserted by the tests and by
+//! `tests/lufact_annotated.rs`).
+//!
+//! The team size comes from the runtime default
+//! (`aomp::runtime::set_default_threads` / `AOMP_NUM_THREADS`), exactly
+//! like a bare `@Parallel` in the paper.
+
+use aomp_macros::{barrier_after, barrier_before, for_loop, master, parallel};
+
+use super::{daxpy, dgesl, dscal as dscal_blas, idamax, LufactData, LufactResult};
+use crate::shared::SyncSlice;
+
+/// Shared factorisation state (the `Linpack` object of the case study).
+#[derive(Clone, Copy)]
+struct Linpack<'a> {
+    a: SyncSlice<'a, Vec<f64>>,
+    ipvt: SyncSlice<'a, usize>,
+    n: usize,
+}
+
+// SAFETY NOTE: disjointness obligations are identical to super::aomp —
+// master-only sections run between barriers; the for method's schedule
+// hands each thread disjoint columns.
+
+#[master]
+#[barrier_before]
+#[barrier_after]
+fn interchange(lp: Linpack<'_>, k: usize, l: usize) {
+    // SAFETY: master-only between barriers (see module note).
+    unsafe {
+        lp.ipvt.set(k, l);
+        let ck = lp.a.get_mut(k);
+        if l != k {
+            ck.swap(l, k);
+        }
+    }
+}
+
+#[master]
+#[barrier_after]
+fn dscal(lp: Linpack<'_>, k: usize, kp1: usize) {
+    // SAFETY: master-only between barriers.
+    unsafe {
+        let ck = lp.a.get_mut(k);
+        let t = -1.0 / ck[k];
+        dscal_blas(lp.n - kp1, t, ck, kp1);
+    }
+}
+
+/// The Figure 12 `original_*` kernel, kept out of line (see
+/// EXPERIMENTS.md on why this matters for codegen).
+#[inline(never)]
+fn original_reduce_all_cols(lo: i64, hi: i64, st: i64, lp: Linpack<'_>, k: usize, l: usize, kp1: usize) {
+    // SAFETY: the schedule owns columns [lo, hi) on this thread; the
+    // pivot column is read-only during the phase.
+    let col_k = unsafe { lp.a.get(k) };
+    let mut j = lo;
+    while j < hi {
+        let col_j = unsafe { lp.a.get_mut(j as usize) };
+        let t = col_j[l];
+        if l != k {
+            col_j[l] = col_j[k];
+            col_j[k] = t;
+        }
+        daxpy(lp.n - kp1, t, col_k, col_j, kp1);
+        j += st;
+    }
+}
+
+#[for_loop(schedule = "staticBlock")]
+#[barrier_after]
+fn reduce_all_cols(startc: i64, endc: i64, is: i64, lp: Linpack<'_>, k: usize, l: usize, kp1: usize) {
+    original_reduce_all_cols(startc, endc, is, lp, k, l, kp1);
+}
+
+#[parallel]
+fn dgefa(lp: Linpack<'_>) {
+    let n = lp.n;
+    let nm1 = n.saturating_sub(1);
+    for k in 0..nm1 {
+        let kp1 = k + 1;
+        // SAFETY: read phase, ordered after the previous barrier.
+        let col_k = unsafe { lp.a.get(k) };
+        // find l = pivot index
+        let l = idamax(n - k, col_k, k) + k;
+        if col_k[l] != 0.0 {
+            // interchange if necessary
+            interchange(lp, k, l);
+            // compute multipliers
+            dscal(lp, k, kp1);
+            // row elimination with column indexing
+            reduce_all_cols(kp1 as i64, n as i64, 1, lp, k, l, kp1);
+        }
+    }
+}
+
+/// Run the annotation-style kernel. The team size is the runtime
+/// default; call `aomp::runtime::set_default_threads` beforehand to pick
+/// one explicitly.
+pub fn run(data: &LufactData) -> LufactResult {
+    let mut a = data.a.clone();
+    let mut x = data.b.clone();
+    let mut ipvt = vec![0usize; data.n];
+    {
+        let lp = Linpack { a: SyncSlice::new(&mut a), ipvt: SyncSlice::new(&mut ipvt), n: data.n };
+        dgefa(lp);
+    }
+    if data.n > 0 {
+        ipvt[data.n - 1] = data.n - 1;
+    }
+    dgesl(&a, data.n, &ipvt, &mut x);
+    LufactResult { x, ipvt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::lufact::{generate, validate};
+
+    #[test]
+    fn annotated_style_matches_seq_and_pointcut_styles() {
+        // Note: uses the runtime default thread count (whatever the test
+        // host provides); correctness must hold for any team size.
+        let d = generate(Size::Small);
+        let s = crate::lufact::seq::run(&d);
+        let r = run(&d);
+        assert!(validate(&d, &r));
+        assert_eq!(r.ipvt, s.ipvt);
+        assert_eq!(r.x, s.x);
+        let p = crate::lufact::aomp::run(&d, 3);
+        assert_eq!(r.x, p.x, "annotation and pointcut styles agree bitwise");
+    }
+}

@@ -1,0 +1,168 @@
+//! AOmpLib-style LUFact — the paper's case study, §III-E.
+//!
+//! The base program is the refactored Figure 6 code with each method
+//! exposed as a join point; [`aspect`] is a line-for-line transliteration
+//! of the Figure 7 `ParallelLinpack` aspect:
+//!
+//! * `Linpack.dgefa` → parallel region;
+//! * `Linpack.reduceAllCols` → `@For` (static block);
+//! * `Linpack.interchange`, `Linpack.dscal` → `@Master`;
+//! * `@BarrierBefore` on `interchange`; `@BarrierAfter` on
+//!   `reduceAllCols`, `interchange` and `dscal` — the 4 barriers and 2
+//!   masters of Table 2.
+
+use aomp::prelude::*;
+use aomp_weaver::prelude::*;
+
+use super::{daxpy, dgesl, dscal, idamax, LufactData, LufactResult};
+use crate::shared::SyncSlice;
+
+/// Shared view of the factorisation state (the `Linpack` object).
+#[derive(Clone, Copy)]
+struct Linpack<'a> {
+    a: SyncSlice<'a, Vec<f64>>,
+    ipvt: SyncSlice<'a, usize>,
+    n: usize,
+}
+
+/// `interchange` join point (master-gated by the aspect): record the
+/// pivot and swap rows `k`/`l` of the pivot column.
+fn interchange(lp: Linpack<'_>, k: usize, l: usize) {
+    aomp_weaver::call("Linpack.interchange", || {
+        // SAFETY: the aspect gates this body to the master between
+        // barriers, so it runs exclusively.
+        unsafe {
+            lp.ipvt.set(k, l);
+            let ck = lp.a.get_mut(k);
+            if l != k {
+                ck.swap(l, k);
+            }
+        }
+    });
+}
+
+/// `dscal` join point (master-gated): compute the multipliers in the
+/// pivot column.
+fn dscal_step(lp: Linpack<'_>, k: usize, kp1: usize) {
+    aomp_weaver::call("Linpack.dscal", || {
+        // SAFETY: master-only between barriers (see aspect).
+        unsafe {
+            let ck = lp.a.get_mut(k);
+            let t = -1.0 / ck[k];
+            dscal(lp.n - kp1, t, ck, kp1);
+        }
+    });
+}
+
+/// `reduceAllCols` for method: reduce columns `startc..endc` against the
+/// pivot column (paper Figure 6).
+fn reduce_all_cols(lp: Linpack<'_>, startc: i64, endc: i64, is: i64, k: usize, l: usize, kp1: usize) {
+    aomp_weaver::call_for("Linpack.reduceAllCols", LoopRange::new(startc, endc, is), |lo, hi, st| {
+        // SAFETY: the schedule hands each thread disjoint columns j; the
+        // pivot column is read-only in this phase.
+        let col_k = unsafe { lp.a.get(k) };
+        let mut j = lo;
+        while j < hi {
+            let col_j = unsafe { lp.a.get_mut(j as usize) };
+            let t = col_j[l];
+            if l != k {
+                col_j[l] = col_j[k];
+                col_j[k] = t;
+            }
+            daxpy(lp.n - kp1, t, col_k, col_j, kp1);
+            j += st;
+        }
+    });
+}
+
+/// `dgefa` join point: the parallel region. Every team thread executes
+/// the full column loop; pivot search is computed redundantly (cheap and
+/// deterministic), the master performs the exclusive steps, and the
+/// column reduction is work-shared.
+fn dgefa(lp: Linpack<'_>) {
+    aomp_weaver::call("Linpack.dgefa", || {
+        let n = lp.n;
+        let nm1 = n.saturating_sub(1);
+        for k in 0..nm1 {
+            let kp1 = k + 1;
+            // SAFETY: read phase (the preceding barrier ordered the last
+            // writes to column k before these reads).
+            let col_k = unsafe { lp.a.get(k) };
+            // find l = pivot index
+            let l = idamax(n - k, col_k, k) + k;
+            if col_k[l] != 0.0 {
+                // interchange if necessary
+                interchange(lp, k, l);
+                // compute multipliers
+                dscal_step(lp, k, kp1);
+                // row elimination with column indexing
+                reduce_all_cols(lp, kp1 as i64, n as i64, 1, k, l, kp1);
+            }
+        }
+    });
+}
+
+/// The `ParallelLinpack` aspect of paper Figure 7.
+pub fn aspect(threads: usize) -> AspectModule {
+    AspectModule::builder("ParallelLinpack")
+        .bind(Pointcut::call("Linpack.dgefa"), Mechanism::parallel().threads(threads))
+        .bind(Pointcut::call("Linpack.reduceAllCols"), Mechanism::for_loop(Schedule::StaticBlock))
+        .bind(
+            Pointcut::call("Linpack.interchange").or(Pointcut::call("Linpack.dscal")),
+            Mechanism::master(),
+        )
+        .bind(Pointcut::call("Linpack.interchange"), Mechanism::barrier_before())
+        .bind(
+            Pointcut::calls(["Linpack.reduceAllCols", "Linpack.interchange", "Linpack.dscal"]),
+            Mechanism::barrier_after(),
+        )
+        .build()
+}
+
+/// Run the AOmp kernel on `threads` threads.
+pub fn run(data: &LufactData, threads: usize) -> LufactResult {
+    Weaver::global().with_deployed(aspect(threads), || run_base(data))
+}
+
+/// Run the base program with whatever aspects are currently deployed
+/// (none ⇒ sequential semantics).
+pub fn run_base(data: &LufactData) -> LufactResult {
+    let mut a = data.a.clone();
+    let mut x = data.b.clone();
+    let mut ipvt = vec![0usize; data.n];
+    {
+        let lp = Linpack { a: SyncSlice::new(&mut a), ipvt: SyncSlice::new(&mut ipvt), n: data.n };
+        dgefa(lp);
+    }
+    if data.n > 0 {
+        ipvt[data.n - 1] = data.n - 1;
+    }
+    dgesl(&a, data.n, &ipvt, &mut x);
+    LufactResult { x, ipvt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::lufact::{generate, validate};
+
+    #[test]
+    fn aomp_validates_and_matches_seq() {
+        let d = generate(Size::Small);
+        let s = crate::lufact::seq::run(&d);
+        for t in [1, 2, 4] {
+            let r = run(&d, t);
+            assert!(validate(&d, &r), "threads={t}");
+            assert_eq!(r.x, s.x, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn unplugged_base_program_is_sequential_and_correct() {
+        let d = generate(Size::Small);
+        let r = run_base(&d);
+        assert!(validate(&d, &r));
+        assert_eq!(r.x, crate::lufact::seq::run(&d).x);
+    }
+}

@@ -1,0 +1,231 @@
+//! JGF LUFact: the Linpack benchmark — LU factorisation with partial
+//! pivoting (`dgefa`) plus triangular solve (`dgesl`).
+//!
+//! This is the paper's case study (§III-E, Figures 6–8): `dgefa` becomes
+//! a parallel region; the row elimination is refactored into the
+//! `reduceAllCols` for method (block schedule); `interchange` and `dscal`
+//! are master-only steps fenced by barriers — Table 2's
+//! `PR, FOR (block), 4xBR, 2xMA`.
+//!
+//! The matrix is stored column-major (`a[j]` is column `j`), exactly like
+//! the Java Linpack code the JGF benchmark derives from.
+
+pub mod annotated;
+pub mod aomp;
+pub mod mt;
+pub mod seq;
+
+use crate::harness::Size;
+use crate::meta::{Abstraction, BenchmarkMeta, ForKind, Refactoring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Problem: `n`×`n` column-major matrix and right-hand side.
+#[derive(Clone)]
+pub struct LufactData {
+    /// Matrix columns: `a[j][i]` is element (row i, column j).
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand side (chosen so the exact solution is all ones).
+    pub b: Vec<f64>,
+    /// Order of the system.
+    pub n: usize,
+}
+
+/// Matrix order per preset (JGF: A = 500, B = 1000).
+pub fn order_for(size: Size) -> usize {
+    match size {
+        Size::Small => 64,
+        Size::A => 500,
+        Size::B => 1000,
+    }
+}
+
+/// Generate the system (the Linpack `matgen`): uniform random matrix,
+/// right-hand side = row sums so that `x = 1` solves `Ax = b` exactly in
+/// the absence of rounding.
+pub fn generate(size: Size) -> LufactData {
+    let n = order_for(size);
+    let mut rng = StdRng::seed_from_u64(0x10_fac7);
+    let mut a = vec![vec![0.0f64; n]; n];
+    for col in a.iter_mut() {
+        for v in col.iter_mut() {
+            *v = rng.gen_range(-0.5..0.5);
+        }
+    }
+    let mut b = vec![0.0f64; n];
+    for (i, bi) in b.iter_mut().enumerate() {
+        *bi = a.iter().map(|col| col[i]).sum();
+    }
+    LufactData { a, b, n }
+}
+
+/// Result: the computed solution plus factorisation bookkeeping.
+pub struct LufactResult {
+    /// Solution vector (should be all ones).
+    pub x: Vec<f64>,
+    /// Pivot indices from `dgefa`.
+    pub ipvt: Vec<usize>,
+}
+
+/// JGF-style validation: normalized residual of the solution against the
+/// original system.
+pub fn validate(data: &LufactData, result: &LufactResult) -> bool {
+    let n = data.n;
+    // resid = max_i |A x - b|_i against the *original* A, b.
+    let mut resid = 0.0f64;
+    let mut normx = 0.0f64;
+    for i in 0..n {
+        let mut axi = 0.0;
+        for j in 0..n {
+            axi += data.a[j][i] * result.x[j];
+        }
+        resid = resid.max((axi - data.b[i]).abs());
+    }
+    for &xi in &result.x {
+        normx = normx.max(xi.abs());
+    }
+    let norma = data
+        .a
+        .iter()
+        .flat_map(|c| c.iter())
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    let eps = f64::EPSILON;
+    let normalized = resid / ((n as f64) * norma * normx * eps);
+    normalized < 100.0
+}
+
+/// `idamax`: index of the element with largest magnitude in
+/// `v[from..from+len]`, relative to `from` (BLAS level-1).
+pub fn idamax(len: usize, v: &[f64], from: usize) -> usize {
+    let mut best = 0;
+    let mut bmax = -1.0f64;
+    for k in 0..len {
+        let m = v[from + k].abs();
+        if m > bmax {
+            bmax = m;
+            best = k;
+        }
+    }
+    best
+}
+
+/// `daxpy`: `dy[from..from+len] += da * dx[from..from+len]` (unit
+/// strides, as Linpack's hot path uses).
+#[inline]
+pub fn daxpy(len: usize, da: f64, dx: &[f64], dy: &mut [f64], from: usize) {
+    if da == 0.0 {
+        return;
+    }
+    for k in from..from + len {
+        dy[k] += da * dx[k];
+    }
+}
+
+/// `dscal`: `v[from..from+len] *= da`.
+#[inline]
+pub fn dscal(len: usize, da: f64, v: &mut [f64], from: usize) {
+    for x in &mut v[from..from + len] {
+        *x *= da;
+    }
+}
+
+/// `dgesl`: solve `Ax = b` given the `dgefa` factorisation. Sequential in
+/// all variants, as in JGF (only `dgefa` is parallelised).
+pub fn dgesl(a: &[Vec<f64>], n: usize, ipvt: &[usize], b: &mut [f64]) {
+    let nm1 = n.saturating_sub(1);
+    // Forward elimination: solve L y = b.
+    for k in 0..nm1 {
+        let l = ipvt[k];
+        let t = b[l];
+        if l != k {
+            b[l] = b[k];
+            b[k] = t;
+        }
+        let col_k = &a[k];
+        for i in k + 1..n {
+            b[i] += t * col_k[i];
+        }
+    }
+    // Back substitution: solve U x = y.
+    for k in (0..n).rev() {
+        b[k] /= a[k][k];
+        let t = -b[k];
+        let col_k = &a[k];
+        for i in 0..k {
+            b[i] += t * col_k[i];
+        }
+    }
+}
+
+/// Paper Table 2 row.
+pub fn table2_meta() -> BenchmarkMeta {
+    BenchmarkMeta {
+        name: "LUFact",
+        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        abstractions: vec![
+            (Abstraction::ParallelRegion, 1),
+            (Abstraction::For(ForKind::Block), 1),
+            (Abstraction::Barrier, 4),
+            (Abstraction::Master, 2),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_rhs_is_row_sums() {
+        let d = generate(Size::Small);
+        let i = 3;
+        let sum: f64 = d.a.iter().map(|col| col[i]).sum();
+        assert!((d.b[i] - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idamax_finds_largest_magnitude() {
+        let v = [1.0, -9.0, 3.0, 8.5];
+        assert_eq!(idamax(4, &v, 0), 1);
+        assert_eq!(idamax(3, &v, 1), 0); // among -9, 3, 8.5 relative to 1
+        assert_eq!(idamax(2, &v, 2), 1); // among 3, 8.5
+    }
+
+    #[test]
+    fn daxpy_and_dscal_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [10.0, 10.0, 10.0, 10.0];
+        daxpy(2, 2.0, &x, &mut y, 1);
+        assert_eq!(y, [10.0, 14.0, 16.0, 10.0]);
+        let mut v = [1.0, 2.0, 3.0];
+        dscal(2, 3.0, &mut v, 1);
+        assert_eq!(v, [1.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn variants_agree_and_validate() {
+        let data = generate(Size::Small);
+        let s = seq::run(&data);
+        assert!(validate(&data, &s), "seq validates");
+        for t in [1, 2, 4] {
+            let m = mt::run(&data, t);
+            assert!(validate(&data, &m), "mt threads={t}");
+            let a = aomp::run(&data, t);
+            assert!(validate(&data, &a), "aomp threads={t}");
+            // Same pivoting decisions -> identical solutions bitwise.
+            assert_eq!(s.ipvt, m.ipvt, "mt pivots t={t}");
+            assert_eq!(s.ipvt, a.ipvt, "aomp pivots t={t}");
+            assert_eq!(s.x, m.x, "mt solution t={t}");
+            assert_eq!(s.x, a.x, "aomp solution t={t}");
+        }
+    }
+
+    #[test]
+    fn solution_is_near_ones() {
+        let data = generate(Size::Small);
+        let s = seq::run(&data);
+        for &xi in &s.x {
+            assert!((xi - 1.0).abs() < 1e-8, "x={xi}");
+        }
+    }
+}

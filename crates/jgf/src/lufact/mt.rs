@@ -1,0 +1,108 @@
+//! Hand-threaded LUFact, JGF-MT style: threads spawned once around the
+//! whole factorisation, explicit barriers, master-only pivot bookkeeping
+//! and a manual block distribution of the column reduction — all written
+//! into the base code (the invasive style of paper Figure 3).
+
+use std::sync::Barrier;
+
+use super::{daxpy, dgesl, dscal, idamax, LufactData, LufactResult};
+use crate::shared::SyncSlice;
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    a: SyncSlice<'_, Vec<f64>>,
+    ipvt: SyncSlice<'_, usize>,
+    n: usize,
+    id: usize,
+    nthreads: usize,
+    barrier: &Barrier,
+) {
+    let nm1 = n.saturating_sub(1);
+    for k in 0..nm1 {
+        let kp1 = k + 1;
+        // SAFETY: between barriers, column k is only read (the master's
+        // writes to it happen in an exclusive phase below).
+        let col_k = unsafe { a.get(k) };
+        let l = idamax(n - k, col_k, k) + k;
+        let pivot_nonzero = col_k[l] != 0.0;
+        if pivot_nonzero {
+            barrier.wait();
+            if id == 0 {
+                // SAFETY: exclusive phase — every other thread is parked
+                // between the two barriers.
+                unsafe {
+                    ipvt.set(k, l);
+                    let ck = a.get_mut(k);
+                    if l != k {
+                        ck.swap(l, k);
+                    }
+                    let t = -1.0 / ck[k];
+                    dscal(n - kp1, t, ck, kp1);
+                }
+            }
+            barrier.wait();
+            // Block distribution of columns kp1..n, JGF style.
+            let total = n - kp1;
+            let per = total / nthreads;
+            let rem = total % nthreads;
+            let lo = kp1 + id * per + id.min(rem);
+            let hi = lo + per + usize::from(id < rem);
+            let col_k = unsafe { a.get(k) };
+            for j in lo..hi {
+                // SAFETY: thread-owned column j (disjoint blocks).
+                let col_j = unsafe { a.get_mut(j) };
+                let t = col_j[l];
+                if l != k {
+                    col_j[l] = col_j[k];
+                    col_j[k] = t;
+                }
+                daxpy(n - kp1, t, col_k, col_j, kp1);
+            }
+            barrier.wait();
+        }
+    }
+    if id == 0 && n > 0 {
+        // SAFETY: all reductions finished (post-loop), single writer.
+        unsafe { ipvt.set(n - 1, n - 1) };
+    }
+}
+
+/// Run the JGF-MT kernel on `threads` threads.
+pub fn run(data: &LufactData, threads: usize) -> LufactResult {
+    let mut a = data.a.clone();
+    let mut x = data.b.clone();
+    let mut ipvt = vec![0usize; data.n];
+    {
+        let a_s = SyncSlice::new(&mut a);
+        let ipvt_s = SyncSlice::new(&mut ipvt);
+        let barrier = Barrier::new(threads);
+        let n = data.n;
+        std::thread::scope(|s| {
+            for id in 1..threads {
+                let barrier = &barrier;
+                s.spawn(move || worker(a_s, ipvt_s, n, id, threads, barrier));
+            }
+            worker(a_s, ipvt_s, n, 0, threads, &barrier);
+        });
+    }
+    dgesl(&a, data.n, &ipvt, &mut x);
+    LufactResult { x, ipvt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::lufact::{generate, validate};
+
+    #[test]
+    fn mt_validates_and_matches_seq() {
+        let d = generate(Size::Small);
+        let s = crate::lufact::seq::run(&d);
+        for t in [1, 2, 3, 5] {
+            let m = run(&d, t);
+            assert!(validate(&d, &m), "threads={t}");
+            assert_eq!(m.x, s.x, "threads={t}");
+        }
+    }
+}

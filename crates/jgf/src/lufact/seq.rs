@@ -1,0 +1,113 @@
+//! Sequential LUFact: the base program after the paper's refactoring
+//! (Figure 6) — `dgefa` calls `interchange`, `dscal` and the
+//! `reduceAllCols` for method.
+
+use super::{daxpy, dgesl, dscal, idamax, LufactData, LufactResult};
+
+/// Swap rows `k` and `l` inside the pivot column (paper Figure 6's
+/// `interchange` method, an M2M refactor).
+pub fn interchange(col_k: &mut [f64], k: usize, l: usize) {
+    if l != k {
+        col_k.swap(l, k);
+    }
+}
+
+/// `dgefa`: LU factorisation with partial pivoting, in the refactored
+/// shape of paper Figure 6.
+pub fn dgefa(a: &mut [Vec<f64>], n: usize, ipvt: &mut [usize]) {
+    let nm1 = n.saturating_sub(1);
+    for k in 0..nm1 {
+        let kp1 = k + 1;
+        // find l = pivot index
+        let l = idamax(n - k, &a[k], k) + k;
+        ipvt[k] = l;
+        if a[k][l] != 0.0 {
+            // interchange if necessary
+            interchange(&mut a[k], k, l);
+            // compute multipliers
+            let t = -1.0 / a[k][k];
+            dscal(n - kp1, t, &mut a[k], kp1);
+            // row elimination with column indexing
+            let (head, tail) = a.split_at_mut(kp1);
+            let col_k = &head[k];
+            reduce_all_cols_split(0, (n - kp1) as i64, 1, tail, col_k, k, l, kp1, n);
+        }
+    }
+    if n > 0 {
+        ipvt[n - 1] = n - 1;
+    }
+}
+
+/// Like [`reduce_all_cols`] but over a pre-split tail (sequential path;
+/// avoids aliasing the pivot column).
+#[allow(clippy::too_many_arguments)]
+fn reduce_all_cols_split(
+    start: i64,
+    end: i64,
+    is: i64,
+    tail: &mut [Vec<f64>],
+    col_k: &[f64],
+    k: usize,
+    l: usize,
+    kp1: usize,
+    n: usize,
+) {
+    let mut j = start;
+    while j < end {
+        let col_j = &mut tail[j as usize];
+        let t = col_j[l];
+        if l != k {
+            col_j[l] = col_j[k];
+            col_j[k] = t;
+        }
+        daxpy(n - kp1, t, col_k, col_j, kp1);
+        j += is;
+    }
+}
+
+/// Run the sequential kernel: factorise and solve.
+pub fn run(data: &LufactData) -> LufactResult {
+    let mut a = data.a.clone();
+    let mut x = data.b.clone();
+    let mut ipvt = vec![0usize; data.n];
+    dgefa(&mut a, data.n, &mut ipvt);
+    dgesl(&a, data.n, &ipvt, &mut x);
+    LufactResult { x, ipvt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::lufact::{generate, validate};
+
+    #[test]
+    fn seq_validates() {
+        let d = generate(Size::Small);
+        let r = run(&d);
+        assert!(validate(&d, &r));
+    }
+
+    #[test]
+    fn interchange_swaps_only_when_needed() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        interchange(&mut v, 0, 2);
+        assert_eq!(v, vec![3.0, 2.0, 1.0]);
+        interchange(&mut v, 1, 1);
+        assert_eq!(v, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2_factorisation() {
+        // A = [[4, 3], [6, 3]] (rows); columns: [4,6], [3,3].
+        let mut a = vec![vec![4.0, 6.0], vec![3.0, 3.0]];
+        let mut ipvt = vec![0usize; 2];
+        dgefa(&mut a, 2, &mut ipvt);
+        // Pivot row for column 0 is row 1 (|6| > |4|).
+        assert_eq!(ipvt, vec![1, 1]);
+        let mut b = vec![10.0, 12.0]; // A*[1,2] = [4+6, 6+6]? rows: [4,3]·x, [6,3]·x
+        // For x = [1, 2]: row0 = 4*1+3*2 = 10, row1 = 6*1+3*2 = 12. ✓
+        dgesl(&a, 2, &ipvt, &mut b);
+        assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 2.0).abs() < 1e-12, "{b:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Paper Table 2 metadata: the refactorings and abstractions each AOmp
+//! parallelisation needed.
+//!
+//! Each benchmark's `aomp` module registers its own metadata; the
+//! `table2` harness binary prints the assembled table and the test suite
+//! asserts it matches the paper row for row.
+
+use std::fmt;
+
+/// Refactoring kinds of paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Refactoring {
+    /// M2M — move statements to a (named) method.
+    MoveToMethod,
+    /// M2FOR — move a loop into a *for method*.
+    MoveToForMethod,
+}
+
+impl fmt::Display for Refactoring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Refactoring::MoveToMethod => write!(f, "M2M"),
+            Refactoring::MoveToForMethod => write!(f, "M2FOR"),
+        }
+    }
+}
+
+/// The schedule column of the `FOR` abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForKind {
+    /// `FOR (block)`.
+    Block,
+    /// `FOR (cyclic)`.
+    Cyclic,
+    /// `FOR (Case Specific)` — an application-specific schedule.
+    CaseSpecific,
+}
+
+impl fmt::Display for ForKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForKind::Block => write!(f, "block"),
+            ForKind::Cyclic => write!(f, "cyclic"),
+            ForKind::CaseSpecific => write!(f, "Case Specific"),
+        }
+    }
+}
+
+/// Abstraction kinds of paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Abstraction {
+    /// PR — parallel region.
+    ParallelRegion,
+    /// FOR — for work-sharing with a schedule.
+    For(ForKind),
+    /// BR — barrier.
+    Barrier,
+    /// MA — master.
+    Master,
+    /// TLF — thread-local field.
+    ThreadLocalField,
+    /// CS — case-specific aspect.
+    CaseSpecific,
+}
+
+impl fmt::Display for Abstraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Abstraction::ParallelRegion => write!(f, "PR"),
+            Abstraction::For(k) => write!(f, "FOR ({k})"),
+            Abstraction::Barrier => write!(f, "BR"),
+            Abstraction::Master => write!(f, "MA"),
+            Abstraction::ThreadLocalField => write!(f, "TLF"),
+            Abstraction::CaseSpecific => write!(f, "CS"),
+        }
+    }
+}
+
+/// One Table 2 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkMeta {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// Refactorings applied to the base program, with multiplicity.
+    pub refactorings: Vec<(Refactoring, usize)>,
+    /// Abstractions used by the parallelisation, with multiplicity.
+    pub abstractions: Vec<(Abstraction, usize)>,
+}
+
+impl BenchmarkMeta {
+    /// Format the refactorings column as the paper prints it
+    /// (`M2FOR, 3xM2M`).
+    pub fn refactorings_column(&self) -> String {
+        self.refactorings
+            .iter()
+            .map(|(r, n)| if *n == 1 { r.to_string() } else { format!("{n}x{r}") })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Format the abstractions column as the paper prints it
+    /// (`PR, FOR (block), 4xBR, 2xMA`).
+    pub fn abstractions_column(&self) -> String {
+        self.abstractions
+            .iter()
+            .map(|(a, n)| if *n == 1 { a.to_string() } else { format!("{n}x{a}") })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Table 2, row for row, assembled from each benchmark module's
+/// declaration.
+pub fn all_benchmarks() -> Vec<BenchmarkMeta> {
+    vec![
+        crate::crypt::table2_meta(),
+        crate::lufact::table2_meta(),
+        crate::series::table2_meta(),
+        crate::sor::table2_meta(),
+        crate::sparse::table2_meta(),
+        crate::moldyn::table2_meta(),
+        crate::montecarlo::table2_meta(),
+        crate::raytracer::table2_meta(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_match_paper_vocabulary() {
+        assert_eq!(Refactoring::MoveToMethod.to_string(), "M2M");
+        assert_eq!(Refactoring::MoveToForMethod.to_string(), "M2FOR");
+        assert_eq!(Abstraction::ParallelRegion.to_string(), "PR");
+        assert_eq!(Abstraction::For(ForKind::Block).to_string(), "FOR (block)");
+        assert_eq!(Abstraction::For(ForKind::Cyclic).to_string(), "FOR (cyclic)");
+        assert_eq!(Abstraction::For(ForKind::CaseSpecific).to_string(), "FOR (Case Specific)");
+        assert_eq!(Abstraction::Barrier.to_string(), "BR");
+        assert_eq!(Abstraction::Master.to_string(), "MA");
+        assert_eq!(Abstraction::ThreadLocalField.to_string(), "TLF");
+        assert_eq!(Abstraction::CaseSpecific.to_string(), "CS");
+    }
+
+    #[test]
+    fn columns_render_multiplicities() {
+        let m = BenchmarkMeta {
+            name: "LUFact",
+            refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+            abstractions: vec![
+                (Abstraction::ParallelRegion, 1),
+                (Abstraction::For(ForKind::Block), 1),
+                (Abstraction::Barrier, 4),
+                (Abstraction::Master, 2),
+            ],
+        };
+        assert_eq!(m.refactorings_column(), "M2FOR, M2M");
+        assert_eq!(m.abstractions_column(), "PR, FOR (block), 4xBR, 2xMA");
+    }
+}

@@ -1,0 +1,176 @@
+//! AOmpLib-style MolDyn (the paper's Figure 14 base program + aspects):
+//! cyclic `@For` over particles, two `@ThreadLocalField`s — the force
+//! accumulation arrays and the (epot, vir) energy pair — drained at
+//! `@Reduce`-style master points, and a master-broadcast value join point
+//! for the kinetic-energy total. Table 2: `PR, FOR (cyclic), 2xTLF`.
+
+
+// Index-based loops mirror the JGF Java kernels they port.
+#![allow(clippy::needless_range_loop)]
+
+use aomp::prelude::*;
+use aomp_weaver::prelude::*;
+use parking_lot::Mutex;
+
+use super::forces::{domove_range, force_range_local, kinetic_range, pos_sum, rescale_range, scale_factor};
+use super::{MolDynData, MolDynResult, MolShared, SCALE_INTERVAL};
+
+type LocalForces = [Vec<f64>; 3];
+
+/// The base-program state: the shared `md` object plus the two
+/// thread-local fields.
+struct Sim {
+    s: MolShared,
+    /// `@ThreadLocalField` #1: per-thread force accumulation arrays.
+    force_tlf: ThreadLocalField<LocalForces>,
+    /// `@ThreadLocalField` #2: per-thread (epot, vir) accumulators.
+    energy_tlf: ThreadLocalField<(f64, f64)>,
+    /// Per-thread kinetic contributions (merged at the master point).
+    ekin_tlf: ThreadLocalField<f64>,
+    /// Iteration totals published by the master.
+    totals: Mutex<(f64, f64, f64)>, // (ekin, epot, vir)
+}
+
+fn zeros(n: usize) -> LocalForces {
+    [vec![0.0; n], vec![0.0; n], vec![0.0; n]]
+}
+
+fn domove(sim: &Sim) {
+    aomp_weaver::call_for("MolDyn.domove", LoopRange::upto(0, sim.s.n as i64), |lo, hi, st| {
+        domove_range(&sim.s, lo, hi, st);
+    });
+}
+
+fn compute_forces(sim: &Sim) {
+    aomp_weaver::call_for("MolDyn.computeForces", LoopRange::upto(0, sim.s.n as i64), |lo, hi, st| {
+        let n = sim.s.n;
+        sim.force_tlf.update_or_init(|| zeros(n), |local| {
+            let (ep, vi) = force_range_local(&sim.s, lo, hi, st, local);
+            sim.energy_tlf.update_or_init(|| (0.0, 0.0), |e| {
+                e.0 += ep;
+                e.1 += vi;
+            });
+        });
+    });
+}
+
+/// `@Reduce` point: the master merges every thread's force arrays into
+/// the shared arrays and folds the energy pairs (the thread-local copies
+/// are drained, so the next iteration re-initialises them to zero).
+fn reduce_forces(sim: &Sim) {
+    aomp_weaver::call("MolDyn.reduceForces", || {
+        for local in sim.force_tlf.drain_locals() {
+            for d in 0..3 {
+                for i in 0..sim.s.n {
+                    // SAFETY: master-only section between barriers.
+                    unsafe {
+                        *sim.s.force[d].get_mut(i) += local[d][i];
+                    }
+                }
+            }
+        }
+        let (mut ep, mut vi) = (0.0, 0.0);
+        for (e, v) in sim.energy_tlf.drain_locals() {
+            ep += e;
+            vi += v;
+        }
+        let mut t = sim.totals.lock();
+        t.1 = ep;
+        t.2 = vi;
+    });
+}
+
+fn update_kinetic(sim: &Sim) {
+    aomp_weaver::call_for("MolDyn.updateKinetic", LoopRange::upto(0, sim.s.n as i64), |lo, hi, st| {
+        let ek = kinetic_range(&sim.s, lo, hi, st);
+        sim.ekin_tlf.update_or_init(|| 0.0, |v| *v += ek);
+    });
+}
+
+/// Master-broadcast value join point: the team-wide kinetic total.
+fn total_ekin(sim: &Sim) -> f64 {
+    aomp_weaver::call_value("MolDyn.totalEkin", || {
+        let total: f64 = sim.ekin_tlf.drain_locals().into_iter().sum();
+        sim.totals.lock().0 = total;
+        total
+    })
+}
+
+fn rescale(sim: &Sim, sc: f64) {
+    aomp_weaver::call_for("MolDyn.rescale", LoopRange::upto(0, sim.s.n as i64), |lo, hi, st| {
+        rescale_range(&sim.s, lo, hi, st, sc);
+    });
+}
+
+/// `runiters` (paper Figure 2/14): the parallel-region join point.
+fn runiters(sim: &Sim, moves: usize) {
+    aomp_weaver::call("MolDyn.runiters", || {
+        for mv in 0..moves {
+            domove(sim);
+            compute_forces(sim);
+            reduce_forces(sim);
+            update_kinetic(sim);
+            let total = total_ekin(sim);
+            if (mv + 1) % SCALE_INTERVAL == 0 {
+                let sc = scale_factor(sim.s.n, total);
+                rescale(sim, sc);
+            }
+        }
+    });
+}
+
+/// The concrete MolDyn aspect: parallel region, cyclic for methods with
+/// barriers, master-gated reduce points.
+pub fn aspect(threads: usize) -> AspectModule {
+    let mut b = AspectModule::builder("ParallelMolDyn")
+        .bind(Pointcut::call("MolDyn.runiters"), Mechanism::parallel().threads(threads));
+    for jp in ["MolDyn.domove", "MolDyn.computeForces", "MolDyn.updateKinetic", "MolDyn.rescale"] {
+        b = b
+            .bind(Pointcut::call(jp), Mechanism::for_loop(Schedule::StaticCyclic))
+            .bind(Pointcut::call(jp), Mechanism::barrier_after());
+    }
+    b.bind(Pointcut::call("MolDyn.reduceForces"), Mechanism::master())
+        .bind(Pointcut::call("MolDyn.reduceForces"), Mechanism::barrier_before())
+        .bind(Pointcut::call("MolDyn.reduceForces"), Mechanism::barrier_after())
+        .bind(Pointcut::call("MolDyn.totalEkin"), Mechanism::master())
+        .bind(Pointcut::call("MolDyn.totalEkin"), Mechanism::barrier_before())
+        .build()
+}
+
+/// Run the AOmp simulation on `threads` threads.
+pub fn run(data: &MolDynData, threads: usize) -> MolDynResult {
+    let sim = Sim {
+        s: MolShared::new(data),
+        force_tlf: ThreadLocalField::new(zeros(0)),
+        energy_tlf: ThreadLocalField::new((0.0, 0.0)),
+        ekin_tlf: ThreadLocalField::new(0.0),
+        totals: Mutex::new((0.0, 0.0, 0.0)),
+    };
+    Weaver::global().with_deployed(aspect(threads), || runiters(&sim, data.moves));
+    let (ekin, epot, vir) = *sim.totals.lock();
+    MolDynResult { ekin, epot, vir, pos_sum: pos_sum(&sim.s) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moldyn::{agrees, generate, validate};
+
+    #[test]
+    fn unplugged_base_program_matches_seq() {
+        let d = generate(2, 4);
+        let sim = Sim {
+            s: MolShared::new(&d),
+            force_tlf: ThreadLocalField::new(zeros(0)),
+            energy_tlf: ThreadLocalField::new((0.0, 0.0)),
+            ekin_tlf: ThreadLocalField::new(0.0),
+            totals: Mutex::new((0.0, 0.0, 0.0)),
+        };
+        runiters(&sim, d.moves);
+        let (ekin, epot, vir) = *sim.totals.lock();
+        let r = MolDynResult { ekin, epot, vir, pos_sum: pos_sum(&sim.s) };
+        let s = crate::moldyn::seq::run(&d);
+        assert!(validate(&r));
+        assert!(agrees(&r, &s, 1e-9), "{r:?} vs {s:?}");
+    }
+}

@@ -1,0 +1,340 @@
+//! The MolDyn integration phases, shared by every parallelisation
+//! variant. Each phase is a *for-method body*: it operates on a strided
+//! particle range `(lo, hi, step)` and only touches state the schedule
+//! (or a variant-specific policy) entitles it to.
+
+
+// Index-based loops mirror the JGF Java kernels they port.
+#![allow(clippy::needless_range_loop)]
+
+use aomp::critical::CriticalHandle;
+use parking_lot::Mutex;
+
+use super::{MolShared, H, TREF};
+
+/// h²/2 — the force-folding factor of the leapfrog step.
+pub const HSQ2: f64 = H * H * 0.5;
+
+/// Move the owned particles: position update with periodic wrap, first
+/// half velocity kick with the previous step's folded force, and force
+/// reset (the JGF `domove`).
+///
+/// Disjointness: each particle index is owned by exactly one thread.
+pub fn domove_range(s: &MolShared, lo: i64, hi: i64, step: i64) {
+    let side = s.side;
+    let mut i = lo;
+    while i < hi {
+        let iu = i as usize;
+        for d in 0..3 {
+            // SAFETY: particle iu is schedule-owned by this thread.
+            unsafe {
+                let p = s.pos[d].get_mut(iu);
+                let v = s.vel[d].get_mut(iu);
+                let f = s.force[d].get_mut(iu);
+                *p += *v + *f;
+                if *p < 0.0 {
+                    *p += side;
+                }
+                if *p > side {
+                    *p -= side;
+                }
+                *v += *f;
+                *f = 0.0;
+            }
+        }
+        i += step;
+    }
+}
+
+/// One Lennard-Jones pair interaction. Returns
+/// `(fx, fy, fz, epot_contrib, vir_contrib)` for the (i, j) pair, or
+/// `None` outside the cutoff. Positions are read-only during the force
+/// phase, so the unsafe reads are race-free.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn pair(s: &MolShared, i: usize, j: usize, sideh: f64, rcoffs: f64) -> Option<(f64, f64, f64, f64, f64)> {
+    // SAFETY: force phase reads positions only (no writers until the next
+    // barrier-separated domove).
+    unsafe {
+        let wrap = |mut d: f64| {
+            if d < -sideh {
+                d += s.side;
+            }
+            if d > sideh {
+                d -= s.side;
+            }
+            d
+        };
+        let xx = wrap(s.pos[0].read(i) - s.pos[0].read(j));
+        let yy = wrap(s.pos[1].read(i) - s.pos[1].read(j));
+        let zz = wrap(s.pos[2].read(i) - s.pos[2].read(j));
+        let rd = xx * xx + yy * yy + zz * zz;
+        if rd > rcoffs || rd == 0.0 {
+            return None;
+        }
+        let rrd = 1.0 / rd;
+        let rrd2 = rrd * rrd;
+        let rrd3 = rrd2 * rrd;
+        let rrd4 = rrd2 * rrd2;
+        let rrd6 = rrd2 * rrd4;
+        let rrd7 = rrd6 * rrd;
+        // Full Lennard-Jones constants (ε = σ = 1): U = 4(r⁻¹² − r⁻⁶),
+        // F = 48(r⁻¹⁴ − ½r⁻⁸)·Δx. (JGF keeps the 4/48 factors outside its
+        // inner loop; folding them here keeps the dynamics identical.)
+        let r148 = 48.0 * (rrd7 - 0.5 * rrd4);
+        Some((xx * r148, yy * r148, zz * r148, 4.0 * (rrd6 - rrd3), -rd * r148))
+    }
+}
+
+/// Force phase accumulating into per-thread `local` arrays (the JGF
+/// thread-local / `@ThreadLocalField` strategy): no shared writes at all.
+/// Returns this range's (epot, vir) contributions.
+pub fn force_range_local(s: &MolShared, lo: i64, hi: i64, step: i64, local: &mut [Vec<f64>; 3]) -> (f64, f64) {
+    let sideh = 0.5 * s.side;
+    let rcoffs = s.rcoff * s.rcoff;
+    let (mut epot, mut vir) = (0.0, 0.0);
+    let n = s.n;
+    let mut i = lo;
+    while i < hi {
+        let iu = i as usize;
+        let (mut fxi, mut fyi, mut fzi) = (0.0, 0.0, 0.0);
+        for j in iu + 1..n {
+            if let Some((fx, fy, fz, ep, vi)) = pair(s, iu, j, sideh, rcoffs) {
+                epot += ep;
+                vir += vi;
+                fxi += fx;
+                fyi += fy;
+                fzi += fz;
+                local[0][j] -= fx;
+                local[1][j] -= fy;
+                local[2][j] -= fz;
+            }
+        }
+        local[0][iu] += fxi;
+        local[1][iu] += fyi;
+        local[2][iu] += fzi;
+        i += step;
+    }
+    (epot, vir)
+}
+
+/// Force phase with the `@Critical` strategy (paper Figure 15
+/// "Critical"): cross-particle updates run under one shared critical
+/// lock.
+pub fn force_range_critical(s: &MolShared, lo: i64, hi: i64, step: i64, crit: &CriticalHandle) -> (f64, f64) {
+    let sideh = 0.5 * s.side;
+    let rcoffs = s.rcoff * s.rcoff;
+    let (mut epot, mut vir) = (0.0, 0.0);
+    let n = s.n;
+    let mut i = lo;
+    while i < hi {
+        let iu = i as usize;
+        let (mut fxi, mut fyi, mut fzi) = (0.0, 0.0, 0.0);
+        for j in iu + 1..n {
+            if let Some((fx, fy, fz, ep, vi)) = pair(s, iu, j, sideh, rcoffs) {
+                epot += ep;
+                vir += vi;
+                fxi += fx;
+                fyi += fy;
+                fzi += fz;
+                crit.run(|| {
+                    // SAFETY: serialised by the critical section.
+                    unsafe {
+                        *s.force[0].get_mut(j) -= fx;
+                        *s.force[1].get_mut(j) -= fy;
+                        *s.force[2].get_mut(j) -= fz;
+                    }
+                });
+            }
+        }
+        crit.run(|| {
+            // SAFETY: serialised by the critical section.
+            unsafe {
+                *s.force[0].get_mut(iu) += fxi;
+                *s.force[1].get_mut(iu) += fyi;
+                *s.force[2].get_mut(iu) += fzi;
+            }
+        });
+        i += step;
+    }
+    (epot, vir)
+}
+
+/// Force phase with one lock per particle (paper Figure 15 "Locks").
+pub fn force_range_locks(s: &MolShared, lo: i64, hi: i64, step: i64, locks: &[Mutex<()>]) -> (f64, f64) {
+    let sideh = 0.5 * s.side;
+    let rcoffs = s.rcoff * s.rcoff;
+    let (mut epot, mut vir) = (0.0, 0.0);
+    let n = s.n;
+    let mut i = lo;
+    while i < hi {
+        let iu = i as usize;
+        let (mut fxi, mut fyi, mut fzi) = (0.0, 0.0, 0.0);
+        for j in iu + 1..n {
+            if let Some((fx, fy, fz, ep, vi)) = pair(s, iu, j, sideh, rcoffs) {
+                epot += ep;
+                vir += vi;
+                fxi += fx;
+                fyi += fy;
+                fzi += fz;
+                let _g = locks[j].lock();
+                // SAFETY: serialised by particle j's lock.
+                unsafe {
+                    *s.force[0].get_mut(j) -= fx;
+                    *s.force[1].get_mut(j) -= fy;
+                    *s.force[2].get_mut(j) -= fz;
+                }
+            }
+        }
+        let _g = locks[iu].lock();
+        // SAFETY: serialised by particle iu's lock.
+        unsafe {
+            *s.force[0].get_mut(iu) += fxi;
+            *s.force[1].get_mut(iu) += fyi;
+            *s.force[2].get_mut(iu) += fzi;
+        }
+        i += step;
+    }
+    (epot, vir)
+}
+
+/// Merge per-thread force arrays into the shared arrays for the owned
+/// particle range: `f[i] += Σ_t locals[t][i]` in thread order
+/// (deterministic).
+pub fn reduce_forces_range(s: &MolShared, lo: i64, hi: i64, step: i64, locals: &[&[Vec<f64>; 3]]) {
+    let mut i = lo;
+    while i < hi {
+        let iu = i as usize;
+        for d in 0..3 {
+            let mut acc = 0.0;
+            for l in locals {
+                acc += l[d][iu];
+            }
+            // SAFETY: particle iu is schedule-owned.
+            unsafe {
+                *s.force[d].get_mut(iu) += acc;
+            }
+        }
+        i += step;
+    }
+}
+
+/// Fold the freshly-accumulated raw forces by h²/2, apply the second half
+/// velocity kick, and return the owned particles' kinetic energy
+/// Σ½|v|² (folded units) — the JGF `mkekin`.
+pub fn kinetic_range(s: &MolShared, lo: i64, hi: i64, step: i64) -> f64 {
+    let mut ekin = 0.0;
+    let mut i = lo;
+    while i < hi {
+        let iu = i as usize;
+        for d in 0..3 {
+            // SAFETY: particle iu is schedule-owned in this phase.
+            unsafe {
+                let f = s.force[d].get_mut(iu);
+                let v = s.vel[d].get_mut(iu);
+                *f *= HSQ2;
+                *v += *f;
+                ekin += 0.5 * *v * *v;
+            }
+        }
+        i += step;
+    }
+    ekin
+}
+
+/// Velocity-rescaling factor towards the reference temperature, given the
+/// current total kinetic energy (folded units).
+pub fn scale_factor(n: usize, ekin: f64) -> f64 {
+    let target = 1.5 * n as f64 * TREF * H * H;
+    (target / ekin).sqrt()
+}
+
+/// Rescale the owned particles' velocities by `sc`.
+pub fn rescale_range(s: &MolShared, lo: i64, hi: i64, step: i64, sc: f64) {
+    let mut i = lo;
+    while i < hi {
+        let iu = i as usize;
+        for d in 0..3 {
+            // SAFETY: particle iu is schedule-owned.
+            unsafe {
+                *s.vel[d].get_mut(iu) *= sc;
+            }
+        }
+        i += step;
+    }
+}
+
+/// Σ positions over all particles (single-threaded contexts only).
+pub fn pos_sum(s: &MolShared) -> f64 {
+    let mut sum = 0.0;
+    for d in 0..3 {
+        for i in 0..s.n {
+            // SAFETY: called outside parallel phases.
+            sum += unsafe { s.pos[d].read(i) };
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moldyn::{generate, MolShared};
+
+    #[test]
+    fn pair_force_is_antisymmetric_in_distance_sign() {
+        let d = generate(2, 1);
+        let s = MolShared::new(&d);
+        let sideh = 0.5 * s.side;
+        let rcoffs = s.rcoff * s.rcoff;
+        if let Some((fx, fy, fz, ep, _)) = pair(&s, 0, 1, sideh, rcoffs) {
+            let (gx, gy, gz, ep2, _) = pair(&s, 1, 0, sideh, rcoffs).expect("symmetric cutoff");
+            assert!((fx + gx).abs() < 1e-12 && (fy + gy).abs() < 1e-12 && (fz + gz).abs() < 1e-12);
+            assert!((ep - ep2).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn local_and_critical_forces_agree() {
+        let d = generate(2, 1);
+        let s1 = MolShared::new(&d);
+        let s2 = MolShared::new(&d);
+        let n = d.n as i64;
+        let mut local = [vec![0.0; d.n], vec![0.0; d.n], vec![0.0; d.n]];
+        let (ep1, vir1) = force_range_local(&s1, 0, n, 1, &mut local);
+        reduce_forces_range(&s1, 0, n, 1, &[&local]);
+        let crit = CriticalHandle::new();
+        let (ep2, vir2) = force_range_critical(&s2, 0, n, 1, &crit);
+        assert!((ep1 - ep2).abs() < 1e-12);
+        assert!((vir1 - vir2).abs() < 1e-12);
+        for dd in 0..3 {
+            for i in 0..d.n {
+                let a = unsafe { s1.force[dd].read(i) };
+                let b = unsafe { s2.force[dd].read(i) };
+                assert!((a - b).abs() < 1e-12, "d={dd} i={i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_force_is_zero_by_newtons_third_law() {
+        let d = generate(2, 1);
+        let s = MolShared::new(&d);
+        let n = d.n as i64;
+        let mut local = [vec![0.0; d.n], vec![0.0; d.n], vec![0.0; d.n]];
+        force_range_local(&s, 0, n, 1, &mut local);
+        for dd in 0..3 {
+            let total: f64 = local[dd].iter().sum();
+            assert!(total.abs() < 1e-9, "dim {dd}: {total}");
+        }
+    }
+
+    #[test]
+    fn scale_factor_targets_tref() {
+        let n = 100;
+        let target = 1.5 * n as f64 * TREF * H * H;
+        assert!((scale_factor(n, target) - 1.0).abs() < 1e-12);
+        assert!(scale_factor(n, 2.0 * target) < 1.0);
+        assert!(scale_factor(n, 0.5 * target) > 1.0);
+    }
+}

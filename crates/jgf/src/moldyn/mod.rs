@@ -1,0 +1,272 @@
+//! JGF MolDyn: Lennard-Jones molecular dynamics (the paper's running
+//! example, §II and Figure 15).
+//!
+//! `n = 4·mm³` particles on an fcc lattice evolve under truncated
+//! Lennard-Jones forces with periodic boundaries. Forces are symmetric
+//! (Newton's third law), so the force loop has a genuine cross-particle
+//! data race — the paper's motivating "green code". Four parallelisations
+//! are provided:
+//!
+//! * [`mt`] — the JGF-MT baseline: hand-threading with per-thread force
+//!   arrays (paper Figure 3's red/blue/green code);
+//! * [`aomp`] — the AOmpLib version: cyclic `@For` + two
+//!   `@ThreadLocalField`s (force arrays; energy accumulators) with
+//!   `@Reduce` points — Table 2's `PR, FOR (cyclic), 2xTLF`;
+//! * [`variants::run_critical`] — force updates in a `@Critical` section
+//!   (paper Figure 15 "Critical");
+//! * [`variants::run_locks`] — one lock per particle (paper Figure 15
+//!   "Locks").
+//!
+//! The last two demonstrate the paper's key claim: alternative
+//! parallelisation strategies are swapped by deploying a different aspect
+//! module, without touching the base simulation code.
+
+
+// Index-based loops mirror the JGF Java kernels they port.
+#![allow(clippy::needless_range_loop)]
+
+pub mod aomp;
+pub mod forces;
+pub mod mt;
+pub mod seq;
+pub mod variants;
+
+use crate::harness::Size;
+use crate::meta::{Abstraction, BenchmarkMeta, ForKind, Refactoring};
+use crate::shared::SyncVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reduced density (JGF constant).
+pub const DEN: f64 = 0.83134;
+/// Reference temperature (JGF constant).
+pub const TREF: f64 = 0.722;
+/// Timestep. (JGF's 0.064 pairs with its constant-folded weak force; with
+/// the explicit Lennard-Jones 4/48 factors the conventional stable LJ
+/// timestep is ~0.004.)
+pub const H: f64 = 0.004;
+/// Velocity-rescaling interval in steps.
+pub const SCALE_INTERVAL: usize = 8;
+
+/// Lattice cells per side for each preset (JGF A: mm = 8 → 2048
+/// particles; the paper's Figure 15 sweeps mm ∈ {6, 8, 13, 17, 40, 50}).
+pub fn mm_for(size: Size) -> usize {
+    match size {
+        Size::Small => 4,
+        Size::A => 8,
+        Size::B => 13,
+    }
+}
+
+/// Particle count for a lattice of `mm` cells per side.
+pub fn particles(mm: usize) -> usize {
+    4 * mm * mm * mm
+}
+
+/// Simulation steps per run (JGF uses 50; tests use fewer).
+pub const DEFAULT_MOVES: usize = 50;
+
+/// Immutable problem definition: initial particle state.
+#[derive(Clone)]
+pub struct MolDynData {
+    /// Particle count.
+    pub n: usize,
+    /// Box side length.
+    pub side: f64,
+    /// Force cutoff radius.
+    pub rcoff: f64,
+    /// Initial positions, per dimension.
+    pub pos: [Vec<f64>; 3],
+    /// Initial velocities (time-folded units: displacement per step).
+    pub vel: [Vec<f64>; 3],
+    /// Steps to simulate.
+    pub moves: usize,
+}
+
+/// Build the fcc lattice and Maxwell-ish velocities, deterministically.
+pub fn generate(mm: usize, moves: usize) -> MolDynData {
+    let n = particles(mm);
+    let side = (n as f64 / DEN).cbrt();
+    // Standard LJ cutoff (2.5σ), capped at half the box for the minimum-
+    // image convention. (JGF uses mm/4 · a, which equals side/4; that is
+    // below the nearest-neighbour distance for small lattices, so the
+    // conventional cutoff keeps small test systems physical.)
+    let rcoff = 2.5f64.min(side / 2.0);
+    let a = side / mm as f64;
+    let mut pos = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+    // fcc basis within each cell.
+    let basis = [(0.0, 0.0, 0.0), (0.0, 0.5, 0.5), (0.5, 0.0, 0.5), (0.5, 0.5, 0.0)];
+    let mut idx = 0;
+    for ix in 0..mm {
+        for iy in 0..mm {
+            for iz in 0..mm {
+                for &(bx, by, bz) in &basis {
+                    pos[0][idx] = (ix as f64 + bx) * a;
+                    pos[1][idx] = (iy as f64 + by) * a;
+                    pos[2][idx] = (iz as f64 + bz) * a;
+                    idx += 1;
+                }
+            }
+        }
+    }
+    // Gaussian velocities (Box–Muller), zero net momentum, scaled to the
+    // reference temperature; folded by the timestep.
+    let mut rng = StdRng::seed_from_u64(0x401d_da1d);
+    let mut vel = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+    for d in 0..3 {
+        for v in vel[d].iter_mut() {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            *v = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+        let mean: f64 = vel[d].iter().sum::<f64>() / n as f64;
+        for v in vel[d].iter_mut() {
+            *v -= mean;
+        }
+    }
+    let vsq: f64 = (0..3).map(|d| vel[d].iter().map(|v| v * v).sum::<f64>()).sum();
+    let sc = (3.0 * n as f64 * TREF / vsq).sqrt() * H;
+    for d in 0..3 {
+        for v in vel[d].iter_mut() {
+            *v *= sc;
+        }
+    }
+    MolDynData { n, side, rcoff, pos, vel, moves }
+}
+
+/// Shared mutable simulation state, `Arc`-shareable so aspect modules can
+/// capture it (the `md` object of the paper's Figure 2).
+pub struct MolShared {
+    /// Particle count.
+    pub n: usize,
+    /// Box side length.
+    pub side: f64,
+    /// Force cutoff radius.
+    pub rcoff: f64,
+    /// Positions per dimension.
+    pub pos: [SyncVec<f64>; 3],
+    /// Velocities per dimension (folded units).
+    pub vel: [SyncVec<f64>; 3],
+    /// Forces per dimension (folded units after the scale phase).
+    pub force: [SyncVec<f64>; 3],
+}
+
+impl MolShared {
+    /// Initialise from a problem definition.
+    pub fn new(data: &MolDynData) -> Self {
+        Self {
+            n: data.n,
+            side: data.side,
+            rcoff: data.rcoff,
+            pos: [
+                SyncVec::new(data.pos[0].clone()),
+                SyncVec::new(data.pos[1].clone()),
+                SyncVec::new(data.pos[2].clone()),
+            ],
+            vel: [
+                SyncVec::new(data.vel[0].clone()),
+                SyncVec::new(data.vel[1].clone()),
+                SyncVec::new(data.vel[2].clone()),
+            ],
+            force: [SyncVec::zeroed(data.n), SyncVec::zeroed(data.n), SyncVec::zeroed(data.n)],
+        }
+    }
+}
+
+/// Result: energy bookkeeping of the final step plus a trajectory
+/// checksum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MolDynResult {
+    /// Kinetic energy (folded units) at the end.
+    pub ekin: f64,
+    /// Potential energy accumulated in the final force evaluation.
+    pub epot: f64,
+    /// Virial accumulated in the final force evaluation.
+    pub vir: f64,
+    /// Σ positions — a cheap trajectory checksum.
+    pub pos_sum: f64,
+}
+
+/// Cross-variant validation: energies finite, potential negative (bound
+/// Lennard-Jones liquid), kinetic positive.
+pub fn validate(r: &MolDynResult) -> bool {
+    r.ekin.is_finite() && r.epot.is_finite() && r.vir.is_finite() && r.ekin > 0.0 && r.epot < 0.0
+}
+
+/// Relative agreement between two runs (different summation orders make
+/// bitwise equality impossible; MD is chaotic so tolerance grows with
+/// step count — compare only short runs).
+pub fn agrees(a: &MolDynResult, b: &MolDynResult, tol: f64) -> bool {
+    crate::harness::approx_eq(a.ekin, b.ekin, tol)
+        && crate::harness::approx_eq(a.epot, b.epot, tol)
+        && crate::harness::approx_eq(a.pos_sum, b.pos_sum, tol)
+}
+
+/// Paper Table 2 row.
+pub fn table2_meta() -> BenchmarkMeta {
+    BenchmarkMeta {
+        name: "MolDyn",
+        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 3)],
+        abstractions: vec![
+            (Abstraction::ParallelRegion, 1),
+            (Abstraction::For(ForKind::Cyclic), 1),
+            (Abstraction::ThreadLocalField, 2),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_MOVES: usize = 6;
+
+    #[test]
+    fn lattice_is_inside_box() {
+        let d = generate(3, TEST_MOVES);
+        assert_eq!(d.n, 108);
+        for dim in 0..3 {
+            assert!(d.pos[dim].iter().all(|&p| (0.0..=d.side).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn velocities_have_zero_net_momentum() {
+        let d = generate(3, TEST_MOVES);
+        for dim in 0..3 {
+            let sum: f64 = d.vel[dim].iter().sum();
+            assert!(sum.abs() < 1e-9, "dim {dim}: {sum}");
+        }
+    }
+
+    #[test]
+    fn seq_run_validates() {
+        let d = generate(3, TEST_MOVES);
+        let r = seq::run(&d);
+        assert!(validate(&r), "{r:?}");
+    }
+
+    #[test]
+    fn all_variants_agree_with_seq() {
+        let d = generate(3, TEST_MOVES);
+        let s = seq::run(&d);
+        for t in [1, 2, 4] {
+            let m = mt::run(&d, t);
+            assert!(validate(&m) && agrees(&m, &s, 1e-6), "mt t={t}: {m:?} vs {s:?}");
+            let a = aomp::run(&d, t);
+            assert!(validate(&a) && agrees(&a, &s, 1e-6), "aomp t={t}: {a:?} vs {s:?}");
+            let c = variants::run_critical(&d, t);
+            assert!(validate(&c) && agrees(&c, &s, 1e-6), "critical t={t}: {c:?} vs {s:?}");
+            let l = variants::run_locks(&d, t);
+            assert!(validate(&l) && agrees(&l, &s, 1e-6), "locks t={t}: {l:?} vs {s:?}");
+        }
+    }
+
+    #[test]
+    fn mt_single_thread_matches_seq_bitwise() {
+        let d = generate(3, TEST_MOVES);
+        let s = seq::run(&d);
+        let m = mt::run(&d, 1);
+        assert_eq!(s, m);
+    }
+}

@@ -1,0 +1,113 @@
+//! Hand-threaded MolDyn, JGF-MT style (paper Figure 3): explicit thread
+//! spawning, cyclic particle distribution and per-thread force arrays
+//! (`sh_force2`) — the red, blue and green code the paper's §II uses to
+//! motivate AOmpLib.
+
+use std::sync::Barrier;
+
+use super::forces::{domove_range, force_range_local, kinetic_range, pos_sum, reduce_forces_range, rescale_range, scale_factor};
+use super::{MolDynData, MolDynResult, MolShared, SCALE_INTERVAL};
+use crate::shared::SyncSlice;
+
+type LocalForces = [Vec<f64>; 3];
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    s: &MolShared,
+    locals: SyncSlice<'_, LocalForces>,
+    epots: SyncSlice<'_, f64>,
+    virs: SyncSlice<'_, f64>,
+    ekins: SyncSlice<'_, f64>,
+    moves: usize,
+    id: usize,
+    nthreads: usize,
+    barrier: &Barrier,
+) {
+    let n = s.n as i64;
+    let (lo, step) = (id as i64, nthreads as i64);
+    for mv in 0..moves {
+        // Move own (cyclic) particles.
+        domove_range(s, lo, n, step);
+        barrier.wait();
+        // Accumulate forces into this thread's private arrays.
+        {
+            // SAFETY: slot `id` is this thread's own local array.
+            let local = unsafe { locals.get_mut(id) };
+            for l in local.iter_mut() {
+                l.iter_mut().for_each(|v| *v = 0.0);
+            }
+            let (ep, vi) = force_range_local(s, lo, n, step, local);
+            // SAFETY: per-thread result slots.
+            unsafe {
+                epots.set(id, ep);
+                virs.set(id, vi);
+            }
+        }
+        barrier.wait();
+        // Reduce all threads' contributions for the owned particles.
+        {
+            // SAFETY: read-only phase for the local arrays.
+            let all: Vec<&LocalForces> = (0..nthreads).map(|t| unsafe { locals.get(t) }).collect();
+            reduce_forces_range(s, lo, n, step, &all);
+        }
+        barrier.wait();
+        let ek = kinetic_range(s, lo, n, step);
+        // SAFETY: per-thread result slot.
+        unsafe { ekins.set(id, ek) };
+        barrier.wait();
+        if (mv + 1) % SCALE_INTERVAL == 0 {
+            // Every thread computes the same total in the same order.
+            let total: f64 = (0..nthreads).map(|t| unsafe { ekins.read(t) }).sum();
+            let sc = scale_factor(s.n, total);
+            rescale_range(s, lo, n, step, sc);
+            barrier.wait();
+        }
+    }
+}
+
+/// Run the JGF-MT simulation on `threads` threads.
+pub fn run(data: &MolDynData, threads: usize) -> MolDynResult {
+    let s = MolShared::new(data);
+    let mut locals: Vec<LocalForces> =
+        (0..threads).map(|_| [vec![0.0; data.n], vec![0.0; data.n], vec![0.0; data.n]]).collect();
+    let mut epots = vec![0.0f64; threads];
+    let mut virs = vec![0.0f64; threads];
+    let mut ekins = vec![0.0f64; threads];
+    {
+        let locals_s = SyncSlice::new(&mut locals);
+        let epots_s = SyncSlice::new(&mut epots);
+        let virs_s = SyncSlice::new(&mut virs);
+        let ekins_s = SyncSlice::new(&mut ekins);
+        let barrier = Barrier::new(threads);
+        let s_ref = &s;
+        std::thread::scope(|scope| {
+            for id in 1..threads {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    worker(s_ref, locals_s, epots_s, virs_s, ekins_s, data.moves, id, threads, barrier)
+                });
+            }
+            worker(s_ref, locals_s, epots_s, virs_s, ekins_s, data.moves, 0, threads, &barrier);
+        });
+    }
+    MolDynResult {
+        ekin: ekins.iter().sum(),
+        epot: epots.iter().sum(),
+        vir: virs.iter().sum(),
+        pos_sum: pos_sum(&s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moldyn::{agrees, generate};
+
+    #[test]
+    fn mt_two_threads_agrees_with_seq() {
+        let d = generate(2, 4);
+        let s = crate::moldyn::seq::run(&d);
+        let m = run(&d, 2);
+        assert!(agrees(&m, &s, 1e-9), "{m:?} vs {s:?}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Sequential MolDyn: the base program of paper Figure 14 — `runiters`
+//! drives `domove`, `compute_forces` (the M2FOR refactor) and the energy
+//! steps.
+
+use super::forces::{domove_range, force_range_local, kinetic_range, pos_sum, reduce_forces_range, rescale_range, scale_factor};
+use super::{MolDynData, MolDynResult, MolShared, SCALE_INTERVAL};
+
+/// Run the sequential simulation. Uses the same local-buffer force
+/// accumulation as the thread-local parallel variants so that a
+/// single-thread parallel run reproduces it bitwise.
+pub fn run(data: &MolDynData) -> MolDynResult {
+    let s = MolShared::new(data);
+    let n = data.n as i64;
+    let mut local = [vec![0.0; data.n], vec![0.0; data.n], vec![0.0; data.n]];
+    let (mut ekin, mut epot, mut vir) = (0.0, 0.0, 0.0);
+    for mv in 0..data.moves {
+        domove_range(&s, 0, n, 1);
+        for l in local.iter_mut() {
+            l.iter_mut().for_each(|v| *v = 0.0);
+        }
+        let (ep, vi) = force_range_local(&s, 0, n, 1, &mut local);
+        epot = ep;
+        vir = vi;
+        reduce_forces_range(&s, 0, n, 1, &[&local]);
+        ekin = kinetic_range(&s, 0, n, 1);
+        if (mv + 1) % SCALE_INTERVAL == 0 {
+            let sc = scale_factor(data.n, ekin);
+            rescale_range(&s, 0, n, 1, sc);
+        }
+    }
+    MolDynResult { ekin, epot, vir, pos_sum: pos_sum(&s) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moldyn::generate;
+
+    #[test]
+    fn deterministic() {
+        let d = generate(2, 4);
+        assert_eq!(run(&d), run(&d));
+    }
+
+    #[test]
+    fn particles_stay_in_box() {
+        let d = generate(2, 4);
+        let s = MolShared::new(&d);
+        let n = d.n as i64;
+        let mut local = [vec![0.0; d.n], vec![0.0; d.n], vec![0.0; d.n]];
+        for _ in 0..4 {
+            domove_range(&s, 0, n, 1);
+            for l in local.iter_mut() {
+                l.iter_mut().for_each(|v| *v = 0.0);
+            }
+            force_range_local(&s, 0, n, 1, &mut local);
+            reduce_forces_range(&s, 0, n, 1, &[&local]);
+            kinetic_range(&s, 0, n, 1);
+        }
+        for dim in 0..3 {
+            for i in 0..d.n {
+                let p = unsafe { s.pos[dim].read(i) };
+                assert!((-0.5..=d.side + 0.5).contains(&p), "dim {dim} i {i}: {p}");
+            }
+        }
+    }
+}

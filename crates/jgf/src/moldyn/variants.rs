@@ -1,0 +1,154 @@
+//! The alternative MolDyn parallelisations of paper Figure 15:
+//! force updates under a single `@Critical` section, and one lock per
+//! particle. Both share the same base program skeleton as the
+//! thread-local variant — the paper's point: "multiple parallelisation
+//! approaches can be experimented (and simultaneously supported) without
+//! modifying the base program".
+
+use aomp::critical::CriticalHandle;
+use aomp::prelude::*;
+use aomp_weaver::prelude::*;
+use parking_lot::Mutex;
+
+use super::forces::{domove_range, force_range_critical, force_range_locks, kinetic_range, pos_sum, rescale_range, scale_factor};
+use super::{MolDynData, MolDynResult, MolShared, SCALE_INTERVAL};
+
+/// How cross-particle force updates are protected.
+pub enum ForcePolicy {
+    /// One shared critical lock (paper Figure 15 "Critical").
+    Critical(CriticalHandle),
+    /// One lock per particle (paper Figure 15 "Locks").
+    Locks(Vec<Mutex<()>>),
+}
+
+impl ForcePolicy {
+    /// Display name used by the Figure 15 harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ForcePolicy::Critical(_) => "Critical",
+            ForcePolicy::Locks(_) => "Locks",
+        }
+    }
+}
+
+struct Sim {
+    s: MolShared,
+    policy: ForcePolicy,
+    energy_tlf: ThreadLocalField<(f64, f64)>,
+    ekin_tlf: ThreadLocalField<f64>,
+    totals: Mutex<(f64, f64, f64)>,
+}
+
+fn compute_forces(sim: &Sim) {
+    aomp_weaver::call_for("MolDynVar.computeForces", LoopRange::upto(0, sim.s.n as i64), |lo, hi, st| {
+        let (ep, vi) = match &sim.policy {
+            ForcePolicy::Critical(crit) => force_range_critical(&sim.s, lo, hi, st, crit),
+            ForcePolicy::Locks(locks) => force_range_locks(&sim.s, lo, hi, st, locks),
+        };
+        sim.energy_tlf.update_or_init(|| (0.0, 0.0), |e| {
+            e.0 += ep;
+            e.1 += vi;
+        });
+    });
+}
+
+/// Master point folding the per-thread energy pairs.
+fn reduce_energies(sim: &Sim) {
+    aomp_weaver::call("MolDynVar.reduceEnergies", || {
+        let (mut ep, mut vi) = (0.0, 0.0);
+        for (e, v) in sim.energy_tlf.drain_locals() {
+            ep += e;
+            vi += v;
+        }
+        let mut t = sim.totals.lock();
+        t.1 = ep;
+        t.2 = vi;
+    });
+}
+
+fn total_ekin(sim: &Sim) -> f64 {
+    aomp_weaver::call_value("MolDynVar.totalEkin", || {
+        let total: f64 = sim.ekin_tlf.drain_locals().into_iter().sum();
+        sim.totals.lock().0 = total;
+        total
+    })
+}
+
+fn runiters(sim: &Sim, moves: usize) {
+    aomp_weaver::call("MolDynVar.runiters", || {
+        let n = sim.s.n as i64;
+        for mv in 0..moves {
+            aomp_weaver::call_for("MolDynVar.domove", LoopRange::upto(0, n), |lo, hi, st| {
+                domove_range(&sim.s, lo, hi, st);
+            });
+            compute_forces(sim);
+            reduce_energies(sim);
+            aomp_weaver::call_for("MolDynVar.updateKinetic", LoopRange::upto(0, n), |lo, hi, st| {
+                let ek = kinetic_range(&sim.s, lo, hi, st);
+                sim.ekin_tlf.update_or_init(|| 0.0, |v| *v += ek);
+            });
+            let total = total_ekin(sim);
+            if (mv + 1) % SCALE_INTERVAL == 0 {
+                let sc = scale_factor(sim.s.n, total);
+                aomp_weaver::call_for("MolDynVar.rescale", LoopRange::upto(0, n), |lo, hi, st| {
+                    rescale_range(&sim.s, lo, hi, st, sc);
+                });
+            }
+        }
+    });
+}
+
+/// The aspect for the variant runs (independent of the force policy —
+/// the policy itself is the swappable piece).
+pub fn aspect(threads: usize) -> AspectModule {
+    let mut b = AspectModule::builder("ParallelMolDynVariant")
+        .bind(Pointcut::call("MolDynVar.runiters"), Mechanism::parallel().threads(threads));
+    for jp in ["MolDynVar.domove", "MolDynVar.computeForces", "MolDynVar.updateKinetic", "MolDynVar.rescale"] {
+        b = b
+            .bind(Pointcut::call(jp), Mechanism::for_loop(Schedule::StaticCyclic))
+            .bind(Pointcut::call(jp), Mechanism::barrier_after());
+    }
+    b.bind(Pointcut::call("MolDynVar.reduceEnergies"), Mechanism::master())
+        .bind(Pointcut::call("MolDynVar.reduceEnergies"), Mechanism::barrier_after())
+        .bind(Pointcut::call("MolDynVar.totalEkin"), Mechanism::master())
+        .bind(Pointcut::call("MolDynVar.totalEkin"), Mechanism::barrier_before())
+        .build()
+}
+
+fn run_policy(data: &MolDynData, threads: usize, policy: ForcePolicy) -> MolDynResult {
+    let sim = Sim {
+        s: MolShared::new(data),
+        policy,
+        energy_tlf: ThreadLocalField::new((0.0, 0.0)),
+        ekin_tlf: ThreadLocalField::new(0.0),
+        totals: Mutex::new((0.0, 0.0, 0.0)),
+    };
+    Weaver::global().with_deployed(aspect(threads), || runiters(&sim, data.moves));
+    let (ekin, epot, vir) = *sim.totals.lock();
+    MolDynResult { ekin, epot, vir, pos_sum: pos_sum(&sim.s) }
+}
+
+/// Figure 15 "Critical": cross-particle force updates in one critical
+/// section.
+pub fn run_critical(data: &MolDynData, threads: usize) -> MolDynResult {
+    run_policy(data, threads, ForcePolicy::Critical(CriticalHandle::new()))
+}
+
+/// Figure 15 "Locks": one lock per particle.
+pub fn run_locks(data: &MolDynData, threads: usize) -> MolDynResult {
+    run_policy(data, threads, ForcePolicy::Locks((0..data.n).map(|_| Mutex::new(())).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moldyn::{agrees, generate};
+
+    #[test]
+    fn critical_and_locks_agree_with_each_other() {
+        let d = generate(2, 4);
+        let c = run_critical(&d, 2);
+        let l = run_locks(&d, 2);
+        assert!(agrees(&c, &l, 1e-9), "{c:?} vs {l:?}");
+    }
+}

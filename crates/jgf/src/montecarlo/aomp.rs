@@ -1,0 +1,63 @@
+//! AOmpLib-style MonteCarlo: the run loop exposed as a for method with a
+//! cyclic schedule — `PR, FOR (cyclic)`.
+
+use aomp::prelude::*;
+use aomp_weaver::prelude::*;
+
+use super::{finish, simulate_run, McData, McResult};
+use crate::shared::SyncSlice;
+
+/// The for method join point `MonteCarlo.runSerials`.
+fn run_serials(start: i64, end: i64, step: i64, d: &McData, results: SyncSlice<'_, f64>) {
+    aomp_weaver::call_for("MonteCarlo.runSerials", LoopRange::new(start, end, step), |lo, hi, st| {
+        let mut k = lo;
+        while k < hi {
+            // SAFETY: the cyclic schedule owns run k on this thread.
+            unsafe { results.set(k as usize, simulate_run(d, k as usize)) };
+            k += st;
+        }
+    });
+}
+
+/// The run method join point `MonteCarlo.run`.
+fn mc_run(d: &McData, results: SyncSlice<'_, f64>) {
+    aomp_weaver::call("MonteCarlo.run", || {
+        run_serials(0, d.nruns as i64, 1, d, results);
+    });
+}
+
+/// The concrete aspect: parallel region + cyclic for.
+pub fn aspect(threads: usize) -> AspectModule {
+    AspectModule::builder("ParallelMonteCarlo")
+        .bind(Pointcut::call("MonteCarlo.run"), Mechanism::parallel().threads(threads))
+        .bind(Pointcut::call("MonteCarlo.runSerials"), Mechanism::for_loop(Schedule::StaticCyclic))
+        .build()
+}
+
+/// Run on `threads` threads.
+pub fn run(d: &McData, threads: usize) -> McResult {
+    let mut results = vec![0.0; d.nruns];
+    {
+        let r_s = SyncSlice::new(&mut results);
+        Weaver::global().with_deployed(aspect(threads), || mc_run(d, r_s));
+    }
+    finish(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::montecarlo::generate;
+
+    #[test]
+    fn unplugged_matches_seq() {
+        let d = generate(Size::Small);
+        let mut results = vec![0.0; d.nruns];
+        {
+            let r_s = SyncSlice::new(&mut results);
+            mc_run(&d, r_s);
+        }
+        assert_eq!(results, crate::montecarlo::seq::run(&d).results);
+    }
+}

@@ -1,0 +1,165 @@
+//! JGF MonteCarlo: financial Monte Carlo simulation — derive drift and
+//! volatility from a historical rate path, then simulate many geometric
+//! Brownian price paths and average their expected return.
+//!
+//! Each simulation run is independent and seeded by its run index, so
+//! results are bitwise identical regardless of which thread executes
+//! which run — results land in a per-run slot array and are summed
+//! sequentially, exactly like the JGF `results` vector.
+//!
+//! Parallelisation (Table 2): `PR, FOR (cyclic)`.
+
+pub mod aomp;
+pub mod mt;
+pub mod seq;
+pub mod tasks;
+
+use crate::harness::Size;
+use crate::meta::{Abstraction, BenchmarkMeta, ForKind, Refactoring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Path length in timesteps (the JGF rate path length).
+pub const PATH_LENGTH: usize = 1000;
+
+/// Simulation runs per preset (JGF: A = 2000, B = 60000 — B scaled ×0.2
+/// for the single-core container).
+pub fn runs_for(size: Size) -> usize {
+    match size {
+        Size::Small => 64,
+        Size::A => 2_000,
+        Size::B => 12_000,
+    }
+}
+
+/// Problem definition: drift and volatility estimated from a synthetic
+/// historical path (JGF reads `hitData`; we synthesise an equivalent
+/// deterministic series — see DESIGN.md substitutions).
+#[derive(Clone)]
+pub struct McData {
+    /// Expected return rate (drift) per unit time.
+    pub expected_return_rate: f64,
+    /// Volatility per sqrt(unit time).
+    pub volatility: f64,
+    /// Timestep.
+    pub dt: f64,
+    /// Initial price.
+    pub s0: f64,
+    /// Number of Monte Carlo runs.
+    pub nruns: usize,
+    /// Base RNG seed; run `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+/// Synthesise the historical series and estimate its parameters, as JGF's
+/// `returnPath`/`volatility` computations do.
+pub fn generate(size: Size) -> McData {
+    let mut rng = StdRng::seed_from_u64(0xca11_0ca7);
+    let dt = 1.0 / PATH_LENGTH as f64;
+    let (mu_true, sigma_true, s0) = (0.1, 0.3, 100.0);
+    // Synthetic historical GBM path.
+    let mut path = Vec::with_capacity(PATH_LENGTH);
+    let mut s = s0;
+    for _ in 0..PATH_LENGTH {
+        let z = gaussian(&mut rng);
+        s *= ((mu_true - 0.5 * sigma_true * sigma_true) * dt + sigma_true * dt.sqrt() * z).exp();
+        path.push(s);
+    }
+    // Estimate log-return mean and variance (JGF's ReturnPath logic).
+    let logret: Vec<f64> = path.windows(2).map(|w| (w[1] / w[0]).ln()).collect();
+    let mean = logret.iter().sum::<f64>() / logret.len() as f64;
+    let var = logret.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (logret.len() - 1) as f64;
+    let volatility = (var / dt).sqrt();
+    let expected_return_rate = mean / dt + 0.5 * volatility * volatility;
+    McData { expected_return_rate, volatility, dt, s0, nruns: runs_for(size), seed: 0x600d_5eed }
+}
+
+/// One standard Gaussian draw (Box–Muller).
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Simulate run `k`: a fresh GBM path using the estimated parameters;
+/// returns the path's expected return rate estimate (the JGF
+/// `PriceStock` result).
+pub fn simulate_run(d: &McData, k: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(d.seed.wrapping_add(k as u64));
+    let drift = (d.expected_return_rate - 0.5 * d.volatility * d.volatility) * d.dt;
+    let diffusion = d.volatility * d.dt.sqrt();
+    let mut sum_logret = 0.0;
+    for _ in 0..PATH_LENGTH {
+        let step = drift + diffusion * gaussian(&mut rng);
+        sum_logret += step;
+    }
+    // Per-run expected return rate estimate.
+    sum_logret / (PATH_LENGTH as f64 * d.dt) + 0.5 * d.volatility * d.volatility
+}
+
+/// Result: per-run values plus their average.
+pub struct McResult {
+    /// Per-run expected return estimates, indexed by run.
+    pub results: Vec<f64>,
+    /// Mean over runs — the JGF `avgExpectedReturnRate`.
+    pub avg: f64,
+}
+
+/// Fold the per-run slots into the average (sequential order → bitwise
+/// determinism across variants).
+pub fn finish(results: Vec<f64>) -> McResult {
+    let avg = results.iter().sum::<f64>() / results.len() as f64;
+    McResult { results, avg }
+}
+
+/// Validation: the Monte Carlo average recovers the estimated drift
+/// within statistical tolerance.
+pub fn validate(d: &McData, r: &McResult) -> bool {
+    r.avg.is_finite() && (r.avg - d.expected_return_rate).abs() < 0.05 + 0.5 * d.volatility
+}
+
+/// Paper Table 2 row.
+pub fn table2_meta() -> BenchmarkMeta {
+    BenchmarkMeta {
+        name: "MonteCarlo",
+        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        abstractions: vec![
+            (Abstraction::ParallelRegion, 1),
+            (Abstraction::For(ForKind::Cyclic), 1),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_estimates_are_close_to_truth() {
+        let d = generate(Size::Small);
+        assert!((d.volatility - 0.3).abs() < 0.05, "vol={}", d.volatility);
+        assert!((d.expected_return_rate - 0.1).abs() < 0.35, "mu={}", d.expected_return_rate);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_index() {
+        let d = generate(Size::Small);
+        assert_eq!(simulate_run(&d, 7), simulate_run(&d, 7));
+        assert_ne!(simulate_run(&d, 7), simulate_run(&d, 8));
+    }
+
+    #[test]
+    fn variants_agree_bitwise_and_validate() {
+        let d = generate(Size::Small);
+        let s = seq::run(&d);
+        assert!(validate(&d, &s), "avg={}", s.avg);
+        for t in [1, 2, 4] {
+            let m = mt::run(&d, t);
+            let a = aomp::run(&d, t);
+            assert_eq!(m.results, s.results, "mt t={t}");
+            assert_eq!(a.results, s.results, "aomp t={t}");
+            assert_eq!(m.avg, s.avg);
+            assert_eq!(a.avg, s.avg);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Hand-threaded MonteCarlo, JGF-MT style: cyclic distribution of runs
+//! over explicitly spawned threads.
+
+use super::{finish, simulate_run, McData, McResult};
+use crate::shared::SyncSlice;
+
+fn worker(d: &McData, results: SyncSlice<'_, f64>, id: usize, nthreads: usize) {
+    let mut k = id;
+    while k < d.nruns {
+        // SAFETY: run k is owned by thread k % nthreads.
+        unsafe { results.set(k, simulate_run(d, k)) };
+        k += nthreads;
+    }
+}
+
+/// Run on `threads` threads.
+pub fn run(d: &McData, threads: usize) -> McResult {
+    let mut results = vec![0.0; d.nruns];
+    {
+        let r_s = SyncSlice::new(&mut results);
+        std::thread::scope(|s| {
+            for id in 1..threads {
+                s.spawn(move || worker(d, r_s, id, threads));
+            }
+            worker(d, r_s, 0, threads);
+        });
+    }
+    finish(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::montecarlo::generate;
+
+    #[test]
+    fn mt_matches_seq() {
+        let d = generate(Size::Small);
+        assert_eq!(run(&d, 3).results, crate::montecarlo::seq::run(&d).results);
+    }
+}

@@ -1,0 +1,33 @@
+//! Sequential MonteCarlo with the run loop as a for method (M2FOR).
+
+use super::{finish, simulate_run, McData, McResult};
+
+/// The for method: simulate runs `start..end` into the slot array.
+pub fn run_serials(start: i64, end: i64, step: i64, d: &McData, results: &mut [f64]) {
+    let mut k = start;
+    while k < end {
+        results[k as usize] = simulate_run(d, k as usize);
+        k += step;
+    }
+}
+
+/// Run all simulations sequentially.
+pub fn run(d: &McData) -> McResult {
+    let mut results = vec![0.0; d.nruns];
+    run_serials(0, d.nruns as i64, 1, d, &mut results);
+    finish(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::montecarlo::generate;
+
+    #[test]
+    fn fills_every_slot() {
+        let d = generate(Size::Small);
+        let r = run(&d);
+        assert!(r.results.iter().all(|v| *v != 0.0));
+    }
+}

@@ -1,0 +1,68 @@
+//! MonteCarlo with `@FutureTask` block decomposition — exercising the
+//! paper's task constructs (Table 1: `@Task`, `@TaskWait`, `@FutureTask`,
+//! `@FutureResult`) on a real workload.
+//!
+//! The run range is cut into fixed-size blocks; each block becomes a
+//! future task (a spawned activity computing a `Vec<f64>` of per-run
+//! results); the collector `get()`s each future — the `@FutureResult`
+//! synchronisation point — and scatters the values into the slot array.
+//! Results are bitwise identical to the sequential version because each
+//! run is seeded by its own index.
+
+use std::sync::Arc;
+
+use aomp::task::{spawn_future, FutureTask};
+
+use super::{finish, simulate_run, McData, McResult};
+
+/// Runs per spawned task.
+pub const BLOCK: usize = 32;
+
+/// Run the simulation with one future task per block of runs.
+pub fn run(d: &McData) -> McResult {
+    // Tasks are 'static activities (the paper's model: a new parallel
+    // activity per @Task), so the problem data is shared via Arc.
+    let d = Arc::new(d.clone());
+    let nblocks = d.nruns.div_ceil(BLOCK);
+    let futures: Vec<(usize, FutureTask<Vec<f64>>)> = (0..nblocks)
+        .map(|b| {
+            let d = Arc::clone(&d);
+            let lo = b * BLOCK;
+            let hi = ((b + 1) * BLOCK).min(d.nruns);
+            (lo, spawn_future(move || (lo..hi).map(|k| simulate_run(&d, k)).collect()))
+        })
+        .collect();
+    let mut results = vec![0.0; d.nruns];
+    for (lo, fut) in futures {
+        // @FutureResult getter: blocks until the producing activity set it.
+        for (off, v) in fut.get().into_iter().enumerate() {
+            results[lo + off] = v;
+        }
+    }
+    finish(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::montecarlo::{generate, validate};
+
+    #[test]
+    fn task_variant_matches_seq_bitwise() {
+        let d = generate(Size::Small);
+        let s = crate::montecarlo::seq::run(&d);
+        let t = run(&d);
+        assert_eq!(t.results, s.results);
+        assert_eq!(t.avg, s.avg);
+        assert!(validate(&d, &t));
+    }
+
+    #[test]
+    fn handles_non_multiple_block_counts() {
+        let mut d = generate(Size::Small);
+        d.nruns = BLOCK + 7;
+        let s = crate::montecarlo::seq::run(&d);
+        assert_eq!(run(&d).results, s.results);
+    }
+}

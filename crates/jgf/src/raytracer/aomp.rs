@@ -1,0 +1,77 @@
+//! AOmpLib-style RayTracer: cyclic `@For` over scanlines with the
+//! checksum in a `@ThreadLocalField`, reduced at a master point —
+//! Table 2's `PR, FOR (cyclic), TLF`.
+
+use aomp::prelude::*;
+use aomp_weaver::prelude::*;
+use parking_lot::Mutex;
+
+use super::scene::{render_line, Scene};
+use super::RayResult;
+
+struct Render<'a> {
+    scene: &'a Scene,
+    /// `@ThreadLocalField`: per-thread checksum.
+    checksum_tlf: ThreadLocalField<u64>,
+    total: Mutex<u64>,
+}
+
+/// The for method join point `RayTracer.renderLines`.
+fn render_lines(r: &Render<'_>, start: i64, end: i64, step: i64) {
+    aomp_weaver::call_for("RayTracer.renderLines", LoopRange::new(start, end, step), |lo, hi, st| {
+        let mut local = 0u64;
+        let mut y = lo;
+        while y < hi {
+            local += render_line(r.scene, y as usize);
+            y += st;
+        }
+        r.checksum_tlf.update_or_init(|| 0, |v| *v += local);
+    });
+}
+
+/// `@Reduce` point: master folds the thread-local checksums.
+fn reduce_checksum(r: &Render<'_>) {
+    aomp_weaver::call("RayTracer.reduceChecksum", || {
+        let sum: u64 = r.checksum_tlf.drain_locals().into_iter().sum();
+        *r.total.lock() += sum;
+    });
+}
+
+/// The render method join point `RayTracer.render`.
+fn render(r: &Render<'_>) {
+    aomp_weaver::call("RayTracer.render", || {
+        render_lines(r, 0, r.scene.height as i64, 1);
+        reduce_checksum(r);
+    });
+}
+
+/// The concrete aspect.
+pub fn aspect(threads: usize) -> AspectModule {
+    AspectModule::builder("ParallelRayTracer")
+        .bind(Pointcut::call("RayTracer.render"), Mechanism::parallel().threads(threads))
+        .bind(Pointcut::call("RayTracer.renderLines"), Mechanism::for_loop(Schedule::StaticCyclic))
+        .bind(Pointcut::call("RayTracer.renderLines"), Mechanism::barrier_after())
+        .bind(Pointcut::call("RayTracer.reduceChecksum"), Mechanism::master())
+        .build()
+}
+
+/// Render on `threads` threads.
+pub fn run(scene: &Scene, threads: usize) -> RayResult {
+    let r = Render { scene, checksum_tlf: ThreadLocalField::new(0), total: Mutex::new(0) };
+    Weaver::global().with_deployed(aspect(threads), || render(&r));
+    let checksum = *r.total.lock();
+    RayResult { checksum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unplugged_matches_seq() {
+        let scene = Scene::standard(16);
+        let r = Render { scene: &scene, checksum_tlf: ThreadLocalField::new(0), total: Mutex::new(0) };
+        render(&r);
+        assert_eq!(*r.total.lock(), crate::raytracer::seq::run(&scene).checksum);
+    }
+}

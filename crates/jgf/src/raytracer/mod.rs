@@ -1,0 +1,77 @@
+//! JGF RayTracer: renders a sphere scene at n×n resolution and checksums
+//! the pixel values. Scanlines are independent, distributed cyclically;
+//! the checksum is the JGF validation value and, in the AOmp version, a
+//! `@ThreadLocalField` reduced at the end — Table 2's
+//! `PR, FOR (cyclic), TLF` with a single M2FOR refactoring.
+
+pub mod aomp;
+pub mod mt;
+pub mod scene;
+pub mod seq;
+
+use crate::harness::Size;
+use crate::meta::{Abstraction, BenchmarkMeta, ForKind, Refactoring};
+pub use scene::{render_line, Scene, Sphere, Vec3};
+
+/// Image edge length per preset (JGF: A = 150, B = 500).
+pub fn resolution_for(size: Size) -> usize {
+    match size {
+        Size::Small => 24,
+        Size::A => 150,
+        Size::B => 500,
+    }
+}
+
+/// Build the standard scene for a given resolution.
+pub fn generate(size: Size) -> Scene {
+    Scene::standard(resolution_for(size))
+}
+
+/// Result: the pixel checksum (JGF validates this sum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RayResult {
+    /// Σ of the 8-bit RGB channel values over all pixels.
+    pub checksum: u64,
+}
+
+/// Validation: non-trivial image (some lit pixels, not saturated).
+pub fn validate(scene: &Scene, r: &RayResult) -> bool {
+    let max = (scene.width * scene.height * 3 * 255) as u64;
+    r.checksum > 0 && r.checksum < max
+}
+
+/// Paper Table 2 row.
+pub fn table2_meta() -> BenchmarkMeta {
+    BenchmarkMeta {
+        name: "RayTracer",
+        refactorings: vec![(Refactoring::MoveToForMethod, 1)],
+        abstractions: vec![
+            (Abstraction::ParallelRegion, 1),
+            (Abstraction::For(ForKind::Cyclic), 1),
+            (Abstraction::ThreadLocalField, 1),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_exactly() {
+        let scene = generate(Size::Small);
+        let s = seq::run(&scene);
+        assert!(validate(&scene, &s), "{s:?}");
+        for t in [1, 2, 4] {
+            assert_eq!(mt::run(&scene, t), s, "mt t={t}");
+            assert_eq!(aomp::run(&scene, t), s, "aomp t={t}");
+        }
+    }
+
+    #[test]
+    fn bigger_image_bigger_checksum() {
+        let small = Scene::standard(16);
+        let large = Scene::standard(32);
+        assert!(seq::run(&large).checksum > seq::run(&small).checksum);
+    }
+}

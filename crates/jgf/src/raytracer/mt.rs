@@ -1,0 +1,46 @@
+//! Hand-threaded RayTracer, JGF-MT style: cyclic scanline distribution,
+//! per-thread checksum slots summed by the spawner.
+
+use super::scene::{render_line, Scene};
+use super::RayResult;
+use crate::shared::SyncSlice;
+
+fn worker(scene: &Scene, sums: SyncSlice<'_, u64>, id: usize, nthreads: usize) {
+    let mut local = 0u64;
+    let mut y = id;
+    while y < scene.height {
+        local += render_line(scene, y);
+        y += nthreads;
+    }
+    // SAFETY: per-thread slot.
+    unsafe { sums.set(id, local) };
+}
+
+/// Render on `threads` threads.
+pub fn run(scene: &Scene, threads: usize) -> RayResult {
+    let mut sums = vec![0u64; threads];
+    {
+        let s_s = SyncSlice::new(&mut sums);
+        std::thread::scope(|s| {
+            for id in 1..threads {
+                s.spawn(move || worker(scene, s_s, id, threads));
+            }
+            worker(scene, s_s, 0, threads);
+        });
+    }
+    RayResult { checksum: sums.iter().sum() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mt_matches_seq() {
+        let scene = Scene::standard(16);
+        let s = crate::raytracer::seq::run(&scene);
+        for t in [1, 2, 5] {
+            assert_eq!(run(&scene, t), s, "t={t}");
+        }
+    }
+}

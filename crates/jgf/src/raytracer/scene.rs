@@ -1,0 +1,307 @@
+//! The ray-tracing core: vectors, spheres, shading and per-scanline
+//! rendering. Deterministic pure functions — every pixel depends only on
+//! the scene, so scanlines parallelise trivially.
+
+/// A 3-vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Euclidean length.
+    pub fn len(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction.
+    pub fn normalized(self) -> Vec3 {
+        let l = self.len();
+        Vec3::new(self.x / l, self.y / l, self.z / l)
+    }
+
+    /// Component-wise scale.
+    pub fn scale(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Component-wise product (colour modulation).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+/// A sphere with Phong material parameters.
+#[derive(Debug, Clone)]
+pub struct Sphere {
+    /// Centre.
+    pub center: Vec3,
+    /// Radius.
+    pub radius: f64,
+    /// Base colour (0..1 per channel).
+    pub color: Vec3,
+    /// Diffuse coefficient.
+    pub kd: f64,
+    /// Specular coefficient.
+    pub ks: f64,
+    /// Specular exponent.
+    pub shine: f64,
+    /// Reflectivity (0 = matte).
+    pub kr: f64,
+}
+
+impl Sphere {
+    /// Ray–sphere intersection: smallest positive t, or None.
+    pub fn intersect(&self, origin: Vec3, dir: Vec3) -> Option<f64> {
+        let oc = origin - self.center;
+        let b = 2.0 * oc.dot(dir);
+        let c = oc.dot(oc) - self.radius * self.radius;
+        let disc = b * b - 4.0 * c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sq = disc.sqrt();
+        let t1 = (-b - sq) * 0.5;
+        if t1 > 1e-6 {
+            return Some(t1);
+        }
+        let t2 = (-b + sq) * 0.5;
+        if t2 > 1e-6 {
+            return Some(t2);
+        }
+        None
+    }
+}
+
+/// The renderable scene: spheres, one point light, simple pinhole camera.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Scene geometry.
+    pub spheres: Vec<Sphere>,
+    /// Point light position.
+    pub light: Vec3,
+    /// Camera position.
+    pub eye: Vec3,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Ambient light level.
+    pub ambient: f64,
+    /// Maximum reflection bounces.
+    pub max_depth: u32,
+}
+
+impl Scene {
+    /// The JGF-style standard scene: a grid of 64 shiny spheres above a
+    /// large ground sphere.
+    pub fn standard(resolution: usize) -> Scene {
+        let mut spheres = Vec::new();
+        for ix in 0..4 {
+            for iy in 0..4 {
+                for iz in 0..4 {
+                    let center = Vec3::new(
+                        -6.0 + 4.0 * ix as f64,
+                        -6.0 + 4.0 * iy as f64,
+                        -20.0 - 4.0 * iz as f64,
+                    );
+                    let color = Vec3::new(
+                        0.3 + 0.7 * (ix as f64 / 3.0),
+                        0.3 + 0.7 * (iy as f64 / 3.0),
+                        0.3 + 0.7 * (iz as f64 / 3.0),
+                    );
+                    spheres.push(Sphere {
+                        center,
+                        radius: 1.4,
+                        color,
+                        kd: 0.7,
+                        ks: 0.3,
+                        shine: 15.0,
+                        kr: 0.25,
+                    });
+                }
+            }
+        }
+        // Ground.
+        spheres.push(Sphere {
+            center: Vec3::new(0.0, -10010.0, -20.0),
+            radius: 10000.0,
+            color: Vec3::new(0.8, 0.8, 0.8),
+            kd: 0.9,
+            ks: 0.0,
+            shine: 1.0,
+            kr: 0.05,
+        });
+        Scene {
+            spheres,
+            light: Vec3::new(20.0, 30.0, 10.0),
+            eye: Vec3::new(0.0, 0.0, 10.0),
+            width: resolution,
+            height: resolution,
+            ambient: 0.12,
+            max_depth: 3,
+        }
+    }
+
+    /// Nearest intersection along a ray.
+    fn nearest(&self, origin: Vec3, dir: Vec3) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in self.spheres.iter().enumerate() {
+            if let Some(t) = s.intersect(origin, dir) {
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        best
+    }
+
+    /// Is the point shadowed with respect to the light?
+    fn shadowed(&self, point: Vec3) -> bool {
+        let to_light = self.light - point;
+        let dist = to_light.len();
+        let dir = to_light.scale(1.0 / dist);
+        self.spheres.iter().any(|s| s.intersect(point, dir).is_some_and(|t| t < dist))
+    }
+
+    /// Trace a ray and return its colour.
+    pub fn trace(&self, origin: Vec3, dir: Vec3, depth: u32) -> Vec3 {
+        match self.nearest(origin, dir) {
+            None => {
+                // Sky gradient.
+                let t = 0.5 * (dir.y + 1.0);
+                Vec3::new(0.1, 0.15, 0.3).scale(1.0 - t) + Vec3::new(0.4, 0.55, 0.8).scale(t)
+            }
+            Some((i, t)) => {
+                let s = &self.spheres[i];
+                let hit = origin + dir.scale(t);
+                let normal = (hit - s.center).normalized();
+                let mut color = s.color.scale(self.ambient);
+                if !self.shadowed(hit + normal.scale(1e-4)) {
+                    let l = (self.light - hit).normalized();
+                    let diff = normal.dot(l).max(0.0);
+                    color = color + s.color.scale(s.kd * diff);
+                    // Blinn-Phong specular.
+                    let h = (l - dir).normalized();
+                    let spec = normal.dot(h).max(0.0).powf(s.shine);
+                    color = color + Vec3::new(1.0, 1.0, 1.0).scale(s.ks * spec);
+                }
+                if s.kr > 0.0 && depth < self.max_depth {
+                    let refl = dir - normal.scale(2.0 * dir.dot(normal));
+                    let rc = self.trace(hit + normal.scale(1e-4), refl.normalized(), depth + 1);
+                    color = color + rc.scale(s.kr);
+                }
+                color
+            }
+        }
+    }
+
+    /// Render pixel (x, y) to clamped 8-bit channels.
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
+        let u = (x as f64 + 0.5) / self.width as f64 * 2.0 - 1.0;
+        let v = 1.0 - (y as f64 + 0.5) / self.height as f64 * 2.0;
+        let dir = Vec3::new(u, v, -2.0).normalized();
+        let c = self.trace(self.eye, dir, 0);
+        let q = |f: f64| (f.clamp(0.0, 1.0) * 255.0) as u8;
+        [q(c.x), q(c.y), q(c.z)]
+    }
+}
+
+/// Render one scanline and return its checksum contribution (Σ channel
+/// values) — the JGF per-line accumulation.
+pub fn render_line(scene: &Scene, y: usize) -> u64 {
+    let mut sum = 0u64;
+    for x in 0..scene.width {
+        let [r, g, b] = scene.pixel(x, y);
+        sum += u64::from(r) + u64::from(g) + u64::from(b);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.dot(b), 32.0);
+        assert_eq!((a + b).x, 5.0);
+        assert_eq!((b - a).z, 3.0);
+        assert!((Vec3::new(3.0, 4.0, 0.0).len() - 5.0).abs() < 1e-12);
+        assert!((Vec3::new(0.0, 0.0, 9.0).normalized().z - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sphere_intersection_front_and_miss() {
+        let s = Sphere {
+            center: Vec3::new(0.0, 0.0, -10.0),
+            radius: 1.0,
+            color: Vec3::new(1.0, 1.0, 1.0),
+            kd: 1.0,
+            ks: 0.0,
+            shine: 1.0,
+            kr: 0.0,
+        };
+        let t = s.intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0)).unwrap();
+        assert!((t - 9.0).abs() < 1e-9);
+        assert!(s.intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn intersection_from_inside_returns_far_hit() {
+        let s = Sphere {
+            center: Vec3::new(0.0, 0.0, 0.0),
+            radius: 2.0,
+            color: Vec3::new(1.0, 1.0, 1.0),
+            kd: 1.0,
+            ks: 0.0,
+            shine: 1.0,
+            kr: 0.0,
+        };
+        let t = s.intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0)).unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scanlines_are_deterministic() {
+        let scene = Scene::standard(16);
+        assert_eq!(render_line(&scene, 3), render_line(&scene, 3));
+    }
+
+    #[test]
+    fn standard_scene_has_65_spheres() {
+        assert_eq!(Scene::standard(8).spheres.len(), 65);
+    }
+}

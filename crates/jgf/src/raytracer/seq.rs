@@ -1,0 +1,36 @@
+//! Sequential RayTracer with the scanline loop as a for method (M2FOR).
+
+use super::scene::{render_line, Scene};
+use super::RayResult;
+
+/// The for method: render scanlines `start..end` (step `step`),
+/// accumulating the checksum.
+pub fn render_lines(start: i64, end: i64, step: i64, scene: &Scene, checksum: &mut u64) {
+    let mut y = start;
+    while y < end {
+        *checksum += render_line(scene, y as usize);
+        y += step;
+    }
+}
+
+/// Render the whole image sequentially.
+pub fn run(scene: &Scene) -> RayResult {
+    let mut checksum = 0u64;
+    render_lines(0, scene.height as i64, 1, scene, &mut checksum);
+    RayResult { checksum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_render_is_partial() {
+        let scene = Scene::standard(16);
+        let full = run(&scene).checksum;
+        let mut half = 0u64;
+        render_lines(0, 8, 1, &scene, &mut half);
+        assert!(half < full);
+        assert!(half > 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! AOmpLib-style Series: the for method from `seq` exposed as a join
+//! point, composed with a combined parallel-for aspect (paper §III-D) —
+//! `PR, FOR (block)`.
+
+use aomp::prelude::*;
+use aomp_weaver::prelude::*;
+
+use super::{coefficient_pair, SeriesResult};
+use crate::shared::SyncSlice;
+
+/// The for method join point `Series.doCoefficients`.
+fn do_coefficients(start: i64, end: i64, step: i64, a: SyncSlice<'_, f64>, b: SyncSlice<'_, f64>) {
+    aomp_weaver::call_for("Series.doCoefficients", LoopRange::new(start, end, step), |lo, hi, st| {
+        let mut k = lo;
+        while k < hi {
+            let (ak, bk) = coefficient_pair(k as usize);
+            // SAFETY: the schedule owns index k on this thread.
+            unsafe {
+                a.set(k as usize, ak);
+                b.set(k as usize, bk);
+            }
+            k += st;
+        }
+    });
+}
+
+/// The run method join point `Series.run` (M2M refactor).
+fn series_run(n: usize, a: SyncSlice<'_, f64>, b: SyncSlice<'_, f64>) {
+    aomp_weaver::call("Series.run", || {
+        do_coefficients(0, n as i64, 1, a, b);
+    });
+}
+
+/// The concrete aspect: a combined parallel + for module.
+pub fn aspect(threads: usize) -> AspectModule {
+    AspectModule::builder("ParallelSeries")
+        .bind(Pointcut::call("Series.run"), Mechanism::parallel().threads(threads))
+        .bind(Pointcut::call("Series.doCoefficients"), Mechanism::for_loop(Schedule::StaticBlock))
+        .build()
+}
+
+/// Run the AOmp kernel for `n` coefficients on `threads` threads.
+pub fn run(n: usize, threads: usize) -> SeriesResult {
+    let mut a = vec![0.0; n];
+    let mut b = vec![0.0; n];
+    {
+        let a_s = SyncSlice::new(&mut a);
+        let b_s = SyncSlice::new(&mut b);
+        Weaver::global().with_deployed(aspect(threads), || series_run(n, a_s, b_s));
+    }
+    SeriesResult { coeffs: [a, b] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unplugged_run_is_sequential() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        {
+            let a_s = SyncSlice::new(&mut a);
+            let b_s = SyncSlice::new(&mut b);
+            series_run(16, a_s, b_s);
+        }
+        let s = crate::series::seq::run(16);
+        assert_eq!(a, s.coeffs[0]);
+        assert_eq!(b, s.coeffs[1]);
+    }
+}

@@ -1,0 +1,140 @@
+//! JGF Series: the first `n` Fourier coefficients of f(x) = (x+1)^x on
+//! the interval [0, 2], each computed by trapezoid integration —
+//! embarrassingly parallel over coefficients.
+//!
+//! Parallelisation (Table 2): M2FOR + M2M, then `PR, FOR (block)`.
+
+pub mod aomp;
+pub mod mt;
+pub mod seq;
+
+use crate::harness::Size;
+use crate::meta::{Abstraction, BenchmarkMeta, ForKind, Refactoring};
+
+/// Integration steps per coefficient (the JGF constant).
+pub const INTEGRATION_STEPS: usize = 1000;
+
+/// Coefficient count per preset (JGF: A = 10,000; B = 100,000 — scaled
+/// down ×10 to fit a single-core container while keeping the same
+/// compute-bound behaviour).
+pub fn coefficients_for(size: Size) -> usize {
+    match size {
+        Size::Small => 64,
+        Size::A => 1_000,
+        Size::B => 10_000,
+    }
+}
+
+/// Result: the cosine (a_k) and sine (b_k) coefficient arrays.
+pub struct SeriesResult {
+    /// `coeffs[0][k] = a_k`, `coeffs[1][k] = b_k`.
+    pub coeffs: [Vec<f64>; 2],
+}
+
+/// The function under analysis: (x+1)^x, optionally multiplied by
+/// cos(ω_n·x) (`select == 1`) or sin(ω_n·x) (`select == 2`) — JGF's
+/// `thefunction`.
+#[inline]
+pub fn the_function(x: f64, omegan: f64, select: u8) -> f64 {
+    match select {
+        0 => (x + 1.0).powf(x),
+        1 => (x + 1.0).powf(x) * (omegan * x).cos(),
+        _ => (x + 1.0).powf(x) * (omegan * x).sin(),
+    }
+}
+
+/// Trapezoid integration over [x0, x1] with `nsteps` intervals, as in
+/// JGF's `TrapezoidIntegrate`.
+pub fn trapezoid_integrate(x0: f64, x1: f64, nsteps: usize, omegan: f64, select: u8) -> f64 {
+    let dx = (x1 - x0) / nsteps as f64;
+    let mut x = x0;
+    let mut rvalue = the_function(x0, omegan, select) / 2.0;
+    for _ in 1..nsteps {
+        x += dx;
+        rvalue += the_function(x, omegan, select);
+    }
+    rvalue += the_function(x1, omegan, select) / 2.0;
+    rvalue * dx
+}
+
+/// Compute coefficient pair `k` (the body of the JGF loop): `k == 0`
+/// yields (a0/2, 0); otherwise (a_k, b_k) with ω = π (period 2).
+pub fn coefficient_pair(k: usize) -> (f64, f64) {
+    let omega = std::f64::consts::PI; // 2π / period, period = 2
+    if k == 0 {
+        (trapezoid_integrate(0.0, 2.0, INTEGRATION_STEPS, 0.0, 0) / 2.0, 0.0)
+    } else {
+        let omegan = omega * k as f64;
+        (
+            trapezoid_integrate(0.0, 2.0, INTEGRATION_STEPS, omegan, 1),
+            trapezoid_integrate(0.0, 2.0, INTEGRATION_STEPS, omegan, 2),
+        )
+    }
+}
+
+/// JGF-style validation: the first coefficient pairs against reference
+/// values for this integration scheme.
+pub fn validate(result: &SeriesResult) -> bool {
+    let (a0, _) = (result.coeffs[0][0], result.coeffs[1][0]);
+    // a0 = (1/2)∫(x+1)^x dx over [0,2] ≈ 2.8738 for the 1000-step
+    // trapezoid rule; b0 is identically 0. Also require a_k, b_k bounded.
+    (a0 - 2.874).abs() < 2e-2
+        && result.coeffs[1][0] == 0.0
+        && result.coeffs[0].iter().chain(result.coeffs[1].iter()).all(|v| v.is_finite() && v.abs() < 10.0)
+}
+
+/// Paper Table 2 row.
+pub fn table2_meta() -> BenchmarkMeta {
+    BenchmarkMeta {
+        name: "Series",
+        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        abstractions: vec![
+            (Abstraction::ParallelRegion, 1),
+            (Abstraction::For(ForKind::Block), 1),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_with_zero_omega_matches_plain() {
+        let v = trapezoid_integrate(0.0, 1.0, 100, 0.0, 1);
+        let direct = trapezoid_integrate(0.0, 1.0, 100, 0.0, 0);
+        assert!((v - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a0_matches_reference() {
+        let (a0, b0) = coefficient_pair(0);
+        assert!((a0 - 2.874).abs() < 2e-2, "a0={a0}");
+        assert_eq!(b0, 0.0);
+    }
+
+    #[test]
+    fn coefficients_decay() {
+        // Fourier coefficients of a smooth-ish function decay with k.
+        let (a1, _) = coefficient_pair(1);
+        let (a20, _) = coefficient_pair(20);
+        assert!(a1.abs() > a20.abs());
+    }
+
+    #[test]
+    fn variants_agree_bitwise_and_validate() {
+        let n = coefficients_for(Size::Small);
+        let s = seq::run(n);
+        assert!(validate(&s));
+        for t in [1, 2, 4] {
+            let m = mt::run(n, t);
+            let a = aomp::run(n, t);
+            assert!(validate(&m), "mt t={t}");
+            assert!(validate(&a), "aomp t={t}");
+            assert_eq!(m.coeffs[0], s.coeffs[0], "mt a t={t}");
+            assert_eq!(m.coeffs[1], s.coeffs[1], "mt b t={t}");
+            assert_eq!(a.coeffs[0], s.coeffs[0], "aomp a t={t}");
+            assert_eq!(a.coeffs[1], s.coeffs[1], "aomp b t={t}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Sequential Series: the base program with the coefficient loop already
+//! refactored into a for method (M2FOR).
+
+use super::{coefficient_pair, SeriesResult};
+
+/// The for method: compute coefficient pairs `start..end` (step `step`)
+/// into the output arrays.
+pub fn do_coefficients(start: i64, end: i64, step: i64, a: &mut [f64], b: &mut [f64]) {
+    let mut k = start;
+    while k < end {
+        let (ak, bk) = coefficient_pair(k as usize);
+        a[k as usize] = ak;
+        b[k as usize] = bk;
+        k += step;
+    }
+}
+
+/// Run the sequential kernel for `n` coefficients.
+pub fn run(n: usize) -> SeriesResult {
+    let mut a = vec![0.0; n];
+    let mut b = vec![0.0; n];
+    do_coefficients(0, n as i64, 1, &mut a, &mut b);
+    SeriesResult { coeffs: [a, b] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_range_fills_only_that_range() {
+        let mut a = vec![0.0; 8];
+        let mut b = vec![0.0; 8];
+        do_coefficients(2, 5, 1, &mut a, &mut b);
+        assert_eq!(a[0], 0.0);
+        assert_ne!(a[3], 0.0);
+        assert_eq!(a[6], 0.0);
+    }
+}

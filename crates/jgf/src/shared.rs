@@ -1,0 +1,6 @@
+//! Shared-memory helpers for hand-threaded and AOmp kernels — re-exported
+//! from [`aomp::cell`], where they live so every AOmp-based crate (the
+//! evolutionary-computation and graph case studies included) can use the
+//! same schedule-disciplined wrappers.
+
+pub use aomp::cell::{SyncSlice, SyncVec};

@@ -1,0 +1,67 @@
+//! AOmpLib-style SOR: the half-sweep for method work-shared with a block
+//! schedule; the `@BarrierAfter` on the for method is the Table 2 `BR`.
+
+use aomp::prelude::*;
+use aomp_weaver::prelude::*;
+
+use super::{relax_row_sync, Grid};
+use crate::shared::SyncSlice;
+
+/// The for method join point `Sor.sorRows`: relax the strided row range.
+fn sor_rows(start: i64, end: i64, step: i64, g: SyncSlice<'_, f64>, n: usize) {
+    aomp_weaver::call_for("Sor.sorRows", LoopRange::new(start, end, step), |lo, hi, st| {
+        let mut i = lo;
+        while i < hi {
+            relax_row_sync(&g, n, i as usize);
+            i += st;
+        }
+    });
+}
+
+/// The run method join point `Sor.run`: the p loop over half sweeps.
+fn sor_run(g: SyncSlice<'_, f64>, n: usize, iterations: usize) {
+    aomp_weaver::call("Sor.run", || {
+        for p in 0..2 * iterations {
+            sor_rows(1 + (p % 2) as i64, (n - 1) as i64, 2, g, n);
+        }
+    });
+}
+
+/// The concrete aspect: `PR, FOR (block), BR`.
+pub fn aspect(threads: usize) -> AspectModule {
+    AspectModule::builder("ParallelSor")
+        .bind(Pointcut::call("Sor.run"), Mechanism::parallel().threads(threads))
+        .bind(Pointcut::call("Sor.sorRows"), Mechanism::for_loop(Schedule::StaticBlock))
+        .bind(Pointcut::call("Sor.sorRows"), Mechanism::barrier_after())
+        .build()
+}
+
+/// Run `iterations` red–black sweeps on `threads` threads.
+pub fn run(grid: &Grid, iterations: usize, threads: usize) -> Grid {
+    let mut out = grid.clone();
+    let n = out.n;
+    {
+        let g_s = SyncSlice::new(&mut out.g);
+        Weaver::global().with_deployed(aspect(threads), || sor_run(g_s, n, iterations));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::sor::generate;
+
+    #[test]
+    fn unplugged_matches_seq() {
+        let grid = generate(Size::Small);
+        let mut out = grid.clone();
+        let n = out.n;
+        {
+            let g_s = SyncSlice::new(&mut out.g);
+            sor_run(g_s, n, 3);
+        }
+        assert_eq!(out.g, crate::sor::seq::run(&grid, 3).g);
+    }
+}

@@ -1,0 +1,57 @@
+//! Hand-threaded SOR, JGF-MT style: one thread team for the whole
+//! relaxation, manual block distribution of the half-sweep rows and an
+//! explicit barrier between half sweeps.
+
+use std::sync::Barrier;
+
+use super::{relax_row_sync, Grid};
+use crate::shared::SyncSlice;
+
+fn worker(g: SyncSlice<'_, f64>, n: usize, iterations: usize, id: usize, nthreads: usize, barrier: &Barrier) {
+    for p in 0..2 * iterations {
+        // Rows of this half sweep (same parity): 1+(p%2), +2, …
+        let rows: Vec<usize> = (1 + p % 2..n - 1).step_by(2).collect();
+        let per = rows.len() / nthreads;
+        let rem = rows.len() % nthreads;
+        let lo = id * per + id.min(rem);
+        let hi = lo + per + usize::from(id < rem);
+        for &i in &rows[lo..hi] {
+            relax_row_sync(&g, n, i);
+        }
+        barrier.wait();
+    }
+}
+
+/// Run `iterations` red–black sweeps on `threads` threads.
+pub fn run(grid: &Grid, iterations: usize, threads: usize) -> Grid {
+    let mut out = grid.clone();
+    let n = out.n;
+    {
+        let g_s = SyncSlice::new(&mut out.g);
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|s| {
+            for id in 1..threads {
+                let barrier = &barrier;
+                s.spawn(move || worker(g_s, n, iterations, id, threads, barrier));
+            }
+            worker(g_s, n, iterations, 0, threads, &barrier);
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::sor::generate;
+
+    #[test]
+    fn mt_matches_seq() {
+        let grid = generate(Size::Small);
+        let s = crate::sor::seq::run(&grid, 4);
+        for t in [1, 2, 3] {
+            assert_eq!(run(&grid, 4, t).g, s.g, "t={t}");
+        }
+    }
+}

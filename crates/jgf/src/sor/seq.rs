@@ -1,0 +1,44 @@
+//! Sequential SOR with the loop refactored into a for method (M2FOR):
+//! `sor_rows(start, end, step)` relaxes the strided row range.
+
+use super::{relax_row, Grid};
+
+/// The for method: relax rows `start, start+step, …` up to `end`.
+pub fn sor_rows(start: i64, end: i64, step: i64, g: &mut [f64], n: usize) {
+    let mut i = start;
+    while i < end {
+        relax_row(g, n, i as usize);
+        i += step;
+    }
+}
+
+/// Run `iterations` full red–black sweeps sequentially.
+pub fn run(grid: &Grid, iterations: usize) -> Grid {
+    let mut out = grid.clone();
+    let n = out.n;
+    for p in 0..2 * iterations {
+        // Rows 1+(p%2), 3+(p%2), … — the red/black half sweep.
+        sor_rows(1 + (p % 2) as i64, (n - 1) as i64, 2, &mut out.g, n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::sor::{generate, gtotal};
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let grid = generate(Size::Small);
+        let r = run(&grid, 0);
+        assert_eq!(r.g, grid.g);
+    }
+
+    #[test]
+    fn deterministic() {
+        let grid = generate(Size::Small);
+        assert_eq!(gtotal(&run(&grid, 5)), gtotal(&run(&grid, 5)));
+    }
+}

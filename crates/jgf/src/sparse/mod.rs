@@ -1,0 +1,171 @@
+//! JGF SparseMatmult: repeated sparse matrix–vector multiplication
+//! `y += A·x` with A in coordinate form sorted by row.
+//!
+//! Work cannot be split naively over nonzeros — two threads would race on
+//! the same `y[row]` — so the JGF kernel (and the paper's Table 2 row)
+//! uses a *case-specific* schedule: the nonzero range is split at row
+//! boundaries, balanced by nonzero count. Here that schedule is an
+//! application-specific aspect (a [`CustomAdvice`] for-method scheduler) —
+//! Table 2's `PR, FOR (Case Specific), CS`.
+//!
+//! [`CustomAdvice`]: aomp_weaver::CustomAdvice
+
+pub mod aomp;
+pub mod mt;
+pub mod seq;
+
+use crate::harness::Size;
+use crate::meta::{Abstraction, BenchmarkMeta, ForKind, Refactoring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Multiplication passes (JGF uses 200).
+pub const ITERATIONS: usize = 200;
+
+/// (rows, nonzeros) per preset (JGF: A = 50k/250k, B = 100k/500k).
+pub fn dims_for(size: Size) -> (usize, usize) {
+    match size {
+        Size::Small => (400, 2_000),
+        Size::A => (50_000, 250_000),
+        Size::B => (100_000, 500_000),
+    }
+}
+
+/// A sparse matrix in row-sorted coordinate form plus the dense vector.
+#[derive(Clone)]
+pub struct SparseData {
+    /// Row index per nonzero (non-decreasing).
+    pub row: Vec<usize>,
+    /// Column index per nonzero.
+    pub col: Vec<usize>,
+    /// Value per nonzero.
+    pub val: Vec<f64>,
+    /// CSR-style offsets: nonzeros of row r live at `row_ptr[r]..row_ptr[r+1]`.
+    pub row_ptr: Vec<usize>,
+    /// Input vector.
+    pub x: Vec<f64>,
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+/// Generate a random row-sorted sparse matrix, JGF-style.
+pub fn generate(size: Size) -> SparseData {
+    let (n, nz) = dims_for(size);
+    let mut rng = StdRng::seed_from_u64(0x5a_a55e);
+    let mut entries: Vec<(usize, usize, f64)> =
+        (0..nz).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(-1.0..1.0))).collect();
+    entries.sort_by_key(|e| e.0);
+    let row: Vec<usize> = entries.iter().map(|e| e.0).collect();
+    let col: Vec<usize> = entries.iter().map(|e| e.1).collect();
+    let val: Vec<f64> = entries.iter().map(|e| e.2).collect();
+    let mut row_ptr = vec![0usize; n + 1];
+    for &r in &row {
+        row_ptr[r + 1] += 1;
+    }
+    for r in 0..n {
+        row_ptr[r + 1] += row_ptr[r];
+    }
+    let x = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    SparseData { row, col, val, row_ptr, x, n }
+}
+
+/// Split the nonzero range into `nthreads` sub-ranges at row boundaries,
+/// balanced by nonzero count — the case-specific schedule. Returns the
+/// `(lo, hi)` nonzero range of thread `tid`.
+pub fn nnz_balanced_range(row_ptr: &[usize], nz: usize, tid: usize, nthreads: usize) -> (usize, usize) {
+    let target_lo = nz * tid / nthreads;
+    let target_hi = nz * (tid + 1) / nthreads;
+    // Snap both ends up to the next row boundary.
+    let snap = |target: usize| -> usize {
+        match row_ptr.binary_search(&target) {
+            Ok(i) => {
+                // Several empty rows may share this offset; take the first.
+                let mut i = i;
+                while i > 0 && row_ptr[i - 1] == target {
+                    i -= 1;
+                }
+                row_ptr[i]
+            }
+            Err(i) => {
+                if i >= row_ptr.len() {
+                    nz
+                } else {
+                    row_ptr[i]
+                }
+            }
+        }
+    };
+    let lo = if tid == 0 { 0 } else { snap(target_lo) };
+    let hi = if tid == nthreads - 1 { nz } else { snap(target_hi) };
+    (lo, hi.max(lo))
+}
+
+/// Sum of the output vector — the JGF `ytotal` validation value.
+pub fn ytotal(y: &[f64]) -> f64 {
+    y.iter().sum()
+}
+
+/// Paper Table 2 row.
+pub fn table2_meta() -> BenchmarkMeta {
+    BenchmarkMeta {
+        name: "Sparse",
+        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        abstractions: vec![
+            (Abstraction::ParallelRegion, 1),
+            (Abstraction::For(ForKind::CaseSpecific), 1),
+            (Abstraction::CaseSpecific, 1),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_row_ptr_consistent() {
+        let d = generate(Size::Small);
+        assert_eq!(*d.row_ptr.last().unwrap(), d.row.len());
+        for (k, &r) in d.row.iter().enumerate() {
+            assert!(d.row_ptr[r] <= k && k < d.row_ptr[r + 1], "k={k} r={r}");
+        }
+        assert!(d.row.windows(2).all(|w| w[0] <= w[1]), "rows sorted");
+    }
+
+    #[test]
+    fn balanced_ranges_partition_at_row_boundaries() {
+        let d = generate(Size::Small);
+        let nz = d.row.len();
+        for threads in [1, 2, 3, 7] {
+            let mut covered = 0;
+            let mut prev_hi = 0;
+            for tid in 0..threads {
+                let (lo, hi) = nnz_balanced_range(&d.row_ptr, nz, tid, threads);
+                assert_eq!(lo, prev_hi, "contiguous");
+                prev_hi = hi;
+                covered += hi - lo;
+                // Boundaries never split a row.
+                if lo > 0 && lo < nz {
+                    assert_ne!(d.row[lo - 1], d.row[lo], "tid={tid} split a row at {lo}");
+                }
+            }
+            assert_eq!(prev_hi, nz);
+            assert_eq!(covered, nz);
+        }
+    }
+
+    #[test]
+    fn variants_agree_bitwise() {
+        let d = generate(Size::Small);
+        let iters = 20;
+        let s = seq::run(&d, iters);
+        for t in [1, 2, 4] {
+            let m = mt::run(&d, iters, t);
+            let a = aomp::run(&d, iters, t);
+            assert_eq!(m, s, "mt t={t}");
+            assert_eq!(a, s, "aomp t={t}");
+        }
+        assert!(ytotal(&s).is_finite());
+        assert_ne!(ytotal(&s), 0.0);
+    }
+}

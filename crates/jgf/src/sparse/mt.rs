@@ -1,0 +1,51 @@
+//! Hand-threaded SparseMatmult, JGF-MT style: the per-thread nonzero
+//! ranges (snapped to row boundaries, balanced by nonzero count) are
+//! precomputed into the base code, as JGF's `lowsum`/`highsum` arrays do.
+
+use super::{nnz_balanced_range, SparseData};
+use crate::shared::SyncSlice;
+
+fn worker(d: &SparseData, y: SyncSlice<'_, f64>, iterations: usize, id: usize, nthreads: usize) {
+    let nz = d.row.len();
+    let (lo, hi) = nnz_balanced_range(&d.row_ptr, nz, id, nthreads);
+    for _ in 0..iterations {
+        for k in lo..hi {
+            // SAFETY: ranges split at row boundaries, so y[row[k]] is
+            // written by exactly one thread.
+            unsafe {
+                *y.get_mut(d.row[k]) += d.val[k] * d.x[d.col[k]];
+            }
+        }
+    }
+}
+
+/// Run `iterations` passes on `threads` threads.
+pub fn run(d: &SparseData, iterations: usize, threads: usize) -> Vec<f64> {
+    let mut y = vec![0.0f64; d.n];
+    {
+        let y_s = SyncSlice::new(&mut y);
+        std::thread::scope(|s| {
+            for id in 1..threads {
+                s.spawn(move || worker(d, y_s, iterations, id, threads));
+            }
+            worker(d, y_s, iterations, 0, threads);
+        });
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::sparse::generate;
+
+    #[test]
+    fn mt_matches_seq() {
+        let d = generate(Size::Small);
+        let s = crate::sparse::seq::run(&d, 5);
+        for t in [1, 2, 5] {
+            assert_eq!(run(&d, 5, t), s, "t={t}");
+        }
+    }
+}

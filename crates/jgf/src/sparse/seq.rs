@@ -1,0 +1,53 @@
+//! Sequential SparseMatmult with the nonzero loop refactored into a for
+//! method (M2FOR).
+
+use super::SparseData;
+
+/// The for method: accumulate nonzeros `start..end` into `y`.
+pub fn multiply(start: i64, end: i64, step: i64, d: &SparseData, y: &mut [f64]) {
+    let mut k = start;
+    while k < end {
+        let ku = k as usize;
+        y[d.row[ku]] += d.val[ku] * d.x[d.col[ku]];
+        k += step;
+    }
+}
+
+/// Run `iterations` multiplication passes sequentially.
+pub fn run(d: &SparseData, iterations: usize) -> Vec<f64> {
+    let mut y = vec![0.0f64; d.n];
+    let nz = d.row.len() as i64;
+    for _ in 0..iterations {
+        multiply(0, nz, 1, d, &mut y);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Size;
+    use crate::sparse::generate;
+
+    #[test]
+    fn one_pass_matches_dense_reference() {
+        let d = generate(Size::Small);
+        let y = run(&d, 1);
+        // Dense recomputation.
+        let mut dense = vec![0.0f64; d.n];
+        for k in 0..d.row.len() {
+            dense[d.row[k]] += d.val[k] * d.x[d.col[k]];
+        }
+        assert_eq!(y, dense);
+    }
+
+    #[test]
+    fn passes_scale_linearly() {
+        let d = generate(Size::Small);
+        let y1 = run(&d, 1);
+        let y3 = run(&d, 3);
+        for (a, b) in y1.iter().zip(&y3) {
+            assert!((3.0 * a - b).abs() < 1e-9);
+        }
+    }
+}

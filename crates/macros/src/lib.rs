@@ -1,0 +1,369 @@
+//! # aomp-macros — the annotation style of the AOmpLib reproduction
+//!
+//! AOmpLib supports two programming styles: *annotations* (plain Java
+//! annotations such as `@Parallel` that library aspects act upon) and
+//! *pointcuts*. These attribute macros are the Rust stand-in for the
+//! annotations: like the AspectJ weaver, they rewrite the annotated
+//! function at compile time into the shim of paper Figure 12 — the
+//! original body moves into a closure and the mechanism's runtime
+//! construct wraps it.
+//!
+//! | Paper annotation | Attribute |
+//! |---|---|
+//! | `@Parallel[(threads=n)]` | `#[parallel]`, `#[parallel(threads = 4)]` |
+//! | `@For[(schedule=…)]` | `#[for_loop]`, `#[for_loop(schedule = "staticCyclic")]`, `#[for_loop(schedule = "dynamic", chunk = 8)]` |
+//! | `@Critical[(id=name)]` | `#[critical]`, `#[critical(id = "lockname")]` |
+//! | `@BarrierBefore` / `@BarrierAfter` | `#[barrier_before]` / `#[barrier_after]` |
+//! | `@Master` | `#[master]` (broadcasts the return value, if any) |
+//! | `@Single` | `#[single]` (ditto) |
+//! | `@Task` | `#[task]` (detached activity) |
+//! | `@FutureTask` + `@FutureResult` | `#[future_task]` (returns `FutureTask<T>`) |
+//!
+//! `@ThreadLocalField`, `@Reduce`, `@Ordered`, `@Reader`/`@Writer` are
+//! data- or scope-coupled constructs: use the `aomp` runtime API or the
+//! pointcut style (`aomp-weaver`) for those.
+//!
+//! ## Composition
+//!
+//! Stacked attributes expand top-down, each wrapping the current body, so
+//! **the first attribute binds closest to the body** and later attributes
+//! wrap outside it. Paper Figure 8's
+//! `@Master @BarrierBefore @BarrierAfter void interchange(..)` is written
+//! identically in Rust and produces barrier-outside-master, as AOmpLib
+//! does:
+//!
+//! ```ignore
+//! #[master]
+//! #[barrier_before]
+//! #[barrier_after]
+//! fn interchange(&self, k: i64, l: i64) { /* … */ }
+//! ```
+//!
+//! ## Constraints inherited from the model
+//!
+//! * `#[parallel]` bodies run on every team thread, so the closure must
+//!   be `Fn + Sync`: parameters should be `Copy` or shared references.
+//! * `#[for_loop]` requires the first three (non-receiver) parameters to
+//!   be the `i64` loop `(start, end, step)` — the paper's *for method*
+//!   convention.
+//! * Sequential semantics: `aomp::runtime::set_parallel_enabled(false)`
+//!   turns every `#[parallel]` region into an inline sequential call.
+
+use proc_macro::TokenStream;
+use proc_macro2::TokenStream as TokenStream2;
+use quote::quote;
+use syn::{parse_macro_input, FnArg, ItemFn, LitBool, LitInt, LitStr, Pat};
+
+/// Replace the body of `func` with `new_body` (a sequence of statements)
+/// and re-emit the function, preserving signature, visibility and the
+/// remaining (not yet expanded) attributes.
+fn rewrap(mut func: ItemFn, new_body: TokenStream2) -> TokenStream {
+    let block: syn::Block = syn::parse2(quote! { { #new_body } }).expect("generated block parses");
+    *func.block = block;
+    quote!(#func).into()
+}
+
+/// Names of the first `n` non-receiver parameters, or an error if they
+/// are not simple identifiers.
+fn leading_param_idents(func: &ItemFn, n: usize) -> syn::Result<Vec<syn::Ident>> {
+    let mut idents = Vec::new();
+    for arg in func.sig.inputs.iter() {
+        if let FnArg::Typed(pt) = arg {
+            match &*pt.pat {
+                Pat::Ident(pi) => idents.push(pi.ident.clone()),
+                other => {
+                    return Err(syn::Error::new_spanned(
+                        other,
+                        "aomp for methods need simple identifier parameters",
+                    ))
+                }
+            }
+            if idents.len() == n {
+                break;
+            }
+        }
+    }
+    if idents.len() < n {
+        return Err(syn::Error::new_spanned(
+            &func.sig,
+            format!("aomp: expected at least {n} loop-bound parameters (start, end, step)"),
+        ));
+    }
+    Ok(idents)
+}
+
+fn is_unit_return(func: &ItemFn) -> bool {
+    matches!(func.sig.output, syn::ReturnType::Default)
+}
+
+/// `@Parallel` — the function execution becomes a parallel region: a team
+/// of threads each execute the body, with an implicit join (paper
+/// Figure 9).
+///
+/// Arguments: `threads = <int>` (team size), `nested = <bool>`,
+/// `only_if = <expr>` (OpenMP's `if` clause, evaluated at call time).
+#[proc_macro_attribute]
+pub fn parallel(attr: TokenStream, item: TokenStream) -> TokenStream {
+    let func = parse_macro_input!(item as ItemFn);
+    let mut threads: Option<u64> = None;
+    let mut nested: Option<bool> = None;
+    let mut only_if: Option<syn::Expr> = None;
+    if !attr.is_empty() {
+        let parser = syn::meta::parser(|meta| {
+            if meta.path.is_ident("threads") {
+                threads = Some(meta.value()?.parse::<LitInt>()?.base10_parse()?);
+                Ok(())
+            } else if meta.path.is_ident("nested") {
+                nested = Some(meta.value()?.parse::<LitBool>()?.value());
+                Ok(())
+            } else if meta.path.is_ident("only_if") {
+                only_if = Some(meta.value()?.parse::<syn::Expr>()?);
+                Ok(())
+            } else {
+                Err(meta.error("expected `threads = <int>`, `nested = <bool>` or `only_if = <expr>`"))
+            }
+        });
+        parse_macro_input!(attr with parser);
+    }
+    if !is_unit_return(&func) {
+        return syn::Error::new_spanned(
+            &func.sig.output,
+            "#[parallel] regions cannot return a value (the paper's parallel regions are void)",
+        )
+        .to_compile_error()
+        .into();
+    }
+    let body = &func.block;
+    let cfg_threads = threads.map(|t| {
+        let t = t as usize;
+        quote! { __aomp_cfg = __aomp_cfg.threads(#t); }
+    });
+    let cfg_nested = nested.map(|n| quote! { __aomp_cfg = __aomp_cfg.nested(#n); });
+    let cfg_only_if = only_if.map(|e| quote! { __aomp_cfg = __aomp_cfg.only_if(#e); });
+    let new_body = quote! {
+        #[allow(unused_mut)]
+        let mut __aomp_cfg = ::aomp::region::RegionConfig::new();
+        #cfg_threads
+        #cfg_nested
+        #cfg_only_if
+        ::aomp::region::parallel_with(__aomp_cfg, || #body);
+    };
+    rewrap(func, new_body)
+}
+
+/// `@For` — the function is a *for method*: its first three `i64`
+/// parameters are the loop `(start, end, step)`, rewritten per thread
+/// according to the schedule (paper Figures 10 and 11).
+///
+/// Arguments: `schedule = "staticBlock" | "staticCyclic" | "dynamic" |
+/// "guided"` (default `staticBlock`), `chunk = <int>` (dynamic),
+/// `min_chunk = <int>` (guided), `nowait`.
+#[proc_macro_attribute]
+pub fn for_loop(attr: TokenStream, item: TokenStream) -> TokenStream {
+    let func = parse_macro_input!(item as ItemFn);
+    let mut schedule = String::from("staticBlock");
+    let mut chunk: u64 = 1;
+    let mut min_chunk: u64 = 1;
+    let mut nowait = false;
+    if !attr.is_empty() {
+        let parser = syn::meta::parser(|meta| {
+            if meta.path.is_ident("schedule") {
+                schedule = meta.value()?.parse::<LitStr>()?.value();
+                Ok(())
+            } else if meta.path.is_ident("chunk") {
+                chunk = meta.value()?.parse::<LitInt>()?.base10_parse()?;
+                Ok(())
+            } else if meta.path.is_ident("min_chunk") {
+                min_chunk = meta.value()?.parse::<LitInt>()?.base10_parse()?;
+                Ok(())
+            } else if meta.path.is_ident("nowait") {
+                nowait = true;
+                Ok(())
+            } else {
+                Err(meta.error("expected schedule/chunk/min_chunk/nowait"))
+            }
+        });
+        parse_macro_input!(attr with parser);
+    }
+    let sched_expr = match schedule.as_str() {
+        "staticBlock" | "static_block" | "static" => quote!(::aomp::schedule::Schedule::StaticBlock),
+        "staticCyclic" | "static_cyclic" | "cyclic" => quote!(::aomp::schedule::Schedule::StaticCyclic),
+        "dynamic" => quote!(::aomp::schedule::Schedule::Dynamic { chunk: #chunk }),
+        "guided" => quote!(::aomp::schedule::Schedule::Guided { min_chunk: #min_chunk }),
+        "blockCyclic" | "block_cyclic" => quote!(::aomp::schedule::Schedule::BlockCyclic { chunk: #chunk }),
+        "runtime" => quote!(::aomp::schedule::Schedule::from_env()),
+        other => {
+            return syn::Error::new(
+                proc_macro2::Span::call_site(),
+                format!("unknown schedule `{other}` (expected staticBlock/staticCyclic/dynamic/guided/blockCyclic/runtime)"),
+            )
+            .to_compile_error()
+            .into()
+        }
+    };
+    let idents = match leading_param_idents(&func, 3) {
+        Ok(v) => v,
+        Err(e) => return e.to_compile_error().into(),
+    };
+    if !is_unit_return(&func) {
+        return syn::Error::new_spanned(
+            &func.sig.output,
+            "#[for_loop] for methods cannot return a value",
+        )
+        .to_compile_error()
+        .into();
+    }
+    let (p0, p1, p2) = (&idents[0], &idents[1], &idents[2]);
+    let body = &func.block;
+    let ctor = if nowait {
+        quote! { ::aomp::workshare::ForConstruct::new(#sched_expr).nowait() }
+    } else {
+        quote! { ::aomp::workshare::ForConstruct::new(#sched_expr) }
+    };
+    let new_body = quote! {
+        static __AOMP_FOR: ::std::sync::OnceLock<::aomp::workshare::ForConstruct> =
+            ::std::sync::OnceLock::new();
+        let __aomp_range = ::aomp::range::LoopRange::new(#p0 as i64, #p1 as i64, #p2 as i64);
+        __AOMP_FOR
+            .get_or_init(|| #ctor)
+            .execute(__aomp_range, |#p0, #p1, #p2| #body);
+    };
+    rewrap(func, new_body)
+}
+
+/// `@Critical` — the body executes in mutual exclusion. With
+/// `id = "name"` the process-wide named lock is used (sharable across
+/// type-unrelated call sites, as the paper extends Java `synchronized`);
+/// without an id, a lock private to this function.
+#[proc_macro_attribute]
+pub fn critical(attr: TokenStream, item: TokenStream) -> TokenStream {
+    let func = parse_macro_input!(item as ItemFn);
+    let mut id: Option<String> = None;
+    if !attr.is_empty() {
+        let parser = syn::meta::parser(|meta| {
+            if meta.path.is_ident("id") {
+                id = Some(meta.value()?.parse::<LitStr>()?.value());
+                Ok(())
+            } else {
+                Err(meta.error("expected `id = \"name\"`"))
+            }
+        });
+        parse_macro_input!(attr with parser);
+    }
+    let body = &func.block;
+    let handle = match &id {
+        Some(name) => quote! { ::aomp::critical::CriticalHandle::named(#name) },
+        None => quote! { ::aomp::critical::CriticalHandle::new() },
+    };
+    let new_body = quote! {
+        static __AOMP_CRIT: ::std::sync::OnceLock<::aomp::critical::CriticalHandle> =
+            ::std::sync::OnceLock::new();
+        __AOMP_CRIT.get_or_init(|| #handle).run(|| #body)
+    };
+    rewrap(func, new_body)
+}
+
+/// `@BarrierBefore` — team barrier before the body executes.
+#[proc_macro_attribute]
+pub fn barrier_before(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    let func = parse_macro_input!(item as ItemFn);
+    let body = &func.block;
+    let new_body = quote! {
+        ::aomp::ctx::barrier();
+        #body
+    };
+    rewrap(func, new_body)
+}
+
+/// `@BarrierAfter` — team barrier after the body completes.
+#[proc_macro_attribute]
+pub fn barrier_after(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    let func = parse_macro_input!(item as ItemFn);
+    let body = &func.block;
+    let new_body = quote! {
+        let __aomp_result = #body;
+        ::aomp::ctx::barrier();
+        __aomp_result
+    };
+    rewrap(func, new_body)
+}
+
+/// `@Master` — only the team master executes the body. If the function
+/// returns a value it is broadcast to every team thread (paper §III-C);
+/// the return type must then be `Clone + Send + 'static`.
+#[proc_macro_attribute]
+pub fn master(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    gate_macro(item, quote!(::aomp::sync::Master))
+}
+
+/// `@Single` — the first-arriving team thread executes the body; a return
+/// value is broadcast to the team.
+#[proc_macro_attribute]
+pub fn single(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    gate_macro(item, quote!(::aomp::sync::Single))
+}
+
+fn gate_macro(item: TokenStream, construct: TokenStream2) -> TokenStream {
+    let func = parse_macro_input!(item as ItemFn);
+    let body = &func.block;
+    let new_body = if is_unit_return(&func) {
+        quote! {
+            static __AOMP_GATE: ::std::sync::OnceLock<#construct> = ::std::sync::OnceLock::new();
+            __AOMP_GATE.get_or_init(<#construct>::new).run_nowait(|| #body);
+        }
+    } else {
+        quote! {
+            static __AOMP_GATE: ::std::sync::OnceLock<#construct> = ::std::sync::OnceLock::new();
+            __AOMP_GATE.get_or_init(<#construct>::new).run(|| #body)
+        }
+    };
+    rewrap(func, new_body)
+}
+
+/// `@Task` — calling the function spawns a new parallel activity that
+/// executes the body and returns immediately. Parameters must be
+/// `Send + 'static` (they move into the activity).
+#[proc_macro_attribute]
+pub fn task(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    let func = parse_macro_input!(item as ItemFn);
+    if !is_unit_return(&func) {
+        return syn::Error::new_spanned(
+            &func.sig.output,
+            "#[task] functions cannot return a value; use #[future_task]",
+        )
+        .to_compile_error()
+        .into();
+    }
+    let body = &func.block;
+    let new_body = quote! {
+        ::aomp::task::spawn(move || #body);
+    };
+    rewrap(func, new_body)
+}
+
+/// `@FutureTask` — calling the function spawns an activity computing the
+/// body and returns an `aomp::task::FutureTask<T>` whose
+/// `get` is the `@FutureResult`
+/// synchronisation point. The declared return type `T` becomes
+/// `FutureTask<T>` in the rewritten signature.
+#[proc_macro_attribute]
+pub fn future_task(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    let mut func = parse_macro_input!(item as ItemFn);
+    let ret_ty = match &func.sig.output {
+        syn::ReturnType::Type(_, ty) => (**ty).clone(),
+        syn::ReturnType::Default => {
+            return syn::Error::new_spanned(
+                &func.sig,
+                "#[future_task] requires a return type; use #[task] for void activities",
+            )
+            .to_compile_error()
+            .into()
+        }
+    };
+    let body = func.block.clone();
+    func.sig.output = syn::parse_quote!(-> ::aomp::task::FutureTask<#ret_ty>);
+    let new_body = quote! {
+        ::aomp::task::spawn_future(move || -> #ret_ty #body)
+    };
+    rewrap(func, new_body)
+}

@@ -1,0 +1,40 @@
+//! # aomp-simcore — a deterministic virtual-time multicore simulator
+//!
+//! The AOmpLib paper evaluates on two machines we do not have (a 4-core /
+//! 8-thread Intel i7 and a dual-socket 12-core / 24-thread Xeon X5650);
+//! this reproduction runs in a **single-core** container, where real
+//! wall-clock speed-up is unobservable. Per the substitution rule in
+//! DESIGN.md, this crate models those machines analytically and replays
+//! each benchmark's parallel structure on them, reproducing the *shape*
+//! of the paper's Figures 13 and 15: who wins, by roughly what factor,
+//! and where the crossovers fall.
+//!
+//! The model is deliberately simple and fully documented:
+//!
+//! * a [`machine::Machine`] has cores, SMT threads, per-core throughput,
+//!   a shared memory bandwidth, and synchronisation costs;
+//! * a program is a bulk-synchronous sequence of [`model::Step`]s —
+//!   work-shared parallel phases (roofline: max of compute time and
+//!   memory time), replicated phases, master-only phases, barriers,
+//!   critical sections (globally serialised, with cache-line handoff
+//!   costs) and fine-grained locked updates;
+//! * [`exec::Simulator`] advances virtual time step by step; speed-up is
+//!   the ratio of simulated 1-thread time to simulated t-thread time.
+//!
+//! [`models`] contains the per-benchmark structural models, with every
+//! operation/byte count derived from the actual Rust kernel inner loops
+//! in `aomp-jgf` (see each function's comments).
+
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod exec;
+pub mod machine;
+pub mod model;
+pub mod models;
+
+pub use event::EventSimulator;
+pub use exec::Simulator;
+pub use machine::Machine;
+pub use model::{Program, Step};

@@ -1,0 +1,139 @@
+//! Structural program models: bulk-synchronous step sequences.
+
+use serde::{Deserialize, Serialize};
+
+/// One bulk-synchronous step of a modelled program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Step {
+    /// Work shared across the team: `ops` total abstract operations and
+    /// `bytes` total memory traffic; the phase obeys a roofline —
+    /// wall time = max(compute time of the most loaded thread, memory
+    /// time at the shared bandwidth).
+    Parallel {
+        /// Total operations in the phase.
+        ops: f64,
+        /// Total bytes moved through the shared memory system.
+        bytes: f64,
+        /// Load imbalance: most-loaded thread's share relative to the
+        /// even share (1.0 = perfectly balanced; 2.0 ≈ a triangular loop
+        /// under a block schedule).
+        imbalance: f64,
+    },
+    /// Every thread redundantly executes the same work (e.g. the pivot
+    /// search each LUFact thread repeats).
+    Replicated {
+        /// Operations per thread.
+        ops: f64,
+        /// Bytes per thread.
+        bytes: f64,
+    },
+    /// Only the master executes; the team waits (a `@Master` +
+    /// barrier pattern).
+    Serial {
+        /// Operations on the master.
+        ops: f64,
+        /// Bytes moved by the master.
+        bytes: f64,
+    },
+    /// A team barrier.
+    Barrier,
+    /// A parallel phase containing `entries` critical-section entries of
+    /// `ops_each` operations guarded by **one** lock, overlapped with
+    /// `overlap_ops` of ordinary work-shared compute. The serialised lock
+    /// time can hide under the compute, but once the lock is busy a
+    /// significant fraction of the time, queueing and cache-line handoffs
+    /// inflate it (utilisation-dependent contention).
+    Critical {
+        /// Total entries across the team.
+        entries: f64,
+        /// Operations per entry (inside the lock).
+        ops_each: f64,
+        /// Work-shared compute ops overlapping the critical entries.
+        overlap_ops: f64,
+        /// Memory traffic of the phase.
+        bytes: f64,
+    },
+    /// A parallel phase with fine-grained locked updates spread over
+    /// `nlocks` independent locks (the per-particle locks variant):
+    /// lock costs parallelise, with a collision probability
+    /// ∝ threads/nlocks.
+    Locked {
+        /// Total locked updates across the team.
+        entries: f64,
+        /// Operations per update.
+        ops_each: f64,
+        /// Number of distinct locks.
+        nlocks: f64,
+        /// Work-shared compute ops overlapping the updates.
+        overlap_ops: f64,
+        /// Memory traffic of the phase.
+        bytes: f64,
+    },
+}
+
+/// A modelled program: a name plus its step sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Program {
+    /// Display name (benchmark / variant).
+    pub name: String,
+    /// Bulk-synchronous steps.
+    pub steps: Vec<Step>,
+}
+
+impl Program {
+    /// Build a program.
+    pub fn new(name: impl Into<String>, steps: Vec<Step>) -> Self {
+        Self { name: name.into(), steps }
+    }
+
+    /// Total modelled operations (compute volume), for sanity checks.
+    pub fn total_ops(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Parallel { ops, .. } => *ops,
+                Step::Replicated { ops, .. } => *ops,
+                Step::Serial { ops, .. } => *ops,
+                Step::Critical { entries, ops_each, overlap_ops, .. } => entries * ops_each + overlap_ops,
+                Step::Locked { entries, ops_each, overlap_ops, .. } => entries * ops_each + overlap_ops,
+                Step::Barrier => 0.0,
+            })
+            .sum()
+    }
+
+    /// Repeat a step group `times` times (iteration loops).
+    pub fn repeat(name: impl Into<String>, group: Vec<Step>, times: usize) -> Self {
+        let mut steps = Vec::with_capacity(group.len() * times);
+        for _ in 0..times {
+            steps.extend(group.iter().cloned());
+        }
+        Self { name: name.into(), steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_ops_sums_all_step_kinds() {
+        let p = Program::new(
+            "t",
+            vec![
+                Step::Parallel { ops: 100.0, bytes: 0.0, imbalance: 1.0 },
+                Step::Replicated { ops: 10.0, bytes: 0.0 },
+                Step::Serial { ops: 5.0, bytes: 0.0 },
+                Step::Critical { entries: 4.0, ops_each: 2.0, overlap_ops: 7.0, bytes: 0.0 },
+                Step::Locked { entries: 3.0, ops_each: 1.0, nlocks: 8.0, overlap_ops: 2.0, bytes: 0.0 },
+                Step::Barrier,
+            ],
+        );
+        assert_eq!(p.total_ops(), 100.0 + 10.0 + 5.0 + 8.0 + 7.0 + 3.0 + 2.0);
+    }
+
+    #[test]
+    fn repeat_multiplies_steps() {
+        let p = Program::repeat("r", vec![Step::Barrier, Step::Barrier], 5);
+        assert_eq!(p.steps.len(), 10);
+    }
+}

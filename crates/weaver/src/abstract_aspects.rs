@@ -1,0 +1,336 @@
+//! Abstract library aspects — the paper's Figure 4 idiom.
+//!
+//! In AOmpLib's pointcut style, "the pointcut style involves the creation
+//! of an aspect module that extends the abstract aspect `ParallelRegion`"
+//! and configures it by *overriding methods* (e.g.
+//! `int numThreads() { return 4; }`). The Rust mapping: each abstract
+//! aspect is a trait with an abstract pointcut method and overridable
+//! default configuration methods; a concrete aspect is a type
+//! implementing the trait, turned into a deployable
+//! [`AspectModule`] by [`concrete`].
+//!
+//! ```
+//! use aomp_weaver::abstract_aspects::{concrete, ParallelRegion};
+//! use aomp_weaver::prelude::*;
+//!
+//! // Paper Figure 4: a concrete aspect for a parallel region.
+//! struct MyParallelRegion;
+//! impl ParallelRegion for MyParallelRegion {
+//!     fn parallel_method(&self) -> Pointcut {
+//!         Pointcut::call("Demo.someMethod")
+//!     }
+//!     fn num_threads(&self) -> Option<usize> {
+//!         Some(4) // the paper's `int numThreads() { return(4); }`
+//!     }
+//! }
+//!
+//! let module = concrete("MyParallelRegion", MyParallelRegion);
+//! let handle = Weaver::global().deploy(module);
+//! # use std::sync::atomic::{AtomicUsize, Ordering};
+//! # let hits = AtomicUsize::new(0);
+//! aomp_weaver::call("Demo.someMethod", || { hits.fetch_add(1, Ordering::SeqCst); });
+//! # assert_eq!(hits.load(Ordering::SeqCst), 4);
+//! Weaver::global().undeploy(handle);
+//! ```
+
+use aomp::critical::CriticalHandle;
+use aomp::schedule::Schedule;
+use aomp::sync::RwConstruct;
+use std::sync::Arc;
+
+use crate::aspect::{AspectBuilder, AspectModule};
+use crate::mechanism::Mechanism;
+use crate::pointcut::Pointcut;
+
+/// The abstract parallel-region aspect (paper Figures 4 and 9): define
+/// [`parallel_method`](Self::parallel_method), optionally override the
+/// configuration methods.
+pub trait ParallelRegion {
+    /// The abstract pointcut: which method executions become parallel
+    /// regions.
+    fn parallel_method(&self) -> Pointcut;
+
+    /// Team size (`numThreads()` in the paper); `None` = runtime default.
+    fn num_threads(&self) -> Option<usize> {
+        None
+    }
+
+    /// Whether nested encounters create real teams.
+    fn nested(&self) -> Option<bool> {
+        None
+    }
+}
+
+/// The abstract for work-sharing aspect (paper Figure 10/11): define
+/// [`for_method`](Self::for_method), optionally override the schedule.
+pub trait ForWorkshare {
+    /// The abstract pointcut: which for methods are work-shared.
+    fn for_method(&self) -> Pointcut;
+
+    /// Loop schedule (`scheduleForStatic`/`dynamicfor` in the paper).
+    fn schedule(&self) -> Schedule {
+        Schedule::StaticBlock
+    }
+
+    /// Suppress the trailing barrier of chunked schedules.
+    fn nowait(&self) -> bool {
+        false
+    }
+}
+
+/// The abstract critical aspect with its two lock policies (paper
+/// §III-C: `criticalUsingCapturedLock` vs `criticalUsingSharedLock`).
+pub trait CriticalAspect {
+    /// The abstract pointcut: which methods run in mutual exclusion.
+    fn critical_method(&self) -> Pointcut;
+
+    /// The lock to use: default is one fresh lock per concrete aspect
+    /// (the shared-lock variant — "each aspect instance can use a
+    /// different lock"). Override to return a named or captured handle.
+    fn lock(&self) -> CriticalHandle {
+        CriticalHandle::new()
+    }
+}
+
+/// The abstract barrier aspect: before/after pointcuts (paper Figure 7's
+/// `barrierBefore()` / `barrierAfter()`).
+pub trait BarrierAspect {
+    /// Join points preceded by a team barrier.
+    fn barrier_before(&self) -> Pointcut {
+        Pointcut::None
+    }
+
+    /// Join points followed by a team barrier.
+    fn barrier_after(&self) -> Pointcut {
+        Pointcut::None
+    }
+}
+
+/// The abstract master aspect (paper Figure 7's `master()`).
+pub trait MasterAspect {
+    /// Join points executed by the team master only.
+    fn master_method(&self) -> Pointcut;
+}
+
+/// The abstract single aspect.
+pub trait SingleAspect {
+    /// Join points executed by exactly one team thread.
+    fn single_method(&self) -> Pointcut;
+}
+
+/// The abstract readers/writer aspect: two hook points over one shared
+/// construct (paper §III-C: "this implementation requires two hook
+/// points to specify accesses for reading and writing").
+pub trait ReaderWriterAspect {
+    /// Reading accesses (`@Reader`).
+    fn reader_method(&self) -> Pointcut;
+    /// Writing accesses (`@Writer`).
+    fn writer_method(&self) -> Pointcut;
+}
+
+/// Anything [`concrete`] can turn into a deployable module. Implemented
+/// for every abstract-aspect trait; a concrete type may implement several
+/// traits and be registered once per role.
+pub trait IntoAspectModule {
+    /// Append this aspect's bindings to the builder.
+    fn bind_into(&self, builder: AspectBuilder) -> AspectBuilder;
+}
+
+impl<T: ParallelRegion> IntoAspectModule for T {
+    fn bind_into(&self, builder: AspectBuilder) -> AspectBuilder {
+        let mut m = Mechanism::parallel();
+        if let Some(t) = self.num_threads() {
+            m = m.threads(t);
+        }
+        if let Some(n) = self.nested() {
+            m = m.nested(n);
+        }
+        builder.bind(self.parallel_method(), m)
+    }
+}
+
+/// Build a deployable [`AspectModule`] from a concrete aspect — the
+/// paper's `aspect X extends ParallelRegion { ... }`.
+pub fn concrete(name: impl Into<String>, aspect: impl IntoAspectModule) -> AspectModule {
+    aspect.bind_into(AspectModule::builder(name)).build()
+}
+
+/// Build a module from a concrete for-workshare aspect. (Separate entry
+/// points per abstract aspect keep Rust's coherence rules happy where a
+/// type implements several of the traits.)
+pub fn concrete_for(name: impl Into<String>, aspect: &impl ForWorkshare) -> AspectModule {
+    let mech = if aspect.nowait() {
+        Mechanism::for_loop_nowait(aspect.schedule())
+    } else {
+        Mechanism::for_loop(aspect.schedule())
+    };
+    AspectModule::builder(name).bind(aspect.for_method(), mech).build()
+}
+
+/// Build a module from a concrete critical aspect.
+pub fn concrete_critical(name: impl Into<String>, aspect: &impl CriticalAspect) -> AspectModule {
+    AspectModule::builder(name)
+        .bind(aspect.critical_method(), Mechanism::critical_with(aspect.lock()))
+        .build()
+}
+
+/// Build a module from a concrete barrier aspect.
+pub fn concrete_barrier(name: impl Into<String>, aspect: &impl BarrierAspect) -> AspectModule {
+    AspectModule::builder(name)
+        .bind(aspect.barrier_before(), Mechanism::barrier_before())
+        .bind(aspect.barrier_after(), Mechanism::barrier_after())
+        .build()
+}
+
+/// Build a module from a concrete master aspect.
+pub fn concrete_master(name: impl Into<String>, aspect: &impl MasterAspect) -> AspectModule {
+    AspectModule::builder(name).bind(aspect.master_method(), Mechanism::master()).build()
+}
+
+/// Build a module from a concrete single aspect.
+pub fn concrete_single(name: impl Into<String>, aspect: &impl SingleAspect) -> AspectModule {
+    AspectModule::builder(name).bind(aspect.single_method(), Mechanism::single()).build()
+}
+
+/// Build a module from a concrete readers/writer aspect (one shared
+/// construct behind both hook points).
+pub fn concrete_reader_writer(name: impl Into<String>, aspect: &impl ReaderWriterAspect) -> AspectModule {
+    let rw = Arc::new(RwConstruct::new());
+    AspectModule::builder(name)
+        .bind(aspect.reader_method(), Mechanism::reader(Arc::clone(&rw)))
+        .bind(aspect.writer_method(), Mechanism::writer(rw))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weaver::Weaver;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn figure4_concrete_parallel_region() {
+        struct MyParallelRegion;
+        impl ParallelRegion for MyParallelRegion {
+            fn parallel_method(&self) -> Pointcut {
+                Pointcut::call("abstract.test.someMethod")
+            }
+            fn num_threads(&self) -> Option<usize> {
+                Some(4)
+            }
+        }
+        let hits = AtomicUsize::new(0);
+        Weaver::global().with_deployed(concrete("MyParallelRegion", MyParallelRegion), || {
+            crate::weaver::call("abstract.test.someMethod", || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn concrete_for_respects_schedule_override() {
+        struct CyclicFor;
+        impl ForWorkshare for CyclicFor {
+            fn for_method(&self) -> Pointcut {
+                Pointcut::call("abstract.test.loop")
+            }
+            fn schedule(&self) -> Schedule {
+                Schedule::StaticCyclic
+            }
+        }
+        let module = concrete_for("CyclicFor", &CyclicFor);
+        assert_eq!(module.bindings()[0].mechanism.kind_name(), "for(staticCyclic)");
+    }
+
+    #[test]
+    fn default_config_methods_apply() {
+        struct Plain;
+        impl ParallelRegion for Plain {
+            fn parallel_method(&self) -> Pointcut {
+                Pointcut::call("abstract.test.plain")
+            }
+        }
+        // Defaults: runtime thread count, nesting allowed — just verify
+        // it builds and deploys.
+        let h = Weaver::global().deploy(concrete("Plain", Plain));
+        assert!(Weaver::global().is_deployed(h));
+        Weaver::global().undeploy(h);
+    }
+
+    #[test]
+    fn barrier_and_master_aspects_compose_like_figure7() {
+        struct LinpackBarriers;
+        impl BarrierAspect for LinpackBarriers {
+            fn barrier_before(&self) -> Pointcut {
+                Pointcut::call("abstract.test.interchange")
+            }
+            fn barrier_after(&self) -> Pointcut {
+                Pointcut::calls(["abstract.test.interchange", "abstract.test.dscal"])
+            }
+        }
+        struct LinpackMaster;
+        impl MasterAspect for LinpackMaster {
+            fn master_method(&self) -> Pointcut {
+                Pointcut::call("abstract.test.interchange").or(Pointcut::call("abstract.test.dscal"))
+            }
+        }
+        struct Region;
+        impl ParallelRegion for Region {
+            fn parallel_method(&self) -> Pointcut {
+                Pointcut::call("abstract.test.region")
+            }
+            fn num_threads(&self) -> Option<usize> {
+                Some(3)
+            }
+        }
+        let execs = AtomicUsize::new(0);
+        let w = Weaver::global();
+        let h1 = w.deploy(concrete("Region", Region));
+        let h2 = w.deploy(concrete_master("LinpackMaster", &LinpackMaster));
+        let h3 = w.deploy(concrete_barrier("LinpackBarriers", &LinpackBarriers));
+        crate::weaver::call("abstract.test.region", || {
+            for _ in 0..4 {
+                crate::weaver::call("abstract.test.interchange", || {
+                    execs.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        w.undeploy(h1);
+        w.undeploy(h2);
+        w.undeploy(h3);
+        assert_eq!(execs.load(Ordering::SeqCst), 4, "master-gated, once per encounter");
+    }
+
+    #[test]
+    fn reader_writer_aspect_builds_pair_over_one_construct() {
+        struct RW;
+        impl ReaderWriterAspect for RW {
+            fn reader_method(&self) -> Pointcut {
+                Pointcut::call("abstract.test.read")
+            }
+            fn writer_method(&self) -> Pointcut {
+                Pointcut::call("abstract.test.write")
+            }
+        }
+        let m = concrete_reader_writer("RW", &RW);
+        assert_eq!(m.bindings().len(), 2);
+        assert_eq!(m.bindings()[0].mechanism.kind_name(), "reader");
+        assert_eq!(m.bindings()[1].mechanism.kind_name(), "writer");
+    }
+
+    #[test]
+    fn critical_aspect_shared_lock_policy() {
+        struct NamedCritical;
+        impl CriticalAspect for NamedCritical {
+            fn critical_method(&self) -> Pointcut {
+                Pointcut::glob("abstract.test.crit.*")
+            }
+            fn lock(&self) -> CriticalHandle {
+                CriticalHandle::named("abstract-test-shared")
+            }
+        }
+        let m = concrete_critical("NamedCritical", &NamedCritical);
+        assert_eq!(m.bindings()[0].mechanism.kind_name(), "critical");
+    }
+}

@@ -1,0 +1,124 @@
+//! Aspect modules: named, pluggable bundles of pointcut→mechanism
+//! bindings — the Rust analogue of a concrete AspectJ aspect extending
+//! the library's abstract aspects (paper Figures 4 and 7).
+
+use crate::mechanism::Mechanism;
+use crate::pointcut::Pointcut;
+
+/// One pointcut→mechanism binding inside an aspect module.
+#[derive(Debug)]
+pub struct Binding {
+    /// Which join points the mechanism applies to.
+    pub pointcut: Pointcut,
+    /// The attached semantics.
+    pub mechanism: Mechanism,
+}
+
+/// A named module of bindings, deployable into the
+/// [`Weaver`](crate::weaver::Weaver). Equivalent to one concrete aspect —
+/// e.g. the paper Figure 7 `ParallelLinpack` aspect becomes:
+///
+/// ```
+/// use aomp_weaver::prelude::*;
+///
+/// let linpack = AspectModule::builder("ParallelLinpack")
+///     .bind(Pointcut::call("Linpack.dgefa"), Mechanism::parallel())
+///     .bind(Pointcut::call("Linpack.reduceAllCols"), Mechanism::for_loop(Schedule::StaticBlock))
+///     .bind(
+///         Pointcut::calls(["Linpack.interchange", "Linpack.dscal"]),
+///         Mechanism::master(),
+///     )
+///     .bind(Pointcut::call("Linpack.interchange"), Mechanism::barrier_before())
+///     .bind(
+///         Pointcut::calls(["Linpack.reduceAllCols", "Linpack.interchange", "Linpack.dscal"]),
+///         Mechanism::barrier_after(),
+///     )
+///     .build();
+/// assert_eq!(linpack.name(), "ParallelLinpack");
+/// assert_eq!(linpack.bindings().len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct AspectModule {
+    name: String,
+    bindings: Vec<Binding>,
+}
+
+impl AspectModule {
+    /// Start building a module named `name`.
+    pub fn builder(name: impl Into<String>) -> AspectBuilder {
+        AspectBuilder { name: name.into(), bindings: Vec::new() }
+    }
+
+    /// Module name (diagnostics, deployment listings).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The module's bindings, in declaration order.
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+}
+
+/// Builder for [`AspectModule`].
+#[derive(Debug)]
+pub struct AspectBuilder {
+    name: String,
+    bindings: Vec<Binding>,
+}
+
+impl AspectBuilder {
+    /// Attach `mechanism` to the join points selected by `pointcut`.
+    pub fn bind(mut self, pointcut: Pointcut, mechanism: Mechanism) -> Self {
+        self.bindings.push(Binding { pointcut, mechanism });
+        self
+    }
+
+    /// Finish the module.
+    pub fn build(self) -> AspectModule {
+        AspectModule { name: self.name, bindings: self.bindings }
+    }
+}
+
+/// Convenience: a combined *parallel for* aspect (paper §III-D — combined
+/// constructs are aspects enclosing several mechanisms): the method named
+/// by `for_method` is both a parallel region and a work-shared for.
+pub fn parallel_for(
+    name: impl Into<String>,
+    for_method: &str,
+    schedule: aomp::schedule::Schedule,
+    threads: Option<usize>,
+) -> AspectModule {
+    let mut parallel = Mechanism::parallel();
+    if let Some(t) = threads {
+        parallel = parallel.threads(t);
+    }
+    AspectModule::builder(name)
+        .bind(Pointcut::call(for_method), parallel)
+        .bind(Pointcut::call(for_method), Mechanism::for_loop(schedule))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aomp::schedule::Schedule;
+
+    #[test]
+    fn builder_preserves_order() {
+        let m = AspectModule::builder("A")
+            .bind(Pointcut::call("x"), Mechanism::barrier_before())
+            .bind(Pointcut::call("y"), Mechanism::master())
+            .build();
+        assert_eq!(m.bindings()[0].mechanism.kind_name(), "barrierBefore");
+        assert_eq!(m.bindings()[1].mechanism.kind_name(), "master");
+    }
+
+    #[test]
+    fn parallel_for_combines_two_bindings() {
+        let m = parallel_for("PF", "M.loop", Schedule::StaticCyclic, Some(3));
+        assert_eq!(m.bindings().len(), 2);
+        assert_eq!(m.bindings()[0].mechanism.kind_name(), "parallel");
+        assert_eq!(m.bindings()[1].mechanism.kind_name(), "for(staticCyclic)");
+    }
+}

@@ -1,0 +1,83 @@
+//! Join points: the interceptable events of the base program.
+//!
+//! In AOmpLib every mechanism "acts upon a set of method calls in the base
+//! program (i.e., a joinpoint in AOP terminology)" (§III-A). The Rust
+//! mapping reifies each intercepted method execution as a [`JoinPoint`]
+//! value handed to pointcuts and custom advice.
+
+use aomp::range::LoopRange;
+
+/// The shape of an intercepted method execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinPointKind {
+    /// A plain `void`-like method execution ([`crate::call`]).
+    Plain,
+    /// A *for method*: first three parameters are the loop
+    /// `(start, end, step)` ([`crate::call_for`]).
+    ForMethod,
+    /// A value-returning method execution ([`crate::call_value`]).
+    Value,
+}
+
+impl JoinPointKind {
+    /// Lower-case name used in diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinPointKind::Plain => "plain",
+            JoinPointKind::ForMethod => "for-method",
+            JoinPointKind::Value => "value",
+        }
+    }
+}
+
+/// A reified method execution, visible to pointcuts and custom advice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinPoint<'a> {
+    /// Qualified method name, conventionally `Type.method` (the paper's
+    /// `Linpack.dgefa`). Trait implementations can use
+    /// `Trait.method` so a single pointcut binds to every implementor —
+    /// the paper's "pointcuts defined over Java interfaces".
+    pub name: &'a str,
+    /// Join point shape.
+    pub kind: JoinPointKind,
+    /// The loop range for [`JoinPointKind::ForMethod`] join points.
+    pub range: Option<LoopRange>,
+}
+
+impl<'a> JoinPoint<'a> {
+    /// A plain method-execution join point.
+    pub fn plain(name: &'a str) -> Self {
+        Self { name, kind: JoinPointKind::Plain, range: None }
+    }
+
+    /// A for-method join point carrying its iteration range.
+    pub fn for_method(name: &'a str, range: LoopRange) -> Self {
+        Self { name, kind: JoinPointKind::ForMethod, range: Some(range) }
+    }
+
+    /// A value-returning join point.
+    pub fn value(name: &'a str) -> Self {
+        Self { name, kind: JoinPointKind::Value, range: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(JoinPoint::plain("A.m").kind, JoinPointKind::Plain);
+        let jp = JoinPoint::for_method("A.f", LoopRange::upto(0, 10));
+        assert_eq!(jp.kind, JoinPointKind::ForMethod);
+        assert_eq!(jp.range.unwrap().count(), 10);
+        assert_eq!(JoinPoint::value("A.v").kind, JoinPointKind::Value);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(JoinPointKind::Plain.name(), "plain");
+        assert_eq!(JoinPointKind::ForMethod.name(), "for-method");
+        assert_eq!(JoinPointKind::Value.name(), "value");
+    }
+}

@@ -1,0 +1,85 @@
+//! # aomp-weaver — the aspect substrate of the AOmpLib reproduction
+//!
+//! AOmpLib's pointcut style binds parallelism mechanisms to *join points*
+//! (method executions) via *pointcuts*, packaged into pluggable *aspect
+//! modules* that a weaver composes with the base program at compile or
+//! load time. Rust has no AspectJ, so this crate maps the model onto a
+//! runtime registry:
+//!
+//! * the base program exposes join points by routing method executions
+//!   through [`call`], [`call_for`] and [`call_value`] (the attribute
+//!   macros in `aomp-macros` generate these shims, mirroring the code the
+//!   AspectJ weaver would generate — paper Figure 12);
+//! * [`Pointcut`]s match join points by name (exact or glob, with
+//!   `or`/`and`/`not` composition — paper Figure 7's `call(..) || call(..)`);
+//! * [`AspectModule`]s bundle pointcut→[`Mechanism`] bindings: parallel
+//!   region, for work-sharing, barriers, master/single, critical,
+//!   readers/writer, ordered, and fully custom advice for
+//!   application-specific aspects (paper Table 2's "CS" entry);
+//! * the global [`Weaver`] deploys and undeploys aspect modules at run
+//!   time — the paper's load-time weaving. With nothing deployed every
+//!   join point simply proceeds: *sequential semantics*.
+//!
+//! ```
+//! use aomp_weaver::prelude::*;
+//! use std::sync::atomic::{AtomicI64, Ordering};
+//!
+//! // Base program: a "for method" exposed as a join point.
+//! fn sum_squares(out: &AtomicI64, n: i64) {
+//!     aomp_weaver::call_for("Demo.sumSquares", LoopRange::upto(0, n), |lo, hi, step| {
+//!         let mut local = 0;
+//!         let mut i = lo;
+//!         while i < hi {
+//!             local += i * i;
+//!             i += step;
+//!         }
+//!         out.fetch_add(local, Ordering::Relaxed);
+//!     });
+//! }
+//!
+//! // Aspect module (the "concrete aspect" of paper Figures 4 and 7).
+//! let aspect = AspectModule::builder("ParallelDemo")
+//!     .bind(Pointcut::call("Demo.sumSquares"), Mechanism::parallel().threads(4))
+//!     .bind(Pointcut::call("Demo.sumSquares"), Mechanism::for_loop(Schedule::StaticBlock))
+//!     .build();
+//!
+//! let expected: i64 = (0..100).map(|i| i * i).sum();
+//!
+//! let out = AtomicI64::new(0);
+//! let handle = Weaver::global().deploy(aspect);
+//! sum_squares(&out, 100); // runs on a team of 4
+//! assert_eq!(out.load(Ordering::Relaxed), expected);
+//!
+//! Weaver::global().undeploy(handle);
+//! let out = AtomicI64::new(0);
+//! sum_squares(&out, 100); // aspects unplugged: sequential again
+//! assert_eq!(out.load(Ordering::Relaxed), expected);
+//! ```
+
+
+#![warn(missing_docs)]
+
+pub mod abstract_aspects;
+pub mod aspect;
+pub mod joinpoint;
+pub mod mechanism;
+pub mod pointcut;
+#[allow(clippy::module_inception)]
+pub mod weaver;
+
+pub use abstract_aspects::{concrete, ForWorkshare, ParallelRegion};
+pub use aspect::{AspectBuilder, AspectModule};
+pub use joinpoint::{JoinPoint, JoinPointKind};
+pub use mechanism::{CustomAdvice, Mechanism};
+pub use pointcut::Pointcut;
+pub use weaver::{call, call_for, call_for_scoped, call_value, AspectHandle, Weaver};
+
+/// Glob import for pointcut-style programs.
+pub mod prelude {
+    pub use crate::aspect::{AspectBuilder, AspectModule};
+    pub use crate::joinpoint::{JoinPoint, JoinPointKind};
+    pub use crate::mechanism::{CustomAdvice, Mechanism};
+    pub use crate::pointcut::Pointcut;
+    pub use crate::weaver::{call, call_for, call_for_scoped, call_value, AspectHandle, Weaver};
+    pub use aomp::prelude::*;
+}

@@ -1,0 +1,261 @@
+//! Mechanisms: the parallelism semantics an aspect attaches to matched
+//! join points — the library side of paper Table 1.
+//!
+//! Each [`Mechanism`] owns its runtime construct instance (its
+//! `ForConstruct`, `Master`, lock, …), so distinct aspect instances get
+//! distinct state — the property the paper highlights for the pointcut
+//! style ("each aspect instance can use a different lock").
+
+use std::sync::Arc;
+
+use aomp::critical::CriticalHandle;
+use aomp::range::LoopRange;
+use aomp::region::RegionConfig;
+use aomp::schedule::Schedule;
+use aomp::sync::{Master, RwConstruct, Single};
+use aomp::workshare::ForConstruct;
+
+use crate::joinpoint::JoinPoint;
+
+/// Application-specific advice — the escape hatch behind the paper's
+/// "case specific" aspects (Table 2, Sparse) and §III-C's "parallelism
+/// specific code".
+///
+/// Default implementations just proceed, so an implementor overrides only
+/// the join-point shapes it cares about. Inside the advice,
+/// [`aomp::ctx::thread_id`] provides the paper's `getThreadId()`.
+pub trait CustomAdvice: Send + Sync {
+    /// Around-advice for plain join points.
+    fn around(&self, jp: &JoinPoint<'_>, proceed: &mut dyn FnMut()) {
+        let _ = jp;
+        proceed();
+    }
+
+    /// Around-advice for for-method join points. `proceed` takes the
+    /// (possibly rewritten) `(start, end, step)` triple and may be called
+    /// any number of times — e.g. once per application-specific chunk.
+    fn around_for(&self, jp: &JoinPoint<'_>, range: LoopRange, proceed: &mut dyn FnMut(i64, i64, i64)) {
+        let _ = jp;
+        proceed(range.start, range.end, range.step);
+    }
+}
+
+/// Semantics attachable to join points. Construct one via the associated
+/// functions and [`bind`](crate::aspect::AspectBuilder::bind) it to a
+/// [`Pointcut`](crate::pointcut::Pointcut).
+pub struct Mechanism {
+    pub(crate) kind: MechanismKind,
+}
+
+pub(crate) enum MechanismKind {
+    Parallel { threads: Option<usize>, nested: Option<bool> },
+    For { construct: ForConstruct },
+    BarrierBefore,
+    BarrierAfter,
+    MasterGate { construct: Master },
+    SingleGate { construct: Single },
+    Critical { handle: CriticalHandle },
+    Reader { rw: Arc<RwConstruct> },
+    Writer { rw: Arc<RwConstruct> },
+    ReduceAfter { action: Arc<dyn Fn() + Send + Sync> },
+    Custom { advice: Arc<dyn CustomAdvice> },
+}
+
+impl std::fmt::Debug for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mechanism::{}", self.kind_name())
+    }
+}
+
+impl Mechanism {
+    /// `@Parallel` — the matched method execution becomes a parallel
+    /// region. Configure with [`threads`](Self::threads).
+    pub fn parallel() -> Self {
+        Self { kind: MechanismKind::Parallel { threads: None, nested: None } }
+    }
+
+    /// Set the team size of a [`parallel`](Self::parallel) mechanism —
+    /// `@Parallel(threads = n)` / overriding `numThreads()`.
+    pub fn threads(mut self, n: usize) -> Self {
+        match &mut self.kind {
+            MechanismKind::Parallel { threads, .. } => *threads = Some(n),
+            _ => panic!("threads() only applies to Mechanism::parallel()"),
+        }
+        self
+    }
+
+    /// Control nesting of a [`parallel`](Self::parallel) mechanism.
+    pub fn nested(mut self, nested: bool) -> Self {
+        match &mut self.kind {
+            MechanismKind::Parallel { nested: n, .. } => *n = Some(nested),
+            _ => panic!("nested() only applies to Mechanism::parallel()"),
+        }
+        self
+    }
+
+    /// `@For(schedule = …)` — work-share a for method across the team.
+    pub fn for_loop(schedule: Schedule) -> Self {
+        Self { kind: MechanismKind::For { construct: ForConstruct::new(schedule) } }
+    }
+
+    /// `@For` without the trailing barrier of dynamic/guided schedules.
+    pub fn for_loop_nowait(schedule: Schedule) -> Self {
+        Self { kind: MechanismKind::For { construct: ForConstruct::new(schedule).nowait() } }
+    }
+
+    /// `@BarrierBefore` — team barrier before the method executes.
+    pub fn barrier_before() -> Self {
+        Self { kind: MechanismKind::BarrierBefore }
+    }
+
+    /// `@BarrierAfter` — team barrier after the method completes.
+    pub fn barrier_after() -> Self {
+        Self { kind: MechanismKind::BarrierAfter }
+    }
+
+    /// `@Master` — only the team master executes the method; for
+    /// value join points the result is broadcast to the whole team.
+    pub fn master() -> Self {
+        Self { kind: MechanismKind::MasterGate { construct: Master::new() } }
+    }
+
+    /// `@Single` — exactly one (first-arriving) thread executes the
+    /// method; for value join points the result is broadcast.
+    pub fn single() -> Self {
+        Self { kind: MechanismKind::SingleGate { construct: Single::new() } }
+    }
+
+    /// `@Critical` with this aspect instance's own lock — the
+    /// `criticalUsingSharedLock` variant scoped to one mechanism.
+    pub fn critical() -> Self {
+        Self { kind: MechanismKind::Critical { handle: CriticalHandle::new() } }
+    }
+
+    /// `@Critical(id = name)` — process-wide named lock.
+    pub fn critical_named(id: &str) -> Self {
+        Self { kind: MechanismKind::Critical { handle: CriticalHandle::named(id) } }
+    }
+
+    /// `@Critical` sharing an explicit handle — the captured-lock /
+    /// shared-lock pointcut variants.
+    pub fn critical_with(handle: CriticalHandle) -> Self {
+        Self { kind: MechanismKind::Critical { handle } }
+    }
+
+    /// `@Reader` — shared access through `rw`. Pair with
+    /// [`writer`](Self::writer) on the same construct.
+    pub fn reader(rw: Arc<RwConstruct>) -> Self {
+        Self { kind: MechanismKind::Reader { rw } }
+    }
+
+    /// `@Writer` — exclusive access through `rw`.
+    pub fn writer(rw: Arc<RwConstruct>) -> Self {
+        Self { kind: MechanismKind::Writer { rw } }
+    }
+
+    /// `@Reduce` — after the matched call completes on all threads
+    /// (team barrier), the master runs `action` (typically
+    /// [`ThreadLocalField::reduce`](aomp::threadlocal::ThreadLocalField::reduce)),
+    /// then the team barriers again so every thread observes the merged
+    /// value.
+    pub fn reduce_after(action: impl Fn() + Send + Sync + 'static) -> Self {
+        Self { kind: MechanismKind::ReduceAfter { action: Arc::new(action) } }
+    }
+
+    /// Application-specific advice (case-specific aspects).
+    pub fn custom(advice: impl CustomAdvice + 'static) -> Self {
+        Self { kind: MechanismKind::Custom { advice: Arc::new(advice) } }
+    }
+
+    /// Wrapping layer: lower layers are applied further out. Used by the
+    /// weaver to order composed mechanisms deterministically.
+    pub(crate) fn layer(&self) -> u8 {
+        match self.kind {
+            MechanismKind::BarrierBefore => 0,
+            MechanismKind::Parallel { .. } => 1,
+            MechanismKind::MasterGate { .. } | MechanismKind::SingleGate { .. } => 2,
+            MechanismKind::Critical { .. } | MechanismKind::Reader { .. } | MechanismKind::Writer { .. } => 3,
+            MechanismKind::Custom { .. } => 4,
+            MechanismKind::For { .. } => 5,
+            MechanismKind::ReduceAfter { .. } => 6,
+            MechanismKind::BarrierAfter => 7,
+        }
+    }
+
+    /// Mechanism name for diagnostics and the Table-2 metadata.
+    pub fn kind_name(&self) -> &'static str {
+        match &self.kind {
+            MechanismKind::Parallel { .. } => "parallel",
+            MechanismKind::For { construct } => match construct.schedule() {
+                Schedule::StaticBlock => "for(staticBlock)",
+                Schedule::StaticCyclic => "for(staticCyclic)",
+                Schedule::Dynamic { .. } => "for(dynamic)",
+                Schedule::Guided { .. } => "for(guided)",
+                Schedule::BlockCyclic { .. } => "for(blockCyclic)",
+            },
+            MechanismKind::BarrierBefore => "barrierBefore",
+            MechanismKind::BarrierAfter => "barrierAfter",
+            MechanismKind::MasterGate { .. } => "master",
+            MechanismKind::SingleGate { .. } => "single",
+            MechanismKind::Critical { .. } => "critical",
+            MechanismKind::Reader { .. } => "reader",
+            MechanismKind::Writer { .. } => "writer",
+            MechanismKind::ReduceAfter { .. } => "reduce",
+            MechanismKind::Custom { .. } => "custom",
+        }
+    }
+
+    pub(crate) fn region_config(&self) -> Option<RegionConfig> {
+        match self.kind {
+            MechanismKind::Parallel { threads, nested } => {
+                let mut cfg = RegionConfig::new();
+                if let Some(t) = threads {
+                    cfg = cfg.threads(t);
+                }
+                if let Some(n) = nested {
+                    cfg = cfg.nested(n);
+                }
+                Some(cfg)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_order_barriers_outermost() {
+        assert!(Mechanism::barrier_before().layer() < Mechanism::parallel().layer());
+        assert!(Mechanism::parallel().layer() < Mechanism::master().layer());
+        assert!(Mechanism::master().layer() < Mechanism::critical().layer());
+        assert!(Mechanism::critical().layer() < Mechanism::for_loop(Schedule::StaticBlock).layer());
+        assert!(
+            Mechanism::for_loop(Schedule::StaticBlock).layer()
+                < Mechanism::reduce_after(|| {}).layer()
+        );
+        assert!(Mechanism::reduce_after(|| {}).layer() < Mechanism::barrier_after().layer());
+    }
+
+    #[test]
+    fn kind_names_include_schedule() {
+        assert_eq!(Mechanism::for_loop(Schedule::StaticCyclic).kind_name(), "for(staticCyclic)");
+        assert_eq!(Mechanism::for_loop(Schedule::DYNAMIC).kind_name(), "for(dynamic)");
+        assert_eq!(Mechanism::parallel().kind_name(), "parallel");
+    }
+
+    #[test]
+    #[should_panic(expected = "only applies")]
+    fn threads_on_non_parallel_panics() {
+        let _ = Mechanism::master().threads(4);
+    }
+
+    #[test]
+    fn region_config_carries_threads() {
+        let cfg = Mechanism::parallel().threads(7).region_config().unwrap();
+        assert_eq!(cfg, RegionConfig::new().threads(7));
+        assert!(Mechanism::master().region_config().is_none());
+    }
+}

@@ -1,0 +1,808 @@
+//! The weaver: deploys aspect modules and composes their mechanisms
+//! around join points at run time.
+//!
+//! AspectJ weaves at compile or load time; the Rust mapping dispatches at
+//! the join-point shims ([`call`], [`call_for`], [`call_value`]), which
+//! the `aomp-macros` attribute macros generate in the position where the
+//! AspectJ weaver would have rewritten the method (paper Figure 12). With
+//! no deployed aspects a shim is a direct call — the unplugged program is
+//! the sequential program.
+//!
+//! ## Composition order
+//!
+//! When several mechanisms match one join point they wrap it in a fixed,
+//! deterministic order (outermost first): barriers-before → parallel
+//! region → master/single gate → critical/reader/writer → custom advice →
+//! for work-sharing → body; then reduce points (team barrier, master
+//! merges, team barrier) and barriers-after. Barriers bind to the team
+//! that is current where they execute: a `@BarrierBefore` on a parallel
+//! method synchronises the *enclosing* team (no-op outside any region).
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use aomp::ctx;
+use aomp::range::LoopRange;
+use aomp::region::{parallel_with, RegionConfig};
+
+use crate::aspect::AspectModule;
+use crate::joinpoint::{JoinPoint, JoinPointKind};
+use crate::mechanism::{Mechanism, MechanismKind};
+
+/// Identifies one deployment, for later [`Weaver::undeploy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AspectHandle(u64);
+
+struct Deployed {
+    id: u64,
+    module: Arc<AspectModule>,
+    /// Disabled modules stay deployed but match nothing — a cheaper
+    /// toggle than undeploy/redeploy for A/B experiments.
+    enabled: AtomicBool,
+}
+
+/// The aspect registry. Usually accessed through [`Weaver::global`].
+pub struct Weaver {
+    deployed: RwLock<Vec<Deployed>>,
+    next_id: AtomicU64,
+    /// Dispatch counters per join-point name (matched dispatches only;
+    /// the unmatched fast path stays counter-free).
+    stats: Mutex<HashMap<String, u64>>,
+}
+
+impl Default for Weaver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Weaver {
+    /// A fresh, empty weaver (tests; embedded registries).
+    pub fn new() -> Self {
+        Self { deployed: RwLock::new(Vec::new()), next_id: AtomicU64::new(1), stats: Mutex::new(HashMap::new()) }
+    }
+
+    /// The process-wide weaver that the [`call`]/[`call_for`]/
+    /// [`call_value`] shims consult.
+    pub fn global() -> &'static Weaver {
+        static GLOBAL: OnceLock<Weaver> = OnceLock::new();
+        GLOBAL.get_or_init(Weaver::new)
+    }
+
+    /// Deploy (plug in) an aspect module — the paper's load-time weaving.
+    /// Later deployments wrap *inside* earlier ones when layers tie.
+    pub fn deploy(&self, module: AspectModule) -> AspectHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.deployed.write().push(Deployed { id, module: Arc::new(module), enabled: AtomicBool::new(true) });
+        AspectHandle(id)
+    }
+
+    /// Enable or disable a deployed module without undeploying it.
+    /// Returns `false` if the handle is unknown.
+    pub fn set_enabled(&self, handle: AspectHandle, enabled: bool) -> bool {
+        let dep = self.deployed.read();
+        match dep.iter().find(|d| d.id == handle.0) {
+            Some(d) => {
+                d.enabled.store(enabled, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is the module deployed *and* enabled?
+    pub fn is_enabled(&self, handle: AspectHandle) -> bool {
+        self.deployed.read().iter().any(|d| d.id == handle.0 && d.enabled.load(Ordering::Acquire))
+    }
+
+    /// Snapshot of matched-dispatch counts per join-point name (a
+    /// development aid, like AspectJ's weave-info).
+    pub fn stats(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self.stats.lock().iter().map(|(k, c)| (k.clone(), *c)).collect();
+        v.sort();
+        v
+    }
+
+    /// Clear the dispatch counters.
+    pub fn reset_stats(&self) {
+        self.stats.lock().clear();
+    }
+
+    fn record(&self, name: &str) {
+        *self.stats.lock().entry(name.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Undeploy (unplug) a module. Returns it if it was deployed.
+    pub fn undeploy(&self, handle: AspectHandle) -> Option<Arc<AspectModule>> {
+        let mut dep = self.deployed.write();
+        let idx = dep.iter().position(|d| d.id == handle.0)?;
+        Some(dep.remove(idx).module)
+    }
+
+    /// Remove every deployed module — back to the sequential program.
+    pub fn undeploy_all(&self) {
+        self.deployed.write().clear();
+    }
+
+    /// Names of currently deployed modules, in deployment order.
+    pub fn deployed_names(&self) -> Vec<String> {
+        self.deployed.read().iter().map(|d| d.module.name().to_owned()).collect()
+    }
+
+    /// Is this handle still deployed?
+    pub fn is_deployed(&self, handle: AspectHandle) -> bool {
+        self.deployed.read().iter().any(|d| d.id == handle.0)
+    }
+
+    /// Deploy `module` for the duration of `f`, then undeploy — a
+    /// build-scoped weaving.
+    pub fn with_deployed<R>(&self, module: AspectModule, f: impl FnOnce() -> R) -> R {
+        let h = self.deploy(module);
+        struct Undeploy<'a>(&'a Weaver, AspectHandle);
+        impl Drop for Undeploy<'_> {
+            fn drop(&mut self) {
+                self.0.undeploy(self.1);
+            }
+        }
+        let _guard = Undeploy(self, h);
+        f()
+    }
+
+    /// Snapshot the mechanisms matching `jp`, sorted stably by layer.
+    /// Returns the owning module Arcs (kept alive for the dispatch) plus
+    /// `(module index, binding index)` pairs.
+    fn matched(&self, jp: &JoinPoint<'_>) -> (Vec<Arc<AspectModule>>, Vec<(usize, usize)>) {
+        let dep = self.deployed.read();
+        let mut modules = Vec::new();
+        let mut picks: Vec<(usize, usize)> = Vec::new();
+        for d in dep.iter() {
+            if !d.enabled.load(Ordering::Acquire) {
+                continue;
+            }
+            let mut used = false;
+            for (bi, b) in d.module.bindings().iter().enumerate() {
+                if b.pointcut.matches(jp) {
+                    if !used {
+                        modules.push(Arc::clone(&d.module));
+                        used = true;
+                    }
+                    picks.push((modules.len() - 1, bi));
+                }
+            }
+        }
+        picks.sort_by_key(|&(mi, bi)| modules[mi].bindings()[bi].mechanism.layer());
+        (modules, picks)
+    }
+}
+
+/// Phase-grouped view of the matched mechanisms.
+struct Plan<'a> {
+    pre_barriers: usize,
+    region: Option<RegionConfig>,
+    gate: Option<&'a MechanismKind>,
+    locks: Vec<&'a MechanismKind>,
+    customs: Vec<&'a MechanismKind>,
+    for_mech: Option<&'a aomp::workshare::ForConstruct>,
+    reduces: Vec<&'a MechanismKind>,
+    post_barriers: usize,
+}
+
+impl<'a> Plan<'a> {
+    fn build(mechs: impl Iterator<Item = &'a Mechanism>, jp: &JoinPoint<'_>) -> Self {
+        let mut plan = Plan {
+            pre_barriers: 0,
+            region: None,
+            gate: None,
+            locks: Vec::new(),
+            customs: Vec::new(),
+            for_mech: None,
+            reduces: Vec::new(),
+            post_barriers: 0,
+        };
+        for m in mechs {
+            match &m.kind {
+                MechanismKind::BarrierBefore => plan.pre_barriers += 1,
+                MechanismKind::Parallel { .. } => {
+                    plan.region = m.region_config();
+                }
+                MechanismKind::MasterGate { .. } | MechanismKind::SingleGate { .. } => {
+                    if plan.gate.is_none() {
+                        plan.gate = Some(&m.kind);
+                    }
+                }
+                MechanismKind::Critical { .. } | MechanismKind::Reader { .. } | MechanismKind::Writer { .. } => {
+                    plan.locks.push(&m.kind);
+                }
+                MechanismKind::Custom { .. } => plan.customs.push(&m.kind),
+                MechanismKind::For { construct } => {
+                    if jp.kind == JoinPointKind::ForMethod && plan.for_mech.is_none() {
+                        plan.for_mech = Some(construct);
+                    }
+                    // A @For binding on a non-for join point is inert.
+                }
+                MechanismKind::ReduceAfter { .. } => plan.reduces.push(&m.kind),
+                MechanismKind::BarrierAfter => plan.post_barriers += 1,
+            }
+        }
+        plan
+    }
+
+    fn run_reduces_and_postbarriers(&self) {
+        for r in &self.reduces {
+            if let MechanismKind::ReduceAfter { action } = r {
+                ctx::barrier();
+                if ctx::thread_id() == 0 {
+                    action();
+                }
+                ctx::barrier();
+            }
+        }
+    }
+}
+
+/// Recursively wrap `f` in the lock mechanisms, preserving binding order.
+fn wrap_locks<R>(locks: &[&MechanismKind], f: &mut dyn FnMut() -> R) -> R {
+    match locks.split_first() {
+        None => f(),
+        Some((l, rest)) => match l {
+            MechanismKind::Critical { handle } => handle.run(|| wrap_locks(rest, f)),
+            MechanismKind::Reader { rw } => rw.read(|| wrap_locks(rest, f)),
+            MechanismKind::Writer { rw } => rw.write(|| wrap_locks(rest, f)),
+            _ => unreachable!("non-lock mechanism in lock phase"),
+        },
+    }
+}
+
+/// Recursively wrap a plain body in custom advice.
+fn wrap_customs(customs: &[&MechanismKind], jp: &JoinPoint<'_>, f: &mut dyn FnMut()) {
+    match customs.split_first() {
+        None => f(),
+        Some((c, rest)) => match c {
+            MechanismKind::Custom { advice } => advice.around(jp, &mut || wrap_customs(rest, jp, f)),
+            _ => unreachable!("non-custom mechanism in custom phase"),
+        },
+    }
+}
+
+/// Recursively wrap a for body in custom for-advice, threading the
+/// (possibly rewritten) range inward.
+fn wrap_customs_for(
+    customs: &[&MechanismKind],
+    jp: &JoinPoint<'_>,
+    range: LoopRange,
+    f: &mut dyn FnMut(i64, i64, i64),
+) {
+    match customs.split_first() {
+        None => f(range.start, range.end, range.step),
+        Some((c, rest)) => match c {
+            MechanismKind::Custom { advice } => advice.around_for(jp, range, &mut |lo, hi, st| {
+                wrap_customs_for(rest, jp, LoopRange::new(lo, hi, st), f)
+            }),
+            _ => unreachable!("non-custom mechanism in custom phase"),
+        },
+    }
+}
+
+fn run_gated(plan: &Plan<'_>, jp: &JoinPoint<'_>, body: &(dyn Fn() + Sync)) {
+    let gated = || {
+        wrap_locks(&plan.locks, &mut || {
+            wrap_customs(&plan.customs, jp, &mut || body());
+        })
+    };
+    match plan.gate {
+        None => gated(),
+        Some(MechanismKind::MasterGate { construct }) => {
+            construct.run_nowait(gated);
+        }
+        Some(MechanismKind::SingleGate { construct }) => {
+            construct.run_nowait(gated);
+        }
+        Some(_) => unreachable!("non-gate mechanism in gate phase"),
+    }
+    plan.run_reduces_and_postbarriers();
+}
+
+/// Expose a plain method execution as a join point (`Type.method` name
+/// convention) and let deployed aspects act on it. With no matching
+/// aspects this is exactly `body()`.
+///
+/// `body` must be `Fn + Sync` because a matching `@Parallel` mechanism
+/// executes it on every team thread.
+pub fn call<F>(name: &str, body: F)
+where
+    F: Fn() + Sync,
+{
+    let jp = JoinPoint::plain(name);
+    let (modules, picks) = Weaver::global().matched(&jp);
+    if picks.is_empty() {
+        return body();
+    }
+    Weaver::global().record(name);
+    let plan = Plan::build(
+        picks.iter().map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
+        &jp,
+    );
+    for _ in 0..plan.pre_barriers {
+        ctx::barrier();
+    }
+    match plan.region {
+        Some(cfg) => parallel_with(cfg, || run_gated(&plan, &jp, &body)),
+        None => run_gated(&plan, &jp, &body),
+    }
+    for _ in 0..plan.post_barriers {
+        ctx::barrier();
+    }
+}
+
+/// Expose a *for method* as a join point: `body(lo, hi, step)` receives
+/// the (re)written iteration bounds exactly as the paper's for methods
+/// receive their first three parameters. With no matching aspects the
+/// body runs once with the full range.
+pub fn call_for<F>(name: &str, range: LoopRange, body: F)
+where
+    F: Fn(i64, i64, i64) + Sync,
+{
+    let jp = JoinPoint::for_method(name, range);
+    let (modules, picks) = Weaver::global().matched(&jp);
+    if picks.is_empty() {
+        return body(range.start, range.end, range.step);
+    }
+    Weaver::global().record(name);
+    let plan = Plan::build(
+        picks.iter().map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
+        &jp,
+    );
+    for _ in 0..plan.pre_barriers {
+        ctx::barrier();
+    }
+    let inner = || {
+        let run_loop = || {
+            wrap_locks(&plan.locks, &mut || {
+                wrap_customs_for(&plan.customs, &jp, range, &mut |lo, hi, st| match plan.for_mech {
+                    Some(fc) => fc.execute(LoopRange::new(lo, hi, st), &body),
+                    None => body(lo, hi, st),
+                });
+            })
+        };
+        match plan.gate {
+            None => run_loop(),
+            Some(MechanismKind::MasterGate { construct }) => {
+                construct.run_nowait(run_loop);
+            }
+            Some(MechanismKind::SingleGate { construct }) => {
+                construct.run_nowait(run_loop);
+            }
+            Some(_) => unreachable!(),
+        }
+        plan.run_reduces_and_postbarriers();
+    };
+    match plan.region {
+        Some(cfg) => parallel_with(cfg, inner),
+        None => inner(),
+    }
+    for _ in 0..plan.post_barriers {
+        ctx::barrier();
+    }
+}
+
+/// Like [`call_for`] but the body also receives the
+/// [`ForScope`](aomp::workshare::ForScope), enabling `@Ordered` sections
+/// inside woven for methods (the paper supports `@Ordered` only within
+/// the calling context of a for method, §III-C).
+pub fn call_for_scoped<F>(name: &str, range: LoopRange, body: F)
+where
+    F: Fn(LoopRange, &aomp::workshare::ForScope<'_>) + Sync,
+{
+    let jp = JoinPoint::for_method(name, range);
+    let (modules, picks) = Weaver::global().matched(&jp);
+    if picks.is_empty() {
+        assert!(
+            !ctx::in_parallel(),
+            "call_for_scoped(`{name}`) inside a parallel region requires a woven @For mechanism \
+             (per-thread ordered state would otherwise deadlock)"
+        );
+        // Sequential semantics: one pass over the full range with a
+        // scope that runs ordered sections inline.
+        let fallback = aomp::workshare::ForConstruct::new(aomp::schedule::Schedule::StaticBlock);
+        return fallback.execute_scoped(range, |r, scope| body(r, scope));
+    }
+    Weaver::global().record(name);
+    let plan = Plan::build(
+        picks.iter().map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
+        &jp,
+    );
+    for _ in 0..plan.pre_barriers {
+        ctx::barrier();
+    }
+    let inner = || {
+        let run_loop = || {
+            wrap_locks(&plan.locks, &mut || {
+                wrap_customs_for(&plan.customs, &jp, range, &mut |lo, hi, st| {
+                    let sub = LoopRange::new(lo, hi, st);
+                    match plan.for_mech {
+                        Some(fc) => fc.execute_scoped(sub, |r, scope| body(r, scope)),
+                        None => {
+                            assert!(
+                                !ctx::in_parallel(),
+                                "call_for_scoped(`{name}`) woven into a team needs a @For \
+                                 mechanism for its ordered state"
+                            );
+                            let fallback = aomp::workshare::ForConstruct::new(
+                                aomp::schedule::Schedule::StaticBlock,
+                            );
+                            fallback.execute_scoped(sub, |r, scope| body(r, scope));
+                        }
+                    }
+                });
+            })
+        };
+        match plan.gate {
+            None => run_loop(),
+            Some(MechanismKind::MasterGate { construct }) => {
+                construct.run_nowait(run_loop);
+            }
+            Some(MechanismKind::SingleGate { construct }) => {
+                construct.run_nowait(run_loop);
+            }
+            Some(_) => unreachable!(),
+        }
+        plan.run_reduces_and_postbarriers();
+    };
+    match plan.region {
+        Some(cfg) => parallel_with(cfg, inner),
+        None => inner(),
+    }
+    for _ in 0..plan.post_barriers {
+        ctx::barrier();
+    }
+}
+
+/// Expose a value-returning method execution as a join point. Supports
+/// gating (`@Master`/`@Single` with result broadcast to the team — paper
+/// §III-C), locks and barriers; `@Parallel` and `@For` do not apply to
+/// value join points and cause a panic, matching the paper's model where
+/// parallel regions and for methods are `void`-like.
+pub fn call_value<T, F>(name: &str, f: F) -> T
+where
+    T: Clone + Send + 'static,
+    F: FnOnce() -> T,
+{
+    let jp = JoinPoint::value(name);
+    let (modules, picks) = Weaver::global().matched(&jp);
+    if picks.is_empty() {
+        return f();
+    }
+    Weaver::global().record(name);
+    let plan = Plan::build(
+        picks.iter().map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
+        &jp,
+    );
+    assert!(
+        plan.region.is_none() && plan.for_mech.is_none(),
+        "@Parallel/@For cannot apply to value-returning join point `{name}`"
+    );
+    for _ in 0..plan.pre_barriers {
+        ctx::barrier();
+    }
+    let mut f = Some(f);
+    let mut locked = || {
+        let f = f.take().expect("value body invoked once");
+        wrap_locks(&plan.locks, &mut {
+            let mut f = Some(f);
+            move || (f.take().expect("value body invoked once"))()
+        })
+    };
+    let value = match plan.gate {
+        None => locked(),
+        Some(MechanismKind::MasterGate { construct }) => construct.run(locked),
+        Some(MechanismKind::SingleGate { construct }) => construct.run(locked),
+        Some(_) => unreachable!(),
+    };
+    plan.run_reduces_and_postbarriers();
+    for _ in 0..plan.post_barriers {
+        ctx::barrier();
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::CustomAdvice;
+    use crate::pointcut::Pointcut;
+    use aomp::schedule::Schedule;
+    use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering as AO};
+
+    #[test]
+    fn unmatched_call_proceeds_directly() {
+        let hits = AtomicUsize::new(0);
+        call("weaver.unmatched.plain", || {
+            hits.fetch_add(1, AO::SeqCst);
+        });
+        assert_eq!(hits.load(AO::SeqCst), 1);
+    }
+
+    #[test]
+    fn deploy_undeploy_lifecycle() {
+        let w = Weaver::global();
+        let before = w.deployed_names().len();
+        let h = w.deploy(AspectModule::builder("lifecycle-test").build());
+        assert!(w.is_deployed(h));
+        assert_eq!(w.deployed_names().len(), before + 1);
+        let m = w.undeploy(h).expect("was deployed");
+        assert_eq!(m.name(), "lifecycle-test");
+        assert!(!w.is_deployed(h));
+        assert!(w.undeploy(h).is_none());
+    }
+
+    #[test]
+    fn parallel_mechanism_runs_team() {
+        let hits = AtomicUsize::new(0);
+        let aspect = AspectModule::builder("par-test")
+            .bind(Pointcut::call("weaver.test.par"), Mechanism::parallel().threads(4))
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("weaver.test.par", || {
+                hits.fetch_add(1, AO::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(AO::SeqCst), 4);
+        // After undeploy: sequential.
+        call("weaver.test.par", || {
+            hits.fetch_add(1, AO::SeqCst);
+        });
+        assert_eq!(hits.load(AO::SeqCst), 5);
+    }
+
+    #[test]
+    fn parallel_for_composition_covers_range() {
+        let sum = AtomicI64::new(0);
+        let aspect = crate::aspect::parallel_for("pf-test", "weaver.test.pfor", Schedule::StaticBlock, Some(3));
+        Weaver::global().with_deployed(aspect, || {
+            call_for("weaver.test.pfor", LoopRange::upto(0, 100), |lo, hi, step| {
+                let mut local = 0;
+                let mut i = lo;
+                while i < hi {
+                    local += i;
+                    i += step;
+                }
+                sum.fetch_add(local, AO::SeqCst);
+            });
+        });
+        assert_eq!(sum.load(AO::SeqCst), (0..100).sum::<i64>());
+    }
+
+    #[test]
+    fn master_gate_on_plain_call() {
+        let execs = AtomicUsize::new(0);
+        let aspect = AspectModule::builder("master-test")
+            .bind(Pointcut::call("weaver.test.masterwrap"), Mechanism::parallel().threads(4))
+            .bind(Pointcut::call("weaver.test.master"), Mechanism::master())
+            .bind(Pointcut::call("weaver.test.master"), Mechanism::barrier_after())
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("weaver.test.masterwrap", || {
+                call("weaver.test.master", || {
+                    execs.fetch_add(1, AO::SeqCst);
+                });
+            });
+        });
+        assert_eq!(execs.load(AO::SeqCst), 1, "only the master executes");
+    }
+
+    #[test]
+    fn value_join_point_broadcasts_from_master() {
+        let execs = AtomicUsize::new(0);
+        let seen = parking_lot::Mutex::new(Vec::new());
+        let aspect = AspectModule::builder("value-test")
+            .bind(Pointcut::call("weaver.test.valwrap"), Mechanism::parallel().threads(3))
+            .bind(Pointcut::call("weaver.test.val"), Mechanism::master())
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("weaver.test.valwrap", || {
+                let v: i64 = call_value("weaver.test.val", || {
+                    execs.fetch_add(1, AO::SeqCst);
+                    777
+                });
+                seen.lock().push(v);
+            });
+        });
+        assert_eq!(execs.load(AO::SeqCst), 1);
+        assert_eq!(seen.into_inner(), vec![777, 777, 777]);
+    }
+
+    #[test]
+    fn critical_mechanism_serialises() {
+        struct Racy(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Racy {}
+        let racy = Racy(std::cell::UnsafeCell::new(0));
+        let racy = &racy; // capture the whole struct, not the UnsafeCell field
+        let aspect = AspectModule::builder("crit-test")
+            .bind(Pointcut::call("weaver.test.critwrap"), Mechanism::parallel().threads(4))
+            .bind(Pointcut::call("weaver.test.crit"), Mechanism::critical())
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("weaver.test.critwrap", || {
+                for _ in 0..500 {
+                    call("weaver.test.crit", || unsafe { *racy.0.get() += 1 });
+                }
+            });
+        });
+        assert_eq!(unsafe { *racy.0.get() }, 2000);
+    }
+
+    #[test]
+    fn custom_for_advice_rewrites_range() {
+        /// Gives every thread only the even iterations (a deliberately
+        /// odd application-specific schedule).
+        struct FirstHalf;
+        impl CustomAdvice for FirstHalf {
+            fn around_for(
+                &self,
+                _jp: &JoinPoint<'_>,
+                range: LoopRange,
+                proceed: &mut dyn FnMut(i64, i64, i64),
+            ) {
+                let mid = range.start + (range.end - range.start) / 2;
+                proceed(range.start, mid, range.step);
+            }
+        }
+        let sum = AtomicI64::new(0);
+        let aspect = AspectModule::builder("cs-test")
+            .bind(Pointcut::call("weaver.test.cs"), Mechanism::custom(FirstHalf))
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call_for("weaver.test.cs", LoopRange::upto(0, 10), |lo, hi, step| {
+                let mut i = lo;
+                while i < hi {
+                    sum.fetch_add(i, AO::SeqCst);
+                    i += step;
+                }
+            });
+        });
+        assert_eq!(sum.load(AO::SeqCst), (0..5).sum::<i64>());
+    }
+
+    #[test]
+    fn reduce_after_runs_once_on_master() {
+        let reduced = AtomicUsize::new(0);
+        let aspect = AspectModule::builder("reduce-test")
+            .bind(Pointcut::call("weaver.test.redwrap"), Mechanism::parallel().threads(4))
+            .bind(
+                Pointcut::call("weaver.test.red"),
+                Mechanism::reduce_after({
+                    let _ = ();
+                    move || {}
+                }),
+            )
+            .build();
+        // Rebuild with a counting action (closures can't see test locals
+        // through 'static, so use a static).
+        drop(aspect);
+        static REDUCED: AtomicUsize = AtomicUsize::new(0);
+        REDUCED.store(0, AO::SeqCst);
+        let aspect = AspectModule::builder("reduce-test")
+            .bind(Pointcut::call("weaver.test.redwrap"), Mechanism::parallel().threads(4))
+            .bind(Pointcut::call("weaver.test.red"), Mechanism::reduce_after(|| {
+                REDUCED.fetch_add(1, AO::SeqCst);
+            }))
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("weaver.test.redwrap", || {
+                call("weaver.test.red", || {
+                    reduced.fetch_add(0, AO::SeqCst);
+                });
+            });
+        });
+        assert_eq!(REDUCED.load(AO::SeqCst), 1, "reduce action runs once per encounter");
+    }
+
+    #[test]
+    fn glob_pointcut_applies_to_many_methods() {
+        let hits = AtomicUsize::new(0);
+        let aspect = AspectModule::builder("glob-test")
+            .bind(Pointcut::glob("GlobDemo.*"), Mechanism::parallel().threads(2))
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("GlobDemo.alpha", || {
+                hits.fetch_add(1, AO::SeqCst);
+            });
+            call("GlobDemo.beta", || {
+                hits.fetch_add(1, AO::SeqCst);
+            });
+            call("Other.gamma", || {
+                hits.fetch_add(1, AO::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(AO::SeqCst), 2 + 2 + 1);
+    }
+
+    #[test]
+    fn scoped_for_runs_ordered_sections_in_order() {
+        let log = parking_lot::Mutex::new(Vec::new());
+        let aspect = AspectModule::builder("ordered-test")
+            .bind(Pointcut::call("weaver.test.orderedwrap"), Mechanism::parallel().threads(4))
+            .bind(Pointcut::call("weaver.test.ordered"), Mechanism::for_loop(Schedule::StaticCyclic))
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("weaver.test.orderedwrap", || {
+                call_for_scoped("weaver.test.ordered", LoopRange::upto(0, 24), |sub, scope| {
+                    for i in sub.iter() {
+                        scope.ordered(i, || log.lock().push(i));
+                    }
+                });
+            });
+        });
+        assert_eq!(*log.lock(), (0..24).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn scoped_for_sequential_fallback_runs_inline() {
+        let log = parking_lot::Mutex::new(Vec::new());
+        call_for_scoped("weaver.test.ordered.seq", LoopRange::upto(0, 5), |sub, scope| {
+            for i in sub.iter() {
+                scope.ordered(i, || log.lock().push(i));
+            }
+        });
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disable_enable_toggles_matching() {
+        let hits = AtomicUsize::new(0);
+        let w = Weaver::global();
+        let h = w.deploy(
+            AspectModule::builder("toggle-test")
+                .bind(Pointcut::call("weaver.test.toggle"), Mechanism::parallel().threads(3))
+                .build(),
+        );
+        let run = || {
+            call("weaver.test.toggle", || {
+                hits.fetch_add(1, AO::SeqCst);
+            })
+        };
+        run();
+        assert_eq!(hits.load(AO::SeqCst), 3);
+        assert!(w.set_enabled(h, false));
+        assert!(!w.is_enabled(h));
+        run();
+        assert_eq!(hits.load(AO::SeqCst), 4, "disabled module matches nothing");
+        assert!(w.set_enabled(h, true));
+        run();
+        assert_eq!(hits.load(AO::SeqCst), 7);
+        w.undeploy(h);
+        assert!(!w.set_enabled(h, true), "unknown handles are rejected");
+    }
+
+    #[test]
+    fn stats_count_matched_dispatches_only() {
+        let w = Weaver::global();
+        let h = w.deploy(
+            AspectModule::builder("stats-test")
+                .bind(Pointcut::call("weaver.test.stats.matched"), Mechanism::critical())
+                .build(),
+        );
+        for _ in 0..5 {
+            call("weaver.test.stats.matched", || {});
+            call("weaver.test.stats.unmatched", || {});
+        }
+        let stats = w.stats();
+        let count = stats.iter().find(|(n, _)| n == "weaver.test.stats.matched").map(|(_, c)| *c);
+        assert!(count >= Some(5));
+        assert!(!stats.iter().any(|(n, _)| n == "weaver.test.stats.unmatched"));
+        w.undeploy(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot apply to value-returning")]
+    fn parallel_on_value_join_point_panics() {
+        let aspect = AspectModule::builder("bad-value")
+            .bind(Pointcut::call("weaver.test.badval"), Mechanism::parallel().threads(2))
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            let _: i64 = call_value("weaver.test.badval", || 1);
+        });
+    }
+}

@@ -1,0 +1,57 @@
+//! # aomplib — Rust reproduction of AOmpLib (ICPP 2013)
+//!
+//! AOmpLib (Medeiros & Sobral, *AOmpLib: An Aspect Library for
+//! Large-Scale Multi-Core Parallel Programming*, ICPP 2013) is an AspectJ
+//! library whose pluggable aspect modules mimic the OpenMP standard for
+//! Java. This workspace reproduces the system in Rust:
+//!
+//! * [`aomp`] (re-exported as [`runtime`]) — the OpenMP-mimic execution
+//!   model: parallel regions, for work-sharing (static block / static
+//!   cyclic / dynamic / guided), barriers, critical sections, single /
+//!   master (with result broadcast), readers-writer, ordered sections,
+//!   tasks and future tasks, thread-local fields and reductions.
+//! * [`aomp_weaver`] (re-exported as [`weaver`]) — the pointcut style:
+//!   join points, pointcuts with glob / or / and / not composition,
+//!   mechanism bindings, pluggable aspect modules, deploy/undeploy at run
+//!   time (load-time weaving), custom application-specific advice.
+//! * [`aomp_macros`] (re-exported as [`annotations`]) — the annotation
+//!   style: `#[parallel]`, `#[for_loop]`, `#[critical]`, `#[master]`,
+//!   `#[single]`, `#[barrier_before]`, `#[barrier_after]`, `#[task]`,
+//!   `#[future_task]`, expanding to the paper Figure 12 shims.
+//! * [`aomp_jgf`] (re-exported as [`jgf`]) — Rust ports of the Java
+//!   Grande Forum benchmarks the paper evaluates on (Crypt, LUFact,
+//!   Series, SOR, Sparse, MolDyn, MonteCarlo, RayTracer), each in
+//!   sequential, hand-threaded (JGF MT) and AOmpLib style.
+//! * [`aomp_simcore`] (re-exported as [`simcore`]) — a deterministic
+//!   virtual-time multicore simulator used to regenerate the paper's
+//!   speed-up figures on hardware this environment does not have.
+//! * [`aomp_evolib`] (re-exported as [`evolib`]) — the paper §VII JECoLi
+//!   case study: a metaheuristic framework (GA, differential evolution,
+//!   multi-start hill climbing) parallelised entirely by one pluggable
+//!   aspect module.
+//! * [`aomp_irregular`] (re-exported as [`irregular`]) — the paper §VII
+//!   "current work" direction: graph algorithms (BFS, PageRank, triangle
+//!   counting) with library and case-specific schedules.
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+
+#![warn(missing_docs)]
+
+pub use aomp as runtime;
+pub use aomp_evolib as evolib;
+pub use aomp_irregular as irregular;
+pub use aomp_jgf as jgf;
+pub use aomp_macros as annotations;
+pub use aomp_simcore as simcore;
+pub use aomp_weaver as weaver;
+
+/// Everything a typical AOmpLib-style program imports.
+pub mod prelude {
+    pub use aomp::prelude::*;
+    pub use aomp_macros::{
+        barrier_after, barrier_before, critical, for_loop, future_task, master, parallel, single, task,
+    };
+    pub use aomp_weaver::prelude::*;
+}

@@ -1,0 +1,169 @@
+//! Failure injection: panics inside parallel regions, work-sharing
+//! constructs, gates and tasks must neither deadlock the team nor poison
+//! the runtime for later work.
+
+use aomplib::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn runtime_still_works() {
+    let hits = AtomicUsize::new(0);
+    region::parallel_with(RegionConfig::new().threads(3), || {
+        hits.fetch_add(1, Ordering::SeqCst);
+        barrier();
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn worker_panic_unblocks_master_at_barrier() {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        region::parallel_with(RegionConfig::new().threads(3), || {
+            if thread_id() == 2 {
+                panic!("injected worker failure");
+            }
+            // The surviving threads block on a barrier the panicking
+            // thread will never reach; poisoning must wake them.
+            barrier();
+        });
+    }));
+    assert!(r.is_err(), "panic must propagate to the region caller");
+    runtime_still_works();
+}
+
+#[test]
+fn master_panic_unblocks_workers() {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        region::parallel_with(RegionConfig::new().threads(3), || {
+            if thread_id() == 0 {
+                panic!("injected master failure");
+            }
+            barrier();
+        });
+    }));
+    assert!(r.is_err());
+    runtime_still_works();
+}
+
+#[test]
+fn panic_in_for_body_propagates() {
+    let for_c = ForConstruct::new(Schedule::Dynamic { chunk: 1 });
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        region::parallel_with(RegionConfig::new().threads(2), || {
+            for_c.execute(LoopRange::upto(0, 100), |lo, _hi, _step| {
+                if lo == 3 {
+                    panic!("injected loop failure");
+                }
+            });
+        });
+    }));
+    assert!(r.is_err());
+    runtime_still_works();
+}
+
+#[test]
+fn panic_inside_single_releases_waiters() {
+    let single = Single::new();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        region::parallel_with(RegionConfig::new().threads(3), || {
+            let _: u32 = single.run(|| panic!("injected single failure"));
+        });
+    }));
+    assert!(r.is_err(), "waiters observe poison instead of hanging");
+    runtime_still_works();
+}
+
+#[test]
+fn panic_inside_master_broadcast_releases_waiters() {
+    let master = Master::new();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        region::parallel_with(RegionConfig::new().threads(3), || {
+            let _: u32 = master.run(|| {
+                if thread_id() == 0 {
+                    panic!("injected master-broadcast failure");
+                }
+                1
+            });
+        });
+    }));
+    assert!(r.is_err());
+    runtime_still_works();
+}
+
+#[test]
+fn panicking_task_poisons_group_not_process() {
+    let group = TaskGroup::new();
+    group.spawn(|| panic!("injected task failure"));
+    group.spawn(|| {});
+    let g2 = group.clone();
+    let r = catch_unwind(AssertUnwindSafe(|| g2.wait()));
+    assert!(r.is_err(), "wait reports the failure");
+    // The group keeps working afterwards.
+    let done = std::sync::Arc::new(AtomicUsize::new(0));
+    let d = std::sync::Arc::clone(&done);
+    group.spawn(move || {
+        d.fetch_add(1, Ordering::SeqCst);
+    });
+    group.wait();
+    assert_eq!(done.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn future_task_panic_reaches_consumer() {
+    let fut = task::spawn_future(|| -> u64 { panic!("injected producer failure") });
+    let r = catch_unwind(AssertUnwindSafe(|| fut.get()));
+    assert!(r.is_err());
+    // Later futures are unaffected.
+    assert_eq!(task::spawn_future(|| 7u64).get(), 7);
+}
+
+#[test]
+fn critical_section_panic_does_not_wedge_the_lock() {
+    let h = CriticalHandle::new();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        h.run(|| panic!("injected critical failure"));
+    }));
+    assert!(r.is_err());
+    // The lock must be reusable (no poisoning like std::sync::Mutex).
+    assert_eq!(h.run(|| 5), 5);
+}
+
+#[test]
+fn weaver_woven_region_panic_propagates_and_recovers() {
+    let aspect = AspectModule::builder("FailureWeave")
+        .bind(Pointcut::call("fail.region"), Mechanism::parallel().threads(2))
+        .build();
+    Weaver::global().with_deployed(aspect, || {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            aomp_weaver::call("fail.region", || {
+                if thread_id() == 1 {
+                    panic!("injected woven failure");
+                }
+                barrier();
+            });
+        }));
+        assert!(r.is_err());
+    });
+    runtime_still_works();
+}
+
+#[test]
+fn ordered_sections_survive_panic_elsewhere() {
+    // A panic in a non-ordered thread must not deadlock the ordered
+    // sequencer (poison check in its wait loop).
+    let for_c = ForConstruct::new(Schedule::StaticCyclic);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        region::parallel_with(RegionConfig::new().threads(2), || {
+            for_c.execute_scoped(LoopRange::upto(0, 10), |sub, scope| {
+                for i in sub.iter() {
+                    if i == 5 {
+                        panic!("injected ordered failure");
+                    }
+                    scope.ordered(i, || {});
+                }
+            });
+        });
+    }));
+    assert!(r.is_err());
+    runtime_still_works();
+}

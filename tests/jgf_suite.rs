@@ -1,0 +1,147 @@
+//! Cross-crate integration: every JGF benchmark's three versions agree,
+//! at several thread counts, driven through the public `aomplib` facade.
+
+use aomplib::jgf;
+use aomplib::jgf::Size;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+#[test]
+fn crypt_all_versions_agree() {
+    let data = jgf::crypt::generate(Size::Small);
+    let s = jgf::crypt::seq::run(&data);
+    assert!(jgf::crypt::validate(&data, &s));
+    for t in THREADS {
+        assert_eq!(jgf::crypt::mt::run(&data, t).cipher, s.cipher);
+        assert_eq!(jgf::crypt::aomp::run(&data, t).cipher, s.cipher);
+    }
+}
+
+#[test]
+fn lufact_all_versions_agree() {
+    let data = jgf::lufact::generate(Size::Small);
+    let s = jgf::lufact::seq::run(&data);
+    assert!(jgf::lufact::validate(&data, &s));
+    for t in THREADS {
+        assert_eq!(jgf::lufact::mt::run(&data, t).x, s.x);
+        assert_eq!(jgf::lufact::aomp::run(&data, t).x, s.x);
+    }
+}
+
+#[test]
+fn series_all_versions_agree() {
+    let n = jgf::series::coefficients_for(Size::Small);
+    let s = jgf::series::seq::run(n);
+    assert!(jgf::series::validate(&s));
+    for t in THREADS {
+        assert_eq!(jgf::series::mt::run(n, t).coeffs, s.coeffs);
+        assert_eq!(jgf::series::aomp::run(n, t).coeffs, s.coeffs);
+    }
+}
+
+#[test]
+fn sor_all_versions_agree() {
+    let grid = jgf::sor::generate(Size::Small);
+    let s = jgf::sor::seq::run(&grid, 10);
+    for t in THREADS {
+        assert_eq!(jgf::sor::mt::run(&grid, 10, t).g, s.g);
+        assert_eq!(jgf::sor::aomp::run(&grid, 10, t).g, s.g);
+    }
+}
+
+#[test]
+fn sparse_all_versions_agree() {
+    let d = jgf::sparse::generate(Size::Small);
+    let s = jgf::sparse::seq::run(&d, 10);
+    for t in THREADS {
+        assert_eq!(jgf::sparse::mt::run(&d, 10, t), s);
+        assert_eq!(jgf::sparse::aomp::run(&d, 10, t), s);
+    }
+}
+
+#[test]
+fn moldyn_all_versions_agree() {
+    let d = jgf::moldyn::generate(3, 5);
+    let s = jgf::moldyn::seq::run(&d);
+    assert!(jgf::moldyn::validate(&s));
+    for t in THREADS {
+        for (name, r) in [
+            ("mt", jgf::moldyn::mt::run(&d, t)),
+            ("aomp", jgf::moldyn::aomp::run(&d, t)),
+            ("critical", jgf::moldyn::variants::run_critical(&d, t)),
+            ("locks", jgf::moldyn::variants::run_locks(&d, t)),
+        ] {
+            assert!(jgf::moldyn::agrees(&r, &s, 1e-6), "{name} t={t}: {r:?} vs {s:?}");
+        }
+    }
+}
+
+#[test]
+fn montecarlo_all_versions_agree() {
+    let d = jgf::montecarlo::generate(Size::Small);
+    let s = jgf::montecarlo::seq::run(&d);
+    assert!(jgf::montecarlo::validate(&d, &s));
+    for t in THREADS {
+        assert_eq!(jgf::montecarlo::mt::run(&d, t).results, s.results);
+        assert_eq!(jgf::montecarlo::aomp::run(&d, t).results, s.results);
+    }
+}
+
+#[test]
+fn raytracer_all_versions_agree() {
+    let scene = jgf::raytracer::generate(Size::Small);
+    let s = jgf::raytracer::seq::run(&scene);
+    assert!(jgf::raytracer::validate(&scene, &s));
+    for t in THREADS {
+        assert_eq!(jgf::raytracer::mt::run(&scene, t), s);
+        assert_eq!(jgf::raytracer::aomp::run(&scene, t), s);
+    }
+}
+
+#[test]
+fn table2_metadata_matches_paper() {
+    let rows = jgf::all_benchmarks();
+    assert_eq!(rows.len(), 8);
+    let expect = [
+        ("Crypt", "M2FOR, M2M", "PR, FOR (block)"),
+        ("LUFact", "M2FOR, M2M", "PR, FOR (block), 4xBR, 2xMA"),
+        ("Series", "M2FOR, M2M", "PR, FOR (block)"),
+        ("SOR", "M2FOR, M2M", "PR, FOR (block), BR"),
+        ("Sparse", "M2FOR, M2M", "PR, FOR (Case Specific), CS"),
+        ("MolDyn", "M2FOR, 3xM2M", "PR, FOR (cyclic), 2xTLF"),
+        ("MonteCarlo", "M2FOR, M2M", "PR, FOR (cyclic)"),
+        ("RayTracer", "M2FOR", "PR, FOR (cyclic), TLF"),
+    ];
+    for (row, (name, refs, abs)) in rows.iter().zip(expect) {
+        assert_eq!(row.name, name);
+        assert_eq!(row.refactorings_column(), refs, "{name}");
+        assert_eq!(row.abstractions_column(), abs, "{name}");
+    }
+}
+
+#[test]
+fn figure_series_are_generated() {
+    use aomplib::simcore::Machine;
+    let f13_i7 = aomp_bench_like_fig13(&Machine::i7(), 8);
+    assert_eq!(f13_i7.len(), 8);
+}
+
+// Minimal duplicate of the fig13 assembly to keep aomp-bench out of the
+// root dependency graph (it is a harness crate, not a library).
+fn aomp_bench_like_fig13(machine: &aomplib::simcore::Machine, t: usize) -> Vec<(String, f64)> {
+    use aomplib::simcore::{models, Simulator};
+    let sim = Simulator::new(machine.clone());
+    [
+        models::crypt(1_000_000, false),
+        models::lufact(500, false),
+        models::series(1_000, false),
+        models::sor(500, 50, false),
+        models::sparse(100_000, 50, false),
+        models::moldyn(2048, 10, t, models::MolDynStrategy::ThreadLocal, machine, false),
+        models::montecarlo(10_000, false),
+        models::raytracer(150, false),
+    ]
+    .into_iter()
+    .map(|p| (p.name.clone(), sim.speedup(&p, t)))
+    .collect()
+}

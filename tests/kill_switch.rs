@@ -1,0 +1,38 @@
+//! The global sequential kill switch (`aomp::runtime::set_parallel_enabled`)
+//! — the paper's sequential-semantics guarantee, testable at run time.
+//! Lives in its own test binary because the switch is process-global.
+
+use aomplib::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static REGION_HITS: AtomicUsize = AtomicUsize::new(0);
+
+#[parallel(threads = 4)]
+fn annotated_region() {
+    REGION_HITS.fetch_add(1, Ordering::SeqCst);
+}
+
+#[test]
+fn kill_switch_applies_to_both_styles() {
+    // Annotation style.
+    aomp::runtime::set_parallel_enabled(false);
+    annotated_region();
+    assert_eq!(REGION_HITS.load(Ordering::SeqCst), 1, "disabled -> body runs once");
+
+    // Pointcut style.
+    let hits = AtomicUsize::new(0);
+    let aspect = AspectModule::builder("Kill")
+        .bind(Pointcut::call("kill.jp"), Mechanism::parallel().threads(4))
+        .build();
+    Weaver::global().with_deployed(aspect, || {
+        aomp_weaver::call("kill.jp", || {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+    // Re-enabled: the same code parallelises again.
+    aomp::runtime::set_parallel_enabled(true);
+    annotated_region();
+    assert_eq!(REGION_HITS.load(Ordering::SeqCst), 1 + 4);
+}

@@ -1,0 +1,26 @@
+//! The paper's Figure 8 (annotation-style LUFact) under several explicit
+//! team sizes. Lives in its own test binary because the bare `@Parallel`
+//! takes the *process-global* default thread count, which this test
+//! varies.
+
+use aomplib::jgf::{lufact, Size};
+
+#[test]
+fn figure8_annotated_lufact_for_several_team_sizes() {
+    let d = lufact::generate(Size::Small);
+    let s = lufact::seq::run(&d);
+    assert!(lufact::validate(&d, &s));
+    for t in [1usize, 2, 3, 5] {
+        aomp::runtime::set_default_threads(t);
+        let r = lufact::annotated::run(&d);
+        assert!(lufact::validate(&d, &r), "t={t}");
+        assert_eq!(r.ipvt, s.ipvt, "t={t}");
+        assert_eq!(r.x, s.x, "t={t}");
+    }
+    // Also equivalent to the pointcut style (paper: the two styles
+    // express the same aspects).
+    aomp::runtime::set_default_threads(4);
+    let annotated = lufact::annotated::run(&d);
+    let pointcut = lufact::aomp::run(&d, 4);
+    assert_eq!(annotated.x, pointcut.x);
+}

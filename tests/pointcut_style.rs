@@ -1,0 +1,209 @@
+//! Integration tests for the pointcut style: aspect modules woven over a
+//! base program, equivalence with the annotation style, sequential
+//! semantics when unplugged, interface-style glob bindings and nested
+//! regions — the paper's §III properties.
+
+use aomplib::prelude::*;
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+fn unique(name: &str) -> String {
+    // Join-point names are global; keep each test's namespace distinct.
+    format!("it.pointcut.{name}")
+}
+
+#[test]
+fn pointcut_and_annotation_styles_produce_identical_results() {
+    // Annotation-style region + for.
+    static A_SUM: AtomicI64 = AtomicI64::new(0);
+
+    #[aomplib::annotations::for_loop(schedule = "staticBlock")]
+    fn annotated_for(start: i64, end: i64, step: i64) {
+        let mut local = 0;
+        let mut i = start;
+        while i < end {
+            local += i * 3;
+            i += step;
+        }
+        A_SUM.fetch_add(local, Ordering::Relaxed);
+    }
+
+    #[aomplib::annotations::parallel(threads = 4)]
+    fn annotated_region() {
+        annotated_for(0, 5000, 1);
+    }
+
+    annotated_region();
+
+    // Pointcut-style equivalent over an unannotated base program.
+    let p_sum = AtomicI64::new(0);
+    let jp_run = unique("styles.run");
+    let jp_for = unique("styles.for");
+    let aspect = AspectModule::builder("StyleEquivalence")
+        .bind(Pointcut::call(jp_run.clone()), Mechanism::parallel().threads(4))
+        .bind(Pointcut::call(jp_for.clone()), Mechanism::for_loop(Schedule::StaticBlock))
+        .build();
+    Weaver::global().with_deployed(aspect, || {
+        aomp_weaver::call(&jp_run, || {
+            aomp_weaver::call_for(&jp_for, LoopRange::upto(0, 5000), |lo, hi, step| {
+                let mut local = 0;
+                let mut i = lo;
+                while i < hi {
+                    local += i * 3;
+                    i += step;
+                }
+                p_sum.fetch_add(local, Ordering::Relaxed);
+            });
+        });
+    });
+
+    assert_eq!(A_SUM.load(Ordering::Relaxed), p_sum.load(Ordering::Relaxed));
+    assert_eq!(p_sum.load(Ordering::Relaxed), (0..5000).map(|i| i * 3).sum::<i64>());
+}
+
+#[test]
+fn unplugged_program_runs_sequentially() {
+    let jp = unique("seqsem");
+    let max_team = AtomicUsize::new(0);
+    aomp_weaver::call(&jp, || {
+        max_team.fetch_max(team_size(), Ordering::Relaxed);
+    });
+    assert_eq!(max_team.load(Ordering::Relaxed), 1, "no aspects -> one thread");
+}
+
+#[test]
+fn deploy_then_undeploy_restores_sequential_semantics() {
+    let jp = unique("plug");
+    let hits = AtomicUsize::new(0);
+    let run = || {
+        aomp_weaver::call(&jp, || {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+    };
+    let h = Weaver::global().deploy(
+        AspectModule::builder("PlugTest").bind(Pointcut::call(jp.clone()), Mechanism::parallel().threads(3)).build(),
+    );
+    run();
+    assert_eq!(hits.load(Ordering::Relaxed), 3);
+    Weaver::global().undeploy(h);
+    run();
+    assert_eq!(hits.load(Ordering::Relaxed), 4);
+}
+
+#[test]
+fn interface_glob_binds_all_implementations() {
+    // The paper's LAMMPS scenario: many implementations of one interface
+    // method, parallelised by a single pointcut over the interface name.
+    let counts = AtomicUsize::new(0);
+    let prefix = unique("Force");
+    let aspect = AspectModule::builder("InterfaceGlob")
+        .bind(Pointcut::glob(format!("{prefix}.*.compute")), Mechanism::parallel().threads(2))
+        .build();
+    Weaver::global().with_deployed(aspect, || {
+        for implementation in ["LJ", "Coulomb", "EAM"] {
+            aomp_weaver::call(&format!("{prefix}.{implementation}.compute"), || {
+                counts.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // An unrelated method stays sequential.
+        aomp_weaver::call(&format!("{prefix}.LJ.init"), || {
+            counts.fetch_add(10, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(counts.load(Ordering::Relaxed), 3 * 2 + 10);
+}
+
+#[test]
+fn combined_parallel_for_in_one_aspect() {
+    // Paper §III-D: combined constructs as one module.
+    let jp = unique("parfor");
+    let sum = AtomicI64::new(0);
+    let aspect = aomp_weaver::aspect::parallel_for("CombinedPF", &jp, Schedule::StaticCyclic, Some(3));
+    Weaver::global().with_deployed(aspect, || {
+        aomp_weaver::call_for(&jp, LoopRange::upto(0, 300), |lo, hi, step| {
+            let mut i = lo;
+            while i < hi {
+                sum.fetch_add(i, Ordering::Relaxed);
+                i += step;
+            }
+        });
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), (0..300).sum::<i64>());
+}
+
+#[test]
+fn nested_parallel_regions_via_aspects() {
+    let outer = unique("nest.outer");
+    let inner = unique("nest.inner");
+    let leaf_runs = AtomicUsize::new(0);
+    let aspect = AspectModule::builder("Nested")
+        .bind(Pointcut::call(outer.clone()), Mechanism::parallel().threads(2))
+        .bind(Pointcut::call(inner.clone()), Mechanism::parallel().threads(2))
+        .build();
+    Weaver::global().with_deployed(aspect, || {
+        aomp_weaver::call(&outer, || {
+            aomp_weaver::call(&inner, || {
+                leaf_runs.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+    });
+    assert_eq!(leaf_runs.load(Ordering::Relaxed), 4, "2 outer × 2 inner");
+}
+
+#[test]
+fn reader_writer_mechanisms_share_one_construct() {
+    use std::sync::Arc;
+    let jp_read = unique("rw.read");
+    let jp_write = unique("rw.write");
+    let rw = Arc::new(RwConstruct::new());
+    let aspect = AspectModule::builder("RW")
+        .bind(Pointcut::call(unique("rw.region")), Mechanism::parallel().threads(4))
+        .bind(Pointcut::call(jp_read.clone()), Mechanism::reader(Arc::clone(&rw)))
+        .bind(Pointcut::call(jp_write.clone()), Mechanism::writer(Arc::clone(&rw)))
+        .build();
+    let value = std::sync::Mutex::new(0u64);
+    let reads = AtomicUsize::new(0);
+    Weaver::global().with_deployed(aspect, || {
+        aomp_weaver::call(&unique("rw.region"), || {
+            for i in 0..20 {
+                if thread_id() == 0 && i % 5 == 0 {
+                    aomp_weaver::call(&jp_write, || {
+                        *value.lock().unwrap() += 1;
+                    });
+                } else {
+                    aomp_weaver::call(&jp_read, || {
+                        let _ = *value.lock().unwrap();
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }
+        });
+    });
+    assert_eq!(*value.lock().unwrap(), 4);
+    assert!(reads.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn single_mechanism_broadcasts_value_join_point() {
+    let region = unique("single.region");
+    let jp = unique("single.value");
+    let execs = AtomicUsize::new(0);
+    let agree = AtomicUsize::new(0);
+    let aspect = AspectModule::builder("SingleVal")
+        .bind(Pointcut::call(region.clone()), Mechanism::parallel().threads(4))
+        .bind(Pointcut::call(jp.clone()), Mechanism::single())
+        .build();
+    Weaver::global().with_deployed(aspect, || {
+        aomp_weaver::call(&region, || {
+            let v: u64 = aomp_weaver::call_value(&jp, || {
+                execs.fetch_add(1, Ordering::Relaxed);
+                0xC0FFEE
+            });
+            if v == 0xC0FFEE {
+                agree.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    });
+    assert_eq!(execs.load(Ordering::Relaxed), 1);
+    assert_eq!(agree.load(Ordering::Relaxed), 4);
+}
+

@@ -1,0 +1,221 @@
+//! Property-based tests (proptest) over the core invariants:
+//! schedule partitions, dynamic/guided dispensing, reductions, barriers,
+//! thread-local fields and the simulator.
+
+use aomplib::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Strategy producing sane loop ranges (positive or negative step).
+fn loop_ranges() -> impl Strategy<Value = LoopRange> {
+    (-200i64..200, 1i64..64, prop::bool::ANY, 0i64..500).prop_map(|(start, step, down, span)| {
+        if down {
+            LoopRange::new(start, start - span, -step)
+        } else {
+            LoopRange::new(start, start + span, step)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn static_block_partitions_every_range(range in loop_ranges(), threads in 1usize..9) {
+        let mut seen = Vec::new();
+        for tid in 0..threads {
+            let sub = aomp::schedule::static_block_range(range, tid, threads);
+            seen.extend(sub.iter());
+        }
+        let mut expect: Vec<i64> = range.iter().collect();
+        seen.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn static_cyclic_partitions_every_range(range in loop_ranges(), threads in 1usize..9) {
+        let mut seen = Vec::new();
+        for tid in 0..threads {
+            seen.extend(aomp::schedule::static_cyclic_range(range, tid, threads).iter());
+        }
+        let mut expect: Vec<i64> = range.iter().collect();
+        seen.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn block_assignments_are_disjoint(range in loop_ranges(), threads in 2usize..9) {
+        let mut all = HashSet::new();
+        for tid in 0..threads {
+            for v in aomp::schedule::static_block_range(range, tid, threads).iter() {
+                prop_assert!(all.insert(v), "element {v} assigned twice");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_for_covers_exactly_once(
+        range in loop_ranges(),
+        threads in 1usize..5,
+        chunk in 1u64..16,
+    ) {
+        let seen = parking_lot::Mutex::new(Vec::new());
+        let for_c = ForConstruct::new(Schedule::Dynamic { chunk });
+        region::parallel_with(RegionConfig::new().threads(threads), || {
+            for_c.execute(range, |lo, hi, step| {
+                let vals: Vec<i64> = LoopRange::new(lo, hi, step).iter().collect();
+                seen.lock().extend(vals);
+            });
+        });
+        let mut seen = seen.into_inner();
+        let mut expect: Vec<i64> = range.iter().collect();
+        seen.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn guided_for_covers_exactly_once(
+        range in loop_ranges(),
+        threads in 1usize..5,
+        min_chunk in 1u64..8,
+    ) {
+        let seen = parking_lot::Mutex::new(Vec::new());
+        let for_c = ForConstruct::new(Schedule::Guided { min_chunk });
+        region::parallel_with(RegionConfig::new().threads(threads), || {
+            for_c.execute(range, |lo, hi, step| {
+                let vals: Vec<i64> = LoopRange::new(lo, hi, step).iter().collect();
+                seen.lock().extend(vals);
+            });
+        });
+        let mut seen = seen.into_inner();
+        let mut expect: Vec<i64> = range.iter().collect();
+        seen.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn parallel_sum_reduction_matches_sequential(values in prop::collection::vec(-1000i64..1000, 1..200), threads in 1usize..5) {
+        let expect: i64 = values.iter().sum();
+        let total = AtomicI64::new(0);
+        let for_c = ForConstruct::new(Schedule::StaticBlock);
+        let vals = &values;
+        region::parallel_with(RegionConfig::new().threads(threads), || {
+            for_c.execute(LoopRange::upto(0, vals.len() as i64), |lo, hi, step| {
+                let mut local = 0;
+                let mut i = lo;
+                while i < hi {
+                    local += vals[i as usize];
+                    i += step;
+                }
+                total.fetch_add(local, Ordering::Relaxed);
+            });
+        });
+        prop_assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn thread_local_reduce_is_sum_of_parts(parts in prop::collection::vec(-500i64..500, 1..6)) {
+        let field = ThreadLocalField::new(0i64);
+        let threads = parts.len();
+        let parts_ref = &parts;
+        region::parallel_with(RegionConfig::new().threads(threads), || {
+            let tid = thread_id();
+            field.update_or_init(|| 0, |v| *v += parts_ref[tid]);
+        });
+        field.reduce(&SumReducer);
+        prop_assert_eq!(field.get_global(), parts.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn reducers_are_order_insensitive_for_min_max(mut values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &values {
+            MinReducer.merge(&mut lo, v);
+            MaxReducer.merge(&mut hi, v);
+        }
+        values.reverse();
+        let mut lo2 = f64::INFINITY;
+        let mut hi2 = f64::NEG_INFINITY;
+        for &v in &values {
+            MinReducer.merge(&mut lo2, v);
+            MaxReducer.merge(&mut hi2, v);
+        }
+        prop_assert_eq!(lo, lo2);
+        prop_assert_eq!(hi, hi2);
+    }
+
+    #[test]
+    fn simulator_more_threads_never_slower_for_pure_compute(ops in 1e6f64..1e12, t in 1usize..24) {
+        use aomp_simcore::{Machine, Program, Simulator, Step};
+        let sim = Simulator::new(Machine::xeon());
+        let p = Program::new("p", vec![Step::Parallel { ops, bytes: 0.0, imbalance: 1.0 }]);
+        let t1 = sim.run(&p, t);
+        let t2 = sim.run(&p, t + 1);
+        prop_assert!(t2 <= t1 * 1.0001, "t={t}: {t2} > {t1}");
+    }
+
+    #[test]
+    fn simulator_wall_time_scales_linearly_with_work(ops in 1e6f64..1e10, t in 1usize..25) {
+        use aomp_simcore::{Machine, Program, Simulator, Step};
+        let sim = Simulator::new(Machine::i7());
+        let p1 = Program::new("p", vec![Step::Parallel { ops, bytes: 0.0, imbalance: 1.0 }]);
+        let p2 = Program::new("p", vec![Step::Parallel { ops: ops * 2.0, bytes: 0.0, imbalance: 1.0 }]);
+        let w1 = sim.run(&p1, t);
+        let w2 = sim.run(&p2, t);
+        prop_assert!((w2 / w1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn glob_matching_reflexive_for_literals(name in "[a-zA-Z0-9_.]{1,24}") {
+        let pc = Pointcut::glob(name.clone());
+        prop_assert!(pc.matches(&JoinPoint::plain(&name)));
+        let pc_star = Pointcut::glob("*");
+        prop_assert!(pc_star.matches(&JoinPoint::plain(&name)));
+    }
+
+    #[test]
+    fn nnz_balanced_ranges_partition(nrows in 1usize..200, threads in 1usize..9, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Random row_ptr with empty rows allowed.
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for r in 1..=nrows {
+            row_ptr[r] = row_ptr[r - 1] + rng.gen_range(0..8);
+        }
+        let nz = row_ptr[nrows];
+        let mut prev_hi = 0;
+        for tid in 0..threads {
+            let (lo, hi) = aomp_jgf::sparse::nnz_balanced_range(&row_ptr, nz, tid, threads);
+            prop_assert_eq!(lo, prev_hi);
+            prop_assert!(hi >= lo);
+            // Boundaries coincide with row boundaries.
+            prop_assert!(row_ptr.contains(&lo) || lo == 0);
+            prop_assert!(row_ptr.contains(&hi) || hi == nz);
+            prev_hi = hi;
+        }
+        prop_assert_eq!(prev_hi, nz);
+    }
+}
+
+#[test]
+fn barrier_round_trip_many_rounds() {
+    // Not a proptest (threads are expensive); exhaustive small matrix.
+    for threads in [2usize, 3, 5] {
+        let counter = AtomicI64::new(0);
+        region::parallel_with(RegionConfig::new().threads(threads), || {
+            for round in 0..25 {
+                counter.fetch_add(1, Ordering::SeqCst);
+                barrier();
+                // Between barriers every thread observes the full round.
+                assert_eq!(counter.load(Ordering::SeqCst) as usize, (round + 1) * threads);
+                barrier();
+            }
+        });
+    }
+}

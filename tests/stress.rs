@@ -1,0 +1,193 @@
+//! Stress and edge-case tests: long construct sequences, oversubscribed
+//! teams, nested-team constructs, empty and degenerate ranges, and
+//! repeated deploy/undeploy churn.
+
+use aomplib::prelude::*;
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+#[test]
+fn many_rounds_of_mixed_constructs() {
+    // 200 iterations of barrier/single/master/critical/for inside one
+    // region: exercises the slot map's allocate-and-free cycle hard.
+    let single = Single::new();
+    let master = Master::new();
+    let crit = CriticalHandle::new();
+    let for_c = ForConstruct::new(Schedule::Dynamic { chunk: 2 });
+    let singles = AtomicUsize::new(0);
+    let masters = AtomicUsize::new(0);
+    let sum = AtomicI64::new(0);
+    region::parallel_with(RegionConfig::new().threads(4), || {
+        for round in 0..200 {
+            single.run(|| {
+                singles.fetch_add(1, Ordering::SeqCst);
+            });
+            if round % 3 == 0 {
+                master.run_nowait(|| {
+                    masters.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            crit.run(|| {});
+            for_c.execute(LoopRange::upto(0, 8), |lo, hi, step| {
+                let mut i = lo;
+                while i < hi {
+                    sum.fetch_add(1, Ordering::Relaxed);
+                    i += step;
+                }
+            });
+            barrier();
+        }
+    });
+    assert_eq!(singles.load(Ordering::SeqCst), 200);
+    assert_eq!(masters.load(Ordering::SeqCst), 67);
+    assert_eq!(sum.load(Ordering::Relaxed), 200 * 8);
+}
+
+#[test]
+fn oversubscribed_team_on_one_core() {
+    // 16 threads on a single-core container: heavy parking pressure.
+    let count = AtomicUsize::new(0);
+    region::parallel_with(RegionConfig::new().threads(16), || {
+        for _ in 0..10 {
+            count.fetch_add(1, Ordering::SeqCst);
+            barrier();
+        }
+    });
+    assert_eq!(count.load(Ordering::SeqCst), 160);
+}
+
+#[test]
+fn constructs_inside_nested_teams_bind_to_innermost() {
+    let inner_singles = AtomicUsize::new(0);
+    let single = Single::new();
+    region::parallel_with(RegionConfig::new().threads(2), || {
+        region::parallel_with(RegionConfig::new().threads(3), || {
+            // One execution per *inner* team: 2 outer threads × 1.
+            single.run(|| {
+                inner_singles.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(team_size(), 3);
+            barrier(); // inner-team barrier
+        });
+    });
+    assert_eq!(inner_singles.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn empty_and_single_iteration_ranges() {
+    for sched in [Schedule::StaticBlock, Schedule::StaticCyclic, Schedule::DYNAMIC, Schedule::GUIDED, Schedule::BlockCyclic { chunk: 4 }] {
+        let for_c = ForConstruct::new(sched);
+        let hits = AtomicUsize::new(0);
+        region::parallel_with(RegionConfig::new().threads(3), || {
+            for_c.execute(LoopRange::upto(5, 5), |_, _, _| {
+                hits.fetch_add(1000, Ordering::SeqCst);
+            });
+            for_c.execute(LoopRange::upto(7, 8), |lo, hi, step| {
+                // Exactly the single element 7, whatever the rewritten
+                // (lo, hi, step) encoding (cyclic schedules widen step).
+                let elems: Vec<i64> = LoopRange::new(lo, hi, step).iter().collect();
+                assert_eq!(elems, vec![7]);
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "{}", sched.name());
+    }
+}
+
+#[test]
+fn more_threads_than_iterations() {
+    let for_c = ForConstruct::new(Schedule::StaticBlock);
+    let sum = AtomicI64::new(0);
+    region::parallel_with(RegionConfig::new().threads(8), || {
+        for_c.execute(LoopRange::upto(0, 3), |lo, hi, step| {
+            let mut i = lo;
+            while i < hi {
+                sum.fetch_add(i, Ordering::SeqCst);
+                i += step;
+            }
+        });
+    });
+    assert_eq!(sum.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn deploy_undeploy_churn_under_load() {
+    // Deploy/undeploy while another "phase" of the program is calling
+    // unrelated join points — the registry must stay coherent.
+    let hits = AtomicUsize::new(0);
+    for round in 0..50 {
+        let name = format!("stress.churn.{round}");
+        let h = Weaver::global().deploy(
+            AspectModule::builder(name.clone())
+                .bind(Pointcut::call(name.clone()), Mechanism::parallel().threads(2))
+                .build(),
+        );
+        aomp_weaver::call(&name, || {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        // An unrelated, never-bound join point on every round.
+        aomp_weaver::call("stress.churn.unbound", || {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        Weaver::global().undeploy(h);
+    }
+    assert_eq!(hits.load(Ordering::SeqCst), 50 * 2 + 50);
+}
+
+#[test]
+fn thread_local_field_heavy_reuse() {
+    let field = ThreadLocalField::new(0u64);
+    for round in 0..20 {
+        region::parallel_with(RegionConfig::new().threads(4), || {
+            for _ in 0..100 {
+                field.update_or_init(|| 0, |v| *v += 1);
+            }
+        });
+        assert_eq!(field.local_count(), 4);
+        field.reduce(&SumReducer);
+        assert_eq!(field.get_global(), (round + 1) * 400);
+        assert_eq!(field.local_count(), 0);
+    }
+}
+
+#[test]
+fn pool_survives_hundreds_of_regions() {
+    let pool = TeamPool::new(3);
+    let count = AtomicUsize::new(0);
+    for _ in 0..300 {
+        pool.parallel(|| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 900);
+}
+
+#[test]
+fn big_team_single_and_master_broadcast() {
+    let single = Single::new();
+    let master = Master::new();
+    let sums = AtomicI64::new(0);
+    region::parallel_with(RegionConfig::new().threads(12), || {
+        let a = single.run(|| 3i64);
+        let b = master.run(|| 4i64);
+        sums.fetch_add(a + b, Ordering::SeqCst);
+    });
+    assert_eq!(sums.load(Ordering::SeqCst), 12 * 7);
+}
+
+#[test]
+fn guided_schedule_with_tiny_and_huge_chunks() {
+    for min_chunk in [1u64, 1000] {
+        let for_c = ForConstruct::new(Schedule::Guided { min_chunk });
+        let sum = AtomicI64::new(0);
+        region::parallel_with(RegionConfig::new().threads(4), || {
+            for_c.execute(LoopRange::upto(0, 500), |lo, hi, step| {
+                let mut i = lo;
+                while i < hi {
+                    sum.fetch_add(i, Ordering::Relaxed);
+                    i += step;
+                }
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..500).sum::<i64>(), "min_chunk={min_chunk}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Finer weaver semantics: mechanism precedence, multiple deployments on
+//! one join point, registry introspection, and serde round-trips of the
+//! simulator models.
+
+use aomplib::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn later_parallel_binding_wins_on_team_size() {
+    // Two deployed modules both bind @Parallel to the same join point;
+    // the plan keeps the later deployment's configuration.
+    let seen = AtomicUsize::new(0);
+    let w = Weaver::global();
+    let h1 = w.deploy(
+        AspectModule::builder("first")
+            .bind(Pointcut::call("sem.par.double"), Mechanism::parallel().threads(2))
+            .build(),
+    );
+    let h2 = w.deploy(
+        AspectModule::builder("second")
+            .bind(Pointcut::call("sem.par.double"), Mechanism::parallel().threads(5))
+            .build(),
+    );
+    aomp_weaver::call("sem.par.double", || {
+        seen.fetch_max(team_size(), Ordering::SeqCst);
+    });
+    w.undeploy(h1);
+    w.undeploy(h2);
+    assert_eq!(seen.load(Ordering::SeqCst), 5);
+}
+
+#[test]
+fn barriers_wrap_outside_the_master_gate() {
+    // Sequence check: with @Master + @BarrierBefore on one join point,
+    // the barrier releases *before* the master body runs, so when a
+    // worker passes the pre-barrier the master's previous-round effects
+    // are complete.
+    let w = Weaver::global();
+    let log = parking_lot::Mutex::new(Vec::new());
+    let h = w.deploy(
+        AspectModule::builder("seq-order")
+            .bind(Pointcut::call("sem.order.region"), Mechanism::parallel().threads(2))
+            .bind(Pointcut::call("sem.order.step"), Mechanism::master())
+            .bind(Pointcut::call("sem.order.step"), Mechanism::barrier_before())
+            .bind(Pointcut::call("sem.order.step"), Mechanism::barrier_after())
+            .build(),
+    );
+    aomp_weaver::call("sem.order.region", || {
+        for i in 0..5 {
+            aomp_weaver::call("sem.order.step", || {
+                log.lock().push(i);
+            });
+        }
+    });
+    w.undeploy(h);
+    assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4], "master steps are totally ordered by the barriers");
+}
+
+#[test]
+fn registry_introspection_reports_deployments() {
+    let w = Weaver::global();
+    let before = w.deployed_names();
+    let h = w.deploy(AspectModule::builder("introspect-me").build());
+    let after = w.deployed_names();
+    assert_eq!(after.len(), before.len() + 1);
+    assert!(after.contains(&"introspect-me".to_string()));
+    assert!(w.is_deployed(h));
+    w.undeploy(h);
+    assert!(!w.is_deployed(h));
+}
+
+#[test]
+fn dispatch_stats_accumulate_and_reset() {
+    let w = Weaver::global();
+    let h = w.deploy(
+        AspectModule::builder("stats-sem")
+            .bind(Pointcut::call("sem.stats.jp"), Mechanism::critical())
+            .build(),
+    );
+    let base: u64 = w
+        .stats()
+        .iter()
+        .find(|(n, _)| n == "sem.stats.jp")
+        .map(|(_, c)| *c)
+        .unwrap_or(0);
+    for _ in 0..7 {
+        aomp_weaver::call("sem.stats.jp", || {});
+    }
+    let now = w
+        .stats()
+        .iter()
+        .find(|(n, _)| n == "sem.stats.jp")
+        .map(|(_, c)| *c)
+        .unwrap_or(0);
+    assert!(now >= base + 7, "stats grew by at least the 7 dispatches");
+    w.undeploy(h);
+}
+
+#[test]
+fn value_join_point_with_locks_only() {
+    // call_value through a critical mechanism (no gate): executes on the
+    // calling thread under the lock.
+    let w = Weaver::global();
+    let h = w.deploy(
+        AspectModule::builder("val-crit")
+            .bind(Pointcut::call("sem.val.crit"), Mechanism::critical())
+            .build(),
+    );
+    let v: u64 = aomp_weaver::call_value("sem.val.crit", || 99);
+    assert_eq!(v, 99);
+    w.undeploy(h);
+}
+
+#[test]
+fn kind_pointcut_separates_for_and_plain() {
+    // A Kind(ForMethod) pointcut work-shares every for method while
+    // leaving plain calls alone.
+    use aomplib::weaver::JoinPointKind;
+    let w = Weaver::global();
+    let h = w.deploy(
+        AspectModule::builder("kind-sem")
+            .bind(Pointcut::call("sem.kind.region"), Mechanism::parallel().threads(3))
+            .bind(
+                Pointcut::kind(JoinPointKind::ForMethod).and(Pointcut::glob("sem.kind.*")),
+                Mechanism::for_loop(Schedule::StaticBlock),
+            )
+            .build(),
+    );
+    let loop_hits = AtomicUsize::new(0);
+    let plain_hits = AtomicUsize::new(0);
+    aomp_weaver::call("sem.kind.region", || {
+        aomp_weaver::call_for("sem.kind.loop", LoopRange::upto(0, 9), |lo, hi, step| {
+            let mut i = lo;
+            while i < hi {
+                loop_hits.fetch_add(1, Ordering::SeqCst);
+                i += step;
+            }
+        });
+        aomp_weaver::call("sem.kind.plain", || {
+            plain_hits.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    w.undeploy(h);
+    assert_eq!(loop_hits.load(Ordering::SeqCst), 9, "for method work-shared exactly once");
+    assert_eq!(plain_hits.load(Ordering::SeqCst), 3, "plain call replicated per thread");
+}
+
+#[test]
+fn simulator_models_serde_round_trip() {
+    use aomplib::simcore::{Machine, Program, Simulator};
+    let machine = Machine::i7();
+    let json = serde_json_string(&machine);
+    let back: Machine = serde_json_parse(&json);
+    assert_eq!(machine.cores, back.cores);
+    assert_eq!(machine.name, back.name);
+
+    let p = aomplib::simcore::models::crypt(1_000_000, false);
+    let json = serde_json_string(&p);
+    let back: Program = serde_json_parse(&json);
+    let sim = Simulator::new(machine);
+    assert_eq!(sim.run(&p, 4), sim.run(&back, 4), "deserialised model simulates identically");
+}
+
+fn serde_json_string<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serialises")
+}
+
+fn serde_json_parse<T: for<'de> serde::Deserialize<'de>>(s: &str) -> T {
+    serde_json::from_str(s).expect("parses")
+}
+
+// ---------------------------------------------------------------------
+// Paper §II: the inheritance anomaly. Parallelism must be retained
+// across an interface's implementations — including ones added later by
+// a user — without touching any implementation.
+// ---------------------------------------------------------------------
+
+/// The "Particle" interface of the paper's LAMMPS discussion.
+trait ForceKernel: Sync {
+    fn kind(&self) -> &'static str;
+    /// Each implementation exposes its execution as the interface-level
+    /// join point `ForceKernel.<kind>.compute`.
+    fn compute(&self, hits: &AtomicUsize) {
+        let name = format!("ForceKernel.{}.compute", self.kind());
+        aomp_weaver::call(&name, || {
+            self.compute_body(hits);
+        });
+    }
+    fn compute_body(&self, hits: &AtomicUsize);
+}
+
+struct LennardJones;
+impl ForceKernel for LennardJones {
+    fn kind(&self) -> &'static str {
+        "LJ"
+    }
+    fn compute_body(&self, hits: &AtomicUsize) {
+        hits.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+struct Coulomb;
+impl ForceKernel for Coulomb {
+    fn kind(&self) -> &'static str {
+        "Coulomb"
+    }
+    fn compute_body(&self, hits: &AtomicUsize) {
+        hits.fetch_add(10, Ordering::SeqCst);
+    }
+}
+
+/// A "user-provided implementation" (the case §II says breaks
+/// code-injection approaches): defined after the aspect, never mentioned
+/// by it explicitly.
+struct UserSupplied;
+impl ForceKernel for UserSupplied {
+    fn kind(&self) -> &'static str {
+        "UserSupplied"
+    }
+    fn compute_body(&self, hits: &AtomicUsize) {
+        hits.fetch_add(100, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn interface_pointcut_survives_new_implementations() {
+    let w = Weaver::global();
+    // One pointcut over the interface parallelises every implementation.
+    let h = w.deploy(
+        AspectModule::builder("InterfaceForce")
+            .bind(Pointcut::glob("ForceKernel.*.compute"), Mechanism::parallel().threads(3))
+            .build(),
+    );
+    let hits = AtomicUsize::new(0);
+    let kernels: Vec<Box<dyn ForceKernel>> =
+        vec![Box::new(LennardJones), Box::new(Coulomb), Box::new(UserSupplied)];
+    for k in &kernels {
+        k.compute(&hits);
+    }
+    w.undeploy(h);
+    // Each implementation ran on a team of 3 — including the one the
+    // aspect author never saw.
+    assert_eq!(hits.load(Ordering::SeqCst), 3 * (1 + 10 + 100));
+    // Unplugged: sequential, still correct.
+    let hits2 = AtomicUsize::new(0);
+    for k in &kernels {
+        k.compute(&hits2);
+    }
+    assert_eq!(hits2.load(Ordering::SeqCst), 111);
+}
