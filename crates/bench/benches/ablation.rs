@@ -12,8 +12,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use aomp::prelude::*;
 use aomp_weaver::prelude::*;
@@ -59,7 +59,9 @@ fn bench_triangle_schedules(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_millis(900));
-    g.bench_function("sequential", |b| b.iter(|| black_box(count_oriented(&oriented))));
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(count_oriented(&oriented)))
+    });
     for sched in TriSchedule::ALL {
         g.bench_function(sched.name(), |b| {
             b.iter(|| {
@@ -84,7 +86,10 @@ fn bench_weaver_depth(c: &mut Criterion) {
             .map(|i| {
                 Weaver::global().deploy(
                     AspectModule::builder(format!("noise-{i}"))
-                        .bind(Pointcut::call(format!("noise.jp.{i}")), Mechanism::critical())
+                        .bind(
+                            Pointcut::call(format!("noise.jp.{i}")),
+                            Mechanism::critical(),
+                        )
                         .build(),
                 )
             })
@@ -107,5 +112,10 @@ fn bench_weaver_depth(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(ablation, bench_spawn_vs_pool, bench_triangle_schedules, bench_weaver_depth);
+criterion_group!(
+    ablation,
+    bench_spawn_vs_pool,
+    bench_triangle_schedules,
+    bench_weaver_depth
+);
 criterion_main!(ablation);

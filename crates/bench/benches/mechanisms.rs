@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use aomp::prelude::*;
 use aomp_weaver::prelude::*;
@@ -179,7 +179,8 @@ fn bench_tasks(c: &mut Criterion) {
     });
     g.bench_function("future_x16", |b| {
         b.iter(|| {
-            let futs: Vec<FutureTask<u64>> = (0..16).map(|i| task::spawn_future(move || i * 2)).collect();
+            let futs: Vec<FutureTask<u64>> =
+                (0..16).map(|i| task::spawn_future(move || i * 2)).collect();
             futs.into_iter().map(|f| f.get()).sum::<u64>()
         })
     });

@@ -16,21 +16,25 @@ fn bench_variants(c: &mut Criterion) {
         let n = aomp_jgf::moldyn::particles(mm);
         let mut g = c.benchmark_group(format!("fig15/n{n}"));
         g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(900));
+        g.warm_up_time(Duration::from_millis(300));
+        g.measurement_time(Duration::from_millis(900));
         for threads in [1usize, 2] {
-            g.bench_with_input(BenchmarkId::new("jgf-threadlocal", threads), &threads, |b, &t| {
-                b.iter(|| black_box(aomp_jgf::moldyn::mt::run(&d, t)))
-            });
+            g.bench_with_input(
+                BenchmarkId::new("jgf-threadlocal", threads),
+                &threads,
+                |b, &t| b.iter(|| black_box(aomp_jgf::moldyn::mt::run(&d, t))),
+            );
             g.bench_with_input(BenchmarkId::new("critical", threads), &threads, |b, &t| {
                 b.iter(|| black_box(aomp_jgf::moldyn::variants::run_critical(&d, t)))
             });
             g.bench_with_input(BenchmarkId::new("locks", threads), &threads, |b, &t| {
                 b.iter(|| black_box(aomp_jgf::moldyn::variants::run_locks(&d, t)))
             });
-            g.bench_with_input(BenchmarkId::new("aomp-threadlocal", threads), &threads, |b, &t| {
-                b.iter(|| black_box(aomp_jgf::moldyn::aomp::run(&d, t)))
-            });
+            g.bench_with_input(
+                BenchmarkId::new("aomp-threadlocal", threads),
+                &threads,
+                |b, &t| b.iter(|| black_box(aomp_jgf::moldyn::aomp::run(&d, t))),
+            );
         }
         g.finish();
     }

@@ -20,9 +20,15 @@ fn bench_crypt(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_millis(900));
-    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::crypt::mt::run(&data, THREADS))));
-    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::crypt::aomp::run(&data, THREADS))));
-    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::crypt::seq::run(&data))));
+    g.bench_function("jgf-mt", |b| {
+        b.iter(|| black_box(aomp_jgf::crypt::mt::run(&data, THREADS)))
+    });
+    g.bench_function("aomp", |b| {
+        b.iter(|| black_box(aomp_jgf::crypt::aomp::run(&data, THREADS)))
+    });
+    g.bench_function("seq", |b| {
+        b.iter(|| black_box(aomp_jgf::crypt::seq::run(&data)))
+    });
     g.finish();
 }
 
@@ -32,9 +38,15 @@ fn bench_lufact(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_millis(900));
-    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::lufact::mt::run(&data, THREADS))));
-    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::lufact::aomp::run(&data, THREADS))));
-    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::lufact::seq::run(&data))));
+    g.bench_function("jgf-mt", |b| {
+        b.iter(|| black_box(aomp_jgf::lufact::mt::run(&data, THREADS)))
+    });
+    g.bench_function("aomp", |b| {
+        b.iter(|| black_box(aomp_jgf::lufact::aomp::run(&data, THREADS)))
+    });
+    g.bench_function("seq", |b| {
+        b.iter(|| black_box(aomp_jgf::lufact::seq::run(&data)))
+    });
     g.finish();
 }
 
@@ -44,9 +56,15 @@ fn bench_series(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_millis(900));
-    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::series::mt::run(n, THREADS))));
-    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::series::aomp::run(n, THREADS))));
-    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::series::seq::run(n))));
+    g.bench_function("jgf-mt", |b| {
+        b.iter(|| black_box(aomp_jgf::series::mt::run(n, THREADS)))
+    });
+    g.bench_function("aomp", |b| {
+        b.iter(|| black_box(aomp_jgf::series::aomp::run(n, THREADS)))
+    });
+    g.bench_function("seq", |b| {
+        b.iter(|| black_box(aomp_jgf::series::seq::run(n)))
+    });
     g.finish();
 }
 
@@ -57,9 +75,15 @@ fn bench_sor(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_millis(900));
-    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::sor::mt::run(&grid, iters, THREADS))));
-    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::sor::aomp::run(&grid, iters, THREADS))));
-    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::sor::seq::run(&grid, iters))));
+    g.bench_function("jgf-mt", |b| {
+        b.iter(|| black_box(aomp_jgf::sor::mt::run(&grid, iters, THREADS)))
+    });
+    g.bench_function("aomp", |b| {
+        b.iter(|| black_box(aomp_jgf::sor::aomp::run(&grid, iters, THREADS)))
+    });
+    g.bench_function("seq", |b| {
+        b.iter(|| black_box(aomp_jgf::sor::seq::run(&grid, iters)))
+    });
     g.finish();
 }
 
@@ -70,9 +94,15 @@ fn bench_sparse(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_millis(900));
-    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::sparse::mt::run(&d, iters, THREADS))));
-    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::sparse::aomp::run(&d, iters, THREADS))));
-    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::sparse::seq::run(&d, iters))));
+    g.bench_function("jgf-mt", |b| {
+        b.iter(|| black_box(aomp_jgf::sparse::mt::run(&d, iters, THREADS)))
+    });
+    g.bench_function("aomp", |b| {
+        b.iter(|| black_box(aomp_jgf::sparse::aomp::run(&d, iters, THREADS)))
+    });
+    g.bench_function("seq", |b| {
+        b.iter(|| black_box(aomp_jgf::sparse::seq::run(&d, iters)))
+    });
     g.finish();
 }
 
@@ -82,9 +112,15 @@ fn bench_moldyn(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_millis(900));
-    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::moldyn::mt::run(&d, THREADS))));
-    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::moldyn::aomp::run(&d, THREADS))));
-    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::moldyn::seq::run(&d))));
+    g.bench_function("jgf-mt", |b| {
+        b.iter(|| black_box(aomp_jgf::moldyn::mt::run(&d, THREADS)))
+    });
+    g.bench_function("aomp", |b| {
+        b.iter(|| black_box(aomp_jgf::moldyn::aomp::run(&d, THREADS)))
+    });
+    g.bench_function("seq", |b| {
+        b.iter(|| black_box(aomp_jgf::moldyn::seq::run(&d)))
+    });
     g.finish();
 }
 
@@ -94,9 +130,15 @@ fn bench_montecarlo(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_millis(900));
-    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::montecarlo::mt::run(&d, THREADS))));
-    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::montecarlo::aomp::run(&d, THREADS))));
-    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::montecarlo::seq::run(&d))));
+    g.bench_function("jgf-mt", |b| {
+        b.iter(|| black_box(aomp_jgf::montecarlo::mt::run(&d, THREADS)))
+    });
+    g.bench_function("aomp", |b| {
+        b.iter(|| black_box(aomp_jgf::montecarlo::aomp::run(&d, THREADS)))
+    });
+    g.bench_function("seq", |b| {
+        b.iter(|| black_box(aomp_jgf::montecarlo::seq::run(&d)))
+    });
     g.finish();
 }
 
@@ -106,9 +148,15 @@ fn bench_raytracer(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_millis(900));
-    g.bench_function("jgf-mt", |b| b.iter(|| black_box(aomp_jgf::raytracer::mt::run(&scene, THREADS))));
-    g.bench_function("aomp", |b| b.iter(|| black_box(aomp_jgf::raytracer::aomp::run(&scene, THREADS))));
-    g.bench_function("seq", |b| b.iter(|| black_box(aomp_jgf::raytracer::seq::run(&scene))));
+    g.bench_function("jgf-mt", |b| {
+        b.iter(|| black_box(aomp_jgf::raytracer::mt::run(&scene, THREADS)))
+    });
+    g.bench_function("aomp", |b| {
+        b.iter(|| black_box(aomp_jgf::raytracer::aomp::run(&scene, THREADS)))
+    });
+    g.bench_function("seq", |b| {
+        b.iter(|| black_box(aomp_jgf::raytracer::seq::run(&scene)))
+    });
     g.finish();
 }
 

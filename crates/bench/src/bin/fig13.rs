@@ -11,7 +11,9 @@ use aomp_jgf::Size;
 /// Best-of-3 wall time of `f`, in seconds (one-shot timings on a busy
 /// single-core container are noisy).
 fn best_of<R>(mut f: impl FnMut() -> R) -> f64 {
-    (0..3).map(|_| timed(&mut f).1.as_secs_f64()).fold(f64::INFINITY, f64::min)
+    (0..3)
+        .map(|_| timed(&mut f).1.as_secs_f64())
+        .fold(f64::INFINITY, f64::min)
 }
 use aomp_simcore::Machine;
 
@@ -36,16 +38,20 @@ fn main() {
     }
 
     if let Some(path) = json_arg() {
-        let all: Vec<(String, usize, Vec<aomp_bench::Fig13Row>)> = [(Machine::i7(), 8usize), (Machine::xeon(), 24)]
-            .into_iter()
-            .map(|(m, t)| (m.name.clone(), t, fig13_series(&m, t)))
-            .collect();
+        let all: Vec<(String, usize, Vec<aomp_bench::Fig13Row>)> =
+            [(Machine::i7(), 8usize), (Machine::xeon(), 24)]
+                .into_iter()
+                .map(|(m, t)| (m.name.clone(), t, fig13_series(&m, t)))
+                .collect();
         write_json(&path, &all).expect("write fig13 json");
         println!("(wrote {path})\n");
     }
 
     if measure {
-        println!("== Measured on this host: AOmp vs JGF wall time (size A, {} threads) ==", host_threads());
+        println!(
+            "== Measured on this host: AOmp vs JGF wall time (size A, {} threads) ==",
+            host_threads()
+        );
         println!("(both versions run the same schedule; the paper reports <1% difference)\n");
         measure_ratios();
     } else {
@@ -54,7 +60,9 @@ fn main() {
 }
 
 fn host_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn ratio_line(name: &str, jgf_s: f64, aomp_s: f64) {

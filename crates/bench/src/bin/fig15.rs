@@ -32,11 +32,25 @@ fn main() {
                     .iter()
                     .find(|r| r.variant == variant && r.particles == n && r.threads == t)
                     .expect("series row");
-                println!("{variant:<9} {:>7}  {:>6.2}  {}", label(n), r.speedup, bar(r.speedup, 6.0));
+                println!(
+                    "{variant:<9} {:>7}  {:>6.2}  {}",
+                    label(n),
+                    r.speedup,
+                    bar(r.speedup, 6.0)
+                );
             }
         }
-        let jgf = rows.iter().find(|r| r.variant == "JGF" && r.threads == t).expect("jgf row");
-        println!("{:<9} {:>7}  {:>6.2}  {}", "JGF", label(jgf.particles), jgf.speedup, bar(jgf.speedup, 6.0));
+        let jgf = rows
+            .iter()
+            .find(|r| r.variant == "JGF" && r.threads == t)
+            .expect("jgf row");
+        println!(
+            "{:<9} {:>7}  {:>6.2}  {}",
+            "JGF",
+            label(jgf.particles),
+            jgf.speedup,
+            bar(jgf.speedup, 6.0)
+        );
         println!();
     }
 
@@ -53,17 +67,31 @@ fn main() {
 }
 
 fn measure_variants() {
-    let t = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+    let t = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
     println!("== Measured on this host ({t} threads, 10 moves; per-variant overhead ordering) ==");
-    println!("{:<10} {:>12} {:>12} {:>12}", "particles", "thread-local", "critical", "locks");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "particles", "thread-local", "critical", "locks"
+    );
     for mm in [4usize, 6] {
         let d = aomp_jgf::moldyn::generate(mm, 10);
         // Interleaved best-of-2 per variant to tame container noise.
         let mut best = [f64::INFINITY; 3];
         for _ in 0..2 {
             best[0] = best[0].min(timed(|| aomp_jgf::moldyn::mt::run(&d, t)).1.as_secs_f64());
-            best[1] = best[1].min(timed(|| aomp_jgf::moldyn::variants::run_critical(&d, t)).1.as_secs_f64());
-            best[2] = best[2].min(timed(|| aomp_jgf::moldyn::variants::run_locks(&d, t)).1.as_secs_f64());
+            best[1] = best[1].min(
+                timed(|| aomp_jgf::moldyn::variants::run_critical(&d, t))
+                    .1
+                    .as_secs_f64(),
+            );
+            best[2] = best[2].min(
+                timed(|| aomp_jgf::moldyn::variants::run_locks(&d, t))
+                    .1
+                    .as_secs_f64(),
+            );
         }
         println!(
             "{:<10} {:>11.1}ms {:>11.1}ms {:>11.1}ms",

@@ -34,7 +34,9 @@ fn parse_args() -> Opts {
         benchmark: args[0].clone(),
         variant: "aomp".into(),
         size: Size::Small,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     };
     let mut i = 1;
     while i < args.len() {
@@ -53,7 +55,10 @@ fn parse_args() -> Opts {
                 i += 2;
             }
             "--threads" => {
-                opts.threads = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                opts.threads = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             _ => usage(),
@@ -146,8 +151,16 @@ fn run_one(name: &str, variant: &str, size: Size, threads: usize) -> (bool, f64)
     }
 }
 
-const ALL: [&str; 8] =
-    ["crypt", "lufact", "series", "sor", "sparse", "moldyn", "montecarlo", "raytracer"];
+const ALL: [&str; 8] = [
+    "crypt",
+    "lufact",
+    "series",
+    "sor",
+    "sparse",
+    "moldyn",
+    "montecarlo",
+    "raytracer",
+];
 
 fn main() {
     let opts = parse_args();

@@ -10,15 +10,24 @@
 
 use aomp_bench::{json_arg, write_json};
 use aomp_simcore::models::{self, MolDynStrategy};
-use aomp_simcore::{EventSimulator, Machine, Program, Simulator};
-use serde::Serialize;
+use aomp_simcore::{EventSimulator, Json, Machine, Program, Simulator, ToJson};
 
-#[derive(Serialize)]
 struct SweepPoint {
     machine: String,
     benchmark: String,
     threads: usize,
     speedup: f64,
+}
+
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("machine".to_owned(), Json::Str(self.machine.clone())),
+            ("benchmark".to_owned(), Json::Str(self.benchmark.clone())),
+            ("threads".to_owned(), Json::Num(self.threads as f64)),
+            ("speedup".to_owned(), Json::Num(self.speedup)),
+        ])
+    }
 }
 
 fn benchmarks() -> Vec<(&'static str, Program)> {
@@ -37,7 +46,15 @@ fn main() {
     let use_event = std::env::args().any(|a| a == "--event");
     let mut points = Vec::new();
     for machine in [Machine::i7(), Machine::xeon()] {
-        println!("== {} ({}) ==", machine.name, if use_event { "event executor" } else { "bulk-sync executor" });
+        println!(
+            "== {} ({}) ==",
+            machine.name,
+            if use_event {
+                "event executor"
+            } else {
+                "bulk-sync executor"
+            }
+        );
         print!("{:<12}", "threads");
         for t in 1..=machine.hw_threads {
             print!("{t:>6}");
@@ -67,10 +84,14 @@ fn main() {
         // MolDyn is thread-aware: rebuild the model per thread count.
         print!("{:<12}", "MolDyn");
         for t in 1..=machine.hw_threads {
-            let base = Simulator::new(machine.clone())
-                .run(&models::moldyn(8788, 50, 1, MolDynStrategy::ThreadLocal, &machine, false), 1);
-            let this = Simulator::new(machine.clone())
-                .run(&models::moldyn(8788, 50, t, MolDynStrategy::ThreadLocal, &machine, false), t);
+            let base = Simulator::new(machine.clone()).run(
+                &models::moldyn(8788, 50, 1, MolDynStrategy::ThreadLocal, &machine, false),
+                1,
+            );
+            let this = Simulator::new(machine.clone()).run(
+                &models::moldyn(8788, 50, t, MolDynStrategy::ThreadLocal, &machine, false),
+                t,
+            );
             let su = base / this;
             print!("{su:>6.2}");
             points.push(SweepPoint {

@@ -18,15 +18,13 @@
 //! `moldyn_fig15` (the three variants) and `mechanisms` (per-construct
 //! micro-costs).
 
-
 #![warn(missing_docs)]
 
 use aomp_simcore::models::{self, MolDynStrategy};
-use aomp_simcore::{Machine, Simulator};
-use serde::Serialize;
+use aomp_simcore::{Json, Machine, Simulator, ToJson};
 
 /// One Figure 13 bar group: benchmark × the two variants.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13Row {
     /// Benchmark name.
     pub benchmark: &'static str,
@@ -42,31 +40,94 @@ pub fn fig13_series(machine: &Machine, t: usize) -> Vec<Fig13Row> {
     let sim = Simulator::new(machine.clone());
     let mut rows = Vec::new();
     let mut push = |name: &'static str, jgf: aomp_simcore::Program, aomp: aomp_simcore::Program| {
-        rows.push(Fig13Row { benchmark: name, jgf: sim.speedup(&jgf, t), aomp: sim.speedup(&aomp, t) });
+        rows.push(Fig13Row {
+            benchmark: name,
+            jgf: sim.speedup(&jgf, t),
+            aomp: sim.speedup(&aomp, t),
+        });
     };
-    push("Crypt", models::crypt(20_000_000, false), models::crypt(20_000_000, true));
-    push("LUFact", models::lufact(1000, false), models::lufact(1000, true));
-    push("Series", models::series(10_000, false), models::series(10_000, true));
-    push("SOR", models::sor(1000, 100, false), models::sor(1000, 100, true));
-    push("Sparse", models::sparse(500_000, 200, false), models::sparse(500_000, 200, true));
-    push("MonteCarlo", models::montecarlo(60_000, false), models::montecarlo(60_000, true));
-    push("RayTracer", models::raytracer(500, false), models::raytracer(500, true));
+    push(
+        "Crypt",
+        models::crypt(20_000_000, false),
+        models::crypt(20_000_000, true),
+    );
+    push(
+        "LUFact",
+        models::lufact(1000, false),
+        models::lufact(1000, true),
+    );
+    push(
+        "Series",
+        models::series(10_000, false),
+        models::series(10_000, true),
+    );
+    push(
+        "SOR",
+        models::sor(1000, 100, false),
+        models::sor(1000, 100, true),
+    );
+    push(
+        "Sparse",
+        models::sparse(500_000, 200, false),
+        models::sparse(500_000, 200, true),
+    );
+    push(
+        "MonteCarlo",
+        models::montecarlo(60_000, false),
+        models::montecarlo(60_000, true),
+    );
+    push(
+        "RayTracer",
+        models::raytracer(500, false),
+        models::raytracer(500, true),
+    );
     #[allow(dropping_copy_types, clippy::drop_non_drop)]
     {
         drop(push);
     }
     // MolDyn's model is thread-aware (thread-local arrays), so its
     // speed-up is computed against the 1-thread model explicitly.
-    let base = sim.run(&models::moldyn(8788, 50, 1, MolDynStrategy::ThreadLocal, machine, false), 1);
-    let jgf = base / sim.run(&models::moldyn(8788, 50, t, MolDynStrategy::ThreadLocal, machine, false), t);
-    let base_a = sim.run(&models::moldyn(8788, 50, 1, MolDynStrategy::ThreadLocal, machine, true), 1);
-    let aomp = base_a / sim.run(&models::moldyn(8788, 50, t, MolDynStrategy::ThreadLocal, machine, true), t);
-    rows.insert(5, Fig13Row { benchmark: "MolDyn", jgf, aomp });
+    let base = sim.run(
+        &models::moldyn(8788, 50, 1, MolDynStrategy::ThreadLocal, machine, false),
+        1,
+    );
+    let jgf = base
+        / sim.run(
+            &models::moldyn(8788, 50, t, MolDynStrategy::ThreadLocal, machine, false),
+            t,
+        );
+    let base_a = sim.run(
+        &models::moldyn(8788, 50, 1, MolDynStrategy::ThreadLocal, machine, true),
+        1,
+    );
+    let aomp = base_a
+        / sim.run(
+            &models::moldyn(8788, 50, t, MolDynStrategy::ThreadLocal, machine, true),
+            t,
+        );
+    rows.insert(
+        5,
+        Fig13Row {
+            benchmark: "MolDyn",
+            jgf,
+            aomp,
+        },
+    );
     rows
 }
 
+impl ToJson for Fig13Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("benchmark".to_owned(), Json::Str(self.benchmark.to_owned())),
+            ("jgf".to_owned(), Json::Num(self.jgf)),
+            ("aomp".to_owned(), Json::Num(self.aomp)),
+        ])
+    }
+}
+
 /// One Figure 15 bar: variant × particle count × thread count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15Row {
     /// Series label (`Critical`, `Locks`, `JGF`).
     pub variant: &'static str,
@@ -77,6 +138,17 @@ pub struct Fig15Row {
     /// Simulated speed-up over the 1-thread thread-local baseline
     /// (matching the paper's normalisation to the sequential run).
     pub speedup: f64,
+}
+
+impl ToJson for Fig15Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("variant".to_owned(), Json::Str(self.variant.to_owned())),
+            ("particles".to_owned(), Json::Num(self.particles as f64)),
+            ("threads".to_owned(), Json::Num(self.threads as f64)),
+            ("speedup".to_owned(), Json::Num(self.speedup)),
+        ])
+    }
 }
 
 /// Particle counts on the paper's Figure 15 x-axis.
@@ -93,31 +165,51 @@ pub fn fig15_series() -> Vec<Fig15Row> {
     for &t in &FIG15_THREADS {
         for strategy in [MolDynStrategy::Critical, MolDynStrategy::Locks] {
             for &n in &FIG15_SIZES {
-                let base = sim.run(&models::moldyn(n, 50, 1, MolDynStrategy::ThreadLocal, &machine, false), 1);
+                let base = sim.run(
+                    &models::moldyn(n, 50, 1, MolDynStrategy::ThreadLocal, &machine, false),
+                    1,
+                );
                 let this = sim.run(&models::moldyn(n, 50, t, strategy, &machine, false), t);
-                rows.push(Fig15Row { variant: strategy.label(), particles: n, threads: t, speedup: base / this });
+                rows.push(Fig15Row {
+                    variant: strategy.label(),
+                    particles: n,
+                    threads: t,
+                    speedup: base / this,
+                });
             }
         }
         // The paper shows the JGF (thread-local) series at its own size.
         let n = 8788;
-        let base = sim.run(&models::moldyn(n, 50, 1, MolDynStrategy::ThreadLocal, &machine, false), 1);
-        let this = sim.run(&models::moldyn(n, 50, t, MolDynStrategy::ThreadLocal, &machine, false), t);
-        rows.push(Fig15Row { variant: "JGF", particles: n, threads: t, speedup: base / this });
+        let base = sim.run(
+            &models::moldyn(n, 50, 1, MolDynStrategy::ThreadLocal, &machine, false),
+            1,
+        );
+        let this = sim.run(
+            &models::moldyn(n, 50, t, MolDynStrategy::ThreadLocal, &machine, false),
+            t,
+        );
+        rows.push(Fig15Row {
+            variant: "JGF",
+            particles: n,
+            threads: t,
+            speedup: base / this,
+        });
     }
     rows
 }
 
 /// Write any serialisable result set to `path` as pretty JSON (the
 /// `--json <path>` option of the figure binaries).
-pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
-    let s = serde_json::to_string_pretty(value).expect("results serialise");
-    std::fs::write(path, s)
+pub fn write_json<T: ToJson + ?Sized>(path: &str, value: &T) -> std::io::Result<()> {
+    std::fs::write(path, value.to_json().pretty())
 }
 
 /// Parse a `--json <path>` argument pair from the command line.
 pub fn json_arg() -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Render a simple ASCII bar.
@@ -137,7 +229,13 @@ mod tests {
             assert_eq!(rows.len(), 8);
             for r in &rows {
                 assert!(r.jgf > 0.9, "{} jgf {}", r.benchmark, r.jgf);
-                assert!((r.aomp - r.jgf).abs() / r.jgf < 0.02, "{}: {} vs {}", r.benchmark, r.jgf, r.aomp);
+                assert!(
+                    (r.aomp - r.jgf).abs() / r.jgf < 0.02,
+                    "{}: {} vs {}",
+                    r.benchmark,
+                    r.jgf,
+                    r.aomp
+                );
             }
         }
     }
@@ -155,7 +253,10 @@ mod tests {
             v.sort_by(|a, b| a.1.total_cmp(&b.1));
             [v[0].0, v[1].0]
         };
-        assert!(worst_two.contains(&"LUFact") && worst_two.contains(&"SOR"), "{worst_two:?}");
+        assert!(
+            worst_two.contains(&"LUFact") && worst_two.contains(&"SOR"),
+            "{worst_two:?}"
+        );
     }
 
     #[test]

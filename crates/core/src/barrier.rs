@@ -11,20 +11,28 @@
 //! deliberately short: on oversubscribed hosts (including the single-core
 //! CI container this reproduction runs on) long spinning starves the very
 //! thread being waited for.
+//!
+//! All parked waits are *bounded*: the park timeout caps how long a
+//! thread sleeps before re-checking the team's poison/cancel flags, so a
+//! panic, a [`cancel_team`](crate::ctx::cancel_team) or the stall
+//! watchdog can never leave siblings blocked forever. An explicit
+//! deadline variant ([`wait_timeout`](SenseBarrier::wait_timeout)) lets a
+//! caller give up on a round entirely.
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::error;
+use crate::error::{self, WaitTimedOut};
 
 /// Iterations of busy-waiting before parking on the condition variable.
 const SPIN_LIMIT: u32 = 64;
 
 /// Park timeout: bounds how long a thread sleeps before re-checking the
-/// team poison flag, so a panic elsewhere in the team cannot leave
-/// siblings blocked forever.
-const PARK_TIMEOUT: Duration = Duration::from_millis(5);
+/// team poison/cancel flags, so a panic (or cancellation) elsewhere in
+/// the team cannot leave siblings blocked forever. The stall watchdog
+/// piggybacks on the same loop: waiters re-register liveness every tick.
+pub(crate) const PARK_TIMEOUT: Duration = Duration::from_millis(5);
 
 /// A reusable sense-reversing barrier for a fixed-size team.
 #[derive(Debug)]
@@ -59,7 +67,8 @@ impl SenseBarrier {
     /// on exactly one thread per round (the last arriver), mirroring
     /// `std::sync::Barrier`'s leader token.
     pub fn wait(&self) -> bool {
-        self.wait_impl(None)
+        self.wait_inner(&|| {}, None)
+            .expect("unbounded barrier wait cannot time out")
     }
 
     /// Like [`wait`](Self::wait) but aborts (by panicking with
@@ -67,51 +76,84 @@ impl SenseBarrier {
     /// waiting — used inside teams so a panicking sibling cannot deadlock
     /// the region.
     pub fn wait_poisonable(&self, poison: &AtomicBool) -> bool {
-        self.wait_impl(Some(poison))
-    }
-
-    fn wait_impl(&self, poison: Option<&AtomicBool>) -> bool {
-        if let Some(p) = poison {
-            if p.load(Ordering::Acquire) {
+        self.wait_checked(&|| {
+            if poison.load(Ordering::Acquire) {
                 error::poisoned();
             }
-        }
+        })
+    }
+
+    /// Like [`wait`](Self::wait) but re-runs `check` before arrival and
+    /// on every park-timeout tick; `check` aborts the wait by panicking
+    /// (with `TeamPoisoned` or `Cancelled`). This is the hook team
+    /// primitives use for poison *and* cancellation handling.
+    pub(crate) fn wait_checked(&self, check: &dyn Fn()) -> bool {
+        self.wait_inner(check, None)
+            .expect("unbounded barrier wait cannot time out")
+    }
+
+    /// Barrier wait with a deadline: gives up (retracting this thread's
+    /// arrival so the barrier stays consistent) if the round does not
+    /// complete within `timeout`. Returns the leader token on success.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<bool, WaitTimedOut> {
+        self.wait_inner(&|| {}, Some(timeout))
+    }
+
+    fn wait_inner(
+        &self,
+        check: &dyn Fn(),
+        timeout: Option<Duration>,
+    ) -> Result<bool, WaitTimedOut> {
+        check();
+        let deadline = timeout.map(|t| Instant::now() + t);
         let local = !self.sense.load(Ordering::Acquire);
         let prev = self.count.fetch_add(1, Ordering::AcqRel);
-        debug_assert!(prev < self.n, "more threads than the barrier's team size called wait");
+        debug_assert!(
+            prev < self.n,
+            "more threads than the barrier's team size called wait"
+        );
         if prev + 1 == self.n {
-            // Last arriver: reset the counter for the next round *before*
-            // releasing this round, then flip the sense under the lock so
-            // parked waiters cannot miss the notification.
-            self.count.store(0, Ordering::Relaxed);
+            // Last arriver: reset the counter for the next round and flip
+            // the sense under the lock, so parked waiters cannot miss the
+            // notification and timed-out waiters cannot retract an
+            // arrival from an already-released round.
             {
                 let _g = self.lock.lock();
+                self.count.store(0, Ordering::Relaxed);
                 self.sense.store(local, Ordering::Release);
             }
             self.cv.notify_all();
-            true
+            Ok(true)
         } else {
             for _ in 0..SPIN_LIMIT {
                 if self.sense.load(Ordering::Acquire) == local {
-                    return false;
+                    return Ok(false);
                 }
                 std::hint::spin_loop();
             }
             let mut g = self.lock.lock();
             while self.sense.load(Ordering::Acquire) != local {
-                if let Some(p) = poison {
-                    if p.load(Ordering::Acquire) {
-                        error::poisoned();
+                check();
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        // Retract our arrival: under the lock the round
+                        // provably has not been released, so the counter
+                        // still includes us.
+                        self.count.fetch_sub(1, Ordering::AcqRel);
+                        return Err(WaitTimedOut {
+                            timeout: timeout.unwrap(),
+                        });
                     }
                 }
                 self.cv.wait_for(&mut g, PARK_TIMEOUT);
             }
-            false
+            Ok(false)
         }
     }
 
-    /// Wake all parked waiters so they can observe a freshly-set poison
-    /// flag. Called by the team when a member panics.
+    /// Wake all parked waiters so they can observe a freshly-set
+    /// poison/cancel flag. Called by the team when a member panics or the
+    /// team is cancelled.
     pub(crate) fn kick(&self) {
         let _g = self.lock.lock();
         drop(_g);
@@ -193,6 +235,34 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         poison.store(true, Ordering::Release);
         b.kick();
-        assert!(waiter.join().unwrap(), "waiter should unwind with TeamPoisoned");
+        assert!(
+            waiter.join().unwrap(),
+            "waiter should unwind with TeamPoisoned"
+        );
+    }
+
+    #[test]
+    fn wait_timeout_expires_and_barrier_recovers() {
+        let b = Arc::new(SenseBarrier::new(2));
+        let t0 = Instant::now();
+        let r = b.wait_timeout(Duration::from_millis(30));
+        assert!(r.is_err(), "no partner: the wait must time out");
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        // The timed-out arrival was retracted: a full round still works.
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.wait());
+        let lead = b.wait();
+        let other = h.join().unwrap();
+        assert!(lead ^ other, "exactly one leader after recovery");
+    }
+
+    #[test]
+    fn wait_timeout_succeeds_when_round_completes() {
+        let b = Arc::new(SenseBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.wait_timeout(Duration::from_secs(5)));
+        let lead = b.wait();
+        let other = h.join().unwrap().expect("round completed in time");
+        assert!(lead ^ other);
     }
 }

@@ -41,7 +41,9 @@ impl<'a, T> SyncSlice<'a, T> {
         // the same layout as T) and the unique borrow is surrendered for
         // the wrapper's lifetime.
         let ptr = data.as_mut_ptr() as *const UnsafeCell<T>;
-        Self { data: unsafe { std::slice::from_raw_parts(ptr, data.len()) } }
+        Self {
+            data: unsafe { std::slice::from_raw_parts(ptr, data.len()) },
+        }
     }
 
     /// Number of elements.
@@ -141,7 +143,9 @@ unsafe impl<T: Send> Send for SyncVec<T> {}
 impl<T> SyncVec<T> {
     /// Take ownership of `data` for shared use.
     pub fn new(data: Vec<T>) -> Self {
-        Self { data: data.into_iter().map(UnsafeCell::new).collect() }
+        Self {
+            data: data.into_iter().map(UnsafeCell::new).collect(),
+        }
     }
 
     /// Number of elements.

@@ -17,9 +17,34 @@
 //!   captured-lock variant, or share one handle across call sites for the
 //!   shared-lock variant.
 
-use parking_lot::{Mutex, ReentrantMutex};
+use parking_lot::{Mutex, ReentrantMutex, ReentrantMutexGuard};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
+
+use crate::barrier::PARK_TIMEOUT;
+use crate::ctx;
+use crate::error::WaitSite;
+
+/// Acquire a critical lock. Inside a team this is a *cancellation point*:
+/// the wait is chopped into bounded slices so a poisoned or cancelled
+/// team unwinds instead of blocking on a lock a dead sibling still
+/// holds, and the blocked thread is registered as a
+/// [`WaitSite::Critical`] for the stall watchdog.
+fn acquire(lock: &ReentrantMutex<()>) -> ReentrantMutexGuard<'_, ()> {
+    ctx::with_current(|c| match c {
+        None => lock.lock(),
+        Some(c) => {
+            c.shared.check_interrupt();
+            let _w = c.shared.begin_wait(c.tid, WaitSite::Critical);
+            loop {
+                if let Some(g) = lock.try_lock_for(PARK_TIMEOUT) {
+                    break g;
+                }
+                c.shared.check_interrupt();
+            }
+        }
+    })
+}
 
 /// Registry of process-wide named locks. Entries are never removed: lock
 /// names are static program structure (annotation ids), not data.
@@ -44,7 +69,7 @@ fn named_lock(name: &str) -> Arc<ReentrantMutex<()>> {
 /// re-entrant, and the paper replaces it).
 pub fn critical_named<R>(id: &str, f: impl FnOnce() -> R) -> R {
     let lock = named_lock(id);
-    let _g = lock.lock();
+    let _g = acquire(&lock);
     f()
 }
 
@@ -75,12 +100,15 @@ impl CriticalHandle {
     /// Handle to the process-wide named lock `id`; handles with equal ids
     /// exclude each other.
     pub fn named(id: &str) -> Self {
-        Self { lock: named_lock(id) }
+        Self {
+            lock: named_lock(id),
+        }
     }
 
-    /// Run `f` holding this lock.
+    /// Run `f` holding this lock. A cancellation point inside a team (see
+    /// [`critical_named`]).
     pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _g = self.lock.lock();
+        let _g = acquire(&self.lock);
         f()
     }
 
@@ -185,7 +213,10 @@ mod tests {
             hits: Unsync,
         }
         let particles: Vec<Particle> = (0..4)
-            .map(|_| Particle { lock: CriticalHandle::new(), hits: Unsync(std::cell::UnsafeCell::new(0)) })
+            .map(|_| Particle {
+                lock: CriticalHandle::new(),
+                hits: Unsync(std::cell::UnsafeCell::new(0)),
+            })
             .collect();
         parallel_with(RegionConfig::new().threads(4), || {
             for p in &particles {

@@ -16,6 +16,12 @@
 //! occurrence its own fresh shared state without any global registration.
 //! Slots are reference-counted by team size and freed once every member
 //! has detached.
+//!
+//! The team also carries the *interrupt* state of the robustness layer:
+//! the poison flag (a member panicked), the cancel flag (OpenMP 4.0
+//! `cancel parallel`, see [`cancel_team`]) and — when a stall watchdog is
+//! armed — a per-member wait-site registry plus a team-wide progress
+//! counter that the watchdog reads to distinguish "slow" from "stuck".
 
 use parking_lot::Mutex;
 use std::any::Any;
@@ -26,7 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::barrier::SenseBarrier;
-use crate::error;
+use crate::error::{self, Cancelled, WaitSite};
 
 /// Allocate a process-unique construct key. Every construct handle
 /// (`Single`, `Master`, `ForConstruct`, `Ordered`, …) calls this once at
@@ -41,6 +47,33 @@ struct SlotEntry {
     remaining: usize,
 }
 
+/// Wait-site bookkeeping, allocated only for watched teams (a stall
+/// deadline is armed).
+pub(crate) struct WatchState {
+    /// What each member is currently blocked on (`None` = running).
+    waiting: Mutex<Vec<Option<WaitSite>>>,
+    /// Bumped on every team-visible progress event: entering/leaving a
+    /// wait, every chunk handout, every broadcast publish. The watchdog
+    /// declares a stall only when this counter stops moving.
+    progress: AtomicU64,
+    /// Set by the watchdog when it declares a stall; holds the blocked
+    /// snapshot for [`RegionError::Stalled`](crate::error::RegionError).
+    stalled: Mutex<Option<Vec<(usize, WaitSite)>>>,
+    /// Tells the watchdog thread the region has completed.
+    shutdown: AtomicBool,
+}
+
+impl WatchState {
+    fn new(n: usize) -> Self {
+        Self {
+            waiting: Mutex::new(vec![None; n]),
+            progress: AtomicU64::new(0),
+            stalled: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+}
+
 /// State shared by all members of one team (one parallel-region
 /// execution).
 pub(crate) struct TeamShared {
@@ -52,16 +85,38 @@ pub(crate) struct TeamShared {
     pub barrier: SenseBarrier,
     /// Set when a member panicked; checked by blocking primitives.
     pub poisoned: AtomicBool,
+    /// Whether [`cancel_team`] may cancel this team (OpenMP requires the
+    /// `cancel` feature to be requested; the stall watchdog bypasses it).
+    pub cancellable: bool,
+    /// Set when the team was cancelled; checked at every cancellation
+    /// point.
+    pub cancelled: AtomicBool,
+    /// Present iff a stall watchdog is armed for this team.
+    pub watch: Option<WatchState>,
     slots: Mutex<HashMap<(u64, u64), SlotEntry>>,
 }
 
 impl TeamShared {
     pub fn new(n: usize, level: usize) -> Self {
+        Self::with_robustness(n, level, false, false)
+    }
+
+    /// Team with explicit robustness settings: `cancellable` enables
+    /// [`cancel_team`]; `watched` allocates the wait-site registry the
+    /// stall watchdog reads.
+    pub fn with_robustness(n: usize, level: usize, cancellable: bool, watched: bool) -> Self {
         Self {
             n,
             level,
             barrier: SenseBarrier::new(n),
             poisoned: AtomicBool::new(false),
+            cancellable,
+            cancelled: AtomicBool::new(false),
+            watch: if watched {
+                Some(WatchState::new(n))
+            } else {
+                None
+            },
             slots: Mutex::new(HashMap::new()),
         }
     }
@@ -107,10 +162,148 @@ impl TeamShared {
         }
     }
 
+    /// Check both interrupt flags: unwinds with
+    /// [`TeamPoisoned`](crate::error::TeamPoisoned) if a sibling
+    /// panicked, with [`Cancelled`] if the team was cancelled. Every
+    /// blocking primitive and chunk handout is a cancellation point via
+    /// this check.
+    #[inline]
+    pub fn check_interrupt(&self) {
+        if self.poisoned.load(Ordering::Acquire) {
+            error::poisoned();
+        }
+        if self.cancelled.load(Ordering::Acquire) {
+            error::cancelled();
+        }
+    }
+
     /// Mark the team poisoned and wake blocked members.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
         self.barrier.kick();
+    }
+
+    /// Mark the team cancelled and wake blocked members. `force` bypasses
+    /// the [`cancellable`](Self::cancellable) gate (used by the stall
+    /// watchdog). Returns whether the flag was set.
+    pub fn cancel(&self, force: bool) -> bool {
+        if !self.cancellable && !force {
+            return false;
+        }
+        self.cancelled.store(true, Ordering::Release);
+        self.bump_progress();
+        self.barrier.kick();
+        true
+    }
+
+    /// Record a team-visible progress event for the stall watchdog.
+    /// Cheap no-op on unwatched teams.
+    #[inline]
+    pub fn bump_progress(&self) {
+        if let Some(w) = &self.watch {
+            w.progress.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current progress counter (watched teams only; 0 otherwise).
+    pub fn progress(&self) -> u64 {
+        self.watch
+            .as_ref()
+            .map_or(0, |w| w.progress.load(Ordering::Relaxed))
+    }
+
+    /// Register `tid` as blocked at `site` until the returned guard
+    /// drops. No-op (and allocation-free) on unwatched teams.
+    pub fn begin_wait<'a>(&'a self, tid: usize, site: WaitSite) -> WaitGuard<'a> {
+        if let Some(w) = &self.watch {
+            w.waiting.lock()[tid] = Some(site);
+            w.progress.fetch_add(1, Ordering::Relaxed);
+            WaitGuard {
+                shared: Some((self, tid)),
+            }
+        } else {
+            WaitGuard { shared: None }
+        }
+    }
+
+    /// Snapshot of `(tid, site)` for every member currently blocked at a
+    /// wait site.
+    pub fn blocked_snapshot(&self) -> Vec<(usize, WaitSite)> {
+        match &self.watch {
+            None => Vec::new(),
+            Some(w) => w
+                .waiting
+                .lock()
+                .iter()
+                .enumerate()
+                .filter_map(|(tid, s)| s.map(|site| (tid, site)))
+                .collect(),
+        }
+    }
+
+    /// Record the watchdog's stall verdict (first verdict wins) and
+    /// force-cancel the team so blocked members unwind.
+    pub fn declare_stalled(&self, blocked: Vec<(usize, WaitSite)>) {
+        if let Some(w) = &self.watch {
+            let mut s = w.stalled.lock();
+            if s.is_none() {
+                *s = Some(blocked);
+            }
+        }
+        self.cancel(true);
+    }
+
+    /// Take the stall verdict, if the watchdog declared one.
+    pub fn take_stalled(&self) -> Option<Vec<(usize, WaitSite)>> {
+        self.watch.as_ref().and_then(|w| w.stalled.lock().take())
+    }
+
+    /// Whether the watchdog has declared a stall (non-consuming).
+    pub fn stall_declared(&self) -> bool {
+        self.watch
+            .as_ref()
+            .is_some_and(|w| w.stalled.lock().is_some())
+    }
+
+    /// Whether the watchdog (if any) was told the region completed.
+    pub fn watch_shutdown(&self) -> bool {
+        self.watch
+            .as_ref()
+            .is_some_and(|w| w.shutdown.load(Ordering::Acquire))
+    }
+
+    /// Tell the watchdog the region completed.
+    pub fn shutdown_watch(&self) {
+        if let Some(w) = &self.watch {
+            w.shutdown.store(true, Ordering::Release);
+        }
+    }
+
+    /// Team barrier entry with full interrupt handling: checked for
+    /// poison/cancel before and during the wait, registered as a
+    /// [`WaitSite::Barrier`] for the stall watchdog.
+    pub fn team_barrier(&self, tid: usize) -> bool {
+        self.check_interrupt();
+        let _w = self.begin_wait(tid, WaitSite::Barrier);
+        self.barrier.wait_checked(&|| self.check_interrupt())
+    }
+}
+
+/// RAII guard returned by [`TeamShared::begin_wait`]: clears the member's
+/// wait-site slot (and bumps progress) on drop — including when the wait
+/// unwinds with a poison/cancel panic.
+pub(crate) struct WaitGuard<'a> {
+    shared: Option<(&'a TeamShared, usize)>,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((shared, tid)) = self.shared {
+            if let Some(w) = &shared.watch {
+                w.waiting.lock()[tid] = None;
+                w.progress.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -124,7 +317,11 @@ pub(crate) struct TeamCtx {
 
 impl TeamCtx {
     fn new(shared: Arc<TeamShared>, tid: usize) -> Self {
-        Self { shared, tid, rounds: RefCell::new(HashMap::new()) }
+        Self {
+            shared,
+            tid,
+            rounds: RefCell::new(HashMap::new()),
+        }
     }
 
     /// The encounter round for construct `key` on this thread, counting
@@ -143,17 +340,18 @@ thread_local! {
 }
 
 /// RAII guard for team membership; popping in `Drop` keeps the context
-/// stack correct even when the region body panics, and poisons the team
-/// in that case so blocked siblings unwind too.
+/// stack correct even when the region body panics. Poisoning on panic is
+/// the region executor's job (it must distinguish real panics from benign
+/// `Cancelled` unwinds, which a `Drop` impl cannot).
 pub(crate) struct CtxGuard {
-    shared: Arc<TeamShared>,
+    _shared: Arc<TeamShared>,
 }
 
 impl CtxGuard {
     pub fn enter(shared: Arc<TeamShared>, tid: usize) -> Self {
         let ctx = Rc::new(TeamCtx::new(Arc::clone(&shared), tid));
         STACK.with(|s| s.borrow_mut().push(ctx));
-        Self { shared }
+        Self { _shared: shared }
     }
 }
 
@@ -162,9 +360,6 @@ impl Drop for CtxGuard {
         STACK.with(|s| {
             s.borrow_mut().pop();
         });
-        if std::thread::panicking() {
-            self.shared.poison();
-        }
     }
 }
 
@@ -201,11 +396,55 @@ pub fn in_parallel() -> bool {
 
 /// Team barrier: block until every thread of the innermost team arrives.
 /// Outside a parallel region this is a no-op, preserving sequential
-/// semantics.
+/// semantics. A cancellation point: unwinds with
+/// [`Cancelled`](crate::error::Cancelled) if the team was cancelled.
 pub fn barrier() {
     with_current(|c| {
         if let Some(c) = c {
-            c.shared.barrier.wait_poisonable(&c.shared.poisoned);
+            c.shared.team_barrier(c.tid);
+        }
+    })
+}
+
+/// Request cancellation of the innermost team — OpenMP 4.0's
+/// `#pragma omp cancel parallel`.
+///
+/// Returns `true` if the cancel flag was set: the calling thread must be
+/// inside a parallel region whose configuration opted in via
+/// [`RegionConfig::cancellable`](crate::region::RegionConfig::cancellable)
+/// (mirroring OpenMP, where cancellation must be activated). Returns
+/// `false` (a no-op) otherwise.
+///
+/// After a successful cancel, every sibling observes the flag at its next
+/// cancellation point — barrier entry, chunk handout of any schedule,
+/// critical-section entry, single/master broadcast waits, task
+/// spawns/joins, or an explicit [`cancellation_point`] — and skips to the
+/// end of the region. The region then reports
+/// [`RegionError::Cancelled`](crate::error::RegionError) through
+/// [`region::try_parallel`](crate::region::try_parallel) (the panicking
+/// API treats cancellation as a benign early exit).
+pub fn cancel_team() -> bool {
+    with_current(|c| c.is_some_and(|c| c.shared.cancel(false)))
+}
+
+/// Explicit cancellation point — OpenMP 4.0's
+/// `#pragma omp cancellation point parallel`.
+///
+/// Returns `Err(Cancelled)` if the innermost team has been cancelled, so
+/// user code can short-circuit long computations with `?` and return
+/// early; `Ok(())` otherwise (including outside any region). Also unwinds
+/// with [`TeamPoisoned`](crate::error::TeamPoisoned) if a sibling
+/// panicked, keeping poison semantics uniform.
+pub fn cancellation_point() -> Result<(), Cancelled> {
+    with_current(|c| match c {
+        None => Ok(()),
+        Some(c) => {
+            c.shared.check_poison();
+            if c.shared.cancelled.load(Ordering::Acquire) {
+                Err(Cancelled)
+            } else {
+                Ok(())
+            }
         }
     })
 }
@@ -221,6 +460,8 @@ mod tests {
         assert!(!in_parallel());
         assert_eq!(level(), 0);
         barrier(); // must not block
+        assert!(!cancel_team()); // no team to cancel
+        assert!(cancellation_point().is_ok());
     }
 
     #[test]
@@ -279,5 +520,54 @@ mod tests {
         let a = fresh_key();
         let b = fresh_key();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cancel_respects_cancellable_gate() {
+        let plain = TeamShared::new(2, 1);
+        assert!(!plain.cancel(false), "non-cancellable team refuses cancel");
+        assert!(!plain.cancelled.load(Ordering::Acquire));
+        assert!(
+            plain.cancel(true),
+            "force (watchdog) cancel bypasses the gate"
+        );
+        assert!(plain.cancelled.load(Ordering::Acquire));
+
+        let c = TeamShared::with_robustness(2, 1, true, false);
+        assert!(c.cancel(false));
+        assert!(c.cancelled.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn wait_registry_tracks_blocked_members() {
+        let t = TeamShared::with_robustness(3, 1, false, true);
+        assert!(t.blocked_snapshot().is_empty());
+        let p0 = t.progress();
+        {
+            let _g1 = t.begin_wait(1, WaitSite::Barrier);
+            let _g2 = t.begin_wait(2, WaitSite::Critical);
+            let snap = t.blocked_snapshot();
+            assert_eq!(snap, vec![(1, WaitSite::Barrier), (2, WaitSite::Critical)]);
+        }
+        assert!(t.blocked_snapshot().is_empty());
+        assert!(t.progress() > p0, "wait entry/exit count as progress");
+    }
+
+    #[test]
+    fn unwatched_team_skips_registry() {
+        let t = TeamShared::new(2, 1);
+        let _g = t.begin_wait(0, WaitSite::Barrier);
+        assert!(t.blocked_snapshot().is_empty());
+        assert_eq!(t.progress(), 0);
+    }
+
+    #[test]
+    fn declare_stalled_first_verdict_wins() {
+        let t = TeamShared::with_robustness(2, 1, false, true);
+        t.declare_stalled(vec![(0, WaitSite::Barrier)]);
+        t.declare_stalled(vec![(1, WaitSite::Ordered)]);
+        assert!(t.cancelled.load(Ordering::Acquire), "stall force-cancels");
+        assert_eq!(t.take_stalled(), Some(vec![(0, WaitSite::Barrier)]));
+        assert_eq!(t.take_stalled(), None);
     }
 }

@@ -24,6 +24,13 @@
 //! * **Data sharing** ([`threadlocal`]) — `@ThreadLocalField` per-thread
 //!   copies with the paper's read-initialisation rule and `@Reduce` merge
 //!   points via the [`threadlocal::Reducer`] trait.
+//! * **Robustness** ([`error`], [`region::try_parallel`]) — panic
+//!   poisoning, OpenMP 4.0-style team cancellation
+//!   ([`ctx::cancel_team`] / [`ctx::cancellation_point`]), bounded waits,
+//!   and a stall watchdog
+//!   ([`RegionConfig::stall_deadline`](region::RegionConfig::stall_deadline))
+//!   that converts deadlocks and hung workers into
+//!   [`RegionError::Stalled`](error::RegionError) diagnoses.
 //!
 //! Sequential semantics are intrinsic: every construct degrades to plain
 //! sequential execution when no team is active, so a program whose
@@ -54,7 +61,6 @@
 //! assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum::<i64>());
 //! ```
 
-
 #![warn(missing_docs)]
 
 pub mod barrier;
@@ -76,10 +82,15 @@ pub mod workshare;
 /// Convenient glob import for typical AOmpLib-style programs.
 pub mod prelude {
     pub use crate::critical::{critical, critical_named, CriticalHandle};
-    pub use crate::ctx::{barrier, in_parallel, team_size, thread_id};
-    pub use crate::range::LoopRange;
-    pub use crate::reduction::{FnReducer, MaxReducer, MinReducer, ProdReducer, SumReducer, VecSumReducer};
+    pub use crate::ctx::{
+        barrier, cancel_team, cancellation_point, in_parallel, team_size, thread_id,
+    };
+    pub use crate::error::{Cancelled, RegionError, TaskPanicked, WaitSite, WaitTimedOut};
     pub use crate::pool::TeamPool;
+    pub use crate::range::LoopRange;
+    pub use crate::reduction::{
+        FnReducer, MaxReducer, MinReducer, ProdReducer, SumReducer, VecSumReducer,
+    };
     pub use crate::region::{self, RegionConfig};
     pub use crate::runtime;
     pub use crate::schedule::Schedule;

@@ -62,7 +62,12 @@ impl TeamPool {
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "a team pool needs at least one thread");
         let shared = Arc::new(PoolShared {
-            job: Mutex::new(Job { generation: 0, body: None, team: None, shutdown: false }),
+            job: Mutex::new(Job {
+                generation: 0,
+                body: None,
+                team: None,
+                shutdown: false,
+            }),
             start: Condvar::new(),
             done: Mutex::new(0),
             done_cv: Condvar::new(),
@@ -79,7 +84,11 @@ impl TeamPool {
                     .expect("failed to spawn aomp pool worker")
             })
             .collect();
-        Self { shared, handles, size: threads }
+        Self {
+            shared,
+            handles,
+            size: threads,
+        }
     }
 
     /// Team size of this pool.
@@ -94,7 +103,11 @@ impl TeamPool {
     where
         F: Fn() + Sync,
     {
-        let n = if crate::runtime::parallel_enabled() { self.size } else { 1 };
+        let n = if crate::runtime::parallel_enabled() {
+            self.size
+        } else {
+            1
+        };
         let team = Arc::new(TeamShared::new(n, crate::ctx::level() + 1));
         if n == 1 {
             let _guard = CtxGuard::enter(team, 0);
@@ -109,7 +122,9 @@ impl TeamPool {
         // completion wait below ensures no worker touches the pointer
         // after this frame ends.
         let wide: &(dyn Fn() + Sync) = &body;
-        let ptr = BodyPtr(unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(wide) });
+        let ptr = BodyPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(wide)
+        });
 
         let generation = self.shared.generation.fetch_add(1, Ordering::Relaxed) + 1;
         {
@@ -175,7 +190,10 @@ fn worker_loop(shared: Arc<PoolShared>, tid: usize) {
                 shared.start.wait(&mut job);
             }
             last_generation = job.generation;
-            (job.body.expect("job body set"), job.team.clone().expect("job team set"))
+            (
+                job.body.expect("job body set"),
+                job.team.clone().expect("job team set"),
+            )
         };
         let result = {
             let _guard = CtxGuard::enter(Arc::clone(&team), tid);

@@ -102,7 +102,11 @@ impl LoopRange {
     /// Iterate over the elements of the range.
     #[inline]
     pub fn iter(&self) -> LoopRangeIter {
-        LoopRangeIter { next: self.start, remaining: self.count(), step: self.step }
+        LoopRangeIter {
+            next: self.start,
+            remaining: self.count(),
+            step: self.step,
+        }
     }
 }
 

@@ -62,7 +62,11 @@ pub struct VecSumReducer;
 
 impl<T: std::ops::AddAssign + Copy> Reducer<Vec<T>> for VecSumReducer {
     fn merge(&self, acc: &mut Vec<T>, v: Vec<T>) {
-        assert_eq!(acc.len(), v.len(), "VecSumReducer requires equal-length vectors");
+        assert_eq!(
+            acc.len(),
+            v.len(),
+            "VecSumReducer requires equal-length vectors"
+        );
         for (a, b) in acc.iter_mut().zip(v) {
             *a += b;
         }
@@ -172,15 +176,21 @@ mod tests {
 
     #[test]
     fn parallel_reduce_matches_sequential() {
-        let par = parallel_reduce(RegionConfig::new().threads(4), 0u64, &SumReducer, |tid| (tid as u64 + 1) * 11);
+        let par = parallel_reduce(RegionConfig::new().threads(4), 0u64, &SumReducer, |tid| {
+            (tid as u64 + 1) * 11
+        });
         let seq = sequential_reduce(4, 0u64, &SumReducer, |tid| (tid as u64 + 1) * 11);
         assert_eq!(par, seq);
     }
 
     #[test]
     fn parallel_reduce_min() {
-        let v =
-            parallel_reduce(RegionConfig::new().threads(3), i64::MAX, &MinReducer, |tid| 100 - tid as i64);
+        let v = parallel_reduce(
+            RegionConfig::new().threads(3),
+            i64::MAX,
+            &MinReducer,
+            |tid| 100 - tid as i64,
+        );
         assert_eq!(v, 98);
     }
 }

@@ -6,10 +6,41 @@
 //! the body ends (paper Figure 9). This module is the runtime that the
 //! `ParallelRegion` aspect (crate `aomp-weaver`) and the `#[parallel]`
 //! annotation (crate `aomp-macros`) both dispatch into.
+//!
+//! # Failure semantics
+//!
+//! Two API surfaces over one executor:
+//!
+//! * [`parallel`] / [`parallel_with`] — the classic panicking API: a team
+//!   thread's panic poisons the team (unblocking siblings) and is
+//!   re-raised on the caller; cancellation is a benign early exit; a
+//!   watchdog-declared stall panics with the diagnosis.
+//! * [`try_parallel`] / [`try_parallel_with`] — the fallible API:
+//!   returns [`RegionError::Panicked`], [`RegionError::Cancelled`] or
+//!   [`RegionError::Stalled`] instead.
+//!
+//! Cancellation follows OpenMP 4.0's `cancel parallel` model: opt in with
+//! [`RegionConfig::cancellable`], request with
+//! [`cancel_team`](crate::ctx::cancel_team), observe at every
+//! cancellation point (barriers, chunk handouts, critical entry,
+//! broadcasts, task joins, explicit
+//! [`cancellation_point`](crate::ctx::cancellation_point)).
+//!
+//! [`RegionConfig::stall_deadline`] arms a watchdog thread that
+//! force-cancels the team when it stops making progress while members sit
+//! blocked in synchronisation primitives — converting a deadlock or a
+//! hung worker into a diagnosable [`RegionError::Stalled`] naming each
+//! blocked thread's wait site.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
 
 use crate::ctx::{self, CtxGuard, TeamShared};
+use crate::error::{self, Cancelled, RegionError, TeamPoisoned, WaitSite};
 use crate::runtime;
 
 /// Configuration of a parallel region — the Rust analogue of
@@ -25,6 +56,11 @@ pub struct RegionConfig {
     nested: Option<bool>,
     /// OpenMP `if` clause: when `false` the region runs with one thread.
     only_if: Option<bool>,
+    /// Opt-in for [`cancel_team`](crate::ctx::cancel_team) (OpenMP 4.0
+    /// requires cancellation to be activated).
+    cancellable: Option<bool>,
+    /// Arm the stall watchdog with this deadline.
+    stall_deadline: Option<Duration>,
 }
 
 impl RegionConfig {
@@ -55,6 +91,29 @@ impl RegionConfig {
         self
     }
 
+    /// Allow [`cancel_team`](crate::ctx::cancel_team) to cancel this
+    /// team (OpenMP 4.0's `cancel` must be activated; default `false`).
+    /// The stall watchdog cancels regardless of this flag.
+    pub fn cancellable(mut self, on: bool) -> Self {
+        self.cancellable = Some(on);
+        self
+    }
+
+    /// Arm a stall watchdog: if the team makes no progress (no chunk
+    /// handouts, no wait-site transitions) for `deadline` while at least
+    /// one member is blocked in a team synchronisation primitive, the
+    /// team is force-cancelled and the region reports
+    /// [`RegionError::Stalled`] with each blocked thread's wait site.
+    ///
+    /// Choose a deadline longer than the region's longest
+    /// synchronisation-free compute phase: the watchdog cannot
+    /// distinguish a slow chunk from a hung one.
+    pub fn stall_deadline(mut self, deadline: Duration) -> Self {
+        assert!(!deadline.is_zero(), "stall deadline must be non-zero");
+        self.stall_deadline = Some(deadline);
+        self
+    }
+
     fn resolve_threads(&self) -> usize {
         let n = self.threads.unwrap_or_else(runtime::default_threads);
         if !runtime::parallel_enabled() || self.only_if == Some(false) {
@@ -64,6 +123,10 @@ impl RegionConfig {
             return 1;
         }
         n
+    }
+
+    fn effective_stall_deadline(&self) -> Option<Duration> {
+        self.stall_deadline.or_else(runtime::default_stall_deadline)
     }
 }
 
@@ -76,7 +139,8 @@ impl RegionConfig {
 /// If any team thread panics the team is poisoned (siblings blocked in
 /// team synchronisation unwind with
 /// [`TeamPoisoned`](crate::error::TeamPoisoned)) and the panic propagates
-/// to the caller.
+/// to the caller. Cancellation is treated as a successful early exit; use
+/// [`try_parallel`] to observe it.
 pub fn parallel<F>(body: F)
 where
     F: Fn() + Sync,
@@ -85,40 +149,62 @@ where
 }
 
 /// Execute `body` as a parallel region with an explicit [`RegionConfig`].
+/// See [`parallel`] for the panic/cancel semantics.
 pub fn parallel_with<F>(cfg: RegionConfig, body: F)
 where
     F: Fn() + Sync,
 {
-    let n = cfg.resolve_threads();
-    let level = ctx::level() + 1;
-    let shared = Arc::new(TeamShared::new(n, level));
-
-    if n == 1 {
-        // Sequential semantics: still push a (size-1) team context so
-        // constructs observe consistent `thread_id`/`team_size` values.
-        let _guard = CtxGuard::enter(shared, 0);
-        body();
-        return;
-    }
-
-    std::thread::scope(|scope| {
-        // Paper Figure 9: spawn n-1 workers; the master executes the body
-        // itself and then joins the spawned threads (done implicitly by
-        // `std::thread::scope`, which also re-raises their panics).
-        for tid in 1..n {
-            let shared = Arc::clone(&shared);
-            let body = &body;
-            std::thread::Builder::new()
-                .name(format!("aomp-l{}-t{tid}", shared.level))
-                .spawn_scoped(scope, move || {
-                    let _guard = CtxGuard::enter(shared, tid);
-                    body();
-                })
-                .expect("failed to spawn aomp team thread");
+    match run_region(cfg, body) {
+        RawOutcome::Completed | RawOutcome::Cancelled => {}
+        RawOutcome::Stalled(blocked) => {
+            panic!("{}", RegionError::Stalled { blocked })
         }
-        let _guard = CtxGuard::enter(Arc::clone(&shared), 0);
-        body();
-    });
+        RawOutcome::Panicked(payload) => resume_unwind(payload),
+    }
+}
+
+/// Fallible variant of [`parallel`]: reports team panics, cancellation
+/// and watchdog-declared stalls as a [`RegionError`] instead of
+/// panicking.
+pub fn try_parallel<F>(body: F) -> Result<(), RegionError>
+where
+    F: Fn() + Sync,
+{
+    try_parallel_with(RegionConfig::default(), body)
+}
+
+/// Fallible variant of [`parallel_with`].
+///
+/// Returns `Err(RegionError::Panicked)` if any member panicked (first
+/// payload wins, summarised as a message), `Err(RegionError::Cancelled)`
+/// after a [`cancel_team`](crate::ctx::cancel_team), and
+/// `Err(RegionError::Stalled)` when the watchdog armed by
+/// [`RegionConfig::stall_deadline`] declared the region stuck.
+///
+/// # Stall recovery caveat
+///
+/// A region with a stall deadline runs its workers detached (not scoped)
+/// so the caller can be released even when a worker is wedged in user
+/// code and never reaches a cancellation point. On a `Stalled` return,
+/// members blocked in library primitives have been woken and joined, but
+/// a member stuck inside user code (e.g. an unbounded sleep or an
+/// external call that never returns) is *abandoned*: it still holds
+/// references to the region body and its captures. Such a thread must
+/// never resume — treat the data it captures as leaked for the process
+/// lifetime. This is the deliberate trade against the alternative, which
+/// is deadlocking the caller forever.
+pub fn try_parallel_with<F>(cfg: RegionConfig, body: F) -> Result<(), RegionError>
+where
+    F: Fn() + Sync,
+{
+    match run_region(cfg, body) {
+        RawOutcome::Completed => Ok(()),
+        RawOutcome::Cancelled => Err(RegionError::Cancelled),
+        RawOutcome::Stalled(blocked) => Err(RegionError::Stalled { blocked }),
+        RawOutcome::Panicked(payload) => Err(RegionError::Panicked {
+            payload_msg: error::payload_msg(payload.as_ref()),
+        }),
+    }
 }
 
 /// Execute `body` on a team and collect each thread's return value,
@@ -129,7 +215,6 @@ where
     F: Fn(usize) -> T + Sync,
     T: Send,
 {
-    use parking_lot::Mutex;
     let n = cfg.resolve_threads();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     {
@@ -147,10 +232,298 @@ where
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Executor internals
+// ---------------------------------------------------------------------
+
+enum RawOutcome {
+    Completed,
+    Cancelled,
+    Stalled(Vec<(usize, WaitSite)>),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// First *real* panic payload of the team (benign `Cancelled` /
+/// `TeamPoisoned` unwinds are filtered out by [`record_member_exit`]).
+type PayloadSlot = Mutex<Option<Box<dyn std::any::Any + Send>>>;
+
+/// Classify one member's exit. Benign unwinds (`Cancelled` from a
+/// cancellation point, `TeamPoisoned` echoes of a sibling's panic) are
+/// absorbed; a real panic poisons the team and its payload is kept
+/// (first wins).
+fn record_member_exit(
+    shared: &TeamShared,
+    payload: &PayloadSlot,
+    r: Result<(), Box<dyn std::any::Any + Send>>,
+) {
+    let Err(p) = r else { return };
+    if p.downcast_ref::<TeamPoisoned>().is_some() {
+        return;
+    }
+    if p.downcast_ref::<Cancelled>().is_some() {
+        // A `Cancelled` unwind outside an actual team cancel (user code
+        // re-raising it) still must not strand siblings at barriers.
+        shared.cancel(true);
+        return;
+    }
+    shared.poison();
+    let mut slot = payload.lock();
+    if slot.is_none() {
+        *slot = Some(p);
+    }
+}
+
+fn classify(shared: &TeamShared, payload: &PayloadSlot) -> RawOutcome {
+    if let Some(p) = payload.lock().take() {
+        return RawOutcome::Panicked(p);
+    }
+    if let Some(blocked) = shared.take_stalled() {
+        return RawOutcome::Stalled(blocked);
+    }
+    if shared.cancelled.load(Ordering::Acquire) {
+        return RawOutcome::Cancelled;
+    }
+    RawOutcome::Completed
+}
+
+fn run_region<F>(cfg: RegionConfig, body: F) -> RawOutcome
+where
+    F: Fn() + Sync,
+{
+    let n = cfg.resolve_threads();
+    let deadline = cfg.effective_stall_deadline();
+    let level = ctx::level() + 1;
+    let shared = Arc::new(TeamShared::with_robustness(
+        n,
+        level,
+        cfg.cancellable.unwrap_or(false),
+        deadline.is_some(),
+    ));
+    let payload: PayloadSlot = Mutex::new(None);
+
+    if n == 1 {
+        // Sequential semantics: still push a (size-1) team context so
+        // constructs observe consistent `thread_id`/`team_size` values.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = CtxGuard::enter(Arc::clone(&shared), 0);
+            body();
+        }));
+        record_member_exit(&shared, &payload, r);
+        return classify(&shared, &payload);
+    }
+
+    match deadline {
+        None => scoped_region(n, &shared, &payload, &body),
+        Some(d) => detached_region(n, d, &shared, &payload, &body),
+    }
+    classify(&shared, &payload)
+}
+
+/// The default executor: scoped threads, full join — panic/cancel safe,
+/// no watchdog. Mirrors paper Figure 9: spawn n−1 workers, the master
+/// executes the body itself, `std::thread::scope` joins the rest.
+fn scoped_region<F>(n: usize, shared: &Arc<TeamShared>, payload: &PayloadSlot, body: &F)
+where
+    F: Fn() + Sync,
+{
+    std::thread::scope(|scope| {
+        for tid in 1..n {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("aomp-l{}-t{tid}", shared.level))
+                .spawn_scoped(scope, move || {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        let _guard = CtxGuard::enter(Arc::clone(&shared), tid);
+                        body();
+                    }));
+                    record_member_exit(&shared, payload, r);
+                })
+                .expect("failed to spawn aomp team thread");
+        }
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = CtxGuard::enter(Arc::clone(shared), 0);
+            body();
+        }));
+        record_member_exit(shared, payload, r);
+    });
+}
+
+/// Completion latch for detached workers.
+///
+/// The latch is also the abandonment gate: a worker's exit record (which
+/// touches the master's stack-resident payload slot) and the master's
+/// decision to give up are serialised under one lock, so once `closed`
+/// is observed set, no straggler will ever touch master-owned memory
+/// again — that is what makes returning from [`detached_region`] sound.
+struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    closed: bool,
+}
+
+impl Latch {
+    /// Worker exit: records the result unless the master already closed
+    /// the latch (in which case master-owned memory may be gone and the
+    /// result is dropped — the stall verdict supersedes it anyway).
+    fn finish(
+        &self,
+        shared: &TeamShared,
+        payload: &PayloadSlot,
+        r: Result<(), Box<dyn std::any::Any + Send>>,
+    ) {
+        let mut st = self.state.lock();
+        if st.closed {
+            return;
+        }
+        record_member_exit(shared, payload, r);
+        st.remaining -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Wait until all workers finished, or — only once `give_up_after`
+    /// yields a deadline — until that deadline passes, closing the latch.
+    /// Returns `true` when fully joined.
+    fn join(&self, mut give_up_after: impl FnMut() -> Option<Instant>) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            if st.remaining == 0 {
+                return true;
+            }
+            if let Some(d) = give_up_after() {
+                if Instant::now() >= d {
+                    st.closed = true;
+                    return false;
+                }
+            }
+            self.cv.wait_for(&mut st, crate::barrier::PARK_TIMEOUT);
+        }
+    }
+}
+
+/// Watchdog-armed executor: workers are detached so a wedged member
+/// cannot hold the caller hostage (see the caveat on
+/// [`try_parallel_with`]). A sidecar watchdog thread polls the team's
+/// progress counter and wait-site registry; on a stall it force-cancels
+/// the team, wakes every parked waiter, and the master abandons any
+/// straggler after a short grace period.
+fn detached_region<F>(
+    n: usize,
+    deadline: Duration,
+    shared: &Arc<TeamShared>,
+    payload: &PayloadSlot,
+    body: &F,
+) where
+    F: Fn() + Sync,
+{
+    let latch = Arc::new(Latch {
+        state: Mutex::new(LatchState {
+            remaining: n - 1,
+            closed: false,
+        }),
+        cv: Condvar::new(),
+    });
+    // Sharing across detached threads requires erasing the body's and
+    // payload slot's lifetimes. SAFETY: every dereference is bounded by
+    // the join below — except for abandoned stragglers on the stall
+    // path, which by contract (see `try_parallel_with`) never resume.
+    let body_ref: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) };
+    let payload_ref: &'static PayloadSlot =
+        unsafe { std::mem::transmute::<&PayloadSlot, &'static PayloadSlot>(payload) };
+
+    for tid in 1..n {
+        let shared = Arc::clone(shared);
+        let latch = Arc::clone(&latch);
+        std::thread::Builder::new()
+            .name(format!("aomp-l{}-t{tid}", shared.level))
+            .spawn(move || {
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    let _guard = CtxGuard::enter(Arc::clone(&shared), tid);
+                    body_ref();
+                }));
+                latch.finish(&shared, payload_ref, r);
+            })
+            .expect("failed to spawn aomp team thread");
+    }
+
+    let watchdog = spawn_watchdog(Arc::clone(shared), deadline);
+
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = CtxGuard::enter(Arc::clone(shared), 0);
+        body();
+    }));
+    record_member_exit(shared, payload, r);
+
+    // Join the workers. Normal completion waits indefinitely; once the
+    // watchdog declared a stall, wait only a grace period (enough for
+    // members parked in library primitives to observe the cancel and
+    // unwind), then abandon stragglers wedged in user code.
+    let grace = deadline.min(Duration::from_millis(100));
+    let mut grace_deadline: Option<Instant> = None;
+    latch.join(|| {
+        if shared.stall_declared() {
+            Some(*grace_deadline.get_or_insert_with(|| Instant::now() + grace))
+        } else {
+            None
+        }
+    });
+    shared.shutdown_watch();
+    drop(watchdog); // detached; exits on its next poll tick
+}
+
+fn spawn_watchdog(shared: Arc<TeamShared>, deadline: Duration) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("aomp-watchdog".into())
+        .spawn(move || {
+            // Poll a few times per deadline, in short slices so region
+            // completion ends the thread promptly.
+            let poll = (deadline / 8).max(Duration::from_millis(1));
+            let slice = poll.min(Duration::from_millis(10));
+            let mut last_progress = shared.progress();
+            let mut last_change = Instant::now();
+            loop {
+                let mut slept = Duration::ZERO;
+                while slept < poll {
+                    if shared.watch_shutdown() {
+                        return;
+                    }
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if shared.watch_shutdown() {
+                    return;
+                }
+                let p = shared.progress();
+                if p != last_progress {
+                    last_progress = p;
+                    last_change = Instant::now();
+                    continue;
+                }
+                if last_change.elapsed() < deadline {
+                    continue;
+                }
+                let blocked = shared.blocked_snapshot();
+                if blocked.is_empty() {
+                    // No member parked in a library primitive: threads
+                    // are (presumably) computing. Not a stall we can
+                    // adjudicate — keep watching.
+                    continue;
+                }
+                shared.declare_stalled(blocked);
+                return;
+            }
+        })
+        .expect("failed to spawn aomp watchdog")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ctx::{team_size, thread_id};
+    use crate::ctx::{cancel_team, cancellation_point, team_size, thread_id};
     use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex as StdMutex;
@@ -283,5 +656,144 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = RegionConfig::new().threads(0);
+    }
+
+    #[test]
+    fn try_parallel_reports_panic() {
+        let r = try_parallel_with(RegionConfig::new().threads(2), || {
+            if thread_id() == 1 {
+                panic!("deliberate failure");
+            }
+            crate::ctx::barrier();
+        });
+        match r {
+            Err(RegionError::Panicked { payload_msg }) => {
+                assert_eq!(payload_msg, "deliberate failure");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parallel_ok_on_success() {
+        let count = AtomicUsize::new(0);
+        let r = try_parallel(|| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(r.is_ok());
+        assert!(count.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn cancel_team_reports_cancelled() {
+        let r = try_parallel_with(RegionConfig::new().threads(3).cancellable(true), || {
+            if thread_id() == 1 {
+                assert!(cancel_team());
+            }
+            // Everyone eventually reaches a cancellation point.
+            loop {
+                if cancellation_point().is_err() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(r, Err(RegionError::Cancelled));
+    }
+
+    #[test]
+    fn cancel_requires_cancellable() {
+        let cancelled = AtomicUsize::new(0);
+        let r = try_parallel_with(RegionConfig::new().threads(2), || {
+            if !cancel_team() {
+                cancelled.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(r.is_ok(), "cancel refused => region completes normally");
+        assert_eq!(cancelled.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cancelled_region_panicking_api_is_silent() {
+        // The panicking API treats cancellation as a benign early exit.
+        parallel_with(RegionConfig::new().threads(2).cancellable(true), || {
+            cancel_team();
+            crate::ctx::barrier(); // unwinds with Cancelled; swallowed
+        });
+    }
+
+    #[test]
+    fn watchdog_converts_hang_to_stalled() {
+        let deadline = Duration::from_millis(150);
+        let t0 = Instant::now();
+        let r = try_parallel_with(
+            RegionConfig::new().threads(3).stall_deadline(deadline),
+            || {
+                if thread_id() == 2 {
+                    // Wedged in "user code": sleeps past any deadline and
+                    // never reaches a cancellation point.
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+                crate::ctx::barrier();
+            },
+        );
+        let elapsed = t0.elapsed();
+        match r {
+            Err(RegionError::Stalled { blocked }) => {
+                let tids: Vec<usize> = blocked.iter().map(|(t, _)| *t).collect();
+                assert!(
+                    tids.contains(&0) && tids.contains(&1),
+                    "barrier waiters named: {tids:?}"
+                );
+                assert!(
+                    !tids.contains(&2),
+                    "the wedged thread is not at a wait site"
+                );
+                assert!(blocked.iter().all(|(_, s)| *s == WaitSite::Barrier));
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        assert!(
+            elapsed < deadline * 4,
+            "returned within bounded time, took {elapsed:?}"
+        );
+        // The runtime is usable afterwards.
+        let count = AtomicUsize::new(0);
+        parallel_with(RegionConfig::new().threads(2), || {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn watchdog_does_not_fire_on_healthy_region() {
+        let sum = AtomicUsize::new(0);
+        let r = try_parallel_with(
+            RegionConfig::new()
+                .threads(4)
+                .stall_deadline(Duration::from_secs(30)),
+            || {
+                for _ in 0..5 {
+                    sum.fetch_add(1, Ordering::SeqCst);
+                    crate::ctx::barrier();
+                }
+            },
+        );
+        assert!(r.is_ok());
+        assert_eq!(sum.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn default_stall_deadline_applies() {
+        let _g = runtime::STALL_TEST_LOCK.lock().unwrap();
+        runtime::set_default_stall_deadline(Some(Duration::from_millis(150)));
+        let r = try_parallel_with(RegionConfig::new().threads(2), || {
+            if thread_id() == 1 {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+            crate::ctx::barrier();
+        });
+        runtime::set_default_stall_deadline(None);
+        assert!(matches!(r, Err(RegionError::Stalled { .. })), "got {r:?}");
     }
 }

@@ -5,14 +5,17 @@
 //! kill switch that forces sequential execution (the paper's "programs can
 //! be valid if annotations for parallelisation are ignored").
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Duration;
 
 /// Environment variable controlling the default team size.
 pub const NUM_THREADS_ENV: &str = "AOMP_NUM_THREADS";
 
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 static PARALLEL_ENABLED: AtomicBool = AtomicBool::new(true);
+/// Default stall deadline in nanoseconds; 0 = no watchdog.
+static DEFAULT_STALL_NANOS: AtomicU64 = AtomicU64::new(0);
 
 fn env_default() -> usize {
     static ENV: OnceLock<usize> = OnceLock::new();
@@ -24,7 +27,9 @@ fn env_default() -> usize {
                 }
             }
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     })
 }
 
@@ -64,6 +69,37 @@ pub fn parallel_enabled() -> bool {
     PARALLEL_ENABLED.load(Ordering::Relaxed)
 }
 
+/// Arm (or with `None`, disarm) a process-wide default stall deadline.
+///
+/// Every parallel region whose own configuration does not set
+/// [`RegionConfig::stall_deadline`](crate::region::RegionConfig::stall_deadline)
+/// inherits this value — a one-line way to make a whole application's
+/// regions hang-proof. Per-region settings always win.
+pub fn set_default_stall_deadline(deadline: Option<Duration>) {
+    let nanos = match deadline {
+        None => 0,
+        Some(d) => {
+            assert!(!d.is_zero(), "stall deadline must be non-zero");
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+        }
+    };
+    DEFAULT_STALL_NANOS.store(nanos, Ordering::Relaxed);
+}
+
+/// The process-wide default stall deadline, if one is armed.
+pub fn default_stall_deadline() -> Option<Duration> {
+    match DEFAULT_STALL_NANOS.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(Duration::from_nanos(n)),
+    }
+}
+
+/// Serialises tests that mutate the process-global stall deadline — a
+/// concurrent reset mid-test could disarm another test's watchdog and
+/// deadlock it.
+#[cfg(test)]
+pub(crate) static STALL_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +122,15 @@ mod tests {
     #[should_panic(expected = ">= 1")]
     fn zero_default_rejected() {
         set_default_threads(0);
+    }
+
+    #[test]
+    fn stall_deadline_round_trips() {
+        let _g = STALL_TEST_LOCK.lock().unwrap();
+        set_default_stall_deadline(Some(Duration::from_millis(250)));
+        assert_eq!(default_stall_deadline(), Some(Duration::from_millis(250)));
+        set_default_stall_deadline(None);
+        assert_eq!(default_stall_deadline(), None);
     }
 
     #[test]

@@ -75,9 +75,15 @@ impl Schedule {
         match kind {
             "staticBlock" | "static_block" | "static" => Some(Schedule::StaticBlock),
             "staticCyclic" | "static_cyclic" | "cyclic" => Some(Schedule::StaticCyclic),
-            "dynamic" => Some(Schedule::Dynamic { chunk: arg.unwrap_or(1).max(1) }),
-            "guided" => Some(Schedule::Guided { min_chunk: arg.unwrap_or(1).max(1) }),
-            "blockCyclic" | "block_cyclic" => Some(Schedule::BlockCyclic { chunk: arg.unwrap_or(1).max(1) }),
+            "dynamic" => Some(Schedule::Dynamic {
+                chunk: arg.unwrap_or(1).max(1),
+            }),
+            "guided" => Some(Schedule::Guided {
+                min_chunk: arg.unwrap_or(1).max(1),
+            }),
+            "blockCyclic" | "block_cyclic" => Some(Schedule::BlockCyclic {
+                chunk: arg.unwrap_or(1).max(1),
+            }),
             _ => None,
         }
     }
@@ -86,7 +92,10 @@ impl Schedule {
     /// (OpenMP's `schedule(runtime)` + `OMP_SCHEDULE`), falling back to
     /// `staticBlock` when unset or malformed.
     pub fn from_env() -> Schedule {
-        std::env::var("AOMP_SCHEDULE").ok().and_then(|v| Schedule::parse(&v)).unwrap_or(Schedule::StaticBlock)
+        std::env::var("AOMP_SCHEDULE")
+            .ok()
+            .and_then(|v| Schedule::parse(&v))
+            .unwrap_or(Schedule::StaticBlock)
     }
 }
 
@@ -146,7 +155,11 @@ pub fn guided_chunk(remaining: u64, n: usize, min_chunk: u64) -> u64 {
 mod tests {
     use super::*;
 
-    fn assigned_elements(range: LoopRange, n: usize, f: impl Fn(LoopRange, usize, usize) -> LoopRange) -> Vec<i64> {
+    fn assigned_elements(
+        range: LoopRange,
+        n: usize,
+        f: impl Fn(LoopRange, usize, usize) -> LoopRange,
+    ) -> Vec<i64> {
         let mut all: Vec<i64> = (0..n).flat_map(|t| f(range, t, n).iter()).collect();
         all.sort_unstable();
         all
@@ -189,14 +202,20 @@ mod tests {
             .collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
-        assert!(max - min <= 1, "block schedule must balance within 1 iteration: {sizes:?}");
+        assert!(
+            max - min <= 1,
+            "block schedule must balance within 1 iteration: {sizes:?}"
+        );
     }
 
     #[test]
     fn block_range_covers_everything() {
         let r = LoopRange::new(5, 77, 3);
         for n in [1, 2, 5, 8] {
-            assert_eq!(assigned_elements(r, n, static_block_range), sorted_elements(r));
+            assert_eq!(
+                assigned_elements(r, n, static_block_range),
+                sorted_elements(r)
+            );
         }
     }
 
@@ -204,7 +223,10 @@ mod tests {
     fn cyclic_range_covers_everything() {
         let r = LoopRange::new(-4, 33, 2);
         for n in [1, 2, 3, 9] {
-            assert_eq!(assigned_elements(r, n, static_cyclic_range), sorted_elements(r));
+            assert_eq!(
+                assigned_elements(r, n, static_cyclic_range),
+                sorted_elements(r)
+            );
         }
     }
 
@@ -214,7 +236,9 @@ mod tests {
         let mdsize = 25;
         let n = 4;
         for id in 0..n {
-            let assigned: Vec<i64> = static_cyclic_range(LoopRange::upto(0, mdsize), id, n).iter().collect();
+            let assigned: Vec<i64> = static_cyclic_range(LoopRange::upto(0, mdsize), id, n)
+                .iter()
+                .collect();
             let mut manual = Vec::new();
             let mut i = id as i64;
             while i < mdsize {
@@ -233,7 +257,10 @@ mod tests {
         while remaining > 0 {
             let c = guided_chunk(remaining, n, 4);
             assert!(c >= 1 && c <= remaining);
-            assert!(c >= 4 || c == remaining, "chunks below min only at the tail");
+            assert!(
+                c >= 4 || c == remaining,
+                "chunks below min only at the tail"
+            );
             assert!(c <= last, "guided chunks must be non-increasing");
             last = c;
             remaining -= c;
@@ -284,7 +311,11 @@ mod block_cyclic_tests {
                         }
                     }
                     all.sort_unstable();
-                    assert_eq!(all, (0..count).collect::<Vec<_>>(), "count={count} chunk={chunk} n={n}");
+                    assert_eq!(
+                        all,
+                        (0..count).collect::<Vec<_>>(),
+                        "count={count} chunk={chunk} n={n}"
+                    );
                 }
             }
         }
@@ -295,8 +326,10 @@ mod block_cyclic_tests {
         let count = 17u64;
         let n = 4usize;
         for t in 0..n {
-            let bc: Vec<u64> =
-                block_cyclic_iters(count, 1, t, n).into_iter().flat_map(|(lo, hi)| lo..hi).collect();
+            let bc: Vec<u64> = block_cyclic_iters(count, 1, t, n)
+                .into_iter()
+                .flat_map(|(lo, hi)| lo..hi)
+                .collect();
             let cyc: Vec<u64> = (t as u64..count).step_by(n).collect();
             assert_eq!(bc, cyc, "t={t}");
         }
@@ -306,10 +339,22 @@ mod block_cyclic_tests {
     fn parse_round_trips_names() {
         assert_eq!(Schedule::parse("staticBlock"), Some(Schedule::StaticBlock));
         assert_eq!(Schedule::parse("cyclic"), Some(Schedule::StaticCyclic));
-        assert_eq!(Schedule::parse("dynamic,8"), Some(Schedule::Dynamic { chunk: 8 }));
-        assert_eq!(Schedule::parse("dynamic"), Some(Schedule::Dynamic { chunk: 1 }));
-        assert_eq!(Schedule::parse("guided, 4"), Some(Schedule::Guided { min_chunk: 4 }));
-        assert_eq!(Schedule::parse("blockCyclic,16"), Some(Schedule::BlockCyclic { chunk: 16 }));
+        assert_eq!(
+            Schedule::parse("dynamic,8"),
+            Some(Schedule::Dynamic { chunk: 8 })
+        );
+        assert_eq!(
+            Schedule::parse("dynamic"),
+            Some(Schedule::Dynamic { chunk: 1 })
+        );
+        assert_eq!(
+            Schedule::parse("guided, 4"),
+            Some(Schedule::Guided { min_chunk: 4 })
+        );
+        assert_eq!(
+            Schedule::parse("blockCyclic,16"),
+            Some(Schedule::BlockCyclic { chunk: 16 })
+        );
         assert_eq!(Schedule::parse("nonsense"), None);
         assert_eq!(Schedule::BlockCyclic { chunk: 2 }.name(), "blockCyclic");
     }

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use crate::ctx::{self, fresh_key};
+use crate::error::WaitSite;
 
 const PARK_TIMEOUT: Duration = Duration::from_millis(5);
 
@@ -26,7 +27,11 @@ struct BroadcastCell<T> {
 
 impl<T> Default for BroadcastCell<T> {
     fn default() -> Self {
-        Self { claimed: AtomicBool::new(false), value: Mutex::new(None), cv: Condvar::new() }
+        Self {
+            claimed: AtomicBool::new(false),
+            value: Mutex::new(None),
+            cv: Condvar::new(),
+        }
     }
 }
 
@@ -36,13 +41,16 @@ impl<T: Clone> BroadcastCell<T> {
         self.cv.notify_all();
     }
 
-    fn await_value(&self, poison_check: impl Fn()) -> T {
+    /// Block until the value is published. `check` runs on every park
+    /// tick and aborts the wait by unwinding (poison/cancel), so a
+    /// broadcast whose executing thread died cannot strand the team.
+    fn await_value(&self, check: impl Fn()) -> T {
         let mut g = self.value.lock();
         loop {
             if let Some(v) = g.as_ref() {
                 return v.clone();
             }
-            poison_check();
+            check();
             self.cv.wait_for(&mut g, PARK_TIMEOUT);
         }
     }
@@ -79,9 +87,11 @@ impl Single {
                 let result = if !cell.claimed.swap(true, Ordering::AcqRel) {
                     let v = f();
                     cell.publish(&v);
+                    c.shared.bump_progress();
                     v
                 } else {
-                    cell.await_value(|| c.shared.check_poison())
+                    let _w = c.shared.begin_wait(c.tid, WaitSite::SingleBroadcast);
+                    cell.await_value(|| c.shared.check_interrupt())
                 };
                 c.shared.detach_slot(self.key, round);
                 result
@@ -101,7 +111,11 @@ impl Single {
             Some(c) => {
                 let round = c.next_round(self.key);
                 let cell = c.shared.slot::<BroadcastCell<()>>(self.key, round);
-                let r = if !cell.claimed.swap(true, Ordering::AcqRel) { Some(f()) } else { None };
+                let r = if !cell.claimed.swap(true, Ordering::AcqRel) {
+                    Some(f())
+                } else {
+                    None
+                };
                 c.shared.detach_slot(self.key, round);
                 r
             }
@@ -144,9 +158,11 @@ impl Master {
                 let result = if c.tid == 0 {
                     let v = f();
                     cell.publish(&v);
+                    c.shared.bump_progress();
                     v
                 } else {
-                    cell.await_value(|| c.shared.check_poison())
+                    let _w = c.shared.begin_wait(c.tid, WaitSite::MasterBroadcast);
+                    cell.await_value(|| c.shared.check_interrupt())
                 };
                 c.shared.detach_slot(self.key, round);
                 result

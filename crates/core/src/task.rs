@@ -12,10 +12,26 @@
 //! [`FutureTask`] is the future whose [`get`](FutureTask::get) is the
 //! `@FutureResult`-getter synchronisation point, backed by a hand-built
 //! one-shot channel.
+//!
+//! Failure semantics: a producer's panic poisons its one-shot cell *with
+//! the original payload*, which [`FutureTask::get`] re-raises
+//! (`resume_unwind`) and [`FutureTask::try_get`] reports as a value.
+//! Called inside a team, [`FutureTask::get`], [`TaskGroup::wait`] and
+//! [`TaskGroup::spawn`] are cancellation points, and the two waits
+//! register [`WaitSite::FutureGet`] / [`WaitSite::TaskWait`] for the
+//! stall watchdog. [`FutureTask::get_timeout`] and
+//! [`TaskGroup::wait_timeout`] bound the waits explicitly.
 
 use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::barrier::PARK_TIMEOUT;
+use crate::ctx;
+use crate::error::{self, TaskPanicked, WaitSite, WaitTimedOut};
 
 /// One-shot rendezvous cell: written once by the producer, consumed once
 /// by `get`.
@@ -23,8 +39,16 @@ enum ShotState<T> {
     Empty,
     Ready(T),
     Taken,
-    /// Producer panicked before publishing.
-    Poisoned,
+    /// Producer panicked before publishing; carries the panic payload
+    /// when one was captured (a dropped unfulfilled promise has none).
+    Poisoned(Option<Box<dyn Any + Send>>),
+}
+
+/// How a [`OneShot::take_inner`] ended.
+enum TakeOutcome<T> {
+    Value(T),
+    Failed(Option<Box<dyn Any + Send>>),
+    TimedOut(WaitTimedOut),
 }
 
 struct OneShot<T> {
@@ -34,7 +58,10 @@ struct OneShot<T> {
 
 impl<T> OneShot<T> {
     fn new() -> Self {
-        Self { state: Mutex::new(ShotState::Empty), cv: Condvar::new() }
+        Self {
+            state: Mutex::new(ShotState::Empty),
+            cv: Condvar::new(),
+        }
     }
 
     fn publish(&self, v: T) {
@@ -45,32 +72,48 @@ impl<T> OneShot<T> {
         self.cv.notify_all();
     }
 
-    fn poison(&self) {
+    fn poison(&self, payload: Option<Box<dyn Any + Send>>) {
         let mut s = self.state.lock();
         if matches!(*s, ShotState::Empty) {
-            *s = ShotState::Poisoned;
+            *s = ShotState::Poisoned(payload);
         }
         drop(s);
         self.cv.notify_all();
     }
 
-    fn take(&self) -> T {
+    /// Consume the cell. `check` runs on every park tick (it aborts by
+    /// unwinding — poison/cancel); `timeout` bounds the wait.
+    ///
+    /// Panics only on double consumption (a programming error).
+    fn take_inner(&self, timeout: Option<Duration>, check: &dyn Fn()) -> TakeOutcome<T> {
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut s = self.state.lock();
         loop {
             match std::mem::replace(&mut *s, ShotState::Taken) {
-                ShotState::Ready(v) => return v,
+                ShotState::Ready(v) => return TakeOutcome::Value(v),
+                ShotState::Poisoned(p) => return TakeOutcome::Failed(p),
+                ShotState::Taken => panic!("aomp future result consumed twice"),
                 ShotState::Empty => {
                     *s = ShotState::Empty;
-                    self.cv.wait(&mut s);
+                    check();
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return TakeOutcome::TimedOut(WaitTimedOut {
+                                timeout: timeout.unwrap(),
+                            });
+                        }
+                    }
+                    self.cv.wait_for(&mut s, PARK_TIMEOUT);
                 }
-                ShotState::Poisoned => panic!("aomp future task panicked before producing a result"),
-                ShotState::Taken => panic!("aomp future result consumed twice"),
             }
         }
     }
 
     fn is_ready(&self) -> bool {
-        matches!(*self.state.lock(), ShotState::Ready(_) | ShotState::Poisoned)
+        matches!(
+            *self.state.lock(),
+            ShotState::Ready(_) | ShotState::Poisoned(_)
+        )
     }
 }
 
@@ -98,21 +141,11 @@ where
     let shot2 = Arc::clone(&shot);
     std::thread::Builder::new()
         .name("aomp-future-task".into())
-        .spawn(move || {
-            // Poison the cell if `f` unwinds so `get` fails loudly instead
-            // of blocking forever.
-            struct Guard<T>(Arc<OneShot<T>>, bool);
-            impl<T> Drop for Guard<T> {
-                fn drop(&mut self) {
-                    if !self.1 {
-                        self.0.poison();
-                    }
-                }
-            }
-            let mut guard = Guard(shot2, false);
-            let v = f();
-            guard.0.publish(v);
-            guard.1 = true;
+        // Capture the panic payload so `get` can re-raise the *original*
+        // panic instead of a generic "producer died" message.
+        .spawn(move || match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => shot2.publish(v),
+            Err(p) => shot2.poison(Some(p)),
         })
         .expect("failed to spawn aomp future task");
     FutureTask { shot }
@@ -132,7 +165,7 @@ impl<T> std::fmt::Debug for OneShot<T> {
             ShotState::Empty => "Empty",
             ShotState::Ready(_) => "Ready",
             ShotState::Taken => "Taken",
-            ShotState::Poisoned => "Poisoned",
+            ShotState::Poisoned(_) => "Poisoned",
         };
         write!(f, "OneShot({s})")
     }
@@ -140,9 +173,60 @@ impl<T> std::fmt::Debug for OneShot<T> {
 
 impl<T> FutureTask<T> {
     /// Block until the producing activity publishes the value, then take
-    /// it. Panics if the producer panicked.
+    /// it. If the producer panicked, re-raises its original panic
+    /// payload. A cancellation point (and a [`WaitSite::FutureGet`] for
+    /// the stall watchdog) when called inside a team.
     pub fn get(self) -> T {
-        self.shot.take()
+        match self.take(None) {
+            TakeOutcome::Value(v) => v,
+            TakeOutcome::Failed(Some(p)) => resume_unwind(p),
+            TakeOutcome::Failed(None) => {
+                panic!("aomp future task panicked before producing a result")
+            }
+            TakeOutcome::TimedOut(_) => unreachable!("unbounded future get cannot time out"),
+        }
+    }
+
+    /// Non-panicking variant of [`get`](Self::get): a producer panic is
+    /// reported as [`TaskPanicked`] (with the payload summarised as a
+    /// message) instead of unwinding the consumer.
+    pub fn try_get(self) -> Result<T, TaskPanicked> {
+        match self.take(None) {
+            TakeOutcome::Value(v) => Ok(v),
+            TakeOutcome::Failed(p) => Err(TaskPanicked {
+                payload_msg: p.map_or_else(
+                    || "producer dropped without publishing".to_owned(),
+                    |p| error::payload_msg(p.as_ref()),
+                ),
+            }),
+            TakeOutcome::TimedOut(_) => unreachable!("unbounded future get cannot time out"),
+        }
+    }
+
+    /// Bounded variant of [`get`](Self::get): gives up after `timeout`.
+    /// The future is consumed either way — on `Err` the producer's
+    /// eventual value is discarded. Producer panics re-raise as in
+    /// [`get`](Self::get).
+    pub fn get_timeout(self, timeout: Duration) -> Result<T, WaitTimedOut> {
+        match self.take(Some(timeout)) {
+            TakeOutcome::Value(v) => Ok(v),
+            TakeOutcome::Failed(Some(p)) => resume_unwind(p),
+            TakeOutcome::Failed(None) => {
+                panic!("aomp future task panicked before producing a result")
+            }
+            TakeOutcome::TimedOut(e) => Err(e),
+        }
+    }
+
+    fn take(self, timeout: Option<Duration>) -> TakeOutcome<T> {
+        ctx::with_current(|c| match c {
+            None => self.shot.take_inner(timeout, &|| {}),
+            Some(c) => {
+                let _w = c.shared.begin_wait(c.tid, WaitSite::FutureGet);
+                self.shot
+                    .take_inner(timeout, &|| c.shared.check_interrupt())
+            }
+        })
     }
 
     /// True when the value is available (or the producer failed) and
@@ -156,7 +240,12 @@ impl<T> FutureTask<T> {
 /// without a spawning activity. `promise()` gives the setter side.
 pub fn future_pair<T: Send>() -> (FuturePromise<T>, FutureTask<T>) {
     let shot = Arc::new(OneShot::new());
-    (FuturePromise { shot: Arc::clone(&shot) }, FutureTask { shot })
+    (
+        FuturePromise {
+            shot: Arc::clone(&shot),
+        },
+        FutureTask { shot },
+    )
 }
 
 /// Setter side of a [`future_pair`] — the `@FutureResult` setter
@@ -177,7 +266,7 @@ impl<T> Drop for FuturePromise<T> {
     fn drop(&mut self) {
         // If set() consumed self, state is Ready/Taken and poison is a
         // no-op; if the promise is dropped unfulfilled, wake getters.
-        self.shot.poison();
+        self.shot.poison(None);
     }
 }
 
@@ -202,7 +291,10 @@ pub struct TaskGroup {
 impl std::fmt::Debug for TaskGroup {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TaskGroup")
-            .field("outstanding", &self.state.outstanding.load(Ordering::Relaxed))
+            .field(
+                "outstanding",
+                &self.state.outstanding.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -214,17 +306,23 @@ impl TaskGroup {
     }
 
     /// Spawn `f` as a new activity tracked by this group (`@Task` with a
-    /// join point).
+    /// join point). A cancellation point inside a team: once the team is
+    /// cancelled no further tasks are spawned.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'static,
     {
+        ctx::with_current(|c| {
+            if let Some(c) = c {
+                c.shared.check_interrupt();
+            }
+        });
         let state = Arc::clone(&self.state);
         state.outstanding.fetch_add(1, Ordering::AcqRel);
         std::thread::Builder::new()
             .name("aomp-task".into())
             .spawn(move || {
-                let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_ok();
+                let ok = std::panic::catch_unwind(AssertUnwindSafe(f)).is_ok();
                 if !ok {
                     state.failed.store(true, Ordering::Release);
                 }
@@ -244,16 +342,44 @@ impl TaskGroup {
     }
 
     /// Block until every task spawned so far has finished — `@TaskWait`.
-    /// Panics if any task panicked.
+    /// Panics if any task panicked. A cancellation point (and a
+    /// [`WaitSite::TaskWait`]) when called inside a team.
     pub fn wait(&self) {
-        let mut g = self.state.lock.lock();
-        while self.state.outstanding.load(Ordering::Acquire) != 0 {
-            self.state.cv.wait_for(&mut g, std::time::Duration::from_millis(5));
-        }
-        drop(g);
-        if self.state.failed.swap(false, Ordering::AcqRel) {
-            panic!("aomp task group: a task panicked");
-        }
+        self.wait_inner(None)
+            .expect("unbounded task wait cannot time out");
+    }
+
+    /// Bounded variant of [`wait`](Self::wait): gives up after `timeout`,
+    /// leaving the group intact (tasks keep running; a later
+    /// [`wait`](Self::wait) can still join them).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<(), WaitTimedOut> {
+        self.wait_inner(Some(timeout))
+    }
+
+    fn wait_inner(&self, timeout: Option<Duration>) -> Result<(), WaitTimedOut> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        ctx::with_current(|c| {
+            let _w = c.map(|c| c.shared.begin_wait(c.tid, WaitSite::TaskWait));
+            let mut g = self.state.lock.lock();
+            while self.state.outstanding.load(Ordering::Acquire) != 0 {
+                if let Some(c) = c {
+                    c.shared.check_interrupt();
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(WaitTimedOut {
+                            timeout: timeout.unwrap(),
+                        });
+                    }
+                }
+                self.state.cv.wait_for(&mut g, PARK_TIMEOUT);
+            }
+            drop(g);
+            if self.state.failed.swap(false, Ordering::AcqRel) {
+                panic!("aomp task group: a task panicked");
+            }
+            Ok(())
+        })
     }
 }
 
@@ -301,7 +427,8 @@ mod tests {
 
     #[test]
     fn future_task_many_producers() {
-        let futures: Vec<FutureTask<u64>> = (0..10u64).map(|i| spawn_future(move || i * i)).collect();
+        let futures: Vec<FutureTask<u64>> =
+            (0..10u64).map(|i| spawn_future(move || i * i)).collect();
         let total: u64 = futures.into_iter().map(|f| f.get()).sum();
         assert_eq!(total, (0..10u64).map(|i| i * i).sum::<u64>());
     }
@@ -315,18 +442,64 @@ mod tests {
     }
 
     #[test]
-    fn future_task_panics_propagate_to_get() {
-        let fut = spawn_future(|| -> u32 { panic!("producer dies") });
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.get()));
-        assert!(r.is_err());
+    fn future_task_panics_propagate_original_payload() {
+        let fut = spawn_future(|| -> u32 { panic!("producer dies: {}", 13) });
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| fut.get()));
+        let p = r.expect_err("get must re-raise the producer panic");
+        assert_eq!(error::payload_msg(p.as_ref()), "producer dies: 13");
+    }
+
+    #[test]
+    fn try_get_reports_panic_without_unwinding() {
+        let fut = spawn_future(|| -> u32 { panic!("deliberate task failure") });
+        match fut.try_get() {
+            Err(TaskPanicked { payload_msg }) => {
+                assert_eq!(payload_msg, "deliberate task failure");
+            }
+            Ok(v) => panic!("expected failure, got {v}"),
+        }
+    }
+
+    #[test]
+    fn try_get_returns_value() {
+        let fut = spawn_future(|| 11u32);
+        assert_eq!(fut.try_get(), Ok(11));
+    }
+
+    #[test]
+    fn get_timeout_expires_without_producer() {
+        let (_promise, fut) = future_pair::<u32>();
+        let t0 = Instant::now();
+        let r = fut.get_timeout(Duration::from_millis(30));
+        assert_eq!(
+            r,
+            Err(WaitTimedOut {
+                timeout: Duration::from_millis(30)
+            })
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn get_timeout_returns_value_in_time() {
+        let fut = spawn_future(|| 5u8);
+        assert_eq!(fut.get_timeout(Duration::from_secs(10)), Ok(5));
     }
 
     #[test]
     fn dropped_promise_poisons_future() {
         let (promise, fut) = future_pair::<u32>();
         drop(promise);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.get()));
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| fut.get()));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn dropped_promise_try_get_is_err() {
+        let (promise, fut) = future_pair::<u32>();
+        drop(promise);
+        let e = fut.try_get().expect_err("unfulfilled promise");
+        assert!(e.payload_msg.contains("without publishing"), "{e}");
     }
 
     #[test]
@@ -334,11 +507,29 @@ mod tests {
         let group = TaskGroup::new();
         group.spawn(|| panic!("task dies"));
         let g2 = group.clone();
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g2.wait()));
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| g2.wait()));
         assert!(r.is_err());
         // Group must be reusable after the failure was reported.
         group.spawn(|| {});
         group.wait();
+    }
+
+    #[test]
+    fn task_group_wait_timeout_leaves_group_intact() {
+        let group = TaskGroup::new();
+        let release = Arc::new(AtomicBool::new(false));
+        let r2 = Arc::clone(&release);
+        group.spawn(move || {
+            while !r2.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let r = group.wait_timeout(Duration::from_millis(20));
+        assert!(r.is_err(), "task still running: wait must time out");
+        assert_eq!(group.outstanding(), 1);
+        release.store(true, Ordering::Release);
+        group.wait();
+        assert_eq!(group.outstanding(), 0);
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl<T: std::fmt::Debug> std::fmt::Debug for ThreadLocalField<T> {
 impl<T> ThreadLocalField<T> {
     /// A field whose global value is `v`.
     pub fn new(v: T) -> Self {
-        Self { global: Mutex::new(v), locals: Mutex::new(HashMap::new()), next_seq: AtomicU64::new(0) }
+        Self {
+            global: Mutex::new(v),
+            locals: Mutex::new(HashMap::new()),
+            next_seq: AtomicU64::new(0),
+        }
     }
 
     fn cell(&self) -> Arc<Mutex<LocalCell<T>>> {
@@ -80,7 +84,11 @@ impl<T> ThreadLocalField<T> {
 
     /// Number of live thread-local copies.
     pub fn local_count(&self) -> usize {
-        self.locals.lock().values().filter(|c| c.lock().value.is_some()).count()
+        self.locals
+            .lock()
+            .values()
+            .filter(|c| c.lock().value.is_some())
+            .count()
     }
 
     /// Write the calling thread's copy (`threadLocalFieldWrite` with the
@@ -216,7 +224,11 @@ mod tests {
         let f = ThreadLocalField::new(999i64);
         f.update_or_init(|| 0, |v| *v += 1);
         f.update_or_init(|| 0, |v| *v += 1);
-        assert_eq!(f.get(), 2, "second access must reuse the local, not re-init");
+        assert_eq!(
+            f.get(),
+            2,
+            "second access must reuse the local, not re-init"
+        );
     }
 
     #[test]

@@ -13,12 +13,19 @@
 //!
 //! Outside a parallel region the body runs once with the original range —
 //! sequential semantics.
+//!
+//! Every chunk handout is a *cancellation point*: after a
+//! [`cancel_team`](crate::ctx::cancel_team) (or a watchdog force-cancel)
+//! the dispensers stop handing out iterations and the thread skips to the
+//! end of the region. Handouts also count as progress for the stall
+//! watchdog, so a long chunked loop is never mistaken for a stall.
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::Duration;
 
 use crate::ctx::{self, fresh_key};
+use crate::error::WaitSite;
 use crate::range::LoopRange;
 use crate::schedule::{self, Schedule};
 
@@ -60,10 +67,12 @@ struct OrderedState {
 }
 
 impl OrderedState {
-    fn enter(&self, ticket: u64, poison_check: impl Fn()) {
+    /// Block until it is `ticket`'s turn. `check` runs before the wait
+    /// and on every park tick; it aborts by unwinding (poison/cancel).
+    fn enter(&self, ticket: u64, check: impl Fn()) {
         let mut next = self.next.lock();
         while *next != ticket {
-            poison_check();
+            check();
             self.cv.wait_for(&mut next, PARK_TIMEOUT);
         }
     }
@@ -95,7 +104,11 @@ impl ForConstruct {
     /// [`nowait`](Self::nowait) is set; static schedules do not barrier —
     /// the paper's LUFact adds explicit `@BarrierAfter` where needed.
     pub fn new(schedule: Schedule) -> Self {
-        Self { key: fresh_key(), schedule, nowait: false }
+        Self {
+            key: fresh_key(),
+            schedule,
+            nowait: false,
+        }
     }
 
     /// Suppress the trailing team barrier of dynamic/guided schedules.
@@ -132,7 +145,10 @@ impl ForConstruct {
     {
         ctx::with_current(|c| match c {
             None => {
-                let scope = ForScope { full: range, shared: None };
+                let scope = ForScope {
+                    full: range,
+                    shared: None,
+                };
                 body(range, &scope);
             }
             Some(c) => {
@@ -141,8 +157,13 @@ impl ForConstruct {
                 if n == 1 {
                     let round = c.next_round(self.key);
                     let ordered = c.shared.slot::<OrderedState>(self.key, round);
-                    let scope =
-                        ForScope { full: range, shared: Some(ScopeShared { team: c, ordered: &ordered }) };
+                    let scope = ForScope {
+                        full: range,
+                        shared: Some(ScopeShared {
+                            team: c,
+                            ordered: &ordered,
+                        }),
+                    };
                     body(range, &scope);
                     c.shared.detach_slot(self.key, round);
                     return;
@@ -151,19 +172,30 @@ impl ForConstruct {
                 let count = range.count();
                 // Ordered sequencing state is shared by every schedule.
                 let ordered = c.shared.slot::<OrderedState>(self.key, round);
-                let scope_shared = ScopeShared { team: c, ordered: &ordered };
+                let scope_shared = ScopeShared {
+                    team: c,
+                    ordered: &ordered,
+                };
 
                 match self.schedule {
                     Schedule::StaticBlock => {
+                        c.shared.check_interrupt();
                         let sub = schedule::static_block_range(range, tid, n);
-                        let scope = ForScope { full: range, shared: Some(scope_shared) };
+                        let scope = ForScope {
+                            full: range,
+                            shared: Some(scope_shared),
+                        };
                         if !sub.is_empty() {
                             body(sub, &scope);
                         }
                     }
                     Schedule::StaticCyclic => {
+                        c.shared.check_interrupt();
                         let sub = schedule::static_cyclic_range(range, tid, n);
-                        let scope = ForScope { full: range, shared: Some(scope_shared) };
+                        let scope = ForScope {
+                            full: range,
+                            shared: Some(scope_shared),
+                        };
                         if !sub.is_empty() {
                             body(sub, &scope);
                         }
@@ -171,36 +203,56 @@ impl ForConstruct {
                     Schedule::Dynamic { chunk } => {
                         let chunk = chunk.max(1);
                         let dyn_state = c.shared.slot::<DynState>(self.key ^ DYN_KEY_SALT, round);
-                        let scope = ForScope { full: range, shared: Some(scope_shared) };
+                        let scope = ForScope {
+                            full: range,
+                            shared: Some(scope_shared),
+                        };
                         loop {
+                            // Cancellation point: stop handing out chunks
+                            // once the team is poisoned/cancelled.
+                            c.shared.check_interrupt();
                             let lo = dyn_state.next.fetch_add(chunk, AtomicOrdering::Relaxed);
                             if lo >= count {
                                 break;
                             }
+                            c.shared.bump_progress();
                             let hi = (lo + chunk).min(count);
                             body(range.slice_iters(lo, hi), &scope);
                         }
                         c.shared.detach_slot(self.key ^ DYN_KEY_SALT, round);
                         if !self.nowait {
-                            c.shared.barrier.wait_poisonable(&c.shared.poisoned);
+                            c.shared.team_barrier(tid);
                         }
                     }
                     Schedule::BlockCyclic { chunk } => {
                         let chunk = chunk.max(1);
-                        let scope = ForScope { full: range, shared: Some(scope_shared) };
+                        let scope = ForScope {
+                            full: range,
+                            shared: Some(scope_shared),
+                        };
                         for (lo, hi) in schedule::block_cyclic_iters(count, chunk, tid, n) {
+                            c.shared.check_interrupt();
+                            c.shared.bump_progress();
                             body(range.slice_iters(lo, hi), &scope);
                         }
                     }
                     Schedule::Guided { min_chunk } => {
                         let gstate = c.shared.slot::<GuidedState>(self.key ^ DYN_KEY_SALT, round);
-                        let scope = ForScope { full: range, shared: Some(scope_shared) };
-                        while let Some((lo, hi)) = gstate.take(count, n, min_chunk.max(1)) {
+                        let scope = ForScope {
+                            full: range,
+                            shared: Some(scope_shared),
+                        };
+                        loop {
+                            c.shared.check_interrupt();
+                            let Some((lo, hi)) = gstate.take(count, n, min_chunk.max(1)) else {
+                                break;
+                            };
+                            c.shared.bump_progress();
                             body(range.slice_iters(lo, hi), &scope);
                         }
                         c.shared.detach_slot(self.key ^ DYN_KEY_SALT, round);
                         if !self.nowait {
-                            c.shared.barrier.wait_poisonable(&c.shared.poisoned);
+                            c.shared.team_barrier(tid);
                         }
                     }
                 }
@@ -254,7 +306,10 @@ impl ForScope<'_> {
         match &self.shared {
             None => f(),
             Some(s) => {
-                s.ordered.enter(ticket, || s.team.shared.check_poison());
+                {
+                    let _w = s.team.shared.begin_wait(s.team.tid, WaitSite::Ordered);
+                    s.ordered.enter(ticket, || s.team.shared.check_interrupt());
+                }
                 let r = f();
                 s.ordered.exit(ticket);
                 r
@@ -273,7 +328,9 @@ pub struct Ordered {
 
 impl std::fmt::Debug for OrderedState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OrderedState").field("next", &*self.next.lock()).finish()
+        f.debug_struct("OrderedState")
+            .field("next", &*self.next.lock())
+            .finish()
     }
 }
 
@@ -284,14 +341,15 @@ impl Ordered {
     }
 
     /// Block until all tickets below `ticket` have completed, run `f`,
-    /// then release `ticket + 1`.
+    /// then release `ticket + 1`. A cancellation point when called inside
+    /// a team.
     pub fn run<R>(&self, ticket: u64, f: impl FnOnce() -> R) -> R {
-        self.state.enter(ticket, || {
-            ctx::with_current(|c| {
-                if let Some(c) = c {
-                    c.shared.check_poison()
-                }
-            })
+        ctx::with_current(|c| match c {
+            None => self.state.enter(ticket, || {}),
+            Some(c) => {
+                let _w = c.shared.begin_wait(c.tid, WaitSite::Ordered);
+                self.state.enter(ticket, || c.shared.check_interrupt());
+            }
         });
         let r = f();
         self.state.exit(ticket);
@@ -355,7 +413,11 @@ mod tests {
 
     #[test]
     fn empty_range_runs_nothing() {
-        for s in [Schedule::StaticBlock, Schedule::StaticCyclic, Schedule::DYNAMIC] {
+        for s in [
+            Schedule::StaticBlock,
+            Schedule::StaticCyclic,
+            Schedule::DYNAMIC,
+        ] {
             assert!(run_for(s, 3, LoopRange::new(5, 5, 1)).is_empty());
         }
     }

@@ -45,11 +45,23 @@ pub fn parallel_evaluation_aspect(threads: usize) -> AspectModule {
     AspectModule::builder("ParallelEvolib")
         // Fitness evaluation: a combined parallel + dynamic for (fitness
         // costs can vary per individual, e.g. penalty branches).
-        .bind(Pointcut::glob("Evolib.*.evaluate"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::glob("Evolib.*.evaluate"), Mechanism::for_loop(Schedule::Dynamic { chunk: 4 }))
+        .bind(
+            Pointcut::glob("Evolib.*.evaluate"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::glob("Evolib.*.evaluate"),
+            Mechanism::for_loop(Schedule::Dynamic { chunk: 4 }),
+        )
         // Multi-start local search: one start per slot, cyclic.
-        .bind(Pointcut::glob("Evolib.*.climb"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::glob("Evolib.*.climb"), Mechanism::for_loop(Schedule::StaticCyclic))
+        .bind(
+            Pointcut::glob("Evolib.*.climb"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::glob("Evolib.*.climb"),
+            Mechanism::for_loop(Schedule::StaticCyclic),
+        )
         .build()
 }
 
@@ -62,8 +74,9 @@ mod tests {
     #[test]
     fn evaluate_population_fills_fitness_sequentially() {
         let p = Sphere { dims: 3 };
-        let mut pop: Vec<Individual> =
-            (0..10).map(|i| Individual::new(vec![i as f64 * 0.1; 3])).collect();
+        let mut pop: Vec<Individual> = (0..10)
+            .map(|i| Individual::new(vec![i as f64 * 0.1; 3]))
+            .collect();
         eval::evaluate_population("Test", &p, &mut pop);
         for ind in &pop {
             assert_eq!(ind.fitness, p.evaluate(&ind.genes));
@@ -74,7 +87,9 @@ mod tests {
     fn aspect_parallelises_evaluation_without_changing_results() {
         let p = Sphere { dims: 4 };
         let make = || -> Vec<Individual> {
-            (0..50).map(|i| Individual::new(vec![(i as f64).sin(); 4])).collect()
+            (0..50)
+                .map(|i| Individual::new(vec![(i as f64).sin(); 4]))
+                .collect()
         };
         let mut seq = make();
         eval::evaluate_population("AspectTest", &p, &mut seq);

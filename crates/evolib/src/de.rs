@@ -26,12 +26,20 @@ pub struct DeConfig {
 
 impl Default for DeConfig {
     fn default() -> Self {
-        Self { pop_size: 40, generations: 100, f: 0.7, cr: 0.9, seed: 0xdeed }
+        Self {
+            pop_size: 40,
+            generations: 100,
+            f: 0.7,
+            cr: 0.9,
+            seed: 0xdeed,
+        }
     }
 }
 
 fn rng_for(seed: u64, generation: usize, slot: usize) -> StdRng {
-    let mut z = seed ^ (generation as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ (slot as u64).wrapping_mul(0xA5A5_1C69_845C_2B2B);
+    let mut z = seed
+        ^ (generation as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        ^ (slot as u64).wrapping_mul(0xA5A5_1C69_845C_2B2B);
     z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     StdRng::seed_from_u64(z ^ (z >> 29))
 }
@@ -58,7 +66,8 @@ pub fn run(problem: &dyn Problem, cfg: &DeConfig) -> RunResult {
             let genes: Vec<f64> = (0..dims)
                 .map(|j| {
                     if j == jrand || rng.gen_bool(cfg.cr) {
-                        (pop[a].genes[j] + cfg.f * (pop[b].genes[j] - pop[c].genes[j])).clamp(lo, hi)
+                        (pop[a].genes[j] + cfg.f * (pop[b].genes[j] - pop[c].genes[j]))
+                            .clamp(lo, hi)
                     } else {
                         pop[i].genes[j]
                     }
@@ -76,8 +85,14 @@ pub fn run(problem: &dyn Problem, cfg: &DeConfig) -> RunResult {
         }
         history.push(best_of(&pop));
     }
-    let best_idx = (0..pop.len()).min_by(|&a, &b| pop[a].fitness.total_cmp(&pop[b].fitness)).unwrap();
-    RunResult { best: pop.swap_remove(best_idx), history, evaluations }
+    let best_idx = (0..pop.len())
+        .min_by(|&a, &b| pop[a].fitness.total_cmp(&pop[b].fitness))
+        .unwrap();
+    RunResult {
+        best: pop.swap_remove(best_idx),
+        history,
+        evaluations,
+    }
 }
 
 fn best_of(pop: &[Individual]) -> f64 {
@@ -123,21 +138,36 @@ mod tests {
     #[test]
     fn de_improves_rosenbrock() {
         let p = Rosenbrock { dims: 4 };
-        let r = run(&p, &DeConfig { generations: 150, ..DeConfig::default() });
+        let r = run(
+            &p,
+            &DeConfig {
+                generations: 150,
+                ..DeConfig::default()
+            },
+        );
         assert!(*r.history.last().unwrap() < r.history[0] * 0.1);
     }
 
     #[test]
     fn de_selection_never_regresses() {
         let p = Sphere { dims: 3 };
-        let r = run(&p, &DeConfig { generations: 30, ..DeConfig::default() });
+        let r = run(
+            &p,
+            &DeConfig {
+                generations: 30,
+                ..DeConfig::default()
+            },
+        );
         assert!(r.history.windows(2).all(|w| w[1] <= w[0] + 1e-12));
     }
 
     #[test]
     fn de_parallel_and_sequential_runs_are_bit_identical() {
         let p = Sphere { dims: 4 };
-        let cfg = DeConfig { generations: 25, ..DeConfig::default() };
+        let cfg = DeConfig {
+            generations: 25,
+            ..DeConfig::default()
+        };
         let seq = run(&p, &cfg);
         let par = aomp_weaver::Weaver::global()
             .with_deployed(parallel_evaluation_aspect(3), || run(&p, &cfg));

@@ -51,7 +51,9 @@ impl Default for GaConfig {
 
 fn rng_for(seed: u64, generation: usize, slot: usize) -> StdRng {
     // splitmix-style counter seeding: deterministic per (gen, slot).
-    let mut z = seed ^ (generation as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (slot as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut z = seed
+        ^ (generation as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (slot as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     StdRng::seed_from_u64(z ^ (z >> 31))
@@ -81,7 +83,10 @@ fn crossover(a: &[f64], b: &[f64], rng: &mut StdRng) -> Vec<f64> {
     } else {
         // Arithmetic blend.
         let w: f64 = rng.gen_range(0.0..1.0);
-        a.iter().zip(b).map(|(x, y)| w * x + (1.0 - w) * y).collect()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| w * x + (1.0 - w) * y)
+            .collect()
     }
 }
 
@@ -101,7 +106,9 @@ fn mutate(genes: &mut [f64], cfg: &GaConfig, bounds: (f64, f64), rng: &mut StdRn
 pub fn run(problem: &dyn Problem, cfg: &GaConfig) -> RunResult {
     assert!(cfg.pop_size > cfg.elitism && cfg.pop_size >= 2);
     let mut rng = rng_for(cfg.seed, 0, usize::MAX);
-    let mut pop: Vec<Individual> = (0..cfg.pop_size).map(|_| random_individual(problem, &mut rng)).collect();
+    let mut pop: Vec<Individual> = (0..cfg.pop_size)
+        .map(|_| random_individual(problem, &mut rng))
+        .collect();
     let mut evaluations = evaluate_population("GA", problem, &mut pop);
     pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
     let mut history = vec![pop[0].fitness];
@@ -125,7 +132,11 @@ pub fn run(problem: &dyn Problem, cfg: &GaConfig) -> RunResult {
         pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
         history.push(pop[0].fitness);
     }
-    RunResult { best: pop.swap_remove(0), history, evaluations }
+    RunResult {
+        best: pop.swap_remove(0),
+        history,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -139,20 +150,29 @@ mod tests {
         let p = Sphere { dims: 6 };
         let r = run(&p, &GaConfig::default());
         assert!(r.best.fitness < 0.5, "fitness {}", r.best.fitness);
-        assert!(r.history.windows(2).all(|w| w[1] <= w[0] + 1e-12), "elitism => monotone history");
+        assert!(
+            r.history.windows(2).all(|w| w[1] <= w[0] + 1e-12),
+            "elitism => monotone history"
+        );
     }
 
     #[test]
     fn ga_improves_rastrigin() {
         let p = Rastrigin { dims: 4 };
         let r = run(&p, &GaConfig::default());
-        assert!(r.best.fitness < r.history[0], "must improve over the random init");
+        assert!(
+            r.best.fitness < r.history[0],
+            "must improve over the random init"
+        );
     }
 
     #[test]
     fn ga_parallel_and_sequential_runs_are_bit_identical() {
         let p = Sphere { dims: 5 };
-        let cfg = GaConfig { generations: 20, ..GaConfig::default() };
+        let cfg = GaConfig {
+            generations: 20,
+            ..GaConfig::default()
+        };
         let seq = run(&p, &cfg);
         let par = aomp_weaver::Weaver::global()
             .with_deployed(parallel_evaluation_aspect(4), || run(&p, &cfg));
@@ -164,7 +184,12 @@ mod tests {
     #[test]
     fn evaluation_count_is_exact() {
         let p = Sphere { dims: 2 };
-        let cfg = GaConfig { pop_size: 10, generations: 5, elitism: 2, ..GaConfig::default() };
+        let cfg = GaConfig {
+            pop_size: 10,
+            generations: 5,
+            elitism: 2,
+            ..GaConfig::default()
+        };
         let r = run(&p, &cfg);
         assert_eq!(r.evaluations, 10 + 5 * 8);
     }

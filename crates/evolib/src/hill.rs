@@ -27,7 +27,12 @@ pub struct HillConfig {
 
 impl Default for HillConfig {
     fn default() -> Self {
-        Self { starts: 16, steps: 400, sigma: 0.2, seed: 0x411c }
+        Self {
+            starts: 16,
+            steps: 400,
+            sigma: 0.2,
+            seed: 0x411c,
+        }
     }
 }
 
@@ -64,19 +69,33 @@ pub fn run(problem: &dyn Problem, cfg: &HillConfig) -> RunResult {
     let mut results: Vec<Option<Individual>> = vec![None; cfg.starts];
     {
         let slots = SyncSlice::new(&mut results);
-        aomp_weaver::call_for("Evolib.Hill.climb", LoopRange::upto(0, cfg.starts as i64), |lo, hi, step| {
-            let mut s = lo;
-            while s < hi {
-                // SAFETY: slot s is owned by this thread per schedule.
-                unsafe { slots.set(s as usize, Some(climb_one(problem, cfg, s as usize))) };
-                s += step;
-            }
-        });
+        aomp_weaver::call_for(
+            "Evolib.Hill.climb",
+            LoopRange::upto(0, cfg.starts as i64),
+            |lo, hi, step| {
+                let mut s = lo;
+                while s < hi {
+                    // SAFETY: slot s is owned by this thread per schedule.
+                    unsafe { slots.set(s as usize, Some(climb_one(problem, cfg, s as usize))) };
+                    s += step;
+                }
+            },
+        );
     }
-    let all: Vec<Individual> = results.into_iter().map(|r| r.expect("every start ran")).collect();
+    let all: Vec<Individual> = results
+        .into_iter()
+        .map(|r| r.expect("every start ran"))
+        .collect();
     let history: Vec<f64> = all.iter().map(|i| i.fitness).collect();
-    let best = all.into_iter().min_by(|a, b| a.fitness.total_cmp(&b.fitness)).expect("starts >= 1");
-    RunResult { best, history, evaluations: cfg.starts * (cfg.steps + 1) }
+    let best = all
+        .into_iter()
+        .min_by(|a, b| a.fitness.total_cmp(&b.fitness))
+        .expect("starts >= 1");
+    RunResult {
+        best,
+        history,
+        evaluations: cfg.starts * (cfg.steps + 1),
+    }
 }
 
 #[cfg(test)]
@@ -96,7 +115,11 @@ mod tests {
     #[test]
     fn hill_parallel_matches_sequential() {
         let p = Sphere { dims: 3 };
-        let cfg = HillConfig { starts: 8, steps: 100, ..HillConfig::default() };
+        let cfg = HillConfig {
+            starts: 8,
+            steps: 100,
+            ..HillConfig::default()
+        };
         let seq = run(&p, &cfg);
         let par = aomp_weaver::Weaver::global()
             .with_deployed(parallel_evaluation_aspect(4), || run(&p, &cfg));
@@ -107,7 +130,11 @@ mod tests {
     #[test]
     fn starts_are_independent_and_deterministic() {
         let p = Sphere { dims: 2 };
-        let cfg = HillConfig { starts: 4, steps: 50, ..HillConfig::default() };
+        let cfg = HillConfig {
+            starts: 4,
+            steps: 50,
+            ..HillConfig::default()
+        };
         let a = run(&p, &cfg);
         let b = run(&p, &cfg);
         assert_eq!(a.history, b.history);

@@ -37,7 +37,11 @@ impl Default for IslandConfig {
     fn default() -> Self {
         Self {
             islands: 4,
-            ga: GaConfig { generations: 10, pop_size: 24, ..GaConfig::default() },
+            ga: GaConfig {
+                generations: 10,
+                pop_size: 24,
+                ..GaConfig::default()
+            },
             epochs: 6,
             migrants: 2,
         }
@@ -57,10 +61,19 @@ pub fn run(problem: &dyn Problem, cfg: &IslandConfig) -> RunResult {
     let evaluations = std::sync::atomic::AtomicUsize::new(0);
 
     let aspect = AspectModule::builder("IslandModel")
-        .bind(Pointcut::call("Evolib.Island.evolve"), Mechanism::parallel().threads(islands))
+        .bind(
+            Pointcut::call("Evolib.Island.evolve"),
+            Mechanism::parallel().threads(islands),
+        )
         .bind(Pointcut::call("Evolib.Island.migrate"), Mechanism::master())
-        .bind(Pointcut::call("Evolib.Island.migrate"), Mechanism::barrier_before())
-        .bind(Pointcut::call("Evolib.Island.migrate"), Mechanism::barrier_after())
+        .bind(
+            Pointcut::call("Evolib.Island.migrate"),
+            Mechanism::barrier_before(),
+        )
+        .bind(
+            Pointcut::call("Evolib.Island.migrate"),
+            Mechanism::barrier_after(),
+        )
         .build();
 
     Weaver::global().with_deployed(aspect, || {
@@ -88,14 +101,21 @@ pub fn run(problem: &dyn Problem, cfg: &IslandConfig) -> RunResult {
                     }
                 }
                 island_best.update_or_init(Vec::new, |v| v.push(best.clone()));
-                ga_cfg.seed = ga_cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                ga_cfg.seed = ga_cfg
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(1);
 
                 // Migration: master collects every island's champion and
                 // sends copies around the ring.
                 aomp_weaver::call("Evolib.Island.migrate", || {
                     let all: Vec<Vec<Individual>> = island_best.drain_locals();
-                    let mut bests: Vec<Individual> =
-                        all.into_iter().filter_map(|v| v.into_iter().min_by(|a, b| a.fitness.total_cmp(&b.fitness))).collect();
+                    let mut bests: Vec<Individual> = all
+                        .into_iter()
+                        .filter_map(|v| {
+                            v.into_iter().min_by(|a, b| a.fitness.total_cmp(&b.fitness))
+                        })
+                        .collect();
                     bests.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
                     if let Some(b) = bests.first() {
                         let mut champ = champion.lock();
@@ -142,7 +162,13 @@ mod tests {
     fn champion_history_is_monotone() {
         // The global champion can only improve (it keeps the best seen).
         let p = Rastrigin { dims: 4 };
-        let r = run(&p, &IslandConfig { epochs: 5, ..Default::default() });
+        let r = run(
+            &p,
+            &IslandConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         // history records per-epoch bests, champion <= min(history)
         let min_hist = r.history.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(r.best.fitness <= min_hist + 1e-12);
@@ -151,7 +177,11 @@ mod tests {
     #[test]
     fn single_island_degenerates_to_plain_ga_epochs() {
         let p = Sphere { dims: 3 };
-        let cfg = IslandConfig { islands: 1, epochs: 3, ..Default::default() };
+        let cfg = IslandConfig {
+            islands: 1,
+            epochs: 3,
+            ..Default::default()
+        };
         let r = run(&p, &cfg);
         assert!(r.best.fitness.is_finite());
         assert_eq!(r.history.len(), 3);
@@ -161,7 +191,13 @@ mod tests {
     fn more_islands_do_not_hurt_best_fitness_much() {
         // Sanity: the parallel scheme still optimises with many islands.
         let p = Sphere { dims: 4 };
-        let r = run(&p, &IslandConfig { islands: 6, ..Default::default() });
+        let r = run(
+            &p,
+            &IslandConfig {
+                islands: 6,
+                ..Default::default()
+            },
+        );
         assert!(r.best.fitness < 1.0, "fitness {}", r.best.fitness);
     }
 }

@@ -25,7 +25,6 @@
 //! the tests exploit to prove the aspect changes *performance structure*,
 //! never *results*.
 
-
 #![warn(missing_docs)]
 
 pub mod aspects;
@@ -50,7 +49,10 @@ pub struct Individual {
 impl Individual {
     /// Unevaluated individual with the given genome.
     pub fn new(genes: Vec<f64>) -> Self {
-        Self { genes, fitness: f64::INFINITY }
+        Self {
+            genes,
+            fitness: f64::INFINITY,
+        }
     }
 }
 

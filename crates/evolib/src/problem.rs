@@ -59,7 +59,10 @@ impl Problem for Rastrigin {
     fn evaluate(&self, genes: &[f64]) -> f64 {
         let a = 10.0;
         a * genes.len() as f64
-            + genes.iter().map(|x| x * x - a * (2.0 * std::f64::consts::PI * x).cos()).sum::<f64>()
+            + genes
+                .iter()
+                .map(|x| x * x - a * (2.0 * std::f64::consts::PI * x).cos())
+                .sum::<f64>()
     }
 }
 
@@ -103,10 +106,18 @@ pub struct Knapsack {
 impl Knapsack {
     /// A deterministic instance with `n` items.
     pub fn instance(n: usize) -> Knapsack {
-        let values = (0..n).map(|i| ((i * 37 + 11) % 50 + 1) as f64).collect::<Vec<_>>();
-        let weights = (0..n).map(|i| ((i * 53 + 7) % 40 + 1) as f64).collect::<Vec<_>>();
+        let values = (0..n)
+            .map(|i| ((i * 37 + 11) % 50 + 1) as f64)
+            .collect::<Vec<_>>();
+        let weights = (0..n)
+            .map(|i| ((i * 53 + 7) % 40 + 1) as f64)
+            .collect::<Vec<_>>();
         let capacity = weights.iter().sum::<f64>() * 0.4;
-        Knapsack { values, weights, capacity }
+        Knapsack {
+            values,
+            weights,
+            capacity,
+        }
     }
 }
 
@@ -129,7 +140,11 @@ impl Problem for Knapsack {
                 weight += self.weights[i];
             }
         }
-        let penalty = if weight > self.capacity { (weight - self.capacity) * 100.0 } else { 0.0 };
+        let penalty = if weight > self.capacity {
+            (weight - self.capacity) * 100.0
+        } else {
+            0.0
+        };
         -(value) + penalty
     }
     fn optimum(&self) -> f64 {

@@ -21,11 +21,23 @@ pub const UNREACHED: i64 = -1;
 /// a trailing barrier, master-only frontier collection.
 pub fn aspect(threads: usize) -> AspectModule {
     AspectModule::builder("ParallelBfs")
-        .bind(Pointcut::call("Graph.bfs.run"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::call("Graph.bfs.expand"), Mechanism::for_loop(Schedule::Dynamic { chunk: 64 }))
-        .bind(Pointcut::call("Graph.bfs.expand"), Mechanism::barrier_after())
+        .bind(
+            Pointcut::call("Graph.bfs.run"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::call("Graph.bfs.expand"),
+            Mechanism::for_loop(Schedule::Dynamic { chunk: 64 }),
+        )
+        .bind(
+            Pointcut::call("Graph.bfs.expand"),
+            Mechanism::barrier_after(),
+        )
         .bind(Pointcut::call("Graph.bfs.collect"), Mechanism::master())
-        .bind(Pointcut::call("Graph.bfs.collect"), Mechanism::barrier_after())
+        .bind(
+            Pointcut::call("Graph.bfs.collect"),
+            Mechanism::barrier_after(),
+        )
         .build()
 }
 
@@ -57,27 +69,41 @@ pub fn run(g: &CsrGraph, source: usize) -> Vec<i64> {
                 break;
             }
             // Expand the current frontier (work-shared by the aspect).
-            aomp_weaver::call_for("Graph.bfs.expand", LoopRange::upto(0, frontier_len as i64), |lo, hi, step| {
-                let frontier = state.frontier.lock().clone();
-                let mut i = lo;
-                while i < hi {
-                    let v = frontier[i as usize] as usize;
-                    for &w in state.g.neighbours(v) {
-                        // Atomic claim: first visitor sets the level.
-                        if state.levels[w as usize]
-                            .compare_exchange(UNREACHED, level + 1, Ordering::Relaxed, Ordering::Relaxed)
-                            .is_ok()
-                        {
-                            state.discovered.update_or_init(Vec::new, |d| d.push(w));
+            aomp_weaver::call_for(
+                "Graph.bfs.expand",
+                LoopRange::upto(0, frontier_len as i64),
+                |lo, hi, step| {
+                    let frontier = state.frontier.lock().clone();
+                    let mut i = lo;
+                    while i < hi {
+                        let v = frontier[i as usize] as usize;
+                        for &w in state.g.neighbours(v) {
+                            // Atomic claim: first visitor sets the level.
+                            if state.levels[w as usize]
+                                .compare_exchange(
+                                    UNREACHED,
+                                    level + 1,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                            {
+                                state.discovered.update_or_init(Vec::new, |d| d.push(w));
+                            }
                         }
+                        i += step;
                     }
-                    i += step;
-                }
-            });
+                },
+            );
             // Master collects the next frontier from the thread-local
             // buffers (sorted for determinism).
             aomp_weaver::call("Graph.bfs.collect", || {
-                let mut next: Vec<u32> = state.discovered.drain_locals().into_iter().flatten().collect();
+                let mut next: Vec<u32> = state
+                    .discovered
+                    .drain_locals()
+                    .into_iter()
+                    .flatten()
+                    .collect();
                 next.sort_unstable();
                 *state.frontier.lock() = next;
             });

@@ -18,10 +18,19 @@ use crate::graph::CsrGraph;
 /// The aspect parallelising [`run`].
 pub fn aspect(threads: usize) -> AspectModule {
     AspectModule::builder("ParallelComponents")
-        .bind(Pointcut::call("Graph.cc.run"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::call("Graph.cc.sweep"), Mechanism::for_loop(Schedule::Dynamic { chunk: 128 }))
+        .bind(
+            Pointcut::call("Graph.cc.run"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::call("Graph.cc.sweep"),
+            Mechanism::for_loop(Schedule::Dynamic { chunk: 128 }),
+        )
         .bind(Pointcut::call("Graph.cc.changed"), Mechanism::master())
-        .bind(Pointcut::call("Graph.cc.changed"), Mechanism::barrier_before())
+        .bind(
+            Pointcut::call("Graph.cc.changed"),
+            Mechanism::barrier_before(),
+        )
         .build()
 }
 
@@ -35,25 +44,29 @@ pub fn run(g: &CsrGraph) -> Vec<u32> {
 
     aomp_weaver::call("Graph.cc.run", || {
         loop {
-            aomp_weaver::call_for("Graph.cc.sweep", LoopRange::upto(0, n as i64), |lo, hi, step| {
-                let mut local_changes = 0usize;
-                let mut v = lo;
-                while v < hi {
-                    let vu = v as usize;
-                    let mut best = labels_ref[vu].load(Ordering::Relaxed);
-                    // Undirected view: out- and in-neighbours.
-                    for &w in g.neighbours(vu).iter().chain(gt.neighbours(vu)) {
-                        best = best.min(labels_ref[w as usize].load(Ordering::Relaxed));
+            aomp_weaver::call_for(
+                "Graph.cc.sweep",
+                LoopRange::upto(0, n as i64),
+                |lo, hi, step| {
+                    let mut local_changes = 0usize;
+                    let mut v = lo;
+                    while v < hi {
+                        let vu = v as usize;
+                        let mut best = labels_ref[vu].load(Ordering::Relaxed);
+                        // Undirected view: out- and in-neighbours.
+                        for &w in g.neighbours(vu).iter().chain(gt.neighbours(vu)) {
+                            best = best.min(labels_ref[w as usize].load(Ordering::Relaxed));
+                        }
+                        // fetch_min keeps concurrent updates monotone.
+                        let prev = labels_ref[vu].fetch_min(best, Ordering::Relaxed);
+                        if best < prev {
+                            local_changes += 1;
+                        }
+                        v += step;
                     }
-                    // fetch_min keeps concurrent updates monotone.
-                    let prev = labels_ref[vu].fetch_min(best, Ordering::Relaxed);
-                    if best < prev {
-                        local_changes += 1;
-                    }
-                    v += step;
-                }
-                changed_tlf.update_or_init(|| 0, |c| *c += local_changes);
-            });
+                    changed_tlf.update_or_init(|| 0, |c| *c += local_changes);
+                },
+            );
             let changed: usize = aomp_weaver::call_value("Graph.cc.changed", || {
                 changed_tlf.drain_locals().into_iter().sum()
             });

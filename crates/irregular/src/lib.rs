@@ -19,7 +19,6 @@
 //!
 //! [`CustomAdvice`]: aomp_weaver::CustomAdvice
 
-
 #![warn(missing_docs)]
 
 pub mod bfs;

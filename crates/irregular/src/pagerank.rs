@@ -21,11 +21,23 @@ pub const DAMPING: f64 = 0.85;
 /// The aspect parallelising [`run`].
 pub fn aspect(threads: usize) -> AspectModule {
     AspectModule::builder("ParallelPageRank")
-        .bind(Pointcut::call("Graph.pagerank.run"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::call("Graph.pagerank.sweep"), Mechanism::for_loop(Schedule::StaticBlock))
-        .bind(Pointcut::call("Graph.pagerank.sweep"), Mechanism::barrier_after())
+        .bind(
+            Pointcut::call("Graph.pagerank.run"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::call("Graph.pagerank.sweep"),
+            Mechanism::for_loop(Schedule::StaticBlock),
+        )
+        .bind(
+            Pointcut::call("Graph.pagerank.sweep"),
+            Mechanism::barrier_after(),
+        )
         .bind(Pointcut::call("Graph.pagerank.error"), Mechanism::master())
-        .bind(Pointcut::call("Graph.pagerank.error"), Mechanism::barrier_before())
+        .bind(
+            Pointcut::call("Graph.pagerank.error"),
+            Mechanism::barrier_before(),
+        )
         .build()
 }
 
@@ -46,29 +58,33 @@ pub fn run(g: &CsrGraph, tol: f64, max_iters: usize) -> (Vec<f64>, usize) {
     aomp_weaver::call("Graph.pagerank.run", || {
         for iter in 0..max_iters {
             let (src, dst) = (&bufs[iter % 2], &bufs[(iter + 1) % 2]);
-            aomp_weaver::call_for("Graph.pagerank.sweep", LoopRange::upto(0, n as i64), |lo, hi, step| {
-                let mut v = lo;
-                let mut local_err = 0.0;
-                while v < hi {
-                    let vu = v as usize;
-                    let mut sum = 0.0;
-                    for &u in gt.neighbours(vu) {
-                        let ud = out_degree[u as usize];
-                        if ud > 0 {
-                            // SAFETY: src is read-only during the sweep.
-                            sum += unsafe { src.read(u as usize) } / ud as f64;
+            aomp_weaver::call_for(
+                "Graph.pagerank.sweep",
+                LoopRange::upto(0, n as i64),
+                |lo, hi, step| {
+                    let mut v = lo;
+                    let mut local_err = 0.0;
+                    while v < hi {
+                        let vu = v as usize;
+                        let mut sum = 0.0;
+                        for &u in gt.neighbours(vu) {
+                            let ud = out_degree[u as usize];
+                            if ud > 0 {
+                                // SAFETY: src is read-only during the sweep.
+                                sum += unsafe { src.read(u as usize) } / ud as f64;
+                            }
                         }
+                        let nv = (1.0 - DAMPING) / n as f64 + DAMPING * sum;
+                        // SAFETY: vertex vu is schedule-owned for writing.
+                        unsafe {
+                            local_err += (nv - src.read(vu)).abs();
+                            dst.set(vu, nv);
+                        }
+                        v += step;
                     }
-                    let nv = (1.0 - DAMPING) / n as f64 + DAMPING * sum;
-                    // SAFETY: vertex vu is schedule-owned for writing.
-                    unsafe {
-                        local_err += (nv - src.read(vu)).abs();
-                        dst.set(vu, nv);
-                    }
-                    v += step;
-                }
-                err_tlf.update_or_init(|| 0.0, |e| *e += local_err);
-            });
+                    err_tlf.update_or_init(|| 0.0, |e| *e += local_err);
+                },
+            );
             // Master folds the error; the value is broadcast so every
             // thread takes the same branch below.
             let err: f64 = aomp_weaver::call_value("Graph.pagerank.error", || {

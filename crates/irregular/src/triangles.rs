@@ -68,13 +68,22 @@ impl DegreeBalancedSchedule {
         let target_hi = total * (tid as u64 + 1) / t as u64;
         let snap = |target: u64| self.cost_prefix.partition_point(|&c| c < target);
         let lo = if tid == 0 { 0 } else { snap(target_lo) };
-        let hi = if tid + 1 == t { self.cost_prefix.len() - 1 } else { snap(target_hi) };
+        let hi = if tid + 1 == t {
+            self.cost_prefix.len() - 1
+        } else {
+            snap(target_hi)
+        };
         (lo, hi.max(lo))
     }
 }
 
 impl CustomAdvice for DegreeBalancedSchedule {
-    fn around_for(&self, _jp: &JoinPoint<'_>, range: LoopRange, proceed: &mut dyn FnMut(i64, i64, i64)) {
+    fn around_for(
+        &self,
+        _jp: &JoinPoint<'_>,
+        range: LoopRange,
+        proceed: &mut dyn FnMut(i64, i64, i64),
+    ) {
         let (lo, hi) = self.range(ctx::thread_id(), ctx::team_size());
         let lo = (lo as i64).max(range.start);
         let hi = (hi as i64).min(range.end);
@@ -101,8 +110,13 @@ pub enum TriSchedule {
 
 impl TriSchedule {
     /// All ablation points.
-    pub const ALL: [TriSchedule; 5] =
-        [TriSchedule::Block, TriSchedule::Cyclic, TriSchedule::Dynamic, TriSchedule::Guided, TriSchedule::DegreeBalanced];
+    pub const ALL: [TriSchedule; 5] = [
+        TriSchedule::Block,
+        TriSchedule::Cyclic,
+        TriSchedule::Dynamic,
+        TriSchedule::Guided,
+        TriSchedule::DegreeBalanced,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -118,17 +132,27 @@ impl TriSchedule {
 
 /// The aspect running [`count`]'s loop under `schedule` on `threads`.
 pub fn aspect(threads: usize, schedule: TriSchedule, oriented: &CsrGraph) -> AspectModule {
-    let b = AspectModule::builder(format!("ParallelTriangles[{}]", schedule.name()))
-        .bind(Pointcut::call("Graph.triangles.run"), Mechanism::parallel().threads(threads));
+    let b = AspectModule::builder(format!("ParallelTriangles[{}]", schedule.name())).bind(
+        Pointcut::call("Graph.triangles.run"),
+        Mechanism::parallel().threads(threads),
+    );
     match schedule {
-        TriSchedule::Block => b.bind(Pointcut::call("Graph.triangles.count"), Mechanism::for_loop(Schedule::StaticBlock)),
-        TriSchedule::Cyclic => b.bind(Pointcut::call("Graph.triangles.count"), Mechanism::for_loop(Schedule::StaticCyclic)),
-        TriSchedule::Dynamic => {
-            b.bind(Pointcut::call("Graph.triangles.count"), Mechanism::for_loop(Schedule::Dynamic { chunk: 32 }))
-        }
-        TriSchedule::Guided => {
-            b.bind(Pointcut::call("Graph.triangles.count"), Mechanism::for_loop(Schedule::Guided { min_chunk: 16 }))
-        }
+        TriSchedule::Block => b.bind(
+            Pointcut::call("Graph.triangles.count"),
+            Mechanism::for_loop(Schedule::StaticBlock),
+        ),
+        TriSchedule::Cyclic => b.bind(
+            Pointcut::call("Graph.triangles.count"),
+            Mechanism::for_loop(Schedule::StaticCyclic),
+        ),
+        TriSchedule::Dynamic => b.bind(
+            Pointcut::call("Graph.triangles.count"),
+            Mechanism::for_loop(Schedule::Dynamic { chunk: 32 }),
+        ),
+        TriSchedule::Guided => b.bind(
+            Pointcut::call("Graph.triangles.count"),
+            Mechanism::for_loop(Schedule::Guided { min_chunk: 16 }),
+        ),
         TriSchedule::DegreeBalanced => b.bind(
             Pointcut::call("Graph.triangles.count"),
             Mechanism::custom(DegreeBalancedSchedule::new(oriented)),
@@ -151,31 +175,35 @@ pub fn count_oriented(oriented: &CsrGraph) -> u64 {
     let n = oriented.vertices();
     let total = AtomicU64::new(0);
     aomp_weaver::call("Graph.triangles.run", || {
-        aomp_weaver::call_for("Graph.triangles.count", LoopRange::upto(0, n as i64), |lo, hi, step| {
-            let mut local = 0u64;
-            let mut v = lo;
-            while v < hi {
-                let nv = oriented.neighbours(v as usize);
-                for (i, &u) in nv.iter().enumerate() {
-                    let nu = oriented.neighbours(u as usize);
-                    // |nv[i+1..] ∩ nu| by sorted merge.
-                    let (mut a, mut b) = (i + 1, 0);
-                    while a < nv.len() && b < nu.len() {
-                        match nv[a].cmp(&nu[b]) {
-                            std::cmp::Ordering::Less => a += 1,
-                            std::cmp::Ordering::Greater => b += 1,
-                            std::cmp::Ordering::Equal => {
-                                local += 1;
-                                a += 1;
-                                b += 1;
+        aomp_weaver::call_for(
+            "Graph.triangles.count",
+            LoopRange::upto(0, n as i64),
+            |lo, hi, step| {
+                let mut local = 0u64;
+                let mut v = lo;
+                while v < hi {
+                    let nv = oriented.neighbours(v as usize);
+                    for (i, &u) in nv.iter().enumerate() {
+                        let nu = oriented.neighbours(u as usize);
+                        // |nv[i+1..] ∩ nu| by sorted merge.
+                        let (mut a, mut b) = (i + 1, 0);
+                        while a < nv.len() && b < nu.len() {
+                            match nv[a].cmp(&nu[b]) {
+                                std::cmp::Ordering::Less => a += 1,
+                                std::cmp::Ordering::Greater => b += 1,
+                                std::cmp::Ordering::Equal => {
+                                    local += 1;
+                                    a += 1;
+                                    b += 1;
+                                }
                             }
                         }
                     }
+                    v += step;
                 }
-                v += step;
-            }
-            total.fetch_add(local, Ordering::Relaxed);
-        });
+                total.fetch_add(local, Ordering::Relaxed);
+            },
+        );
     });
     total.into_inner()
 }
@@ -267,13 +295,17 @@ mod tests {
         let oriented = orient(&g);
         let cs = DegreeBalancedSchedule::new(&oriented);
         let cost = |lo: usize, hi: usize| {
-            (lo..hi).map(|v| (oriented.degree(v) as u64).pow(2) + 1).sum::<u64>()
+            (lo..hi)
+                .map(|v| (oriented.degree(v) as u64).pow(2) + 1)
+                .sum::<u64>()
         };
         let t = 4;
-        let costs: Vec<u64> = (0..t).map(|tid| {
-            let (lo, hi) = cs.range(tid, t);
-            cost(lo, hi)
-        }).collect();
+        let costs: Vec<u64> = (0..t)
+            .map(|tid| {
+                let (lo, hi) = cs.range(tid, t);
+                cost(lo, hi)
+            })
+            .collect();
         let max = *costs.iter().max().unwrap() as f64;
         let avg = costs.iter().sum::<u64>() as f64 / t as f64;
         assert!(max / avg < 1.6, "imbalance {}: {costs:?}", max / avg);

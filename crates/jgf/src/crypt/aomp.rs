@@ -18,7 +18,14 @@ use crate::shared::SyncSlice;
 /// the cipher loop as its own non-inlined function so its code
 /// generation is independent of the weaving shim.
 #[inline(never)]
-fn original_cipher_idea(lo: i64, hi: i64, st: i64, input: &SyncSlice<'_, u8>, output: &SyncSlice<'_, u8>, key: &[u16; KEY_WORDS]) {
+fn original_cipher_idea(
+    lo: i64,
+    hi: i64,
+    st: i64,
+    input: &SyncSlice<'_, u8>,
+    output: &SyncSlice<'_, u8>,
+    key: &[u16; KEY_WORDS],
+) {
     debug_assert_eq!(st % BLOCK as i64, 0, "block-aligned stride");
     if st == BLOCK as i64 {
         // Contiguous chunk: borrow it as plain slices so the inner loop
@@ -48,15 +55,32 @@ fn original_cipher_idea(lo: i64, hi: i64, st: i64, input: &SyncSlice<'_, u8>, ou
 
 /// The for method (paper convention: first three params are the loop
 /// bounds in bytes, step = 8). Exposed as join point `Crypt.cipherIdea`.
-fn cipher_idea(start: i64, end: i64, step: i64, input: SyncSlice<'_, u8>, output: SyncSlice<'_, u8>, key: &[u16; KEY_WORDS]) {
-    aomp_weaver::call_for("Crypt.cipherIdea", LoopRange::new(start, end, step), |lo, hi, st| {
-        original_cipher_idea(lo, hi, st, &input, &output, key);
-    });
+fn cipher_idea(
+    start: i64,
+    end: i64,
+    step: i64,
+    input: SyncSlice<'_, u8>,
+    output: SyncSlice<'_, u8>,
+    key: &[u16; KEY_WORDS],
+) {
+    aomp_weaver::call_for(
+        "Crypt.cipherIdea",
+        LoopRange::new(start, end, step),
+        |lo, hi, st| {
+            original_cipher_idea(lo, hi, st, &input, &output, key);
+        },
+    );
 }
 
 /// The run method (M2M refactor): both cipher phases inside one parallel
 /// region. Exposed as join point `Crypt.run`.
-fn crypt_run(plain: SyncSlice<'_, u8>, cipher: SyncSlice<'_, u8>, trip: SyncSlice<'_, u8>, z: &[u16; KEY_WORDS], dk: &[u16; KEY_WORDS]) {
+fn crypt_run(
+    plain: SyncSlice<'_, u8>,
+    cipher: SyncSlice<'_, u8>,
+    trip: SyncSlice<'_, u8>,
+    z: &[u16; KEY_WORDS],
+    dk: &[u16; KEY_WORDS],
+) {
     let n = plain.len() as i64;
     aomp_weaver::call("Crypt.run", || {
         cipher_idea(0, n, BLOCK as i64, plain, cipher, z);
@@ -67,8 +91,14 @@ fn crypt_run(plain: SyncSlice<'_, u8>, cipher: SyncSlice<'_, u8>, trip: SyncSlic
 /// The aspect module parallelising Crypt (the paper's concrete aspect).
 pub fn aspect(threads: usize) -> AspectModule {
     AspectModule::builder("ParallelCrypt")
-        .bind(Pointcut::call("Crypt.run"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::call("Crypt.cipherIdea"), Mechanism::for_loop(Schedule::StaticBlock))
+        .bind(
+            Pointcut::call("Crypt.run"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::call("Crypt.cipherIdea"),
+            Mechanism::for_loop(Schedule::StaticBlock),
+        )
         .build()
 }
 

@@ -155,7 +155,8 @@ mod tests {
         let z = calc_encrypt_key(&TEST_KEY);
         let dk = calc_decrypt_key(&z);
         for seed in 0u64..64 {
-            let plain: [u8; 8] = std::array::from_fn(|i| (seed.wrapping_mul(37) as u8).wrapping_add(i as u8 * 29));
+            let plain: [u8; 8] =
+                std::array::from_fn(|i| (seed.wrapping_mul(37) as u8).wrapping_add(i as u8 * 29));
             let mut cipher = [0u8; 8];
             let mut back = [0u8; 8];
             cipher_block(&plain, &mut cipher, &z);
@@ -199,6 +200,10 @@ mod tests {
         let z1 = calc_encrypt_key(&TEST_KEY);
         let z2 = calc_encrypt_key(&TEST_KEY);
         assert_eq!(z1, z2);
-        assert_ne!(&z1[8..16], &z1[0..8], "rotated subkeys must differ from the user key");
+        assert_ne!(
+            &z1[8..16],
+            &z1[0..8],
+            "rotated subkeys must differ from the user key"
+        );
     }
 }

@@ -70,7 +70,10 @@ pub fn validate(data: &CryptData, result: &CryptResult) -> bool {
 pub fn table2_meta() -> BenchmarkMeta {
     BenchmarkMeta {
         name: "Crypt",
-        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        refactorings: vec![
+            (Refactoring::MoveToForMethod, 1),
+            (Refactoring::MoveToMethod, 1),
+        ],
         abstractions: vec![
             (Abstraction::ParallelRegion, 1),
             (Abstraction::For(ForKind::Block), 1),

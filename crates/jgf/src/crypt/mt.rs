@@ -6,7 +6,13 @@ use super::idea::{cipher_block, BLOCK, KEY_WORDS};
 use super::{CryptData, CryptResult};
 use crate::shared::SyncSlice;
 
-fn cipher_slice(input: &[u8], output: SyncSlice<'_, u8>, key: &[u16; KEY_WORDS], id: usize, nthreads: usize) {
+fn cipher_slice(
+    input: &[u8],
+    output: SyncSlice<'_, u8>,
+    key: &[u16; KEY_WORDS],
+    id: usize,
+    nthreads: usize,
+) {
     // Manual block distribution, exactly like JGF's IDEARunner: slice the
     // buffer into per-thread chunks aligned to the cipher block.
     let blocks = input.len() / BLOCK;

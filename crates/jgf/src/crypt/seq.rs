@@ -6,7 +6,14 @@ use super::{CryptData, CryptResult};
 /// Encrypt/decrypt `input` into `output` block by block — the JGF
 /// `cipher_idea` routine, already shaped as a *for method* over byte
 /// offsets with step [`BLOCK`].
-pub fn cipher_range(start: i64, end: i64, step: i64, input: &[u8], output: &mut [u8], key: &[u16; KEY_WORDS]) {
+pub fn cipher_range(
+    start: i64,
+    end: i64,
+    step: i64,
+    input: &[u8],
+    output: &mut [u8],
+    key: &[u16; KEY_WORDS],
+) {
     let mut i = start;
     while i < end {
         let off = i as usize;
@@ -21,7 +28,14 @@ pub fn run(data: &CryptData) -> CryptResult {
     let mut cipher = vec![0u8; n];
     let mut round_trip = vec![0u8; n];
     cipher_range(0, n as i64, BLOCK as i64, &data.plain, &mut cipher, &data.z);
-    cipher_range(0, n as i64, BLOCK as i64, &cipher, &mut round_trip, &data.dk);
+    cipher_range(
+        0,
+        n as i64,
+        BLOCK as i64,
+        &cipher,
+        &mut round_trip,
+        &data.dk,
+    );
     CryptResult { cipher, round_trip }
 }
 
@@ -44,7 +58,14 @@ mod tests {
         let n = data.plain.len();
         let mut out = vec![0u8; n];
         // Encrypt only the second half.
-        cipher_range((n / 2) as i64, n as i64, BLOCK as i64, &data.plain, &mut out, &data.z);
+        cipher_range(
+            (n / 2) as i64,
+            n as i64,
+            BLOCK as i64,
+            &data.plain,
+            &mut out,
+            &data.z,
+        );
         assert!(out[..n / 2].iter().all(|&b| b == 0), "first half untouched");
         assert!(out[n / 2..].iter().any(|&b| b != 0), "second half written");
     }

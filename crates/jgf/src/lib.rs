@@ -21,7 +21,6 @@
 //! updates under a global critical section, under one lock per particle,
 //! and with the JGF thread-local force arrays.
 
-
 #![warn(missing_docs)]
 
 pub mod harness;

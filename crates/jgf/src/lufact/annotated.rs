@@ -62,7 +62,15 @@ fn dscal(lp: Linpack<'_>, k: usize, kp1: usize) {
 /// The Figure 12 `original_*` kernel, kept out of line (see
 /// EXPERIMENTS.md on why this matters for codegen).
 #[inline(never)]
-fn original_reduce_all_cols(lo: i64, hi: i64, st: i64, lp: Linpack<'_>, k: usize, l: usize, kp1: usize) {
+fn original_reduce_all_cols(
+    lo: i64,
+    hi: i64,
+    st: i64,
+    lp: Linpack<'_>,
+    k: usize,
+    l: usize,
+    kp1: usize,
+) {
     // SAFETY: the schedule owns columns [lo, hi) on this thread; the
     // pivot column is read-only during the phase.
     let col_k = unsafe { lp.a.get(k) };
@@ -81,7 +89,15 @@ fn original_reduce_all_cols(lo: i64, hi: i64, st: i64, lp: Linpack<'_>, k: usize
 
 #[for_loop(schedule = "staticBlock")]
 #[barrier_after]
-fn reduce_all_cols(startc: i64, endc: i64, is: i64, lp: Linpack<'_>, k: usize, l: usize, kp1: usize) {
+fn reduce_all_cols(
+    startc: i64,
+    endc: i64,
+    is: i64,
+    lp: Linpack<'_>,
+    k: usize,
+    l: usize,
+    kp1: usize,
+) {
     original_reduce_all_cols(startc, endc, is, lp, k, l, kp1);
 }
 
@@ -114,7 +130,11 @@ pub fn run(data: &LufactData) -> LufactResult {
     let mut x = data.b.clone();
     let mut ipvt = vec![0usize; data.n];
     {
-        let lp = Linpack { a: SyncSlice::new(&mut a), ipvt: SyncSlice::new(&mut ipvt), n: data.n };
+        let lp = Linpack {
+            a: SyncSlice::new(&mut a),
+            ipvt: SyncSlice::new(&mut ipvt),
+            n: data.n,
+        };
         dgefa(lp);
     }
     if data.n > 0 {

@@ -56,23 +56,35 @@ fn dscal_step(lp: Linpack<'_>, k: usize, kp1: usize) {
 
 /// `reduceAllCols` for method: reduce columns `startc..endc` against the
 /// pivot column (paper Figure 6).
-fn reduce_all_cols(lp: Linpack<'_>, startc: i64, endc: i64, is: i64, k: usize, l: usize, kp1: usize) {
-    aomp_weaver::call_for("Linpack.reduceAllCols", LoopRange::new(startc, endc, is), |lo, hi, st| {
-        // SAFETY: the schedule hands each thread disjoint columns j; the
-        // pivot column is read-only in this phase.
-        let col_k = unsafe { lp.a.get(k) };
-        let mut j = lo;
-        while j < hi {
-            let col_j = unsafe { lp.a.get_mut(j as usize) };
-            let t = col_j[l];
-            if l != k {
-                col_j[l] = col_j[k];
-                col_j[k] = t;
+fn reduce_all_cols(
+    lp: Linpack<'_>,
+    startc: i64,
+    endc: i64,
+    is: i64,
+    k: usize,
+    l: usize,
+    kp1: usize,
+) {
+    aomp_weaver::call_for(
+        "Linpack.reduceAllCols",
+        LoopRange::new(startc, endc, is),
+        |lo, hi, st| {
+            // SAFETY: the schedule hands each thread disjoint columns j; the
+            // pivot column is read-only in this phase.
+            let col_k = unsafe { lp.a.get(k) };
+            let mut j = lo;
+            while j < hi {
+                let col_j = unsafe { lp.a.get_mut(j as usize) };
+                let t = col_j[l];
+                if l != k {
+                    col_j[l] = col_j[k];
+                    col_j[k] = t;
+                }
+                daxpy(lp.n - kp1, t, col_k, col_j, kp1);
+                j += st;
             }
-            daxpy(lp.n - kp1, t, col_k, col_j, kp1);
-            j += st;
-        }
-    });
+        },
+    );
 }
 
 /// `dgefa` join point: the parallel region. Every team thread executes
@@ -105,15 +117,28 @@ fn dgefa(lp: Linpack<'_>) {
 /// The `ParallelLinpack` aspect of paper Figure 7.
 pub fn aspect(threads: usize) -> AspectModule {
     AspectModule::builder("ParallelLinpack")
-        .bind(Pointcut::call("Linpack.dgefa"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::call("Linpack.reduceAllCols"), Mechanism::for_loop(Schedule::StaticBlock))
+        .bind(
+            Pointcut::call("Linpack.dgefa"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::call("Linpack.reduceAllCols"),
+            Mechanism::for_loop(Schedule::StaticBlock),
+        )
         .bind(
             Pointcut::call("Linpack.interchange").or(Pointcut::call("Linpack.dscal")),
             Mechanism::master(),
         )
-        .bind(Pointcut::call("Linpack.interchange"), Mechanism::barrier_before())
         .bind(
-            Pointcut::calls(["Linpack.reduceAllCols", "Linpack.interchange", "Linpack.dscal"]),
+            Pointcut::call("Linpack.interchange"),
+            Mechanism::barrier_before(),
+        )
+        .bind(
+            Pointcut::calls([
+                "Linpack.reduceAllCols",
+                "Linpack.interchange",
+                "Linpack.dscal",
+            ]),
             Mechanism::barrier_after(),
         )
         .build()
@@ -131,7 +156,11 @@ pub fn run_base(data: &LufactData) -> LufactResult {
     let mut x = data.b.clone();
     let mut ipvt = vec![0usize; data.n];
     {
-        let lp = Linpack { a: SyncSlice::new(&mut a), ipvt: SyncSlice::new(&mut ipvt), n: data.n };
+        let lp = Linpack {
+            a: SyncSlice::new(&mut a),
+            ipvt: SyncSlice::new(&mut ipvt),
+            n: data.n,
+        };
         dgefa(lp);
     }
     if data.n > 0 {

@@ -161,7 +161,10 @@ pub fn dgesl(a: &[Vec<f64>], n: usize, ipvt: &[usize], b: &mut [f64]) {
 pub fn table2_meta() -> BenchmarkMeta {
     BenchmarkMeta {
         name: "LUFact",
-        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        refactorings: vec![
+            (Refactoring::MoveToForMethod, 1),
+            (Refactoring::MoveToMethod, 1),
+        ],
         abstractions: vec![
             (Abstraction::ParallelRegion, 1),
             (Abstraction::For(ForKind::Block), 1),

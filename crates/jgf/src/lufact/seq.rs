@@ -106,8 +106,11 @@ mod tests {
         // Pivot row for column 0 is row 1 (|6| > |4|).
         assert_eq!(ipvt, vec![1, 1]);
         let mut b = vec![10.0, 12.0]; // A*[1,2] = [4+6, 6+6]? rows: [4,3]·x, [6,3]·x
-        // For x = [1, 2]: row0 = 4*1+3*2 = 10, row1 = 6*1+3*2 = 12. ✓
+                                      // For x = [1, 2]: row0 = 4*1+3*2 = 10, row1 = 6*1+3*2 = 12. ✓
         dgesl(&a, 2, &ipvt, &mut b);
-        assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 2.0).abs() < 1e-12, "{b:?}");
+        assert!(
+            (b[0] - 1.0).abs() < 1e-12 && (b[1] - 2.0).abs() < 1e-12,
+            "{b:?}"
+        );
     }
 }

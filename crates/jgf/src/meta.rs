@@ -93,7 +93,13 @@ impl BenchmarkMeta {
     pub fn refactorings_column(&self) -> String {
         self.refactorings
             .iter()
-            .map(|(r, n)| if *n == 1 { r.to_string() } else { format!("{n}x{r}") })
+            .map(|(r, n)| {
+                if *n == 1 {
+                    r.to_string()
+                } else {
+                    format!("{n}x{r}")
+                }
+            })
             .collect::<Vec<_>>()
             .join(", ")
     }
@@ -103,7 +109,13 @@ impl BenchmarkMeta {
     pub fn abstractions_column(&self) -> String {
         self.abstractions
             .iter()
-            .map(|(a, n)| if *n == 1 { a.to_string() } else { format!("{n}x{a}") })
+            .map(|(a, n)| {
+                if *n == 1 {
+                    a.to_string()
+                } else {
+                    format!("{n}x{a}")
+                }
+            })
             .collect::<Vec<_>>()
             .join(", ")
     }
@@ -134,8 +146,14 @@ mod tests {
         assert_eq!(Refactoring::MoveToForMethod.to_string(), "M2FOR");
         assert_eq!(Abstraction::ParallelRegion.to_string(), "PR");
         assert_eq!(Abstraction::For(ForKind::Block).to_string(), "FOR (block)");
-        assert_eq!(Abstraction::For(ForKind::Cyclic).to_string(), "FOR (cyclic)");
-        assert_eq!(Abstraction::For(ForKind::CaseSpecific).to_string(), "FOR (Case Specific)");
+        assert_eq!(
+            Abstraction::For(ForKind::Cyclic).to_string(),
+            "FOR (cyclic)"
+        );
+        assert_eq!(
+            Abstraction::For(ForKind::CaseSpecific).to_string(),
+            "FOR (Case Specific)"
+        );
         assert_eq!(Abstraction::Barrier.to_string(), "BR");
         assert_eq!(Abstraction::Master.to_string(), "MA");
         assert_eq!(Abstraction::ThreadLocalField.to_string(), "TLF");
@@ -146,7 +164,10 @@ mod tests {
     fn columns_render_multiplicities() {
         let m = BenchmarkMeta {
             name: "LUFact",
-            refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+            refactorings: vec![
+                (Refactoring::MoveToForMethod, 1),
+                (Refactoring::MoveToMethod, 1),
+            ],
             abstractions: vec![
                 (Abstraction::ParallelRegion, 1),
                 (Abstraction::For(ForKind::Block), 1),

@@ -4,7 +4,6 @@
 //! `@Reduce`-style master points, and a master-broadcast value join point
 //! for the kinetic-energy total. Table 2: `PR, FOR (cyclic), 2xTLF`.
 
-
 // Index-based loops mirror the JGF Java kernels they port.
 #![allow(clippy::needless_range_loop)]
 
@@ -12,7 +11,9 @@ use aomp::prelude::*;
 use aomp_weaver::prelude::*;
 use parking_lot::Mutex;
 
-use super::forces::{domove_range, force_range_local, kinetic_range, pos_sum, rescale_range, scale_factor};
+use super::forces::{
+    domove_range, force_range_local, kinetic_range, pos_sum, rescale_range, scale_factor,
+};
 use super::{MolDynData, MolDynResult, MolShared, SCALE_INTERVAL};
 
 type LocalForces = [Vec<f64>; 3];
@@ -36,22 +37,36 @@ fn zeros(n: usize) -> LocalForces {
 }
 
 fn domove(sim: &Sim) {
-    aomp_weaver::call_for("MolDyn.domove", LoopRange::upto(0, sim.s.n as i64), |lo, hi, st| {
-        domove_range(&sim.s, lo, hi, st);
-    });
+    aomp_weaver::call_for(
+        "MolDyn.domove",
+        LoopRange::upto(0, sim.s.n as i64),
+        |lo, hi, st| {
+            domove_range(&sim.s, lo, hi, st);
+        },
+    );
 }
 
 fn compute_forces(sim: &Sim) {
-    aomp_weaver::call_for("MolDyn.computeForces", LoopRange::upto(0, sim.s.n as i64), |lo, hi, st| {
-        let n = sim.s.n;
-        sim.force_tlf.update_or_init(|| zeros(n), |local| {
-            let (ep, vi) = force_range_local(&sim.s, lo, hi, st, local);
-            sim.energy_tlf.update_or_init(|| (0.0, 0.0), |e| {
-                e.0 += ep;
-                e.1 += vi;
-            });
-        });
-    });
+    aomp_weaver::call_for(
+        "MolDyn.computeForces",
+        LoopRange::upto(0, sim.s.n as i64),
+        |lo, hi, st| {
+            let n = sim.s.n;
+            sim.force_tlf.update_or_init(
+                || zeros(n),
+                |local| {
+                    let (ep, vi) = force_range_local(&sim.s, lo, hi, st, local);
+                    sim.energy_tlf.update_or_init(
+                        || (0.0, 0.0),
+                        |e| {
+                            e.0 += ep;
+                            e.1 += vi;
+                        },
+                    );
+                },
+            );
+        },
+    );
 }
 
 /// `@Reduce` point: the master merges every thread's force arrays into
@@ -81,10 +96,14 @@ fn reduce_forces(sim: &Sim) {
 }
 
 fn update_kinetic(sim: &Sim) {
-    aomp_weaver::call_for("MolDyn.updateKinetic", LoopRange::upto(0, sim.s.n as i64), |lo, hi, st| {
-        let ek = kinetic_range(&sim.s, lo, hi, st);
-        sim.ekin_tlf.update_or_init(|| 0.0, |v| *v += ek);
-    });
+    aomp_weaver::call_for(
+        "MolDyn.updateKinetic",
+        LoopRange::upto(0, sim.s.n as i64),
+        |lo, hi, st| {
+            let ek = kinetic_range(&sim.s, lo, hi, st);
+            sim.ekin_tlf.update_or_init(|| 0.0, |v| *v += ek);
+        },
+    );
 }
 
 /// Master-broadcast value join point: the team-wide kinetic total.
@@ -97,9 +116,13 @@ fn total_ekin(sim: &Sim) -> f64 {
 }
 
 fn rescale(sim: &Sim, sc: f64) {
-    aomp_weaver::call_for("MolDyn.rescale", LoopRange::upto(0, sim.s.n as i64), |lo, hi, st| {
-        rescale_range(&sim.s, lo, hi, st, sc);
-    });
+    aomp_weaver::call_for(
+        "MolDyn.rescale",
+        LoopRange::upto(0, sim.s.n as i64),
+        |lo, hi, st| {
+            rescale_range(&sim.s, lo, hi, st, sc);
+        },
+    );
 }
 
 /// `runiters` (paper Figure 2/14): the parallel-region join point.
@@ -122,18 +145,37 @@ fn runiters(sim: &Sim, moves: usize) {
 /// The concrete MolDyn aspect: parallel region, cyclic for methods with
 /// barriers, master-gated reduce points.
 pub fn aspect(threads: usize) -> AspectModule {
-    let mut b = AspectModule::builder("ParallelMolDyn")
-        .bind(Pointcut::call("MolDyn.runiters"), Mechanism::parallel().threads(threads));
-    for jp in ["MolDyn.domove", "MolDyn.computeForces", "MolDyn.updateKinetic", "MolDyn.rescale"] {
+    let mut b = AspectModule::builder("ParallelMolDyn").bind(
+        Pointcut::call("MolDyn.runiters"),
+        Mechanism::parallel().threads(threads),
+    );
+    for jp in [
+        "MolDyn.domove",
+        "MolDyn.computeForces",
+        "MolDyn.updateKinetic",
+        "MolDyn.rescale",
+    ] {
         b = b
-            .bind(Pointcut::call(jp), Mechanism::for_loop(Schedule::StaticCyclic))
+            .bind(
+                Pointcut::call(jp),
+                Mechanism::for_loop(Schedule::StaticCyclic),
+            )
             .bind(Pointcut::call(jp), Mechanism::barrier_after());
     }
     b.bind(Pointcut::call("MolDyn.reduceForces"), Mechanism::master())
-        .bind(Pointcut::call("MolDyn.reduceForces"), Mechanism::barrier_before())
-        .bind(Pointcut::call("MolDyn.reduceForces"), Mechanism::barrier_after())
+        .bind(
+            Pointcut::call("MolDyn.reduceForces"),
+            Mechanism::barrier_before(),
+        )
+        .bind(
+            Pointcut::call("MolDyn.reduceForces"),
+            Mechanism::barrier_after(),
+        )
         .bind(Pointcut::call("MolDyn.totalEkin"), Mechanism::master())
-        .bind(Pointcut::call("MolDyn.totalEkin"), Mechanism::barrier_before())
+        .bind(
+            Pointcut::call("MolDyn.totalEkin"),
+            Mechanism::barrier_before(),
+        )
         .build()
 }
 
@@ -148,7 +190,12 @@ pub fn run(data: &MolDynData, threads: usize) -> MolDynResult {
     };
     Weaver::global().with_deployed(aspect(threads), || runiters(&sim, data.moves));
     let (ekin, epot, vir) = *sim.totals.lock();
-    MolDynResult { ekin, epot, vir, pos_sum: pos_sum(&sim.s) }
+    MolDynResult {
+        ekin,
+        epot,
+        vir,
+        pos_sum: pos_sum(&sim.s),
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +215,12 @@ mod tests {
         };
         runiters(&sim, d.moves);
         let (ekin, epot, vir) = *sim.totals.lock();
-        let r = MolDynResult { ekin, epot, vir, pos_sum: pos_sum(&sim.s) };
+        let r = MolDynResult {
+            ekin,
+            epot,
+            vir,
+            pos_sum: pos_sum(&sim.s),
+        };
         let s = crate::moldyn::seq::run(&d);
         assert!(validate(&r));
         assert!(agrees(&r, &s, 1e-9), "{r:?} vs {s:?}");

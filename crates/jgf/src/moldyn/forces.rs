@@ -3,7 +3,6 @@
 //! particle range `(lo, hi, step)` and only touches state the schedule
 //! (or a variant-specific policy) entitles it to.
 
-
 // Index-based loops mirror the JGF Java kernels they port.
 #![allow(clippy::needless_range_loop)]
 
@@ -52,7 +51,13 @@ pub fn domove_range(s: &MolShared, lo: i64, hi: i64, step: i64) {
 /// phase, so the unsafe reads are race-free.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn pair(s: &MolShared, i: usize, j: usize, sideh: f64, rcoffs: f64) -> Option<(f64, f64, f64, f64, f64)> {
+fn pair(
+    s: &MolShared,
+    i: usize,
+    j: usize,
+    sideh: f64,
+    rcoffs: f64,
+) -> Option<(f64, f64, f64, f64, f64)> {
     // SAFETY: force phase reads positions only (no writers until the next
     // barrier-separated domove).
     unsafe {
@@ -82,14 +87,26 @@ fn pair(s: &MolShared, i: usize, j: usize, sideh: f64, rcoffs: f64) -> Option<(f
         // F = 48(r⁻¹⁴ − ½r⁻⁸)·Δx. (JGF keeps the 4/48 factors outside its
         // inner loop; folding them here keeps the dynamics identical.)
         let r148 = 48.0 * (rrd7 - 0.5 * rrd4);
-        Some((xx * r148, yy * r148, zz * r148, 4.0 * (rrd6 - rrd3), -rd * r148))
+        Some((
+            xx * r148,
+            yy * r148,
+            zz * r148,
+            4.0 * (rrd6 - rrd3),
+            -rd * r148,
+        ))
     }
 }
 
 /// Force phase accumulating into per-thread `local` arrays (the JGF
 /// thread-local / `@ThreadLocalField` strategy): no shared writes at all.
 /// Returns this range's (epot, vir) contributions.
-pub fn force_range_local(s: &MolShared, lo: i64, hi: i64, step: i64, local: &mut [Vec<f64>; 3]) -> (f64, f64) {
+pub fn force_range_local(
+    s: &MolShared,
+    lo: i64,
+    hi: i64,
+    step: i64,
+    local: &mut [Vec<f64>; 3],
+) -> (f64, f64) {
     let sideh = 0.5 * s.side;
     let rcoffs = s.rcoff * s.rcoff;
     let (mut epot, mut vir) = (0.0, 0.0);
@@ -121,7 +138,13 @@ pub fn force_range_local(s: &MolShared, lo: i64, hi: i64, step: i64, local: &mut
 /// Force phase with the `@Critical` strategy (paper Figure 15
 /// "Critical"): cross-particle updates run under one shared critical
 /// lock.
-pub fn force_range_critical(s: &MolShared, lo: i64, hi: i64, step: i64, crit: &CriticalHandle) -> (f64, f64) {
+pub fn force_range_critical(
+    s: &MolShared,
+    lo: i64,
+    hi: i64,
+    step: i64,
+    crit: &CriticalHandle,
+) -> (f64, f64) {
     let sideh = 0.5 * s.side;
     let rcoffs = s.rcoff * s.rcoff;
     let (mut epot, mut vir) = (0.0, 0.0);
@@ -161,7 +184,13 @@ pub fn force_range_critical(s: &MolShared, lo: i64, hi: i64, step: i64, crit: &C
 }
 
 /// Force phase with one lock per particle (paper Figure 15 "Locks").
-pub fn force_range_locks(s: &MolShared, lo: i64, hi: i64, step: i64, locks: &[Mutex<()>]) -> (f64, f64) {
+pub fn force_range_locks(
+    s: &MolShared,
+    lo: i64,
+    hi: i64,
+    step: i64,
+    locks: &[Mutex<()>],
+) -> (f64, f64) {
     let sideh = 0.5 * s.side;
     let rcoffs = s.rcoff * s.rcoff;
     let (mut epot, mut vir) = (0.0, 0.0);

@@ -21,7 +21,6 @@
 //! parallelisation strategies are swapped by deploying a different aspect
 //! module, without touching the base simulation code.
 
-
 // Index-based loops mirror the JGF Java kernels they port.
 #![allow(clippy::needless_range_loop)]
 
@@ -95,7 +94,12 @@ pub fn generate(mm: usize, moves: usize) -> MolDynData {
     let a = side / mm as f64;
     let mut pos = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
     // fcc basis within each cell.
-    let basis = [(0.0, 0.0, 0.0), (0.0, 0.5, 0.5), (0.5, 0.0, 0.5), (0.5, 0.5, 0.0)];
+    let basis = [
+        (0.0, 0.0, 0.0),
+        (0.0, 0.5, 0.5),
+        (0.5, 0.0, 0.5),
+        (0.5, 0.5, 0.0),
+    ];
     let mut idx = 0;
     for ix in 0..mm {
         for iy in 0..mm {
@@ -124,14 +128,23 @@ pub fn generate(mm: usize, moves: usize) -> MolDynData {
             *v -= mean;
         }
     }
-    let vsq: f64 = (0..3).map(|d| vel[d].iter().map(|v| v * v).sum::<f64>()).sum();
+    let vsq: f64 = (0..3)
+        .map(|d| vel[d].iter().map(|v| v * v).sum::<f64>())
+        .sum();
     let sc = (3.0 * n as f64 * TREF / vsq).sqrt() * H;
     for d in 0..3 {
         for v in vel[d].iter_mut() {
             *v *= sc;
         }
     }
-    MolDynData { n, side, rcoff, pos, vel, moves }
+    MolDynData {
+        n,
+        side,
+        rcoff,
+        pos,
+        vel,
+        moves,
+    }
 }
 
 /// Shared mutable simulation state, `Arc`-shareable so aspect modules can
@@ -168,7 +181,11 @@ impl MolShared {
                 SyncVec::new(data.vel[1].clone()),
                 SyncVec::new(data.vel[2].clone()),
             ],
-            force: [SyncVec::zeroed(data.n), SyncVec::zeroed(data.n), SyncVec::zeroed(data.n)],
+            force: [
+                SyncVec::zeroed(data.n),
+                SyncVec::zeroed(data.n),
+                SyncVec::zeroed(data.n),
+            ],
         }
     }
 }
@@ -206,7 +223,10 @@ pub fn agrees(a: &MolDynResult, b: &MolDynResult, tol: f64) -> bool {
 pub fn table2_meta() -> BenchmarkMeta {
     BenchmarkMeta {
         name: "MolDyn",
-        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 3)],
+        refactorings: vec![
+            (Refactoring::MoveToForMethod, 1),
+            (Refactoring::MoveToMethod, 3),
+        ],
         abstractions: vec![
             (Abstraction::ParallelRegion, 1),
             (Abstraction::For(ForKind::Cyclic), 1),
@@ -252,13 +272,25 @@ mod tests {
         let s = seq::run(&d);
         for t in [1, 2, 4] {
             let m = mt::run(&d, t);
-            assert!(validate(&m) && agrees(&m, &s, 1e-6), "mt t={t}: {m:?} vs {s:?}");
+            assert!(
+                validate(&m) && agrees(&m, &s, 1e-6),
+                "mt t={t}: {m:?} vs {s:?}"
+            );
             let a = aomp::run(&d, t);
-            assert!(validate(&a) && agrees(&a, &s, 1e-6), "aomp t={t}: {a:?} vs {s:?}");
+            assert!(
+                validate(&a) && agrees(&a, &s, 1e-6),
+                "aomp t={t}: {a:?} vs {s:?}"
+            );
             let c = variants::run_critical(&d, t);
-            assert!(validate(&c) && agrees(&c, &s, 1e-6), "critical t={t}: {c:?} vs {s:?}");
+            assert!(
+                validate(&c) && agrees(&c, &s, 1e-6),
+                "critical t={t}: {c:?} vs {s:?}"
+            );
             let l = variants::run_locks(&d, t);
-            assert!(validate(&l) && agrees(&l, &s, 1e-6), "locks t={t}: {l:?} vs {s:?}");
+            assert!(
+                validate(&l) && agrees(&l, &s, 1e-6),
+                "locks t={t}: {l:?} vs {s:?}"
+            );
         }
     }
 

@@ -5,7 +5,10 @@
 
 use std::sync::Barrier;
 
-use super::forces::{domove_range, force_range_local, kinetic_range, pos_sum, reduce_forces_range, rescale_range, scale_factor};
+use super::forces::{
+    domove_range, force_range_local, kinetic_range, pos_sum, reduce_forces_range, rescale_range,
+    scale_factor,
+};
 use super::{MolDynData, MolDynResult, MolShared, SCALE_INTERVAL};
 use crate::shared::SyncSlice;
 
@@ -68,8 +71,9 @@ fn worker(
 /// Run the JGF-MT simulation on `threads` threads.
 pub fn run(data: &MolDynData, threads: usize) -> MolDynResult {
     let s = MolShared::new(data);
-    let mut locals: Vec<LocalForces> =
-        (0..threads).map(|_| [vec![0.0; data.n], vec![0.0; data.n], vec![0.0; data.n]]).collect();
+    let mut locals: Vec<LocalForces> = (0..threads)
+        .map(|_| [vec![0.0; data.n], vec![0.0; data.n], vec![0.0; data.n]])
+        .collect();
     let mut epots = vec![0.0f64; threads];
     let mut virs = vec![0.0f64; threads];
     let mut ekins = vec![0.0f64; threads];
@@ -84,10 +88,14 @@ pub fn run(data: &MolDynData, threads: usize) -> MolDynResult {
             for id in 1..threads {
                 let barrier = &barrier;
                 scope.spawn(move || {
-                    worker(s_ref, locals_s, epots_s, virs_s, ekins_s, data.moves, id, threads, barrier)
+                    worker(
+                        s_ref, locals_s, epots_s, virs_s, ekins_s, data.moves, id, threads, barrier,
+                    )
                 });
             }
-            worker(s_ref, locals_s, epots_s, virs_s, ekins_s, data.moves, 0, threads, &barrier);
+            worker(
+                s_ref, locals_s, epots_s, virs_s, ekins_s, data.moves, 0, threads, &barrier,
+            );
         });
     }
     MolDynResult {

@@ -2,7 +2,10 @@
 //! drives `domove`, `compute_forces` (the M2FOR refactor) and the energy
 //! steps.
 
-use super::forces::{domove_range, force_range_local, kinetic_range, pos_sum, reduce_forces_range, rescale_range, scale_factor};
+use super::forces::{
+    domove_range, force_range_local, kinetic_range, pos_sum, reduce_forces_range, rescale_range,
+    scale_factor,
+};
 use super::{MolDynData, MolDynResult, MolShared, SCALE_INTERVAL};
 
 /// Run the sequential simulation. Uses the same local-buffer force
@@ -28,7 +31,12 @@ pub fn run(data: &MolDynData) -> MolDynResult {
             rescale_range(&s, 0, n, 1, sc);
         }
     }
-    MolDynResult { ekin, epot, vir, pos_sum: pos_sum(&s) }
+    MolDynResult {
+        ekin,
+        epot,
+        vir,
+        pos_sum: pos_sum(&s),
+    }
 }
 
 #[cfg(test)]

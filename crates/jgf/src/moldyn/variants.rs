@@ -10,7 +10,10 @@ use aomp::prelude::*;
 use aomp_weaver::prelude::*;
 use parking_lot::Mutex;
 
-use super::forces::{domove_range, force_range_critical, force_range_locks, kinetic_range, pos_sum, rescale_range, scale_factor};
+use super::forces::{
+    domove_range, force_range_critical, force_range_locks, kinetic_range, pos_sum, rescale_range,
+    scale_factor,
+};
 use super::{MolDynData, MolDynResult, MolShared, SCALE_INTERVAL};
 
 /// How cross-particle force updates are protected.
@@ -40,16 +43,23 @@ struct Sim {
 }
 
 fn compute_forces(sim: &Sim) {
-    aomp_weaver::call_for("MolDynVar.computeForces", LoopRange::upto(0, sim.s.n as i64), |lo, hi, st| {
-        let (ep, vi) = match &sim.policy {
-            ForcePolicy::Critical(crit) => force_range_critical(&sim.s, lo, hi, st, crit),
-            ForcePolicy::Locks(locks) => force_range_locks(&sim.s, lo, hi, st, locks),
-        };
-        sim.energy_tlf.update_or_init(|| (0.0, 0.0), |e| {
-            e.0 += ep;
-            e.1 += vi;
-        });
-    });
+    aomp_weaver::call_for(
+        "MolDynVar.computeForces",
+        LoopRange::upto(0, sim.s.n as i64),
+        |lo, hi, st| {
+            let (ep, vi) = match &sim.policy {
+                ForcePolicy::Critical(crit) => force_range_critical(&sim.s, lo, hi, st, crit),
+                ForcePolicy::Locks(locks) => force_range_locks(&sim.s, lo, hi, st, locks),
+            };
+            sim.energy_tlf.update_or_init(
+                || (0.0, 0.0),
+                |e| {
+                    e.0 += ep;
+                    e.1 += vi;
+                },
+            );
+        },
+    );
 }
 
 /// Master point folding the per-thread energy pairs.
@@ -83,10 +93,14 @@ fn runiters(sim: &Sim, moves: usize) {
             });
             compute_forces(sim);
             reduce_energies(sim);
-            aomp_weaver::call_for("MolDynVar.updateKinetic", LoopRange::upto(0, n), |lo, hi, st| {
-                let ek = kinetic_range(&sim.s, lo, hi, st);
-                sim.ekin_tlf.update_or_init(|| 0.0, |v| *v += ek);
-            });
+            aomp_weaver::call_for(
+                "MolDynVar.updateKinetic",
+                LoopRange::upto(0, n),
+                |lo, hi, st| {
+                    let ek = kinetic_range(&sim.s, lo, hi, st);
+                    sim.ekin_tlf.update_or_init(|| 0.0, |v| *v += ek);
+                },
+            );
             let total = total_ekin(sim);
             if (mv + 1) % SCALE_INTERVAL == 0 {
                 let sc = scale_factor(sim.s.n, total);
@@ -101,18 +115,37 @@ fn runiters(sim: &Sim, moves: usize) {
 /// The aspect for the variant runs (independent of the force policy —
 /// the policy itself is the swappable piece).
 pub fn aspect(threads: usize) -> AspectModule {
-    let mut b = AspectModule::builder("ParallelMolDynVariant")
-        .bind(Pointcut::call("MolDynVar.runiters"), Mechanism::parallel().threads(threads));
-    for jp in ["MolDynVar.domove", "MolDynVar.computeForces", "MolDynVar.updateKinetic", "MolDynVar.rescale"] {
+    let mut b = AspectModule::builder("ParallelMolDynVariant").bind(
+        Pointcut::call("MolDynVar.runiters"),
+        Mechanism::parallel().threads(threads),
+    );
+    for jp in [
+        "MolDynVar.domove",
+        "MolDynVar.computeForces",
+        "MolDynVar.updateKinetic",
+        "MolDynVar.rescale",
+    ] {
         b = b
-            .bind(Pointcut::call(jp), Mechanism::for_loop(Schedule::StaticCyclic))
+            .bind(
+                Pointcut::call(jp),
+                Mechanism::for_loop(Schedule::StaticCyclic),
+            )
             .bind(Pointcut::call(jp), Mechanism::barrier_after());
     }
-    b.bind(Pointcut::call("MolDynVar.reduceEnergies"), Mechanism::master())
-        .bind(Pointcut::call("MolDynVar.reduceEnergies"), Mechanism::barrier_after())
-        .bind(Pointcut::call("MolDynVar.totalEkin"), Mechanism::master())
-        .bind(Pointcut::call("MolDynVar.totalEkin"), Mechanism::barrier_before())
-        .build()
+    b.bind(
+        Pointcut::call("MolDynVar.reduceEnergies"),
+        Mechanism::master(),
+    )
+    .bind(
+        Pointcut::call("MolDynVar.reduceEnergies"),
+        Mechanism::barrier_after(),
+    )
+    .bind(Pointcut::call("MolDynVar.totalEkin"), Mechanism::master())
+    .bind(
+        Pointcut::call("MolDynVar.totalEkin"),
+        Mechanism::barrier_before(),
+    )
+    .build()
 }
 
 fn run_policy(data: &MolDynData, threads: usize, policy: ForcePolicy) -> MolDynResult {
@@ -125,7 +158,12 @@ fn run_policy(data: &MolDynData, threads: usize, policy: ForcePolicy) -> MolDynR
     };
     Weaver::global().with_deployed(aspect(threads), || runiters(&sim, data.moves));
     let (ekin, epot, vir) = *sim.totals.lock();
-    MolDynResult { ekin, epot, vir, pos_sum: pos_sum(&sim.s) }
+    MolDynResult {
+        ekin,
+        epot,
+        vir,
+        pos_sum: pos_sum(&sim.s),
+    }
 }
 
 /// Figure 15 "Critical": cross-particle force updates in one critical
@@ -136,7 +174,11 @@ pub fn run_critical(data: &MolDynData, threads: usize) -> MolDynResult {
 
 /// Figure 15 "Locks": one lock per particle.
 pub fn run_locks(data: &MolDynData, threads: usize) -> MolDynResult {
-    run_policy(data, threads, ForcePolicy::Locks((0..data.n).map(|_| Mutex::new(())).collect()))
+    run_policy(
+        data,
+        threads,
+        ForcePolicy::Locks((0..data.n).map(|_| Mutex::new(())).collect()),
+    )
 }
 
 #[cfg(test)]

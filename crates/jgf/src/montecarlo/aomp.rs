@@ -9,14 +9,18 @@ use crate::shared::SyncSlice;
 
 /// The for method join point `MonteCarlo.runSerials`.
 fn run_serials(start: i64, end: i64, step: i64, d: &McData, results: SyncSlice<'_, f64>) {
-    aomp_weaver::call_for("MonteCarlo.runSerials", LoopRange::new(start, end, step), |lo, hi, st| {
-        let mut k = lo;
-        while k < hi {
-            // SAFETY: the cyclic schedule owns run k on this thread.
-            unsafe { results.set(k as usize, simulate_run(d, k as usize)) };
-            k += st;
-        }
-    });
+    aomp_weaver::call_for(
+        "MonteCarlo.runSerials",
+        LoopRange::new(start, end, step),
+        |lo, hi, st| {
+            let mut k = lo;
+            while k < hi {
+                // SAFETY: the cyclic schedule owns run k on this thread.
+                unsafe { results.set(k as usize, simulate_run(d, k as usize)) };
+                k += st;
+            }
+        },
+    );
 }
 
 /// The run method join point `MonteCarlo.run`.
@@ -29,8 +33,14 @@ fn mc_run(d: &McData, results: SyncSlice<'_, f64>) {
 /// The concrete aspect: parallel region + cyclic for.
 pub fn aspect(threads: usize) -> AspectModule {
     AspectModule::builder("ParallelMonteCarlo")
-        .bind(Pointcut::call("MonteCarlo.run"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::call("MonteCarlo.runSerials"), Mechanism::for_loop(Schedule::StaticCyclic))
+        .bind(
+            Pointcut::call("MonteCarlo.run"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::call("MonteCarlo.runSerials"),
+            Mechanism::for_loop(Schedule::StaticCyclic),
+        )
         .build()
 }
 

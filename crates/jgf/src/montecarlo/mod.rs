@@ -68,10 +68,18 @@ pub fn generate(size: Size) -> McData {
     // Estimate log-return mean and variance (JGF's ReturnPath logic).
     let logret: Vec<f64> = path.windows(2).map(|w| (w[1] / w[0]).ln()).collect();
     let mean = logret.iter().sum::<f64>() / logret.len() as f64;
-    let var = logret.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (logret.len() - 1) as f64;
+    let var =
+        logret.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (logret.len() - 1) as f64;
     let volatility = (var / dt).sqrt();
     let expected_return_rate = mean / dt + 0.5 * volatility * volatility;
-    McData { expected_return_rate, volatility, dt, s0, nruns: runs_for(size), seed: 0x600d_5eed }
+    McData {
+        expected_return_rate,
+        volatility,
+        dt,
+        s0,
+        nruns: runs_for(size),
+        seed: 0x600d_5eed,
+    }
 }
 
 /// One standard Gaussian draw (Box–Muller).
@@ -122,7 +130,10 @@ pub fn validate(d: &McData, r: &McResult) -> bool {
 pub fn table2_meta() -> BenchmarkMeta {
     BenchmarkMeta {
         name: "MonteCarlo",
-        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        refactorings: vec![
+            (Refactoring::MoveToForMethod, 1),
+            (Refactoring::MoveToMethod, 1),
+        ],
         abstractions: vec![
             (Abstraction::ParallelRegion, 1),
             (Abstraction::For(ForKind::Cyclic), 1),
@@ -138,7 +149,11 @@ mod tests {
     fn generate_estimates_are_close_to_truth() {
         let d = generate(Size::Small);
         assert!((d.volatility - 0.3).abs() < 0.05, "vol={}", d.volatility);
-        assert!((d.expected_return_rate - 0.1).abs() < 0.35, "mu={}", d.expected_return_rate);
+        assert!(
+            (d.expected_return_rate - 0.1).abs() < 0.35,
+            "mu={}",
+            d.expected_return_rate
+        );
     }
 
     #[test]

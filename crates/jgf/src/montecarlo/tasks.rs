@@ -29,7 +29,10 @@ pub fn run(d: &McData) -> McResult {
             let d = Arc::clone(&d);
             let lo = b * BLOCK;
             let hi = ((b + 1) * BLOCK).min(d.nruns);
-            (lo, spawn_future(move || (lo..hi).map(|k| simulate_run(&d, k)).collect()))
+            (
+                lo,
+                spawn_future(move || (lo..hi).map(|k| simulate_run(&d, k)).collect()),
+            )
         })
         .collect();
     let mut results = vec![0.0; d.nruns];

@@ -18,15 +18,19 @@ struct Render<'a> {
 
 /// The for method join point `RayTracer.renderLines`.
 fn render_lines(r: &Render<'_>, start: i64, end: i64, step: i64) {
-    aomp_weaver::call_for("RayTracer.renderLines", LoopRange::new(start, end, step), |lo, hi, st| {
-        let mut local = 0u64;
-        let mut y = lo;
-        while y < hi {
-            local += render_line(r.scene, y as usize);
-            y += st;
-        }
-        r.checksum_tlf.update_or_init(|| 0, |v| *v += local);
-    });
+    aomp_weaver::call_for(
+        "RayTracer.renderLines",
+        LoopRange::new(start, end, step),
+        |lo, hi, st| {
+            let mut local = 0u64;
+            let mut y = lo;
+            while y < hi {
+                local += render_line(r.scene, y as usize);
+                y += st;
+            }
+            r.checksum_tlf.update_or_init(|| 0, |v| *v += local);
+        },
+    );
 }
 
 /// `@Reduce` point: master folds the thread-local checksums.
@@ -48,16 +52,32 @@ fn render(r: &Render<'_>) {
 /// The concrete aspect.
 pub fn aspect(threads: usize) -> AspectModule {
     AspectModule::builder("ParallelRayTracer")
-        .bind(Pointcut::call("RayTracer.render"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::call("RayTracer.renderLines"), Mechanism::for_loop(Schedule::StaticCyclic))
-        .bind(Pointcut::call("RayTracer.renderLines"), Mechanism::barrier_after())
-        .bind(Pointcut::call("RayTracer.reduceChecksum"), Mechanism::master())
+        .bind(
+            Pointcut::call("RayTracer.render"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::call("RayTracer.renderLines"),
+            Mechanism::for_loop(Schedule::StaticCyclic),
+        )
+        .bind(
+            Pointcut::call("RayTracer.renderLines"),
+            Mechanism::barrier_after(),
+        )
+        .bind(
+            Pointcut::call("RayTracer.reduceChecksum"),
+            Mechanism::master(),
+        )
         .build()
 }
 
 /// Render on `threads` threads.
 pub fn run(scene: &Scene, threads: usize) -> RayResult {
-    let r = Render { scene, checksum_tlf: ThreadLocalField::new(0), total: Mutex::new(0) };
+    let r = Render {
+        scene,
+        checksum_tlf: ThreadLocalField::new(0),
+        total: Mutex::new(0),
+    };
     Weaver::global().with_deployed(aspect(threads), || render(&r));
     let checksum = *r.total.lock();
     RayResult { checksum }
@@ -70,7 +90,11 @@ mod tests {
     #[test]
     fn unplugged_matches_seq() {
         let scene = Scene::standard(16);
-        let r = Render { scene: &scene, checksum_tlf: ThreadLocalField::new(0), total: Mutex::new(0) };
+        let r = Render {
+            scene: &scene,
+            checksum_tlf: ThreadLocalField::new(0),
+            total: Mutex::new(0),
+        };
         render(&r);
         assert_eq!(*r.total.lock(), crate::raytracer::seq::run(&scene).checksum);
     }

@@ -28,7 +28,9 @@ pub fn run(scene: &Scene, threads: usize) -> RayResult {
             worker(scene, s_s, 0, threads);
         });
     }
-    RayResult { checksum: sums.iter().sum() }
+    RayResult {
+        checksum: sums.iter().sum(),
+    }
 }
 
 #[cfg(test)]

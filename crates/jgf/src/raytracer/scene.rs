@@ -191,7 +191,9 @@ impl Scene {
         let to_light = self.light - point;
         let dist = to_light.len();
         let dir = to_light.scale(1.0 / dist);
-        self.spheres.iter().any(|s| s.intersect(point, dir).is_some_and(|t| t < dist))
+        self.spheres
+            .iter()
+            .any(|s| s.intersect(point, dir).is_some_and(|t| t < dist))
     }
 
     /// Trace a ray and return its colour.
@@ -274,9 +276,13 @@ mod tests {
             shine: 1.0,
             kr: 0.0,
         };
-        let t = s.intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0)).unwrap();
+        let t = s
+            .intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0))
+            .unwrap();
         assert!((t - 9.0).abs() < 1e-9);
-        assert!(s.intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)).is_none());
+        assert!(s
+            .intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0))
+            .is_none());
     }
 
     #[test]
@@ -290,7 +296,9 @@ mod tests {
             shine: 1.0,
             kr: 0.0,
         };
-        let t = s.intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0)).unwrap();
+        let t = s
+            .intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0))
+            .unwrap();
         assert!((t - 2.0).abs() < 1e-9);
     }
 

@@ -10,18 +10,22 @@ use crate::shared::SyncSlice;
 
 /// The for method join point `Series.doCoefficients`.
 fn do_coefficients(start: i64, end: i64, step: i64, a: SyncSlice<'_, f64>, b: SyncSlice<'_, f64>) {
-    aomp_weaver::call_for("Series.doCoefficients", LoopRange::new(start, end, step), |lo, hi, st| {
-        let mut k = lo;
-        while k < hi {
-            let (ak, bk) = coefficient_pair(k as usize);
-            // SAFETY: the schedule owns index k on this thread.
-            unsafe {
-                a.set(k as usize, ak);
-                b.set(k as usize, bk);
+    aomp_weaver::call_for(
+        "Series.doCoefficients",
+        LoopRange::new(start, end, step),
+        |lo, hi, st| {
+            let mut k = lo;
+            while k < hi {
+                let (ak, bk) = coefficient_pair(k as usize);
+                // SAFETY: the schedule owns index k on this thread.
+                unsafe {
+                    a.set(k as usize, ak);
+                    b.set(k as usize, bk);
+                }
+                k += st;
             }
-            k += st;
-        }
-    });
+        },
+    );
 }
 
 /// The run method join point `Series.run` (M2M refactor).
@@ -34,8 +38,14 @@ fn series_run(n: usize, a: SyncSlice<'_, f64>, b: SyncSlice<'_, f64>) {
 /// The concrete aspect: a combined parallel + for module.
 pub fn aspect(threads: usize) -> AspectModule {
     AspectModule::builder("ParallelSeries")
-        .bind(Pointcut::call("Series.run"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::call("Series.doCoefficients"), Mechanism::for_loop(Schedule::StaticBlock))
+        .bind(
+            Pointcut::call("Series.run"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::call("Series.doCoefficients"),
+            Mechanism::for_loop(Schedule::StaticBlock),
+        )
         .build()
 }
 

@@ -62,7 +62,10 @@ pub fn trapezoid_integrate(x0: f64, x1: f64, nsteps: usize, omegan: f64, select:
 pub fn coefficient_pair(k: usize) -> (f64, f64) {
     let omega = std::f64::consts::PI; // 2π / period, period = 2
     if k == 0 {
-        (trapezoid_integrate(0.0, 2.0, INTEGRATION_STEPS, 0.0, 0) / 2.0, 0.0)
+        (
+            trapezoid_integrate(0.0, 2.0, INTEGRATION_STEPS, 0.0, 0) / 2.0,
+            0.0,
+        )
     } else {
         let omegan = omega * k as f64;
         (
@@ -80,14 +83,20 @@ pub fn validate(result: &SeriesResult) -> bool {
     // trapezoid rule; b0 is identically 0. Also require a_k, b_k bounded.
     (a0 - 2.874).abs() < 2e-2
         && result.coeffs[1][0] == 0.0
-        && result.coeffs[0].iter().chain(result.coeffs[1].iter()).all(|v| v.is_finite() && v.abs() < 10.0)
+        && result.coeffs[0]
+            .iter()
+            .chain(result.coeffs[1].iter())
+            .all(|v| v.is_finite() && v.abs() < 10.0)
 }
 
 /// Paper Table 2 row.
 pub fn table2_meta() -> BenchmarkMeta {
     BenchmarkMeta {
         name: "Series",
-        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        refactorings: vec![
+            (Refactoring::MoveToForMethod, 1),
+            (Refactoring::MoveToMethod, 1),
+        ],
         abstractions: vec![
             (Abstraction::ParallelRegion, 1),
             (Abstraction::For(ForKind::Block), 1),

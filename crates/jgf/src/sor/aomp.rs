@@ -9,13 +9,17 @@ use crate::shared::SyncSlice;
 
 /// The for method join point `Sor.sorRows`: relax the strided row range.
 fn sor_rows(start: i64, end: i64, step: i64, g: SyncSlice<'_, f64>, n: usize) {
-    aomp_weaver::call_for("Sor.sorRows", LoopRange::new(start, end, step), |lo, hi, st| {
-        let mut i = lo;
-        while i < hi {
-            relax_row_sync(&g, n, i as usize);
-            i += st;
-        }
-    });
+    aomp_weaver::call_for(
+        "Sor.sorRows",
+        LoopRange::new(start, end, step),
+        |lo, hi, st| {
+            let mut i = lo;
+            while i < hi {
+                relax_row_sync(&g, n, i as usize);
+                i += st;
+            }
+        },
+    );
 }
 
 /// The run method join point `Sor.run`: the p loop over half sweeps.
@@ -30,8 +34,14 @@ fn sor_run(g: SyncSlice<'_, f64>, n: usize, iterations: usize) {
 /// The concrete aspect: `PR, FOR (block), BR`.
 pub fn aspect(threads: usize) -> AspectModule {
     AspectModule::builder("ParallelSor")
-        .bind(Pointcut::call("Sor.run"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::call("Sor.sorRows"), Mechanism::for_loop(Schedule::StaticBlock))
+        .bind(
+            Pointcut::call("Sor.run"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::call("Sor.sorRows"),
+            Mechanism::for_loop(Schedule::StaticBlock),
+        )
         .bind(Pointcut::call("Sor.sorRows"), Mechanism::barrier_after())
         .build()
 }

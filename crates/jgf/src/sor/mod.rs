@@ -75,7 +75,8 @@ pub fn relax_row_sync(g: &crate::shared::SyncSlice<'_, f64>, n: usize, i: usize)
         let idx = i * n + j;
         // SAFETY: see the schedule contract above.
         unsafe {
-            let v = omega_over_four * (g.read(idx - n) + g.read(idx + n) + g.read(idx - 1) + g.read(idx + 1))
+            let v = omega_over_four
+                * (g.read(idx - n) + g.read(idx + n) + g.read(idx - 1) + g.read(idx + 1))
                 + one_minus_omega * g.read(idx);
             g.set(idx, v);
         }
@@ -99,7 +100,10 @@ pub fn validate(grid: &Grid) -> bool {
 pub fn table2_meta() -> BenchmarkMeta {
     BenchmarkMeta {
         name: "SOR",
-        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        refactorings: vec![
+            (Refactoring::MoveToForMethod, 1),
+            (Refactoring::MoveToMethod, 1),
+        ],
         abstractions: vec![
             (Abstraction::ParallelRegion, 1),
             (Abstraction::For(ForKind::Block), 1),

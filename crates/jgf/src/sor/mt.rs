@@ -7,7 +7,14 @@ use std::sync::Barrier;
 use super::{relax_row_sync, Grid};
 use crate::shared::SyncSlice;
 
-fn worker(g: SyncSlice<'_, f64>, n: usize, iterations: usize, id: usize, nthreads: usize, barrier: &Barrier) {
+fn worker(
+    g: SyncSlice<'_, f64>,
+    n: usize,
+    iterations: usize,
+    id: usize,
+    nthreads: usize,
+    barrier: &Barrier,
+) {
     for p in 0..2 * iterations {
         // Rows of this half sweep (same parity): 1+(p%2), +2, …
         let rows: Vec<usize> = (1 + p % 2..n - 1).step_by(2).collect();

@@ -18,7 +18,12 @@ struct NnzBalancedSchedule {
 }
 
 impl CustomAdvice for NnzBalancedSchedule {
-    fn around_for(&self, _jp: &JoinPoint<'_>, range: LoopRange, proceed: &mut dyn FnMut(i64, i64, i64)) {
+    fn around_for(
+        &self,
+        _jp: &JoinPoint<'_>,
+        range: LoopRange,
+        proceed: &mut dyn FnMut(i64, i64, i64),
+    ) {
         let tid = ctx::thread_id();
         let n = ctx::team_size();
         let nz = range.count() as usize;
@@ -57,9 +62,13 @@ fn original_multiply(lo: i64, hi: i64, st: i64, d: &SparseData, y: &SyncSlice<'_
 
 /// The for method join point `Sparse.multiply`.
 fn multiply(start: i64, end: i64, step: i64, d: &SparseData, y: SyncSlice<'_, f64>) {
-    aomp_weaver::call_for("Sparse.multiply", LoopRange::new(start, end, step), |lo, hi, st| {
-        original_multiply(lo, hi, st, d, &y);
-    });
+    aomp_weaver::call_for(
+        "Sparse.multiply",
+        LoopRange::new(start, end, step),
+        |lo, hi, st| {
+            original_multiply(lo, hi, st, d, &y);
+        },
+    );
 }
 
 /// The run method join point `Sparse.run`: the multiplication passes.
@@ -75,10 +84,15 @@ fn sparse_run(d: &SparseData, y: SyncSlice<'_, f64>, iterations: usize) {
 /// The concrete aspect: parallel region + case-specific for scheduling.
 pub fn aspect(threads: usize, d: &SparseData) -> AspectModule {
     AspectModule::builder("ParallelSparse")
-        .bind(Pointcut::call("Sparse.run"), Mechanism::parallel().threads(threads))
+        .bind(
+            Pointcut::call("Sparse.run"),
+            Mechanism::parallel().threads(threads),
+        )
         .bind(
             Pointcut::call("Sparse.multiply"),
-            Mechanism::custom(NnzBalancedSchedule { row_ptr: d.row_ptr.clone() }),
+            Mechanism::custom(NnzBalancedSchedule {
+                row_ptr: d.row_ptr.clone(),
+            }),
         )
         .build()
 }

@@ -52,8 +52,15 @@ pub struct SparseData {
 pub fn generate(size: Size) -> SparseData {
     let (n, nz) = dims_for(size);
     let mut rng = StdRng::seed_from_u64(0x5a_a55e);
-    let mut entries: Vec<(usize, usize, f64)> =
-        (0..nz).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(-1.0..1.0))).collect();
+    let mut entries: Vec<(usize, usize, f64)> = (0..nz)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-1.0..1.0),
+            )
+        })
+        .collect();
     entries.sort_by_key(|e| e.0);
     let row: Vec<usize> = entries.iter().map(|e| e.0).collect();
     let col: Vec<usize> = entries.iter().map(|e| e.1).collect();
@@ -66,13 +73,25 @@ pub fn generate(size: Size) -> SparseData {
         row_ptr[r + 1] += row_ptr[r];
     }
     let x = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
-    SparseData { row, col, val, row_ptr, x, n }
+    SparseData {
+        row,
+        col,
+        val,
+        row_ptr,
+        x,
+        n,
+    }
 }
 
 /// Split the nonzero range into `nthreads` sub-ranges at row boundaries,
 /// balanced by nonzero count — the case-specific schedule. Returns the
 /// `(lo, hi)` nonzero range of thread `tid`.
-pub fn nnz_balanced_range(row_ptr: &[usize], nz: usize, tid: usize, nthreads: usize) -> (usize, usize) {
+pub fn nnz_balanced_range(
+    row_ptr: &[usize],
+    nz: usize,
+    tid: usize,
+    nthreads: usize,
+) -> (usize, usize) {
     let target_lo = nz * tid / nthreads;
     let target_hi = nz * (tid + 1) / nthreads;
     // Snap both ends up to the next row boundary.
@@ -96,7 +115,11 @@ pub fn nnz_balanced_range(row_ptr: &[usize], nz: usize, tid: usize, nthreads: us
         }
     };
     let lo = if tid == 0 { 0 } else { snap(target_lo) };
-    let hi = if tid == nthreads - 1 { nz } else { snap(target_hi) };
+    let hi = if tid == nthreads - 1 {
+        nz
+    } else {
+        snap(target_hi)
+    };
     (lo, hi.max(lo))
 }
 
@@ -109,7 +132,10 @@ pub fn ytotal(y: &[f64]) -> f64 {
 pub fn table2_meta() -> BenchmarkMeta {
     BenchmarkMeta {
         name: "Sparse",
-        refactorings: vec![(Refactoring::MoveToForMethod, 1), (Refactoring::MoveToMethod, 1)],
+        refactorings: vec![
+            (Refactoring::MoveToForMethod, 1),
+            (Refactoring::MoveToMethod, 1),
+        ],
         abstractions: vec![
             (Abstraction::ParallelRegion, 1),
             (Abstraction::For(ForKind::CaseSpecific), 1),

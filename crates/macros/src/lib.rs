@@ -10,7 +10,7 @@
 //!
 //! | Paper annotation | Attribute |
 //! |---|---|
-//! | `@Parallel[(threads=n)]` | `#[parallel]`, `#[parallel(threads = 4)]` |
+//! | `@Parallel[(threads=n)]` | `#[parallel]`, `#[parallel(threads = 4)]`, `#[parallel(cancellable, stall_deadline_ms = 200)]` |
 //! | `@For[(schedule=…)]` | `#[for_loop]`, `#[for_loop(schedule = "staticCyclic")]`, `#[for_loop(schedule = "dynamic", chunk = 8)]` |
 //! | `@Critical[(id=name)]` | `#[critical]`, `#[critical(id = "lockname")]` |
 //! | `@BarrierBefore` / `@BarrierAfter` | `#[barrier_before]` / `#[barrier_after]` |
@@ -48,52 +48,198 @@
 //!   convention.
 //! * Sequential semantics: `aomp::runtime::set_parallel_enabled(false)`
 //!   turns every `#[parallel]` region into an inline sequential call.
+//!
+//! ## Implementation note
+//!
+//! These macros are written against raw `proc_macro` (no `syn`/`quote`),
+//! so the workspace builds with zero registry dependencies. They support
+//! plain functions with simple identifier parameters — exactly the shape
+//! the paper's annotated *for methods* and activities take.
 
-use proc_macro::TokenStream;
-use proc_macro2::TokenStream as TokenStream2;
-use quote::quote;
-use syn::{parse_macro_input, FnArg, ItemFn, LitBool, LitInt, LitStr, Pat};
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
-/// Replace the body of `func` with `new_body` (a sequence of statements)
-/// and re-emit the function, preserving signature, visibility and the
-/// remaining (not yet expanded) attributes.
-fn rewrap(mut func: ItemFn, new_body: TokenStream2) -> TokenStream {
-    let block: syn::Block = syn::parse2(quote! { { #new_body } }).expect("generated block parses");
-    *func.block = block;
-    quote!(#func).into()
+/// Emit a `compile_error!` with the given message.
+fn compile_err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
 }
 
-/// Names of the first `n` non-receiver parameters, or an error if they
-/// are not simple identifiers.
-fn leading_param_idents(func: &ItemFn, n: usize) -> syn::Result<Vec<syn::Ident>> {
-    let mut idents = Vec::new();
-    for arg in func.sig.inputs.iter() {
-        if let FnArg::Typed(pt) = arg {
-            match &*pt.pat {
-                Pat::Ident(pi) => idents.push(pi.ident.clone()),
-                other => {
-                    return Err(syn::Error::new_spanned(
-                        other,
-                        "aomp for methods need simple identifier parameters",
-                    ))
-                }
+/// Split a function item into its header (attrs, visibility, signature)
+/// and its brace-delimited body — the last token of any `fn` item.
+fn split_fn(item: TokenStream) -> Result<(Vec<TokenTree>, Group), String> {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    match tokens.split_last() {
+        Some((TokenTree::Group(g), rest)) if g.delimiter() == Delimiter::Brace => {
+            Ok((rest.to_vec(), g.clone()))
+        }
+        _ => Err("aomp attribute macros apply to functions with a body".to_owned()),
+    }
+}
+
+/// Index of the parameter-list group: the first parenthesis group after
+/// the `fn` keyword.
+fn param_group_index(header: &[TokenTree]) -> Result<usize, String> {
+    let mut seen_fn = false;
+    for (i, t) in header.iter().enumerate() {
+        match t {
+            TokenTree::Ident(id) if id.to_string() == "fn" => seen_fn = true,
+            TokenTree::Group(g) if seen_fn && g.delimiter() == Delimiter::Parenthesis => {
+                return Ok(i)
             }
-            if idents.len() == n {
-                break;
+            _ => {}
+        }
+    }
+    Err("aomp: could not find the function parameter list".to_owned())
+}
+
+/// The `-> Type` return tokens after the parameter list, if any, as
+/// `(arrow_index, type_string)`.
+fn return_type(header: &[TokenTree], params_idx: usize) -> Option<(usize, String)> {
+    let rest = &header[params_idx + 1..];
+    for (off, pair) in rest.windows(2).enumerate() {
+        if let (TokenTree::Punct(a), TokenTree::Punct(b)) = (&pair[0], &pair[1]) {
+            if a.as_char() == '-' && b.as_char() == '>' {
+                let ty: TokenStream = rest[off + 2..].iter().cloned().collect();
+                return Some((params_idx + 1 + off, ty.to_string()));
             }
         }
     }
-    if idents.len() < n {
-        return Err(syn::Error::new_spanned(
-            &func.sig,
-            format!("aomp: expected at least {n} loop-bound parameters (start, end, step)"),
-        ));
-    }
-    Ok(idents)
+    None
 }
 
-fn is_unit_return(func: &ItemFn) -> bool {
-    matches!(func.sig.output, syn::ReturnType::Default)
+/// Split a token slice on top-level commas. Commas inside groups are
+/// never top-level; commas inside `<…>` generic arguments are excluded
+/// by tracking angle depth.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = (angle - 1).max(0),
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Names of the first `n` non-receiver parameters (the identifier before
+/// each top-level `:`).
+fn leading_param_names(params: &Group, n: usize) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = params.stream().into_iter().collect();
+    let mut names = Vec::new();
+    for seg in split_top_commas(&tokens) {
+        let colon = seg.iter().position(
+            |t| matches!(t, TokenTree::Punct(p) if p.as_char() == ':' && p.spacing() == proc_macro::Spacing::Alone),
+        );
+        let Some(colon) = colon else {
+            continue; // receiver (`self`, `&self`, …)
+        };
+        match &seg[..colon] {
+            [TokenTree::Ident(id)] => names.push(id.to_string()),
+            [TokenTree::Ident(m), TokenTree::Ident(id)] if m.to_string() == "mut" => {
+                names.push(id.to_string())
+            }
+            _ => return Err("aomp for methods need simple identifier parameters".to_owned()),
+        }
+        if names.len() == n {
+            return Ok(names);
+        }
+    }
+    Err(format!(
+        "aomp: expected at least {n} loop-bound parameters (start, end, step)"
+    ))
+}
+
+/// One parsed attribute argument: `name` or `name = <tokens>` (the value
+/// kept as raw source text, so arbitrary expressions pass through).
+struct AttrArg {
+    name: String,
+    value: Option<String>,
+}
+
+fn parse_attr_args(attr: TokenStream) -> Result<Vec<AttrArg>, String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    let mut out = Vec::new();
+    if tokens.is_empty() {
+        return Ok(out);
+    }
+    for seg in split_top_commas(&tokens) {
+        let mut it = seg.into_iter();
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("aomp: expected attribute key, found {other:?}")),
+        };
+        let value = match it.next() {
+            None => None,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                let rest: TokenStream = it.collect();
+                let text = rest.to_string();
+                if text.is_empty() {
+                    return Err(format!("aomp: `{name} =` needs a value"));
+                }
+                Some(text)
+            }
+            Some(other) => return Err(format!("aomp: expected `=` after `{name}`, found {other}")),
+        };
+        out.push(AttrArg { name, value });
+    }
+    Ok(out)
+}
+
+fn int_value(arg: &AttrArg) -> Result<u64, String> {
+    let v = arg
+        .value
+        .as_deref()
+        .ok_or_else(|| format!("aomp: `{}` needs an integer value", arg.name))?;
+    v.replace('_', "")
+        .parse::<u64>()
+        .map_err(|_| format!("aomp: `{}` expects an integer, got `{v}`", arg.name))
+}
+
+fn bool_value(arg: &AttrArg) -> Result<bool, String> {
+    match arg.value.as_deref() {
+        None => Ok(true),
+        Some("true") => Ok(true),
+        Some("false") => Ok(false),
+        Some(v) => Err(format!("aomp: `{}` expects a bool, got `{v}`", arg.name)),
+    }
+}
+
+fn str_value(arg: &AttrArg) -> Result<String, String> {
+    let v = arg
+        .value
+        .as_deref()
+        .ok_or_else(|| format!("aomp: `{}` needs a string value", arg.name))?;
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_owned())
+    } else {
+        Err(format!(
+            "aomp: `{}` expects a string literal, got `{v}`",
+            arg.name
+        ))
+    }
+}
+
+/// Re-emit the function with `new_body` (statement text) as its body.
+fn rewrap(header: Vec<TokenTree>, new_body: &str) -> TokenStream {
+    let header_ts: TokenStream = header.into_iter().collect();
+    let src = format!("{header_ts} {{ {new_body} }}");
+    src.parse()
+        .unwrap_or_else(|e| compile_err(&format!("aomp: generated code failed to parse: {e}")))
 }
 
 /// `@Parallel` — the function execution becomes a parallel region: a team
@@ -101,54 +247,67 @@ fn is_unit_return(func: &ItemFn) -> bool {
 /// Figure 9).
 ///
 /// Arguments: `threads = <int>` (team size), `nested = <bool>`,
-/// `only_if = <expr>` (OpenMP's `if` clause, evaluated at call time).
+/// `only_if = <expr>` (OpenMP's `if` clause, evaluated at call time),
+/// `cancellable` (honour `cancel_team()`, OpenMP 4.0 `cancel`), and
+/// `stall_deadline_ms = <int>` (arm the stall watchdog; a hung team is
+/// cancelled instead of deadlocking — see `aomp::region`).
 #[proc_macro_attribute]
 pub fn parallel(attr: TokenStream, item: TokenStream) -> TokenStream {
-    let func = parse_macro_input!(item as ItemFn);
-    let mut threads: Option<u64> = None;
-    let mut nested: Option<bool> = None;
-    let mut only_if: Option<syn::Expr> = None;
-    if !attr.is_empty() {
-        let parser = syn::meta::parser(|meta| {
-            if meta.path.is_ident("threads") {
-                threads = Some(meta.value()?.parse::<LitInt>()?.base10_parse()?);
-                Ok(())
-            } else if meta.path.is_ident("nested") {
-                nested = Some(meta.value()?.parse::<LitBool>()?.value());
-                Ok(())
-            } else if meta.path.is_ident("only_if") {
-                only_if = Some(meta.value()?.parse::<syn::Expr>()?);
-                Ok(())
-            } else {
-                Err(meta.error("expected `threads = <int>`, `nested = <bool>` or `only_if = <expr>`"))
-            }
-        });
-        parse_macro_input!(attr with parser);
-    }
-    if !is_unit_return(&func) {
-        return syn::Error::new_spanned(
-            &func.sig.output,
-            "#[parallel] regions cannot return a value (the paper's parallel regions are void)",
-        )
-        .to_compile_error()
-        .into();
-    }
-    let body = &func.block;
-    let cfg_threads = threads.map(|t| {
-        let t = t as usize;
-        quote! { __aomp_cfg = __aomp_cfg.threads(#t); }
-    });
-    let cfg_nested = nested.map(|n| quote! { __aomp_cfg = __aomp_cfg.nested(#n); });
-    let cfg_only_if = only_if.map(|e| quote! { __aomp_cfg = __aomp_cfg.only_if(#e); });
-    let new_body = quote! {
-        #[allow(unused_mut)]
-        let mut __aomp_cfg = ::aomp::region::RegionConfig::new();
-        #cfg_threads
-        #cfg_nested
-        #cfg_only_if
-        ::aomp::region::parallel_with(__aomp_cfg, || #body);
+    let (header, body) = match split_fn(item) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
     };
-    rewrap(func, new_body)
+    let args = match parse_attr_args(attr) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
+    let params_idx = match param_group_index(&header) {
+        Ok(i) => i,
+        Err(e) => return compile_err(&e),
+    };
+    if return_type(&header, params_idx).is_some() {
+        return compile_err(
+            "#[parallel] regions cannot return a value (the paper's parallel regions are void)",
+        );
+    }
+    let mut cfg = String::new();
+    for arg in &args {
+        match arg.name.as_str() {
+            "threads" => match int_value(arg) {
+                Ok(t) => cfg.push_str(&format!("__aomp_cfg = __aomp_cfg.threads({t}usize);")),
+                Err(e) => return compile_err(&e),
+            },
+            "nested" => match bool_value(arg) {
+                Ok(n) => cfg.push_str(&format!("__aomp_cfg = __aomp_cfg.nested({n});")),
+                Err(e) => return compile_err(&e),
+            },
+            "only_if" => match &arg.value {
+                Some(e) => cfg.push_str(&format!("__aomp_cfg = __aomp_cfg.only_if({e});")),
+                None => return compile_err("aomp: `only_if` needs a value"),
+            },
+            "cancellable" => match bool_value(arg) {
+                Ok(c) => cfg.push_str(&format!("__aomp_cfg = __aomp_cfg.cancellable({c});")),
+                Err(e) => return compile_err(&e),
+            },
+            "stall_deadline_ms" => match int_value(arg) {
+                Ok(ms) => cfg.push_str(&format!(
+                    "__aomp_cfg = __aomp_cfg.stall_deadline(::std::time::Duration::from_millis({ms}u64));"
+                )),
+                Err(e) => return compile_err(&e),
+            },
+            other => {
+                return compile_err(&format!(
+                    "aomp: unknown #[parallel] argument `{other}` (expected threads/nested/only_if/cancellable/stall_deadline_ms)"
+                ))
+            }
+        }
+    }
+    let new_body = format!(
+        "#[allow(unused_mut)] let mut __aomp_cfg = ::aomp::region::RegionConfig::new();\n\
+         {cfg}\n\
+         ::aomp::region::parallel_with(__aomp_cfg, || {body});"
+    );
+    rewrap(header, &new_body)
 }
 
 /// `@For` — the function is a *for method*: its first three `i64`
@@ -156,79 +315,83 @@ pub fn parallel(attr: TokenStream, item: TokenStream) -> TokenStream {
 /// according to the schedule (paper Figures 10 and 11).
 ///
 /// Arguments: `schedule = "staticBlock" | "staticCyclic" | "dynamic" |
-/// "guided"` (default `staticBlock`), `chunk = <int>` (dynamic),
-/// `min_chunk = <int>` (guided), `nowait`.
+/// "guided" | "blockCyclic" | "runtime"` (default `staticBlock`),
+/// `chunk = <int>` (dynamic/blockCyclic), `min_chunk = <int>` (guided),
+/// `nowait`.
 #[proc_macro_attribute]
 pub fn for_loop(attr: TokenStream, item: TokenStream) -> TokenStream {
-    let func = parse_macro_input!(item as ItemFn);
+    let (header, body) = match split_fn(item) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
+    let args = match parse_attr_args(attr) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
     let mut schedule = String::from("staticBlock");
     let mut chunk: u64 = 1;
     let mut min_chunk: u64 = 1;
     let mut nowait = false;
-    if !attr.is_empty() {
-        let parser = syn::meta::parser(|meta| {
-            if meta.path.is_ident("schedule") {
-                schedule = meta.value()?.parse::<LitStr>()?.value();
-                Ok(())
-            } else if meta.path.is_ident("chunk") {
-                chunk = meta.value()?.parse::<LitInt>()?.base10_parse()?;
-                Ok(())
-            } else if meta.path.is_ident("min_chunk") {
-                min_chunk = meta.value()?.parse::<LitInt>()?.base10_parse()?;
-                Ok(())
-            } else if meta.path.is_ident("nowait") {
-                nowait = true;
-                Ok(())
-            } else {
-                Err(meta.error("expected schedule/chunk/min_chunk/nowait"))
-            }
-        });
-        parse_macro_input!(attr with parser);
+    for arg in &args {
+        match arg.name.as_str() {
+            "schedule" => match str_value(arg) {
+                Ok(s) => schedule = s,
+                Err(e) => return compile_err(&e),
+            },
+            "chunk" => match int_value(arg) {
+                Ok(c) => chunk = c,
+                Err(e) => return compile_err(&e),
+            },
+            "min_chunk" => match int_value(arg) {
+                Ok(c) => min_chunk = c,
+                Err(e) => return compile_err(&e),
+            },
+            "nowait" => nowait = true,
+            other => return compile_err(&format!("aomp: unknown #[for_loop] argument `{other}`")),
+        }
     }
     let sched_expr = match schedule.as_str() {
-        "staticBlock" | "static_block" | "static" => quote!(::aomp::schedule::Schedule::StaticBlock),
-        "staticCyclic" | "static_cyclic" | "cyclic" => quote!(::aomp::schedule::Schedule::StaticCyclic),
-        "dynamic" => quote!(::aomp::schedule::Schedule::Dynamic { chunk: #chunk }),
-        "guided" => quote!(::aomp::schedule::Schedule::Guided { min_chunk: #min_chunk }),
-        "blockCyclic" | "block_cyclic" => quote!(::aomp::schedule::Schedule::BlockCyclic { chunk: #chunk }),
-        "runtime" => quote!(::aomp::schedule::Schedule::from_env()),
+        "staticBlock" | "static_block" | "static" => "::aomp::schedule::Schedule::StaticBlock".to_owned(),
+        "staticCyclic" | "static_cyclic" | "cyclic" => "::aomp::schedule::Schedule::StaticCyclic".to_owned(),
+        "dynamic" => format!("::aomp::schedule::Schedule::Dynamic {{ chunk: {chunk}u64 }}"),
+        "guided" => format!("::aomp::schedule::Schedule::Guided {{ min_chunk: {min_chunk}u64 }}"),
+        "blockCyclic" | "block_cyclic" => {
+            format!("::aomp::schedule::Schedule::BlockCyclic {{ chunk: {chunk}u64 }}")
+        }
+        "runtime" => "::aomp::schedule::Schedule::from_env()".to_owned(),
         other => {
-            return syn::Error::new(
-                proc_macro2::Span::call_site(),
-                format!("unknown schedule `{other}` (expected staticBlock/staticCyclic/dynamic/guided/blockCyclic/runtime)"),
-            )
-            .to_compile_error()
-            .into()
+            return compile_err(&format!(
+                "unknown schedule `{other}` (expected staticBlock/staticCyclic/dynamic/guided/blockCyclic/runtime)"
+            ))
         }
     };
-    let idents = match leading_param_idents(&func, 3) {
-        Ok(v) => v,
-        Err(e) => return e.to_compile_error().into(),
+    let params_idx = match param_group_index(&header) {
+        Ok(i) => i,
+        Err(e) => return compile_err(&e),
     };
-    if !is_unit_return(&func) {
-        return syn::Error::new_spanned(
-            &func.sig.output,
-            "#[for_loop] for methods cannot return a value",
-        )
-        .to_compile_error()
-        .into();
+    if return_type(&header, params_idx).is_some() {
+        return compile_err("#[for_loop] for methods cannot return a value");
     }
-    let (p0, p1, p2) = (&idents[0], &idents[1], &idents[2]);
-    let body = &func.block;
+    let params = match &header[params_idx] {
+        TokenTree::Group(g) => g.clone(),
+        _ => unreachable!("param_group_index returns a group index"),
+    };
+    let names = match leading_param_names(&params, 3) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
+    let (p0, p1, p2) = (&names[0], &names[1], &names[2]);
     let ctor = if nowait {
-        quote! { ::aomp::workshare::ForConstruct::new(#sched_expr).nowait() }
+        format!("::aomp::workshare::ForConstruct::new({sched_expr}).nowait()")
     } else {
-        quote! { ::aomp::workshare::ForConstruct::new(#sched_expr) }
+        format!("::aomp::workshare::ForConstruct::new({sched_expr})")
     };
-    let new_body = quote! {
-        static __AOMP_FOR: ::std::sync::OnceLock<::aomp::workshare::ForConstruct> =
-            ::std::sync::OnceLock::new();
-        let __aomp_range = ::aomp::range::LoopRange::new(#p0 as i64, #p1 as i64, #p2 as i64);
-        __AOMP_FOR
-            .get_or_init(|| #ctor)
-            .execute(__aomp_range, |#p0, #p1, #p2| #body);
-    };
-    rewrap(func, new_body)
+    let new_body = format!(
+        "static __AOMP_FOR: ::std::sync::OnceLock<::aomp::workshare::ForConstruct> = ::std::sync::OnceLock::new();\n\
+         let __aomp_range = ::aomp::range::LoopRange::new({p0} as i64, {p1} as i64, {p2} as i64);\n\
+         __AOMP_FOR.get_or_init(|| {ctor}).execute(__aomp_range, |{p0}, {p1}, {p2}| {body});"
+    );
+    rewrap(header, &new_body)
 }
 
 /// `@Critical` — the body executes in mutual exclusion. With
@@ -237,55 +400,60 @@ pub fn for_loop(attr: TokenStream, item: TokenStream) -> TokenStream {
 /// without an id, a lock private to this function.
 #[proc_macro_attribute]
 pub fn critical(attr: TokenStream, item: TokenStream) -> TokenStream {
-    let func = parse_macro_input!(item as ItemFn);
+    let (header, body) = match split_fn(item) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
+    let args = match parse_attr_args(attr) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
     let mut id: Option<String> = None;
-    if !attr.is_empty() {
-        let parser = syn::meta::parser(|meta| {
-            if meta.path.is_ident("id") {
-                id = Some(meta.value()?.parse::<LitStr>()?.value());
-                Ok(())
-            } else {
-                Err(meta.error("expected `id = \"name\"`"))
+    for arg in &args {
+        match arg.name.as_str() {
+            "id" => match str_value(arg) {
+                Ok(s) => id = Some(s),
+                Err(e) => return compile_err(&e),
+            },
+            other => {
+                return compile_err(&format!(
+                    "aomp: unknown #[critical] argument `{other}` (expected `id = \"name\"`)"
+                ))
             }
-        });
-        parse_macro_input!(attr with parser);
+        }
     }
-    let body = &func.block;
     let handle = match &id {
-        Some(name) => quote! { ::aomp::critical::CriticalHandle::named(#name) },
-        None => quote! { ::aomp::critical::CriticalHandle::new() },
+        Some(name) => format!("::aomp::critical::CriticalHandle::named({name:?})"),
+        None => "::aomp::critical::CriticalHandle::new()".to_owned(),
     };
-    let new_body = quote! {
-        static __AOMP_CRIT: ::std::sync::OnceLock<::aomp::critical::CriticalHandle> =
-            ::std::sync::OnceLock::new();
-        __AOMP_CRIT.get_or_init(|| #handle).run(|| #body)
-    };
-    rewrap(func, new_body)
+    let new_body = format!(
+        "static __AOMP_CRIT: ::std::sync::OnceLock<::aomp::critical::CriticalHandle> = ::std::sync::OnceLock::new();\n\
+         __AOMP_CRIT.get_or_init(|| {handle}).run(|| {body})"
+    );
+    rewrap(header, &new_body)
 }
 
 /// `@BarrierBefore` — team barrier before the body executes.
 #[proc_macro_attribute]
 pub fn barrier_before(_attr: TokenStream, item: TokenStream) -> TokenStream {
-    let func = parse_macro_input!(item as ItemFn);
-    let body = &func.block;
-    let new_body = quote! {
-        ::aomp::ctx::barrier();
-        #body
+    let (header, body) = match split_fn(item) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
     };
-    rewrap(func, new_body)
+    rewrap(header, &format!("::aomp::ctx::barrier();\n{body}"))
 }
 
 /// `@BarrierAfter` — team barrier after the body completes.
 #[proc_macro_attribute]
 pub fn barrier_after(_attr: TokenStream, item: TokenStream) -> TokenStream {
-    let func = parse_macro_input!(item as ItemFn);
-    let body = &func.block;
-    let new_body = quote! {
-        let __aomp_result = #body;
-        ::aomp::ctx::barrier();
-        __aomp_result
+    let (header, body) = match split_fn(item) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
     };
-    rewrap(func, new_body)
+    rewrap(
+        header,
+        &format!("let __aomp_result = {body};\n::aomp::ctx::barrier();\n__aomp_result"),
+    )
 }
 
 /// `@Master` — only the team master executes the body. If the function
@@ -293,31 +461,38 @@ pub fn barrier_after(_attr: TokenStream, item: TokenStream) -> TokenStream {
 /// the return type must then be `Clone + Send + 'static`.
 #[proc_macro_attribute]
 pub fn master(_attr: TokenStream, item: TokenStream) -> TokenStream {
-    gate_macro(item, quote!(::aomp::sync::Master))
+    gate_macro(item, "::aomp::sync::Master")
 }
 
 /// `@Single` — the first-arriving team thread executes the body; a return
 /// value is broadcast to the team.
 #[proc_macro_attribute]
 pub fn single(_attr: TokenStream, item: TokenStream) -> TokenStream {
-    gate_macro(item, quote!(::aomp::sync::Single))
+    gate_macro(item, "::aomp::sync::Single")
 }
 
-fn gate_macro(item: TokenStream, construct: TokenStream2) -> TokenStream {
-    let func = parse_macro_input!(item as ItemFn);
-    let body = &func.block;
-    let new_body = if is_unit_return(&func) {
-        quote! {
-            static __AOMP_GATE: ::std::sync::OnceLock<#construct> = ::std::sync::OnceLock::new();
-            __AOMP_GATE.get_or_init(<#construct>::new).run_nowait(|| #body);
-        }
-    } else {
-        quote! {
-            static __AOMP_GATE: ::std::sync::OnceLock<#construct> = ::std::sync::OnceLock::new();
-            __AOMP_GATE.get_or_init(<#construct>::new).run(|| #body)
-        }
+fn gate_macro(item: TokenStream, construct: &str) -> TokenStream {
+    let (header, body) = match split_fn(item) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
     };
-    rewrap(func, new_body)
+    let params_idx = match param_group_index(&header) {
+        Ok(i) => i,
+        Err(e) => return compile_err(&e),
+    };
+    let is_unit = return_type(&header, params_idx).is_none();
+    let new_body = if is_unit {
+        format!(
+            "static __AOMP_GATE: ::std::sync::OnceLock<{construct}> = ::std::sync::OnceLock::new();\n\
+             __AOMP_GATE.get_or_init(<{construct}>::new).run_nowait(|| {body});"
+        )
+    } else {
+        format!(
+            "static __AOMP_GATE: ::std::sync::OnceLock<{construct}> = ::std::sync::OnceLock::new();\n\
+             __AOMP_GATE.get_or_init(<{construct}>::new).run(|| {body})"
+        )
+    };
+    rewrap(header, &new_body)
 }
 
 /// `@Task` — calling the function spawns a new parallel activity that
@@ -325,20 +500,18 @@ fn gate_macro(item: TokenStream, construct: TokenStream2) -> TokenStream {
 /// `Send + 'static` (they move into the activity).
 #[proc_macro_attribute]
 pub fn task(_attr: TokenStream, item: TokenStream) -> TokenStream {
-    let func = parse_macro_input!(item as ItemFn);
-    if !is_unit_return(&func) {
-        return syn::Error::new_spanned(
-            &func.sig.output,
-            "#[task] functions cannot return a value; use #[future_task]",
-        )
-        .to_compile_error()
-        .into();
-    }
-    let body = &func.block;
-    let new_body = quote! {
-        ::aomp::task::spawn(move || #body);
+    let (header, body) = match split_fn(item) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
     };
-    rewrap(func, new_body)
+    let params_idx = match param_group_index(&header) {
+        Ok(i) => i,
+        Err(e) => return compile_err(&e),
+    };
+    if return_type(&header, params_idx).is_some() {
+        return compile_err("#[task] functions cannot return a value; use #[future_task]");
+    }
+    rewrap(header, &format!("::aomp::task::spawn(move || {body});"))
 }
 
 /// `@FutureTask` — calling the function spawns an activity computing the
@@ -348,22 +521,23 @@ pub fn task(_attr: TokenStream, item: TokenStream) -> TokenStream {
 /// `FutureTask<T>` in the rewritten signature.
 #[proc_macro_attribute]
 pub fn future_task(_attr: TokenStream, item: TokenStream) -> TokenStream {
-    let mut func = parse_macro_input!(item as ItemFn);
-    let ret_ty = match &func.sig.output {
-        syn::ReturnType::Type(_, ty) => (**ty).clone(),
-        syn::ReturnType::Default => {
-            return syn::Error::new_spanned(
-                &func.sig,
-                "#[future_task] requires a return type; use #[task] for void activities",
-            )
-            .to_compile_error()
-            .into()
-        }
+    let (header, body) = match split_fn(item) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
     };
-    let body = func.block.clone();
-    func.sig.output = syn::parse_quote!(-> ::aomp::task::FutureTask<#ret_ty>);
-    let new_body = quote! {
-        ::aomp::task::spawn_future(move || -> #ret_ty #body)
+    let params_idx = match param_group_index(&header) {
+        Ok(i) => i,
+        Err(e) => return compile_err(&e),
     };
-    rewrap(func, new_body)
+    let Some((arrow_idx, ret_ty)) = return_type(&header, params_idx) else {
+        return compile_err(
+            "#[future_task] requires a return type; use #[task] for void activities",
+        );
+    };
+    let prefix: TokenStream = header[..arrow_idx].iter().cloned().collect();
+    let src = format!(
+        "{prefix} -> ::aomp::task::FutureTask<{ret_ty}> {{ ::aomp::task::spawn_future(move || -> {ret_ty} {body}) }}"
+    );
+    src.parse()
+        .unwrap_or_else(|e| compile_err(&format!("aomp: generated code failed to parse: {e}")))
 }

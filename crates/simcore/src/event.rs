@@ -35,19 +35,31 @@ impl EventSimulator {
         let mut clocks = vec![0.0f64; t];
         for step in &program.steps {
             match *step {
-                Step::Parallel { ops, bytes, imbalance } => {
+                Step::Parallel {
+                    ops,
+                    bytes,
+                    imbalance,
+                } => {
                     let imb = if t == 1 { 1.0 } else { imbalance.max(1.0) };
                     // The last thread carries the most-loaded share (the
                     // master, thread 0, is the one that also runs Serial
                     // steps, so a skewed loop rarely lands on it); the
                     // rest split the remainder evenly.
                     let heavy = ops / t as f64 * imb;
-                    let light = if t == 1 { heavy } else { (ops - heavy).max(0.0) / (t as f64 - 1.0) };
+                    let light = if t == 1 {
+                        heavy
+                    } else {
+                        (ops - heavy).max(0.0) / (t as f64 - 1.0)
+                    };
                     // Bandwidth is shared: each thread's traffic share is
                     // proportional to its compute share.
                     for (i, c) in clocks.iter_mut().enumerate() {
                         let share_ops = if i == t - 1 { heavy } else { light };
-                        let share_bytes = if ops > 0.0 { bytes * share_ops / ops } else { bytes / t as f64 };
+                        let share_bytes = if ops > 0.0 {
+                            bytes * share_ops / ops
+                        } else {
+                            bytes / t as f64
+                        };
                         let compute = share_ops / per_thread_rate;
                         let memory = share_bytes / (m.bw_bytes_per_us / t as f64);
                         *c += compute.max(memory);
@@ -98,7 +110,11 @@ mod tests {
     fn barrier_separated(phases: usize) -> Program {
         let mut steps = Vec::new();
         for i in 0..phases {
-            steps.push(Step::Parallel { ops: 1e7 * (i + 1) as f64, bytes: 1e5, imbalance: 1.0 });
+            steps.push(Step::Parallel {
+                ops: 1e7 * (i + 1) as f64,
+                bytes: 1e5,
+                imbalance: 1.0,
+            });
             steps.push(Step::Barrier);
         }
         Program::new("bs", steps)
@@ -126,8 +142,15 @@ mod tests {
         let p = Program::new(
             "overlap",
             vec![
-                Step::Serial { ops: 1e8, bytes: 0.0 },
-                Step::Parallel { ops: 1e8, bytes: 0.0, imbalance: 2.0 },
+                Step::Serial {
+                    ops: 1e8,
+                    bytes: 0.0,
+                },
+                Step::Parallel {
+                    ops: 1e8,
+                    bytes: 0.0,
+                    imbalance: 2.0,
+                },
                 Step::Barrier,
             ],
         );
@@ -155,8 +178,15 @@ mod tests {
         let p = Program::new(
             "seq",
             vec![
-                Step::Parallel { ops: 3.2e6, bytes: 0.0, imbalance: 1.5 },
-                Step::Serial { ops: 3.2e6, bytes: 0.0 },
+                Step::Parallel {
+                    ops: 3.2e6,
+                    bytes: 0.0,
+                    imbalance: 1.5,
+                },
+                Step::Serial {
+                    ops: 3.2e6,
+                    bytes: 0.0,
+                },
             ],
         );
         // 3.2e6 ops at 3200 ops/µs = 1000 µs each.
@@ -167,8 +197,22 @@ mod tests {
     fn imbalance_lands_on_a_worker() {
         let m = Machine::i7();
         let event = EventSimulator::new(m);
-        let balanced = Program::new("b", vec![Step::Parallel { ops: 1e8, bytes: 0.0, imbalance: 1.0 }]);
-        let skewed = Program::new("s", vec![Step::Parallel { ops: 1e8, bytes: 0.0, imbalance: 2.0 }]);
+        let balanced = Program::new(
+            "b",
+            vec![Step::Parallel {
+                ops: 1e8,
+                bytes: 0.0,
+                imbalance: 1.0,
+            }],
+        );
+        let skewed = Program::new(
+            "s",
+            vec![Step::Parallel {
+                ops: 1e8,
+                bytes: 0.0,
+                imbalance: 2.0,
+            }],
+        );
         assert!(event.run(&skewed, 4) > event.run(&balanced, 4) * 1.8);
     }
 }

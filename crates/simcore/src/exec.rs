@@ -25,7 +25,11 @@ impl Simulator {
         let mut wall = 0.0f64;
         for step in &program.steps {
             wall += match *step {
-                Step::Parallel { ops, bytes, imbalance } => {
+                Step::Parallel {
+                    ops,
+                    bytes,
+                    imbalance,
+                } => {
                     let imb = if t == 1 { 1.0 } else { imbalance.max(1.0) };
                     let compute = ops / (t as f64) * imb / per_thread_rate;
                     let memory = bytes / m.bw_bytes_per_us;
@@ -42,7 +46,12 @@ impl Simulator {
                     (ops / m.ops_per_us).max(bytes / m.bw_bytes_per_us)
                 }
                 Step::Barrier => m.barrier_cost(t),
-                Step::Critical { entries, ops_each, overlap_ops, bytes } => {
+                Step::Critical {
+                    entries,
+                    ops_each,
+                    overlap_ops,
+                    bytes,
+                } => {
                     let hold = ops_each / m.ops_per_us + m.lock_entry_us;
                     let serial = entries * hold;
                     if t == 1 {
@@ -55,14 +64,24 @@ impl Simulator {
                         // Lock utilisation relative to the compute that
                         // could hide it; once busy, queueing and
                         // cache-line handoffs inflate the serial path.
-                        let util = if compute > 0.0 { (serial / compute).min(1.0) } else { 1.0 };
+                        let util = if compute > 0.0 {
+                            (serial / compute).min(1.0)
+                        } else {
+                            1.0
+                        };
                         let handoffs = entries * m.handoff_us * util;
                         let serial_eff = (serial + handoffs) * (1.0 + (t as f64 - 1.0) * util);
                         let memory = bytes / m.bw_bytes_per_us;
                         own.max(serial_eff).max(memory)
                     }
                 }
-                Step::Locked { entries, ops_each, nlocks, overlap_ops, bytes } => {
+                Step::Locked {
+                    entries,
+                    ops_each,
+                    nlocks,
+                    overlap_ops,
+                    bytes,
+                } => {
                     let base = ops_each / per_thread_rate + m.lock_entry_us;
                     // Collision probability ≈ (t-1)/nlocks per entry; a
                     // collision costs one handoff.
@@ -71,8 +90,8 @@ impl Simulator {
                     } else {
                         ((t as f64 - 1.0) / nlocks).min(1.0) * m.handoff_us
                     };
-                    let compute =
-                        (overlap_ops / t as f64) / per_thread_rate + entries / t as f64 * (base + collide);
+                    let compute = (overlap_ops / t as f64) / per_thread_rate
+                        + entries / t as f64 * (base + collide);
                     let memory = bytes / m.bw_bytes_per_us;
                     compute.max(memory)
                 }
@@ -96,7 +115,14 @@ mod tests {
     }
 
     fn pure_compute(ops: f64) -> Program {
-        Program::new("c", vec![Step::Parallel { ops, bytes: 0.0, imbalance: 1.0 }])
+        Program::new(
+            "c",
+            vec![Step::Parallel {
+                ops,
+                bytes: 0.0,
+                imbalance: 1.0,
+            }],
+        )
     }
 
     #[test]
@@ -118,7 +144,14 @@ mod tests {
     #[test]
     fn memory_bound_phase_does_not_scale() {
         let s = sim();
-        let p = Program::new("m", vec![Step::Parallel { ops: 1e6, bytes: 1e9, imbalance: 1.0 }]);
+        let p = Program::new(
+            "m",
+            vec![Step::Parallel {
+                ops: 1e6,
+                bytes: 1e9,
+                imbalance: 1.0,
+            }],
+        );
         let su = s.speedup(&p, 8);
         assert!(su < 1.5, "memory-bound speedup should flatten: {su}");
     }
@@ -127,8 +160,14 @@ mod tests {
     fn imbalance_halves_scaling() {
         let s = sim();
         let balanced = pure_compute(1e9);
-        let skewed =
-            Program::new("s", vec![Step::Parallel { ops: 1e9, bytes: 0.0, imbalance: 2.0 }]);
+        let skewed = Program::new(
+            "s",
+            vec![Step::Parallel {
+                ops: 1e9,
+                bytes: 0.0,
+                imbalance: 2.0,
+            }],
+        );
         assert!(s.speedup(&skewed, 4) < s.speedup(&balanced, 4) / 1.8);
     }
 
@@ -137,7 +176,12 @@ mod tests {
         let s = sim();
         let p = Program::new(
             "crit",
-            vec![Step::Critical { entries: 1e6, ops_each: 10.0, overlap_ops: 1e8, bytes: 0.0 }],
+            vec![Step::Critical {
+                entries: 1e6,
+                ops_each: 10.0,
+                overlap_ops: 1e8,
+                bytes: 0.0,
+            }],
         );
         let su = s.speedup(&p, 8);
         // 1e6 entries × ~0.17us ≈ 170ms serial vs 31ms compute: bounded.
@@ -149,11 +193,22 @@ mod tests {
         let s = sim();
         let shared = Program::new(
             "crit",
-            vec![Step::Critical { entries: 1e5, ops_each: 10.0, overlap_ops: 1e8, bytes: 0.0 }],
+            vec![Step::Critical {
+                entries: 1e5,
+                ops_each: 10.0,
+                overlap_ops: 1e8,
+                bytes: 0.0,
+            }],
         );
         let fine = Program::new(
             "locks",
-            vec![Step::Locked { entries: 1e5, ops_each: 10.0, nlocks: 1e4, overlap_ops: 1e8, bytes: 0.0 }],
+            vec![Step::Locked {
+                entries: 1e5,
+                ops_each: 10.0,
+                nlocks: 1e4,
+                overlap_ops: 1e8,
+                bytes: 0.0,
+            }],
         );
         assert!(s.speedup(&fine, 8) > s.speedup(&shared, 8));
     }
@@ -163,7 +218,11 @@ mod tests {
         let s = sim();
         let mut steps = Vec::new();
         for _ in 0..10_000 {
-            steps.push(Step::Parallel { ops: 1e4, bytes: 0.0, imbalance: 1.0 });
+            steps.push(Step::Parallel {
+                ops: 1e4,
+                bytes: 0.0,
+                imbalance: 1.0,
+            });
             steps.push(Step::Barrier);
         }
         let p = Program::new("b", steps);
@@ -186,7 +245,12 @@ mod tests {
         let s = sim();
         let p = Program::new(
             "hidden",
-            vec![Step::Critical { entries: 100.0, ops_each: 5.0, overlap_ops: 1e9, bytes: 0.0 }],
+            vec![Step::Critical {
+                entries: 100.0,
+                ops_each: 5.0,
+                overlap_ops: 1e9,
+                bytes: 0.0,
+            }],
         );
         let su = s.speedup(&p, 4);
         assert!(su > 3.9, "hidden critical should scale: {su}");
@@ -195,7 +259,13 @@ mod tests {
     #[test]
     fn serial_step_ignores_team_size() {
         let s = sim();
-        let p = Program::new("ser", vec![Step::Serial { ops: 1e6, bytes: 0.0 }]);
+        let p = Program::new(
+            "ser",
+            vec![Step::Serial {
+                ops: 1e6,
+                bytes: 0.0,
+            }],
+        );
         assert_eq!(s.run(&p, 1), s.run(&p, 8));
     }
 }

@@ -25,16 +25,17 @@
 //! operation/byte count derived from the actual Rust kernel inner loops
 //! in `aomp-jgf` (see each function's comments).
 
-
 #![warn(missing_docs)]
 
 pub mod event;
 pub mod exec;
+pub mod json;
 pub mod machine;
 pub mod model;
 pub mod models;
 
 pub use event::EventSimulator;
 pub use exec::Simulator;
+pub use json::{Json, ToJson};
 pub use machine::Machine;
 pub use model::{Program, Step};

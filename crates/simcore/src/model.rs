@@ -1,9 +1,9 @@
 //! Structural program models: bulk-synchronous step sequences.
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 
 /// One bulk-synchronous step of a modelled program.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Step {
     /// Work shared across the team: `ops` total abstract operations and
     /// `bytes` total memory traffic; the phase obeys a roofline —
@@ -71,8 +71,111 @@ pub enum Step {
     },
 }
 
+impl Step {
+    /// JSON encoding, externally tagged like the serde derive this
+    /// replaced: `{"Parallel": {"ops": …}}`, `"Barrier"`.
+    pub fn to_json(&self) -> Json {
+        let obj = |tag: &str, fields: Vec<(&str, f64)>| {
+            Json::Obj(vec![(
+                tag.to_owned(),
+                Json::Obj(
+                    fields
+                        .into_iter()
+                        .map(|(k, v)| (k.to_owned(), Json::Num(v)))
+                        .collect(),
+                ),
+            )])
+        };
+        match *self {
+            Step::Parallel {
+                ops,
+                bytes,
+                imbalance,
+            } => obj(
+                "Parallel",
+                vec![("ops", ops), ("bytes", bytes), ("imbalance", imbalance)],
+            ),
+            Step::Replicated { ops, bytes } => {
+                obj("Replicated", vec![("ops", ops), ("bytes", bytes)])
+            }
+            Step::Serial { ops, bytes } => obj("Serial", vec![("ops", ops), ("bytes", bytes)]),
+            Step::Barrier => Json::Str("Barrier".to_owned()),
+            Step::Critical {
+                entries,
+                ops_each,
+                overlap_ops,
+                bytes,
+            } => obj(
+                "Critical",
+                vec![
+                    ("entries", entries),
+                    ("ops_each", ops_each),
+                    ("overlap_ops", overlap_ops),
+                    ("bytes", bytes),
+                ],
+            ),
+            Step::Locked {
+                entries,
+                ops_each,
+                nlocks,
+                overlap_ops,
+                bytes,
+            } => obj(
+                "Locked",
+                vec![
+                    ("entries", entries),
+                    ("ops_each", ops_each),
+                    ("nlocks", nlocks),
+                    ("overlap_ops", overlap_ops),
+                    ("bytes", bytes),
+                ],
+            ),
+        }
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(j: &Json) -> Result<Step, String> {
+        if j.as_str() == Some("Barrier") {
+            return Ok(Step::Barrier);
+        }
+        let (tag, body) = match j {
+            Json::Obj(pairs) if pairs.len() == 1 => (&pairs[0].0, &pairs[0].1),
+            _ => return Err("step must be \"Barrier\" or a single-key object".to_owned()),
+        };
+        match tag.as_str() {
+            "Parallel" => Ok(Step::Parallel {
+                ops: body.f64_field("ops")?,
+                bytes: body.f64_field("bytes")?,
+                imbalance: body.f64_field("imbalance")?,
+            }),
+            "Replicated" => Ok(Step::Replicated {
+                ops: body.f64_field("ops")?,
+                bytes: body.f64_field("bytes")?,
+            }),
+            "Serial" => Ok(Step::Serial {
+                ops: body.f64_field("ops")?,
+                bytes: body.f64_field("bytes")?,
+            }),
+            "Critical" => Ok(Step::Critical {
+                entries: body.f64_field("entries")?,
+                ops_each: body.f64_field("ops_each")?,
+                overlap_ops: body.f64_field("overlap_ops")?,
+                bytes: body.f64_field("bytes")?,
+            }),
+            "Locked" => Ok(Step::Locked {
+                entries: body.f64_field("entries")?,
+                ops_each: body.f64_field("ops_each")?,
+                nlocks: body.f64_field("nlocks")?,
+                overlap_ops: body.f64_field("overlap_ops")?,
+                bytes: body.f64_field("bytes")?,
+            }),
+            other => Err(format!("unknown step kind `{other}`")),
+        }
+    }
+}
+
 /// A modelled program: a name plus its step sequence.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Program {
     /// Display name (benchmark / variant).
     pub name: String,
@@ -83,7 +186,10 @@ pub struct Program {
 impl Program {
     /// Build a program.
     pub fn new(name: impl Into<String>, steps: Vec<Step>) -> Self {
-        Self { name: name.into(), steps }
+        Self {
+            name: name.into(),
+            steps,
+        }
     }
 
     /// Total modelled operations (compute volume), for sanity checks.
@@ -94,11 +200,45 @@ impl Program {
                 Step::Parallel { ops, .. } => *ops,
                 Step::Replicated { ops, .. } => *ops,
                 Step::Serial { ops, .. } => *ops,
-                Step::Critical { entries, ops_each, overlap_ops, .. } => entries * ops_each + overlap_ops,
-                Step::Locked { entries, ops_each, overlap_ops, .. } => entries * ops_each + overlap_ops,
+                Step::Critical {
+                    entries,
+                    ops_each,
+                    overlap_ops,
+                    ..
+                } => entries * ops_each + overlap_ops,
+                Step::Locked {
+                    entries,
+                    ops_each,
+                    overlap_ops,
+                    ..
+                } => entries * ops_each + overlap_ops,
                 Step::Barrier => 0.0,
             })
             .sum()
+    }
+
+    /// JSON encoding (`{"name": …, "steps": […]}`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            (
+                "steps".to_owned(),
+                Json::Arr(self.steps.iter().map(Step::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(j: &Json) -> Result<Program, String> {
+        let name = j.str_field("name")?;
+        let steps = j
+            .get("steps")
+            .and_then(Json::as_array)
+            .ok_or("missing array field `steps`")?
+            .iter()
+            .map(Step::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Program { name, steps })
     }
 
     /// Repeat a step group `times` times (iteration loops).
@@ -107,7 +247,10 @@ impl Program {
         for _ in 0..times {
             steps.extend(group.iter().cloned());
         }
-        Self { name: name.into(), steps }
+        Self {
+            name: name.into(),
+            steps,
+        }
     }
 }
 
@@ -120,11 +263,32 @@ mod tests {
         let p = Program::new(
             "t",
             vec![
-                Step::Parallel { ops: 100.0, bytes: 0.0, imbalance: 1.0 },
-                Step::Replicated { ops: 10.0, bytes: 0.0 },
-                Step::Serial { ops: 5.0, bytes: 0.0 },
-                Step::Critical { entries: 4.0, ops_each: 2.0, overlap_ops: 7.0, bytes: 0.0 },
-                Step::Locked { entries: 3.0, ops_each: 1.0, nlocks: 8.0, overlap_ops: 2.0, bytes: 0.0 },
+                Step::Parallel {
+                    ops: 100.0,
+                    bytes: 0.0,
+                    imbalance: 1.0,
+                },
+                Step::Replicated {
+                    ops: 10.0,
+                    bytes: 0.0,
+                },
+                Step::Serial {
+                    ops: 5.0,
+                    bytes: 0.0,
+                },
+                Step::Critical {
+                    entries: 4.0,
+                    ops_each: 2.0,
+                    overlap_ops: 7.0,
+                    bytes: 0.0,
+                },
+                Step::Locked {
+                    entries: 3.0,
+                    ops_each: 1.0,
+                    nlocks: 8.0,
+                    overlap_ops: 2.0,
+                    bytes: 0.0,
+                },
                 Step::Barrier,
             ],
         );

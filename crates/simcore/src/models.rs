@@ -36,8 +36,15 @@ fn scaled(ops: f64, aomp: bool) -> f64 {
 /// → 15 ops/byte/pass; traffic: read + write per pass.
 pub fn crypt(n: usize, aomp: bool) -> Program {
     let n = n as f64;
-    let pass = Step::Parallel { ops: scaled(15.0 * n, aomp), bytes: 2.0 * n, imbalance: 1.0 };
-    Program::new(if aomp { "Crypt Aomp" } else { "Crypt JGF" }, vec![pass.clone(), pass])
+    let pass = Step::Parallel {
+        ops: scaled(15.0 * n, aomp),
+        bytes: 2.0 * n,
+        imbalance: 1.0,
+    };
+    Program::new(
+        if aomp { "Crypt Aomp" } else { "Crypt JGF" },
+        vec![pass.clone(), pass],
+    )
 }
 
 /// LUFact: `dgefa` on an `n`×`n` system. Per column k: replicated pivot
@@ -50,11 +57,21 @@ pub fn lufact(n: usize, aomp: bool) -> Program {
     let mut steps = Vec::new();
     for k in 0..n - 1 {
         let rem = (n - k) as f64;
-        steps.push(Step::Replicated { ops: scaled(rem, aomp), bytes: 8.0 * rem });
+        steps.push(Step::Replicated {
+            ops: scaled(rem, aomp),
+            bytes: 8.0 * rem,
+        });
         steps.push(Step::Barrier);
-        steps.push(Step::Serial { ops: rem, bytes: 8.0 * rem });
+        steps.push(Step::Serial {
+            ops: rem,
+            bytes: 8.0 * rem,
+        });
         steps.push(Step::Barrier);
-        steps.push(Step::Parallel { ops: scaled(2.0 * rem * rem, aomp), bytes: 6.0 * rem * rem, imbalance: 1.0 });
+        steps.push(Step::Parallel {
+            ops: scaled(2.0 * rem * rem, aomp),
+            bytes: 6.0 * rem * rem,
+            imbalance: 1.0,
+        });
         steps.push(Step::Barrier);
         steps.push(Step::Barrier);
     }
@@ -67,7 +84,11 @@ pub fn series(n: usize, aomp: bool) -> Program {
     let ops = scaled(n as f64 * 2.0 * 1000.0 * 60.0, aomp);
     Program::new(
         if aomp { "Series Aomp" } else { "Series JGF" },
-        vec![Step::Parallel { ops, bytes: 16.0 * n as f64, imbalance: 1.0 }],
+        vec![Step::Parallel {
+            ops,
+            bytes: 16.0 * n as f64,
+            imbalance: 1.0,
+        }],
     )
 }
 
@@ -105,8 +126,16 @@ pub fn sparse(nz: usize, iters: usize, aomp: bool) -> Program {
 pub fn montecarlo(runs: usize, aomp: bool) -> Program {
     let ops = scaled(runs as f64 * 1000.0 * 50.0, aomp);
     Program::new(
-        if aomp { "MonteCarlo Aomp" } else { "Monte Carlo JGF" },
-        vec![Step::Parallel { ops, bytes: 8.0 * runs as f64, imbalance: 1.02 }],
+        if aomp {
+            "MonteCarlo Aomp"
+        } else {
+            "Monte Carlo JGF"
+        },
+        vec![Step::Parallel {
+            ops,
+            bytes: 8.0 * runs as f64,
+            imbalance: 1.02,
+        }],
     )
 }
 
@@ -116,8 +145,16 @@ pub fn montecarlo(runs: usize, aomp: bool) -> Program {
 pub fn raytracer(res: usize, aomp: bool) -> Program {
     let ops = scaled((res * res) as f64 * 1600.0, aomp);
     Program::new(
-        if aomp { "RayTracer Aomp" } else { "RayTracer JGF" },
-        vec![Step::Parallel { ops, bytes: (res * res) as f64 * 3.0, imbalance: 1.1 }],
+        if aomp {
+            "RayTracer Aomp"
+        } else {
+            "RayTracer JGF"
+        },
+        vec![Step::Parallel {
+            ops,
+            bytes: (res * res) as f64 * 3.0,
+            imbalance: 1.1,
+        }],
     )
 }
 
@@ -162,13 +199,24 @@ impl MolDynStrategy {
 ///   particle, applying that particle's accumulated updates inside it;
 /// * locks: per-update fine-grained locking over n particle locks;
 /// * domove/kinetic phases: ~9 ops and 72 B per particle.
-pub fn moldyn(n: usize, moves: usize, t: usize, strategy: MolDynStrategy, machine: &Machine, aomp: bool) -> Program {
+pub fn moldyn(
+    n: usize,
+    moves: usize,
+    t: usize,
+    strategy: MolDynStrategy,
+    machine: &Machine,
+    aomp: bool,
+) -> Program {
     let nf = n as f64;
     let pairs = nf * nf / 2.0;
     let cutoff_fraction = std::f64::consts::PI / 48.0; // (4/3)π(side/4)³ / side³
     let updates = pairs * cutoff_fraction;
     let search_ops = pairs * 15.0;
-    let per_particle = Step::Parallel { ops: scaled(9.0 * nf, aomp), bytes: 72.0 * nf, imbalance: 1.0 };
+    let per_particle = Step::Parallel {
+        ops: scaled(9.0 * nf, aomp),
+        bytes: 72.0 * nf,
+        imbalance: 1.0,
+    };
 
     let mut group: Vec<Step> = Vec::new();
     group.push(per_particle.clone()); // domove
@@ -219,7 +267,11 @@ pub fn moldyn(n: usize, moves: usize, t: usize, strategy: MolDynStrategy, machin
     }
     group.push(per_particle); // kinetic update
     group.push(Step::Barrier);
-    let name = format!("MolDyn {}{}", strategy.label(), if aomp { " Aomp" } else { "" });
+    let name = format!(
+        "MolDyn {}{}",
+        strategy.label(),
+        if aomp { " Aomp" } else { "" }
+    );
     Program::repeat(name, group, moves)
 }
 
@@ -239,7 +291,12 @@ mod tests {
     fn compute_bound_kernels_scale_well() {
         // Paper Figure 13: Series, Crypt, MonteCarlo, RayTracer scale.
         let s = xeon();
-        for p in [series(10_000, false), crypt(20_000_000, false), montecarlo(60_000, false), raytracer(500, false)] {
+        for p in [
+            series(10_000, false),
+            crypt(20_000_000, false),
+            montecarlo(60_000, false),
+            raytracer(500, false),
+        ] {
             let su = s.speedup(&p, 24);
             assert!(su > 10.0, "{}: {su}", p.name);
         }
@@ -289,7 +346,11 @@ mod tests {
         let s = Simulator::new(m.clone());
         let n = 8788;
         let base = s.run(&moldyn(n, 50, 1, MolDynStrategy::ThreadLocal, &m, false), 1);
-        let tl = base / s.run(&moldyn(n, 50, 12, MolDynStrategy::ThreadLocal, &m, false), 12);
+        let tl = base
+            / s.run(
+                &moldyn(n, 50, 12, MolDynStrategy::ThreadLocal, &m, false),
+                12,
+            );
         let lk = base / s.run(&moldyn(n, 50, 12, MolDynStrategy::Locks, &m, false), 12);
         assert!(lk > tl, "locks {lk} vs threadlocal {tl}");
     }
@@ -306,7 +367,10 @@ mod tests {
             let tl = base / s.run(&moldyn(n, 50, 4, MolDynStrategy::ThreadLocal, &m, false), 4);
             let cr = base / s.run(&moldyn(n, 50, 4, MolDynStrategy::Critical, &m, false), 4);
             let lk = base / s.run(&moldyn(n, 50, 4, MolDynStrategy::Locks, &m, false), 4);
-            assert!(cr > tl && cr >= lk * 0.999, "n={n}: critical {cr} vs tl {tl} vs locks {lk}");
+            assert!(
+                cr > tl && cr >= lk * 0.999,
+                "n={n}: critical {cr} vs tl {tl} vs locks {lk}"
+            );
         }
     }
 
@@ -318,9 +382,16 @@ mod tests {
         let s = Simulator::new(m.clone());
         let n = 864;
         let base = s.run(&moldyn(n, 50, 1, MolDynStrategy::ThreadLocal, &m, false), 1);
-        let tl = base / s.run(&moldyn(n, 50, 12, MolDynStrategy::ThreadLocal, &m, false), 12);
+        let tl = base
+            / s.run(
+                &moldyn(n, 50, 12, MolDynStrategy::ThreadLocal, &m, false),
+                12,
+            );
         let cr = base / s.run(&moldyn(n, 50, 12, MolDynStrategy::Critical, &m, false), 12);
-        assert!(cr < tl, "critical {cr} should trail threadlocal {tl} at n=864");
+        assert!(
+            cr < tl,
+            "critical {cr} should trail threadlocal {tl} at n=864"
+        );
     }
 
     #[test]

@@ -164,13 +164,18 @@ pub fn concrete_for(name: impl Into<String>, aspect: &impl ForWorkshare) -> Aspe
     } else {
         Mechanism::for_loop(aspect.schedule())
     };
-    AspectModule::builder(name).bind(aspect.for_method(), mech).build()
+    AspectModule::builder(name)
+        .bind(aspect.for_method(), mech)
+        .build()
 }
 
 /// Build a module from a concrete critical aspect.
 pub fn concrete_critical(name: impl Into<String>, aspect: &impl CriticalAspect) -> AspectModule {
     AspectModule::builder(name)
-        .bind(aspect.critical_method(), Mechanism::critical_with(aspect.lock()))
+        .bind(
+            aspect.critical_method(),
+            Mechanism::critical_with(aspect.lock()),
+        )
         .build()
 }
 
@@ -184,17 +189,24 @@ pub fn concrete_barrier(name: impl Into<String>, aspect: &impl BarrierAspect) ->
 
 /// Build a module from a concrete master aspect.
 pub fn concrete_master(name: impl Into<String>, aspect: &impl MasterAspect) -> AspectModule {
-    AspectModule::builder(name).bind(aspect.master_method(), Mechanism::master()).build()
+    AspectModule::builder(name)
+        .bind(aspect.master_method(), Mechanism::master())
+        .build()
 }
 
 /// Build a module from a concrete single aspect.
 pub fn concrete_single(name: impl Into<String>, aspect: &impl SingleAspect) -> AspectModule {
-    AspectModule::builder(name).bind(aspect.single_method(), Mechanism::single()).build()
+    AspectModule::builder(name)
+        .bind(aspect.single_method(), Mechanism::single())
+        .build()
 }
 
 /// Build a module from a concrete readers/writer aspect (one shared
 /// construct behind both hook points).
-pub fn concrete_reader_writer(name: impl Into<String>, aspect: &impl ReaderWriterAspect) -> AspectModule {
+pub fn concrete_reader_writer(
+    name: impl Into<String>,
+    aspect: &impl ReaderWriterAspect,
+) -> AspectModule {
     let rw = Arc::new(RwConstruct::new());
     AspectModule::builder(name)
         .bind(aspect.reader_method(), Mechanism::reader(Arc::clone(&rw)))
@@ -240,7 +252,10 @@ mod tests {
             }
         }
         let module = concrete_for("CyclicFor", &CyclicFor);
-        assert_eq!(module.bindings()[0].mechanism.kind_name(), "for(staticCyclic)");
+        assert_eq!(
+            module.bindings()[0].mechanism.kind_name(),
+            "for(staticCyclic)"
+        );
     }
 
     #[test]
@@ -272,7 +287,8 @@ mod tests {
         struct LinpackMaster;
         impl MasterAspect for LinpackMaster {
             fn master_method(&self) -> Pointcut {
-                Pointcut::call("abstract.test.interchange").or(Pointcut::call("abstract.test.dscal"))
+                Pointcut::call("abstract.test.interchange")
+                    .or(Pointcut::call("abstract.test.dscal"))
             }
         }
         struct Region;
@@ -299,7 +315,11 @@ mod tests {
         w.undeploy(h1);
         w.undeploy(h2);
         w.undeploy(h3);
-        assert_eq!(execs.load(Ordering::SeqCst), 4, "master-gated, once per encounter");
+        assert_eq!(
+            execs.load(Ordering::SeqCst),
+            4,
+            "master-gated, once per encounter"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub struct AspectModule {
 impl AspectModule {
     /// Start building a module named `name`.
     pub fn builder(name: impl Into<String>) -> AspectBuilder {
-        AspectBuilder { name: name.into(), bindings: Vec::new() }
+        AspectBuilder {
+            name: name.into(),
+            bindings: Vec::new(),
+        }
     }
 
     /// Module name (diagnostics, deployment listings).
@@ -70,13 +73,19 @@ pub struct AspectBuilder {
 impl AspectBuilder {
     /// Attach `mechanism` to the join points selected by `pointcut`.
     pub fn bind(mut self, pointcut: Pointcut, mechanism: Mechanism) -> Self {
-        self.bindings.push(Binding { pointcut, mechanism });
+        self.bindings.push(Binding {
+            pointcut,
+            mechanism,
+        });
         self
     }
 
     /// Finish the module.
     pub fn build(self) -> AspectModule {
-        AspectModule { name: self.name, bindings: self.bindings }
+        AspectModule {
+            name: self.name,
+            bindings: self.bindings,
+        }
     }
 }
 

@@ -47,17 +47,29 @@ pub struct JoinPoint<'a> {
 impl<'a> JoinPoint<'a> {
     /// A plain method-execution join point.
     pub fn plain(name: &'a str) -> Self {
-        Self { name, kind: JoinPointKind::Plain, range: None }
+        Self {
+            name,
+            kind: JoinPointKind::Plain,
+            range: None,
+        }
     }
 
     /// A for-method join point carrying its iteration range.
     pub fn for_method(name: &'a str, range: LoopRange) -> Self {
-        Self { name, kind: JoinPointKind::ForMethod, range: Some(range) }
+        Self {
+            name,
+            kind: JoinPointKind::ForMethod,
+            range: Some(range),
+        }
     }
 
     /// A value-returning join point.
     pub fn value(name: &'a str) -> Self {
-        Self { name, kind: JoinPointKind::Value, range: None }
+        Self {
+            name,
+            kind: JoinPointKind::Value,
+            range: None,
+        }
     }
 }
 

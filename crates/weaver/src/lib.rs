@@ -56,7 +56,6 @@
 //! assert_eq!(out.load(Ordering::Relaxed), expected);
 //! ```
 
-
 #![warn(missing_docs)]
 
 pub mod abstract_aspects;

@@ -34,7 +34,12 @@ pub trait CustomAdvice: Send + Sync {
     /// Around-advice for for-method join points. `proceed` takes the
     /// (possibly rewritten) `(start, end, step)` triple and may be called
     /// any number of times — e.g. once per application-specific chunk.
-    fn around_for(&self, jp: &JoinPoint<'_>, range: LoopRange, proceed: &mut dyn FnMut(i64, i64, i64)) {
+    fn around_for(
+        &self,
+        jp: &JoinPoint<'_>,
+        range: LoopRange,
+        proceed: &mut dyn FnMut(i64, i64, i64),
+    ) {
         let _ = jp;
         proceed(range.start, range.end, range.step);
     }
@@ -48,17 +53,38 @@ pub struct Mechanism {
 }
 
 pub(crate) enum MechanismKind {
-    Parallel { threads: Option<usize>, nested: Option<bool> },
-    For { construct: ForConstruct },
+    Parallel {
+        threads: Option<usize>,
+        nested: Option<bool>,
+        cancellable: bool,
+        stall_deadline: Option<std::time::Duration>,
+    },
+    For {
+        construct: ForConstruct,
+    },
     BarrierBefore,
     BarrierAfter,
-    MasterGate { construct: Master },
-    SingleGate { construct: Single },
-    Critical { handle: CriticalHandle },
-    Reader { rw: Arc<RwConstruct> },
-    Writer { rw: Arc<RwConstruct> },
-    ReduceAfter { action: Arc<dyn Fn() + Send + Sync> },
-    Custom { advice: Arc<dyn CustomAdvice> },
+    MasterGate {
+        construct: Master,
+    },
+    SingleGate {
+        construct: Single,
+    },
+    Critical {
+        handle: CriticalHandle,
+    },
+    Reader {
+        rw: Arc<RwConstruct>,
+    },
+    Writer {
+        rw: Arc<RwConstruct>,
+    },
+    ReduceAfter {
+        action: Arc<dyn Fn() + Send + Sync>,
+    },
+    Custom {
+        advice: Arc<dyn CustomAdvice>,
+    },
 }
 
 impl std::fmt::Debug for Mechanism {
@@ -69,9 +95,18 @@ impl std::fmt::Debug for Mechanism {
 
 impl Mechanism {
     /// `@Parallel` — the matched method execution becomes a parallel
-    /// region. Configure with [`threads`](Self::threads).
+    /// region. Configure with [`threads`](Self::threads),
+    /// [`cancellable`](Self::cancellable) and
+    /// [`stall_deadline`](Self::stall_deadline).
     pub fn parallel() -> Self {
-        Self { kind: MechanismKind::Parallel { threads: None, nested: None } }
+        Self {
+            kind: MechanismKind::Parallel {
+                threads: None,
+                nested: None,
+                cancellable: false,
+                stall_deadline: None,
+            },
+        }
     }
 
     /// Set the team size of a [`parallel`](Self::parallel) mechanism —
@@ -93,64 +128,118 @@ impl Mechanism {
         self
     }
 
+    /// Allow [`aomp::ctx::cancel_team`] inside regions woven by this
+    /// mechanism — OpenMP 4.0 requires cancellation to be activated.
+    pub fn cancellable(mut self) -> Self {
+        match &mut self.kind {
+            MechanismKind::Parallel { cancellable, .. } => *cancellable = true,
+            _ => panic!("cancellable() only applies to Mechanism::parallel()"),
+        }
+        self
+    }
+
+    /// Arm the stall watchdog for regions woven by this mechanism — see
+    /// [`RegionConfig::stall_deadline`].
+    pub fn stall_deadline(mut self, deadline: std::time::Duration) -> Self {
+        match &mut self.kind {
+            MechanismKind::Parallel { stall_deadline, .. } => *stall_deadline = Some(deadline),
+            _ => panic!("stall_deadline() only applies to Mechanism::parallel()"),
+        }
+        self
+    }
+
     /// `@For(schedule = …)` — work-share a for method across the team.
     pub fn for_loop(schedule: Schedule) -> Self {
-        Self { kind: MechanismKind::For { construct: ForConstruct::new(schedule) } }
+        Self {
+            kind: MechanismKind::For {
+                construct: ForConstruct::new(schedule),
+            },
+        }
     }
 
     /// `@For` without the trailing barrier of dynamic/guided schedules.
     pub fn for_loop_nowait(schedule: Schedule) -> Self {
-        Self { kind: MechanismKind::For { construct: ForConstruct::new(schedule).nowait() } }
+        Self {
+            kind: MechanismKind::For {
+                construct: ForConstruct::new(schedule).nowait(),
+            },
+        }
     }
 
     /// `@BarrierBefore` — team barrier before the method executes.
     pub fn barrier_before() -> Self {
-        Self { kind: MechanismKind::BarrierBefore }
+        Self {
+            kind: MechanismKind::BarrierBefore,
+        }
     }
 
     /// `@BarrierAfter` — team barrier after the method completes.
     pub fn barrier_after() -> Self {
-        Self { kind: MechanismKind::BarrierAfter }
+        Self {
+            kind: MechanismKind::BarrierAfter,
+        }
     }
 
     /// `@Master` — only the team master executes the method; for
     /// value join points the result is broadcast to the whole team.
     pub fn master() -> Self {
-        Self { kind: MechanismKind::MasterGate { construct: Master::new() } }
+        Self {
+            kind: MechanismKind::MasterGate {
+                construct: Master::new(),
+            },
+        }
     }
 
     /// `@Single` — exactly one (first-arriving) thread executes the
     /// method; for value join points the result is broadcast.
     pub fn single() -> Self {
-        Self { kind: MechanismKind::SingleGate { construct: Single::new() } }
+        Self {
+            kind: MechanismKind::SingleGate {
+                construct: Single::new(),
+            },
+        }
     }
 
     /// `@Critical` with this aspect instance's own lock — the
     /// `criticalUsingSharedLock` variant scoped to one mechanism.
     pub fn critical() -> Self {
-        Self { kind: MechanismKind::Critical { handle: CriticalHandle::new() } }
+        Self {
+            kind: MechanismKind::Critical {
+                handle: CriticalHandle::new(),
+            },
+        }
     }
 
     /// `@Critical(id = name)` — process-wide named lock.
     pub fn critical_named(id: &str) -> Self {
-        Self { kind: MechanismKind::Critical { handle: CriticalHandle::named(id) } }
+        Self {
+            kind: MechanismKind::Critical {
+                handle: CriticalHandle::named(id),
+            },
+        }
     }
 
     /// `@Critical` sharing an explicit handle — the captured-lock /
     /// shared-lock pointcut variants.
     pub fn critical_with(handle: CriticalHandle) -> Self {
-        Self { kind: MechanismKind::Critical { handle } }
+        Self {
+            kind: MechanismKind::Critical { handle },
+        }
     }
 
     /// `@Reader` — shared access through `rw`. Pair with
     /// [`writer`](Self::writer) on the same construct.
     pub fn reader(rw: Arc<RwConstruct>) -> Self {
-        Self { kind: MechanismKind::Reader { rw } }
+        Self {
+            kind: MechanismKind::Reader { rw },
+        }
     }
 
     /// `@Writer` — exclusive access through `rw`.
     pub fn writer(rw: Arc<RwConstruct>) -> Self {
-        Self { kind: MechanismKind::Writer { rw } }
+        Self {
+            kind: MechanismKind::Writer { rw },
+        }
     }
 
     /// `@Reduce` — after the matched call completes on all threads
@@ -159,12 +248,20 @@ impl Mechanism {
     /// then the team barriers again so every thread observes the merged
     /// value.
     pub fn reduce_after(action: impl Fn() + Send + Sync + 'static) -> Self {
-        Self { kind: MechanismKind::ReduceAfter { action: Arc::new(action) } }
+        Self {
+            kind: MechanismKind::ReduceAfter {
+                action: Arc::new(action),
+            },
+        }
     }
 
     /// Application-specific advice (case-specific aspects).
     pub fn custom(advice: impl CustomAdvice + 'static) -> Self {
-        Self { kind: MechanismKind::Custom { advice: Arc::new(advice) } }
+        Self {
+            kind: MechanismKind::Custom {
+                advice: Arc::new(advice),
+            },
+        }
     }
 
     /// Wrapping layer: lower layers are applied further out. Used by the
@@ -174,7 +271,9 @@ impl Mechanism {
             MechanismKind::BarrierBefore => 0,
             MechanismKind::Parallel { .. } => 1,
             MechanismKind::MasterGate { .. } | MechanismKind::SingleGate { .. } => 2,
-            MechanismKind::Critical { .. } | MechanismKind::Reader { .. } | MechanismKind::Writer { .. } => 3,
+            MechanismKind::Critical { .. }
+            | MechanismKind::Reader { .. }
+            | MechanismKind::Writer { .. } => 3,
             MechanismKind::Custom { .. } => 4,
             MechanismKind::For { .. } => 5,
             MechanismKind::ReduceAfter { .. } => 6,
@@ -207,13 +306,24 @@ impl Mechanism {
 
     pub(crate) fn region_config(&self) -> Option<RegionConfig> {
         match self.kind {
-            MechanismKind::Parallel { threads, nested } => {
+            MechanismKind::Parallel {
+                threads,
+                nested,
+                cancellable,
+                stall_deadline,
+            } => {
                 let mut cfg = RegionConfig::new();
                 if let Some(t) = threads {
                     cfg = cfg.threads(t);
                 }
                 if let Some(n) = nested {
                     cfg = cfg.nested(n);
+                }
+                if cancellable {
+                    cfg = cfg.cancellable(true);
+                }
+                if let Some(d) = stall_deadline {
+                    cfg = cfg.stall_deadline(d);
                 }
                 Some(cfg)
             }
@@ -241,8 +351,14 @@ mod tests {
 
     #[test]
     fn kind_names_include_schedule() {
-        assert_eq!(Mechanism::for_loop(Schedule::StaticCyclic).kind_name(), "for(staticCyclic)");
-        assert_eq!(Mechanism::for_loop(Schedule::DYNAMIC).kind_name(), "for(dynamic)");
+        assert_eq!(
+            Mechanism::for_loop(Schedule::StaticCyclic).kind_name(),
+            "for(staticCyclic)"
+        );
+        assert_eq!(
+            Mechanism::for_loop(Schedule::DYNAMIC).kind_name(),
+            "for(dynamic)"
+        );
         assert_eq!(Mechanism::parallel().kind_name(), "parallel");
     }
 
@@ -257,5 +373,29 @@ mod tests {
         let cfg = Mechanism::parallel().threads(7).region_config().unwrap();
         assert_eq!(cfg, RegionConfig::new().threads(7));
         assert!(Mechanism::master().region_config().is_none());
+    }
+
+    #[test]
+    fn region_config_carries_robustness_settings() {
+        let d = std::time::Duration::from_millis(750);
+        let cfg = Mechanism::parallel()
+            .threads(2)
+            .cancellable()
+            .stall_deadline(d)
+            .region_config()
+            .unwrap();
+        assert_eq!(
+            cfg,
+            RegionConfig::new()
+                .threads(2)
+                .cancellable(true)
+                .stall_deadline(d)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "only applies")]
+    fn cancellable_on_non_parallel_panics() {
+        let _ = Mechanism::critical().cancellable();
     }
 }

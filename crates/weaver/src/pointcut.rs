@@ -70,12 +70,10 @@ impl Pointcut {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        names
-            .into_iter()
-            .fold(Pointcut::None, |acc, n| match acc {
-                Pointcut::None => Pointcut::call(n),
-                acc => acc.or(Pointcut::call(n)),
-            })
+        names.into_iter().fold(Pointcut::None, |acc, n| match acc {
+            Pointcut::None => Pointcut::call(n),
+            acc => acc.or(Pointcut::call(n)),
+        })
     }
 
     /// Does this pointcut select `jp`?
@@ -158,7 +156,11 @@ mod tests {
     fn interface_style_glob_matches_all_implementations() {
         // The LAMMPS-style scenario of §II: many Particle implementations.
         let pc = Pointcut::glob("*.force");
-        for name in ["LJParticle.force", "CoulombParticle.force", "EAMParticle.force"] {
+        for name in [
+            "LJParticle.force",
+            "CoulombParticle.force",
+            "EAMParticle.force",
+        ] {
             assert!(pc.matches(&jp(name)), "{name}");
         }
         assert!(!pc.matches(&jp("LJParticle.domove")));
@@ -167,7 +169,11 @@ mod tests {
     #[test]
     fn or_composition_matches_either() {
         // Paper Figure 7's barrierAfter pointcut.
-        let pc = Pointcut::calls(["Linpack.reduceAllCols", "Linpack.interchange", "Linpack.dscal"]);
+        let pc = Pointcut::calls([
+            "Linpack.reduceAllCols",
+            "Linpack.interchange",
+            "Linpack.dscal",
+        ]);
         assert!(pc.matches(&jp("Linpack.interchange")));
         assert!(pc.matches(&jp("Linpack.dscal")));
         assert!(!pc.matches(&jp("Linpack.dgefa")));

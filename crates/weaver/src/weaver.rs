@@ -61,7 +61,11 @@ impl Default for Weaver {
 impl Weaver {
     /// A fresh, empty weaver (tests; embedded registries).
     pub fn new() -> Self {
-        Self { deployed: RwLock::new(Vec::new()), next_id: AtomicU64::new(1), stats: Mutex::new(HashMap::new()) }
+        Self {
+            deployed: RwLock::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            stats: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The process-wide weaver that the [`call`]/[`call_for`]/
@@ -75,7 +79,11 @@ impl Weaver {
     /// Later deployments wrap *inside* earlier ones when layers tie.
     pub fn deploy(&self, module: AspectModule) -> AspectHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.deployed.write().push(Deployed { id, module: Arc::new(module), enabled: AtomicBool::new(true) });
+        self.deployed.write().push(Deployed {
+            id,
+            module: Arc::new(module),
+            enabled: AtomicBool::new(true),
+        });
         AspectHandle(id)
     }
 
@@ -94,13 +102,21 @@ impl Weaver {
 
     /// Is the module deployed *and* enabled?
     pub fn is_enabled(&self, handle: AspectHandle) -> bool {
-        self.deployed.read().iter().any(|d| d.id == handle.0 && d.enabled.load(Ordering::Acquire))
+        self.deployed
+            .read()
+            .iter()
+            .any(|d| d.id == handle.0 && d.enabled.load(Ordering::Acquire))
     }
 
     /// Snapshot of matched-dispatch counts per join-point name (a
     /// development aid, like AspectJ's weave-info).
     pub fn stats(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self.stats.lock().iter().map(|(k, c)| (k.clone(), *c)).collect();
+        let mut v: Vec<(String, u64)> = self
+            .stats
+            .lock()
+            .iter()
+            .map(|(k, c)| (k.clone(), *c))
+            .collect();
         v.sort();
         v
     }
@@ -128,7 +144,11 @@ impl Weaver {
 
     /// Names of currently deployed modules, in deployment order.
     pub fn deployed_names(&self) -> Vec<String> {
-        self.deployed.read().iter().map(|d| d.module.name().to_owned()).collect()
+        self.deployed
+            .read()
+            .iter()
+            .map(|d| d.module.name().to_owned())
+            .collect()
     }
 
     /// Is this handle still deployed?
@@ -212,7 +232,9 @@ impl<'a> Plan<'a> {
                         plan.gate = Some(&m.kind);
                     }
                 }
-                MechanismKind::Critical { .. } | MechanismKind::Reader { .. } | MechanismKind::Writer { .. } => {
+                MechanismKind::Critical { .. }
+                | MechanismKind::Reader { .. }
+                | MechanismKind::Writer { .. } => {
                     plan.locks.push(&m.kind);
                 }
                 MechanismKind::Custom { .. } => plan.customs.push(&m.kind),
@@ -260,7 +282,9 @@ fn wrap_customs(customs: &[&MechanismKind], jp: &JoinPoint<'_>, f: &mut dyn FnMu
     match customs.split_first() {
         None => f(),
         Some((c, rest)) => match c {
-            MechanismKind::Custom { advice } => advice.around(jp, &mut || wrap_customs(rest, jp, f)),
+            MechanismKind::Custom { advice } => {
+                advice.around(jp, &mut || wrap_customs(rest, jp, f))
+            }
             _ => unreachable!("non-custom mechanism in custom phase"),
         },
     }
@@ -321,7 +345,9 @@ where
     }
     Weaver::global().record(name);
     let plan = Plan::build(
-        picks.iter().map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
+        picks
+            .iter()
+            .map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
         &jp,
     );
     for _ in 0..plan.pre_barriers {
@@ -351,21 +377,26 @@ where
     }
     Weaver::global().record(name);
     let plan = Plan::build(
-        picks.iter().map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
+        picks
+            .iter()
+            .map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
         &jp,
     );
     for _ in 0..plan.pre_barriers {
         ctx::barrier();
     }
     let inner = || {
-        let run_loop = || {
-            wrap_locks(&plan.locks, &mut || {
-                wrap_customs_for(&plan.customs, &jp, range, &mut |lo, hi, st| match plan.for_mech {
-                    Some(fc) => fc.execute(LoopRange::new(lo, hi, st), &body),
-                    None => body(lo, hi, st),
-                });
-            })
-        };
+        let run_loop =
+            || {
+                wrap_locks(&plan.locks, &mut || {
+                    wrap_customs_for(&plan.customs, &jp, range, &mut |lo, hi, st| match plan
+                        .for_mech
+                    {
+                        Some(fc) => fc.execute(LoopRange::new(lo, hi, st), &body),
+                        None => body(lo, hi, st),
+                    });
+                })
+            };
         match plan.gate {
             None => run_loop(),
             Some(MechanismKind::MasterGate { construct }) => {
@@ -410,7 +441,9 @@ where
     }
     Weaver::global().record(name);
     let plan = Plan::build(
-        picks.iter().map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
+        picks
+            .iter()
+            .map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
         &jp,
     );
     for _ in 0..plan.pre_barriers {
@@ -476,7 +509,9 @@ where
     }
     Weaver::global().record(name);
     let plan = Plan::build(
-        picks.iter().map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
+        picks
+            .iter()
+            .map(|&(mi, bi)| &modules[mi].bindings()[bi].mechanism),
         &jp,
     );
     assert!(
@@ -541,7 +576,10 @@ mod tests {
     fn parallel_mechanism_runs_team() {
         let hits = AtomicUsize::new(0);
         let aspect = AspectModule::builder("par-test")
-            .bind(Pointcut::call("weaver.test.par"), Mechanism::parallel().threads(4))
+            .bind(
+                Pointcut::call("weaver.test.par"),
+                Mechanism::parallel().threads(4),
+            )
             .build();
         Weaver::global().with_deployed(aspect, || {
             call("weaver.test.par", || {
@@ -559,17 +597,26 @@ mod tests {
     #[test]
     fn parallel_for_composition_covers_range() {
         let sum = AtomicI64::new(0);
-        let aspect = crate::aspect::parallel_for("pf-test", "weaver.test.pfor", Schedule::StaticBlock, Some(3));
+        let aspect = crate::aspect::parallel_for(
+            "pf-test",
+            "weaver.test.pfor",
+            Schedule::StaticBlock,
+            Some(3),
+        );
         Weaver::global().with_deployed(aspect, || {
-            call_for("weaver.test.pfor", LoopRange::upto(0, 100), |lo, hi, step| {
-                let mut local = 0;
-                let mut i = lo;
-                while i < hi {
-                    local += i;
-                    i += step;
-                }
-                sum.fetch_add(local, AO::SeqCst);
-            });
+            call_for(
+                "weaver.test.pfor",
+                LoopRange::upto(0, 100),
+                |lo, hi, step| {
+                    let mut local = 0;
+                    let mut i = lo;
+                    while i < hi {
+                        local += i;
+                        i += step;
+                    }
+                    sum.fetch_add(local, AO::SeqCst);
+                },
+            );
         });
         assert_eq!(sum.load(AO::SeqCst), (0..100).sum::<i64>());
     }
@@ -578,9 +625,15 @@ mod tests {
     fn master_gate_on_plain_call() {
         let execs = AtomicUsize::new(0);
         let aspect = AspectModule::builder("master-test")
-            .bind(Pointcut::call("weaver.test.masterwrap"), Mechanism::parallel().threads(4))
+            .bind(
+                Pointcut::call("weaver.test.masterwrap"),
+                Mechanism::parallel().threads(4),
+            )
             .bind(Pointcut::call("weaver.test.master"), Mechanism::master())
-            .bind(Pointcut::call("weaver.test.master"), Mechanism::barrier_after())
+            .bind(
+                Pointcut::call("weaver.test.master"),
+                Mechanism::barrier_after(),
+            )
             .build();
         Weaver::global().with_deployed(aspect, || {
             call("weaver.test.masterwrap", || {
@@ -597,7 +650,10 @@ mod tests {
         let execs = AtomicUsize::new(0);
         let seen = parking_lot::Mutex::new(Vec::new());
         let aspect = AspectModule::builder("value-test")
-            .bind(Pointcut::call("weaver.test.valwrap"), Mechanism::parallel().threads(3))
+            .bind(
+                Pointcut::call("weaver.test.valwrap"),
+                Mechanism::parallel().threads(3),
+            )
             .bind(Pointcut::call("weaver.test.val"), Mechanism::master())
             .build();
         Weaver::global().with_deployed(aspect, || {
@@ -620,7 +676,10 @@ mod tests {
         let racy = Racy(std::cell::UnsafeCell::new(0));
         let racy = &racy; // capture the whole struct, not the UnsafeCell field
         let aspect = AspectModule::builder("crit-test")
-            .bind(Pointcut::call("weaver.test.critwrap"), Mechanism::parallel().threads(4))
+            .bind(
+                Pointcut::call("weaver.test.critwrap"),
+                Mechanism::parallel().threads(4),
+            )
             .bind(Pointcut::call("weaver.test.crit"), Mechanism::critical())
             .build();
         Weaver::global().with_deployed(aspect, || {
@@ -651,7 +710,10 @@ mod tests {
         }
         let sum = AtomicI64::new(0);
         let aspect = AspectModule::builder("cs-test")
-            .bind(Pointcut::call("weaver.test.cs"), Mechanism::custom(FirstHalf))
+            .bind(
+                Pointcut::call("weaver.test.cs"),
+                Mechanism::custom(FirstHalf),
+            )
             .build();
         Weaver::global().with_deployed(aspect, || {
             call_for("weaver.test.cs", LoopRange::upto(0, 10), |lo, hi, step| {
@@ -669,7 +731,10 @@ mod tests {
     fn reduce_after_runs_once_on_master() {
         let reduced = AtomicUsize::new(0);
         let aspect = AspectModule::builder("reduce-test")
-            .bind(Pointcut::call("weaver.test.redwrap"), Mechanism::parallel().threads(4))
+            .bind(
+                Pointcut::call("weaver.test.redwrap"),
+                Mechanism::parallel().threads(4),
+            )
             .bind(
                 Pointcut::call("weaver.test.red"),
                 Mechanism::reduce_after({
@@ -684,10 +749,16 @@ mod tests {
         static REDUCED: AtomicUsize = AtomicUsize::new(0);
         REDUCED.store(0, AO::SeqCst);
         let aspect = AspectModule::builder("reduce-test")
-            .bind(Pointcut::call("weaver.test.redwrap"), Mechanism::parallel().threads(4))
-            .bind(Pointcut::call("weaver.test.red"), Mechanism::reduce_after(|| {
-                REDUCED.fetch_add(1, AO::SeqCst);
-            }))
+            .bind(
+                Pointcut::call("weaver.test.redwrap"),
+                Mechanism::parallel().threads(4),
+            )
+            .bind(
+                Pointcut::call("weaver.test.red"),
+                Mechanism::reduce_after(|| {
+                    REDUCED.fetch_add(1, AO::SeqCst);
+                }),
+            )
             .build();
         Weaver::global().with_deployed(aspect, || {
             call("weaver.test.redwrap", || {
@@ -696,14 +767,21 @@ mod tests {
                 });
             });
         });
-        assert_eq!(REDUCED.load(AO::SeqCst), 1, "reduce action runs once per encounter");
+        assert_eq!(
+            REDUCED.load(AO::SeqCst),
+            1,
+            "reduce action runs once per encounter"
+        );
     }
 
     #[test]
     fn glob_pointcut_applies_to_many_methods() {
         let hits = AtomicUsize::new(0);
         let aspect = AspectModule::builder("glob-test")
-            .bind(Pointcut::glob("GlobDemo.*"), Mechanism::parallel().threads(2))
+            .bind(
+                Pointcut::glob("GlobDemo.*"),
+                Mechanism::parallel().threads(2),
+            )
             .build();
         Weaver::global().with_deployed(aspect, || {
             call("GlobDemo.alpha", || {
@@ -723,16 +801,26 @@ mod tests {
     fn scoped_for_runs_ordered_sections_in_order() {
         let log = parking_lot::Mutex::new(Vec::new());
         let aspect = AspectModule::builder("ordered-test")
-            .bind(Pointcut::call("weaver.test.orderedwrap"), Mechanism::parallel().threads(4))
-            .bind(Pointcut::call("weaver.test.ordered"), Mechanism::for_loop(Schedule::StaticCyclic))
+            .bind(
+                Pointcut::call("weaver.test.orderedwrap"),
+                Mechanism::parallel().threads(4),
+            )
+            .bind(
+                Pointcut::call("weaver.test.ordered"),
+                Mechanism::for_loop(Schedule::StaticCyclic),
+            )
             .build();
         Weaver::global().with_deployed(aspect, || {
             call("weaver.test.orderedwrap", || {
-                call_for_scoped("weaver.test.ordered", LoopRange::upto(0, 24), |sub, scope| {
-                    for i in sub.iter() {
-                        scope.ordered(i, || log.lock().push(i));
-                    }
-                });
+                call_for_scoped(
+                    "weaver.test.ordered",
+                    LoopRange::upto(0, 24),
+                    |sub, scope| {
+                        for i in sub.iter() {
+                            scope.ordered(i, || log.lock().push(i));
+                        }
+                    },
+                );
             });
         });
         assert_eq!(*log.lock(), (0..24).collect::<Vec<i64>>());
@@ -741,11 +829,15 @@ mod tests {
     #[test]
     fn scoped_for_sequential_fallback_runs_inline() {
         let log = parking_lot::Mutex::new(Vec::new());
-        call_for_scoped("weaver.test.ordered.seq", LoopRange::upto(0, 5), |sub, scope| {
-            for i in sub.iter() {
-                scope.ordered(i, || log.lock().push(i));
-            }
-        });
+        call_for_scoped(
+            "weaver.test.ordered.seq",
+            LoopRange::upto(0, 5),
+            |sub, scope| {
+                for i in sub.iter() {
+                    scope.ordered(i, || log.lock().push(i));
+                }
+            },
+        );
         assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
     }
 
@@ -755,7 +847,10 @@ mod tests {
         let w = Weaver::global();
         let h = w.deploy(
             AspectModule::builder("toggle-test")
-                .bind(Pointcut::call("weaver.test.toggle"), Mechanism::parallel().threads(3))
+                .bind(
+                    Pointcut::call("weaver.test.toggle"),
+                    Mechanism::parallel().threads(3),
+                )
                 .build(),
         );
         let run = || {
@@ -781,7 +876,10 @@ mod tests {
         let w = Weaver::global();
         let h = w.deploy(
             AspectModule::builder("stats-test")
-                .bind(Pointcut::call("weaver.test.stats.matched"), Mechanism::critical())
+                .bind(
+                    Pointcut::call("weaver.test.stats.matched"),
+                    Mechanism::critical(),
+                )
                 .build(),
         );
         for _ in 0..5 {
@@ -789,9 +887,14 @@ mod tests {
             call("weaver.test.stats.unmatched", || {});
         }
         let stats = w.stats();
-        let count = stats.iter().find(|(n, _)| n == "weaver.test.stats.matched").map(|(_, c)| *c);
+        let count = stats
+            .iter()
+            .find(|(n, _)| n == "weaver.test.stats.matched")
+            .map(|(_, c)| *c);
         assert!(count >= Some(5));
-        assert!(!stats.iter().any(|(n, _)| n == "weaver.test.stats.unmatched"));
+        assert!(!stats
+            .iter()
+            .any(|(n, _)| n == "weaver.test.stats.unmatched"));
         w.undeploy(h);
     }
 
@@ -799,7 +902,10 @@ mod tests {
     #[should_panic(expected = "cannot apply to value-returning")]
     fn parallel_on_value_join_point_panics() {
         let aspect = AspectModule::builder("bad-value")
-            .bind(Pointcut::call("weaver.test.badval"), Mechanism::parallel().threads(2))
+            .bind(
+                Pointcut::call("weaver.test.badval"),
+                Mechanism::parallel().threads(2),
+            )
             .build();
         Weaver::global().with_deployed(aspect, || {
             let _: i64 = call_value("weaver.test.badval", || 1);

@@ -33,9 +33,18 @@ impl CustomAdvice for Tracing {
         proceed();
     }
 
-    fn around_for(&self, jp: &JoinPoint<'_>, range: LoopRange, proceed: &mut dyn FnMut(i64, i64, i64)) {
+    fn around_for(
+        &self,
+        jp: &JoinPoint<'_>,
+        range: LoopRange,
+        proceed: &mut dyn FnMut(i64, i64, i64),
+    ) {
         self.calls.fetch_add(1, Ordering::Relaxed);
-        println!("  [trace] thread {} enters {} over {range}", thread_id(), jp.name);
+        println!(
+            "  [trace] thread {} enters {} over {range}",
+            thread_id(),
+            jp.name
+        );
         proceed(range.start, range.end, range.step);
     }
 }
@@ -47,7 +56,12 @@ impl CustomAdvice for Tracing {
 struct TriangularSchedule;
 
 impl CustomAdvice for TriangularSchedule {
-    fn around_for(&self, _jp: &JoinPoint<'_>, range: LoopRange, proceed: &mut dyn FnMut(i64, i64, i64)) {
+    fn around_for(
+        &self,
+        _jp: &JoinPoint<'_>,
+        range: LoopRange,
+        proceed: &mut dyn FnMut(i64, i64, i64),
+    ) {
         let t = team_size() as f64;
         let tid = thread_id() as f64;
         let n = (range.end - range.start) as f64;
@@ -65,20 +79,24 @@ impl CustomAdvice for TriangularSchedule {
 /// Base program: two kernels behind the same interface-style name
 /// prefix, plus a region method. No parallelism anywhere.
 fn kernel_weighted_sum(out: &AtomicI64, n: i64) {
-    aomp_weaver::call_for("Kernel.weightedSum", LoopRange::upto(0, n), |lo, hi, step| {
-        let mut acc = 0;
-        let mut i = lo;
-        while i < hi {
-            // Iteration i does ~i units of work.
-            let mut j = 0;
-            while j < i {
-                acc += 1;
-                j += 1;
+    aomp_weaver::call_for(
+        "Kernel.weightedSum",
+        LoopRange::upto(0, n),
+        |lo, hi, step| {
+            let mut acc = 0;
+            let mut i = lo;
+            while i < hi {
+                // Iteration i does ~i units of work.
+                let mut j = 0;
+                while j < i {
+                    acc += 1;
+                    j += 1;
+                }
+                i += step;
             }
-            i += step;
-        }
-        out.fetch_add(acc, Ordering::Relaxed);
-    });
+            out.fetch_add(acc, Ordering::Relaxed);
+        },
+    );
 }
 
 fn kernel_plain_sum(out: &AtomicI64, n: i64) {
@@ -103,11 +121,22 @@ fn run_kernels(weighted: &AtomicI64, plain: &AtomicI64, n: i64) {
 fn main() {
     let calls = Arc::new(AtomicUsize::new(0));
     let aspect = AspectModule::builder("CustomDemo")
-        .bind(Pointcut::call("Kernel.run"), Mechanism::parallel().threads(3))
+        .bind(
+            Pointcut::call("Kernel.run"),
+            Mechanism::parallel().threads(3),
+        )
         // One glob pointcut covers every Kernel.* for method — the
         // interface-style binding of paper §II.
-        .bind(Pointcut::glob("Kernel.*Sum"), Mechanism::custom(TriangularSchedule))
-        .bind(Pointcut::glob("Kernel.*"), Mechanism::custom(Tracing { calls: Arc::clone(&calls) }))
+        .bind(
+            Pointcut::glob("Kernel.*Sum"),
+            Mechanism::custom(TriangularSchedule),
+        )
+        .bind(
+            Pointcut::glob("Kernel.*"),
+            Mechanism::custom(Tracing {
+                calls: Arc::clone(&calls),
+            }),
+        )
         .build();
 
     let n = 2_000i64;
@@ -117,13 +146,27 @@ fn main() {
 
     let expect_weighted: i64 = (0..n).sum(); // Σ i units of inner work
     let expect_plain: i64 = (0..n).sum();
-    println!("\nweighted kernel: {} (expected {})", weighted.load(Ordering::Relaxed), expect_weighted);
-    println!("plain kernel:    {} (expected {})", plain.load(Ordering::Relaxed), expect_plain);
-    println!("traced join-point executions: {}", calls.load(Ordering::Relaxed));
+    println!(
+        "\nweighted kernel: {} (expected {})",
+        weighted.load(Ordering::Relaxed),
+        expect_weighted
+    );
+    println!(
+        "plain kernel:    {} (expected {})",
+        plain.load(Ordering::Relaxed),
+        expect_plain
+    );
+    println!(
+        "traced join-point executions: {}",
+        calls.load(Ordering::Relaxed)
+    );
 
     assert_eq!(weighted.load(Ordering::Relaxed), expect_weighted);
     assert_eq!(plain.load(Ordering::Relaxed), expect_plain);
-    assert!(calls.load(Ordering::Relaxed) >= 3, "tracing aspect saw the executions");
+    assert!(
+        calls.load(Ordering::Relaxed) >= 3,
+        "tracing aspect saw the executions"
+    );
 
     // The same base program, unwoven: sequential, identical results.
     let w2 = AtomicI64::new(0);

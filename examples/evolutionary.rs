@@ -9,11 +9,16 @@
 //!
 //! Run with `cargo run --example evolutionary --release`.
 
-use aomplib::evolib::{de, ga, hill, parallel_evaluation_aspect, Problem, Rastrigin, Rosenbrock, Sphere};
+use aomplib::evolib::{
+    de, ga, hill, parallel_evaluation_aspect, Problem, Rastrigin, Rosenbrock, Sphere,
+};
 use aomplib::prelude::*;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .max(2);
     println!("JECoLi-style case study — one aspect parallelises the whole framework ({threads} threads)\n");
 
     let sphere = Sphere { dims: 8 };
@@ -26,13 +31,14 @@ fn main() {
     let hc_seq = hill::run(&rosenbrock, &hill::HillConfig::default());
 
     // The same runs with the framework aspect deployed.
-    let (ga_par, de_par, hc_par) = Weaver::global().with_deployed(parallel_evaluation_aspect(threads), || {
-        (
-            ga::run(&sphere, &ga::GaConfig::default()),
-            de::run(&rastrigin, &de::DeConfig::default()),
-            hill::run(&rosenbrock, &hill::HillConfig::default()),
-        )
-    });
+    let (ga_par, de_par, hc_par) =
+        Weaver::global().with_deployed(parallel_evaluation_aspect(threads), || {
+            (
+                ga::run(&sphere, &ga::GaConfig::default()),
+                de::run(&rastrigin, &de::DeConfig::default()),
+                hill::run(&rosenbrock, &hill::HillConfig::default()),
+            )
+        });
 
     let report = |name: &str, problem: &dyn Problem, seq_best: f64, par_best: f64, evals: usize| {
         println!(
@@ -41,9 +47,27 @@ fn main() {
             seq_best == par_best,
         );
     };
-    report("genetic algorithm", &sphere, ga_seq.best.fitness, ga_par.best.fitness, ga_seq.evaluations);
-    report("differential evolution", &rastrigin, de_seq.best.fitness, de_par.best.fitness, de_seq.evaluations);
-    report("hill climbing (multi)", &rosenbrock, hc_seq.best.fitness, hc_par.best.fitness, hc_seq.evaluations);
+    report(
+        "genetic algorithm",
+        &sphere,
+        ga_seq.best.fitness,
+        ga_par.best.fitness,
+        ga_seq.evaluations,
+    );
+    report(
+        "differential evolution",
+        &rastrigin,
+        de_seq.best.fitness,
+        de_par.best.fitness,
+        de_seq.evaluations,
+    );
+    report(
+        "hill climbing (multi)",
+        &rosenbrock,
+        hc_seq.best.fitness,
+        hc_par.best.fitness,
+        hc_seq.evaluations,
+    );
 
     assert_eq!(ga_seq.best, ga_par.best);
     assert_eq!(de_seq.best, de_par.best);

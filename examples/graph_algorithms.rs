@@ -11,7 +11,10 @@ use aomplib::jgf::harness::timed;
 use aomplib::prelude::*;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .max(2);
     let g = CsrGraph::generate(GraphKind::PowerLaw, 20_000, 8, 2026);
     println!(
         "graph: {} vertices, {} edges (power-law), {threads} threads\n",
@@ -21,8 +24,8 @@ fn main() {
 
     // BFS.
     let seq_levels = bfs::reference(&g, 0);
-    let (par_levels, t_bfs) = Weaver::global()
-        .with_deployed(bfs::aspect(threads), || timed(|| bfs::run(&g, 0)));
+    let (par_levels, t_bfs) =
+        Weaver::global().with_deployed(bfs::aspect(threads), || timed(|| bfs::run(&g, 0)));
     let reached = par_levels.iter().filter(|&&l| l >= 0).count();
     println!(
         "BFS      {:>8.1} ms   reached {reached} vertices, max level {} (matches reference: {})",
@@ -34,8 +37,9 @@ fn main() {
 
     // PageRank.
     let (seq_ranks, seq_iters) = pagerank::reference(&g, 1e-7, 100);
-    let ((ranks, iters), t_pr) = Weaver::global()
-        .with_deployed(pagerank::aspect(threads), || timed(|| pagerank::run(&g, 1e-7, 100)));
+    let ((ranks, iters), t_pr) = Weaver::global().with_deployed(pagerank::aspect(threads), || {
+        timed(|| pagerank::run(&g, 1e-7, 100))
+    });
     println!(
         "PageRank {:>8.1} ms   converged in {iters} iterations (bitwise matches reference: {})",
         t_pr.as_secs_f64() * 1e3,
@@ -48,9 +52,10 @@ fn main() {
     let expected = triangles::count_oriented(&oriented);
     println!("\ntriangles = {expected}; per-schedule timings:");
     for sched in triangles::TriSchedule::ALL {
-        let (got, t) = Weaver::global().with_deployed(triangles::aspect(threads, sched, &oriented), || {
-            timed(|| triangles::count_oriented(&oriented))
-        });
+        let (got, t) = Weaver::global()
+            .with_deployed(triangles::aspect(threads, sched, &oriented), || {
+                timed(|| triangles::count_oriented(&oriented))
+            });
         assert_eq!(got, expected, "{}", sched.name());
         println!("  {:<22} {:>8.1} ms", sched.name(), t.as_secs_f64() * 1e3);
     }

@@ -22,13 +22,20 @@ use aomp_jgf::lufact;
 use aomp_jgf::Size;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .max(2);
     let data = lufact::generate(Size::A);
     println!("LUFact case study: n = {}, threads = {threads}", data.n);
 
     // Sequential base program (no aspects woven).
     let (seq, t_seq) = timed(|| lufact::seq::run(&data));
-    println!("sequential:       {:>8.1} ms  (valid: {})", t_seq.as_secs_f64() * 1e3, lufact::validate(&data, &seq));
+    println!(
+        "sequential:       {:>8.1} ms  (valid: {})",
+        t_seq.as_secs_f64() * 1e3,
+        lufact::validate(&data, &seq)
+    );
 
     // The unplugged AOmp base program — sequential semantics.
     let (unplugged, t_unplugged) = timed(|| lufact::aomp::run_base(&data));

@@ -19,7 +19,10 @@ use aomp_jgf::harness::timed;
 use aomp_jgf::moldyn;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .max(2);
     let mm = 6; // 864 particles, the smallest Figure 15 size
     let moves = 10;
     let data = moldyn::generate(mm, moves);
@@ -29,7 +32,13 @@ fn main() {
     );
 
     let (seq, t) = timed(|| moldyn::seq::run(&data));
-    println!("{:<22} {:>8.1} ms   ekin {:.6}  epot {:.4}", "sequential", ms(t), seq.ekin, seq.epot);
+    println!(
+        "{:<22} {:>8.1} ms   ekin {:.6}  epot {:.4}",
+        "sequential",
+        ms(t),
+        seq.ekin,
+        seq.epot
+    );
 
     let (jgf, t) = timed(|| moldyn::mt::run(&data, threads));
     report("jgf-mt (threadlocal)", t, &jgf, &seq);
@@ -50,8 +59,18 @@ fn ms(t: std::time::Duration) -> f64 {
     t.as_secs_f64() * 1e3
 }
 
-fn report(name: &str, t: std::time::Duration, r: &moldyn::MolDynResult, seq: &moldyn::MolDynResult) {
+fn report(
+    name: &str,
+    t: std::time::Duration,
+    r: &moldyn::MolDynResult,
+    seq: &moldyn::MolDynResult,
+) {
     let ok = moldyn::agrees(r, seq, 1e-6);
-    println!("{name:<22} {:>8.1} ms   ekin {:.6}  epot {:.4}  (agrees: {ok})", ms(t), r.ekin, r.epot);
+    println!(
+        "{name:<22} {:>8.1} ms   ekin {:.6}  epot {:.4}  (agrees: {ok})",
+        ms(t),
+        r.ekin,
+        r.epot
+    );
     assert!(ok, "{name} diverged from the sequential run");
 }

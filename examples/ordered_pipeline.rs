@@ -23,7 +23,9 @@ fn compress_block(block: usize, data: &[u8]) -> Vec<u8> {
     out.extend_from_slice(&(block as u32).to_le_bytes());
     let mut checksum = 0u32;
     for _ in 0..rounds {
-        checksum = data.iter().fold(checksum, |acc, &b| acc.rotate_left(5) ^ u32::from(b));
+        checksum = data
+            .iter()
+            .fold(checksum, |acc, &b| acc.rotate_left(5) ^ u32::from(b));
     }
     out.extend_from_slice(&checksum.to_le_bytes());
     // Simple RLE payload.
@@ -42,35 +44,50 @@ fn compress_block(block: usize, data: &[u8]) -> Vec<u8> {
 }
 
 fn document() -> Vec<u8> {
-    (0..BLOCKS * BLOCK_LEN).map(|i| ((i / 97) % 7) as u8 * 31).collect()
+    (0..BLOCKS * BLOCK_LEN)
+        .map(|i| ((i / 97) % 7) as u8 * 31)
+        .collect()
 }
 
 fn pipeline(threads: usize) -> Vec<u8> {
     let doc = document();
     let out = Mutex::new(Vec::new());
     let aspect = AspectModule::builder("OrderedPipeline")
-        .bind(Pointcut::call("Pipeline.run"), Mechanism::parallel().threads(threads))
-        .bind(Pointcut::call("Pipeline.blocks"), Mechanism::for_loop(Schedule::Dynamic { chunk: 1 }))
+        .bind(
+            Pointcut::call("Pipeline.run"),
+            Mechanism::parallel().threads(threads),
+        )
+        .bind(
+            Pointcut::call("Pipeline.blocks"),
+            Mechanism::for_loop(Schedule::Dynamic { chunk: 1 }),
+        )
         .build();
     Weaver::global().with_deployed(aspect, || {
         aomp_weaver::call("Pipeline.run", || {
-            aomp_weaver::call_for_scoped("Pipeline.blocks", LoopRange::upto(0, BLOCKS as i64), |sub, scope| {
-                for b in sub.iter() {
-                    let block = b as usize;
-                    // Parallel part: compress out of order...
-                    let compressed =
-                        compress_block(block, &doc[block * BLOCK_LEN..(block + 1) * BLOCK_LEN]);
-                    // ...ordered part: emit strictly in block order.
-                    scope.ordered(b, || out.lock().extend_from_slice(&compressed));
-                }
-            });
+            aomp_weaver::call_for_scoped(
+                "Pipeline.blocks",
+                LoopRange::upto(0, BLOCKS as i64),
+                |sub, scope| {
+                    for b in sub.iter() {
+                        let block = b as usize;
+                        // Parallel part: compress out of order...
+                        let compressed =
+                            compress_block(block, &doc[block * BLOCK_LEN..(block + 1) * BLOCK_LEN]);
+                        // ...ordered part: emit strictly in block order.
+                        scope.ordered(b, || out.lock().extend_from_slice(&compressed));
+                    }
+                },
+            );
         });
     });
     out.into_inner()
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .max(2);
     let sequential = pipeline(1);
     let parallel = pipeline(threads);
     println!(
@@ -79,6 +96,9 @@ fn main() {
         BLOCKS * BLOCK_LEN / 1024,
         parallel.len() / 1024
     );
-    assert_eq!(sequential, parallel, "ordered sections keep the stream byte-identical");
+    assert_eq!(
+        sequential, parallel,
+        "ordered sections keep the stream byte-identical"
+    );
     println!("parallel output is byte-identical to the sequential stream — @Ordered works");
 }

@@ -34,7 +34,11 @@ fn sum_squares(start: i64, end: i64, step: i64) {
 #[master]
 fn report_progress() {
     GREETINGS.fetch_add(1, Ordering::Relaxed);
-    println!("  [master thread {}] partial sum so far: {}", thread_id(), SUM.load(Ordering::Relaxed));
+    println!(
+        "  [master thread {}] partial sum so far: {}",
+        thread_id(),
+        SUM.load(Ordering::Relaxed)
+    );
 }
 
 #[parallel(threads = 4)]
@@ -50,15 +54,19 @@ fn annotated_region() {
 
 fn base_program(out: &AtomicI64, n: i64) {
     aomp_weaver::call("Quickstart.run", || {
-        aomp_weaver::call_for("Quickstart.accumulate", LoopRange::upto(0, n), |lo, hi, step| {
-            let mut local = 0;
-            let mut i = lo;
-            while i < hi {
-                local += i;
-                i += step;
-            }
-            out.fetch_add(local, Ordering::Relaxed);
-        });
+        aomp_weaver::call_for(
+            "Quickstart.accumulate",
+            LoopRange::upto(0, n),
+            |lo, hi, step| {
+                let mut local = 0;
+                let mut i = lo;
+                while i < hi {
+                    local += i;
+                    i += step;
+                }
+                out.fetch_add(local, Ordering::Relaxed);
+            },
+        );
     });
 }
 
@@ -66,14 +74,27 @@ fn main() {
     println!("== annotation style ==");
     annotated_region();
     let expected: i64 = (0..10_000).map(|i| i * i).sum();
-    println!("sum of squares: {} (expected {expected})", SUM.load(Ordering::Relaxed));
+    println!(
+        "sum of squares: {} (expected {expected})",
+        SUM.load(Ordering::Relaxed)
+    );
     assert_eq!(SUM.load(Ordering::Relaxed), expected);
-    assert_eq!(GREETINGS.load(Ordering::Relaxed), 1, "only the master reported");
+    assert_eq!(
+        GREETINGS.load(Ordering::Relaxed),
+        1,
+        "only the master reported"
+    );
 
     println!("\n== pointcut style ==");
     let aspect = AspectModule::builder("QuickstartAspect")
-        .bind(Pointcut::call("Quickstart.run"), Mechanism::parallel().threads(4))
-        .bind(Pointcut::call("Quickstart.accumulate"), Mechanism::for_loop(Schedule::Dynamic { chunk: 64 }))
+        .bind(
+            Pointcut::call("Quickstart.run"),
+            Mechanism::parallel().threads(4),
+        )
+        .bind(
+            Pointcut::call("Quickstart.accumulate"),
+            Mechanism::for_loop(Schedule::Dynamic { chunk: 64 }),
+        )
         .build();
 
     // Deployed: the same base program runs on a team of 4.
@@ -100,7 +121,10 @@ fn main() {
     });
     // ...and @Reduce merges the copies into the global value.
     field.reduce(&SumReducer);
-    println!("reduced total: {} (4 threads × Σ0..1000)", field.get_global());
+    println!(
+        "reduced total: {} (4 threads × Σ0..1000)",
+        field.get_global()
+    );
     assert_eq!(field.get_global(), 4 * (0..1000).sum::<i64>());
 
     println!("\nquickstart OK");

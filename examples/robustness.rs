@@ -1,0 +1,88 @@
+//! Failure semantics tour: panic reporting, team cancellation and the
+//! stall watchdog, through the public API only.
+//!
+//! Run with `cargo run --example robustness`.
+
+use aomplib::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+fn main() {
+    // 1. A panic inside a team comes back as a value, not an abort.
+    let r = region::try_parallel_with(RegionConfig::new().threads(4), || {
+        if thread_id() == 2 {
+            panic!("disk on fire");
+        }
+        barrier();
+    });
+    println!("1. panicking team   -> {r:?}");
+
+    // 2. Team cancellation stops a dynamic loop early (OpenMP 4.0 cancel).
+    let seen = AtomicUsize::new(0);
+    let for_c = ForConstruct::new(Schedule::Dynamic { chunk: 1 });
+    let r = region::try_parallel_with(RegionConfig::new().threads(4).cancellable(true), || {
+        for_c.execute(LoopRange::upto(0, 1_000_000), |lo, hi, step| {
+            let mut i = lo;
+            while i < hi {
+                if seen.fetch_add(1, Ordering::SeqCst) == 100 {
+                    cancel_team();
+                }
+                i += step;
+            }
+        });
+    });
+    println!(
+        "2. cancelled loop   -> {r:?} after {} of 1000000 iterations",
+        seen.load(Ordering::SeqCst)
+    );
+
+    // 3. cancel_team() is gated: outside a region / on a non-cancellable
+    //    team it is a no-op returning false.
+    println!("3. cancel, no team  -> honoured: {}", cancel_team());
+    region::parallel_with(RegionConfig::new().threads(2), || {
+        if thread_id() == 0 {
+            println!("   cancel, gated    -> honoured: {}", cancel_team());
+        }
+        barrier();
+    });
+
+    // 4. The stall watchdog converts a hung worker into a diagnosis.
+    let t0 = Instant::now();
+    let r = region::try_parallel_with(
+        RegionConfig::new()
+            .threads(4)
+            .stall_deadline(Duration::from_millis(250)),
+        || {
+            if thread_id() == 3 {
+                std::thread::sleep(Duration::from_secs(3600)); // lost worker
+            }
+            barrier();
+        },
+    );
+    match &r {
+        Err(e @ RegionError::Stalled { .. }) => {
+            println!("4. hung worker      -> {e} ({:?} elapsed)", t0.elapsed())
+        }
+        other => println!("4. hung worker      -> UNEXPECTED {other:?}"),
+    }
+
+    // 5. The runtime is immediately reusable after all of the above.
+    let hits = AtomicUsize::new(0);
+    region::parallel_with(RegionConfig::new().threads(4), || {
+        hits.fetch_add(1, Ordering::SeqCst);
+        barrier();
+    });
+    println!(
+        "5. healthy region   -> {}/4 threads ran",
+        hits.load(Ordering::SeqCst)
+    );
+
+    // 6. Bounded task waits: a future that never resolves times out.
+    let (_promise, fut) = task::future_pair::<u32>();
+    println!(
+        "6. future timeout   -> {:?}",
+        fut.get_timeout(Duration::from_millis(50))
+    );
+    let fut = task::spawn_future(|| -> u32 { panic!("producer exploded") });
+    println!("   future try_get   -> {:?}", fut.try_get());
+}

@@ -1,0 +1,377 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! The build must succeed with no registry access, so this shim provides
+//! the exact subset of the `parking_lot` 0.12 API the workspace uses:
+//! [`Mutex`] / [`Condvar`] (with `wait` / `wait_for`), [`RwLock`], and a
+//! hand-built [`ReentrantMutex`] with [`try_lock_for`]
+//! (`ReentrantMutex::try_lock_for`) so cancellable critical sections can
+//! poll. Lock poisoning is intentionally swallowed — parking_lot has no
+//! poisoning, and the AOmp runtime implements its own team-poisoning
+//! protocol on top.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A mutual-exclusion lock that, like parking_lot's, never poisons.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`]. Wraps the std guard in an `Option` so
+/// [`Condvar`] can temporarily take ownership during a wait.
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Mutex { .. }")
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside condvar wait")
+    }
+}
+
+/// Result of a timed condition-variable wait.
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable pairing with [`Mutex`].
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing `guard` for the duration.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present");
+        let (inner, r) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => e.into_inner(),
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(r.timed_out())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+/// Reader-writer lock without poisoning.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared-access guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+/// Exclusive-access guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RwLock { .. }")
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Process-unique id of the current thread (std's `ThreadId::as_u64` is
+/// unstable, so the shim mints its own).
+fn current_thread_token() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TOKEN: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TOKEN.with(|t| *t)
+}
+
+struct ReentrantState {
+    owner: u64, // 0 = unowned
+    count: usize,
+}
+
+/// A mutex the owning thread may re-acquire, mirroring
+/// `parking_lot::ReentrantMutex`.
+pub struct ReentrantMutex<T: ?Sized> {
+    state: std::sync::Mutex<ReentrantState>,
+    cv: std::sync::Condvar,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialised by the ownership protocol; the
+// guard only hands out `&T`, so `T: Send + Sync` bounds mirror upstream.
+unsafe impl<T: ?Sized + Send> Send for ReentrantMutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for ReentrantMutex<T> {}
+
+/// RAII guard for [`ReentrantMutex`]; not `Send` (the lock is
+/// thread-owned).
+pub struct ReentrantMutexGuard<'a, T: ?Sized> {
+    lock: &'a ReentrantMutex<T>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T> ReentrantMutex<T> {
+    /// Create a new reentrant mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            state: std::sync::Mutex::new(ReentrantState { owner: 0, count: 0 }),
+            cv: std::sync::Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+}
+
+impl<T: Default> Default for ReentrantMutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for ReentrantMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ReentrantMutex { .. }")
+    }
+}
+
+impl<T: ?Sized> ReentrantMutex<T> {
+    /// Acquire the lock, blocking until available (reentrant for the
+    /// owning thread).
+    pub fn lock(&self) -> ReentrantMutexGuard<'_, T> {
+        let me = current_thread_token();
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.owner != 0 && s.owner != me {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.owner = me;
+        s.count += 1;
+        ReentrantMutexGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Try to acquire the lock, giving up after `timeout`.
+    pub fn try_lock_for(&self, timeout: Duration) -> Option<ReentrantMutexGuard<'_, T>> {
+        let me = current_thread_token();
+        let deadline = Instant::now() + timeout;
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.owner != 0 && s.owner != me {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = match self.cv.wait_timeout(s, deadline - now) {
+                Ok(v) => v,
+                Err(e) => e.into_inner(),
+            };
+            s = g;
+        }
+        s.owner = me;
+        s.count += 1;
+        Some(ReentrantMutexGuard {
+            lock: self,
+            _not_send: PhantomData,
+        })
+    }
+}
+
+impl<T: ?Sized> Deref for ReentrantMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the ownership protocol guarantees this thread holds the
+        // lock; only shared references are handed out.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for ReentrantMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut s = self.lock.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.count -= 1;
+        if s.count == 0 {
+            s.owner = 0;
+            drop(s);
+            self.lock.cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn reentrant_lock_reenters() {
+        let m = ReentrantMutex::new(5);
+        let a = m.lock();
+        let b = m.lock();
+        assert_eq!(*a + *b, 10);
+    }
+
+    #[test]
+    fn reentrant_try_lock_for_fails_while_held_elsewhere() {
+        let m = Arc::new(ReentrantMutex::new(()));
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let t = std::thread::spawn(move || m2.try_lock_for(Duration::from_millis(20)).is_none());
+        assert!(t.join().unwrap());
+        drop(g);
+    }
+
+    #[test]
+    fn rwlock_allows_parallel_readers() {
+        let l = RwLock::new(7);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 14);
+        drop((a, b));
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+}

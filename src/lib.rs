@@ -36,7 +36,6 @@
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
-
 #![warn(missing_docs)]
 
 pub use aomp as runtime;
@@ -51,7 +50,8 @@ pub use aomp_weaver as weaver;
 pub mod prelude {
     pub use aomp::prelude::*;
     pub use aomp_macros::{
-        barrier_after, barrier_before, critical, for_loop, future_task, master, parallel, single, task,
+        barrier_after, barrier_before, critical, for_loop, future_task, master, parallel, single,
+        task,
     };
     pub use aomp_weaver::prelude::*;
 }

@@ -71,7 +71,10 @@ fn region_with_dynamic_for() {
 fn dynamic_for_attribute_covers_range() {
     FOR_SUM.store(0, Ordering::SeqCst);
     region_with_dynamic_for();
-    assert_eq!(FOR_SUM.load(Ordering::SeqCst), (0..500).map(|i| i * 2).sum::<i64>());
+    assert_eq!(
+        FOR_SUM.load(Ordering::SeqCst),
+        (0..500).map(|i| i * 2).sum::<i64>()
+    );
 }
 
 // The paper Figure 8 pattern: @Master @BarrierBefore @BarrierAfter.
@@ -121,7 +124,11 @@ fn master_broadcasts_return_value() {
     BROADCAST_OK.store(0, Ordering::SeqCst);
     region_with_master_value();
     assert_eq!(MASTER_VALUE_EXECS.load(Ordering::SeqCst), 1);
-    assert_eq!(BROADCAST_OK.load(Ordering::SeqCst), 3, "all threads observe the master's value");
+    assert_eq!(
+        BROADCAST_OK.load(Ordering::SeqCst),
+        3,
+        "all threads observe the master's value"
+    );
 }
 
 static SINGLE_EXECS: AtomicUsize = AtomicUsize::new(0);
@@ -268,7 +275,10 @@ fn region_with_guided() {
 fn guided_for_attribute_covers_range() {
     FOR_SUM.store(0, Ordering::SeqCst);
     region_with_guided();
-    assert_eq!(FOR_SUM.load(Ordering::SeqCst), (0..200).map(|i| i * i).sum::<i64>());
+    assert_eq!(
+        FOR_SUM.load(Ordering::SeqCst),
+        (0..200).map(|i| i * i).sum::<i64>()
+    );
 }
 
 #[critical]
@@ -310,7 +320,11 @@ fn barriered_value() -> u64 {
 #[parallel(threads = 2)]
 fn region_with_barriered_value() {
     let v = barriered_value();
-    assert_eq!(v, thread_id() as u64, "barrier_after must pass the value through");
+    assert_eq!(
+        v,
+        thread_id() as u64,
+        "barrier_after must pass the value through"
+    );
 }
 
 #[test]

@@ -1,23 +1,31 @@
-//! Property tests over the extension crates (evolib, irregular) and the
-//! simulator pair — invariants that must hold for arbitrary inputs.
+//! Randomised property tests over the extension crates (evolib,
+//! irregular) and the simulator pair — invariants that must hold for
+//! arbitrary inputs. Seeded deterministic loops (no proptest; the
+//! workspace builds offline).
 
 use aomplib::evolib::{self, Problem};
 use aomplib::irregular::{bfs, triangles, CsrGraph, GraphKind};
 use aomplib::simcore::{EventSimulator, Machine, Program, Simulator, Step};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (2usize..80, 1usize..6, 0u64..500, prop::bool::ANY).prop_map(|(n, deg, seed, power)| {
-        let kind = if power { GraphKind::PowerLaw } else { GraphKind::Uniform };
-        CsrGraph::generate(kind, n, deg, seed)
-    })
+fn arb_graph(rng: &mut StdRng) -> CsrGraph {
+    let n = rng.gen_range(2usize..80);
+    let deg = rng.gen_range(1usize..6);
+    let seed = rng.gen_range(0u64..500);
+    let kind = if rng.gen_bool(0.5) {
+        GraphKind::PowerLaw
+    } else {
+        GraphKind::Uniform
+    };
+    CsrGraph::generate(kind, n, deg, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn bfs_levels_satisfy_edge_relaxation(g in arb_graph()) {
+#[test]
+fn bfs_levels_satisfy_edge_relaxation() {
+    for case in 0..32 {
+        let mut rng = StdRng::seed_from_u64(100 + case);
+        let g = arb_graph(&mut rng);
         let levels = bfs::reference(&g, 0);
         // Every edge (v, w) with v reached implies level[w] <= level[v]+1.
         for v in 0..g.vertices() {
@@ -26,91 +34,159 @@ proptest! {
             }
             for &w in g.neighbours(v) {
                 let lw = levels[w as usize];
-                prop_assert!(lw >= 0, "neighbour of a reached vertex is reached");
-                prop_assert!(lw <= levels[v] + 1, "edge relaxation: {} -> {}", levels[v], lw);
+                assert!(
+                    lw >= 0,
+                    "case {case}: neighbour of a reached vertex is reached"
+                );
+                assert!(
+                    lw <= levels[v] + 1,
+                    "case {case}: edge relaxation: {} -> {}",
+                    levels[v],
+                    lw
+                );
             }
         }
         // Parallel BFS agrees.
-        let par = aomplib::weaver::Weaver::global()
-            .with_deployed(bfs::aspect(3), || bfs::run(&g, 0));
-        prop_assert_eq!(par, levels);
+        let par =
+            aomplib::weaver::Weaver::global().with_deployed(bfs::aspect(3), || bfs::run(&g, 0));
+        assert_eq!(par, levels, "case {case}");
     }
+}
 
-    #[test]
-    fn triangle_count_is_schedule_invariant(g in arb_graph()) {
+#[test]
+fn triangle_count_is_schedule_invariant() {
+    for case in 0..32 {
+        let mut rng = StdRng::seed_from_u64(200 + case);
+        let g = arb_graph(&mut rng);
         let expect = triangles::reference(&g);
         let oriented = triangles::orient(&g);
-        for sched in [triangles::TriSchedule::Dynamic, triangles::TriSchedule::DegreeBalanced] {
+        for sched in [
+            triangles::TriSchedule::Dynamic,
+            triangles::TriSchedule::DegreeBalanced,
+        ] {
             let got = aomplib::weaver::Weaver::global()
                 .with_deployed(triangles::aspect(3, sched, &oriented), || {
                     triangles::count_oriented(&oriented)
                 });
-            prop_assert_eq!(got, expect, "{}", sched.name());
+            assert_eq!(got, expect, "case {case}: {}", sched.name());
         }
     }
+}
 
-    #[test]
-    fn orientation_is_acyclic_by_rank(g in arb_graph()) {
+#[test]
+fn orientation_is_acyclic_by_rank() {
+    for case in 0..32 {
+        let mut rng = StdRng::seed_from_u64(300 + case);
+        let g = arb_graph(&mut rng);
         // Every oriented edge points to an equal-or-higher-degree vertex
         // (ties broken by id): no 2-cycles survive.
         let o = triangles::orient(&g);
         for v in 0..o.vertices() {
             for &w in o.neighbours(v) {
-                prop_assert!(!o.neighbours(w as usize).contains(&(v as u32)), "2-cycle {v}<->{w}");
+                assert!(
+                    !o.neighbours(w as usize).contains(&(v as u32)),
+                    "case {case}: 2-cycle {v}<->{w}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn ga_history_is_monotone_with_elitism(seed in 0u64..1000, dims in 2usize..6) {
+#[test]
+fn ga_history_is_monotone_with_elitism() {
+    for case in 0..32 {
+        let mut rng = StdRng::seed_from_u64(400 + case);
+        let seed = rng.gen_range(0u64..1000);
+        let dims = rng.gen_range(2usize..6);
         let p = evolib::Sphere { dims };
-        let cfg = evolib::ga::GaConfig { generations: 12, pop_size: 20, seed, ..Default::default() };
+        let cfg = evolib::ga::GaConfig {
+            generations: 12,
+            pop_size: 20,
+            seed,
+            ..Default::default()
+        };
         let r = evolib::ga::run(&p, &cfg);
-        prop_assert!(r.history.windows(2).all(|w| w[1] <= w[0] + 1e-12));
-        prop_assert!(r.best.fitness.is_finite());
+        assert!(
+            r.history.windows(2).all(|w| w[1] <= w[0] + 1e-12),
+            "case {case}"
+        );
+        assert!(r.best.fitness.is_finite(), "case {case}");
         // Genes stay in bounds.
         let (lo, hi) = p.bounds();
-        prop_assert!(r.best.genes.iter().all(|g| (lo..=hi).contains(g)));
+        assert!(
+            r.best.genes.iter().all(|g| (lo..=hi).contains(g)),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn de_selection_never_regresses(seed in 0u64..1000) {
+#[test]
+fn de_selection_never_regresses() {
+    for case in 0..32 {
+        let mut rng = StdRng::seed_from_u64(500 + case);
+        let seed = rng.gen_range(0u64..1000);
         let p = evolib::Rastrigin { dims: 3 };
-        let cfg = evolib::de::DeConfig { generations: 10, pop_size: 12, seed, ..Default::default() };
+        let cfg = evolib::de::DeConfig {
+            generations: 10,
+            pop_size: 12,
+            seed,
+            ..Default::default()
+        };
         let r = evolib::de::run(&p, &cfg);
-        prop_assert!(r.history.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+        assert!(
+            r.history.windows(2).all(|w| w[1] <= w[0] + 1e-12),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn simulators_agree_on_barrier_separated_programs(
-        phases in prop::collection::vec((1e5f64..1e9, 0f64..1e7), 1..8),
-        t in 1usize..25,
-    ) {
+#[test]
+fn simulators_agree_on_barrier_separated_programs() {
+    for case in 0..32 {
+        let mut rng = StdRng::seed_from_u64(600 + case);
+        let phases = rng.gen_range(1usize..8);
+        let t = rng.gen_range(1usize..25);
         let mut steps = Vec::new();
-        for (ops, bytes) in phases {
-            steps.push(Step::Parallel { ops, bytes, imbalance: 1.0 });
+        for _ in 0..phases {
+            let ops = rng.gen_range(1e5f64..1e9);
+            let bytes = rng.gen_range(0f64..1e7);
+            steps.push(Step::Parallel {
+                ops,
+                bytes,
+                imbalance: 1.0,
+            });
             steps.push(Step::Barrier);
         }
         let p = Program::new("prop", steps);
         let m = Machine::xeon();
         let bulk = Simulator::new(m.clone()).run(&p, t);
         let event = EventSimulator::new(m).run(&p, t);
-        prop_assert!((bulk - event).abs() / bulk < 1e-9, "bulk {bulk} vs event {event}");
+        assert!(
+            (bulk - event).abs() / bulk < 1e-9,
+            "case {case}: bulk {bulk} vs event {event}"
+        );
     }
+}
 
-    #[test]
-    fn event_simulator_never_exceeds_bulk(
-        phases in prop::collection::vec((1e5f64..1e8, prop::bool::ANY), 1..6),
-        t in 2usize..13,
-    ) {
+#[test]
+fn event_simulator_never_exceeds_bulk() {
+    for case in 0..32 {
+        let mut rng = StdRng::seed_from_u64(700 + case);
+        let phases = rng.gen_range(1usize..6);
+        let t = rng.gen_range(2usize..13);
         // Without barriers the event executor can only do better (it
         // relaxes synchronisation).
         let mut steps = Vec::new();
-        for (ops, serial) in phases {
-            if serial {
+        for _ in 0..phases {
+            let ops = rng.gen_range(1e5f64..1e8);
+            if rng.gen_bool(0.5) {
                 steps.push(Step::Serial { ops, bytes: 0.0 });
             } else {
-                steps.push(Step::Parallel { ops, bytes: 0.0, imbalance: 1.0 });
+                steps.push(Step::Parallel {
+                    ops,
+                    bytes: 0.0,
+                    imbalance: 1.0,
+                });
             }
         }
         steps.push(Step::Barrier);
@@ -118,7 +194,10 @@ proptest! {
         let m = Machine::xeon();
         let bulk = Simulator::new(m.clone()).run(&p, t);
         let event = EventSimulator::new(m).run(&p, t);
-        prop_assert!(event <= bulk + 1e-9, "event {event} > bulk {bulk}");
+        assert!(
+            event <= bulk + 1e-9,
+            "case {case}: event {event} > bulk {bulk}"
+        );
     }
 }
 

@@ -1,10 +1,13 @@
 //! Failure injection: panics inside parallel regions, work-sharing
 //! constructs, gates and tasks must neither deadlock the team nor poison
-//! the runtime for later work.
+//! the runtime for later work; hangs under a stall deadline must convert
+//! into [`RegionError::Stalled`] diagnoses; and team cancellation must
+//! stop chunked loops early in both programming styles.
 
 use aomplib::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 fn runtime_still_works() {
     let hits = AtomicUsize::new(0);
@@ -131,7 +134,10 @@ fn critical_section_panic_does_not_wedge_the_lock() {
 #[test]
 fn weaver_woven_region_panic_propagates_and_recovers() {
     let aspect = AspectModule::builder("FailureWeave")
-        .bind(Pointcut::call("fail.region"), Mechanism::parallel().threads(2))
+        .bind(
+            Pointcut::call("fail.region"),
+            Mechanism::parallel().threads(2),
+        )
         .build();
     Weaver::global().with_deployed(aspect, || {
         let r = catch_unwind(AssertUnwindSafe(|| {
@@ -144,6 +150,164 @@ fn weaver_woven_region_panic_propagates_and_recovers() {
         }));
         assert!(r.is_err());
     });
+    runtime_still_works();
+}
+
+#[test]
+fn broadcast_panic_reports_original_payload_not_poison() {
+    // The waiters unwind with TeamPoisoned; the fallible API must report
+    // the executing thread's payload, not the siblings' poison echoes.
+    let single = Single::new();
+    let r = region::try_parallel_with(RegionConfig::new().threads(3), || {
+        let _: u32 = single.run(|| panic!("injected single failure"));
+    });
+    assert_eq!(
+        r,
+        Err(RegionError::Panicked {
+            payload_msg: "injected single failure".into()
+        })
+    );
+    runtime_still_works();
+}
+
+#[test]
+fn master_broadcast_panic_reports_original_payload_not_poison() {
+    let master = Master::new();
+    let r = region::try_parallel_with(RegionConfig::new().threads(3), || {
+        let _: u32 = master.run(|| panic!("injected master-broadcast failure"));
+    });
+    assert_eq!(
+        r,
+        Err(RegionError::Panicked {
+            payload_msg: "injected master-broadcast failure".into()
+        })
+    );
+    runtime_still_works();
+}
+
+#[test]
+fn hung_worker_is_diagnosed_as_stall_not_deadlock() {
+    let deadline = Duration::from_millis(300);
+    let started = Instant::now();
+    let r = region::try_parallel_with(
+        RegionConfig::new().threads(4).stall_deadline(deadline),
+        || {
+            if thread_id() == 3 {
+                // A lost worker: stuck in user code, never reaches the
+                // barrier the rest of the team is waiting at.
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+            barrier();
+        },
+    );
+    let elapsed = started.elapsed();
+    match r {
+        Err(RegionError::Stalled { blocked }) => {
+            // The three healthy threads are named at the barrier; the
+            // hung thread cannot be (it is in user code, not at a wait
+            // site) — its absence from the list is the diagnosis.
+            let mut tids: Vec<usize> = blocked.iter().map(|&(tid, _)| tid).collect();
+            tids.sort_unstable();
+            assert_eq!(tids, vec![0, 1, 2], "blocked set: {blocked:?}");
+            assert!(blocked.iter().all(|&(_, site)| site == WaitSite::Barrier));
+        }
+        other => panic!("expected RegionError::Stalled, got {other:?}"),
+    }
+    assert!(
+        elapsed < deadline * 2,
+        "stall must be reported within ~2x the deadline, took {elapsed:?}"
+    );
+    // The runtime is immediately reusable for healthy regions.
+    runtime_still_works();
+}
+
+#[test]
+fn annotation_stall_deadline_converts_hang_to_panic() {
+    #[aomplib::annotations::parallel(threads = 2, stall_deadline_ms = 250)]
+    fn hung_region() {
+        if thread_id() == 1 {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+        barrier();
+    }
+    let r = catch_unwind(AssertUnwindSafe(hung_region));
+    let msg = match r {
+        Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+        Ok(()) => panic!("hung annotated region must not return cleanly"),
+    };
+    assert!(
+        msg.contains("stalled"),
+        "panic should describe the stall: {msg}"
+    );
+    runtime_still_works();
+}
+
+#[test]
+fn cancel_stops_dynamic_loop_early_annotation_style() {
+    static SEEN: AtomicUsize = AtomicUsize::new(0);
+
+    #[aomplib::annotations::for_loop(schedule = "dynamic", chunk = 1)]
+    fn cancelled_loop(start: i64, end: i64, step: i64) {
+        let mut i = start;
+        while i < end {
+            if SEEN.fetch_add(1, Ordering::SeqCst) == 40 {
+                assert!(cancel_team(), "annotated team must be cancellable");
+            }
+            i += step;
+        }
+    }
+
+    #[aomplib::annotations::parallel(threads = 3, cancellable)]
+    fn cancelled_region() {
+        cancelled_loop(0, 100_000, 1);
+    }
+
+    cancelled_region();
+    let seen = SEEN.load(Ordering::SeqCst);
+    assert!(seen > 40, "the trigger iteration must have run, saw {seen}");
+    assert!(
+        seen < 50_000,
+        "cancellation must stop the dynamic loop well short of 100k iterations, saw {seen}"
+    );
+    runtime_still_works();
+}
+
+#[test]
+fn cancel_stops_dynamic_loop_early_pointcut_style() {
+    let seen = AtomicUsize::new(0);
+    let aspect = AspectModule::builder("CancelWeave")
+        .bind(
+            Pointcut::call("cancel.region"),
+            Mechanism::parallel().threads(3).cancellable(),
+        )
+        .bind(
+            Pointcut::call("cancel.loop"),
+            Mechanism::for_loop(Schedule::Dynamic { chunk: 1 }),
+        )
+        .build();
+    Weaver::global().with_deployed(aspect, || {
+        aomp_weaver::call("cancel.region", || {
+            aomp_weaver::call_for(
+                "cancel.loop",
+                LoopRange::upto(0, 100_000),
+                |lo, hi, step| {
+                    let mut i = lo;
+                    while i < hi {
+                        if seen.fetch_add(1, Ordering::SeqCst) == 40 {
+                            assert!(cancel_team(), "woven team must be cancellable");
+                        }
+                        i += step;
+                    }
+                },
+            );
+        });
+    });
+    let seen = seen.load(Ordering::SeqCst);
+    assert!(seen > 40, "the trigger iteration must have run, saw {seen}");
+    assert!(
+        seen < 50_000,
+        "cancellation must stop the dynamic loop well short of 100k iterations, saw {seen}"
+    );
     runtime_still_works();
 }
 

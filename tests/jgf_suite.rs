@@ -71,7 +71,10 @@ fn moldyn_all_versions_agree() {
             ("critical", jgf::moldyn::variants::run_critical(&d, t)),
             ("locks", jgf::moldyn::variants::run_locks(&d, t)),
         ] {
-            assert!(jgf::moldyn::agrees(&r, &s, 1e-6), "{name} t={t}: {r:?} vs {s:?}");
+            assert!(
+                jgf::moldyn::agrees(&r, &s, 1e-6),
+                "{name} t={t}: {r:?} vs {s:?}"
+            );
         }
     }
 }
@@ -137,7 +140,14 @@ fn aomp_bench_like_fig13(machine: &aomplib::simcore::Machine, t: usize) -> Vec<(
         models::series(1_000, false),
         models::sor(500, 50, false),
         models::sparse(100_000, 50, false),
-        models::moldyn(2048, 10, t, models::MolDynStrategy::ThreadLocal, machine, false),
+        models::moldyn(
+            2048,
+            10,
+            t,
+            models::MolDynStrategy::ThreadLocal,
+            machine,
+            false,
+        ),
         models::montecarlo(10_000, false),
         models::raytracer(150, false),
     ]

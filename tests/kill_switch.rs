@@ -17,7 +17,11 @@ fn kill_switch_applies_to_both_styles() {
     // Annotation style.
     aomp::runtime::set_parallel_enabled(false);
     annotated_region();
-    assert_eq!(REGION_HITS.load(Ordering::SeqCst), 1, "disabled -> body runs once");
+    assert_eq!(
+        REGION_HITS.load(Ordering::SeqCst),
+        1,
+        "disabled -> body runs once"
+    );
 
     // Pointcut style.
     let hits = AtomicUsize::new(0);

@@ -39,8 +39,14 @@ fn pointcut_and_annotation_styles_produce_identical_results() {
     let jp_run = unique("styles.run");
     let jp_for = unique("styles.for");
     let aspect = AspectModule::builder("StyleEquivalence")
-        .bind(Pointcut::call(jp_run.clone()), Mechanism::parallel().threads(4))
-        .bind(Pointcut::call(jp_for.clone()), Mechanism::for_loop(Schedule::StaticBlock))
+        .bind(
+            Pointcut::call(jp_run.clone()),
+            Mechanism::parallel().threads(4),
+        )
+        .bind(
+            Pointcut::call(jp_for.clone()),
+            Mechanism::for_loop(Schedule::StaticBlock),
+        )
         .build();
     Weaver::global().with_deployed(aspect, || {
         aomp_weaver::call(&jp_run, || {
@@ -57,7 +63,10 @@ fn pointcut_and_annotation_styles_produce_identical_results() {
     });
 
     assert_eq!(A_SUM.load(Ordering::Relaxed), p_sum.load(Ordering::Relaxed));
-    assert_eq!(p_sum.load(Ordering::Relaxed), (0..5000).map(|i| i * 3).sum::<i64>());
+    assert_eq!(
+        p_sum.load(Ordering::Relaxed),
+        (0..5000).map(|i| i * 3).sum::<i64>()
+    );
 }
 
 #[test]
@@ -67,7 +76,11 @@ fn unplugged_program_runs_sequentially() {
     aomp_weaver::call(&jp, || {
         max_team.fetch_max(team_size(), Ordering::Relaxed);
     });
-    assert_eq!(max_team.load(Ordering::Relaxed), 1, "no aspects -> one thread");
+    assert_eq!(
+        max_team.load(Ordering::Relaxed),
+        1,
+        "no aspects -> one thread"
+    );
 }
 
 #[test]
@@ -80,7 +93,9 @@ fn deploy_then_undeploy_restores_sequential_semantics() {
         })
     };
     let h = Weaver::global().deploy(
-        AspectModule::builder("PlugTest").bind(Pointcut::call(jp.clone()), Mechanism::parallel().threads(3)).build(),
+        AspectModule::builder("PlugTest")
+            .bind(Pointcut::call(jp.clone()), Mechanism::parallel().threads(3))
+            .build(),
     );
     run();
     assert_eq!(hits.load(Ordering::Relaxed), 3);
@@ -96,7 +111,10 @@ fn interface_glob_binds_all_implementations() {
     let counts = AtomicUsize::new(0);
     let prefix = unique("Force");
     let aspect = AspectModule::builder("InterfaceGlob")
-        .bind(Pointcut::glob(format!("{prefix}.*.compute")), Mechanism::parallel().threads(2))
+        .bind(
+            Pointcut::glob(format!("{prefix}.*.compute")),
+            Mechanism::parallel().threads(2),
+        )
         .build();
     Weaver::global().with_deployed(aspect, || {
         for implementation in ["LJ", "Coulomb", "EAM"] {
@@ -117,7 +135,8 @@ fn combined_parallel_for_in_one_aspect() {
     // Paper §III-D: combined constructs as one module.
     let jp = unique("parfor");
     let sum = AtomicI64::new(0);
-    let aspect = aomp_weaver::aspect::parallel_for("CombinedPF", &jp, Schedule::StaticCyclic, Some(3));
+    let aspect =
+        aomp_weaver::aspect::parallel_for("CombinedPF", &jp, Schedule::StaticCyclic, Some(3));
     Weaver::global().with_deployed(aspect, || {
         aomp_weaver::call_for(&jp, LoopRange::upto(0, 300), |lo, hi, step| {
             let mut i = lo;
@@ -136,8 +155,14 @@ fn nested_parallel_regions_via_aspects() {
     let inner = unique("nest.inner");
     let leaf_runs = AtomicUsize::new(0);
     let aspect = AspectModule::builder("Nested")
-        .bind(Pointcut::call(outer.clone()), Mechanism::parallel().threads(2))
-        .bind(Pointcut::call(inner.clone()), Mechanism::parallel().threads(2))
+        .bind(
+            Pointcut::call(outer.clone()),
+            Mechanism::parallel().threads(2),
+        )
+        .bind(
+            Pointcut::call(inner.clone()),
+            Mechanism::parallel().threads(2),
+        )
         .build();
     Weaver::global().with_deployed(aspect, || {
         aomp_weaver::call(&outer, || {
@@ -156,9 +181,18 @@ fn reader_writer_mechanisms_share_one_construct() {
     let jp_write = unique("rw.write");
     let rw = Arc::new(RwConstruct::new());
     let aspect = AspectModule::builder("RW")
-        .bind(Pointcut::call(unique("rw.region")), Mechanism::parallel().threads(4))
-        .bind(Pointcut::call(jp_read.clone()), Mechanism::reader(Arc::clone(&rw)))
-        .bind(Pointcut::call(jp_write.clone()), Mechanism::writer(Arc::clone(&rw)))
+        .bind(
+            Pointcut::call(unique("rw.region")),
+            Mechanism::parallel().threads(4),
+        )
+        .bind(
+            Pointcut::call(jp_read.clone()),
+            Mechanism::reader(Arc::clone(&rw)),
+        )
+        .bind(
+            Pointcut::call(jp_write.clone()),
+            Mechanism::writer(Arc::clone(&rw)),
+        )
         .build();
     let value = std::sync::Mutex::new(0u64);
     let reads = AtomicUsize::new(0);
@@ -189,7 +223,10 @@ fn single_mechanism_broadcasts_value_join_point() {
     let execs = AtomicUsize::new(0);
     let agree = AtomicUsize::new(0);
     let aspect = AspectModule::builder("SingleVal")
-        .bind(Pointcut::call(region.clone()), Mechanism::parallel().threads(4))
+        .bind(
+            Pointcut::call(region.clone()),
+            Mechanism::parallel().threads(4),
+        )
         .bind(Pointcut::call(jp.clone()), Mechanism::single())
         .build();
     Weaver::global().with_deployed(aspect, || {
@@ -206,4 +243,3 @@ fn single_mechanism_broadcasts_value_join_point() {
     assert_eq!(execs.load(Ordering::Relaxed), 1);
     assert_eq!(agree.load(Ordering::Relaxed), 4);
 }
-

@@ -87,7 +87,11 @@ fn pool_inside_weaver_woven_code() {
             barrier();
         });
     });
-    assert_eq!(hits.load(Ordering::SeqCst), 1, "master gate works inside the pool");
+    assert_eq!(
+        hits.load(Ordering::SeqCst),
+        1,
+        "master gate works inside the pool"
+    );
 }
 
 #[test]

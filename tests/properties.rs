@@ -1,41 +1,54 @@
-//! Property-based tests (proptest) over the core invariants:
-//! schedule partitions, dynamic/guided dispensing, reductions, barriers,
+//! Randomised property tests over the core invariants: schedule
+//! partitions, dynamic/guided dispensing, reductions, barriers,
 //! thread-local fields and the simulator.
+//!
+//! Formerly proptest-based; now seeded deterministic loops over the same
+//! invariants (the workspace builds offline, with no proptest
+//! dependency), so every failure reproduces from the printed case.
 
 use aomplib::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicI64, Ordering};
 
-/// Strategy producing sane loop ranges (positive or negative step).
-fn loop_ranges() -> impl Strategy<Value = LoopRange> {
-    (-200i64..200, 1i64..64, prop::bool::ANY, 0i64..500).prop_map(|(start, step, down, span)| {
-        if down {
-            LoopRange::new(start, start - span, -step)
-        } else {
-            LoopRange::new(start, start + span, step)
-        }
-    })
+const CASES: u64 = 64;
+
+/// A sane random loop range (positive or negative step).
+fn loop_range(rng: &mut StdRng) -> LoopRange {
+    let start = rng.gen_range(-200i64..200);
+    let step = rng.gen_range(1i64..64);
+    let span = rng.gen_range(0i64..500);
+    if rng.gen_bool(0.5) {
+        LoopRange::new(start, start - span, -step)
+    } else {
+        LoopRange::new(start, start + span, step)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn static_block_partitions_every_range(range in loop_ranges(), threads in 1usize..9) {
+#[test]
+fn static_block_partitions_every_range() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let range = loop_range(&mut rng);
+        let threads = rng.gen_range(1usize..9);
         let mut seen = Vec::new();
         for tid in 0..threads {
-            let sub = aomp::schedule::static_block_range(range, tid, threads);
-            seen.extend(sub.iter());
+            seen.extend(aomp::schedule::static_block_range(range, tid, threads).iter());
         }
         let mut expect: Vec<i64> = range.iter().collect();
         seen.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(seen, expect);
+        assert_eq!(seen, expect, "seed {seed}: {range:?} x{threads}");
     }
+}
 
-    #[test]
-    fn static_cyclic_partitions_every_range(range in loop_ranges(), threads in 1usize..9) {
+#[test]
+fn static_cyclic_partitions_every_range() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let range = loop_range(&mut rng);
+        let threads = rng.gen_range(1usize..9);
         let mut seen = Vec::new();
         for tid in 0..threads {
             seen.extend(aomp::schedule::static_cyclic_range(range, tid, threads).iter());
@@ -43,25 +56,32 @@ proptest! {
         let mut expect: Vec<i64> = range.iter().collect();
         seen.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(seen, expect);
+        assert_eq!(seen, expect, "seed {seed}: {range:?} x{threads}");
     }
+}
 
-    #[test]
-    fn block_assignments_are_disjoint(range in loop_ranges(), threads in 2usize..9) {
+#[test]
+fn block_assignments_are_disjoint() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let range = loop_range(&mut rng);
+        let threads = rng.gen_range(2usize..9);
         let mut all = HashSet::new();
         for tid in 0..threads {
             for v in aomp::schedule::static_block_range(range, tid, threads).iter() {
-                prop_assert!(all.insert(v), "element {v} assigned twice");
+                assert!(all.insert(v), "seed {seed}: element {v} assigned twice");
             }
         }
     }
+}
 
-    #[test]
-    fn dynamic_for_covers_exactly_once(
-        range in loop_ranges(),
-        threads in 1usize..5,
-        chunk in 1u64..16,
-    ) {
+#[test]
+fn dynamic_for_covers_exactly_once() {
+    for seed in 0..16 {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let range = loop_range(&mut rng);
+        let threads = rng.gen_range(1usize..5);
+        let chunk = rng.gen_range(1u64..16);
         let seen = parking_lot::Mutex::new(Vec::new());
         let for_c = ForConstruct::new(Schedule::Dynamic { chunk });
         region::parallel_with(RegionConfig::new().threads(threads), || {
@@ -74,15 +94,20 @@ proptest! {
         let mut expect: Vec<i64> = range.iter().collect();
         seen.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(seen, expect);
+        assert_eq!(
+            seen, expect,
+            "seed {seed}: {range:?} x{threads} chunk {chunk}"
+        );
     }
+}
 
-    #[test]
-    fn guided_for_covers_exactly_once(
-        range in loop_ranges(),
-        threads in 1usize..5,
-        min_chunk in 1u64..8,
-    ) {
+#[test]
+fn guided_for_covers_exactly_once() {
+    for seed in 0..16 {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let range = loop_range(&mut rng);
+        let threads = rng.gen_range(1usize..5);
+        let min_chunk = rng.gen_range(1u64..8);
         let seen = parking_lot::Mutex::new(Vec::new());
         let for_c = ForConstruct::new(Schedule::Guided { min_chunk });
         region::parallel_with(RegionConfig::new().threads(threads), || {
@@ -95,11 +120,20 @@ proptest! {
         let mut expect: Vec<i64> = range.iter().collect();
         seen.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(seen, expect);
+        assert_eq!(
+            seen, expect,
+            "seed {seed}: {range:?} x{threads} min_chunk {min_chunk}"
+        );
     }
+}
 
-    #[test]
-    fn parallel_sum_reduction_matches_sequential(values in prop::collection::vec(-1000i64..1000, 1..200), threads in 1usize..5) {
+#[test]
+fn parallel_sum_reduction_matches_sequential() {
+    for seed in 0..16 {
+        let mut rng = StdRng::seed_from_u64(5000 + seed);
+        let len = rng.gen_range(1usize..200);
+        let values: Vec<i64> = (0..len).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let threads = rng.gen_range(1usize..5);
         let expect: i64 = values.iter().sum();
         let total = AtomicI64::new(0);
         let for_c = ForConstruct::new(Schedule::StaticBlock);
@@ -115,24 +149,33 @@ proptest! {
                 total.fetch_add(local, Ordering::Relaxed);
             });
         });
-        prop_assert_eq!(total.load(Ordering::Relaxed), expect);
+        assert_eq!(total.load(Ordering::Relaxed), expect, "seed {seed}");
     }
+}
 
-    #[test]
-    fn thread_local_reduce_is_sum_of_parts(parts in prop::collection::vec(-500i64..500, 1..6)) {
+#[test]
+fn thread_local_reduce_is_sum_of_parts() {
+    for seed in 0..16 {
+        let mut rng = StdRng::seed_from_u64(6000 + seed);
+        let n = rng.gen_range(1usize..6);
+        let parts: Vec<i64> = (0..n).map(|_| rng.gen_range(-500i64..500)).collect();
         let field = ThreadLocalField::new(0i64);
-        let threads = parts.len();
         let parts_ref = &parts;
-        region::parallel_with(RegionConfig::new().threads(threads), || {
+        region::parallel_with(RegionConfig::new().threads(n), || {
             let tid = thread_id();
             field.update_or_init(|| 0, |v| *v += parts_ref[tid]);
         });
         field.reduce(&SumReducer);
-        prop_assert_eq!(field.get_global(), parts.iter().sum::<i64>());
+        assert_eq!(field.get_global(), parts.iter().sum::<i64>(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn reducers_are_order_insensitive_for_min_max(mut values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+#[test]
+fn reducers_are_order_insensitive_for_min_max() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let n = rng.gen_range(1usize..50);
+        let mut values: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for &v in &values {
@@ -146,43 +189,88 @@ proptest! {
             MinReducer.merge(&mut lo2, v);
             MaxReducer.merge(&mut hi2, v);
         }
-        prop_assert_eq!(lo, lo2);
-        prop_assert_eq!(hi, hi2);
+        assert_eq!(lo, lo2, "seed {seed}");
+        assert_eq!(hi, hi2, "seed {seed}");
     }
+}
 
-    #[test]
-    fn simulator_more_threads_never_slower_for_pure_compute(ops in 1e6f64..1e12, t in 1usize..24) {
-        use aomp_simcore::{Machine, Program, Simulator, Step};
+#[test]
+fn simulator_more_threads_never_slower_for_pure_compute() {
+    use aomp_simcore::{Machine, Program, Simulator, Step};
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(8000 + seed);
+        let ops = rng.gen_range(1e6f64..1e12);
+        let t = rng.gen_range(1usize..24);
         let sim = Simulator::new(Machine::xeon());
-        let p = Program::new("p", vec![Step::Parallel { ops, bytes: 0.0, imbalance: 1.0 }]);
+        let p = Program::new(
+            "p",
+            vec![Step::Parallel {
+                ops,
+                bytes: 0.0,
+                imbalance: 1.0,
+            }],
+        );
         let t1 = sim.run(&p, t);
         let t2 = sim.run(&p, t + 1);
-        prop_assert!(t2 <= t1 * 1.0001, "t={t}: {t2} > {t1}");
+        assert!(t2 <= t1 * 1.0001, "seed {seed} t={t}: {t2} > {t1}");
     }
+}
 
-    #[test]
-    fn simulator_wall_time_scales_linearly_with_work(ops in 1e6f64..1e10, t in 1usize..25) {
-        use aomp_simcore::{Machine, Program, Simulator, Step};
+#[test]
+fn simulator_wall_time_scales_linearly_with_work() {
+    use aomp_simcore::{Machine, Program, Simulator, Step};
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(9000 + seed);
+        let ops = rng.gen_range(1e6f64..1e10);
+        let t = rng.gen_range(1usize..25);
         let sim = Simulator::new(Machine::i7());
-        let p1 = Program::new("p", vec![Step::Parallel { ops, bytes: 0.0, imbalance: 1.0 }]);
-        let p2 = Program::new("p", vec![Step::Parallel { ops: ops * 2.0, bytes: 0.0, imbalance: 1.0 }]);
+        let p1 = Program::new(
+            "p",
+            vec![Step::Parallel {
+                ops,
+                bytes: 0.0,
+                imbalance: 1.0,
+            }],
+        );
+        let p2 = Program::new(
+            "p",
+            vec![Step::Parallel {
+                ops: ops * 2.0,
+                bytes: 0.0,
+                imbalance: 1.0,
+            }],
+        );
         let w1 = sim.run(&p1, t);
         let w2 = sim.run(&p2, t);
-        prop_assert!((w2 / w1 - 2.0).abs() < 1e-6);
+        assert!((w2 / w1 - 2.0).abs() < 1e-6, "seed {seed}");
     }
+}
 
-    #[test]
-    fn glob_matching_reflexive_for_literals(name in "[a-zA-Z0-9_.]{1,24}") {
+#[test]
+fn glob_matching_reflexive_for_literals() {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.";
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(10_000 + seed);
+        let len = rng.gen_range(1usize..25);
+        let name: String = (0..len)
+            .map(|_| ALPHABET[rng.gen_range(0usize..ALPHABET.len())] as char)
+            .collect();
         let pc = Pointcut::glob(name.clone());
-        prop_assert!(pc.matches(&JoinPoint::plain(&name)));
+        assert!(pc.matches(&JoinPoint::plain(&name)), "seed {seed}: {name}");
         let pc_star = Pointcut::glob("*");
-        prop_assert!(pc_star.matches(&JoinPoint::plain(&name)));
+        assert!(
+            pc_star.matches(&JoinPoint::plain(&name)),
+            "seed {seed}: {name}"
+        );
     }
+}
 
-    #[test]
-    fn nnz_balanced_ranges_partition(nrows in 1usize..200, threads in 1usize..9, seed in 0u64..1000) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn nnz_balanced_ranges_partition() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(11_000 + seed);
+        let nrows = rng.gen_range(1usize..200);
+        let threads = rng.gen_range(1usize..9);
         // Random row_ptr with empty rows allowed.
         let mut row_ptr = vec![0usize; nrows + 1];
         for r in 1..=nrows {
@@ -192,20 +280,20 @@ proptest! {
         let mut prev_hi = 0;
         for tid in 0..threads {
             let (lo, hi) = aomp_jgf::sparse::nnz_balanced_range(&row_ptr, nz, tid, threads);
-            prop_assert_eq!(lo, prev_hi);
-            prop_assert!(hi >= lo);
+            assert_eq!(lo, prev_hi, "seed {seed}");
+            assert!(hi >= lo, "seed {seed}");
             // Boundaries coincide with row boundaries.
-            prop_assert!(row_ptr.contains(&lo) || lo == 0);
-            prop_assert!(row_ptr.contains(&hi) || hi == nz);
+            assert!(row_ptr.contains(&lo) || lo == 0, "seed {seed}");
+            assert!(row_ptr.contains(&hi) || hi == nz, "seed {seed}");
             prev_hi = hi;
         }
-        prop_assert_eq!(prev_hi, nz);
+        assert_eq!(prev_hi, nz, "seed {seed}");
     }
 }
 
 #[test]
 fn barrier_round_trip_many_rounds() {
-    // Not a proptest (threads are expensive); exhaustive small matrix.
+    // Threads are expensive; exhaustive small matrix.
     for threads in [2usize, 3, 5] {
         let counter = AtomicI64::new(0);
         region::parallel_with(RegionConfig::new().threads(threads), || {
@@ -213,7 +301,10 @@ fn barrier_round_trip_many_rounds() {
                 counter.fetch_add(1, Ordering::SeqCst);
                 barrier();
                 // Between barriers every thread observes the full round.
-                assert_eq!(counter.load(Ordering::SeqCst) as usize, (round + 1) * threads);
+                assert_eq!(
+                    counter.load(Ordering::SeqCst) as usize,
+                    (round + 1) * threads
+                );
                 barrier();
             }
         });

@@ -74,7 +74,13 @@ fn constructs_inside_nested_teams_bind_to_innermost() {
 
 #[test]
 fn empty_and_single_iteration_ranges() {
-    for sched in [Schedule::StaticBlock, Schedule::StaticCyclic, Schedule::DYNAMIC, Schedule::GUIDED, Schedule::BlockCyclic { chunk: 4 }] {
+    for sched in [
+        Schedule::StaticBlock,
+        Schedule::StaticCyclic,
+        Schedule::DYNAMIC,
+        Schedule::GUIDED,
+        Schedule::BlockCyclic { chunk: 4 },
+    ] {
         let for_c = ForConstruct::new(sched);
         let hits = AtomicUsize::new(0);
         region::parallel_with(RegionConfig::new().threads(3), || {
@@ -118,7 +124,10 @@ fn deploy_undeploy_churn_under_load() {
         let name = format!("stress.churn.{round}");
         let h = Weaver::global().deploy(
             AspectModule::builder(name.clone())
-                .bind(Pointcut::call(name.clone()), Mechanism::parallel().threads(2))
+                .bind(
+                    Pointcut::call(name.clone()),
+                    Mechanism::parallel().threads(2),
+                )
                 .build(),
         );
         aomp_weaver::call(&name, || {
@@ -188,6 +197,10 @@ fn guided_schedule_with_tiny_and_huge_chunks() {
                 }
             });
         });
-        assert_eq!(sum.load(Ordering::Relaxed), (0..500).sum::<i64>(), "min_chunk={min_chunk}");
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            (0..500).sum::<i64>(),
+            "min_chunk={min_chunk}"
+        );
     }
 }

@@ -13,12 +13,18 @@ fn later_parallel_binding_wins_on_team_size() {
     let w = Weaver::global();
     let h1 = w.deploy(
         AspectModule::builder("first")
-            .bind(Pointcut::call("sem.par.double"), Mechanism::parallel().threads(2))
+            .bind(
+                Pointcut::call("sem.par.double"),
+                Mechanism::parallel().threads(2),
+            )
             .build(),
     );
     let h2 = w.deploy(
         AspectModule::builder("second")
-            .bind(Pointcut::call("sem.par.double"), Mechanism::parallel().threads(5))
+            .bind(
+                Pointcut::call("sem.par.double"),
+                Mechanism::parallel().threads(5),
+            )
             .build(),
     );
     aomp_weaver::call("sem.par.double", || {
@@ -39,9 +45,15 @@ fn barriers_wrap_outside_the_master_gate() {
     let log = parking_lot::Mutex::new(Vec::new());
     let h = w.deploy(
         AspectModule::builder("seq-order")
-            .bind(Pointcut::call("sem.order.region"), Mechanism::parallel().threads(2))
+            .bind(
+                Pointcut::call("sem.order.region"),
+                Mechanism::parallel().threads(2),
+            )
             .bind(Pointcut::call("sem.order.step"), Mechanism::master())
-            .bind(Pointcut::call("sem.order.step"), Mechanism::barrier_before())
+            .bind(
+                Pointcut::call("sem.order.step"),
+                Mechanism::barrier_before(),
+            )
             .bind(Pointcut::call("sem.order.step"), Mechanism::barrier_after())
             .build(),
     );
@@ -53,7 +65,11 @@ fn barriers_wrap_outside_the_master_gate() {
         }
     });
     w.undeploy(h);
-    assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4], "master steps are totally ordered by the barriers");
+    assert_eq!(
+        *log.lock(),
+        vec![0, 1, 2, 3, 4],
+        "master steps are totally ordered by the barriers"
+    );
 }
 
 #[test]
@@ -119,7 +135,10 @@ fn kind_pointcut_separates_for_and_plain() {
     let w = Weaver::global();
     let h = w.deploy(
         AspectModule::builder("kind-sem")
-            .bind(Pointcut::call("sem.kind.region"), Mechanism::parallel().threads(3))
+            .bind(
+                Pointcut::call("sem.kind.region"),
+                Mechanism::parallel().threads(3),
+            )
             .bind(
                 Pointcut::kind(JoinPointKind::ForMethod).and(Pointcut::glob("sem.kind.*")),
                 Mechanism::for_loop(Schedule::StaticBlock),
@@ -141,32 +160,36 @@ fn kind_pointcut_separates_for_and_plain() {
         });
     });
     w.undeploy(h);
-    assert_eq!(loop_hits.load(Ordering::SeqCst), 9, "for method work-shared exactly once");
-    assert_eq!(plain_hits.load(Ordering::SeqCst), 3, "plain call replicated per thread");
+    assert_eq!(
+        loop_hits.load(Ordering::SeqCst),
+        9,
+        "for method work-shared exactly once"
+    );
+    assert_eq!(
+        plain_hits.load(Ordering::SeqCst),
+        3,
+        "plain call replicated per thread"
+    );
 }
 
 #[test]
 fn simulator_models_serde_round_trip() {
-    use aomplib::simcore::{Machine, Program, Simulator};
+    use aomplib::simcore::{Json, Machine, Program, Simulator};
     let machine = Machine::i7();
-    let json = serde_json_string(&machine);
-    let back: Machine = serde_json_parse(&json);
+    let json = machine.to_json().to_string();
+    let back = Machine::from_json(&Json::parse(&json).expect("parses")).expect("decodes");
     assert_eq!(machine.cores, back.cores);
     assert_eq!(machine.name, back.name);
 
     let p = aomplib::simcore::models::crypt(1_000_000, false);
-    let json = serde_json_string(&p);
-    let back: Program = serde_json_parse(&json);
+    let json = p.to_json().to_string();
+    let back = Program::from_json(&Json::parse(&json).expect("parses")).expect("decodes");
     let sim = Simulator::new(machine);
-    assert_eq!(sim.run(&p, 4), sim.run(&back, 4), "deserialised model simulates identically");
-}
-
-fn serde_json_string<T: serde::Serialize>(v: &T) -> String {
-    serde_json::to_string(v).expect("serialises")
-}
-
-fn serde_json_parse<T: for<'de> serde::Deserialize<'de>>(s: &str) -> T {
-    serde_json::from_str(s).expect("parses")
+    assert_eq!(
+        sim.run(&p, 4),
+        sim.run(&back, 4),
+        "deserialised model simulates identically"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -228,12 +251,18 @@ fn interface_pointcut_survives_new_implementations() {
     // One pointcut over the interface parallelises every implementation.
     let h = w.deploy(
         AspectModule::builder("InterfaceForce")
-            .bind(Pointcut::glob("ForceKernel.*.compute"), Mechanism::parallel().threads(3))
+            .bind(
+                Pointcut::glob("ForceKernel.*.compute"),
+                Mechanism::parallel().threads(3),
+            )
             .build(),
     );
     let hits = AtomicUsize::new(0);
-    let kernels: Vec<Box<dyn ForceKernel>> =
-        vec![Box::new(LennardJones), Box::new(Coulomb), Box::new(UserSupplied)];
+    let kernels: Vec<Box<dyn ForceKernel>> = vec![
+        Box::new(LennardJones),
+        Box::new(Coulomb),
+        Box::new(UserSupplied),
+    ];
     for k in &kernels {
         k.compute(&hits);
     }
