@@ -84,6 +84,11 @@ pub enum WaitSite {
     TaskWait,
     /// `FutureTask::get` (`@FutureResult` getter).
     FutureGet,
+    /// The master joining its workers at the region end — registered so
+    /// the stall watchdog can adjudicate a stall in which no member is
+    /// parked in a library primitive (e.g. every sibling either exited
+    /// or is wedged in user code).
+    Join,
 }
 
 impl fmt::Display for WaitSite {
@@ -96,6 +101,7 @@ impl fmt::Display for WaitSite {
             WaitSite::Ordered => "ordered",
             WaitSite::TaskWait => "task-wait",
             WaitSite::FutureGet => "future-get",
+            WaitSite::Join => "region-join",
         };
         f.write_str(s)
     }

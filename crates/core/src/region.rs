@@ -9,7 +9,7 @@
 //!
 //! # Failure semantics
 //!
-//! Two API surfaces over one executor:
+//! Three API surfaces over two executors:
 //!
 //! * [`parallel`] / [`parallel_with`] — the classic panicking API: a team
 //!   thread's panic poisons the team (unblocking siblings) and is
@@ -18,6 +18,19 @@
 //! * [`try_parallel`] / [`try_parallel_with`] — the fallible API:
 //!   returns [`RegionError::Panicked`], [`RegionError::Cancelled`] or
 //!   [`RegionError::Stalled`] instead.
+//! * [`try_parallel_detached`] — the fallible API over the *owning*
+//!   executor: the body must be `Send + Sync + 'static`, workers run
+//!   detached, and on a watchdog-declared stall members wedged in
+//!   non-cooperative user code are abandoned so the caller is released.
+//!
+//! The first two accept borrowing bodies (`F: Fn() + Sync`) and therefore
+//! always run on scoped threads with a full join: releasing the caller
+//! while a worker still borrows its frame would be a use-after-free, so
+//! their watchdog is *cooperative* — it can wake and cancel members
+//! parked in library primitives, but a member wedged in user code delays
+//! the region until it returns. [`try_parallel_detached`] trades the
+//! borrowing ergonomics for liveness: ownership (`Arc`-shared region
+//! frame), not lifetime erasure, is what makes its abandonment sound.
 //!
 //! Cancellation follows OpenMP 4.0's `cancel parallel` model: opt in with
 //! [`RegionConfig::cancellable`], request with
@@ -101,13 +114,21 @@ impl RegionConfig {
 
     /// Arm a stall watchdog: if the team makes no progress (no chunk
     /// handouts, no wait-site transitions) for `deadline` while at least
-    /// one member is blocked in a team synchronisation primitive, the
-    /// team is force-cancelled and the region reports
-    /// [`RegionError::Stalled`] with each blocked thread's wait site.
+    /// one member is blocked in a team synchronisation primitive — the
+    /// master's end-of-region worker join counts as one
+    /// ([`WaitSite::Join`]) — the team is force-cancelled and the region
+    /// reports [`RegionError::Stalled`] with each blocked thread's wait
+    /// site.
     ///
     /// Choose a deadline longer than the region's longest
     /// synchronisation-free compute phase: the watchdog cannot
     /// distinguish a slow chunk from a hung one.
+    ///
+    /// Under [`parallel_with`] / [`try_parallel_with`] the watchdog is
+    /// *cooperative*: the region still joins every worker, so a member
+    /// wedged in non-cooperative user code delays the return (see the
+    /// module docs). Use [`try_parallel_detached`] when such members
+    /// must be abandoned to release the caller.
     pub fn stall_deadline(mut self, deadline: Duration) -> Self {
         assert!(!deadline.is_zero(), "stall deadline must be non-zero");
         self.stall_deadline = Some(deadline);
@@ -181,23 +202,62 @@ where
 /// `Err(RegionError::Stalled)` when the watchdog armed by
 /// [`RegionConfig::stall_deadline`] declared the region stuck.
 ///
-/// # Stall recovery caveat
+/// # Stall semantics
 ///
-/// A region with a stall deadline runs its workers detached (not scoped)
-/// so the caller can be released even when a worker is wedged in user
-/// code and never reaches a cancellation point. On a `Stalled` return,
-/// members blocked in library primitives have been woken and joined, but
-/// a member stuck inside user code (e.g. an unbounded sleep or an
-/// external call that never returns) is *abandoned*: it still holds
-/// references to the region body and its captures. Such a thread must
-/// never resume — treat the data it captures as leaked for the process
-/// lifetime. This is the deliberate trade against the alternative, which
-/// is deadlocking the caller forever.
+/// The body may capture by reference, so the region runs on scoped
+/// threads and **always joins every worker** before returning — no
+/// member is ever left holding a borrow of a freed frame. A stall
+/// declared by the watchdog force-cancels the team: members parked in
+/// library primitives (barriers, broadcasts, criticals, task joins)
+/// wake, unwind and are joined promptly, and the region returns
+/// `Stalled` naming their wait sites. A member wedged in
+/// *non-cooperative user code* (an unbounded sleep, a lost external
+/// call) cannot be woken; the join — and therefore the `Stalled`
+/// return — waits until it comes back. When such members must be
+/// abandoned to release the caller, use [`try_parallel_detached`],
+/// whose `'static` body makes abandonment sound.
 pub fn try_parallel_with<F>(cfg: RegionConfig, body: F) -> Result<(), RegionError>
 where
     F: Fn() + Sync,
 {
     match run_region(cfg, body) {
+        RawOutcome::Completed => Ok(()),
+        RawOutcome::Cancelled => Err(RegionError::Cancelled),
+        RawOutcome::Stalled(blocked) => Err(RegionError::Stalled { blocked }),
+        RawOutcome::Panicked(payload) => Err(RegionError::Panicked {
+            payload_msg: error::payload_msg(payload.as_ref()),
+        }),
+    }
+}
+
+/// Fallible parallel region over the *owning* executor: workers run
+/// detached (plain OS threads, not scoped), so a member wedged in
+/// non-cooperative user code cannot hold the caller hostage.
+///
+/// The price is the `Send + Sync + 'static` bound: the body must own its
+/// captures (`Arc`, atomics, moved values — no borrows of the caller's
+/// frame). Body, panic slot and completion latch live in one
+/// `Arc`-shared region frame that every worker co-owns.
+///
+/// On a watchdog-declared stall ([`RegionConfig::stall_deadline`] or the
+/// [process-wide default](crate::runtime::set_default_stall_deadline)),
+/// members parked in library primitives are woken, unwound and joined;
+/// a member that never reaches a cancellation point is **abandoned**
+/// after a short grace period (`min(deadline, 100 ms)`) and the call
+/// returns [`RegionError::Stalled`]. Abandonment is memory-safe: the
+/// straggler's `Arc` keeps the region frame alive, so even if it later
+/// resumes it only touches live, owned state, observes the force-cancel
+/// at its next cancellation point and exits. Until then it occupies an
+/// OS thread and whatever the body captured — effectively leaked for as
+/// long as it stays wedged.
+///
+/// Without a stall deadline this behaves like [`try_parallel_with`]
+/// (full join), just with owned instead of borrowed captures.
+pub fn try_parallel_detached<F>(cfg: RegionConfig, body: F) -> Result<(), RegionError>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match run_region_detached(cfg, body) {
         RawOutcome::Completed => Ok(()),
         RawOutcome::Cancelled => Err(RegionError::Cancelled),
         RawOutcome::Stalled(blocked) => Err(RegionError::Stalled { blocked }),
@@ -247,8 +307,8 @@ enum RawOutcome {
 /// `TeamPoisoned` unwinds are filtered out by [`record_member_exit`]).
 type PayloadSlot = Mutex<Option<Box<dyn std::any::Any + Send>>>;
 
-/// Classify one member's exit. Benign unwinds (`Cancelled` from a
-/// cancellation point, `TeamPoisoned` echoes of a sibling's panic) are
+/// Classify one member's exit. Benign unwinds (`Cancelled` echoes of an
+/// actual team cancel, `TeamPoisoned` echoes of a sibling's panic) are
 /// absorbed; a real panic poisons the team and its payload is kept
 /// (first wins).
 fn record_member_exit(
@@ -260,10 +320,13 @@ fn record_member_exit(
     if p.downcast_ref::<TeamPoisoned>().is_some() {
         return;
     }
-    if p.downcast_ref::<Cancelled>().is_some() {
-        // A `Cancelled` unwind outside an actual team cancel (user code
-        // re-raising it) still must not strand siblings at barriers.
-        shared.cancel(true);
+    if p.downcast_ref::<Cancelled>().is_some() && shared.cancelled.load(Ordering::Acquire) {
+        // A genuine cancellation echo: the member unwound from a
+        // cancellation point after the team's cancel flag was set. A
+        // stray `Cancelled` payload raised by user code on a team that
+        // was never cancelled falls through and is treated as a real
+        // panic — it must not impersonate a cancel the team never
+        // opted into.
         return;
     }
     shared.poison();
@@ -286,75 +349,144 @@ fn classify(shared: &TeamShared, payload: &PayloadSlot) -> RawOutcome {
     RawOutcome::Completed
 }
 
+fn new_team(cfg: &RegionConfig, n: usize, watched: bool) -> Arc<TeamShared> {
+    Arc::new(TeamShared::with_robustness(
+        n,
+        ctx::level() + 1,
+        cfg.cancellable.unwrap_or(false),
+        watched,
+    ))
+}
+
 fn run_region<F>(cfg: RegionConfig, body: F) -> RawOutcome
 where
     F: Fn() + Sync,
 {
     let n = cfg.resolve_threads();
     let deadline = cfg.effective_stall_deadline();
-    let level = ctx::level() + 1;
-    let shared = Arc::new(TeamShared::with_robustness(
-        n,
-        level,
-        cfg.cancellable.unwrap_or(false),
-        deadline.is_some(),
-    ));
+    let shared = new_team(&cfg, n, deadline.is_some());
     let payload: PayloadSlot = Mutex::new(None);
 
     if n == 1 {
-        // Sequential semantics: still push a (size-1) team context so
-        // constructs observe consistent `thread_id`/`team_size` values.
-        let r = catch_unwind(AssertUnwindSafe(|| {
-            let _guard = CtxGuard::enter(Arc::clone(&shared), 0);
-            body();
-        }));
-        record_member_exit(&shared, &payload, r);
-        return classify(&shared, &payload);
-    }
-
-    match deadline {
-        None => scoped_region(n, &shared, &payload, &body),
-        Some(d) => detached_region(n, d, &shared, &payload, &body),
+        inline_region(&shared, &payload, &body, deadline);
+    } else {
+        scoped_region(n, deadline, &shared, &payload, &body);
     }
     classify(&shared, &payload)
 }
 
-/// The default executor: scoped threads, full join — panic/cancel safe,
-/// no watchdog. Mirrors paper Figure 9: spawn n−1 workers, the master
-/// executes the body itself, `std::thread::scope` joins the rest.
-fn scoped_region<F>(n: usize, shared: &Arc<TeamShared>, payload: &PayloadSlot, body: &F)
+fn run_region_detached<F>(cfg: RegionConfig, body: F) -> RawOutcome
 where
+    F: Fn() + Send + Sync + 'static,
+{
+    let n = cfg.resolve_threads();
+    let deadline = cfg.effective_stall_deadline();
+    let shared = new_team(&cfg, n, deadline.is_some());
+
+    if n == 1 {
+        let payload: PayloadSlot = Mutex::new(None);
+        inline_region(&shared, &payload, &body, deadline);
+        return classify(&shared, &payload);
+    }
+    detached_region(n, deadline, &shared, body)
+}
+
+/// Team-of-one executor: sequential semantics, but still under a
+/// (size-1) team context so constructs observe consistent
+/// `thread_id`/`team_size` values — and still under the watchdog when a
+/// deadline is armed, so a single-member region parked in a library
+/// primitive (say, a future that is never fulfilled) is force-cancelled
+/// and diagnosed as [`RegionError::Stalled`] instead of parking forever.
+fn inline_region<F>(
+    shared: &Arc<TeamShared>,
+    payload: &PayloadSlot,
+    body: &F,
+    deadline: Option<Duration>,
+) where
+    F: Fn() + Sync,
+{
+    let _watchdog = deadline.map(|d| spawn_watchdog(Arc::clone(shared), d));
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = CtxGuard::enter(Arc::clone(shared), 0);
+        body();
+    }));
+    record_member_exit(shared, payload, r);
+    shared.shutdown_watch(); // watchdog (if any) exits on its next tick
+}
+
+/// The borrowing executor behind [`parallel_with`] / [`try_parallel_with`]:
+/// scoped threads, always a full join — the body may capture the caller's
+/// frame by reference precisely because no member can outlive this call.
+/// Mirrors paper Figure 9: spawn n−1 workers, the master executes the
+/// body itself, then joins the rest.
+///
+/// A watchdog (when armed) is *cooperative*: on a stall it force-cancels
+/// the team so members parked in library primitives unwind and the join
+/// completes, but it never abandons a member — a thread wedged in
+/// non-cooperative user code delays the join until it returns. Safety
+/// over liveness; [`detached_region`] makes the opposite trade.
+fn scoped_region<F>(
+    n: usize,
+    deadline: Option<Duration>,
+    shared: &Arc<TeamShared>,
+    payload: &PayloadSlot,
+    body: &F,
+) where
     F: Fn() + Sync,
 {
     std::thread::scope(|scope| {
-        for tid in 1..n {
-            let shared = Arc::clone(shared);
-            std::thread::Builder::new()
-                .name(format!("aomp-l{}-t{tid}", shared.level))
-                .spawn_scoped(scope, move || {
-                    let r = catch_unwind(AssertUnwindSafe(|| {
-                        let _guard = CtxGuard::enter(Arc::clone(&shared), tid);
-                        body();
-                    }));
-                    record_member_exit(&shared, payload, r);
-                })
-                .expect("failed to spawn aomp team thread");
-        }
+        let handles: Vec<_> = (1..n)
+            .map(|tid| {
+                let shared = Arc::clone(shared);
+                std::thread::Builder::new()
+                    .name(format!("aomp-l{}-t{tid}", shared.level))
+                    .spawn_scoped(scope, move || {
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            let _guard = CtxGuard::enter(Arc::clone(&shared), tid);
+                            body();
+                        }));
+                        record_member_exit(&shared, payload, r);
+                    })
+                    .expect("failed to spawn aomp team thread")
+            })
+            .collect();
+        let _watchdog = deadline.map(|d| spawn_watchdog(Arc::clone(shared), d));
         let r = catch_unwind(AssertUnwindSafe(|| {
             let _guard = CtxGuard::enter(Arc::clone(shared), 0);
             body();
         }));
         record_member_exit(shared, payload, r);
+        {
+            // The join is a registered wait site: a stall where every
+            // member is either exited or wedged in user code (nobody
+            // parked in a library primitive) is still visible to the
+            // watchdog through the waiting master.
+            let _w = shared.begin_wait(0, WaitSite::Join);
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        shared.shutdown_watch(); // watchdog (if any) exits on its next tick
     });
 }
 
-/// Completion latch for detached workers.
-///
-/// The latch is also the abandonment gate: a worker's exit record (which
-/// touches the master's stack-resident payload slot) and the master's
-/// decision to give up are serialised under one lock, so once `closed`
-/// is observed set, no straggler will ever touch master-owned memory
-/// again — that is what makes returning from [`detached_region`] sound.
+/// Everything a detached worker shares with its region: the body, the
+/// first-panic slot and the completion latch, jointly owned via `Arc`.
+/// An abandoned straggler holds its own `Arc` clone, so the frame
+/// outlives the region call for as long as any member might touch it —
+/// ownership is what makes abandonment on the stall path memory-safe
+/// (contrast with borrowing the master's stack, which would be a
+/// use-after-free the moment the caller is released).
+struct RegionFrame {
+    body: Box<dyn Fn() + Send + Sync>,
+    payload: PayloadSlot,
+    latch: Latch,
+}
+
+/// Completion latch for detached workers. The `closed` flag makes the
+/// region's verdict deterministic: once the master gave up waiting
+/// (stall grace expired), a straggler's late exit record is dropped
+/// rather than mutating a payload slot the master already classified.
 struct Latch {
     state: Mutex<LatchState>,
     cv: Condvar,
@@ -366,9 +498,18 @@ struct LatchState {
 }
 
 impl Latch {
+    fn new(workers: usize) -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                remaining: workers,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
     /// Worker exit: records the result unless the master already closed
-    /// the latch (in which case master-owned memory may be gone and the
-    /// result is dropped — the stall verdict supersedes it anyway).
+    /// the latch (the stall verdict supersedes a straggler's outcome).
     fn finish(
         &self,
         shared: &TeamShared,
@@ -404,75 +545,72 @@ impl Latch {
     }
 }
 
-/// Watchdog-armed executor: workers are detached so a wedged member
-/// cannot hold the caller hostage (see the caveat on
-/// [`try_parallel_with`]). A sidecar watchdog thread polls the team's
-/// progress counter and wait-site registry; on a stall it force-cancels
-/// the team, wakes every parked waiter, and the master abandons any
-/// straggler after a short grace period.
+/// The owning executor behind [`try_parallel_detached`]: workers are
+/// detached OS threads so a wedged member cannot hold the caller
+/// hostage. Each worker co-owns the [`RegionFrame`]; on a stall the
+/// watchdog force-cancels the team, wakes every parked waiter, and the
+/// master abandons any straggler after a short grace period.
 fn detached_region<F>(
     n: usize,
-    deadline: Duration,
+    deadline: Option<Duration>,
     shared: &Arc<TeamShared>,
-    payload: &PayloadSlot,
-    body: &F,
-) where
-    F: Fn() + Sync,
+    body: F,
+) -> RawOutcome
+where
+    F: Fn() + Send + Sync + 'static,
 {
-    let latch = Arc::new(Latch {
-        state: Mutex::new(LatchState {
-            remaining: n - 1,
-            closed: false,
-        }),
-        cv: Condvar::new(),
+    let frame = Arc::new(RegionFrame {
+        body: Box::new(body),
+        payload: Mutex::new(None),
+        latch: Latch::new(n - 1),
     });
-    // Sharing across detached threads requires erasing the body's and
-    // payload slot's lifetimes. SAFETY: every dereference is bounded by
-    // the join below — except for abandoned stragglers on the stall
-    // path, which by contract (see `try_parallel_with`) never resume.
-    let body_ref: &'static (dyn Fn() + Sync) =
-        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) };
-    let payload_ref: &'static PayloadSlot =
-        unsafe { std::mem::transmute::<&PayloadSlot, &'static PayloadSlot>(payload) };
 
     for tid in 1..n {
         let shared = Arc::clone(shared);
-        let latch = Arc::clone(&latch);
+        let frame = Arc::clone(&frame);
         std::thread::Builder::new()
             .name(format!("aomp-l{}-t{tid}", shared.level))
             .spawn(move || {
                 let r = catch_unwind(AssertUnwindSafe(|| {
                     let _guard = CtxGuard::enter(Arc::clone(&shared), tid);
-                    body_ref();
+                    (frame.body)();
                 }));
-                latch.finish(&shared, payload_ref, r);
+                frame.latch.finish(&shared, &frame.payload, r);
             })
             .expect("failed to spawn aomp team thread");
     }
 
-    let watchdog = spawn_watchdog(Arc::clone(shared), deadline);
+    let _watchdog = deadline.map(|d| spawn_watchdog(Arc::clone(shared), d));
 
     let r = catch_unwind(AssertUnwindSafe(|| {
         let _guard = CtxGuard::enter(Arc::clone(shared), 0);
-        body();
+        (frame.body)();
     }));
-    record_member_exit(shared, payload, r);
+    record_member_exit(shared, &frame.payload, r);
 
     // Join the workers. Normal completion waits indefinitely; once the
     // watchdog declared a stall, wait only a grace period (enough for
     // members parked in library primitives to observe the cancel and
     // unwind), then abandon stragglers wedged in user code.
-    let grace = deadline.min(Duration::from_millis(100));
+    let grace = deadline
+        .unwrap_or(Duration::from_millis(100))
+        .min(Duration::from_millis(100));
     let mut grace_deadline: Option<Instant> = None;
-    latch.join(|| {
-        if shared.stall_declared() {
-            Some(*grace_deadline.get_or_insert_with(|| Instant::now() + grace))
-        } else {
-            None
-        }
-    });
-    shared.shutdown_watch();
-    drop(watchdog); // detached; exits on its next poll tick
+    {
+        // As in `scoped_region`, the join is a registered wait site so
+        // the watchdog can adjudicate a stall even when no member is
+        // parked in a library primitive.
+        let _w = shared.begin_wait(0, WaitSite::Join);
+        frame.latch.join(|| {
+            if shared.stall_declared() {
+                Some(*grace_deadline.get_or_insert_with(|| Instant::now() + grace))
+            } else {
+                None
+            }
+        });
+    }
+    shared.shutdown_watch(); // watchdog (if any) exits on its next tick
+    classify(shared, &frame.payload)
 }
 
 fn spawn_watchdog(shared: Arc<TeamShared>, deadline: Duration) -> std::thread::JoinHandle<()> {
@@ -723,15 +861,36 @@ mod tests {
     }
 
     #[test]
+    fn stray_cancelled_payload_is_a_real_panic() {
+        // `panic_any(Cancelled)` from user code on a team that was never
+        // cancelled must not impersonate a team cancel (the team did not
+        // opt in) — it is reported as a panic.
+        let r = try_parallel_with(RegionConfig::new().threads(2), || {
+            if thread_id() == 1 {
+                std::panic::panic_any(Cancelled);
+            }
+            crate::ctx::barrier();
+        });
+        match r {
+            Err(RegionError::Panicked { payload_msg }) => {
+                assert!(payload_msg.contains("cancelled"), "{payload_msg}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn watchdog_converts_hang_to_stalled() {
         let deadline = Duration::from_millis(150);
         let t0 = Instant::now();
-        let r = try_parallel_with(
+        let r = try_parallel_detached(
             RegionConfig::new().threads(3).stall_deadline(deadline),
             || {
                 if thread_id() == 2 {
                     // Wedged in "user code": sleeps past any deadline and
-                    // never reaches a cancellation point.
+                    // never reaches a cancellation point. The detached
+                    // executor abandons it (safely: it co-owns the region
+                    // frame) instead of waiting the hour out.
                     std::thread::sleep(Duration::from_secs(3600));
                 }
                 crate::ctx::barrier();
@@ -766,6 +925,82 @@ mod tests {
     }
 
     #[test]
+    fn detached_stall_with_no_library_waiters_is_caught() {
+        // Every member is either exited (the master, waiting at the
+        // region join) or wedged in user code — nobody is parked in a
+        // library primitive. The join wait site lets the watchdog
+        // adjudicate anyway.
+        let r = try_parallel_detached(
+            RegionConfig::new()
+                .threads(2)
+                .stall_deadline(Duration::from_millis(150)),
+            || {
+                if thread_id() == 1 {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            },
+        );
+        match r {
+            Err(RegionError::Stalled { blocked }) => {
+                assert_eq!(blocked, vec![(0, WaitSite::Join)]);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scoped_watchdog_reports_sync_deadlock() {
+        // A synchronisation-level deadlock under the borrowing API: the
+        // worker waits at a second barrier round the master never joins.
+        // The cooperative watchdog cancels, the worker unwinds, the full
+        // join completes and the caller gets the diagnosis.
+        let r = try_parallel_with(
+            RegionConfig::new()
+                .threads(2)
+                .stall_deadline(Duration::from_millis(150)),
+            || {
+                crate::ctx::barrier();
+                if thread_id() == 1 {
+                    crate::ctx::barrier();
+                }
+            },
+        );
+        match r {
+            Err(RegionError::Stalled { blocked }) => {
+                assert!(
+                    blocked.contains(&(1, WaitSite::Barrier)),
+                    "the deadlocked worker is named: {blocked:?}"
+                );
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_thread_region_watchdog_fires() {
+        // The watchdog also covers teams of one (e.g. a region serialised
+        // by the kill switch or `only_if(false)`): a single member parked
+        // in a library primitive is cancelled and diagnosed.
+        let r = try_parallel_with(
+            RegionConfig::new()
+                .threads(1)
+                .stall_deadline(Duration::from_millis(150)),
+            || {
+                let (_promise, fut) = crate::task::future_pair::<u32>();
+                // Never fulfilled: parks at FutureGet until the watchdog
+                // force-cancels the team.
+                let _ = fut.get();
+            },
+        );
+        match r {
+            Err(RegionError::Stalled { blocked }) => {
+                assert_eq!(blocked, vec![(0, WaitSite::FutureGet)]);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn watchdog_does_not_fire_on_healthy_region() {
         let sum = AtomicUsize::new(0);
         let r = try_parallel_with(
@@ -787,11 +1022,14 @@ mod tests {
     fn default_stall_deadline_applies() {
         let _g = runtime::STALL_TEST_LOCK.lock().unwrap();
         runtime::set_default_stall_deadline(Some(Duration::from_millis(150)));
+        // Same barrier-round mismatch as
+        // `scoped_watchdog_reports_sync_deadlock`, but the watchdog is
+        // armed by the process-wide default instead of the region config.
         let r = try_parallel_with(RegionConfig::new().threads(2), || {
-            if thread_id() == 1 {
-                std::thread::sleep(Duration::from_secs(3600));
-            }
             crate::ctx::barrier();
+            if thread_id() == 1 {
+                crate::ctx::barrier();
+            }
         });
         runtime::set_default_stall_deadline(None);
         assert!(matches!(r, Err(RegionError::Stalled { .. })), "got {r:?}");

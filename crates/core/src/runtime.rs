@@ -73,8 +73,21 @@ pub fn parallel_enabled() -> bool {
 ///
 /// Every parallel region whose own configuration does not set
 /// [`RegionConfig::stall_deadline`](crate::region::RegionConfig::stall_deadline)
-/// inherits this value — a one-line way to make a whole application's
-/// regions hang-proof. Per-region settings always win.
+/// inherits this value, so one line converts every region's
+/// *synchronisation* stall — members parked at barriers, broadcasts,
+/// criticals, task joins or the end-of-region worker join — into a
+/// diagnosable [`RegionError::Stalled`](crate::error::RegionError).
+/// Per-region settings always win.
+///
+/// This is not a blanket hang kill switch: the executors behind
+/// [`region::parallel`](crate::region::parallel) and
+/// [`region::try_parallel`](crate::region::try_parallel) accept
+/// borrowing bodies and therefore always join every worker, so a member
+/// wedged in non-cooperative user code (an unbounded sleep, a lost
+/// external call) still delays its region until it returns. Abandoning
+/// such a member requires a body that owns its captures — opt in per
+/// call site with
+/// [`region::try_parallel_detached`](crate::region::try_parallel_detached).
 pub fn set_default_stall_deadline(deadline: Option<Duration>) {
     let nanos = match deadline {
         None => 0,

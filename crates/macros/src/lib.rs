@@ -249,8 +249,10 @@ fn rewrap(header: Vec<TokenTree>, new_body: &str) -> TokenStream {
 /// Arguments: `threads = <int>` (team size), `nested = <bool>`,
 /// `only_if = <expr>` (OpenMP's `if` clause, evaluated at call time),
 /// `cancellable` (honour `cancel_team()`, OpenMP 4.0 `cancel`), and
-/// `stall_deadline_ms = <int>` (arm the stall watchdog; a hung team is
-/// cancelled instead of deadlocking — see `aomp::region`).
+/// `stall_deadline_ms = <int>` (arm the stall watchdog; a team stuck in
+/// its synchronisation primitives is cancelled and diagnosed instead of
+/// deadlocking — see `aomp::region` for what the watchdog can and
+/// cannot interrupt).
 #[proc_macro_attribute]
 pub fn parallel(attr: TokenStream, item: TokenStream) -> TokenStream {
     let (header, body) = match split_fn(item) {

@@ -47,8 +47,10 @@ fn main() {
     });
 
     // 4. The stall watchdog converts a hung worker into a diagnosis.
+    //    The body owns its captures (`'static`), so the detached executor
+    //    may safely abandon the lost worker and release the caller.
     let t0 = Instant::now();
-    let r = region::try_parallel_with(
+    let r = region::try_parallel_detached(
         RegionConfig::new()
             .threads(4)
             .stall_deadline(Duration::from_millis(250)),

@@ -189,7 +189,10 @@ fn master_broadcast_panic_reports_original_payload_not_poison() {
 fn hung_worker_is_diagnosed_as_stall_not_deadlock() {
     let deadline = Duration::from_millis(300);
     let started = Instant::now();
-    let r = region::try_parallel_with(
+    // A worker stuck in user code can only be *abandoned* by the owning
+    // executor (`try_parallel_detached`, body is `'static`): the borrowing
+    // API always joins its workers, so there it would delay the return.
+    let r = region::try_parallel_detached(
         RegionConfig::new().threads(4).stall_deadline(deadline),
         || {
             if thread_id() == 3 {
@@ -223,12 +226,16 @@ fn hung_worker_is_diagnosed_as_stall_not_deadlock() {
 
 #[test]
 fn annotation_stall_deadline_converts_hang_to_panic() {
+    // A synchronisation-level hang (the worker waits at a second barrier
+    // round the master never joins): the cooperative watchdog cancels the
+    // team, the worker unwinds, and the fully-joined region panics with
+    // the stall diagnosis.
     #[aomplib::annotations::parallel(threads = 2, stall_deadline_ms = 250)]
     fn hung_region() {
-        if thread_id() == 1 {
-            std::thread::sleep(Duration::from_secs(3600));
-        }
         barrier();
+        if thread_id() == 1 {
+            barrier();
+        }
     }
     let r = catch_unwind(AssertUnwindSafe(hung_region));
     let msg = match r {
