@@ -1,0 +1,484 @@
+//! The deterministic executor: a [`SchedHook`] that serialises one team.
+//!
+//! # How control works
+//!
+//! While a schedule is armed, the first top-level region created on the
+//! exploring thread binds to the controller. Every member of that team
+//! reports its `MemberStart` and then parks until *all* members have
+//! arrived — this removes thread-spawn timing from the schedule space.
+//! From then on a single **token** circulates: exactly one member runs
+//! between decision points. Each hook event is a yield point — the member
+//! releases the token, the strategy picks the next runnable member, and
+//! the chosen member continues. The resulting decision sequence is the
+//! schedule's [`Trace`](crate::trace::Trace).
+//!
+//! # Blocked members and probes
+//!
+//! A member whose wake condition is unmet (barrier sense unchanged,
+//! critical lock held, broadcast not published…) reports through
+//! [`SchedHook::blocked`] instead of parking. The controller marks it
+//! blocked *at the current epoch*; the epoch advances on every ordinary
+//! event. A blocked member becomes eligible again only once the epoch has
+//! moved past its blocking point, and when rescheduled it re-checks its
+//! condition and either proceeds (emitting its next event) or re-blocks
+//! at the new epoch. Each member therefore probes at most once per epoch:
+//! the scheduler cannot livelock on a stuck condition, and a genuinely
+//! stuck team is detected the moment every member is blocked at the
+//! current epoch.
+//!
+//! # Deadlock verdicts
+//!
+//! When no member is eligible, the controller inspects the blocked sites.
+//! If every site is *team-internal* (barrier, single/master broadcast,
+//! ordered section) nothing outside the team can unblock it: the verdict
+//! is an **instant deterministic deadlock** — no timeout involved. If an
+//! *external-capable* site is present (critical locks can be held by
+//! other teams; task joins wait on detached producer threads), the
+//! controller lets members really park in short bounded slices
+//! ("freepark") and only declares deadlock after a grace budget with no
+//! progress.
+//!
+//! # Wall-clock interrupts
+//!
+//! Waits inside `blocked` are bounded (50 ms) and return control to the
+//! runtime's own wait loop, which re-runs its poison/cancel check. An
+//! asynchronous team cancel (e.g. the stall watchdog) therefore still
+//! unwinds members the checker has parked. For fully deterministic
+//! programs this path never fires under control — no event means no state
+//! change, so the re-probe re-blocks without recording a decision.
+
+use aomp::error::WaitSite;
+use aomp::hook::{HookEvent, SchedHook, TeamId};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+use crate::strategy::Chooser;
+use crate::trace::Decision;
+
+/// Bounded slice for controlled parks: long enough that the path is cold,
+/// short enough that watchdog cancels and freepark probes stay live.
+const BLOCKED_SLICE: Duration = Duration::from_millis(50);
+/// Grace budget before an all-blocked state with external-capable sites
+/// is declared a deadlock.
+const EXTERNAL_DEADLOCK_BUDGET: Duration = Duration::from_secs(2);
+/// Safety net for a wedged scheduler (a controller bug, not a program
+/// bug): give up on determinism and let threads run natively.
+const WEDGE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Hard ceiling on events per schedule — a runaway-loop backstop.
+const MAX_EVENTS: usize = 200_000;
+
+/// Scheduling state of one team member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Not yet entered the team context.
+    Absent,
+    /// Runnable, waiting for the token.
+    Ready,
+    /// Holds the token.
+    Running,
+    /// Wake condition unmet when last probed (at `epoch`).
+    Blocked { epoch: u64, site: WaitSite },
+    /// Left the team context.
+    Done,
+}
+
+/// Per-schedule state, installed by the explorer before running the
+/// schedule closure and harvested afterwards.
+pub(crate) struct RunState {
+    /// Monotonic schedule generation, so threads outliving a schedule
+    /// notice it ended and fall back to native execution.
+    gen: u64,
+    /// The exploring thread: only regions it creates bind.
+    master: ThreadId,
+    /// The bound team, once a region started.
+    team: Option<TeamId>,
+    n: usize,
+    arrived: usize,
+    slots: Vec<Slot>,
+    /// Which member currently holds the token.
+    token: Option<usize>,
+    /// Advances on every ordinary event; gates blocked-member probes.
+    epoch: u64,
+    /// All members blocked with an external-capable site: real bounded
+    /// parks instead of token waits.
+    freepark: bool,
+    freepark_since: Option<Instant>,
+    /// Verdict reached or controller gave up: run natively to completion.
+    freerun: bool,
+    chooser: Box<dyn Chooser>,
+    decisions: Vec<Decision>,
+    log: Vec<HookEvent>,
+    verdict: Option<String>,
+}
+
+impl RunState {
+    fn managed(&self, team: TeamId, tid: usize) -> bool {
+        self.team == Some(team) && tid < self.slots.len() && self.slots[tid] != Slot::Done
+    }
+}
+
+struct CtrlState {
+    gen: u64,
+    run: Option<RunState>,
+}
+
+/// The process-global deterministic controller (registered as the
+/// [`SchedHook`] for the duration of an exploration).
+pub(crate) struct Controller {
+    state: Mutex<CtrlState>,
+    cv: Condvar,
+}
+
+/// The controller instance handed to `aomp::hook::register`.
+pub(crate) static CONTROLLER: Controller = Controller {
+    state: Mutex::new(CtrlState { gen: 0, run: None }),
+    cv: Condvar::new(),
+};
+
+impl Controller {
+    fn lock(&self) -> MutexGuard<'_, CtrlState> {
+        // A verdict panic never happens while holding the guard, but be
+        // robust against unwinds anywhere else.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Install a fresh schedule. The calling thread becomes the master.
+    pub(crate) fn install(&self, chooser: Box<dyn Chooser>) {
+        let mut g = self.lock();
+        g.gen += 1;
+        let gen = g.gen;
+        g.run = Some(RunState {
+            gen,
+            master: std::thread::current().id(),
+            team: None,
+            n: 0,
+            arrived: 0,
+            slots: Vec::new(),
+            token: None,
+            epoch: 0,
+            freepark: false,
+            freepark_since: None,
+            freerun: false,
+            chooser,
+            decisions: Vec::new(),
+            log: Vec::new(),
+            verdict: None,
+        });
+    }
+
+    /// Tear down the schedule and return what it recorded.
+    pub(crate) fn harvest(&self) -> (Vec<Decision>, Vec<HookEvent>, Option<String>) {
+        let mut g = self.lock();
+        g.gen += 1;
+        let run = g.run.take().expect("harvest without install");
+        drop(g);
+        self.cv.notify_all();
+        (run.decisions, run.log, run.verdict)
+    }
+
+    /// Pick the next token holder. Called with no token assigned.
+    fn dispatch(run: &mut RunState) {
+        if run.token.is_some() || run.freerun || run.arrived < run.n || run.n == 0 {
+            return;
+        }
+        let mut eligible: Vec<usize> = Vec::new();
+        for (tid, s) in run.slots.iter().enumerate() {
+            match *s {
+                Slot::Ready => eligible.push(tid),
+                Slot::Blocked { epoch, .. } if epoch < run.epoch => eligible.push(tid),
+                _ => {}
+            }
+        }
+        if eligible.is_empty() {
+            let live: Vec<(usize, WaitSite)> = run
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match *s {
+                    Slot::Blocked { site, .. } => Some((t, site)),
+                    _ => None,
+                })
+                .collect();
+            if live.is_empty() {
+                // All done (or still Running somewhere — nothing to do).
+                return;
+            }
+            let external = live.iter().any(|&(_, s)| {
+                matches!(
+                    s,
+                    WaitSite::Critical | WaitSite::FutureGet | WaitSite::TaskWait
+                )
+            });
+            if external {
+                // Something outside the team may still make progress:
+                // let members really park, bounded, and re-probe.
+                run.freepark = true;
+                run.freepark_since.get_or_insert_with(Instant::now);
+            } else {
+                // Team-internal sites only: nothing can ever wake them.
+                let desc: Vec<String> = live.iter().map(|(t, s)| format!("t{t}@{s}")).collect();
+                run.verdict.get_or_insert(format!(
+                    "deterministic deadlock: every member blocked at a team-internal \
+                     site with no runnable member [{}]",
+                    desc.join(", ")
+                ));
+                run.freerun = true;
+            }
+            return;
+        }
+        run.freepark = false;
+        run.freepark_since = None;
+        let idx = if eligible.len() == 1 {
+            0
+        } else {
+            let step = run.decisions.len();
+            let i = run.chooser.choose(&eligible, step);
+            debug_assert!(i < eligible.len());
+            i.min(eligible.len() - 1)
+        };
+        if eligible.len() > 1 {
+            run.decisions.push(Decision {
+                chosen_idx: idx,
+                eligible: eligible.clone(),
+            });
+        }
+        run.token = Some(eligible[idx]);
+    }
+
+    /// Park the calling member until it is granted the token (or the
+    /// schedule ends / gives up).
+    fn wait_turn(&self, mut g: MutexGuard<'_, CtrlState>, tid: usize, gen: u64) {
+        let deadline = Instant::now() + WEDGE_TIMEOUT;
+        loop {
+            let Some(run) = g.run.as_mut() else { return };
+            if run.gen != gen || run.freerun {
+                return;
+            }
+            if run.token == Some(tid) {
+                run.slots[tid] = Slot::Running;
+                return;
+            }
+            let (ng, to) = self
+                .cv
+                .wait_timeout(g, BLOCKED_SLICE)
+                .unwrap_or_else(|e| e.into_inner());
+            g = ng;
+            if to.timed_out() && Instant::now() >= deadline {
+                if let Some(run) = g.run.as_mut() {
+                    if run.gen == gen && !run.freerun {
+                        run.verdict.get_or_insert_with(|| {
+                            "scheduler wedged: no progress for 10s (controller bug?)".into()
+                        });
+                        run.freerun = true;
+                    }
+                }
+                drop(g);
+                self.cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+impl SchedHook for Controller {
+    fn event(&self, ev: &HookEvent) {
+        let me = std::thread::current().id();
+        let mut g = self.lock();
+        let Some(run) = g.run.as_mut() else { return };
+        if run.freerun {
+            return;
+        }
+        let gen = run.gen;
+
+        // Region-scoped events: bind/unbind the team, never yield.
+        match *ev {
+            HookEvent::RegionStart { team, size, .. } => {
+                if run.team.is_none() && me == run.master {
+                    run.team = Some(team);
+                    run.n = size;
+                    run.arrived = 0;
+                    run.slots = vec![Slot::Absent; size];
+                    run.token = None;
+                    run.freepark = false;
+                    run.freepark_since = None;
+                    run.log.push(*ev);
+                }
+                return;
+            }
+            HookEvent::RegionEnd { team } => {
+                if run.team == Some(team) {
+                    run.log.push(*ev);
+                    run.team = None;
+                    run.token = None;
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        let team = ev.team();
+        let Some(tid) = ev.tid() else { return };
+        if run.team != Some(team) || tid >= run.slots.len() {
+            return; // other teams (and nested regions) run natively
+        }
+        if run.slots[tid] == Slot::Done {
+            // e.g. the master registering its region-join wait after its
+            // own MemberEnd — outside the controlled window.
+            return;
+        }
+        if run.slots[tid] == Slot::Absent && !matches!(ev, HookEvent::MemberStart { .. }) {
+            return; // defensive: nothing precedes MemberStart for a member
+        }
+        if run.log.len() >= MAX_EVENTS {
+            run.verdict
+                .get_or_insert_with(|| format!("event budget exceeded ({MAX_EVENTS} events)"));
+            run.freerun = true;
+            drop(g);
+            self.cv.notify_all();
+            return;
+        }
+
+        match *ev {
+            HookEvent::MemberStart { .. } => {
+                if run.slots[tid] != Slot::Absent {
+                    return;
+                }
+                run.log.push(*ev);
+                run.slots[tid] = Slot::Ready;
+                run.arrived += 1;
+                if run.arrived == run.n {
+                    Self::dispatch(run);
+                    self.cv.notify_all();
+                }
+                // Fall through: park until granted the token. Members
+                // arriving early park here too — no scheduling happens
+                // until the whole team has arrived.
+            }
+            HookEvent::MemberEnd { .. } => {
+                run.log.push(*ev);
+                run.slots[tid] = Slot::Done;
+                if run.token == Some(tid) {
+                    run.token = None;
+                }
+                run.epoch += 1;
+                Self::dispatch(run);
+                drop(g);
+                self.cv.notify_all();
+                return; // the thread is leaving; it must not park
+            }
+            _ => {
+                run.log.push(*ev);
+                run.epoch += 1;
+                if run.token == Some(tid) {
+                    run.token = None;
+                }
+                run.slots[tid] = Slot::Ready;
+                run.freepark = false;
+                run.freepark_since = None;
+                Self::dispatch(run);
+                self.cv.notify_all();
+            }
+        }
+        self.wait_turn(g, tid, gen);
+    }
+
+    fn blocked(&self, team: TeamId, tid: usize, site: WaitSite) -> bool {
+        if std::thread::panicking() {
+            // Never interfere with an unwinding member.
+            return false;
+        }
+        let mut g = self.lock();
+        let Some(run) = g.run.as_mut() else {
+            return false;
+        };
+        if run.freerun || !run.managed(team, tid) || run.arrived < run.n {
+            return false;
+        }
+        let gen = run.gen;
+        match run.slots[tid] {
+            Slot::Running | Slot::Blocked { .. } => {
+                // First block after running, or a failed re-probe: block
+                // at the *current* epoch so this member is not offered
+                // the token again until something else happens.
+                run.slots[tid] = Slot::Blocked {
+                    epoch: run.epoch,
+                    site,
+                };
+                if run.token == Some(tid) {
+                    run.token = None;
+                }
+                Self::dispatch(run);
+                self.cv.notify_all();
+            }
+            _ => return false,
+        }
+        // Park until granted the token (probe), told to really park
+        // (freepark / slice timeout), or a verdict ends the schedule.
+        let deadline = Instant::now() + WEDGE_TIMEOUT;
+        loop {
+            let Some(run) = g.run.as_mut() else {
+                return false;
+            };
+            if run.gen != gen {
+                return false;
+            }
+            if run.freerun {
+                let verdict = run.verdict.clone();
+                drop(g);
+                if let Some(v) = verdict {
+                    // Unwind the member so the region fails with the
+                    // verdict; sibling members follow via poisoning.
+                    panic!("aomp-check: {v}");
+                }
+                return false;
+            }
+            if run.token == Some(tid) {
+                run.slots[tid] = Slot::Running;
+                return true; // caller re-checks its condition now
+            }
+            if run.freepark {
+                let since = *run.freepark_since.get_or_insert_with(Instant::now);
+                if since.elapsed() > EXTERNAL_DEADLOCK_BUDGET {
+                    let v = format!(
+                        "deadlock: every member blocked (including external-capable \
+                         sites, last at {site}) with no progress for {}s",
+                        EXTERNAL_DEADLOCK_BUDGET.as_secs()
+                    );
+                    run.verdict.get_or_insert(v.clone());
+                    run.freerun = true;
+                    drop(g);
+                    self.cv.notify_all();
+                    panic!("aomp-check: {v}");
+                }
+                // Decline the park: the runtime's own bounded wait runs,
+                // re-checks poison/cancel and the condition, re-probes.
+                return false;
+            }
+            let (ng, to) = self
+                .cv
+                .wait_timeout(g, BLOCKED_SLICE)
+                .unwrap_or_else(|e| e.into_inner());
+            g = ng;
+            if to.timed_out() {
+                if Instant::now() >= deadline {
+                    if let Some(run) = g.run.as_mut() {
+                        if run.gen == gen && !run.freerun {
+                            run.verdict.get_or_insert_with(|| {
+                                "scheduler wedged: no progress for 10s (controller bug?)".into()
+                            });
+                            run.freerun = true;
+                        }
+                    }
+                    drop(g);
+                    self.cv.notify_all();
+                    return false;
+                }
+                // Slice expired: hand control back so the runtime re-runs
+                // its poison/cancel check (wall-clock cancels stay live),
+                // then it will re-probe us.
+                return false;
+            }
+        }
+    }
+}

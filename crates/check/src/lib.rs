@@ -1,0 +1,402 @@
+//! # aomp-check — deterministic schedule exploration for the aomp runtime
+//!
+//! A loom/shuttle-style concurrency checker, self-contained (no external
+//! dependencies, consistent with the workspace `shims/` policy). It drives
+//! a program built on [`aomp`] through *chosen* thread interleavings
+//! instead of whatever the OS scheduler happens to produce, so rare
+//! orderings — a cancel landing between a chunk handout and a barrier, two
+//! members racing a critical section — are tested by construction.
+//!
+//! ## How it works
+//!
+//! The runtime reports every scheduling decision site (barrier entry/exit,
+//! critical acquire/release, chunk handouts, broadcasts, ordered turns,
+//! task spawn/join, cancellation points, wait-site registration) through
+//! the [`aomp::hook`] layer. While an exploration runs, this crate
+//! registers a controller hook that serialises the team: exactly one
+//! member runs between decision points, and at each point a pluggable
+//! [`strategy::Chooser`] picks who goes next. The resulting decision
+//! sequence is a replayable [`Trace`]: the same seed (or the recorded
+//! trace itself) reproduces the execution byte-for-byte.
+//!
+//! Three strategies are built in:
+//!
+//! * **seeded random** ([`explore_random`]) — uniform choice per decision;
+//!   the seed *is* the schedule,
+//! * **bounded-exhaustive DFS** ([`explore_dfs`]) — enumerate every
+//!   interleaving whose divergence from first-runnable order happens
+//!   within a decision-depth cap,
+//! * **PCT** ([`explore_pct`]) — randomised priorities with `d` priority
+//!   change points (Burckhardt et al., ASPLOS '10).
+//!
+//! After every clean schedule the invariant oracles in [`oracle`] run over
+//! the event log (barrier lockstep, master-broadcast source, critical
+//! alternation); [`explore_differential`] additionally checks the
+//! program's result against its sequential golden value — the paper's
+//! "same results as the sequential version" claim, per schedule.
+//!
+//! ## Writing a checked test
+//!
+//! ```
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let report = aomp_check::explore_random(16, 0xA0_5EED, || {
+//!     let hits = AtomicUsize::new(0);
+//!     aomp::region::parallel_with(aomp::region::RegionConfig::new().threads(2), || {
+//!         hits.fetch_add(1, Ordering::SeqCst);
+//!         aomp::ctx::barrier();
+//!         hits.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     assert_eq!(hits.load(Ordering::SeqCst), 4);
+//! });
+//! report.assert_ok();
+//! assert!(report.distinct_schedules() > 1);
+//! ```
+//!
+//! A failing schedule panics (via [`Report::assert_ok`]) with the seed,
+//! the strategy, and the full decision trace; [`replay`] re-runs exactly
+//! that interleaving under a debugger or with extra logging.
+
+#![warn(missing_docs)]
+
+mod controller;
+pub mod oracle;
+pub mod rng;
+pub mod strategy;
+pub mod trace;
+
+pub use trace::{Decision, Trace};
+
+use std::collections::HashSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use controller::CONTROLLER;
+use strategy::{Chooser, PctChooser, PrefixChooser, RandomChooser};
+
+/// Identity of one explored schedule: enough to reproduce it exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleId {
+    /// Seeded-random strategy; the seed fully determines the schedule.
+    Random {
+        /// The schedule's seed.
+        seed: u64,
+    },
+    /// PCT strategy; seed plus priority-change depth determine it.
+    Pct {
+        /// The schedule's seed.
+        seed: u64,
+        /// Number of priority-change points.
+        depth: usize,
+    },
+    /// Bounded-exhaustive DFS; the decision prefix determines it (choices
+    /// past the prefix take the first eligible member).
+    Dfs {
+        /// Decision prefix (indices into each step's eligible set).
+        prefix: Vec<usize>,
+    },
+    /// Exact replay of a previously recorded trace.
+    Replay,
+}
+
+impl fmt::Display for ScheduleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleId::Random { seed } => write!(f, "random schedule, seed {seed:#018x}"),
+            ScheduleId::Pct { seed, depth } => {
+                write!(f, "PCT schedule, seed {seed:#018x}, depth {depth}")
+            }
+            ScheduleId::Dfs { prefix } => write!(f, "DFS schedule, prefix {prefix:?}"),
+            ScheduleId::Replay => write!(f, "trace replay"),
+        }
+    }
+}
+
+/// Outcome of one explored schedule.
+#[derive(Debug)]
+pub struct RunReport {
+    /// How to reproduce this schedule.
+    pub id: ScheduleId,
+    /// The decision sequence the controller recorded.
+    pub trace: Trace,
+    /// Number of hook events observed (a proxy for schedule length even
+    /// when no decision point had more than one eligible member).
+    pub events: usize,
+    /// Why the schedule failed: the program's panic message, a controller
+    /// verdict (deadlock, budget), or an invariant-oracle violation.
+    /// `None` for a clean schedule.
+    pub failure: Option<String>,
+}
+
+/// Aggregate result of one exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Every explored schedule, in exploration order.
+    pub runs: Vec<RunReport>,
+    /// True when a schedule cap stopped a DFS before the frontier was
+    /// exhausted (coverage is a sample, not a proof).
+    pub truncated: bool,
+}
+
+impl Report {
+    /// Number of schedules explored.
+    pub fn schedules(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of *distinct* interleavings explored, by trace digest.
+    /// Schedules whose decision sequences collide (e.g. two seeds that
+    /// made identical choices) count once.
+    pub fn distinct_schedules(&self) -> usize {
+        self.digests().len()
+    }
+
+    /// The set of trace digests explored.
+    pub fn digests(&self) -> HashSet<u64> {
+        self.runs.iter().map(|r| r.trace.digest()).collect()
+    }
+
+    /// The failing schedules, in exploration order.
+    pub fn failures(&self) -> impl Iterator<Item = &RunReport> {
+        self.runs.iter().filter(|r| r.failure.is_some())
+    }
+
+    /// Panic with a reproduction recipe (schedule id + failure + full
+    /// trace) if any schedule failed. The printed seed replays locally:
+    /// `replay_random(seed, f)` / `replay(trace, f)`.
+    pub fn assert_ok(&self) {
+        let n = self.failures().count();
+        if n == 0 {
+            return;
+        }
+        let first = self.failures().next().expect("n > 0");
+        panic!(
+            "aomp-check: {n} of {} schedules failed\nfirst failure: {}\n{}\n{}",
+            self.schedules(),
+            first.id,
+            first.failure.as_deref().unwrap_or(""),
+            first.trace,
+        );
+    }
+}
+
+/// Schedule-count knob for CI: `AOMP_CHECK_SEEDS` overrides `default`
+/// (the CI `schedule-check` job sets it; locally the default applies, and
+/// re-exporting the env var reproduces CI's coverage with one variable).
+pub fn seeds_from_env(default: usize) -> usize {
+    std::env::var("AOMP_CHECK_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// One exploration at a time: the hook registry is process-global, so
+/// concurrent explorations (e.g. `cargo test` running checked tests on
+/// several harness threads) must serialise.
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// While exploring, intentional failures (a differential-oracle assert, a
+/// deadlock verdict unwinding a member) are *expected* on many schedules;
+/// the default panic hook would spray backtraces for each. Silence it for
+/// the session and restore on drop.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+struct QuietPanics {
+    prev: Option<PanicHook>,
+}
+
+impl QuietPanics {
+    fn install() -> Self {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        Self { prev: Some(prev) }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            let _ = std::panic::take_hook();
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one schedule of `f` under `chooser`. Must be called with the
+/// session lock held.
+fn run_schedule(id: ScheduleId, chooser: Box<dyn Chooser>, f: &dyn Fn()) -> RunReport {
+    CONTROLLER.install(chooser);
+    aomp::hook::register(&CONTROLLER);
+    let caught = catch_unwind(AssertUnwindSafe(f));
+    aomp::hook::unregister();
+    let (decisions, log, verdict) = CONTROLLER.harvest();
+    let trace = Trace { decisions };
+    let failure = match caught {
+        Err(p) => Some(format!("panicked: {}", panic_message(p.as_ref()))),
+        Ok(()) => verdict
+            .map(|v| format!("verdict: {v}"))
+            .or_else(|| oracle::check_invariants(&log).err()),
+    };
+    RunReport {
+        id,
+        trace,
+        events: log.len(),
+        failure,
+    }
+}
+
+fn lock_session() -> std::sync::MutexGuard<'static, ()> {
+    SESSION.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Explore `schedules` seeded-random interleavings of `f`. Schedule `i`
+/// uses seed `mix64(base_seed) + i`-style derivation, so the whole
+/// exploration is a pure function of `base_seed` and any failure names
+/// the exact seed to replay.
+pub fn explore_random(schedules: usize, base_seed: u64, f: impl Fn()) -> Report {
+    let _s = lock_session();
+    let _q = QuietPanics::install();
+    let mut runs = Vec::with_capacity(schedules);
+    for i in 0..schedules as u64 {
+        let seed = rng::mix64(base_seed ^ rng::mix64(i));
+        runs.push(run_schedule(
+            ScheduleId::Random { seed },
+            Box::new(RandomChooser::new(seed)),
+            &f,
+        ));
+    }
+    Report {
+        runs,
+        truncated: false,
+    }
+}
+
+/// Replay the seeded-random schedule `seed` (as printed by a failing
+/// [`Report::assert_ok`]) exactly once.
+pub fn replay_random(seed: u64, f: impl Fn()) -> RunReport {
+    let _s = lock_session();
+    let _q = QuietPanics::install();
+    run_schedule(
+        ScheduleId::Random { seed },
+        Box::new(RandomChooser::new(seed)),
+        &f,
+    )
+}
+
+/// Replay a recorded trace exactly. With a deterministic program this
+/// reproduces the original execution decision-for-decision (the returned
+/// report's digest equals the input trace's digest).
+pub fn replay(trace: &Trace, f: impl Fn()) -> RunReport {
+    let _s = lock_session();
+    let _q = QuietPanics::install();
+    let prefix: Vec<usize> = trace.decisions.iter().map(|d| d.chosen_idx).collect();
+    run_schedule(ScheduleId::Replay, Box::new(PrefixChooser::new(prefix)), &f)
+}
+
+/// Bounded-exhaustive DFS: enumerate every interleaving of `f` whose
+/// divergence from first-runnable order happens within the first
+/// `depth_cap` decision points, up to `max_schedules` schedules (the
+/// report is marked [truncated](Report::truncated) if the cap hit first).
+///
+/// With a `depth_cap` at least the program's decision count this is a
+/// complete enumeration of the serialised schedule space.
+pub fn explore_dfs(max_schedules: usize, depth_cap: usize, f: impl Fn()) -> Report {
+    let _s = lock_session();
+    let _q = QuietPanics::install();
+    let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut runs = Vec::new();
+    let mut truncated = false;
+    while let Some(prefix) = frontier.pop() {
+        if runs.len() >= max_schedules {
+            truncated = true;
+            break;
+        }
+        let run = run_schedule(
+            ScheduleId::Dfs {
+                prefix: prefix.clone(),
+            },
+            Box::new(PrefixChooser::new(prefix.clone())),
+            &f,
+        );
+        // Branch on every decision point past the fixed prefix (those at
+        // or before it were enumerated at shallower frontier levels).
+        for (i, d) in run.trace.decisions.iter().enumerate().skip(prefix.len()) {
+            if i >= depth_cap {
+                break;
+            }
+            for alt in 1..d.eligible.len() {
+                let mut p: Vec<usize> = run.trace.decisions[..i]
+                    .iter()
+                    .map(|x| x.chosen_idx)
+                    .collect();
+                p.push(alt);
+                frontier.push(p);
+            }
+        }
+        runs.push(run);
+    }
+    Report { runs, truncated }
+}
+
+/// Explore `schedules` PCT interleavings of `f` with `depth` priority
+/// change points each. A probe schedule (seeded random) first estimates
+/// the schedule length that change points are sampled over.
+pub fn explore_pct(schedules: usize, base_seed: u64, depth: usize, f: impl Fn()) -> Report {
+    let _s = lock_session();
+    let _q = QuietPanics::install();
+    let probe_seed = rng::mix64(base_seed);
+    let probe = run_schedule(
+        ScheduleId::Random { seed: probe_seed },
+        Box::new(RandomChooser::new(probe_seed)),
+        &f,
+    );
+    let len_bound = (probe.trace.len() * 2).max(16);
+    let mut runs = vec![probe];
+    for i in 0..schedules as u64 {
+        let seed = rng::mix64(base_seed ^ rng::mix64(i ^ 0x9C75_A1E5));
+        runs.push(run_schedule(
+            ScheduleId::Pct { seed, depth },
+            Box::new(PctChooser::new(seed, depth, len_bound)),
+            &f,
+        ));
+    }
+    Report {
+        runs,
+        truncated: false,
+    }
+}
+
+/// Differential oracle: explore `schedules` random interleavings of
+/// `parallel`, asserting each schedule's result equals `golden` (the
+/// sequential semantics — compute it with the `seq` version of the
+/// kernel). Bitwise/structural equality via `PartialEq`, per the paper's
+/// "equal results" claim.
+pub fn explore_differential<T>(
+    schedules: usize,
+    base_seed: u64,
+    golden: T,
+    parallel: impl Fn() -> T,
+) -> Report
+where
+    T: PartialEq + fmt::Debug,
+{
+    explore_random(schedules, base_seed, || {
+        let got = parallel();
+        assert!(
+            got == golden,
+            "differential oracle: parallel result {got:?} != sequential golden {golden:?}"
+        );
+    })
+}

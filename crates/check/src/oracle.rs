@@ -1,0 +1,242 @@
+//! Invariant oracles over a schedule's event log.
+//!
+//! These run after every *clean* schedule (no panic, no verdict) and
+//! assert runtime invariants that must hold in any legal interleaving:
+//!
+//! * **Barrier lockstep** — barrier rounds are generation-monotonic: a
+//!   round's release requires every member to have arrived, so all `n`
+//!   exits of round `k` (distinct members, exactly one leader) appear in
+//!   the serialised log before any exit of round `k+1`.
+//! * **Master broadcast source** — `@Master` broadcast values are only
+//!   ever published by member 0.
+//! * **Critical alternation** — acquire/release events of one lock
+//!   alternate correctly: a lock acquired while held is a re-entrant
+//!   acquire by the same member, and releases come from the holder.
+//!
+//! The oracles are deliberately tolerant of *interrupted* regions: after
+//! a cancellation request or an early member exit, partial barrier rounds
+//! and unmatched acquires are legal (members unwound mid-construct), so
+//! checking stops for that region.
+
+use aomp::error::WaitSite;
+use aomp::hook::HookEvent;
+use std::collections::HashMap;
+
+/// Check every built-in invariant over one schedule's event log.
+pub fn check_invariants(log: &[HookEvent]) -> Result<(), String> {
+    barrier_lockstep(log)?;
+    master_publishes_from_master(log)?;
+    critical_alternation(log)?;
+    Ok(())
+}
+
+/// Barrier generation monotonicity (see module docs).
+fn barrier_lockstep(log: &[HookEvent]) -> Result<(), String> {
+    let mut n = 0usize;
+    let mut round: Vec<(usize, bool)> = Vec::new();
+    let mut rounds_done = 0u64;
+    let mut degraded = false;
+    for ev in log {
+        match *ev {
+            HookEvent::RegionStart { size, .. } => {
+                n = size;
+                round.clear();
+                rounds_done = 0;
+                degraded = false;
+            }
+            HookEvent::CancelRequested { .. } => degraded = true,
+            HookEvent::MemberEnd { .. } if !round.is_empty() => {
+                // A member left mid-round: the region was interrupted
+                // (poison/cancel); stop judging its barrier rounds.
+                degraded = true;
+            }
+            HookEvent::BarrierExit { tid, leader, .. } if !degraded && n > 0 => {
+                if round.iter().any(|&(t, _)| t == tid) {
+                    return Err(format!(
+                        "barrier lockstep violated: t{tid} exited round {rounds_done} \
+                         twice before the round completed"
+                    ));
+                }
+                round.push((tid, leader));
+                if round.len() == n {
+                    let leaders = round.iter().filter(|&&(_, l)| l).count();
+                    if leaders != 1 {
+                        return Err(format!(
+                            "barrier round {rounds_done} completed with {leaders} \
+                             leaders (expected exactly 1): {round:?}"
+                        ));
+                    }
+                    round.clear();
+                    rounds_done += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// `@Master` broadcasts must be published by member 0.
+fn master_publishes_from_master(log: &[HookEvent]) -> Result<(), String> {
+    for ev in log {
+        if let HookEvent::BroadcastPublish { tid, site, .. } = *ev {
+            if site == WaitSite::MasterBroadcast && tid != 0 {
+                return Err(format!("master broadcast published by t{tid} (must be t0)"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Mutual-exclusion sanity over critical acquire/release events.
+fn critical_alternation(log: &[HookEvent]) -> Result<(), String> {
+    // lock id -> (holder tid, re-entrancy depth)
+    let mut held: HashMap<usize, (usize, usize)> = HashMap::new();
+    let mut degraded = false;
+    for ev in log {
+        match *ev {
+            HookEvent::RegionStart { .. } => {
+                held.clear();
+                degraded = false;
+            }
+            HookEvent::CancelRequested { .. } => degraded = true,
+            HookEvent::MemberEnd { .. } if !held.is_empty() => {
+                // An unwinding member skips its release events.
+                degraded = true;
+            }
+            HookEvent::CriticalAcquire { tid, lock, .. } if !degraded => {
+                match held.get_mut(&lock) {
+                    Some((holder, depth)) => {
+                        if *holder != tid {
+                            return Err(format!(
+                                "critical violated: t{tid} acquired lock {lock:#x} \
+                                 while t{holder} holds it"
+                            ));
+                        }
+                        *depth += 1; // re-entrant
+                    }
+                    None => {
+                        held.insert(lock, (tid, 1));
+                    }
+                }
+            }
+            HookEvent::CriticalRelease { tid, lock, .. } if !degraded => {
+                match held.get_mut(&lock) {
+                    Some((holder, depth)) if *holder == tid => {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            held.remove(&lock);
+                        }
+                    }
+                    Some((holder, _)) => {
+                        return Err(format!(
+                            "critical violated: t{tid} released lock {lock:#x} \
+                             held by t{holder}"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "critical violated: t{tid} released lock {lock:#x} \
+                             that is not held"
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(n: usize) -> HookEvent {
+        HookEvent::RegionStart {
+            team: 1,
+            size: n,
+            level: 1,
+        }
+    }
+
+    fn exit(tid: usize, leader: bool) -> HookEvent {
+        HookEvent::BarrierExit {
+            team: 1,
+            tid,
+            leader,
+        }
+    }
+
+    #[test]
+    fn clean_rounds_pass() {
+        let log = vec![
+            region(2),
+            exit(0, false),
+            exit(1, true),
+            exit(1, false),
+            exit(0, true),
+        ];
+        assert!(barrier_lockstep(&log).is_ok());
+    }
+
+    #[test]
+    fn duplicate_member_in_round_fails() {
+        let log = vec![region(2), exit(0, false), exit(0, true)];
+        assert!(barrier_lockstep(&log).is_err());
+    }
+
+    #[test]
+    fn two_leaders_fail() {
+        let log = vec![region(2), exit(0, true), exit(1, true)];
+        assert!(barrier_lockstep(&log).is_err());
+    }
+
+    #[test]
+    fn cancelled_region_tolerates_partial_round() {
+        let log = vec![
+            region(2),
+            HookEvent::CancelRequested { team: 1, tid: 0 },
+            exit(0, true),
+        ];
+        assert!(barrier_lockstep(&log).is_ok());
+    }
+
+    #[test]
+    fn master_publish_from_worker_fails() {
+        let log = vec![HookEvent::BroadcastPublish {
+            team: 1,
+            tid: 2,
+            site: WaitSite::MasterBroadcast,
+        }];
+        assert!(master_publishes_from_master(&log).is_err());
+    }
+
+    #[test]
+    fn single_publish_from_any_tid_is_fine() {
+        let log = vec![HookEvent::BroadcastPublish {
+            team: 1,
+            tid: 2,
+            site: WaitSite::SingleBroadcast,
+        }];
+        assert!(check_invariants(&log).is_ok());
+    }
+
+    #[test]
+    fn critical_reentrancy_and_alternation() {
+        let acq = |tid, lock| HookEvent::CriticalAcquire { team: 1, tid, lock };
+        let rel = |tid, lock| HookEvent::CriticalRelease { team: 1, tid, lock };
+        let ok = vec![
+            region(2),
+            acq(0, 8),
+            acq(0, 8),
+            rel(0, 8),
+            rel(0, 8),
+            acq(1, 8),
+            rel(1, 8),
+        ];
+        assert!(critical_alternation(&ok).is_ok());
+        let bad = vec![region(2), acq(0, 8), acq(1, 8)];
+        assert!(critical_alternation(&bad).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Schedule-selection strategies.
+//!
+//! A [`Chooser`] is consulted at every decision point of one schedule.
+//! The explorer builds a fresh chooser per schedule:
+//!
+//! * [`RandomChooser`] — uniform choice from a per-schedule seed. Cheap,
+//!   surprisingly effective, and replayable (the seed *is* the schedule).
+//! * [`PrefixChooser`] — follow a fixed decision prefix then always pick
+//!   the first eligible member. This is both the DFS frontier executor
+//!   (bounded-exhaustive enumeration) and the trace replayer.
+//! * [`PctChooser`] — probabilistic concurrency testing: random static
+//!   priorities with `d` random priority-change points. Finds bugs that
+//!   need a rare ordering at a specific step with provable probability
+//!   bounds (Burckhardt et al., ASPLOS '10).
+
+use crate::rng::{mix64, SplitMix64};
+
+/// Per-schedule decision source. `eligible` is the sorted list of
+/// runnable member ids (always non-empty); `step` is the index of this
+/// decision within the schedule. Returns an index into `eligible`.
+pub trait Chooser: Send {
+    /// Choose which eligible member runs next.
+    fn choose(&mut self, eligible: &[usize], step: usize) -> usize;
+}
+
+/// Uniform random choice from a seed.
+#[derive(Debug)]
+pub struct RandomChooser {
+    rng: SplitMix64,
+}
+
+impl RandomChooser {
+    /// Chooser for one schedule of the random strategy.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl Chooser for RandomChooser {
+    fn choose(&mut self, eligible: &[usize], _step: usize) -> usize {
+        self.rng.below(eligible.len())
+    }
+}
+
+/// Follow `prefix` (indices into the eligible set at each step), then
+/// first-eligible. With an empty prefix this is the DFS root schedule;
+/// with a full recorded trace it is exact replay.
+#[derive(Debug)]
+pub struct PrefixChooser {
+    prefix: Vec<usize>,
+}
+
+impl PrefixChooser {
+    /// Chooser following the given decision prefix.
+    pub fn new(prefix: Vec<usize>) -> Self {
+        Self { prefix }
+    }
+}
+
+impl Chooser for PrefixChooser {
+    fn choose(&mut self, eligible: &[usize], step: usize) -> usize {
+        match self.prefix.get(step) {
+            // Clamp defensively: with a deterministic program the width
+            // at `step` equals the recorded width, so this is a no-op.
+            Some(&idx) => idx.min(eligible.len() - 1),
+            None => 0,
+        }
+    }
+}
+
+/// PCT-style chooser: every member gets a random priority derived from
+/// the seed; the highest-priority eligible member always runs. At each of
+/// `d` random change points the would-be winner is demoted below all
+/// current priorities, forcing a context switch exactly there.
+#[derive(Debug)]
+pub struct PctChooser {
+    seed: u64,
+    /// Decision steps at which a demotion fires.
+    change_steps: Vec<usize>,
+    /// Demotions applied so far: (tid, demoted priority). Later demotions
+    /// sink lower than earlier ones.
+    demoted: Vec<(usize, u64)>,
+}
+
+impl PctChooser {
+    /// Chooser for one PCT schedule: `depth` priority-change points
+    /// sampled over an assumed schedule length of `len_bound` decisions.
+    pub fn new(seed: u64, depth: usize, len_bound: usize) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x9C7_5A1E);
+        let mut change_steps: Vec<usize> =
+            (0..depth).map(|_| rng.below(len_bound.max(1))).collect();
+        change_steps.sort_unstable();
+        change_steps.dedup();
+        Self {
+            seed,
+            change_steps,
+            demoted: Vec::new(),
+        }
+    }
+
+    fn priority(&self, tid: usize) -> u64 {
+        // The most recent demotion of a tid wins.
+        if let Some(&(_, p)) = self.demoted.iter().rev().find(|&&(t, _)| t == tid) {
+            return p;
+        }
+        // Static priorities live in the upper half so every demotion
+        // (counting down from a low base) sinks below all of them.
+        (1 << 63) | mix64(self.seed ^ (tid as u64).wrapping_mul(0x100_0001))
+    }
+
+    fn winner(&self, eligible: &[usize]) -> usize {
+        let mut best = 0;
+        for i in 1..eligible.len() {
+            if self.priority(eligible[i]) > self.priority(eligible[best]) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl Chooser for PctChooser {
+    fn choose(&mut self, eligible: &[usize], step: usize) -> usize {
+        let mut best = self.winner(eligible);
+        if self.change_steps.binary_search(&step).is_ok() {
+            // Demote the would-be winner below everything seen so far:
+            // priorities count down from the middle of the range, below
+            // all static priorities and all earlier demotions.
+            let p = (u64::MAX >> 1) - self.demoted.len() as u64;
+            self.demoted.push((eligible[best], p));
+            best = self.winner(eligible);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_chooser_is_deterministic_per_seed() {
+        let e = [0usize, 1, 2];
+        let a: Vec<usize> = {
+            let mut c = RandomChooser::new(9);
+            (0..32).map(|s| c.choose(&e, s)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut c = RandomChooser::new(9);
+            (0..32).map(|s| c.choose(&e, s)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefix_chooser_follows_then_first() {
+        let mut c = PrefixChooser::new(vec![1, 0, 1]);
+        let e = [0usize, 1];
+        assert_eq!(c.choose(&e, 0), 1);
+        assert_eq!(c.choose(&e, 1), 0);
+        assert_eq!(c.choose(&e, 2), 1);
+        assert_eq!(c.choose(&e, 3), 0); // past prefix: first eligible
+    }
+
+    #[test]
+    fn pct_demotes_at_change_points() {
+        let e = [0usize, 1];
+        let mut c = PctChooser::new(3, 4, 8);
+        // Whatever the priorities, choices must stay in range and be
+        // reproducible from the seed.
+        let a: Vec<usize> = (0..16).map(|s| c.choose(&e, s)).collect();
+        let mut c2 = PctChooser::new(3, 4, 8);
+        let b: Vec<usize> = (0..16).map(|s| c2.choose(&e, s)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 2));
+    }
+}

@@ -1,0 +1,132 @@
+//! Replayable schedule traces.
+//!
+//! A trace is the sequence of decisions the controller made while running
+//! one schedule: at each decision point, which member (of the eligible
+//! set) was granted the token. Because the controller serialises the team
+//! — exactly one member runs between decision points — the trace plus the
+//! program determines the execution, so a failing schedule replays
+//! byte-for-byte from its trace (or from the seed that generated it).
+
+use crate::rng::mix64;
+use std::fmt;
+
+/// One scheduling decision: the eligible members at that point and which
+/// one was chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Index into `eligible` that was chosen.
+    pub chosen_idx: usize,
+    /// Member ids that were runnable at this point (sorted by tid).
+    pub eligible: Vec<usize>,
+}
+
+impl Decision {
+    /// The member id that was granted the token.
+    pub fn chosen_tid(&self) -> usize {
+        self.eligible[self.chosen_idx]
+    }
+}
+
+/// The full decision sequence of one explored schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Decisions in the order they were made.
+    pub decisions: Vec<Decision>,
+}
+
+impl Trace {
+    /// Order-sensitive digest of the decision sequence. Two schedules
+    /// with equal digests took the same path through every decision
+    /// point; distinct digests certify distinct interleavings.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xA017_5EEDu64;
+        for d in &self.decisions {
+            h = mix64(h ^ d.chosen_tid() as u64);
+            h = mix64(h ^ (d.eligible.len() as u64) << 32);
+            for &t in &d.eligible {
+                h = mix64(h ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            }
+        }
+        h
+    }
+
+    /// Number of decision points.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True when the schedule never reached a decision point (e.g. a
+    /// single-member team).
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const MAX_SHOWN: usize = 200;
+        writeln!(
+            f,
+            "trace: {} decisions, digest {:#018x}",
+            self.decisions.len(),
+            self.digest()
+        )?;
+        for (i, d) in self.decisions.iter().take(MAX_SHOWN).enumerate() {
+            writeln!(
+                f,
+                "  step {i:4}: ran t{} of {:?}",
+                d.chosen_tid(),
+                d.eligible
+            )?;
+        }
+        if self.decisions.len() > MAX_SHOWN {
+            writeln!(
+                f,
+                "  ... {} more decisions elided",
+                self.decisions.len() - MAX_SHOWN
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(chosen_idx: usize, eligible: &[usize]) -> Decision {
+        Decision {
+            chosen_idx,
+            eligible: eligible.to_vec(),
+        }
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = Trace {
+            decisions: vec![d(0, &[0, 1]), d(1, &[0, 1])],
+        };
+        let b = Trace {
+            decisions: vec![d(1, &[0, 1]), d(0, &[0, 1])],
+        };
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn equal_traces_equal_digests() {
+        let a = Trace {
+            decisions: vec![d(0, &[0, 2]), d(0, &[1])],
+        };
+        assert_eq!(a.digest(), a.clone().digest());
+    }
+
+    #[test]
+    fn display_shows_steps() {
+        let t = Trace {
+            decisions: vec![d(1, &[0, 3])],
+        };
+        let s = t.to_string();
+        assert!(s.contains("ran t3"));
+        assert!(s.contains("1 decisions"));
+    }
+}

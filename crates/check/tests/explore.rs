@@ -1,0 +1,244 @@
+//! Self-tests of the schedule-exploration harness: determinism of every
+//! strategy, schedule-space coverage, oracle verdicts (differential,
+//! deadlock, lost cancellation), and byte-for-byte replay of failures
+//! from their printed seed or recorded trace.
+
+use aomp::prelude::*;
+use aomp_check as check;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A 3-thread program with enough decision points (two critical sections
+/// and a barrier per member) that its schedule space dwarfs the seed
+/// budget: random exploration should essentially never collide.
+fn chatter() {
+    let h = CriticalHandle::new();
+    let sum = AtomicUsize::new(0);
+    region::parallel_with(RegionConfig::new().threads(3), || {
+        h.run(|| {
+            sum.fetch_add(1, Ordering::SeqCst);
+        });
+        barrier();
+        h.run(|| {
+            sum.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    assert_eq!(sum.load(Ordering::SeqCst), 6);
+}
+
+#[test]
+fn random_exploration_is_deterministic_per_base_seed() {
+    let digests = |base| -> Vec<u64> {
+        check::explore_random(24, base, chatter)
+            .runs
+            .iter()
+            .map(|r| r.trace.digest())
+            .collect()
+    };
+    let a = digests(0xA0);
+    let b = digests(0xA0);
+    assert_eq!(a, b, "same base seed must reproduce identical traces");
+    assert_ne!(a, digests(0xB1), "distinct base seeds must diverge");
+}
+
+#[test]
+fn explores_a_thousand_distinct_schedules() {
+    let report = check::explore_random(1100, 0x5CED_0001, chatter);
+    report.assert_ok();
+    assert_eq!(report.schedules(), 1100);
+    assert!(
+        report.distinct_schedules() >= 1000,
+        "expected >= 1000 distinct interleavings, got {} of {}",
+        report.distinct_schedules(),
+        report.schedules()
+    );
+}
+
+#[test]
+fn dfs_enumerates_unique_schedules_deterministically() {
+    let program = || {
+        let h = CriticalHandle::new();
+        let hits = AtomicUsize::new(0);
+        region::parallel_with(RegionConfig::new().threads(2), || {
+            h.run(|| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            barrier();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    };
+    let a = check::explore_dfs(6000, 64, program);
+    a.assert_ok();
+    assert!(!a.truncated, "tiny program must be fully enumerated");
+    assert!(a.schedules() > 1, "must branch at least once");
+    assert_eq!(
+        a.distinct_schedules(),
+        a.schedules(),
+        "DFS must never enumerate the same interleaving twice"
+    );
+    let b = check::explore_dfs(6000, 64, program);
+    assert_eq!(
+        a.digests(),
+        b.digests(),
+        "DFS frontier must be deterministic"
+    );
+}
+
+#[test]
+fn pct_exploration_is_deterministic_per_base_seed() {
+    let digests = |base| -> Vec<u64> {
+        check::explore_pct(16, base, 3, chatter)
+            .runs
+            .iter()
+            .map(|r| r.trace.digest())
+            .collect()
+    };
+    assert_eq!(digests(0xF00D), digests(0xF00D));
+}
+
+/// The deliberately broken program of the acceptance checklist: a
+/// read-then-write "increment" split across two critical sections, so a
+/// schedule that interleaves both reads before either write loses an
+/// update. Sequential semantics say the counter ends at 2.
+fn lost_update() {
+    let h = CriticalHandle::new();
+    let counter = AtomicUsize::new(0);
+    region::parallel_with(RegionConfig::new().threads(2), || {
+        let v = h.run(|| counter.load(Ordering::SeqCst));
+        h.run(|| counter.store(v + 1, Ordering::SeqCst));
+    });
+    let got = counter.load(Ordering::SeqCst);
+    assert_eq!(got, 2, "lost update: counter ended at {got}");
+}
+
+#[test]
+fn injected_race_is_caught_and_replays_from_seed_and_trace() {
+    let report = check::explore_random(64, 0xBAD_5EED, lost_update);
+    let failing: Vec<&check::RunReport> = report.failures().collect();
+    assert!(
+        !failing.is_empty(),
+        "64 random schedules must hit the lost-update interleaving"
+    );
+    assert!(
+        failing.len() < report.schedules(),
+        "the bug needs a specific interleaving; some schedules must pass"
+    );
+    let first = failing[0];
+    let msg = first.failure.as_deref().unwrap();
+    assert!(msg.contains("lost update"), "failure names the bug: {msg}");
+
+    // Replay from the printed seed: same trace, same failure.
+    let check::ScheduleId::Random { seed } = first.id else {
+        panic!("random exploration must yield random schedule ids");
+    };
+    let by_seed = check::replay_random(seed, lost_update);
+    assert_eq!(by_seed.trace.digest(), first.trace.digest());
+    assert!(by_seed.failure.as_deref().unwrap().contains("lost update"));
+
+    // Replay from the recorded trace: byte-for-byte the same execution.
+    let by_trace = check::replay(&first.trace, lost_update);
+    assert_eq!(by_trace.trace.digest(), first.trace.digest());
+    assert!(by_trace.failure.as_deref().unwrap().contains("lost update"));
+}
+
+#[test]
+fn differential_oracle_catches_the_race_via_golden_value() {
+    let report = check::explore_differential(64, 0xD1FF, 2usize, || {
+        let h = CriticalHandle::new();
+        let counter = AtomicUsize::new(0);
+        region::parallel_with(RegionConfig::new().threads(2), || {
+            let v = h.run(|| counter.load(Ordering::SeqCst));
+            h.run(|| counter.store(v + 1, Ordering::SeqCst));
+        });
+        counter.load(Ordering::SeqCst)
+    });
+    assert!(report.failures().count() > 0);
+    assert!(report
+        .failures()
+        .next()
+        .unwrap()
+        .failure
+        .as_deref()
+        .unwrap()
+        .contains("differential oracle"));
+}
+
+#[test]
+fn mismatched_barriers_get_an_instant_deadlock_verdict() {
+    // t1 waits at a second barrier round t0 never joins: a user bug that
+    // wall-clock tests can only see as a hang (or via the watchdog). The
+    // checker proves no runnable member remains and names the site —
+    // deterministically, with no timeout in the loop.
+    let report = check::explore_random(4, 0xDEAD, || {
+        let r = region::try_parallel_with(RegionConfig::new().threads(2), || {
+            barrier();
+            if thread_id() == 1 {
+                barrier();
+            }
+        });
+        assert!(r.is_err(), "a deadlocked region must not report success");
+    });
+    assert_eq!(report.failures().count(), report.schedules());
+    for run in report.failures() {
+        let msg = run.failure.as_deref().unwrap();
+        assert!(
+            msg.contains("deterministic deadlock") && msg.contains("barrier"),
+            "verdict names the deadlock and the site: {msg}"
+        );
+    }
+}
+
+#[test]
+fn cancellation_is_never_lost_under_any_schedule() {
+    check::explore_random(check::seeds_from_env(48), 0xCA7CE1, || {
+        let r = region::try_parallel_with(RegionConfig::new().threads(2).cancellable(true), || {
+            if thread_id() == 0 {
+                assert!(cancel_team(), "team is cancellable");
+            }
+            barrier();
+        });
+        assert_eq!(
+            r,
+            Err(RegionError::Cancelled),
+            "the cancel must reach every member in every interleaving"
+        );
+    })
+    .assert_ok();
+}
+
+#[test]
+fn clean_constructs_pass_every_invariant_oracle() {
+    let single = Single::new();
+    let master = Master::new();
+    let for_c = ForConstruct::new(Schedule::Dynamic { chunk: 2 });
+    let report = check::explore_random(check::seeds_from_env(48), 0x0C1EA2, || {
+        let total = AtomicUsize::new(0);
+        let singles = AtomicUsize::new(0);
+        region::parallel_with(RegionConfig::new().threads(3), || {
+            let base = single.run(|| {
+                singles.fetch_add(1, Ordering::SeqCst);
+                10usize
+            });
+            barrier();
+            let off = master.run(|| 1usize);
+            for_c.execute(LoopRange::upto(0, 12), |lo, hi, step| {
+                let mut i = lo;
+                while i < hi {
+                    total.fetch_add(base + off, Ordering::SeqCst);
+                    i += step;
+                }
+            });
+        });
+        assert_eq!(singles.load(Ordering::SeqCst), 1, "single ran once");
+        assert_eq!(total.load(Ordering::SeqCst), 12 * 11);
+    });
+    report.assert_ok();
+    assert!(report.distinct_schedules() > 1);
+}
+
+#[test]
+fn report_digest_bookkeeping_is_consistent() {
+    let report = check::explore_random(8, 0xB00C, chatter);
+    assert_eq!(report.schedules(), 8);
+    assert_eq!(report.digests().len(), report.distinct_schedules());
+    assert_eq!(report.failures().count(), 0);
+}

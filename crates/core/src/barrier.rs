@@ -67,7 +67,7 @@ impl SenseBarrier {
     /// on exactly one thread per round (the last arriver), mirroring
     /// `std::sync::Barrier`'s leader token.
     pub fn wait(&self) -> bool {
-        self.wait_inner(&|| {}, None)
+        self.wait_inner(&|| {}, &|| false, None)
             .expect("unbounded barrier wait cannot time out")
     }
 
@@ -88,7 +88,17 @@ impl SenseBarrier {
     /// (with `TeamPoisoned` or `Cancelled`). This is the hook team
     /// primitives use for poison *and* cancellation handling.
     pub(crate) fn wait_checked(&self, check: &dyn Fn()) -> bool {
-        self.wait_inner(check, None)
+        self.wait_inner(check, &|| false, None)
+            .expect("unbounded barrier wait cannot time out")
+    }
+
+    /// Like [`wait_checked`](Self::wait_checked) but offers each would-be
+    /// park to `park` first (the scheduler hook's blocked callback). When
+    /// `park` returns `true` the hook parked the thread itself and the
+    /// wait re-checks the sense immediately; `false` falls back to the
+    /// bounded condvar park.
+    pub(crate) fn wait_park(&self, check: &dyn Fn(), park: &dyn Fn() -> bool) -> bool {
+        self.wait_inner(check, park, None)
             .expect("unbounded barrier wait cannot time out")
     }
 
@@ -96,12 +106,13 @@ impl SenseBarrier {
     /// arrival so the barrier stays consistent) if the round does not
     /// complete within `timeout`. Returns the leader token on success.
     pub fn wait_timeout(&self, timeout: Duration) -> Result<bool, WaitTimedOut> {
-        self.wait_inner(&|| {}, Some(timeout))
+        self.wait_inner(&|| {}, &|| false, Some(timeout))
     }
 
     fn wait_inner(
         &self,
         check: &dyn Fn(),
+        park: &dyn Fn() -> bool,
         timeout: Option<Duration>,
     ) -> Result<bool, WaitTimedOut> {
         check();
@@ -131,11 +142,22 @@ impl SenseBarrier {
                 }
                 std::hint::spin_loop();
             }
-            let mut g = self.lock.lock();
-            while self.sense.load(Ordering::Acquire) != local {
+            // Slow path. `check` and `park` may block or unwind, so they
+            // run with no barrier lock held; the release path flips the
+            // sense under the lock, so re-checking the sense under the
+            // lock before any condvar wait (or retraction) makes wakeups
+            // loss-free and retractions sound.
+            loop {
+                if self.sense.load(Ordering::Acquire) == local {
+                    return Ok(false);
+                }
                 check();
                 if let Some(d) = deadline {
                     if Instant::now() >= d {
+                        let _g = self.lock.lock();
+                        if self.sense.load(Ordering::Acquire) == local {
+                            return Ok(false);
+                        }
                         // Retract our arrival: under the lock the round
                         // provably has not been released, so the counter
                         // still includes us.
@@ -145,9 +167,13 @@ impl SenseBarrier {
                         });
                     }
                 }
-                self.cv.wait_for(&mut g, PARK_TIMEOUT);
+                if !park() {
+                    let mut g = self.lock.lock();
+                    if self.sense.load(Ordering::Acquire) != local {
+                        self.cv.wait_for(&mut g, PARK_TIMEOUT);
+                    }
+                }
             }
-            Ok(false)
         }
     }
 

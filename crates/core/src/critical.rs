@@ -20,10 +20,12 @@
 use parking_lot::{Mutex, ReentrantMutex, ReentrantMutexGuard};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use crate::barrier::PARK_TIMEOUT;
 use crate::ctx;
 use crate::error::WaitSite;
+use crate::hook::{self, HookEvent};
 
 /// Acquire a critical lock. Inside a team this is a *cancellation point*:
 /// the wait is chopped into bounded slices so a poisoned or cancelled
@@ -35,15 +37,49 @@ fn acquire(lock: &ReentrantMutex<()>) -> ReentrantMutexGuard<'_, ()> {
         None => lock.lock(),
         Some(c) => {
             c.shared.check_interrupt();
-            let _w = c.shared.begin_wait(c.tid, WaitSite::Critical);
-            loop {
-                if let Some(g) = lock.try_lock_for(PARK_TIMEOUT) {
+            let team = c.shared.token();
+            let tid = c.tid;
+            let _w = c.shared.begin_wait(tid, WaitSite::Critical);
+            let g = loop {
+                // Under a registered hook, probe without sleeping: the
+                // hook's blocked callback owns the park.
+                let got = if hook::active() {
+                    lock.try_lock_for(Duration::ZERO)
+                } else {
+                    lock.try_lock_for(PARK_TIMEOUT)
+                };
+                if let Some(g) = got {
                     break g;
                 }
                 c.shared.check_interrupt();
-            }
+                if !hook::yield_blocked(team, tid, WaitSite::Critical) && hook::active() {
+                    // Hook declined the park (e.g. it is letting external
+                    // waits drain): bound the probe loop ourselves.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            };
+            hook::emit(|| HookEvent::CriticalAcquire {
+                team,
+                tid,
+                lock: lock as *const _ as usize,
+            });
+            g
         }
     })
+}
+
+/// Run `f` holding `lock`, reporting the release to the scheduler hook
+/// after the guard drops (so a checker observes the lock actually free).
+fn run_locked<R>(lock: &ReentrantMutex<()>, f: impl FnOnce() -> R) -> R {
+    let g = acquire(lock);
+    let r = f();
+    drop(g);
+    hook::emit_team(|team, tid| HookEvent::CriticalRelease {
+        team,
+        tid,
+        lock: lock as *const _ as usize,
+    });
+    r
 }
 
 /// Registry of process-wide named locks. Entries are never removed: lock
@@ -69,8 +105,7 @@ fn named_lock(name: &str) -> Arc<ReentrantMutex<()>> {
 /// re-entrant, and the paper replaces it).
 pub fn critical_named<R>(id: &str, f: impl FnOnce() -> R) -> R {
     let lock = named_lock(id);
-    let _g = acquire(&lock);
-    f()
+    run_locked(&lock, f)
 }
 
 /// Run `f` under the anonymous default critical lock — a bare
@@ -108,8 +143,7 @@ impl CriticalHandle {
     /// Run `f` holding this lock. A cancellation point inside a team (see
     /// [`critical_named`]).
     pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _g = acquire(&self.lock);
-        f()
+        run_locked(&self.lock, f)
     }
 
     /// True when both handles guard the same underlying lock.

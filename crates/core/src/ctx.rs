@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 use crate::barrier::SenseBarrier;
 use crate::error::{self, Cancelled, WaitSite};
+use crate::hook::{self, HookEvent};
 
 /// Allocate a process-unique construct key. Every construct handle
 /// (`Single`, `Master`, `ForConstruct`, `Ordered`, …) calls this once at
@@ -212,9 +213,20 @@ impl TeamShared {
             .map_or(0, |w| w.progress.load(Ordering::Relaxed))
     }
 
+    /// This team's identity for the scheduler hook layer: the address of
+    /// the shared state, stable for the region's lifetime.
+    pub(crate) fn token(&self) -> usize {
+        self as *const TeamShared as usize
+    }
+
     /// Register `tid` as blocked at `site` until the returned guard
     /// drops. No-op (and allocation-free) on unwatched teams.
     pub fn begin_wait<'a>(&'a self, tid: usize, site: WaitSite) -> WaitGuard<'a> {
+        hook::emit(|| HookEvent::WaitRegister {
+            team: self.token(),
+            tid,
+            site,
+        });
         if let Some(w) = &self.watch {
             w.waiting.lock()[tid] = Some(site);
             w.progress.fetch_add(1, Ordering::Relaxed);
@@ -284,8 +296,18 @@ impl TeamShared {
     /// [`WaitSite::Barrier`] for the stall watchdog.
     pub fn team_barrier(&self, tid: usize) -> bool {
         self.check_interrupt();
-        let _w = self.begin_wait(tid, WaitSite::Barrier);
-        self.barrier.wait_checked(&|| self.check_interrupt())
+        let leader = {
+            let _w = self.begin_wait(tid, WaitSite::Barrier);
+            self.barrier.wait_park(&|| self.check_interrupt(), &|| {
+                hook::yield_blocked(self.token(), tid, WaitSite::Barrier)
+            })
+        };
+        hook::emit(|| HookEvent::BarrierExit {
+            team: self.token(),
+            tid,
+            leader,
+        });
+        leader
     }
 }
 
@@ -344,14 +366,19 @@ thread_local! {
 /// the region executor's job (it must distinguish real panics from benign
 /// `Cancelled` unwinds, which a `Drop` impl cannot).
 pub(crate) struct CtxGuard {
-    _shared: Arc<TeamShared>,
+    shared: Arc<TeamShared>,
+    tid: usize,
 }
 
 impl CtxGuard {
     pub fn enter(shared: Arc<TeamShared>, tid: usize) -> Self {
         let ctx = Rc::new(TeamCtx::new(Arc::clone(&shared), tid));
         STACK.with(|s| s.borrow_mut().push(ctx));
-        Self { _shared: shared }
+        hook::emit(|| HookEvent::MemberStart {
+            team: shared.token(),
+            tid,
+        });
+        Self { shared, tid }
     }
 }
 
@@ -359,6 +386,12 @@ impl Drop for CtxGuard {
     fn drop(&mut self) {
         STACK.with(|s| {
             s.borrow_mut().pop();
+        });
+        // Also fires during unwinds; the hook contract forbids panicking
+        // from `event`, so this cannot double-panic.
+        hook::emit(|| HookEvent::MemberEnd {
+            team: self.shared.token(),
+            tid: self.tid,
         });
     }
 }
@@ -424,7 +457,18 @@ pub fn barrier() {
 /// [`region::try_parallel`](crate::region::try_parallel) (the panicking
 /// API treats cancellation as a benign early exit).
 pub fn cancel_team() -> bool {
-    with_current(|c| c.is_some_and(|c| c.shared.cancel(false)))
+    with_current(|c| {
+        c.is_some_and(|c| {
+            let done = c.shared.cancel(false);
+            if done {
+                hook::emit(|| HookEvent::CancelRequested {
+                    team: c.shared.token(),
+                    tid: c.tid,
+                });
+            }
+            done
+        })
+    })
 }
 
 /// Explicit cancellation point — OpenMP 4.0's
@@ -439,6 +483,10 @@ pub fn cancellation_point() -> Result<(), Cancelled> {
     with_current(|c| match c {
         None => Ok(()),
         Some(c) => {
+            hook::emit(|| HookEvent::CancellationPoint {
+                team: c.shared.token(),
+                tid: c.tid,
+            });
             c.shared.check_poison();
             if c.shared.cancelled.load(Ordering::Acquire) {
                 Err(Cancelled)

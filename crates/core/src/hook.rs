@@ -1,0 +1,376 @@
+//! Scheduler hook layer: the test-only instrumentation surface that the
+//! deterministic schedule-exploration harness (`aomp-check`) plugs into.
+//!
+//! Every scheduling decision the runtime owns — barrier entry/exit,
+//! critical acquire/release, chunk handout in every schedule, single and
+//! master broadcast publishes, ordered-section turns, task spawn/join,
+//! cancellation points and wait-site registration — reports through this
+//! module when (and only when) a [`SchedHook`] is registered.
+//!
+//! # Zero cost when unregistered
+//!
+//! The fast path is a single relaxed atomic load plus a predictable
+//! branch ([`active`]), and every call site already sits on a slow path
+//! (a blocking primitive, a chunk dispenser, a region spawn). Release
+//! builds with no hook registered pay one cold branch per decision site;
+//! `overhead_fig13` guards that this stays inside the noise floor.
+//!
+//! # Contract for hook implementations
+//!
+//! * [`SchedHook::event`] is called *outside* all runtime locks: a hook
+//!   may block the calling thread (that is how the checker serialises a
+//!   team) without deadlocking the runtime.
+//! * [`SchedHook::blocked`] is consulted by bounded wait loops *instead
+//!   of* a timed park, again with no runtime lock held. Returning `true`
+//!   means the hook parked the thread itself and the caller should
+//!   re-check its wake condition immediately; returning `false` falls
+//!   back to the normal bounded park.
+//! * Hooks must never panic from [`SchedHook::event`]: events are also
+//!   emitted while a thread unwinds (member exit), where a second panic
+//!   would abort the process.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::error::WaitSite;
+
+/// Opaque identity of one team (one parallel-region execution). Stable
+/// for the lifetime of the region; ids may be reused by later teams.
+pub type TeamId = usize;
+
+/// One scheduling decision site, as observed by a registered
+/// [`SchedHook`]. All payloads are `Copy` so recording a trace never
+/// allocates per event on the runtime side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HookEvent {
+    /// A parallel region is about to execute (emitted on the master
+    /// thread, before any member starts).
+    RegionStart {
+        /// Team identity.
+        team: TeamId,
+        /// Team size after resolving the configuration.
+        size: usize,
+        /// Nesting level (1 = top-level region).
+        level: usize,
+    },
+    /// The region completed (all members joined; emitted on the master).
+    RegionEnd {
+        /// Team identity.
+        team: TeamId,
+    },
+    /// A member thread entered the team context.
+    MemberStart {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+    },
+    /// A member thread left the team context (normal exit *or* unwind).
+    MemberEnd {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+    },
+    /// A member returned from a team barrier round.
+    BarrierExit {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// Whether this member was the round's last arriver.
+        leader: bool,
+    },
+    /// A member acquired a critical lock.
+    CriticalAcquire {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// Identity of the lock (stable per lock object).
+        lock: usize,
+    },
+    /// A member released a critical lock.
+    CriticalRelease {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// Identity of the lock (stable per lock object).
+        lock: usize,
+    },
+    /// A work-sharing construct handed a chunk of iterations to a member.
+    ChunkHandout {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// Schedule kind (`"static-block"`, `"static-cyclic"`,
+        /// `"dynamic"`, `"guided"`, `"block-cyclic"`).
+        kind: &'static str,
+        /// Chunk start (schedule-specific coordinates; logical iteration
+        /// numbers for chunked schedules, element values for static).
+        lo: i64,
+        /// Chunk end (exclusive), same coordinates as `lo`.
+        hi: i64,
+    },
+    /// A single/master body published its broadcast value.
+    BroadcastPublish {
+        /// Team identity.
+        team: TeamId,
+        /// Member id of the publishing thread.
+        tid: usize,
+        /// Which broadcast ([`WaitSite::SingleBroadcast`] or
+        /// [`WaitSite::MasterBroadcast`]).
+        site: WaitSite,
+    },
+    /// A member won its ordered-section turn and is about to run it.
+    OrderedEnter {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// The ordered ticket (logical iteration number).
+        ticket: u64,
+    },
+    /// A member finished an ordered section, releasing the next ticket.
+    OrderedExit {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// The ordered ticket (logical iteration number).
+        ticket: u64,
+    },
+    /// A task was spawned from inside a team (`@Task` / `@FutureTask`).
+    TaskSpawn {
+        /// Team identity.
+        team: TeamId,
+        /// Member id of the spawning thread.
+        tid: usize,
+    },
+    /// A member completed a task join (`TaskGroup::wait` or
+    /// `FutureTask::get`).
+    TaskJoin {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// Which join ([`WaitSite::TaskWait`] or [`WaitSite::FutureGet`]).
+        site: WaitSite,
+    },
+    /// A member requested team cancellation (`cancel_team` succeeded).
+    CancelRequested {
+        /// Team identity.
+        team: TeamId,
+        /// Member id of the requesting thread.
+        tid: usize,
+    },
+    /// A member passed an explicit cancellation point.
+    CancellationPoint {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+    },
+    /// A member registered at a wait site and is about to block.
+    WaitRegister {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// The wait site it is about to block at.
+        site: WaitSite,
+    },
+}
+
+impl HookEvent {
+    /// The team this event belongs to.
+    pub fn team(&self) -> TeamId {
+        match *self {
+            HookEvent::RegionStart { team, .. }
+            | HookEvent::RegionEnd { team }
+            | HookEvent::MemberStart { team, .. }
+            | HookEvent::MemberEnd { team, .. }
+            | HookEvent::BarrierExit { team, .. }
+            | HookEvent::CriticalAcquire { team, .. }
+            | HookEvent::CriticalRelease { team, .. }
+            | HookEvent::ChunkHandout { team, .. }
+            | HookEvent::BroadcastPublish { team, .. }
+            | HookEvent::OrderedEnter { team, .. }
+            | HookEvent::OrderedExit { team, .. }
+            | HookEvent::TaskSpawn { team, .. }
+            | HookEvent::TaskJoin { team, .. }
+            | HookEvent::CancelRequested { team, .. }
+            | HookEvent::CancellationPoint { team, .. }
+            | HookEvent::WaitRegister { team, .. } => team,
+        }
+    }
+
+    /// The member id this event belongs to, if it is member-scoped
+    /// (`RegionStart`/`RegionEnd` are region-scoped and return `None`).
+    pub fn tid(&self) -> Option<usize> {
+        match *self {
+            HookEvent::RegionStart { .. } | HookEvent::RegionEnd { .. } => None,
+            HookEvent::MemberStart { tid, .. }
+            | HookEvent::MemberEnd { tid, .. }
+            | HookEvent::BarrierExit { tid, .. }
+            | HookEvent::CriticalAcquire { tid, .. }
+            | HookEvent::CriticalRelease { tid, .. }
+            | HookEvent::ChunkHandout { tid, .. }
+            | HookEvent::BroadcastPublish { tid, .. }
+            | HookEvent::OrderedEnter { tid, .. }
+            | HookEvent::OrderedExit { tid, .. }
+            | HookEvent::TaskSpawn { tid, .. }
+            | HookEvent::TaskJoin { tid, .. }
+            | HookEvent::CancelRequested { tid, .. }
+            | HookEvent::CancellationPoint { tid, .. }
+            | HookEvent::WaitRegister { tid, .. } => Some(tid),
+        }
+    }
+}
+
+/// A scheduler hook: receives every runtime decision site while
+/// registered. See the module docs for the locking/panic contract.
+pub trait SchedHook: Send + Sync {
+    /// A decision site was reached. May block the calling thread; must
+    /// not panic (events are also emitted during unwinds).
+    fn event(&self, ev: &HookEvent);
+
+    /// A member found its wake condition unmet and is about to park.
+    /// Return `true` to take over the park (the caller re-checks its
+    /// condition immediately); `false` to fall back to the bounded park.
+    fn blocked(&self, team: TeamId, tid: usize, site: WaitSite) -> bool {
+        let _ = (team, tid, site);
+        false
+    }
+}
+
+/// Fast-path gate: one relaxed load. `false` in every production run.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// The registered hook. Only read on the cold path, and the reference is
+/// copied out before the hook is called so emitters never hold this lock
+/// while a hook blocks them.
+static HOOK: Mutex<Option<&'static dyn SchedHook>> = Mutex::new(None);
+
+/// Register `hook` process-wide. Replaces any previous hook. Test-only
+/// by intent: the hook observes every team in the process.
+pub fn register(hook: &'static dyn SchedHook) {
+    *HOOK.lock() = Some(hook);
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Unregister the current hook, restoring the zero-cost fast path.
+pub fn unregister() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    *HOOK.lock() = None;
+}
+
+/// Whether a hook is registered (the one-branch fast path).
+#[inline(always)]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+#[cold]
+fn current() -> Option<&'static dyn SchedHook> {
+    *HOOK.lock()
+}
+
+/// Emit an event if a hook is registered. The closure only runs on the
+/// cold path, so building the event costs nothing when unhooked.
+#[inline]
+pub(crate) fn emit(f: impl FnOnce() -> HookEvent) {
+    if active() {
+        emit_slow(f());
+    }
+}
+
+#[cold]
+fn emit_slow(ev: HookEvent) {
+    if let Some(h) = current() {
+        h.event(&ev);
+    }
+}
+
+/// Emit an event carrying the calling thread's innermost team identity,
+/// if a hook is registered *and* the caller is inside a team.
+#[inline]
+pub(crate) fn emit_team(f: impl FnOnce(TeamId, usize) -> HookEvent) {
+    if active() {
+        crate::ctx::with_current(|c| {
+            if let Some(c) = c {
+                emit_slow(f(c.shared.token(), c.tid));
+            }
+        });
+    }
+}
+
+/// Offer the park of a blocked member to the hook. Returns `true` when
+/// the hook took over (caller re-checks its condition immediately).
+#[inline]
+pub(crate) fn yield_blocked(team: TeamId, tid: usize, site: WaitSite) -> bool {
+    if !active() {
+        return false;
+    }
+    match current() {
+        Some(h) => h.blocked(team, tid, site),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct CountingHook {
+        events: AtomicUsize,
+    }
+
+    impl SchedHook for CountingHook {
+        fn event(&self, _ev: &HookEvent) {
+            self.events.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn inactive_hook_emits_nothing() {
+        // No hook registered in this test: emit must not build the event.
+        let built = AtomicUsize::new(0);
+        if !active() {
+            emit(|| {
+                built.fetch_add(1, Ordering::SeqCst);
+                HookEvent::RegionEnd { team: 0 }
+            });
+            assert_eq!(built.load(Ordering::SeqCst), 0);
+        }
+    }
+
+    #[test]
+    fn event_accessors_cover_all_variants() {
+        let ev = HookEvent::BarrierExit {
+            team: 7,
+            tid: 2,
+            leader: true,
+        };
+        assert_eq!(ev.team(), 7);
+        assert_eq!(ev.tid(), Some(2));
+        let ev = HookEvent::RegionStart {
+            team: 9,
+            size: 4,
+            level: 1,
+        };
+        assert_eq!(ev.team(), 9);
+        assert_eq!(ev.tid(), None);
+    }
+
+    #[test]
+    fn blocked_default_is_fallthrough() {
+        static H: CountingHook = CountingHook {
+            events: AtomicUsize::new(0),
+        };
+        assert!(!H.blocked(1, 0, WaitSite::Barrier));
+    }
+}

@@ -65,9 +65,11 @@
 
 pub mod barrier;
 pub mod cell;
+pub mod clock;
 pub mod critical;
 pub mod ctx;
 pub mod error;
+pub mod hook;
 pub mod pool;
 pub mod range;
 pub mod reduction;

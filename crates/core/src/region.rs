@@ -54,6 +54,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::ctx::{self, CtxGuard, TeamShared};
 use crate::error::{self, Cancelled, RegionError, TeamPoisoned, WaitSite};
+use crate::hook::{self, HookEvent};
 use crate::runtime;
 
 /// Configuration of a parallel region — the Rust analogue of
@@ -367,12 +368,21 @@ where
     let shared = new_team(&cfg, n, deadline.is_some());
     let payload: PayloadSlot = Mutex::new(None);
 
+    hook::emit(|| HookEvent::RegionStart {
+        team: shared.token(),
+        size: n,
+        level: shared.level,
+    });
     if n == 1 {
         inline_region(&shared, &payload, &body, deadline);
     } else {
         scoped_region(n, deadline, &shared, &payload, &body);
     }
-    classify(&shared, &payload)
+    let outcome = classify(&shared, &payload);
+    hook::emit(|| HookEvent::RegionEnd {
+        team: shared.token(),
+    });
+    outcome
 }
 
 fn run_region_detached<F>(cfg: RegionConfig, body: F) -> RawOutcome
@@ -383,12 +393,22 @@ where
     let deadline = cfg.effective_stall_deadline();
     let shared = new_team(&cfg, n, deadline.is_some());
 
-    if n == 1 {
+    hook::emit(|| HookEvent::RegionStart {
+        team: shared.token(),
+        size: n,
+        level: shared.level,
+    });
+    let outcome = if n == 1 {
         let payload: PayloadSlot = Mutex::new(None);
         inline_region(&shared, &payload, &body, deadline);
-        return classify(&shared, &payload);
-    }
-    detached_region(n, deadline, &shared, body)
+        classify(&shared, &payload)
+    } else {
+        detached_region(n, deadline, &shared, body)
+    };
+    hook::emit(|| HookEvent::RegionEnd {
+        team: shared.token(),
+    });
+    outcome
 }
 
 /// Team-of-one executor: sequential semantics, but still under a
@@ -614,22 +634,33 @@ where
 }
 
 fn spawn_watchdog(shared: Arc<TeamShared>, deadline: Duration) -> std::thread::JoinHandle<()> {
+    // The time base is pinned here, before the thread starts: a watchdog
+    // armed outside a test's virtual-clock window stays on wall-clock
+    // time even if a window opens while it runs (see `clock`).
+    let clock = crate::clock::mode();
     std::thread::Builder::new()
         .name("aomp-watchdog".into())
         .spawn(move || {
-            // Poll a few times per deadline, in short slices so region
-            // completion ends the thread promptly.
+            // Poll a few times per deadline. Real mode slices each poll
+            // so region completion ends the thread promptly; in virtual
+            // mode every sleep is already a ~200us real yield, so the
+            // slice is the whole poll interval (short virtual slices
+            // would just multiply yields without improving shutdown
+            // latency).
             let poll = (deadline / 8).max(Duration::from_millis(1));
-            let slice = poll.min(Duration::from_millis(10));
+            let slice = match clock {
+                crate::clock::ClockMode::Real => poll.min(Duration::from_millis(10)),
+                crate::clock::ClockMode::Virtual => poll,
+            };
             let mut last_progress = shared.progress();
-            let mut last_change = Instant::now();
+            let mut last_change = clock.now();
             loop {
                 let mut slept = Duration::ZERO;
                 while slept < poll {
                     if shared.watch_shutdown() {
                         return;
                     }
-                    std::thread::sleep(slice);
+                    clock.sleep(slice);
                     slept += slice;
                 }
                 if shared.watch_shutdown() {
@@ -638,10 +669,10 @@ fn spawn_watchdog(shared: Arc<TeamShared>, deadline: Duration) -> std::thread::J
                 let p = shared.progress();
                 if p != last_progress {
                     last_progress = p;
-                    last_change = Instant::now();
+                    last_change = clock.now();
                     continue;
                 }
-                if last_change.elapsed() < deadline {
+                if clock.now().saturating_sub(last_change) < deadline {
                     continue;
                 }
                 let blocked = shared.blocked_snapshot();

@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use crate::ctx::{self, fresh_key};
 use crate::error::WaitSite;
+use crate::hook::{self, HookEvent};
 
 const PARK_TIMEOUT: Duration = Duration::from_millis(5);
 
@@ -44,14 +45,24 @@ impl<T: Clone> BroadcastCell<T> {
     /// Block until the value is published. `check` runs on every park
     /// tick and aborts the wait by unwinding (poison/cancel), so a
     /// broadcast whose executing thread died cannot strand the team.
-    fn await_value(&self, check: impl Fn()) -> T {
-        let mut g = self.value.lock();
+    /// `park` (the scheduler hook's blocked callback) is offered each
+    /// would-be park first; both run with the cell unlocked so they may
+    /// block or unwind freely.
+    fn await_value(&self, check: impl Fn(), park: impl Fn() -> bool) -> T {
         loop {
-            if let Some(v) = g.as_ref() {
-                return v.clone();
+            {
+                let g = self.value.lock();
+                if let Some(v) = g.as_ref() {
+                    return v.clone();
+                }
             }
             check();
-            self.cv.wait_for(&mut g, PARK_TIMEOUT);
+            if !park() {
+                let mut g = self.value.lock();
+                if g.is_none() {
+                    self.cv.wait_for(&mut g, PARK_TIMEOUT);
+                }
+            }
         }
     }
 }
@@ -88,10 +99,20 @@ impl Single {
                     let v = f();
                     cell.publish(&v);
                     c.shared.bump_progress();
+                    hook::emit(|| HookEvent::BroadcastPublish {
+                        team: c.shared.token(),
+                        tid: c.tid,
+                        site: WaitSite::SingleBroadcast,
+                    });
                     v
                 } else {
-                    let _w = c.shared.begin_wait(c.tid, WaitSite::SingleBroadcast);
-                    cell.await_value(|| c.shared.check_interrupt())
+                    let team = c.shared.token();
+                    let tid = c.tid;
+                    let _w = c.shared.begin_wait(tid, WaitSite::SingleBroadcast);
+                    cell.await_value(
+                        || c.shared.check_interrupt(),
+                        || hook::yield_blocked(team, tid, WaitSite::SingleBroadcast),
+                    )
                 };
                 c.shared.detach_slot(self.key, round);
                 result
@@ -159,10 +180,20 @@ impl Master {
                     let v = f();
                     cell.publish(&v);
                     c.shared.bump_progress();
+                    hook::emit(|| HookEvent::BroadcastPublish {
+                        team: c.shared.token(),
+                        tid: 0,
+                        site: WaitSite::MasterBroadcast,
+                    });
                     v
                 } else {
-                    let _w = c.shared.begin_wait(c.tid, WaitSite::MasterBroadcast);
-                    cell.await_value(|| c.shared.check_interrupt())
+                    let team = c.shared.token();
+                    let tid = c.tid;
+                    let _w = c.shared.begin_wait(tid, WaitSite::MasterBroadcast);
+                    cell.await_value(
+                        || c.shared.check_interrupt(),
+                        || hook::yield_blocked(team, tid, WaitSite::MasterBroadcast),
+                    )
                 };
                 c.shared.detach_slot(self.key, round);
                 result

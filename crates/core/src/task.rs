@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use crate::barrier::PARK_TIMEOUT;
 use crate::ctx;
 use crate::error::{self, TaskPanicked, WaitSite, WaitTimedOut};
+use crate::hook::{self, HookEvent};
 
 /// One-shot rendezvous cell: written once by the producer, consumed once
 /// by `get`.
@@ -82,27 +83,40 @@ impl<T> OneShot<T> {
     }
 
     /// Consume the cell. `check` runs on every park tick (it aborts by
-    /// unwinding — poison/cancel); `timeout` bounds the wait.
+    /// unwinding — poison/cancel); `park` (the scheduler hook's blocked
+    /// callback) is offered each would-be park first; `timeout` bounds
+    /// the wait. Both callbacks run with the cell unlocked so they may
+    /// block or unwind freely.
     ///
     /// Panics only on double consumption (a programming error).
-    fn take_inner(&self, timeout: Option<Duration>, check: &dyn Fn()) -> TakeOutcome<T> {
+    fn take_inner(
+        &self,
+        timeout: Option<Duration>,
+        check: &dyn Fn(),
+        park: &dyn Fn() -> bool,
+    ) -> TakeOutcome<T> {
         let deadline = timeout.map(|t| Instant::now() + t);
-        let mut s = self.state.lock();
         loop {
-            match std::mem::replace(&mut *s, ShotState::Taken) {
-                ShotState::Ready(v) => return TakeOutcome::Value(v),
-                ShotState::Poisoned(p) => return TakeOutcome::Failed(p),
-                ShotState::Taken => panic!("aomp future result consumed twice"),
-                ShotState::Empty => {
-                    *s = ShotState::Empty;
-                    check();
-                    if let Some(d) = deadline {
-                        if Instant::now() >= d {
-                            return TakeOutcome::TimedOut(WaitTimedOut {
-                                timeout: timeout.unwrap(),
-                            });
-                        }
-                    }
+            {
+                let mut s = self.state.lock();
+                match std::mem::replace(&mut *s, ShotState::Taken) {
+                    ShotState::Ready(v) => return TakeOutcome::Value(v),
+                    ShotState::Poisoned(p) => return TakeOutcome::Failed(p),
+                    ShotState::Taken => panic!("aomp future result consumed twice"),
+                    ShotState::Empty => *s = ShotState::Empty,
+                }
+            }
+            check();
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return TakeOutcome::TimedOut(WaitTimedOut {
+                        timeout: timeout.unwrap(),
+                    });
+                }
+            }
+            if !park() {
+                let mut s = self.state.lock();
+                if matches!(*s, ShotState::Empty) {
                     self.cv.wait_for(&mut s, PARK_TIMEOUT);
                 }
             }
@@ -124,6 +138,7 @@ pub fn spawn<F>(f: F)
 where
     F: FnOnce() + Send + 'static,
 {
+    hook::emit_team(|team, tid| HookEvent::TaskSpawn { team, tid });
     std::thread::Builder::new()
         .name("aomp-task".into())
         .spawn(f)
@@ -137,6 +152,7 @@ where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
+    hook::emit_team(|team, tid| HookEvent::TaskSpawn { team, tid });
     let shot = Arc::new(OneShot::new());
     let shot2 = Arc::clone(&shot);
     std::thread::Builder::new()
@@ -220,11 +236,23 @@ impl<T> FutureTask<T> {
 
     fn take(self, timeout: Option<Duration>) -> TakeOutcome<T> {
         ctx::with_current(|c| match c {
-            None => self.shot.take_inner(timeout, &|| {}),
+            None => self.shot.take_inner(timeout, &|| {}, &|| false),
             Some(c) => {
-                let _w = c.shared.begin_wait(c.tid, WaitSite::FutureGet);
-                self.shot
-                    .take_inner(timeout, &|| c.shared.check_interrupt())
+                let team = c.shared.token();
+                let tid = c.tid;
+                let r = {
+                    let _w = c.shared.begin_wait(tid, WaitSite::FutureGet);
+                    self.shot
+                        .take_inner(timeout, &|| c.shared.check_interrupt(), &|| {
+                            hook::yield_blocked(team, tid, WaitSite::FutureGet)
+                        })
+                };
+                hook::emit(|| HookEvent::TaskJoin {
+                    team,
+                    tid,
+                    site: WaitSite::FutureGet,
+                });
+                r
             }
         })
     }
@@ -317,6 +345,7 @@ impl TaskGroup {
                 c.shared.check_interrupt();
             }
         });
+        hook::emit_team(|team, tid| HookEvent::TaskSpawn { team, tid });
         let state = Arc::clone(&self.state);
         state.outstanding.fetch_add(1, Ordering::AcqRel);
         std::thread::Builder::new()
@@ -359,24 +388,48 @@ impl TaskGroup {
     fn wait_inner(&self, timeout: Option<Duration>) -> Result<(), WaitTimedOut> {
         let deadline = timeout.map(|t| Instant::now() + t);
         ctx::with_current(|c| {
-            let _w = c.map(|c| c.shared.begin_wait(c.tid, WaitSite::TaskWait));
-            let mut g = self.state.lock.lock();
-            while self.state.outstanding.load(Ordering::Acquire) != 0 {
-                if let Some(c) = c {
-                    c.shared.check_interrupt();
-                }
-                if let Some(d) = deadline {
-                    if Instant::now() >= d {
-                        return Err(WaitTimedOut {
-                            timeout: timeout.unwrap(),
-                        });
+            let ids = c.map(|c| (c.shared.token(), c.tid));
+            {
+                let _w = c.map(|c| c.shared.begin_wait(c.tid, WaitSite::TaskWait));
+                // Completion is an atomic decrement; the lock is only
+                // taken to make the condvar park loss-free (finishing
+                // tasks notify under it), so checks and the hook park
+                // run with it released.
+                loop {
+                    if self.state.outstanding.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    if let Some(c) = c {
+                        c.shared.check_interrupt();
+                    }
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return Err(WaitTimedOut {
+                                timeout: timeout.unwrap(),
+                            });
+                        }
+                    }
+                    let hooked = match ids {
+                        Some((team, tid)) => hook::yield_blocked(team, tid, WaitSite::TaskWait),
+                        None => false,
+                    };
+                    if !hooked {
+                        let mut g = self.state.lock.lock();
+                        if self.state.outstanding.load(Ordering::Acquire) != 0 {
+                            self.state.cv.wait_for(&mut g, PARK_TIMEOUT);
+                        }
                     }
                 }
-                self.state.cv.wait_for(&mut g, PARK_TIMEOUT);
             }
-            drop(g);
             if self.state.failed.swap(false, Ordering::AcqRel) {
                 panic!("aomp task group: a task panicked");
+            }
+            if let Some((team, tid)) = ids {
+                hook::emit(|| HookEvent::TaskJoin {
+                    team,
+                    tid,
+                    site: WaitSite::TaskWait,
+                });
             }
             Ok(())
         })

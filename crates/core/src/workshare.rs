@@ -26,6 +26,7 @@ use std::time::Duration;
 
 use crate::ctx::{self, fresh_key};
 use crate::error::WaitSite;
+use crate::hook::{self, HookEvent};
 use crate::range::LoopRange;
 use crate::schedule::{self, Schedule};
 
@@ -69,11 +70,24 @@ struct OrderedState {
 impl OrderedState {
     /// Block until it is `ticket`'s turn. `check` runs before the wait
     /// and on every park tick; it aborts by unwinding (poison/cancel).
-    fn enter(&self, ticket: u64, check: impl Fn()) {
-        let mut next = self.next.lock();
-        while *next != ticket {
+    /// `park` (the scheduler hook's blocked callback) is offered each
+    /// would-be park first; both run with the sequencer unlocked so they
+    /// may block or unwind freely.
+    fn enter(&self, ticket: u64, check: impl Fn(), park: impl Fn() -> bool) {
+        loop {
+            {
+                let next = self.next.lock();
+                if *next == ticket {
+                    return;
+                }
+            }
             check();
-            self.cv.wait_for(&mut next, PARK_TIMEOUT);
+            if !park() {
+                let mut next = self.next.lock();
+                if *next != ticket {
+                    self.cv.wait_for(&mut next, PARK_TIMEOUT);
+                }
+            }
         }
     }
 
@@ -186,6 +200,13 @@ impl ForConstruct {
                             shared: Some(scope_shared),
                         };
                         if !sub.is_empty() {
+                            hook::emit(|| HookEvent::ChunkHandout {
+                                team: c.shared.token(),
+                                tid,
+                                kind: "static-block",
+                                lo: sub.start,
+                                hi: sub.end,
+                            });
                             body(sub, &scope);
                         }
                     }
@@ -197,6 +218,13 @@ impl ForConstruct {
                             shared: Some(scope_shared),
                         };
                         if !sub.is_empty() {
+                            hook::emit(|| HookEvent::ChunkHandout {
+                                team: c.shared.token(),
+                                tid,
+                                kind: "static-cyclic",
+                                lo: sub.start,
+                                hi: sub.end,
+                            });
                             body(sub, &scope);
                         }
                     }
@@ -217,6 +245,13 @@ impl ForConstruct {
                             }
                             c.shared.bump_progress();
                             let hi = (lo + chunk).min(count);
+                            hook::emit(|| HookEvent::ChunkHandout {
+                                team: c.shared.token(),
+                                tid,
+                                kind: "dynamic",
+                                lo: lo as i64,
+                                hi: hi as i64,
+                            });
                             body(range.slice_iters(lo, hi), &scope);
                         }
                         c.shared.detach_slot(self.key ^ DYN_KEY_SALT, round);
@@ -233,6 +268,13 @@ impl ForConstruct {
                         for (lo, hi) in schedule::block_cyclic_iters(count, chunk, tid, n) {
                             c.shared.check_interrupt();
                             c.shared.bump_progress();
+                            hook::emit(|| HookEvent::ChunkHandout {
+                                team: c.shared.token(),
+                                tid,
+                                kind: "block-cyclic",
+                                lo: lo as i64,
+                                hi: hi as i64,
+                            });
                             body(range.slice_iters(lo, hi), &scope);
                         }
                     }
@@ -248,6 +290,13 @@ impl ForConstruct {
                                 break;
                             };
                             c.shared.bump_progress();
+                            hook::emit(|| HookEvent::ChunkHandout {
+                                team: c.shared.token(),
+                                tid,
+                                kind: "guided",
+                                lo: lo as i64,
+                                hi: hi as i64,
+                            });
                             body(range.slice_iters(lo, hi), &scope);
                         }
                         c.shared.detach_slot(self.key ^ DYN_KEY_SALT, round);
@@ -306,12 +355,20 @@ impl ForScope<'_> {
         match &self.shared {
             None => f(),
             Some(s) => {
+                let team = s.team.shared.token();
+                let tid = s.team.tid;
                 {
-                    let _w = s.team.shared.begin_wait(s.team.tid, WaitSite::Ordered);
-                    s.ordered.enter(ticket, || s.team.shared.check_interrupt());
+                    let _w = s.team.shared.begin_wait(tid, WaitSite::Ordered);
+                    s.ordered.enter(
+                        ticket,
+                        || s.team.shared.check_interrupt(),
+                        || hook::yield_blocked(team, tid, WaitSite::Ordered),
+                    );
                 }
+                hook::emit(|| HookEvent::OrderedEnter { team, tid, ticket });
                 let r = f();
                 s.ordered.exit(ticket);
+                hook::emit(|| HookEvent::OrderedExit { team, tid, ticket });
                 r
             }
         }
@@ -345,14 +402,22 @@ impl Ordered {
     /// a team.
     pub fn run<R>(&self, ticket: u64, f: impl FnOnce() -> R) -> R {
         ctx::with_current(|c| match c {
-            None => self.state.enter(ticket, || {}),
+            None => self.state.enter(ticket, || {}, || false),
             Some(c) => {
-                let _w = c.shared.begin_wait(c.tid, WaitSite::Ordered);
-                self.state.enter(ticket, || c.shared.check_interrupt());
+                let team = c.shared.token();
+                let tid = c.tid;
+                let _w = c.shared.begin_wait(tid, WaitSite::Ordered);
+                self.state.enter(
+                    ticket,
+                    || c.shared.check_interrupt(),
+                    || hook::yield_blocked(team, tid, WaitSite::Ordered),
+                );
             }
         });
+        hook::emit_team(|team, tid| HookEvent::OrderedEnter { team, tid, ticket });
         let r = f();
         self.state.exit(ticket);
+        hook::emit_team(|team, tid| HookEvent::OrderedExit { team, tid, ticket });
         r
     }
 }

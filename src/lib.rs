@@ -55,3 +55,51 @@ pub mod prelude {
     };
     pub use aomp_weaver::prelude::*;
 }
+
+// This lib target used to compile to an empty test binary ("running
+// 0 tests" in `cargo test -q`), which can silently mask a facade that no
+// longer re-exports what it promises. These smoke tests keep the target
+// honest: every re-exported crate is reachable and the prelude carries a
+// working end-to-end slice of the runtime.
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn prelude_carries_a_working_runtime_slice() {
+        let hits = AtomicUsize::new(0);
+        region::parallel_with(RegionConfig::new().threads(2), || {
+            hits.fetch_add(1, Ordering::SeqCst);
+            barrier();
+            critical(|| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn facade_reexports_reach_every_crate() {
+        // One cheap touchpoint per re-export; a broken alias or a crate
+        // dropped from the facade fails to compile or to answer here.
+        assert_eq!(crate::runtime::ctx::team_size(), 1);
+        assert_eq!(crate::jgf::all_benchmarks().len(), 8);
+        assert!(crate::simcore::Machine::i7().cores >= 4);
+        assert!(!crate::weaver::Weaver::global()
+            .deployed_names()
+            .contains(&"no-such-module".to_string()));
+    }
+
+    #[test]
+    fn annotation_macros_expand_against_the_facade() {
+        #[crate::annotations::parallel(threads = 2)]
+        fn tiny_region() {
+            // Body runs once per team member.
+            COUNT.fetch_add(1, Ordering::SeqCst);
+        }
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        tiny_region();
+        assert_eq!(COUNT.load(Ordering::SeqCst), 2);
+    }
+}

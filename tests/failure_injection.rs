@@ -5,9 +5,24 @@
 //! stop chunked loops early in both programming styles.
 
 use aomplib::prelude::*;
+use aomplib::runtime::clock::VirtualClock;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// The two cancellation-race tests below race a 100k-iteration dynamic
+/// loop against the cancel flag in real time, so their iteration-count
+/// assertions are load-sensitive. `AOMP_CHECK_NO_WALLCLOCK=1` (set by the
+/// CI schedule-check job, whose runners are saturated by the checker)
+/// skips them; the same races are covered deterministically in
+/// `tests/schedule_exploration.rs` under PCT schedules.
+fn wallclock_tests_disabled(test: &str) -> bool {
+    let disabled = std::env::var_os("AOMP_CHECK_NO_WALLCLOCK").is_some_and(|v| v != "0");
+    if disabled {
+        eprintln!("{test}: skipped (AOMP_CHECK_NO_WALLCLOCK is set)");
+    }
+    disabled
+}
 
 fn runtime_still_works() {
     let hits = AtomicUsize::new(0);
@@ -187,7 +202,11 @@ fn master_broadcast_panic_reports_original_payload_not_poison() {
 
 #[test]
 fn hung_worker_is_diagnosed_as_stall_not_deadlock() {
-    let deadline = Duration::from_millis(300);
+    // The watchdog runs on virtual time: a 5-minute stall deadline
+    // elapses in microseconds of wall-clock, so the test exercises the
+    // diagnosis logic without sleeping out (or flaking on) real timers.
+    let clock = VirtualClock::install();
+    let deadline = Duration::from_secs(300);
     let started = Instant::now();
     // A worker stuck in user code can only be *abandoned* by the owning
     // executor (`try_parallel_detached`, body is `'static`): the borrowing
@@ -204,6 +223,7 @@ fn hung_worker_is_diagnosed_as_stall_not_deadlock() {
         },
     );
     let elapsed = started.elapsed();
+    drop(clock);
     match r {
         Err(RegionError::Stalled { blocked }) => {
             // The three healthy threads are named at the barrier; the
@@ -217,8 +237,9 @@ fn hung_worker_is_diagnosed_as_stall_not_deadlock() {
         other => panic!("expected RegionError::Stalled, got {other:?}"),
     }
     assert!(
-        elapsed < deadline * 2,
-        "stall must be reported within ~2x the deadline, took {elapsed:?}"
+        elapsed < Duration::from_secs(30),
+        "a virtual 5-minute deadline must elapse in (real) seconds at \
+         most, took {elapsed:?}"
     );
     // The runtime is immediately reusable for healthy regions.
     runtime_still_works();
@@ -229,7 +250,8 @@ fn annotation_stall_deadline_converts_hang_to_panic() {
     // A synchronisation-level hang (the worker waits at a second barrier
     // round the master never joins): the cooperative watchdog cancels the
     // team, the worker unwinds, and the fully-joined region panics with
-    // the stall diagnosis.
+    // the stall diagnosis. Virtual time keeps the deadline a logic knob
+    // rather than a real wait.
     #[aomplib::annotations::parallel(threads = 2, stall_deadline_ms = 250)]
     fn hung_region() {
         barrier();
@@ -237,7 +259,9 @@ fn annotation_stall_deadline_converts_hang_to_panic() {
             barrier();
         }
     }
+    let clock = VirtualClock::install();
     let r = catch_unwind(AssertUnwindSafe(hung_region));
+    drop(clock);
     let msg = match r {
         Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
         Ok(()) => panic!("hung annotated region must not return cleanly"),
@@ -251,6 +275,9 @@ fn annotation_stall_deadline_converts_hang_to_panic() {
 
 #[test]
 fn cancel_stops_dynamic_loop_early_annotation_style() {
+    if wallclock_tests_disabled("cancel_stops_dynamic_loop_early_annotation_style") {
+        return;
+    }
     static SEEN: AtomicUsize = AtomicUsize::new(0);
 
     #[aomplib::annotations::for_loop(schedule = "dynamic", chunk = 1)]
@@ -281,6 +308,9 @@ fn cancel_stops_dynamic_loop_early_annotation_style() {
 
 #[test]
 fn cancel_stops_dynamic_loop_early_pointcut_style() {
+    if wallclock_tests_disabled("cancel_stops_dynamic_loop_early_pointcut_style") {
+        return;
+    }
     let seen = AtomicUsize::new(0);
     let aspect = AspectModule::builder("CancelWeave")
         .bind(
