@@ -4,9 +4,14 @@
 //! `--measure` — the AOmp/JGF wall-time ratio measured on this host with
 //! the real kernels (the paper's "difference … is less than 1 %" claim).
 
-use aomp_bench::{bar, fig13_series, json_arg, write_json};
+use aomp_bench::{bar, fig13_series, json_arg, measure_entry_overhead, write_json};
 use aomp_jgf::harness::timed;
 use aomp_jgf::Size;
+use aomp_simcore::{Json, ToJson};
+
+/// Environment variable overriding the timed region entries per path
+/// (default 300; CI's bench-smoke job runs a reduced count).
+const ENTRY_ITERS_ENV: &str = "AOMP_FIG13_ENTRY_ITERS";
 
 /// Best-of-3 wall time of `f`, in seconds (one-shot timings on a busy
 /// single-core container are noisy).
@@ -37,12 +42,37 @@ fn main() {
         println!();
     }
 
+    let entry = {
+        let iters = std::env::var(ENTRY_ITERS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(300);
+        let t = host_threads().clamp(2, 8);
+        println!("== Region-entry overhead on this host: hot teams vs spawning ==");
+        println!("(empty bodies, {t} threads, {iters} timed entries per path)\n");
+        let e = measure_entry_overhead(t, iters);
+        println!(
+            "pooled {:>10.0} ns/region   spawn {:>10.0} ns/region   speed-up {:>6.1}x\n",
+            e.pooled_ns,
+            e.spawn_ns,
+            e.speedup()
+        );
+        e
+    };
+
+    let all: Vec<(String, usize, Vec<aomp_bench::Fig13Row>)> =
+        [(Machine::i7(), 8usize), (Machine::xeon(), 24)]
+            .into_iter()
+            .map(|(m, t)| (m.name.clone(), t, fig13_series(&m, t)))
+            .collect();
+    let report = Json::Obj(vec![
+        ("entry_overhead".to_owned(), entry.to_json()),
+        ("simulated".to_owned(), all.to_json()),
+    ]);
+    std::fs::write("BENCH_fig13.json", report.pretty()).expect("write BENCH_fig13.json");
+    println!("(wrote BENCH_fig13.json)\n");
     if let Some(path) = json_arg() {
-        let all: Vec<(String, usize, Vec<aomp_bench::Fig13Row>)> =
-            [(Machine::i7(), 8usize), (Machine::xeon(), 24)]
-                .into_iter()
-                .map(|(m, t)| (m.name.clone(), t, fig13_series(&m, t)))
-                .collect();
         write_json(&path, &all).expect("write fig13 json");
         println!("(wrote {path})\n");
     }

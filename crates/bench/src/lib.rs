@@ -198,6 +198,74 @@ pub fn fig15_series() -> Vec<Fig15Row> {
     rows
 }
 
+/// Region-entry overhead measured on this host: wall time of an empty
+/// `parallel_with` region entered through the hot-team cache vs through
+/// the spawning fallback (`RegionConfig::pooled(false)`).
+#[derive(Debug, Clone)]
+pub struct EntryOverhead {
+    /// Team size used for both paths.
+    pub threads: usize,
+    /// Timed region entries per path (after warm-up).
+    pub iters: usize,
+    /// Mean wall time per pooled region entry, nanoseconds.
+    pub pooled_ns: f64,
+    /// Mean wall time per spawn-path region entry, nanoseconds.
+    pub spawn_ns: f64,
+}
+
+impl EntryOverhead {
+    /// How much faster the hot-team path enters a region (`spawn / pooled`).
+    pub fn speedup(&self) -> f64 {
+        self.spawn_ns / self.pooled_ns
+    }
+}
+
+impl ToJson for EntryOverhead {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("threads".to_owned(), Json::Num(self.threads as f64)),
+            ("iters".to_owned(), Json::Num(self.iters as f64)),
+            ("pooled_ns".to_owned(), Json::Num(self.pooled_ns)),
+            ("spawn_ns".to_owned(), Json::Num(self.spawn_ns)),
+            ("speedup".to_owned(), Json::Num(self.speedup())),
+        ])
+    }
+}
+
+/// Time `iters` empty region entries per path at team size `threads`.
+/// Each path is warmed first (the pooled warm-up populates the hot-team
+/// cache; the spawn warm-up faults in thread stacks), so the numbers
+/// isolate steady-state entry cost — what a program paying region entry
+/// in a loop actually sees.
+pub fn measure_entry_overhead(threads: usize, iters: usize) -> EntryOverhead {
+    use aomp::region::{parallel_with, RegionConfig};
+    use std::time::Instant;
+
+    let pooled_cfg = RegionConfig::new().threads(threads);
+    let spawn_cfg = RegionConfig::new().threads(threads).pooled(false);
+    let warmup = 8.min(iters.max(1));
+
+    let time_path = |cfg: RegionConfig| {
+        for _ in 0..warmup {
+            parallel_with(cfg, || {});
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            parallel_with(cfg, || {});
+        }
+        t0.elapsed().as_nanos() as f64 / iters.max(1) as f64
+    };
+
+    let pooled_ns = time_path(pooled_cfg);
+    let spawn_ns = time_path(spawn_cfg);
+    EntryOverhead {
+        threads,
+        iters,
+        pooled_ns,
+        spawn_ns,
+    }
+}
+
 /// Write any serialisable result set to `path` as pretty JSON (the
 /// `--json <path>` option of the figure binaries).
 pub fn write_json<T: ToJson + ?Sized>(path: &str, value: &T) -> std::io::Result<()> {

@@ -1,0 +1,298 @@
+//! The shared task executor — parked workers behind `task::spawn`,
+//! `task::spawn_future` and `TaskGroup::spawn`.
+//!
+//! The paper's `@Task` model is "spawn a new parallel activity"; v1.0
+//! (and this runtime before hot teams) took that literally with one OS
+//! thread per task. This module replaces thread-per-task with a
+//! process-wide pool of workers, each owning a deque: submissions are
+//! distributed round-robin, a worker pops its own queue from the front
+//! and steals from the back of the others, so a burst of fine-grained
+//! tasks spreads over the pool without a single contended queue.
+//!
+//! ## Admission control, not queueing
+//!
+//! Tasks may block arbitrarily long in user code (a `FutureTask` producer
+//! waiting on another future, a task sleeping on an external event), so
+//! unbounded queueing behind a fixed worker count could deadlock a
+//! program that was correct under thread-per-task. [`try_submit`]
+//! therefore only *enqueues* when a parked worker is available to claim
+//! the task or the pool may still grow; otherwise it hands the task back
+//! and the caller falls back to a dedicated thread — and, if even that
+//! spawn fails (thread exhaustion), to inline execution on the caller
+//! (sequential semantics, see [`dispatch`]).
+//!
+//! A worker blocked in `FutureTask::get` / `TaskGroup::wait` pins its
+//! worker but deliberately does NOT steal-and-run queued tasks while
+//! blocked ("help joining"): running a stolen task inline on the
+//! waiter's stack deadlocks when the stolen task transitively waits on a
+//! future whose producer is suspended *below it on the same stack* — the
+//! buried frame can only resume after the thief's frame returns, and the
+//! thief waits on the buried frame. Liveness without helping holds
+//! because a queued task always has a claimed parked worker to pop it
+//! (workers re-check `pending` before parking, and parks are bounded),
+//! and tasks refused by admission control run on dedicated threads.
+//!
+//! Disabled together with the hot-team cache (`AOMP_NO_POOL=1` /
+//! [`runtime::set_pool_enabled(false)`](crate::runtime::set_pool_enabled)):
+//! every task then gets a dedicated thread, as before.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crate::runtime;
+
+/// Environment variable capping the executor's worker count.
+pub const TASK_WORKERS_ENV: &str = "AOMP_TASK_WORKERS";
+
+/// A queued task: the spawn surfaces wrap panic capture / completion
+/// signalling into the closure, so the executor itself only runs it.
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Bounds a parked worker's sleep so a (theoretical) lost wakeup costs a
+/// rescan, never liveness.
+const IDLE_PARK: Duration = Duration::from_millis(50);
+
+struct Ctl {
+    /// Workers currently parked on the condvar.
+    idle: usize,
+    /// Parked workers already promised to a submitted task but not yet
+    /// woken. `idle - claims` is the spare capacity admission control
+    /// checks; claiming under the same lock closes the race where two
+    /// submitters count one parked worker twice.
+    claims: usize,
+    /// Workers ever started (they never exit; also the next worker id).
+    live: usize,
+}
+
+struct Executor {
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    inner: Mutex<Ctl>,
+    cv: Condvar,
+    /// Tasks enqueued but not yet popped. Incremented under `inner` (so
+    /// the park-side recheck is loss-free), decremented lock-free on pop.
+    pending: AtomicUsize,
+    /// Round-robin enqueue cursor.
+    next: AtomicUsize,
+    max_workers: usize,
+}
+
+fn max_workers() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var(TASK_WORKERS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        let par = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (par * 4).clamp(8, 64)
+    })
+}
+
+fn executor() -> &'static Arc<Executor> {
+    static EXEC: OnceLock<Arc<Executor>> = OnceLock::new();
+    EXEC.get_or_init(|| {
+        let max = max_workers();
+        Arc::new(Executor {
+            queues: (0..max).map(|_| Mutex::new(VecDeque::new())).collect(),
+            inner: Mutex::new(Ctl {
+                idle: 0,
+                claims: 0,
+                live: 0,
+            }),
+            cv: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            max_workers: max,
+        })
+    })
+}
+
+fn enqueue(ex: &Executor, task: Task) {
+    let i = ex.next.fetch_add(1, Ordering::Relaxed) % ex.queues.len();
+    ex.queues[i].lock().push_back(task);
+}
+
+/// Pop a task: the worker's own queue from the front, everyone else's
+/// from the back (steal).
+fn pop_any(ex: &Executor, own: usize) -> Option<Task> {
+    let nq = ex.queues.len();
+    for k in 0..nq {
+        let i = (own + k) % nq;
+        let t = if k == 0 {
+            ex.queues[i].lock().pop_front()
+        } else {
+            ex.queues[i].lock().pop_back()
+        };
+        if let Some(t) = t {
+            ex.pending.fetch_sub(1, Ordering::Relaxed);
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn run_task(task: Task) {
+    // A panicking task must not kill its worker. The spawn surfaces that
+    // report panics (futures, groups) catch inside the closure and this
+    // payload is already-handled or a detached `spawn`'s (whose contract
+    // is the thread-per-task one: the panic is printed by the hook and
+    // otherwise lost).
+    let _ = catch_unwind(AssertUnwindSafe(task));
+}
+
+fn worker_loop(ex: &'static Arc<Executor>, id: usize) {
+    loop {
+        while let Some(t) = pop_any(ex, id) {
+            run_task(t);
+        }
+        let mut g = ex.inner.lock();
+        // Loss-free park: `pending` is only incremented under `inner`,
+        // so a task enqueued since the scan above is visible here.
+        if ex.pending.load(Ordering::Relaxed) > 0 {
+            drop(g);
+            continue;
+        }
+        g.idle += 1;
+        ex.cv.wait_for(&mut g, IDLE_PARK);
+        g.idle -= 1;
+        g.claims = g.claims.saturating_sub(1);
+    }
+}
+
+/// Try to run `task` on the pool. `Err` hands the task back when the
+/// pool is disabled, saturated (no parked worker to claim and no room to
+/// grow), or a needed worker could not be spawned — the caller decides
+/// the fallback.
+pub(crate) fn try_submit(task: Task) -> Result<(), Task> {
+    if !runtime::pool_enabled() {
+        return Err(task);
+    }
+    let ex = executor();
+    let mut g = ex.inner.lock();
+    if g.idle > g.claims {
+        g.claims += 1;
+        enqueue(ex, task);
+        ex.pending.fetch_add(1, Ordering::Relaxed);
+        drop(g);
+        ex.cv.notify_one();
+        return Ok(());
+    }
+    if g.live < ex.max_workers {
+        let id = g.live;
+        g.live += 1;
+        drop(g);
+        let spawned = std::thread::Builder::new()
+            .name(format!("aomp-exec-{id}"))
+            .spawn(move || worker_loop(executor(), id));
+        match spawned {
+            Ok(_) => {
+                enqueue(ex, task);
+                let g = ex.inner.lock();
+                ex.pending.fetch_add(1, Ordering::Relaxed);
+                drop(g);
+                ex.cv.notify_one();
+                Ok(())
+            }
+            Err(_) => {
+                ex.inner.lock().live -= 1;
+                Err(task)
+            }
+        }
+    } else {
+        Err(task)
+    }
+}
+
+/// Run `task` somewhere: the shared pool if it can take it, else a
+/// dedicated thread named `name` (the classic thread-per-task path),
+/// else — when even that spawn fails — inline on the caller. Inline
+/// degradation is the sequential semantics the paper guarantees for
+/// unplugged annotations, and strictly better than the panic it
+/// replaces: the task still runs, completion counters still reach zero,
+/// futures still get their value.
+pub(crate) fn dispatch(name: &'static str, task: Task) {
+    let task = match try_submit(task) {
+        Ok(()) => return,
+        Err(task) => task,
+    };
+    // `Builder::spawn` consumes the closure even on error, so park the
+    // task in a shared slot the caller can reclaim if the spawn fails.
+    let slot = Arc::new(Mutex::new(Some(task)));
+    let runner = Arc::clone(&slot);
+    let spawned = std::thread::Builder::new()
+        .name(name.into())
+        .spawn(move || {
+            let t = runner.lock().take();
+            if let Some(t) = t {
+                t();
+            }
+        });
+    if spawned.is_err() {
+        let t = slot.lock().take();
+        if let Some(t) = t {
+            t();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn submitted_tasks_all_run() {
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            dispatch(
+                "aomp-task",
+                Box::new(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        let t0 = std::time::Instant::now();
+        while done.load(Ordering::SeqCst) < 64 {
+            assert!(t0.elapsed() < Duration::from_secs(30), "tasks stuck");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_worker() {
+        let done = Arc::new(AtomicUsize::new(0));
+        dispatch("aomp-task", Box::new(|| panic!("task dies")));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            dispatch(
+                "aomp-task",
+                Box::new(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        let t0 = std::time::Instant::now();
+        while done.load(Ordering::SeqCst) < 8 {
+            assert!(t0.elapsed() < Duration::from_secs(30), "pool wedged");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn disabled_pool_refuses_submission() {
+        runtime::set_pool_enabled(false);
+        let r = try_submit(Box::new(|| {}));
+        runtime::set_pool_enabled(true);
+        assert!(r.is_err(), "disabled pool must hand the task back");
+    }
+}

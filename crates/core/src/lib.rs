@@ -69,6 +69,7 @@ pub mod clock;
 pub mod critical;
 pub mod ctx;
 pub mod error;
+pub(crate) mod executor;
 pub mod hook;
 pub mod pool;
 pub mod range;

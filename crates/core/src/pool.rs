@@ -1,168 +1,193 @@
-//! A persistent team pool — the optimised parallel-region executor.
+//! Hot teams — the pooled parallel-region executor and its runtime cache.
 //!
-//! The paper's Figure 9 model (and [`region::parallel`](crate::region::parallel)) spawns a fresh
-//! team per region, as AOmpLib v1.0 did; its §VII names "the optimisation
-//! of several mechanisms" as current work. This module is that
-//! optimisation: a [`TeamPool`] keeps `n − 1` workers parked and
-//! dispatches region bodies to them, eliminating thread creation from
-//! the region-entry path. The `region_pool` ablation bench quantifies the
-//! difference.
+//! The paper's Figure 9 model spawns a fresh team per region, as AOmpLib
+//! v1.0 did; its §VII names "the optimisation of several mechanisms" as
+//! current work and Figure 13 measures the cost: parallel-region entry
+//! overhead. This module is that optimisation, and since the hot-teams
+//! change it is the *default* region executor, not an ablation
+//! alternative: [`region::parallel`](crate::region::parallel) (and with
+//! it the `#[parallel]` macro, the weaver and every JGF kernel) leases a
+//! [`HotTeam`] — `n − 1` workers parked on a condvar — from a
+//! process-wide cache keyed by team size, dispatches the region body to
+//! them, and returns the team on region exit. Thread creation leaves the
+//! region-entry path entirely after the first region of each size; the
+//! `fig13` bench (`BENCH_fig13.json`) quantifies the difference between
+//! this path and the spawn path.
 //!
-//! Semantics match [`region::parallel_with`](crate::region::parallel_with): every member (the caller
-//! is the master, id 0) runs the body once under a fresh team context;
-//! panics poison the team and re-raise on the caller.
+//! The pooled path preserves the full member protocol: every member runs
+//! under a fresh team context (`MemberStart`/`MemberEnd` hook events,
+//! cancellation points, watchdog wait-site registration), panics are
+//! filtered through the same exit classifier as spawned members, and a
+//! panicking or cancelled region never poisons the team for its next
+//! lease — the workers themselves hold no region state between
+//! generations.
 //!
-//! One deliberate restriction: a body must not re-enter the *same* pool
-//! (the workers are busy executing it); use nested spawned regions or a
-//! second pool for nesting.
+//! Fallbacks to the spawn executor (fresh scoped threads): nested
+//! regions (`ctx::level() > 0` — the cache only serves top-level
+//! regions, avoiding lease re-entrancy), `AOMP_NO_POOL=1` /
+//! [`runtime::set_pool_enabled(false)`](crate::runtime::set_pool_enabled),
+//! [`RegionConfig::pooled(false)`](crate::region::RegionConfig::pooled),
+//! and worker-spawn failure on a cache miss.
+//! [`region::try_parallel_detached`](crate::region::try_parallel_detached)
+//! always spawns: its abandonment contract needs threads the runtime can
+//! afford to leak.
+//!
+//! One observable consequence of reuse: hot-team workers are long-lived
+//! OS threads, so per-OS-thread state such as
+//! [`ThreadLocalField`](crate::threadlocal::ThreadLocalField) copies
+//! persists across regions until `reduce`/`drain_locals` — exactly as it
+//! always did under a user-owned [`TeamPool`].
+//!
+//! [`TeamPool`] remains the *explicit* surface: a user-owned team with a
+//! fixed size, independent of the runtime cache (leases never hand out a
+//! `TeamPool`'s workers, and a `TeamPool` never borrows cached ones).
+//! Its one deliberate restriction stands: a body must not re-enter the
+//! *same* pool (the workers are busy executing it); nested
+//! [`region::parallel`](crate::region::parallel) calls inside a pool
+//! body fall back to spawned teams automatically.
 
 use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::ctx::{CtxGuard, TeamShared};
+use crate::region::{record_member_exit, PayloadSlot};
 
-/// Type-erased pointer to the job body. The pointee lives on the
-/// dispatching caller's stack; the completion protocol guarantees all
-/// uses happen before `parallel` returns.
+/// Lifetime-erased view of one dispatched region: the body and the
+/// first-panic slot, both living on the dispatching caller's stack. The
+/// completion protocol (the master's [`HotTeam::join_workers`] blocks
+/// until every worker signalled done) bounds all worker dereferences
+/// within the dispatching call, which is what makes the `'static`
+/// erasure sound.
 #[derive(Clone, Copy)]
-struct BodyPtr(*const (dyn Fn() + Sync));
-// SAFETY: the pointee is Sync and the pool's completion protocol bounds
-// every dereference within the lifetime of the `parallel` call.
-unsafe impl Send for BodyPtr {}
+struct JobPtrs {
+    body: &'static (dyn Fn() + Sync),
+    payload: &'static PayloadSlot,
+}
 
 struct Job {
     generation: u64,
-    body: Option<BodyPtr>,
+    ptrs: Option<JobPtrs>,
     team: Option<Arc<TeamShared>>,
     shutdown: bool,
 }
 
-struct PoolShared {
+struct HotShared {
     job: Mutex<Job>,
     start: Condvar,
     done: Mutex<usize>,
     done_cv: Condvar,
-    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     generation: AtomicU64,
-    /// Serialises concurrent `parallel` dispatches on one pool.
-    dispatch: Mutex<()>,
 }
 
-/// A reusable team of worker threads for executing parallel regions.
-pub struct TeamPool {
-    shared: Arc<PoolShared>,
+/// A parked team of `size − 1` worker threads that executes one region
+/// generation at a time. This is the engine under both the runtime
+/// hot-team cache (via [`lease`]) and the public [`TeamPool`].
+pub(crate) struct HotTeam {
+    shared: Arc<HotShared>,
     handles: Vec<std::thread::JoinHandle<()>>,
     size: usize,
 }
 
-impl TeamPool {
-    /// Pool executing regions with a team of `threads` (spawns
-    /// `threads − 1` persistent workers).
-    pub fn new(threads: usize) -> Self {
-        assert!(threads >= 1, "a team pool needs at least one thread");
-        let shared = Arc::new(PoolShared {
+impl HotTeam {
+    /// Spawn `size − 1` parked workers. Unlike the region spawn path this
+    /// is fallible: a cache miss under thread exhaustion must fall back
+    /// to the (equally doomed, but consistently reported) spawn executor
+    /// rather than panic inside the dispatcher.
+    fn new(size: usize) -> std::io::Result<Self> {
+        assert!(size >= 1, "a hot team needs at least one thread");
+        let shared = Arc::new(HotShared {
             job: Mutex::new(Job {
                 generation: 0,
-                body: None,
+                ptrs: None,
                 team: None,
                 shutdown: false,
             }),
             start: Condvar::new(),
             done: Mutex::new(0),
             done_cv: Condvar::new(),
-            panic_payload: Mutex::new(None),
             generation: AtomicU64::new(0),
-            dispatch: Mutex::new(()),
         });
-        let handles = (1..threads)
-            .map(|tid| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("aomp-pool-t{tid}"))
-                    .spawn(move || worker_loop(shared, tid))
-                    .expect("failed to spawn aomp pool worker")
-            })
-            .collect();
-        Self {
+        let mut handles = Vec::with_capacity(size - 1);
+        for tid in 1..size {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("aomp-pool-t{tid}"))
+                .spawn(move || worker_loop(worker_shared, tid));
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Partial team: shut down what was spawned.
+                    let partial = HotTeam {
+                        shared,
+                        handles,
+                        size,
+                    };
+                    drop(partial);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Self {
             shared,
             handles,
-            size: threads,
-        }
+            size,
+        })
     }
 
-    /// Team size of this pool.
-    pub fn size(&self) -> usize {
+    pub(crate) fn size(&self) -> usize {
         self.size
     }
 
-    /// Execute `body` as a parallel region on the pooled team. Blocks
-    /// until every member has finished; panics (on the caller) if any
-    /// member panicked.
-    pub fn parallel<F>(&self, body: F)
-    where
-        F: Fn() + Sync,
-    {
-        let n = if crate::runtime::parallel_enabled() {
-            self.size
-        } else {
-            1
-        };
-        let team = Arc::new(TeamShared::new(n, crate::ctx::level() + 1));
-        if n == 1 {
-            let _guard = CtxGuard::enter(team, 0);
-            body();
-            return;
-        }
-        // One region at a time per pool; clear any stale panic payload
-        // left by a region whose master itself panicked.
-        let _dispatch = self.shared.dispatch.lock();
-        *self.shared.panic_payload.lock() = None;
-        // Erase the body's lifetime for the workers. SAFETY: the
-        // completion wait below ensures no worker touches the pointer
-        // after this frame ends.
-        let wide: &(dyn Fn() + Sync) = &body;
-        let ptr = BodyPtr(unsafe {
-            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(wide)
-        });
+    fn workers(&self) -> usize {
+        self.size - 1
+    }
 
+    /// Wake every worker with one region generation. The caller must pair
+    /// this with [`join_workers`](Self::join_workers) before `team`,
+    /// `payload` or `body` go out of scope, and must not dispatch again
+    /// before that join — the single-`Job`-slot protocol has no queue.
+    pub(crate) fn dispatch(
+        &self,
+        team: &Arc<TeamShared>,
+        payload: &PayloadSlot,
+        body: &(dyn Fn() + Sync),
+    ) {
+        // SAFETY: the pointees outlive every use — workers only touch
+        // them between this dispatch and the completion signal that
+        // `join_workers` waits for, and the caller keeps both alive
+        // across that window (it owns them on its stack).
+        let ptrs = JobPtrs {
+            body: unsafe {
+                std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body)
+            },
+            payload: unsafe { std::mem::transmute::<&PayloadSlot, &'static PayloadSlot>(payload) },
+        };
         let generation = self.shared.generation.fetch_add(1, Ordering::Relaxed) + 1;
         {
             let mut job = self.shared.job.lock();
             job.generation = generation;
-            job.body = Some(ptr);
-            job.team = Some(Arc::clone(&team));
+            job.ptrs = Some(ptrs);
+            job.team = Some(Arc::clone(team));
         }
         self.shared.start.notify_all();
+    }
 
-        // The caller is the master.
-        let master_result = {
-            let _guard = CtxGuard::enter(Arc::clone(&team), 0);
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(&body))
-        };
-        if master_result.is_err() {
-            team.poison();
+    /// Block until every worker of the current generation signalled
+    /// completion, then reset the counter for the next generation.
+    pub(crate) fn join_workers(&self) {
+        let workers = self.workers();
+        let mut done = self.shared.done.lock();
+        while *done < workers {
+            self.shared.done_cv.wait(&mut done);
         }
-
-        // Wait for all workers of this generation.
-        {
-            let mut done = self.shared.done.lock();
-            while *done < self.size - 1 {
-                self.shared.done_cv.wait(&mut done);
-            }
-            *done = 0;
-        }
-        // Re-raise: the master's own panic wins, else a worker's.
-        if let Err(p) = master_result {
-            std::panic::resume_unwind(p);
-        }
-        if let Some(p) = self.shared.panic_payload.lock().take() {
-            std::panic::resume_unwind(p);
-        }
+        *done = 0;
     }
 }
 
-impl Drop for TeamPool {
+impl Drop for HotTeam {
     fn drop(&mut self) {
         {
             let mut job = self.shared.job.lock();
@@ -175,10 +200,10 @@ impl Drop for TeamPool {
     }
 }
 
-fn worker_loop(shared: Arc<PoolShared>, tid: usize) {
+fn worker_loop(shared: Arc<HotShared>, tid: usize) {
     let mut last_generation = 0u64;
     loop {
-        let (body, team) = {
+        let (ptrs, team) = {
             let mut job = shared.job.lock();
             loop {
                 if job.shutdown {
@@ -191,34 +216,216 @@ fn worker_loop(shared: Arc<PoolShared>, tid: usize) {
             }
             last_generation = job.generation;
             (
-                job.body.expect("job body set"),
+                job.ptrs.expect("job body set"),
                 job.team.clone().expect("job team set"),
             )
         };
-        let result = {
+        // The full member protocol, identical to a spawned team thread:
+        // the ctx guard emits MemberStart/MemberEnd hook events and makes
+        // cancellation points and wait-site registration work, and the
+        // exit classifier filters benign unwinds (cancel echoes, sibling
+        // poison) so only real panics reach the caller.
+        let r = catch_unwind(AssertUnwindSafe(|| {
             let _guard = CtxGuard::enter(Arc::clone(&team), tid);
-            // SAFETY: the dispatching `parallel` frame is alive until all
-            // workers signal completion below.
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*body.0)() }))
-        };
-        if let Err(p) = result {
-            team.poison();
-            let mut slot = shared.panic_payload.lock();
-            if slot.is_none() {
-                *slot = Some(p);
-            }
-        }
+            (ptrs.body)();
+        }));
+        record_member_exit(&team, ptrs.payload, r);
         let mut done = shared.done.lock();
         *done += 1;
-        if *done == shared_workers(&shared, &team) {
+        if *done == team.n - 1 {
             shared.done_cv.notify_all();
         }
-        drop(done);
     }
 }
 
-fn shared_workers(_shared: &PoolShared, team: &TeamShared) -> usize {
-    team.n - 1
+// ---------------------------------------------------------------------
+// The runtime hot-team cache
+// ---------------------------------------------------------------------
+
+/// Cap on the total number of workers parked in *idle* cached teams.
+/// Teams returned past the cap are torn down instead of cached — a bound
+/// on quiescent thread usage, not on concurrency (leased teams don't
+/// count; a burst of concurrent regions simply creates more teams).
+const MAX_IDLE_WORKERS: usize = 256;
+
+#[derive(Default)]
+struct CacheState {
+    /// Idle teams keyed by team size.
+    teams: HashMap<usize, Vec<HotTeam>>,
+    /// Total workers across all idle teams.
+    workers: usize,
+}
+
+fn cache() -> &'static Mutex<CacheState> {
+    static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(CacheState::default()))
+}
+
+static POOLED_REGIONS: AtomicU64 = AtomicU64::new(0);
+static SPAWNED_REGIONS: AtomicU64 = AtomicU64::new(0);
+static TEAMS_CREATED: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic counters describing how multi-thread regions were executed;
+/// used by the hot-team tests and the `fig13` bench. Deltas between two
+/// snapshots attribute the regions in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotTeamStats {
+    /// Regions served by a cached/leased hot team.
+    pub pooled_regions: u64,
+    /// Regions that fell back to freshly spawned scoped threads.
+    pub spawned_regions: u64,
+    /// Hot teams created on cache misses (lower = better reuse).
+    pub teams_created: u64,
+}
+
+/// Snapshot of the process-wide hot-team counters.
+pub fn hot_team_stats() -> HotTeamStats {
+    HotTeamStats {
+        pooled_regions: POOLED_REGIONS.load(Ordering::Relaxed),
+        spawned_regions: SPAWNED_REGIONS.load(Ordering::Relaxed),
+        teams_created: TEAMS_CREATED.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn note_pooled_region() {
+    POOLED_REGIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_spawned_region() {
+    SPAWNED_REGIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// An exclusive lease on a [`HotTeam`] from the runtime cache. Dropping
+/// the lease returns the team to the cache (or tears it down past
+/// [`MAX_IDLE_WORKERS`]). Exclusivity is the reason the hot path needs no
+/// dispatch serialisation: concurrent top-level regions each hold their
+/// own team.
+pub(crate) struct HotLease {
+    team: Option<HotTeam>,
+}
+
+impl HotLease {
+    pub(crate) fn team(&self) -> &HotTeam {
+        self.team.as_ref().expect("lease holds a team until drop")
+    }
+}
+
+impl Drop for HotLease {
+    fn drop(&mut self) {
+        let team = self.team.take().expect("lease holds a team until drop");
+        let evicted = {
+            let mut st = cache().lock();
+            if st.workers + team.workers() <= MAX_IDLE_WORKERS {
+                st.workers += team.workers();
+                st.teams.entry(team.size()).or_default().push(team);
+                None
+            } else {
+                Some(team)
+            }
+        };
+        // Tear down outside the lock: Drop joins the workers.
+        drop(evicted);
+    }
+}
+
+/// Lease a hot team of exactly `size` threads from the cache, creating
+/// one on a miss. Returns `None` when the workers cannot be spawned —
+/// the caller falls back to the spawn executor.
+pub(crate) fn lease(size: usize) -> Option<HotLease> {
+    debug_assert!(size >= 2, "size-1 regions run inline, not pooled");
+    let cached = {
+        let mut st = cache().lock();
+        match st.teams.get_mut(&size).and_then(|v| v.pop()) {
+            Some(t) => {
+                st.workers -= t.workers();
+                Some(t)
+            }
+            None => None,
+        }
+    };
+    let team = match cached {
+        Some(t) => t,
+        None => {
+            let t = HotTeam::new(size).ok()?;
+            TEAMS_CREATED.fetch_add(1, Ordering::Relaxed);
+            t
+        }
+    };
+    Some(HotLease { team: Some(team) })
+}
+
+// ---------------------------------------------------------------------
+// The explicit, user-owned pool
+// ---------------------------------------------------------------------
+
+/// A reusable, user-owned team of worker threads for executing parallel
+/// regions — the explicit counterpart of the runtime's hot-team cache.
+///
+/// Semantics match [`region::parallel_with`](crate::region::parallel_with):
+/// every member (the caller is the master, id 0) runs the body once under
+/// a fresh team context; panics poison the team and re-raise on the
+/// caller; the pool itself survives and stays reusable.
+///
+/// Owning a `TeamPool` pins its workers for the pool's lifetime and
+/// guarantees the team size regardless of cache pressure; the implicit
+/// cache behind [`region::parallel`](crate::region::parallel) makes the
+/// same optimisation without the object to carry around.
+pub struct TeamPool {
+    inner: HotTeam,
+    /// Serialises concurrent `parallel` dispatches on one pool (the
+    /// single-job-slot protocol admits one generation at a time).
+    dispatch: Mutex<()>,
+}
+
+impl TeamPool {
+    /// Pool executing regions with a team of `threads` (spawns
+    /// `threads − 1` persistent workers).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a team pool needs at least one thread");
+        Self {
+            inner: HotTeam::new(threads).expect("failed to spawn aomp pool worker"),
+            dispatch: Mutex::new(()),
+        }
+    }
+
+    /// Team size of this pool.
+    pub fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    /// Execute `body` as a parallel region on the pooled team. Blocks
+    /// until every member has finished; panics (on the caller) if any
+    /// member panicked.
+    pub fn parallel<F>(&self, body: F)
+    where
+        F: Fn() + Sync,
+    {
+        let n = if crate::runtime::parallel_enabled() {
+            self.size()
+        } else {
+            1
+        };
+        let team = Arc::new(TeamShared::new(n, crate::ctx::level() + 1));
+        if n == 1 {
+            let _guard = CtxGuard::enter(team, 0);
+            body();
+            return;
+        }
+        let _dispatch = self.dispatch.lock();
+        let payload: PayloadSlot = Mutex::new(None);
+        self.inner.dispatch(&team, &payload, &body);
+        // The caller is the master.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = CtxGuard::enter(Arc::clone(&team), 0);
+            body();
+        }));
+        record_member_exit(&team, &payload, r);
+        self.inner.join_workers();
+        let panic = payload.lock().take();
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -344,5 +551,17 @@ mod tests {
         });
         crate::runtime::set_parallel_enabled(true);
         assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn lease_round_trips_through_cache() {
+        // Two sequential leases of an unusual size: the first may miss,
+        // the second must be servable either way (cache hit or re-spawn).
+        {
+            let l = lease(7).expect("lease");
+            assert_eq!(l.team().size(), 7);
+        } // returned to cache on drop
+        let l = lease(7).expect("lease");
+        assert_eq!(l.team().size(), 7);
     }
 }

@@ -7,6 +7,16 @@
 //! `ParallelRegion` aspect (crate `aomp-weaver`) and the `#[parallel]`
 //! annotation (crate `aomp-macros`) both dispatch into.
 //!
+//! Top-level multi-thread regions are served by **hot teams** by
+//! default: parked workers leased from a process-wide, size-keyed cache
+//! (see [`pool`](crate::pool)) instead of `n − 1` fresh OS threads per
+//! region. Nested regions, `AOMP_NO_POOL=1` /
+//! [`runtime::set_pool_enabled(false)`](crate::runtime::set_pool_enabled),
+//! [`RegionConfig::pooled(false)`] and [`try_parallel_detached`] use the
+//! spawn executor. Pooled or spawned, the member protocol — context
+//! guards, hook events, cancellation points, watchdog wait sites, panic
+//! classification — is identical.
+//!
 //! # Failure semantics
 //!
 //! Three API surfaces over two executors:
@@ -75,6 +85,8 @@ pub struct RegionConfig {
     cancellable: Option<bool>,
     /// Arm the stall watchdog with this deadline.
     stall_deadline: Option<Duration>,
+    /// Allow (default) or refuse the hot-team cache for this region.
+    pooled: Option<bool>,
 }
 
 impl RegionConfig {
@@ -133,6 +145,20 @@ impl RegionConfig {
     pub fn stall_deadline(mut self, deadline: Duration) -> Self {
         assert!(!deadline.is_zero(), "stall deadline must be non-zero");
         self.stall_deadline = Some(deadline);
+        self
+    }
+
+    /// Allow (`true`, the default) or refuse (`false`) serving this
+    /// region from the runtime's hot-team cache. With pooling refused the
+    /// region always spawns fresh scoped threads — the per-region
+    /// counterpart of the process-wide
+    /// [`runtime::set_pool_enabled`](crate::runtime::set_pool_enabled) /
+    /// `AOMP_NO_POOL=1` opt-out. Semantics are identical either way; the
+    /// switch exists for ablation measurements and for bodies that want
+    /// guaranteed-fresh OS threads (e.g. ones mutating thread-level
+    /// state such as signal masks or priorities).
+    pub fn pooled(mut self, pooled: bool) -> Self {
+        self.pooled = Some(pooled);
         self
     }
 
@@ -306,13 +332,15 @@ enum RawOutcome {
 
 /// First *real* panic payload of the team (benign `Cancelled` /
 /// `TeamPoisoned` unwinds are filtered out by [`record_member_exit`]).
-type PayloadSlot = Mutex<Option<Box<dyn std::any::Any + Send>>>;
+/// `pub(crate)` because the hot-team executor (`pool`) runs the same
+/// member exit protocol.
+pub(crate) type PayloadSlot = Mutex<Option<Box<dyn std::any::Any + Send>>>;
 
 /// Classify one member's exit. Benign unwinds (`Cancelled` echoes of an
 /// actual team cancel, `TeamPoisoned` echoes of a sibling's panic) are
 /// absorbed; a real panic poisons the team and its payload is kept
 /// (first wins).
-fn record_member_exit(
+pub(crate) fn record_member_exit(
     shared: &TeamShared,
     payload: &PayloadSlot,
     r: Result<(), Box<dyn std::any::Any + Send>>,
@@ -375,7 +403,11 @@ where
     });
     if n == 1 {
         inline_region(&shared, &payload, &body, deadline);
+    } else if let Some(lease) = hot_lease(&cfg, n) {
+        crate::pool::note_pooled_region();
+        hot_region(lease.team(), deadline, &shared, &payload, &body);
     } else {
+        crate::pool::note_spawned_region();
         scoped_region(n, deadline, &shared, &payload, &body);
     }
     let outcome = classify(&shared, &payload);
@@ -403,6 +435,9 @@ where
         inline_region(&shared, &payload, &body, deadline);
         classify(&shared, &payload)
     } else {
+        // Never pooled: abandonment on the stall path needs threads the
+        // runtime can afford to leak, so fresh detached ones are spawned.
+        crate::pool::note_spawned_region();
         detached_region(n, deadline, &shared, body)
     };
     hook::emit(|| HookEvent::RegionEnd {
@@ -434,11 +469,62 @@ fn inline_region<F>(
     shared.shutdown_watch(); // watchdog (if any) exits on its next tick
 }
 
-/// The borrowing executor behind [`parallel_with`] / [`try_parallel_with`]:
-/// scoped threads, always a full join — the body may capture the caller's
-/// frame by reference precisely because no member can outlive this call.
-/// Mirrors paper Figure 9: spawn n−1 workers, the master executes the
-/// body itself, then joins the rest.
+/// Try to lease a hot team for this region. The cache only serves
+/// top-level regions: a nested region's caller may itself be a hot-team
+/// worker mid-dispatch, and the spawn executor handles arbitrary nesting
+/// depth without lease re-entrancy questions.
+fn hot_lease(cfg: &RegionConfig, n: usize) -> Option<crate::pool::HotLease> {
+    if cfg.pooled == Some(false) || !runtime::pool_enabled() || ctx::level() > 0 {
+        return None;
+    }
+    crate::pool::lease(n)
+}
+
+/// The hot-team executor behind the default [`parallel_with`] path: the
+/// leased team's parked workers run the body instead of freshly spawned
+/// threads. Same structure and same contracts as [`scoped_region`] —
+/// full join, cooperative watchdog, registered join wait site — with the
+/// thread-creation cost paid once per team, not per region.
+///
+/// Lifetime note: the body and panic slot cross into the workers via the
+/// pool's lifetime-erased dispatch; `join_workers` returning is what
+/// bounds every worker access within this frame. The watchdog is armed
+/// *before* dispatch so no panic (e.g. watchdog spawn failure) can
+/// unwind this frame between dispatch and join.
+fn hot_region<F>(
+    team: &crate::pool::HotTeam,
+    deadline: Option<Duration>,
+    shared: &Arc<TeamShared>,
+    payload: &PayloadSlot,
+    body: &F,
+) where
+    F: Fn() + Sync,
+{
+    debug_assert_eq!(team.size(), shared.n);
+    let _watchdog = deadline.map(|d| spawn_watchdog(Arc::clone(shared), d));
+    team.dispatch(shared, payload, body);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = CtxGuard::enter(Arc::clone(shared), 0);
+        body();
+    }));
+    record_member_exit(shared, payload, r);
+    {
+        // As in `scoped_region`: the join is a registered wait site so
+        // the watchdog can adjudicate a stall even when no member is
+        // parked in a library primitive.
+        let _w = shared.begin_wait(0, WaitSite::Join);
+        team.join_workers();
+    }
+    shared.shutdown_watch(); // watchdog (if any) exits on its next tick
+}
+
+/// The spawning executor behind [`parallel_with`] / [`try_parallel_with`]
+/// when the hot-team cache is unavailable (nested regions, pooling
+/// disabled, worker-spawn failure): scoped threads, always a full join —
+/// the body may capture the caller's frame by reference precisely
+/// because no member can outlive this call. Mirrors paper Figure 9:
+/// spawn n−1 workers, the master executes the body itself, then joins
+/// the rest.
 ///
 /// A watchdog (when armed) is *cooperative*: on a stall it force-cancels
 /// the team so members parked in library primitives unwind and the join

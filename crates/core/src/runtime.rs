@@ -12,8 +12,15 @@ use std::time::Duration;
 /// Environment variable controlling the default team size.
 pub const NUM_THREADS_ENV: &str = "AOMP_NUM_THREADS";
 
+/// Environment variable disabling the hot-team cache and the shared task
+/// executor (`AOMP_NO_POOL=1`): every region spawns fresh OS threads and
+/// every task gets a dedicated thread, as in the unpooled runtime.
+pub const NO_POOL_ENV: &str = "AOMP_NO_POOL";
+
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 static PARALLEL_ENABLED: AtomicBool = AtomicBool::new(true);
+/// 0 = unset (fall back to the env default), 1 = enabled, 2 = disabled.
+static POOL_MODE: AtomicUsize = AtomicUsize::new(0);
 /// Default stall deadline in nanoseconds; 0 = no watchdog.
 static DEFAULT_STALL_NANOS: AtomicU64 = AtomicU64::new(0);
 
@@ -67,6 +74,38 @@ pub fn set_parallel_enabled(enabled: bool) {
 /// Whether parallel execution is globally enabled (default: `true`).
 pub fn parallel_enabled() -> bool {
     PARALLEL_ENABLED.load(Ordering::Relaxed)
+}
+
+fn pool_env_default() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        !std::env::var(NO_POOL_ENV)
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            })
+            .unwrap_or(false)
+    })
+}
+
+/// Whether pooled execution ("hot teams" for regions, the shared executor
+/// for tasks) is enabled. Defaults to `true` unless [`NO_POOL_ENV`]
+/// (`AOMP_NO_POOL=1`) is set; [`set_pool_enabled`] overrides both.
+pub fn pool_enabled() -> bool {
+    match POOL_MODE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => pool_env_default(),
+    }
+}
+
+/// Enable or disable pooled execution at runtime. With pooling disabled
+/// every parallel region spawns fresh scoped threads and every task runs
+/// on a dedicated thread — the exact pre-pool executors, useful for
+/// ablation measurements (see `crates/bench/src/bin/fig13.rs`) and for
+/// isolating a suspected pool interaction. Overrides `AOMP_NO_POOL`.
+pub fn set_pool_enabled(enabled: bool) {
+    POOL_MODE.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
 }
 
 /// Arm (or with `None`, disarm) a process-wide default stall deadline.
@@ -144,6 +183,16 @@ mod tests {
         assert_eq!(default_stall_deadline(), Some(Duration::from_millis(250)));
         set_default_stall_deadline(None);
         assert_eq!(default_stall_deadline(), None);
+    }
+
+    #[test]
+    fn pool_enabled_toggle() {
+        // Both executors must be correct regardless of this flag, so a
+        // concurrent unit test observing the transient value is fine.
+        set_pool_enabled(false);
+        assert!(!pool_enabled());
+        set_pool_enabled(true);
+        assert!(pool_enabled());
     }
 
     #[test]

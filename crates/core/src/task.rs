@@ -7,11 +7,20 @@
 //! return value: the result object's getter/setter act as synchronisation
 //! points (`@FutureResult`).
 //!
-//! Mapping: [`spawn`] creates a new activity (a thread, literally the
-//! paper's model); [`TaskGroup`] is the join point for `@TaskWait`;
-//! [`FutureTask`] is the future whose [`get`](FutureTask::get) is the
-//! `@FutureResult`-getter synchronisation point, backed by a hand-built
-//! one-shot channel.
+//! Mapping: [`spawn`] creates a new activity; [`TaskGroup`] is the join
+//! point for `@TaskWait`; [`FutureTask`] is the future whose
+//! [`get`](FutureTask::get) is the `@FutureResult`-getter
+//! synchronisation point, backed by a hand-built one-shot channel.
+//!
+//! Activities run on the shared work-stealing
+//! [`executor`](crate::executor) (parked workers, per-worker deques) —
+//! not one OS thread per task as in the paper's literal model. The
+//! executor admits a task only when a worker is free or the pool can
+//! grow; otherwise the spawn falls back to a dedicated thread, and on
+//! thread exhaustion to *inline* execution on the caller (sequential
+//! semantics) instead of panicking. `AOMP_NO_POOL=1` /
+//! [`runtime::set_pool_enabled(false)`](crate::runtime::set_pool_enabled)
+//! restores thread-per-task.
 //!
 //! Failure semantics: a producer's panic poisons its one-shot cell *with
 //! the original payload*, which [`FutureTask::get`] re-raises
@@ -134,15 +143,16 @@ impl<T> OneShot<T> {
 /// Spawn a detached parallel activity executing `f` — `@Task` without a
 /// join point. Prefer [`TaskGroup::spawn`] when completion must be
 /// awaited.
+///
+/// Never panics on resource exhaustion: with the executor saturated and
+/// no thread to be had, `f` runs inline on the caller before `spawn`
+/// returns (sequential semantics).
 pub fn spawn<F>(f: F)
 where
     F: FnOnce() + Send + 'static,
 {
     hook::emit_team(|team, tid| HookEvent::TaskSpawn { team, tid });
-    std::thread::Builder::new()
-        .name("aomp-task".into())
-        .spawn(f)
-        .expect("failed to spawn aomp task");
+    crate::executor::dispatch("aomp-task", Box::new(f));
 }
 
 /// Spawn an activity computing a value — `@FutureTask`. The returned
@@ -155,15 +165,15 @@ where
     hook::emit_team(|team, tid| HookEvent::TaskSpawn { team, tid });
     let shot = Arc::new(OneShot::new());
     let shot2 = Arc::clone(&shot);
-    std::thread::Builder::new()
-        .name("aomp-future-task".into())
+    crate::executor::dispatch(
+        "aomp-future-task",
         // Capture the panic payload so `get` can re-raise the *original*
         // panic instead of a generic "producer died" message.
-        .spawn(move || match catch_unwind(AssertUnwindSafe(f)) {
+        Box::new(move || match catch_unwind(AssertUnwindSafe(f)) {
             Ok(v) => shot2.publish(v),
             Err(p) => shot2.poison(Some(p)),
-        })
-        .expect("failed to spawn aomp future task");
+        }),
+    );
     FutureTask { shot }
 }
 
@@ -348,9 +358,9 @@ impl TaskGroup {
         hook::emit_team(|team, tid| HookEvent::TaskSpawn { team, tid });
         let state = Arc::clone(&self.state);
         state.outstanding.fetch_add(1, Ordering::AcqRel);
-        std::thread::Builder::new()
-            .name("aomp-task".into())
-            .spawn(move || {
+        crate::executor::dispatch(
+            "aomp-task",
+            Box::new(move || {
                 let ok = std::panic::catch_unwind(AssertUnwindSafe(f)).is_ok();
                 if !ok {
                     state.failed.store(true, Ordering::Release);
@@ -361,8 +371,8 @@ impl TaskGroup {
                     drop(_g);
                     state.cv.notify_all();
                 }
-            })
-            .expect("failed to spawn aomp task");
+            }),
+        );
     }
 
     /// Number of not-yet-finished tasks.

@@ -235,24 +235,45 @@ impl ForConstruct {
                             full: range,
                             shared: Some(scope_shared),
                         };
+                        // Chunk coalescing: grab a *batch* of consecutive
+                        // chunks per shared-counter fetch so fine-grained
+                        // loops (small `chunk`, large `count`) don't
+                        // hammer one cache line once per chunk. Sized so
+                        // every thread still makes ~8 trips to the
+                        // dispenser — enough batches left for load
+                        // balancing, the property dynamic scheduling is
+                        // for. Each chunk inside a batch remains its own
+                        // handout: a cancellation point, a progress bump
+                        // and a `ChunkHandout` hook event, so
+                        // cancellation latency and checker-visible
+                        // granularity are unchanged.
+                        let chunks_total = count.div_ceil(chunk);
+                        let coalesce = (chunks_total / (8 * n as u64)).clamp(1, 16);
+                        let batch = chunk * coalesce;
                         loop {
-                            // Cancellation point: stop handing out chunks
+                            // Cancellation point: stop requesting batches
                             // once the team is poisoned/cancelled.
                             c.shared.check_interrupt();
-                            let lo = dyn_state.next.fetch_add(chunk, AtomicOrdering::Relaxed);
+                            let lo = dyn_state.next.fetch_add(batch, AtomicOrdering::Relaxed);
                             if lo >= count {
                                 break;
                             }
-                            c.shared.bump_progress();
-                            let hi = (lo + chunk).min(count);
-                            hook::emit(|| HookEvent::ChunkHandout {
-                                team: c.shared.token(),
-                                tid,
-                                kind: "dynamic",
-                                lo: lo as i64,
-                                hi: hi as i64,
-                            });
-                            body(range.slice_iters(lo, hi), &scope);
+                            let batch_hi = (lo + batch).min(count);
+                            let mut cl = lo;
+                            while cl < batch_hi {
+                                c.shared.check_interrupt();
+                                c.shared.bump_progress();
+                                let hi = (cl + chunk).min(batch_hi);
+                                hook::emit(|| HookEvent::ChunkHandout {
+                                    team: c.shared.token(),
+                                    tid,
+                                    kind: "dynamic",
+                                    lo: cl as i64,
+                                    hi: hi as i64,
+                                });
+                                body(range.slice_iters(cl, hi), &scope);
+                                cl = hi;
+                            }
                         }
                         c.shared.detach_slot(self.key ^ DYN_KEY_SALT, round);
                         if !self.nowait {

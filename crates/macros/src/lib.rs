@@ -252,7 +252,9 @@ fn rewrap(header: Vec<TokenTree>, new_body: &str) -> TokenStream {
 /// `stall_deadline_ms = <int>` (arm the stall watchdog; a team stuck in
 /// its synchronisation primitives is cancelled and diagnosed instead of
 /// deadlocking — see `aomp::region` for what the watchdog can and
-/// cannot interrupt).
+/// cannot interrupt), and `pooled = <bool>` (default `true`: serve the
+/// region from the runtime's hot-team cache; `false` forces freshly
+/// spawned threads).
 #[proc_macro_attribute]
 pub fn parallel(attr: TokenStream, item: TokenStream) -> TokenStream {
     let (header, body) = match split_fn(item) {
@@ -297,9 +299,13 @@ pub fn parallel(attr: TokenStream, item: TokenStream) -> TokenStream {
                 )),
                 Err(e) => return compile_err(&e),
             },
+            "pooled" => match bool_value(arg) {
+                Ok(p) => cfg.push_str(&format!("__aomp_cfg = __aomp_cfg.pooled({p});")),
+                Err(e) => return compile_err(&e),
+            },
             other => {
                 return compile_err(&format!(
-                    "aomp: unknown #[parallel] argument `{other}` (expected threads/nested/only_if/cancellable/stall_deadline_ms)"
+                    "aomp: unknown #[parallel] argument `{other}` (expected threads/nested/only_if/cancellable/stall_deadline_ms/pooled)"
                 ))
             }
         }

@@ -58,6 +58,7 @@ pub(crate) enum MechanismKind {
         nested: Option<bool>,
         cancellable: bool,
         stall_deadline: Option<std::time::Duration>,
+        pooled: Option<bool>,
     },
     For {
         construct: ForConstruct,
@@ -105,6 +106,7 @@ impl Mechanism {
                 nested: None,
                 cancellable: false,
                 stall_deadline: None,
+                pooled: None,
             },
         }
     }
@@ -144,6 +146,17 @@ impl Mechanism {
         match &mut self.kind {
             MechanismKind::Parallel { stall_deadline, .. } => *stall_deadline = Some(deadline),
             _ => panic!("stall_deadline() only applies to Mechanism::parallel()"),
+        }
+        self
+    }
+
+    /// Allow or refuse the runtime hot-team cache for regions woven by
+    /// this mechanism — see [`RegionConfig::pooled`]. Defaults to
+    /// allowed.
+    pub fn pooled(mut self, pooled: bool) -> Self {
+        match &mut self.kind {
+            MechanismKind::Parallel { pooled: p, .. } => *p = Some(pooled),
+            _ => panic!("pooled() only applies to Mechanism::parallel()"),
         }
         self
     }
@@ -311,6 +324,7 @@ impl Mechanism {
                 nested,
                 cancellable,
                 stall_deadline,
+                pooled,
             } => {
                 let mut cfg = RegionConfig::new();
                 if let Some(t) = threads {
@@ -324,6 +338,9 @@ impl Mechanism {
                 }
                 if let Some(d) = stall_deadline {
                     cfg = cfg.stall_deadline(d);
+                }
+                if let Some(p) = pooled {
+                    cfg = cfg.pooled(p);
                 }
                 Some(cfg)
             }

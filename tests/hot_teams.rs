@@ -1,0 +1,260 @@
+//! Hot teams under failure: the pooled region path (the default since
+//! the hot-team cache landed) must survive cancellation, member panics
+//! and stall diagnoses without poisoning the cache for the next region,
+//! and the shared task executor behind `task::spawn` must stay live when
+//! tasks block on each other or the pool is disabled.
+
+use aomp_check as check;
+use aomplib::prelude::*;
+use aomplib::runtime::clock::VirtualClock;
+use aomplib::runtime::pool::hot_team_stats;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Tests that toggle the global pool kill switch or assert on the global
+/// hot-team counters serialise here, so a disabled pool in one test
+/// cannot turn another test's pooled region into a spawned one.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn top_level_regions_use_the_hot_team_cache() {
+    let _s = serial();
+    let before = hot_team_stats();
+    for _ in 0..4 {
+        let hits = AtomicUsize::new(0);
+        region::parallel_with(RegionConfig::new().threads(5), || {
+            hits.fetch_add(1, Ordering::SeqCst);
+            barrier();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+    }
+    let after = hot_team_stats();
+    assert!(
+        after.pooled_regions >= before.pooled_regions + 4,
+        "top-level regions should take the pooled path: {before:?} -> {after:?}"
+    );
+}
+
+#[test]
+fn pooled_false_forces_the_spawn_path() {
+    let _s = serial();
+    let before = hot_team_stats();
+    let hits = AtomicUsize::new(0);
+    region::parallel_with(RegionConfig::new().threads(4).pooled(false), || {
+        hits.fetch_add(1, Ordering::SeqCst);
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), 4);
+    let after = hot_team_stats();
+    assert!(after.spawned_regions > before.spawned_regions);
+    assert_eq!(after.pooled_regions, before.pooled_regions);
+}
+
+#[test]
+fn kill_switch_forces_the_spawn_path() {
+    let _s = serial();
+    runtime::set_pool_enabled(false);
+    let before = hot_team_stats();
+    let hits = AtomicUsize::new(0);
+    region::parallel_with(RegionConfig::new().threads(3), || {
+        hits.fetch_add(1, Ordering::SeqCst);
+        barrier();
+    });
+    runtime::set_pool_enabled(true);
+    assert_eq!(hits.load(Ordering::SeqCst), 3);
+    let after = hot_team_stats();
+    assert!(after.spawned_regions > before.spawned_regions);
+    assert_eq!(after.pooled_regions, before.pooled_regions);
+}
+
+#[test]
+fn nested_regions_fall_back_to_spawning() {
+    let _s = serial();
+    let before = hot_team_stats();
+    let inner_hits = AtomicUsize::new(0);
+    region::parallel_with(RegionConfig::new().threads(2), || {
+        region::parallel_with(RegionConfig::new().threads(2), || {
+            inner_hits.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    // 2 outer members × 2 inner members each.
+    assert_eq!(inner_hits.load(Ordering::SeqCst), 4);
+    let after = hot_team_stats();
+    assert!(
+        after.pooled_regions > before.pooled_regions,
+        "the outer region should be pooled"
+    );
+    assert!(
+        after.spawned_regions >= before.spawned_regions + 2,
+        "both inner regions should spawn (nesting fallback)"
+    );
+}
+
+#[test]
+fn cancelled_pooled_region_leaves_the_cache_clean() {
+    let _s = serial();
+    for round in 0..3 {
+        let r = region::try_parallel_with(RegionConfig::new().threads(4).cancellable(true), || {
+            if thread_id() == 1 {
+                cancel_team();
+            }
+            while cancellation_point().is_ok() {
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(r, Err(RegionError::Cancelled), "round {round}");
+        // The same team size must come back healthy from the cache.
+        let hits = AtomicUsize::new(0);
+        region::parallel_with(RegionConfig::new().threads(4), || {
+            hits.fetch_add(1, Ordering::SeqCst);
+            barrier();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4, "round {round}");
+    }
+}
+
+#[test]
+fn member_panic_does_not_poison_the_cache() {
+    let _s = serial();
+    for round in 0..3 {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            region::parallel_with(RegionConfig::new().threads(4), || {
+                if thread_id() == 2 {
+                    panic!("injected pooled-member failure");
+                }
+                barrier();
+            });
+        }));
+        assert!(r.is_err(), "round {round}: panic must reach the caller");
+        let hits = AtomicUsize::new(0);
+        region::parallel_with(RegionConfig::new().threads(4), || {
+            hits.fetch_add(1, Ordering::SeqCst);
+            barrier();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4, "round {round}");
+    }
+}
+
+#[test]
+fn stall_watchdog_fires_inside_a_pooled_region() {
+    let _s = serial();
+    let before = hot_team_stats();
+    // Virtual time: a 5-minute deadline elapses in wall-clock
+    // microseconds. The hang is synchronisation-level (one member waits
+    // at a barrier round the rest never join), so the watchdog's
+    // force-cancel can wake it and the pooled team still fully joins.
+    let clock = VirtualClock::install();
+    let r = region::try_parallel_with(
+        RegionConfig::new()
+            .threads(3)
+            .stall_deadline(Duration::from_secs(300)),
+        || {
+            barrier();
+            if thread_id() == 1 {
+                barrier();
+            }
+        },
+    );
+    drop(clock);
+    assert!(
+        matches!(r, Err(RegionError::Stalled { .. })),
+        "expected a stall diagnosis, got {r:?}"
+    );
+    let after = hot_team_stats();
+    assert!(
+        after.pooled_regions > before.pooled_regions,
+        "the stalled region should have run on a hot team"
+    );
+    // The cache survives the stall.
+    let hits = AtomicUsize::new(0);
+    region::parallel_with(RegionConfig::new().threads(3), || {
+        hits.fetch_add(1, Ordering::SeqCst);
+        barrier();
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn explored_pooled_region_is_schedule_independent() {
+    let _s = serial();
+    let before = hot_team_stats();
+    let report = check::explore_random(check::seeds_from_env(24), 0x407_7EA5, || {
+        let h = CriticalHandle::new();
+        let total = AtomicUsize::new(0);
+        region::parallel_with(RegionConfig::new().threads(2), || {
+            h.run(|| {
+                total.fetch_add(thread_id() + 1, Ordering::SeqCst);
+            });
+            barrier();
+            total.fetch_add(10, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 23);
+    });
+    report.assert_ok();
+    assert!(report.schedules() > 1);
+    let after = hot_team_stats();
+    assert!(
+        after.pooled_regions > before.pooled_regions,
+        "the explored region should still take the pooled path"
+    );
+}
+
+#[test]
+fn executor_runs_many_tasks_futures_and_groups() {
+    let done = std::sync::Arc::new(AtomicUsize::new(0));
+    let group = TaskGroup::new();
+    for _ in 0..32 {
+        let done = std::sync::Arc::clone(&done);
+        group.spawn(move || {
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    let futures: Vec<_> = (0..16).map(|i| task::spawn_future(move || i * i)).collect();
+    group.wait();
+    assert_eq!(done.load(Ordering::SeqCst), 32);
+    for (i, f) in futures.into_iter().enumerate() {
+        assert_eq!(f.get(), i * i);
+    }
+}
+
+#[test]
+fn task_waiting_on_task_stays_live() {
+    // A chain of dependent futures longer than the worker pool: under a
+    // bounded pool this wedges unless admission control refuses to queue
+    // tasks behind blocked workers (overflow must go to dedicated
+    // threads). It is also the regression test for help-joining, which
+    // could bury a producer under a stolen task on the same worker stack
+    // — a cycle no future could break. Repeat a few times so builds of
+    // the chain interleave with executor state left by earlier rounds.
+    for round in 0..4 {
+        let chain = (0..24).fold(task::spawn_future(|| 0usize), |prev, _| {
+            task::spawn_future(move || prev.get() + 1)
+        });
+        assert_eq!(chain.get(), 24, "round {round}");
+    }
+}
+
+#[test]
+fn tasks_degrade_to_dedicated_threads_when_pool_disabled() {
+    let _s = serial();
+    runtime::set_pool_enabled(false);
+    let done = std::sync::Arc::new(AtomicUsize::new(0));
+    let group = TaskGroup::new();
+    for _ in 0..8 {
+        let done = std::sync::Arc::clone(&done);
+        group.spawn(move || {
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    group.wait();
+    let f = task::spawn_future(|| 41 + 1);
+    let v = f.get();
+    runtime::set_pool_enabled(true);
+    assert_eq!(done.load(Ordering::SeqCst), 8);
+    assert_eq!(v, 42);
+}

@@ -125,3 +125,25 @@ fn pool_runs_jgf_kernel() {
     assert_eq!(a, seq.coeffs[0]);
     assert_eq!(b, seq.coeffs[1]);
 }
+
+#[test]
+fn user_owned_pool_is_distinct_from_the_runtime_cache() {
+    // `TeamPool::parallel` dispatches to the pool the user constructed —
+    // it must neither consult nor count against the runtime's hot-team
+    // cache (whose counters only move for `region::parallel*` entries).
+    let pool = TeamPool::new(6);
+    let before = aomp::pool::hot_team_stats();
+    for _ in 0..5 {
+        let hits = AtomicUsize::new(0);
+        pool.parallel(|| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            barrier();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 6);
+    }
+    let after = aomp::pool::hot_team_stats();
+    assert_eq!(
+        after.pooled_regions, before.pooled_regions,
+        "TeamPool::parallel must not be counted as a cached-region entry"
+    );
+}
