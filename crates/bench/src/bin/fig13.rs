@@ -4,7 +4,8 @@
 //! `--measure` — the AOmp/JGF wall-time ratio measured on this host with
 //! the real kernels (the paper's "difference … is less than 1 %" claim).
 
-use aomp_bench::{bar, fig13_series, json_arg, measure_entry_overhead, write_json};
+use aomp::obs;
+use aomp_bench::{bar, fig13_series, json_arg, measure_entry_overhead, metrics_json, write_json};
 use aomp_jgf::harness::timed;
 use aomp_jgf::Size;
 use aomp_simcore::{Json, ToJson};
@@ -42,13 +43,13 @@ fn main() {
         println!();
     }
 
+    let iters = std::env::var(ENTRY_ITERS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(300);
+    let t = host_threads().clamp(2, 8);
     let entry = {
-        let iters = std::env::var(ENTRY_ITERS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(300);
-        let t = host_threads().clamp(2, 8);
         println!("== Region-entry overhead on this host: hot teams vs spawning ==");
         println!("(empty bodies, {t} threads, {iters} timed entries per path)\n");
         let e = measure_entry_overhead(t, iters);
@@ -61,6 +62,25 @@ fn main() {
         e
     };
 
+    // Same measurement with the obs registry enabled: the counter/
+    // histogram path rides the slow paths, so the two numbers should
+    // stay close — the delta is the cost of AOMP_METRICS=1 itself
+    // (entry_overhead above stays the guarded metrics-off figure).
+    let (entry_metrics_on, metrics) = {
+        obs::set_metrics(true);
+        let before = obs::snapshot();
+        let e = measure_entry_overhead(t, iters);
+        let delta = obs::snapshot().since(&before);
+        obs::set_metrics(false);
+        println!("== Same measurement with AOMP_METRICS on ==");
+        println!(
+            "pooled {:>10.0} ns/region   spawn {:>10.0} ns/region\n",
+            e.pooled_ns, e.spawn_ns
+        );
+        println!("{}", delta.render_text());
+        (e, metrics_json(&delta))
+    };
+
     let all: Vec<(String, usize, Vec<aomp_bench::Fig13Row>)> =
         [(Machine::i7(), 8usize), (Machine::xeon(), 24)]
             .into_iter()
@@ -68,6 +88,11 @@ fn main() {
             .collect();
     let report = Json::Obj(vec![
         ("entry_overhead".to_owned(), entry.to_json()),
+        (
+            "entry_overhead_metrics_on".to_owned(),
+            entry_metrics_on.to_json(),
+        ),
+        ("metrics".to_owned(), metrics),
         ("simulated".to_owned(), all.to_json()),
     ]);
     std::fs::write("BENCH_fig13.json", report.pretty()).expect("write BENCH_fig13.json");

@@ -6,9 +6,17 @@
 //! jgf <benchmark> [--variant seq|mt|aomp] [--size small|A|B] [--threads N]
 //! jgf all         # run every benchmark's aomp variant at size small
 //! ```
+//!
+//! Every run also records an `aomp::obs` metrics delta and writes the
+//! per-benchmark timings plus the runtime counters to `BENCH_jgf.json`.
+//! Set `AOMP_TRACE=out.json` to additionally export a chrome://tracing
+//! timeline of the run.
 
+use aomp::obs;
+use aomp_bench::metrics_json;
 use aomp_jgf::harness::timed;
 use aomp_jgf::Size;
+use aomp_simcore::Json;
 
 fn usage() -> ! {
     eprintln!(
@@ -169,7 +177,10 @@ fn main() {
     } else {
         vec![opts.benchmark.as_str()]
     };
+    obs::set_metrics(true);
+    let before = obs::snapshot();
     let mut failed = false;
+    let mut rows = Vec::new();
     for name in names {
         let (ok, secs) = run_one(name, &opts.variant, opts.size, opts.threads);
         println!(
@@ -179,7 +190,32 @@ fn main() {
             opts.threads,
             secs * 1e3
         );
+        rows.push(Json::Obj(vec![
+            ("benchmark".to_owned(), Json::Str(name.to_owned())),
+            ("variant".to_owned(), Json::Str(opts.variant.clone())),
+            ("size".to_owned(), Json::Str(opts.size.name().to_owned())),
+            ("threads".to_owned(), Json::Num(opts.threads as f64)),
+            ("ms".to_owned(), Json::Num(secs * 1e3)),
+            ("valid".to_owned(), Json::Bool(ok)),
+        ]));
         failed |= !ok;
+    }
+    let delta = obs::snapshot().since(&before);
+    obs::set_metrics(false);
+    let report = Json::Obj(vec![
+        ("runs".to_owned(), Json::Arr(rows)),
+        ("metrics".to_owned(), metrics_json(&delta)),
+    ]);
+    std::fs::write("BENCH_jgf.json", report.pretty()).expect("write BENCH_jgf.json");
+    println!("(wrote BENCH_jgf.json)");
+    let trace_path = obs::trace::env_path();
+    match obs::trace::flush_env() {
+        Ok(0) => {}
+        Ok(n) => println!(
+            "(wrote {n} trace events to {})",
+            trace_path.as_deref().unwrap_or("?")
+        ),
+        Err(e) => eprintln!("trace export failed: {e}"),
     }
     if failed {
         std::process::exit(1);

@@ -266,6 +266,46 @@ pub fn measure_entry_overhead(threads: usize, iters: usize) -> EntryOverhead {
     }
 }
 
+/// Convert an [`aomp::obs`] snapshot (or delta — it derefs to a
+/// snapshot) into a [`Json`] object: every counter, per-histogram
+/// count/mean/coarse-quantiles, and the derived hot-team cache hit rate.
+/// This is what the bench binaries embed under `"metrics"` in their
+/// `BENCH_*.json` reports.
+pub fn metrics_json(snap: &aomp::obs::Snapshot) -> Json {
+    use aomp::obs::{Counter, Lat};
+    let counters: Vec<(String, Json)> = Counter::ALL
+        .iter()
+        .map(|c| (c.name().to_owned(), Json::Num(snap.counter(*c) as f64)))
+        .collect();
+    let latency: Vec<(String, Json)> = Lat::ALL
+        .iter()
+        .map(|l| {
+            let h = snap.hist(*l);
+            (
+                l.name().to_owned(),
+                Json::Obj(vec![
+                    ("count".to_owned(), Json::Num(h.count() as f64)),
+                    ("mean_ns".to_owned(), Json::Num(h.mean_ns())),
+                    ("p50_ns".to_owned(), Json::Num(h.quantile_ns(0.5) as f64)),
+                    ("p99_ns".to_owned(), Json::Num(h.quantile_ns(0.99) as f64)),
+                ]),
+            )
+        })
+        .collect();
+    let hits = snap.counter(Counter::PoolCacheHit) as f64;
+    let misses = snap.counter(Counter::PoolCacheMiss) as f64;
+    let hit_rate = if hits + misses > 0.0 {
+        hits / (hits + misses)
+    } else {
+        0.0
+    };
+    Json::Obj(vec![
+        ("counters".to_owned(), Json::Obj(counters)),
+        ("latency_ns".to_owned(), Json::Obj(latency)),
+        ("pool_hit_rate".to_owned(), Json::Num(hit_rate)),
+    ])
+}
+
 /// Write any serialisable result set to `path` as pretty JSON (the
 /// `--json <path>` option of the figure binaries).
 pub fn write_json<T: ToJson + ?Sized>(path: &str, value: &T) -> std::io::Result<()> {

@@ -18,6 +18,14 @@
 //! watchdog can never leave siblings blocked forever. An explicit
 //! deadline variant ([`wait_timeout`](SenseBarrier::wait_timeout)) lets a
 //! caller give up on a round entirely.
+//!
+//! With `AOMP_METRICS` on, every barrier entry through
+//! [`ctx::team_barrier`](crate::ctx) records its blocked time in the
+//! [`obs::Lat::WaitBarrier`](crate::obs::Lat) histogram and each
+//! member's round exit ticks
+//! [`obs::Counter::BarrierRounds`](crate::obs::Counter) — the wait-site
+//! registration path is the single chokepoint, so this module needs no
+//! probes of its own.
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

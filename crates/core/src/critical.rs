@@ -26,6 +26,7 @@ use crate::barrier::PARK_TIMEOUT;
 use crate::ctx;
 use crate::error::WaitSite;
 use crate::hook::{self, HookEvent};
+use crate::obs;
 
 /// Acquire a critical lock. Inside a team this is a *cancellation point*:
 /// the wait is chopped into bounded slices so a poisoned or cancelled
@@ -39,6 +40,24 @@ fn acquire(lock: &ReentrantMutex<()>) -> ReentrantMutexGuard<'_, ()> {
             c.shared.check_interrupt();
             let team = c.shared.token();
             let tid = c.tid;
+            // Contention probe: a failed zero-duration try means another
+            // thread holds the lock right now. Only with metrics on —
+            // the extra try_lock is not free. (Criticals taken outside
+            // any team go through the bare `lock.lock()` above and are
+            // not counted; `@Critical` contention matters inside teams.)
+            if obs::metrics_enabled() {
+                match lock.try_lock_for(Duration::ZERO) {
+                    Some(g) => {
+                        hook::emit(|| HookEvent::CriticalAcquire {
+                            team,
+                            tid,
+                            lock: lock as *const _ as usize,
+                        });
+                        return g;
+                    }
+                    None => obs::count(obs::Counter::CriticalContended),
+                }
+            }
             let _w = c.shared.begin_wait(tid, WaitSite::Critical);
             let g = loop {
                 // Under a registered hook, probe without sleeping: the

@@ -220,21 +220,26 @@ impl TeamShared {
     }
 
     /// Register `tid` as blocked at `site` until the returned guard
-    /// drops. No-op (and allocation-free) on unwatched teams.
+    /// drops. No-op (and allocation-free) on unwatched teams. One gate
+    /// load covers the hook event *and* the obs wait timer: with nothing
+    /// listening this is a relaxed load plus the watch-slot branch.
     pub fn begin_wait<'a>(&'a self, tid: usize, site: WaitSite) -> WaitGuard<'a> {
-        hook::emit(|| HookEvent::WaitRegister {
+        let g = crate::obs::gate();
+        hook::emit_gated(g, || HookEvent::WaitRegister {
             team: self.token(),
             tid,
             site,
         });
+        let obs = crate::obs::wait_begin(g, site);
         if let Some(w) = &self.watch {
             w.waiting.lock()[tid] = Some(site);
             w.progress.fetch_add(1, Ordering::Relaxed);
             WaitGuard {
                 shared: Some((self, tid)),
+                obs,
             }
         } else {
-            WaitGuard { shared: None }
+            WaitGuard { shared: None, obs }
         }
     }
 
@@ -313,9 +318,11 @@ impl TeamShared {
 
 /// RAII guard returned by [`TeamShared::begin_wait`]: clears the member's
 /// wait-site slot (and bumps progress) on drop — including when the wait
-/// unwinds with a poison/cancel panic.
+/// unwinds with a poison/cancel panic — and closes the obs wait timer,
+/// so blocked-time histograms include waits aborted by cancellation.
 pub(crate) struct WaitGuard<'a> {
     shared: Option<(&'a TeamShared, usize)>,
+    obs: Option<crate::obs::WaitTimer>,
 }
 
 impl Drop for WaitGuard<'_> {
@@ -325,6 +332,9 @@ impl Drop for WaitGuard<'_> {
                 w.waiting.lock()[tid] = None;
                 w.progress.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        if let Some(t) = self.obs.take() {
+            crate::obs::wait_end(t);
         }
     }
 }

@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+use crate::obs::{self, Counter};
 use crate::runtime;
 
 /// Environment variable capping the executor's worker count.
@@ -134,6 +135,9 @@ fn pop_any(ex: &Executor, own: usize) -> Option<Task> {
         };
         if let Some(t) = t {
             ex.pending.fetch_sub(1, Ordering::Relaxed);
+            if k != 0 {
+                obs::count(Counter::TaskStolen);
+            }
             return Some(t);
         }
     }
@@ -162,9 +166,11 @@ fn worker_loop(ex: &'static Arc<Executor>, id: usize) {
             continue;
         }
         g.idle += 1;
+        obs::count(Counter::ExecParks);
         ex.cv.wait_for(&mut g, IDLE_PARK);
         g.idle -= 1;
         g.claims = g.claims.saturating_sub(1);
+        obs::count(Counter::ExecUnparks);
     }
 }
 
@@ -174,6 +180,7 @@ fn worker_loop(ex: &'static Arc<Executor>, id: usize) {
 /// the fallback.
 pub(crate) fn try_submit(task: Task) -> Result<(), Task> {
     if !runtime::pool_enabled() {
+        obs::count(Counter::TaskRefusedDisabled);
         return Err(task);
     }
     let ex = executor();
@@ -184,6 +191,7 @@ pub(crate) fn try_submit(task: Task) -> Result<(), Task> {
         ex.pending.fetch_add(1, Ordering::Relaxed);
         drop(g);
         ex.cv.notify_one();
+        obs::count(Counter::TaskPooled);
         return Ok(());
     }
     if g.live < ex.max_workers {
@@ -200,14 +208,18 @@ pub(crate) fn try_submit(task: Task) -> Result<(), Task> {
                 ex.pending.fetch_add(1, Ordering::Relaxed);
                 drop(g);
                 ex.cv.notify_one();
+                obs::count(Counter::TaskPooled);
                 Ok(())
             }
             Err(_) => {
                 ex.inner.lock().live -= 1;
+                obs::count(Counter::TaskRefusedSaturated);
                 Err(task)
             }
         }
     } else {
+        drop(g);
+        obs::count(Counter::TaskRefusedSaturated);
         Err(task)
     }
 }
@@ -220,6 +232,7 @@ pub(crate) fn try_submit(task: Task) -> Result<(), Task> {
 /// replaces: the task still runs, completion counters still reach zero,
 /// futures still get their value.
 pub(crate) fn dispatch(name: &'static str, task: Task) {
+    obs::count(Counter::TaskSpawned);
     let task = match try_submit(task) {
         Ok(()) => return,
         Err(task) => task,
@@ -236,10 +249,14 @@ pub(crate) fn dispatch(name: &'static str, task: Task) {
                 t();
             }
         });
-    if spawned.is_err() {
-        let t = slot.lock().take();
-        if let Some(t) = t {
-            t();
+    match spawned {
+        Ok(_) => obs::count(Counter::TaskDedicated),
+        Err(_) => {
+            let t = slot.lock().take();
+            if let Some(t) = t {
+                obs::count(Counter::TaskInline);
+                t();
+            }
         }
     }
 }

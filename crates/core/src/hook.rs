@@ -30,9 +30,9 @@
 //!   would abort the process.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::error::WaitSite;
+use crate::obs;
 
 /// Opaque identity of one team (one parallel-region execution). Stable
 /// for the lifetime of the region; ids may be reused by later teams.
@@ -109,11 +109,17 @@ pub enum HookEvent {
         /// Schedule kind (`"static-block"`, `"static-cyclic"`,
         /// `"dynamic"`, `"guided"`, `"block-cyclic"`).
         kind: &'static str,
-        /// Chunk start (schedule-specific coordinates; logical iteration
-        /// numbers for chunked schedules, element values for static).
-        lo: i64,
-        /// Chunk end (exclusive), same coordinates as `lo`.
-        hi: i64,
+        /// Chunk start: a logical iteration number in `0..count`, for
+        /// every schedule kind (element values are recovered with
+        /// [`LoopRange::element`](crate::range::LoopRange::element)).
+        /// `static-cyclic` assignments are non-contiguous, so that kind
+        /// emits one single-iteration handout (`hi == lo + 1`) per
+        /// assigned iteration.
+        lo: u64,
+        /// Chunk end (exclusive), same iteration-number coordinates as
+        /// `lo`. The handouts of one work-sharing loop partition
+        /// `0..count`: each iteration appears in exactly one chunk.
+        hi: u64,
     },
     /// A single/master body published its broadcast value.
     BroadcastPublish {
@@ -247,30 +253,38 @@ pub trait SchedHook: Send + Sync {
     }
 }
 
-/// Fast-path gate: one relaxed load. `false` in every production run.
-static ACTIVE: AtomicBool = AtomicBool::new(false);
 /// The registered hook. Only read on the cold path, and the reference is
 /// copied out before the hook is called so emitters never hold this lock
-/// while a hook blocks them.
+/// while a hook blocks them. The fast-path gate is the shared
+/// [`obs`] gate byte: one relaxed load covers "hook registered?",
+/// "metrics on?" and "trace running?" together.
 static HOOK: Mutex<Option<&'static dyn SchedHook>> = Mutex::new(None);
 
 /// Register `hook` process-wide. Replaces any previous hook. Test-only
 /// by intent: the hook observes every team in the process.
 pub fn register(hook: &'static dyn SchedHook) {
     *HOOK.lock() = Some(hook);
-    ACTIVE.store(true, Ordering::SeqCst);
+    obs::gate_set(obs::F_HOOK);
 }
 
 /// Unregister the current hook, restoring the zero-cost fast path.
 pub fn unregister() {
-    ACTIVE.store(false, Ordering::SeqCst);
+    obs::gate_clear(obs::F_HOOK);
     *HOOK.lock() = None;
 }
 
 /// Whether a hook is registered (the one-branch fast path).
 #[inline(always)]
 pub fn active() -> bool {
-    ACTIVE.load(Ordering::Relaxed)
+    obs::gate() & obs::F_HOOK != 0
+}
+
+/// Whether *any* event consumer is on — a registered hook, the metrics
+/// registry ([`obs::set_metrics`]/`AOMP_METRICS`), or the trace recorder.
+/// When this is `false`, event emission does not even build the event.
+#[inline(always)]
+pub fn instrumented() -> bool {
+    obs::gate() & obs::F_EVENTS != 0
 }
 
 #[cold]
@@ -278,30 +292,47 @@ fn current() -> Option<&'static dyn SchedHook> {
     *HOOK.lock()
 }
 
-/// Emit an event if a hook is registered. The closure only runs on the
-/// cold path, so building the event costs nothing when unhooked.
+/// Emit an event if anything is listening (hook, metrics or trace). The
+/// closure only runs on the cold path, so building the event costs one
+/// relaxed load when nothing is.
 #[inline]
 pub(crate) fn emit(f: impl FnOnce() -> HookEvent) {
-    if active() {
-        emit_slow(f());
+    let g = obs::gate();
+    if g & obs::F_EVENTS != 0 {
+        emit_slow(g, f());
+    }
+}
+
+/// [`emit`] for call sites that already loaded the gate byte `g` (wait
+/// registration loads it once for the event *and* the wait timer).
+#[inline]
+pub(crate) fn emit_gated(g: u8, f: impl FnOnce() -> HookEvent) {
+    if g & obs::F_EVENTS != 0 {
+        emit_slow(g, f());
     }
 }
 
 #[cold]
-fn emit_slow(ev: HookEvent) {
-    if let Some(h) = current() {
-        h.event(&ev);
+fn emit_slow(g: u8, ev: HookEvent) {
+    // Metrics/trace first: they never block, while a hook may park the
+    // thread for an arbitrary slice of the schedule exploration.
+    obs::record_event(g, &ev);
+    if g & obs::F_HOOK != 0 {
+        if let Some(h) = current() {
+            h.event(&ev);
+        }
     }
 }
 
 /// Emit an event carrying the calling thread's innermost team identity,
-/// if a hook is registered *and* the caller is inside a team.
+/// if anything is listening *and* the caller is inside a team.
 #[inline]
 pub(crate) fn emit_team(f: impl FnOnce(TeamId, usize) -> HookEvent) {
-    if active() {
+    let g = obs::gate();
+    if g & obs::F_EVENTS != 0 {
         crate::ctx::with_current(|c| {
             if let Some(c) = c {
-                emit_slow(f(c.shared.token(), c.tid));
+                emit_slow(g, f(c.shared.token(), c.tid));
             }
         });
     }
@@ -323,7 +354,7 @@ pub(crate) fn yield_blocked(team: TeamId, tid: usize, site: WaitSite) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     struct CountingHook {
         events: AtomicUsize,
@@ -337,9 +368,11 @@ mod tests {
 
     #[test]
     fn inactive_hook_emits_nothing() {
-        // No hook registered in this test: emit must not build the event.
+        // With no consumer on (hook, metrics or trace — other tests in
+        // this binary may flip those concurrently, hence the guard),
+        // emit must not even build the event.
         let built = AtomicUsize::new(0);
-        if !active() {
+        if !instrumented() {
             emit(|| {
                 built.fetch_add(1, Ordering::SeqCst);
                 HookEvent::RegionEnd { team: 0 }

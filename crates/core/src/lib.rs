@@ -24,6 +24,9 @@
 //! * **Data sharing** ([`threadlocal`]) — `@ThreadLocalField` per-thread
 //!   copies with the paper's read-initialisation rule and `@Reduce` merge
 //!   points via the [`threadlocal::Reducer`] trait.
+//! * **Observability** ([`obs`]) — opt-in runtime counters, latency
+//!   histograms and chrome://tracing export (`AOMP_METRICS=1`,
+//!   `AOMP_TRACE=out.json`), one relaxed atomic load per site when off.
 //! * **Robustness** ([`error`], [`region::try_parallel`]) — panic
 //!   poisoning, OpenMP 4.0-style team cancellation
 //!   ([`ctx::cancel_team`] / [`ctx::cancellation_point`]), bounded waits,
@@ -71,6 +74,7 @@ pub mod ctx;
 pub mod error;
 pub(crate) mod executor;
 pub mod hook;
+pub mod obs;
 pub mod pool;
 pub mod range;
 pub mod reduction;

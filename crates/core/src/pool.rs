@@ -53,6 +53,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::ctx::{CtxGuard, TeamShared};
+use crate::obs;
 use crate::region::{record_member_exit, PayloadSlot};
 
 /// Lifetime-erased view of one dispatched region: the body and the
@@ -261,13 +262,14 @@ fn cache() -> &'static Mutex<CacheState> {
     CACHE.get_or_init(|| Mutex::new(CacheState::default()))
 }
 
-static POOLED_REGIONS: AtomicU64 = AtomicU64::new(0);
-static SPAWNED_REGIONS: AtomicU64 = AtomicU64::new(0);
-static TEAMS_CREATED: AtomicU64 = AtomicU64::new(0);
-
 /// Monotonic counters describing how multi-thread regions were executed;
 /// used by the hot-team tests and the `fig13` bench. Deltas between two
 /// snapshots attribute the regions in between.
+///
+/// Thin compatibility view over the [`obs`](crate::obs) registry (these
+/// counters are always on there — no `AOMP_METRICS` opt-in needed);
+/// [`obs::snapshot`](crate::obs::snapshot) additionally reports cache
+/// hits/misses and everything else.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HotTeamStats {
     /// Regions served by a cached/leased hot team.
@@ -280,19 +282,20 @@ pub struct HotTeamStats {
 
 /// Snapshot of the process-wide hot-team counters.
 pub fn hot_team_stats() -> HotTeamStats {
+    let s = obs::snapshot();
     HotTeamStats {
-        pooled_regions: POOLED_REGIONS.load(Ordering::Relaxed),
-        spawned_regions: SPAWNED_REGIONS.load(Ordering::Relaxed),
-        teams_created: TEAMS_CREATED.load(Ordering::Relaxed),
+        pooled_regions: s.counter(obs::Counter::RegionPooled),
+        spawned_regions: s.counter(obs::Counter::RegionSpawned),
+        teams_created: s.counter(obs::Counter::TeamsCreated),
     }
 }
 
 pub(crate) fn note_pooled_region() {
-    POOLED_REGIONS.fetch_add(1, Ordering::Relaxed);
+    obs::count_always(obs::Counter::RegionPooled);
 }
 
 pub(crate) fn note_spawned_region() {
-    SPAWNED_REGIONS.fetch_add(1, Ordering::Relaxed);
+    obs::count_always(obs::Counter::RegionSpawned);
 }
 
 /// An exclusive lease on a [`HotTeam`] from the runtime cache. Dropping
@@ -344,10 +347,14 @@ pub(crate) fn lease(size: usize) -> Option<HotLease> {
         }
     };
     let team = match cached {
-        Some(t) => t,
+        Some(t) => {
+            obs::count_always(obs::Counter::PoolCacheHit);
+            t
+        }
         None => {
+            obs::count_always(obs::Counter::PoolCacheMiss);
             let t = HotTeam::new(size).ok()?;
-            TEAMS_CREATED.fetch_add(1, Ordering::Relaxed);
+            obs::count_always(obs::Counter::TeamsCreated);
             t
         }
     };

@@ -65,6 +65,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::ctx::{self, CtxGuard, TeamShared};
 use crate::error::{self, Cancelled, RegionError, TeamPoisoned, WaitSite};
 use crate::hook::{self, HookEvent};
+use crate::obs;
 use crate::runtime;
 
 /// Configuration of a parallel region — the Rust analogue of
@@ -401,14 +402,21 @@ where
         size: n,
         level: shared.level,
     });
+    // Region round-trip histogram (entry + body + join): with an empty
+    // body this is exactly fig13's entry overhead, keyed by executor.
+    let t0 = obs::region_timer();
     if n == 1 {
+        obs::count(obs::Counter::RegionInline);
         inline_region(&shared, &payload, &body, deadline);
+        obs::region_done(t0, obs::Lat::RegionInline);
     } else if let Some(lease) = hot_lease(&cfg, n) {
         crate::pool::note_pooled_region();
         hot_region(lease.team(), deadline, &shared, &payload, &body);
+        obs::region_done(t0, obs::Lat::RegionPooled);
     } else {
         crate::pool::note_spawned_region();
         scoped_region(n, deadline, &shared, &payload, &body);
+        obs::region_done(t0, obs::Lat::RegionSpawned);
     }
     let outcome = classify(&shared, &payload);
     hook::emit(|| HookEvent::RegionEnd {
@@ -430,15 +438,20 @@ where
         size: n,
         level: shared.level,
     });
+    let t0 = obs::region_timer();
     let outcome = if n == 1 {
         let payload: PayloadSlot = Mutex::new(None);
+        obs::count(obs::Counter::RegionInline);
         inline_region(&shared, &payload, &body, deadline);
+        obs::region_done(t0, obs::Lat::RegionInline);
         classify(&shared, &payload)
     } else {
         // Never pooled: abandonment on the stall path needs threads the
         // runtime can afford to leak, so fresh detached ones are spawned.
         crate::pool::note_spawned_region();
-        detached_region(n, deadline, &shared, body)
+        let o = detached_region(n, deadline, &shared, body);
+        obs::region_done(t0, obs::Lat::RegionSpawned);
+        o
     };
     hook::emit(|| HookEvent::RegionEnd {
         team: shared.token(),

@@ -4,6 +4,12 @@
 //! team size (`OMP_NUM_THREADS` → `AOMP_NUM_THREADS`) and a process-wide
 //! kill switch that forces sequential execution (the paper's "programs can
 //! be valid if annotations for parallelisation are ignored").
+//!
+//! The full `AOMP_*` environment surface (this module's variables plus
+//! the observability opt-ins `AOMP_METRICS`/`AOMP_TRACE` handled by
+//! [`obs`](crate::obs), the executor's `AOMP_TASK_WORKERS`, the
+//! schedule override `AOMP_SCHEDULE`, and the checker's `AOMP_CHECK_*`)
+//! is tabulated in the repository README.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;

@@ -22,6 +22,11 @@
 //! [`runtime::set_pool_enabled(false)`](crate::runtime::set_pool_enabled)
 //! restores thread-per-task.
 //!
+//! Dispatch outcomes are observable: with `AOMP_METRICS` on, the
+//! [`obs`](crate::obs) registry counts spawned/pooled/dedicated/inline
+//! tasks, steals, admission refusals and executor park cycles
+//! ([`obs::Counter::TaskSpawned`](crate::obs::Counter) and friends).
+//!
 //! Failure semantics: a producer's panic poisons its one-shot cell *with
 //! the original payload*, which [`FutureTask::get`] re-raises
 //! (`resume_unwind`) and [`FutureTask::try_get`] reports as a value.

@@ -27,6 +27,7 @@ use std::time::Duration;
 use crate::ctx::{self, fresh_key};
 use crate::error::WaitSite;
 use crate::hook::{self, HookEvent};
+use crate::obs;
 use crate::range::LoopRange;
 use crate::schedule::{self, Schedule};
 
@@ -194,7 +195,12 @@ impl ForConstruct {
                 match self.schedule {
                     Schedule::StaticBlock => {
                         c.shared.check_interrupt();
-                        let sub = schedule::static_block_range(range, tid, n);
+                        // Compute the block in iteration space so the
+                        // handout event reports logical iteration numbers
+                        // (it used to leak element values here, one of
+                        // the two coordinate systems the five arms mixed).
+                        let (ilo, ihi) = schedule::static_block_iters(count, tid, n);
+                        let sub = range.slice_iters(ilo, ihi);
                         let scope = ForScope {
                             full: range,
                             shared: Some(scope_shared),
@@ -204,8 +210,8 @@ impl ForConstruct {
                                 team: c.shared.token(),
                                 tid,
                                 kind: "static-block",
-                                lo: sub.start,
-                                hi: sub.end,
+                                lo: ilo,
+                                hi: ihi,
                             });
                             body(sub, &scope);
                         }
@@ -218,13 +224,31 @@ impl ForConstruct {
                             shared: Some(scope_shared),
                         };
                         if !sub.is_empty() {
-                            hook::emit(|| HookEvent::ChunkHandout {
-                                team: c.shared.token(),
-                                tid,
-                                kind: "static-cyclic",
-                                lo: sub.start,
-                                hi: sub.end,
-                            });
+                            // The cyclic assignment {tid, tid+n, ...} is
+                            // non-contiguous in iteration space, so a
+                            // single [lo, hi) cannot describe it: with a
+                            // hook registered, emit one single-iteration
+                            // handout per assigned iteration (cyclic ==
+                            // block-cyclic with chunk 1). Metrics/trace
+                            // instead take one O(1) probe per assignment —
+                            // an O(count) event loop must not run just
+                            // because AOMP_METRICS is set.
+                            let first = tid as u64;
+                            if hook::active() {
+                                let mut k = first;
+                                while k < count {
+                                    hook::emit(|| HookEvent::ChunkHandout {
+                                        team: c.shared.token(),
+                                        tid,
+                                        kind: "static-cyclic",
+                                        lo: k,
+                                        hi: k + 1,
+                                    });
+                                    k += n as u64;
+                                }
+                            }
+                            let iters = (count - first).div_ceil(n as u64);
+                            obs::chunk_cyclic(first, iters);
                             body(sub, &scope);
                         }
                     }
@@ -268,8 +292,8 @@ impl ForConstruct {
                                     team: c.shared.token(),
                                     tid,
                                     kind: "dynamic",
-                                    lo: cl as i64,
-                                    hi: hi as i64,
+                                    lo: cl,
+                                    hi,
                                 });
                                 body(range.slice_iters(cl, hi), &scope);
                                 cl = hi;
@@ -293,8 +317,8 @@ impl ForConstruct {
                                 team: c.shared.token(),
                                 tid,
                                 kind: "block-cyclic",
-                                lo: lo as i64,
-                                hi: hi as i64,
+                                lo,
+                                hi,
                             });
                             body(range.slice_iters(lo, hi), &scope);
                         }
@@ -315,8 +339,8 @@ impl ForConstruct {
                                 team: c.shared.token(),
                                 tid,
                                 kind: "guided",
-                                lo: lo as i64,
-                                hi: hi as i64,
+                                lo,
+                                hi,
                             });
                             body(range.slice_iters(lo, hi), &scope);
                         }
@@ -362,9 +386,23 @@ impl ForScope<'_> {
 
     /// Logical iteration number (0-based, in sequential order) of loop
     /// element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not an element of the loop (not reachable from
+    /// `start` by whole steps). This check is unconditional: in a release
+    /// build a silently wrong ordered ticket would deadlock the team,
+    /// while the panic is team-safe (poisoning cancels the region).
     pub fn iteration_of(&self, i: i64) -> u64 {
-        debug_assert_eq!((i - self.full.start) % self.full.step, 0);
-        ((i - self.full.start) / self.full.step) as u64
+        let off = i - self.full.start;
+        assert!(
+            off % self.full.step == 0 && off / self.full.step >= 0,
+            "element {i} is not on the loop grid start={} step={} \
+             (ordered()/iteration_of need an actual loop element)",
+            self.full.start,
+            self.full.step,
+        );
+        (off / self.full.step) as u64
     }
 
     /// Execute `f` as an `@Ordered` section for loop element `i`:
