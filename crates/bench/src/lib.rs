@@ -247,11 +247,15 @@ pub fn measure_entry_overhead(threads: usize, iters: usize) -> EntryOverhead {
 
     let time_path = |cfg: RegionConfig| {
         for _ in 0..warmup {
-            parallel_with(cfg, || {});
+            parallel_with(cfg.clone(), || {});
         }
         let t0 = Instant::now();
         for _ in 0..iters {
-            parallel_with(cfg, || {});
+            // The per-iteration clone is two `Option` copies plus an
+            // `Option<Arc>` bump — noise next to the µs-scale entry cost
+            // it measures, and exactly what a caller reusing a config
+            // pays since `RegionConfig` stopped being `Copy`.
+            parallel_with(cfg.clone(), || {});
         }
         t0.elapsed().as_nanos() as f64 / iters.max(1) as f64
     };

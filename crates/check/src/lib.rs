@@ -29,6 +29,12 @@
 //! * **PCT** ([`explore_pct`]) — randomised priorities with `d` priority
 //!   change points (Burckhardt et al., ASPLOS '10).
 //!
+//! Each exploration builds a private [`aomp::Runtime`] and runs every
+//! schedule with it entered, so checker-driven regions and tasks share
+//! nothing (hot teams, executor workers, counters) with the process
+//! default runtime; the runtime is dropped — its threads joined — when
+//! the exploration returns.
+//!
 //! After every clean schedule the invariant oracles in [`oracle`] run over
 //! the event log (barrier lockstep, master-broadcast source, critical
 //! alternation); [`explore_differential`] additionally checks the
@@ -236,10 +242,23 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
 
 /// Run one schedule of `f` under `chooser`. Must be called with the
 /// session lock held.
-fn run_schedule(id: ScheduleId, chooser: Box<dyn Chooser>, f: &dyn Fn()) -> RunReport {
+///
+/// The schedule runs with `rt` entered: regions and tasks `f` creates are
+/// pinned to the exploration's private [`aomp::Runtime`], so schedule
+/// exploration never mutates the process-default runtime's hot-team
+/// cache, executor, or counters (and vice versa).
+fn run_schedule(
+    id: ScheduleId,
+    chooser: Box<dyn Chooser>,
+    rt: &aomp::Runtime,
+    f: &dyn Fn(),
+) -> RunReport {
     CONTROLLER.install(chooser);
     aomp::hook::register(&CONTROLLER);
-    let caught = catch_unwind(AssertUnwindSafe(f));
+    let caught = {
+        let _in_rt = rt.enter();
+        catch_unwind(AssertUnwindSafe(f))
+    };
     aomp::hook::unregister();
     let (decisions, log, verdict) = CONTROLLER.harvest();
     let trace = Trace { decisions };
@@ -261,6 +280,13 @@ fn lock_session() -> std::sync::MutexGuard<'static, ()> {
     SESSION.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// One private runtime per exploration: hot teams are still reused across
+/// the exploration's schedules, but dropped (workers joined) when the
+/// exploration ends, and nothing leaks into the process default runtime.
+fn session_runtime() -> aomp::Runtime {
+    aomp::Runtime::builder().build()
+}
+
 /// Explore `schedules` seeded-random interleavings of `f`. Schedule `i`
 /// uses seed `mix64(base_seed) + i`-style derivation, so the whole
 /// exploration is a pure function of `base_seed` and any failure names
@@ -268,12 +294,14 @@ fn lock_session() -> std::sync::MutexGuard<'static, ()> {
 pub fn explore_random(schedules: usize, base_seed: u64, f: impl Fn()) -> Report {
     let _s = lock_session();
     let _q = QuietPanics::install();
+    let rt = session_runtime();
     let mut runs = Vec::with_capacity(schedules);
     for i in 0..schedules as u64 {
         let seed = rng::mix64(base_seed ^ rng::mix64(i));
         runs.push(run_schedule(
             ScheduleId::Random { seed },
             Box::new(RandomChooser::new(seed)),
+            &rt,
             &f,
         ));
     }
@@ -288,9 +316,11 @@ pub fn explore_random(schedules: usize, base_seed: u64, f: impl Fn()) -> Report 
 pub fn replay_random(seed: u64, f: impl Fn()) -> RunReport {
     let _s = lock_session();
     let _q = QuietPanics::install();
+    let rt = session_runtime();
     run_schedule(
         ScheduleId::Random { seed },
         Box::new(RandomChooser::new(seed)),
+        &rt,
         &f,
     )
 }
@@ -301,8 +331,14 @@ pub fn replay_random(seed: u64, f: impl Fn()) -> RunReport {
 pub fn replay(trace: &Trace, f: impl Fn()) -> RunReport {
     let _s = lock_session();
     let _q = QuietPanics::install();
+    let rt = session_runtime();
     let prefix: Vec<usize> = trace.decisions.iter().map(|d| d.chosen_idx).collect();
-    run_schedule(ScheduleId::Replay, Box::new(PrefixChooser::new(prefix)), &f)
+    run_schedule(
+        ScheduleId::Replay,
+        Box::new(PrefixChooser::new(prefix)),
+        &rt,
+        &f,
+    )
 }
 
 /// Bounded-exhaustive DFS: enumerate every interleaving of `f` whose
@@ -315,6 +351,7 @@ pub fn replay(trace: &Trace, f: impl Fn()) -> RunReport {
 pub fn explore_dfs(max_schedules: usize, depth_cap: usize, f: impl Fn()) -> Report {
     let _s = lock_session();
     let _q = QuietPanics::install();
+    let rt = session_runtime();
     let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
     let mut runs = Vec::new();
     let mut truncated = false;
@@ -328,6 +365,7 @@ pub fn explore_dfs(max_schedules: usize, depth_cap: usize, f: impl Fn()) -> Repo
                 prefix: prefix.clone(),
             },
             Box::new(PrefixChooser::new(prefix.clone())),
+            &rt,
             &f,
         );
         // Branch on every decision point past the fixed prefix (those at
@@ -356,10 +394,12 @@ pub fn explore_dfs(max_schedules: usize, depth_cap: usize, f: impl Fn()) -> Repo
 pub fn explore_pct(schedules: usize, base_seed: u64, depth: usize, f: impl Fn()) -> Report {
     let _s = lock_session();
     let _q = QuietPanics::install();
+    let rt = session_runtime();
     let probe_seed = rng::mix64(base_seed);
     let probe = run_schedule(
         ScheduleId::Random { seed: probe_seed },
         Box::new(RandomChooser::new(probe_seed)),
+        &rt,
         &f,
     );
     let len_bound = (probe.trace.len() * 2).max(16);
@@ -369,6 +409,7 @@ pub fn explore_pct(schedules: usize, base_seed: u64, depth: usize, f: impl Fn())
         runs.push(run_schedule(
             ScheduleId::Pct { seed, depth },
             Box::new(PctChooser::new(seed, depth, len_bound)),
+            &rt,
             &f,
         ));
     }

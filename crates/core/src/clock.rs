@@ -21,6 +21,12 @@
 //! made progress" is virtualised. Bounded parks inside blocking
 //! primitives stay real — they are liveness backstops, not measured
 //! durations, and virtualising them would change scheduling behaviour.
+//!
+//! The clock stays process-global even though most other runtime state
+//! moved onto [`Runtime`](crate::Runtime) instances: it is a test-only
+//! guard (one virtual window at a time, enforced by [`SERIAL`]), and
+//! watchdogs are per-region with their time base pinned at arm time, so
+//! regions from different runtimes never mix bases within one window.
 
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -94,6 +94,16 @@ pub(crate) struct TeamShared {
     pub cancelled: AtomicBool,
     /// Present iff a stall watchdog is armed for this team.
     pub watch: Option<WatchState>,
+    /// Weak handle to the runtime this region resolved to — weak so a
+    /// team (notably one held by an abandoned detached straggler, or
+    /// parked in a hot team's job slot) never keeps its runtime alive.
+    /// Member threads upgrade it to inherit the runtime for nested
+    /// regions and tasks (see [`CtxGuard::enter`]); empty for teams
+    /// constructed outside the region layer (e.g. a bare [`TeamPool`]
+    /// dispatch), which then inherit through the surrounding context.
+    ///
+    /// [`TeamPool`]: crate::pool::TeamPool
+    pub(crate) rt: crate::runtime::WeakRuntime,
     slots: Mutex<HashMap<(u64, u64), SlotEntry>>,
 }
 
@@ -106,6 +116,23 @@ impl TeamShared {
     /// [`cancel_team`]; `watched` allocates the wait-site registry the
     /// stall watchdog reads.
     pub fn with_robustness(n: usize, level: usize, cancellable: bool, watched: bool) -> Self {
+        Self::for_runtime(
+            n,
+            level,
+            cancellable,
+            watched,
+            crate::runtime::WeakRuntime::default(),
+        )
+    }
+
+    /// Team bound to a runtime instance; the region layer's constructor.
+    pub(crate) fn for_runtime(
+        n: usize,
+        level: usize,
+        cancellable: bool,
+        watched: bool,
+        rt: crate::runtime::WeakRuntime,
+    ) -> Self {
         Self {
             n,
             level,
@@ -118,6 +145,7 @@ impl TeamShared {
             } else {
                 None
             },
+            rt,
             slots: Mutex::new(HashMap::new()),
         }
     }
@@ -378,22 +406,44 @@ thread_local! {
 pub(crate) struct CtxGuard {
     shared: Arc<TeamShared>,
     tid: usize,
+    /// Whether `enter` pushed the team's runtime onto the thread's
+    /// entered-runtime stack (it did iff the weak handle was live).
+    entered_rt: bool,
 }
 
 impl CtxGuard {
     pub fn enter(shared: Arc<TeamShared>, tid: usize) -> Self {
         let ctx = Rc::new(TeamCtx::new(Arc::clone(&shared), tid));
         STACK.with(|s| s.borrow_mut().push(ctx));
+        // Make the team's runtime the enclosing one for everything this
+        // member starts (nested regions, tasks) — on every member thread,
+        // hot-team workers and scoped spawns alike. This is what makes a
+        // nested region inherit its parent's runtime rather than falling
+        // back to the default.
+        let entered_rt = match shared.rt.upgrade() {
+            Some(rt) => {
+                crate::runtime::push_entered(rt);
+                true
+            }
+            None => false,
+        };
         hook::emit(|| HookEvent::MemberStart {
             team: shared.token(),
             tid,
         });
-        Self { shared, tid }
+        Self {
+            shared,
+            tid,
+            entered_rt,
+        }
     }
 }
 
 impl Drop for CtxGuard {
     fn drop(&mut self) {
+        if self.entered_rt {
+            crate::runtime::pop_entered();
+        }
         STACK.with(|s| {
             s.borrow_mut().pop();
         });

@@ -1,25 +1,35 @@
-//! The shared task executor — parked workers behind `task::spawn`,
+//! The task executor — parked workers behind `task::spawn`,
 //! `task::spawn_future` and `TaskGroup::spawn`.
 //!
 //! The paper's `@Task` model is "spawn a new parallel activity"; v1.0
 //! (and this runtime before hot teams) took that literally with one OS
-//! thread per task. This module replaces thread-per-task with a
-//! process-wide pool of workers, each owning a deque: submissions are
-//! distributed round-robin, a worker pops its own queue from the front
-//! and steals from the back of the others, so a burst of fine-grained
-//! tasks spreads over the pool without a single contended queue.
+//! thread per task. This module replaces thread-per-task with a pool of
+//! workers, each owning a deque: submissions are distributed
+//! round-robin, a worker pops its own queue from the front and steals
+//! from the back of the others, so a burst of fine-grained tasks spreads
+//! over the pool without a single contended queue.
+//!
+//! Each [`Runtime`](crate::runtime::Runtime) owns one `Executor`
+//! instance (the process-wide singleton of earlier versions is now just
+//! the default runtime's executor), so two runtimes never share workers
+//! and dropping a runtime can actually join its threads: workers hold
+//! their own `Arc<Executor>` (not a `&'static`), honour the `shutdown`
+//! flag after draining the queues, and [`Executor::shutdown_and_join`]
+//! blocks until every worker thread has exited. A worker stuck in a
+//! task that blocks forever delays that join — the same contract as
+//! dropping a `TaskGroup` that never completes.
 //!
 //! ## Admission control, not queueing
 //!
 //! Tasks may block arbitrarily long in user code (a `FutureTask` producer
 //! waiting on another future, a task sleeping on an external event), so
 //! unbounded queueing behind a fixed worker count could deadlock a
-//! program that was correct under thread-per-task. [`try_submit`]
+//! program that was correct under thread-per-task. [`Executor::try_submit`]
 //! therefore only *enqueues* when a parked worker is available to claim
 //! the task or the pool may still grow; otherwise it hands the task back
 //! and the caller falls back to a dedicated thread — and, if even that
 //! spawn fails (thread exhaustion), to inline execution on the caller
-//! (sequential semantics, see [`dispatch`]).
+//! (sequential semantics, see [`fallback_dispatch`]).
 //!
 //! A worker blocked in `FutureTask::get` / `TaskGroup::wait` pins its
 //! worker but deliberately does NOT steal-and-run queued tasks while
@@ -34,19 +44,23 @@
 //!
 //! Disabled together with the hot-team cache (`AOMP_NO_POOL=1` /
 //! [`runtime::set_pool_enabled(false)`](crate::runtime::set_pool_enabled)):
-//! every task then gets a dedicated thread, as before.
+//! every task then gets a dedicated thread, as before. The pool-enabled
+//! gate lives on the runtime, not here — the runtime decides whether to
+//! offer the task to its executor at all.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::obs::{self, Counter};
-use crate::runtime;
 
-/// Environment variable capping the executor's worker count.
+/// Environment variable capping the *default runtime's* worker count.
+/// Captured once when the default runtime is constructed
+/// (see `runtime::default_runtime`); explicitly built runtimes ignore it.
 pub const TASK_WORKERS_ENV: &str = "AOMP_TASK_WORKERS";
 
 /// A queued task: the spawn surfaces wrap panic capture / completion
@@ -57,6 +71,16 @@ pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
 /// rescan, never liveness.
 const IDLE_PARK: Duration = Duration::from_millis(50);
 
+/// Worker-count fallback when no cap is configured: enough oversubscription
+/// to absorb blocked tasks, bounded so a task storm cannot exhaust the
+/// process thread limit.
+pub(crate) fn default_max_workers() -> usize {
+    let par = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (par * 4).clamp(8, 64)
+}
+
 struct Ctl {
     /// Workers currently parked on the condvar.
     idle: usize,
@@ -65,11 +89,12 @@ struct Ctl {
     /// checks; claiming under the same lock closes the race where two
     /// submitters count one parked worker twice.
     claims: usize,
-    /// Workers ever started (they never exit; also the next worker id).
+    /// Workers ever started (also the next worker id). They exit only at
+    /// executor shutdown.
     live: usize,
 }
 
-struct Executor {
+pub(crate) struct Executor {
     queues: Vec<Mutex<VecDeque<Task>>>,
     inner: Mutex<Ctl>,
     cv: Condvar,
@@ -79,29 +104,18 @@ struct Executor {
     /// Round-robin enqueue cursor.
     next: AtomicUsize,
     max_workers: usize,
+    /// Set once by [`shutdown_and_join`](Executor::shutdown_and_join);
+    /// workers observe it after draining the queues.
+    shutdown: AtomicBool,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// The owning runtime's counter scope; worker-side events (steals,
+    /// parks) are attributed here as well as globally.
+    scope: Arc<obs::Scope>,
 }
 
-fn max_workers() -> usize {
-    static N: OnceLock<usize> = OnceLock::new();
-    *N.get_or_init(|| {
-        if let Ok(v) = std::env::var(TASK_WORKERS_ENV) {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
-        }
-        let par = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        (par * 4).clamp(8, 64)
-    })
-}
-
-fn executor() -> &'static Arc<Executor> {
-    static EXEC: OnceLock<Arc<Executor>> = OnceLock::new();
-    EXEC.get_or_init(|| {
-        let max = max_workers();
+impl Executor {
+    pub(crate) fn new(max_workers: usize, scope: Arc<obs::Scope>) -> Arc<Executor> {
+        let max = max_workers.max(1);
         Arc::new(Executor {
             queues: (0..max).map(|_| Mutex::new(VecDeque::new())).collect(),
             inner: Mutex::new(Ctl {
@@ -113,35 +127,119 @@ fn executor() -> &'static Arc<Executor> {
             pending: AtomicUsize::new(0),
             next: AtomicUsize::new(0),
             max_workers: max,
+            shutdown: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+            scope,
         })
-    })
-}
+    }
 
-fn enqueue(ex: &Executor, task: Task) {
-    let i = ex.next.fetch_add(1, Ordering::Relaxed) % ex.queues.len();
-    ex.queues[i].lock().push_back(task);
-}
-
-/// Pop a task: the worker's own queue from the front, everyone else's
-/// from the back (steal).
-fn pop_any(ex: &Executor, own: usize) -> Option<Task> {
-    let nq = ex.queues.len();
-    for k in 0..nq {
-        let i = (own + k) % nq;
-        let t = if k == 0 {
-            ex.queues[i].lock().pop_front()
-        } else {
-            ex.queues[i].lock().pop_back()
-        };
-        if let Some(t) = t {
-            ex.pending.fetch_sub(1, Ordering::Relaxed);
-            if k != 0 {
-                obs::count(Counter::TaskStolen);
+    /// Try to run `task` on the pool. `Err` hands the task back when the
+    /// pool is saturated (no parked worker to claim and no room to
+    /// grow), shutting down, or a needed worker could not be spawned —
+    /// the caller decides the fallback.
+    pub(crate) fn try_submit(self: &Arc<Self>, task: Task) -> Result<(), Task> {
+        if self.shutdown.load(Ordering::Acquire) {
+            obs::count(Counter::TaskRefusedSaturated);
+            return Err(task);
+        }
+        let mut g = self.inner.lock();
+        if g.idle > g.claims {
+            g.claims += 1;
+            self.enqueue(task);
+            self.pending.fetch_add(1, Ordering::Relaxed);
+            drop(g);
+            self.cv.notify_one();
+            obs::count(Counter::TaskPooled);
+            self.scope.bump(Counter::TaskPooled);
+            return Ok(());
+        }
+        if g.live < self.max_workers {
+            let id = g.live;
+            g.live += 1;
+            drop(g);
+            let ex = Arc::clone(self);
+            let spawned = std::thread::Builder::new()
+                .name(format!("aomp-exec-{id}"))
+                .spawn(move || worker_loop(ex, id));
+            match spawned {
+                Ok(h) => {
+                    self.handles.lock().push(h);
+                    self.enqueue(task);
+                    let g = self.inner.lock();
+                    self.pending.fetch_add(1, Ordering::Relaxed);
+                    drop(g);
+                    self.cv.notify_one();
+                    obs::count(Counter::TaskPooled);
+                    self.scope.bump(Counter::TaskPooled);
+                    Ok(())
+                }
+                Err(_) => {
+                    self.inner.lock().live -= 1;
+                    obs::count(Counter::TaskRefusedSaturated);
+                    Err(task)
+                }
             }
-            return Some(t);
+        } else {
+            drop(g);
+            obs::count(Counter::TaskRefusedSaturated);
+            Err(task)
         }
     }
-    None
+
+    /// Stop accepting work, wake every parked worker, and join them all.
+    /// Workers drain already-enqueued tasks before exiting; a task
+    /// blocked in user code delays the join for as long as it blocks.
+    /// Called from `Runtime` teardown (at most once matters; idempotent).
+    pub(crate) fn shutdown_and_join(&self) {
+        {
+            // Flip under `inner` so a worker deciding to park either sees
+            // the flag before sleeping or is woken by the notify below —
+            // no lost-shutdown window.
+            let _g = self.inner.lock();
+            self.shutdown.store(true, Ordering::Release);
+        }
+        self.cv.notify_all();
+        let handles: Vec<_> = std::mem::take(&mut *self.handles.lock());
+        let me = std::thread::current().id();
+        for h in handles {
+            // Teardown can run *on* a worker (a task's entered-runtime
+            // guard dropping the last handle): never self-join — the
+            // dropped handle detaches and the worker exits on its own
+            // (it holds its own `Arc<Executor>`, so nothing dangles).
+            if h.thread().id() == me {
+                continue;
+            }
+            let _ = h.join();
+        }
+    }
+
+    fn enqueue(&self, task: Task) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[i].lock().push_back(task);
+    }
+
+    /// Pop a task: the worker's own queue from the front, everyone else's
+    /// from the back (steal).
+    fn pop_any(&self, own: usize) -> Option<Task> {
+        let nq = self.queues.len();
+        for k in 0..nq {
+            let i = (own + k) % nq;
+            let t = if k == 0 {
+                self.queues[i].lock().pop_front()
+            } else {
+                self.queues[i].lock().pop_back()
+            };
+            if let Some(t) = t {
+                self.pending.fetch_sub(1, Ordering::Relaxed);
+                if k != 0 {
+                    obs::count(Counter::TaskStolen);
+                    self.scope.bump(Counter::TaskStolen);
+                }
+                return Some(t);
+            }
+        }
+        None
+    }
 }
 
 fn run_task(task: Task) {
@@ -153,12 +251,20 @@ fn run_task(task: Task) {
     let _ = catch_unwind(AssertUnwindSafe(task));
 }
 
-fn worker_loop(ex: &'static Arc<Executor>, id: usize) {
+/// Owns its `Arc` (not `&'static`) so the executor — and with it the
+/// runtime that owns it — is droppable once every worker has exited.
+fn worker_loop(ex: Arc<Executor>, id: usize) {
     loop {
-        while let Some(t) = pop_any(ex, id) {
+        while let Some(t) = ex.pop_any(id) {
             run_task(t);
         }
         let mut g = ex.inner.lock();
+        // Queues drained and shutdown requested: exit. Checked under
+        // `inner` (where the flag is flipped) so this cannot miss a
+        // shutdown and park unwoken.
+        if ex.shutdown.load(Ordering::Acquire) {
+            return;
+        }
         // Loss-free park: `pending` is only incremented under `inner`,
         // so a task enqueued since the scan above is visible here.
         if ex.pending.load(Ordering::Relaxed) > 0 {
@@ -167,76 +273,23 @@ fn worker_loop(ex: &'static Arc<Executor>, id: usize) {
         }
         g.idle += 1;
         obs::count(Counter::ExecParks);
+        ex.scope.bump(Counter::ExecParks);
         ex.cv.wait_for(&mut g, IDLE_PARK);
         g.idle -= 1;
         g.claims = g.claims.saturating_sub(1);
         obs::count(Counter::ExecUnparks);
+        ex.scope.bump(Counter::ExecUnparks);
     }
 }
 
-/// Try to run `task` on the pool. `Err` hands the task back when the
-/// pool is disabled, saturated (no parked worker to claim and no room to
-/// grow), or a needed worker could not be spawned — the caller decides
-/// the fallback.
-pub(crate) fn try_submit(task: Task) -> Result<(), Task> {
-    if !runtime::pool_enabled() {
-        obs::count(Counter::TaskRefusedDisabled);
-        return Err(task);
-    }
-    let ex = executor();
-    let mut g = ex.inner.lock();
-    if g.idle > g.claims {
-        g.claims += 1;
-        enqueue(ex, task);
-        ex.pending.fetch_add(1, Ordering::Relaxed);
-        drop(g);
-        ex.cv.notify_one();
-        obs::count(Counter::TaskPooled);
-        return Ok(());
-    }
-    if g.live < ex.max_workers {
-        let id = g.live;
-        g.live += 1;
-        drop(g);
-        let spawned = std::thread::Builder::new()
-            .name(format!("aomp-exec-{id}"))
-            .spawn(move || worker_loop(executor(), id));
-        match spawned {
-            Ok(_) => {
-                enqueue(ex, task);
-                let g = ex.inner.lock();
-                ex.pending.fetch_add(1, Ordering::Relaxed);
-                drop(g);
-                ex.cv.notify_one();
-                obs::count(Counter::TaskPooled);
-                Ok(())
-            }
-            Err(_) => {
-                ex.inner.lock().live -= 1;
-                obs::count(Counter::TaskRefusedSaturated);
-                Err(task)
-            }
-        }
-    } else {
-        drop(g);
-        obs::count(Counter::TaskRefusedSaturated);
-        Err(task)
-    }
-}
-
-/// Run `task` somewhere: the shared pool if it can take it, else a
-/// dedicated thread named `name` (the classic thread-per-task path),
-/// else — when even that spawn fails — inline on the caller. Inline
-/// degradation is the sequential semantics the paper guarantees for
-/// unplugged annotations, and strictly better than the panic it
-/// replaces: the task still runs, completion counters still reach zero,
-/// futures still get their value.
-pub(crate) fn dispatch(name: &'static str, task: Task) {
-    obs::count(Counter::TaskSpawned);
-    let task = match try_submit(task) {
-        Ok(()) => return,
-        Err(task) => task,
-    };
+/// Run a task the executor refused (or was never offered, pool
+/// disabled): a dedicated thread named `name` — the classic
+/// thread-per-task path — else, when even that spawn fails, inline on
+/// the caller. Inline degradation is the sequential semantics the paper
+/// guarantees for unplugged annotations, and strictly better than the
+/// panic it replaces: the task still runs, completion counters still
+/// reach zero, futures still get their value.
+pub(crate) fn fallback_dispatch(name: &'static str, task: Task) {
     // `Builder::spawn` consumes the closure even on error, so park the
     // task in a shared slot the caller can reclaim if the spawn fails.
     let slot = Arc::new(Mutex::new(Some(task)));
@@ -266,13 +319,24 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
 
+    fn test_exec(max: usize) -> Arc<Executor> {
+        Executor::new(max, Arc::new(obs::Scope::new(true)))
+    }
+
+    fn submit_or_fallback(ex: &Arc<Executor>, task: Task) {
+        if let Err(t) = ex.try_submit(task) {
+            fallback_dispatch("aomp-task", t);
+        }
+    }
+
     #[test]
     fn submitted_tasks_all_run() {
+        let ex = test_exec(4);
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..64 {
             let done = Arc::clone(&done);
-            dispatch(
-                "aomp-task",
+            submit_or_fallback(
+                &ex,
                 Box::new(move || {
                     done.fetch_add(1, Ordering::SeqCst);
                 }),
@@ -287,12 +351,13 @@ mod tests {
 
     #[test]
     fn panicking_task_does_not_kill_worker() {
+        let ex = test_exec(2);
         let done = Arc::new(AtomicUsize::new(0));
-        dispatch("aomp-task", Box::new(|| panic!("task dies")));
+        submit_or_fallback(&ex, Box::new(|| panic!("task dies")));
         for _ in 0..8 {
             let done = Arc::clone(&done);
-            dispatch(
-                "aomp-task",
+            submit_or_fallback(
+                &ex,
                 Box::new(move || {
                     done.fetch_add(1, Ordering::SeqCst);
                 }),
@@ -306,10 +371,21 @@ mod tests {
     }
 
     #[test]
-    fn disabled_pool_refuses_submission() {
-        runtime::set_pool_enabled(false);
-        let r = try_submit(Box::new(|| {}));
-        runtime::set_pool_enabled(true);
-        assert!(r.is_err(), "disabled pool must hand the task back");
+    fn shutdown_refuses_submission_and_joins_workers() {
+        let ex = test_exec(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let done = Arc::clone(&done);
+            submit_or_fallback(
+                &ex,
+                Box::new(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        ex.shutdown_and_join();
+        assert_eq!(ex.handles.lock().len(), 0, "all workers joined");
+        let r = ex.try_submit(Box::new(|| {}));
+        assert!(r.is_err(), "shut-down executor must hand the task back");
     }
 }

@@ -28,6 +28,15 @@
 //! * Hooks must never panic from [`SchedHook::event`]: events are also
 //!   emitted while a thread unwinds (member exit), where a second panic
 //!   would abort the process.
+//!
+//! # Scope across runtime instances
+//!
+//! The registry is deliberately *process-global*, not per
+//! [`Runtime`](crate::Runtime): a registered hook observes decisions
+//! from every runtime instance in the process. The checker wants exactly
+//! that (nothing escapes observation), and it serialises explorations
+//! behind a session lock while pinning each one to a private runtime, so
+//! per-runtime attribution is never needed here.
 
 use parking_lot::Mutex;
 

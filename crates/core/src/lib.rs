@@ -34,6 +34,12 @@
 //!   ([`RegionConfig::stall_deadline`](region::RegionConfig::stall_deadline))
 //!   that converts deadlocks and hung workers into
 //!   [`RegionError::Stalled`](error::RegionError) diagnoses.
+//! * **Runtime instances** ([`Runtime`]) — every process-global above
+//!   (defaults, kill switches, hot-team cache, task executor, counters)
+//!   lives on an instantiable handle; the free functions are wrappers
+//!   over a lazily-built default runtime, and [`Runtime::builder`] gives
+//!   isolated runtimes that coexist without sharing workers or state and
+//!   tear down (joining their threads) on drop.
 //!
 //! Sequential semantics are intrinsic: every construct degrades to plain
 //! sequential execution when no team is active, so a program whose
@@ -86,6 +92,8 @@ pub mod task;
 pub mod threadlocal;
 pub mod workshare;
 
+pub use crate::runtime::{Runtime, RuntimeBuilder, RuntimeGuard};
+
 /// Convenient glob import for typical AOmpLib-style programs.
 pub mod prelude {
     pub use crate::critical::{critical, critical_named, CriticalHandle};
@@ -99,7 +107,7 @@ pub mod prelude {
         FnReducer, MaxReducer, MinReducer, ProdReducer, SumReducer, VecSumReducer,
     };
     pub use crate::region::{self, RegionConfig};
-    pub use crate::runtime;
+    pub use crate::runtime::{self, Runtime};
     pub use crate::schedule::Schedule;
     pub use crate::sync::{Master, RwConstruct, Single};
     pub use crate::task::{self, FutureTask, TaskGroup};

@@ -398,6 +398,70 @@ pub(crate) fn record_lat(l: Lat, d: Duration) {
 }
 
 // ---------------------------------------------------------------------
+// Per-runtime counter scopes
+// ---------------------------------------------------------------------
+
+/// A counters-only registry owned by one
+/// [`Runtime`](crate::runtime::Runtime) instance.
+///
+/// The process-global registry above stays the *union* of all activity
+/// (so [`snapshot`], [`pool::hot_team_stats`](crate::pool::hot_team_stats)
+/// and the env opt-ins keep their meaning); a scope additionally
+/// attributes region/pool/task events to the runtime that executed them,
+/// which is what makes two concurrent runtimes observably disjoint.
+/// Latency histograms are deliberately *not* scoped: they are keyed by
+/// wait site, not by runtime, and stay process-global.
+///
+/// Recording is controlled by the runtime's `metrics` builder knob
+/// (default on); a disabled scope reads all-zero.
+pub(crate) struct Scope {
+    enabled: bool,
+    counters: [AtomicU64; N_COUNTERS],
+}
+
+impl Scope {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            counters: [ZERO; N_COUNTERS],
+        }
+    }
+
+    /// Bump one counter in this scope. One branch + one relaxed RMW, and
+    /// only called from region-granularity slow paths.
+    #[inline]
+    pub(crate) fn bump(&self, c: Counter) {
+        if self.enabled {
+            self.counters[c as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Value of one counter in this scope.
+    pub(crate) fn counter(&self, c: Counter) -> u64 {
+        if self.enabled {
+            self.counters[c as usize].load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// Copy this scope as a [`Snapshot`] (histograms read zero — they
+    /// are process-global, see the type docs).
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let mut counters = [0u64; N_COUNTERS];
+        if self.enabled {
+            for (i, c) in self.counters.iter().enumerate() {
+                counters[i] = c.load(Ordering::Relaxed);
+            }
+        }
+        Snapshot {
+            counters,
+            hists: [HistSnapshot::default(); N_LATS],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Instrumentation helpers used by the runtime modules
 // ---------------------------------------------------------------------
 

@@ -7,9 +7,15 @@
 //! change it is the *default* region executor, not an ablation
 //! alternative: [`region::parallel`](crate::region::parallel) (and with
 //! it the `#[parallel]` macro, the weaver and every JGF kernel) leases a
-//! [`HotTeam`] — `n − 1` workers parked on a condvar — from a
-//! process-wide cache keyed by team size, dispatches the region body to
-//! them, and returns the team on region exit. Thread creation leaves the
+//! [`HotTeam`] — `n − 1` workers parked on a condvar — from its
+//! runtime's cache keyed by team size, dispatches the region body to
+//! them, and returns the team on region exit. Each
+//! [`Runtime`](crate::runtime::Runtime) owns one [`HotCache`] (the
+//! process-wide cache of earlier versions is now just the default
+//! runtime's), so two runtimes never trade teams, and dropping a
+//! runtime closes its cache: idle teams are torn down and joined, and
+//! in-flight leases tear their team down on return instead of
+//! re-caching it. Thread creation leaves the
 //! region-entry path entirely after the first region of each size; the
 //! `fig13` bench (`BENCH_fig13.json`) quantifies the difference between
 //! this path and the spawn path.
@@ -50,7 +56,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use crate::ctx::{CtxGuard, TeamShared};
 use crate::obs;
@@ -180,11 +186,20 @@ impl HotTeam {
     /// completion, then reset the counter for the next generation.
     pub(crate) fn join_workers(&self) {
         let workers = self.workers();
-        let mut done = self.shared.done.lock();
-        while *done < workers {
-            self.shared.done_cv.wait(&mut done);
+        {
+            let mut done = self.shared.done.lock();
+            while *done < workers {
+                self.shared.done_cv.wait(&mut done);
+            }
+            *done = 0;
         }
-        *done = 0;
+        // Clear the finished generation from the job slot: a cached idle
+        // team must not keep the last region's `TeamShared` (watch state,
+        // slot maps, its runtime back-reference) alive until the next
+        // lease of the same size.
+        let mut job = self.shared.job.lock();
+        job.ptrs = None;
+        job.team = None;
     }
 }
 
@@ -255,11 +270,81 @@ struct CacheState {
     teams: HashMap<usize, Vec<HotTeam>>,
     /// Total workers across all idle teams.
     workers: usize,
+    /// Set by [`HotCache::close`] (runtime teardown): no more leases,
+    /// and returning leases tear their team down instead of caching it.
+    closed: bool,
 }
 
-fn cache() -> &'static Mutex<CacheState> {
-    static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(CacheState::default()))
+/// One runtime's size-keyed cache of idle hot teams. Shared by the
+/// runtime handle and every outstanding [`HotLease`] (a lease must be
+/// able to return its team after the runtime handle is gone).
+pub(crate) struct HotCache {
+    state: Mutex<CacheState>,
+    /// The owning runtime's counter scope: hit/miss/created events are
+    /// attributed here as well as to the global registry.
+    scope: Arc<obs::Scope>,
+}
+
+impl HotCache {
+    pub(crate) fn new(scope: Arc<obs::Scope>) -> Arc<HotCache> {
+        Arc::new(HotCache {
+            state: Mutex::new(CacheState::default()),
+            scope,
+        })
+    }
+
+    /// Lease a hot team of exactly `size` threads, creating one on a
+    /// miss. Returns `None` when the cache is closed or the workers
+    /// cannot be spawned — the caller falls back to the spawn executor.
+    pub(crate) fn lease(self: &Arc<Self>, size: usize) -> Option<HotLease> {
+        debug_assert!(size >= 2, "size-1 regions run inline, not pooled");
+        let cached = {
+            let mut st = self.state.lock();
+            if st.closed {
+                return None;
+            }
+            match st.teams.get_mut(&size).and_then(|v| v.pop()) {
+                Some(t) => {
+                    st.workers -= t.workers();
+                    Some(t)
+                }
+                None => None,
+            }
+        };
+        let team = match cached {
+            Some(t) => {
+                obs::count_always(obs::Counter::PoolCacheHit);
+                self.scope.bump(obs::Counter::PoolCacheHit);
+                t
+            }
+            None => {
+                obs::count_always(obs::Counter::PoolCacheMiss);
+                self.scope.bump(obs::Counter::PoolCacheMiss);
+                let t = HotTeam::new(size).ok()?;
+                obs::count_always(obs::Counter::TeamsCreated);
+                self.scope.bump(obs::Counter::TeamsCreated);
+                t
+            }
+        };
+        Some(HotLease {
+            team: Some(team),
+            cache: Arc::clone(self),
+        })
+    }
+
+    /// Close the cache and tear down every idle team (joins their
+    /// workers — bounded by the member protocol: idle teams are parked,
+    /// not running user code). Permanent; called from runtime teardown.
+    pub(crate) fn close(&self) {
+        let teams = {
+            let mut st = self.state.lock();
+            st.closed = true;
+            st.workers = 0;
+            std::mem::take(&mut st.teams)
+        };
+        // Tear down outside the lock: each HotTeam::drop joins workers.
+        drop(teams);
+    }
 }
 
 /// Monotonic counters describing how multi-thread regions were executed;
@@ -270,7 +355,7 @@ fn cache() -> &'static Mutex<CacheState> {
 /// counters are always on there — no `AOMP_METRICS` opt-in needed);
 /// [`obs::snapshot`](crate::obs::snapshot) additionally reports cache
 /// hits/misses and everything else.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HotTeamStats {
     /// Regions served by a cached/leased hot team.
     pub pooled_regions: u64,
@@ -280,7 +365,9 @@ pub struct HotTeamStats {
     pub teams_created: u64,
 }
 
-/// Snapshot of the process-wide hot-team counters.
+/// Snapshot of the process-wide hot-team counters — the union across
+/// every runtime instance. Per-runtime attribution is available from
+/// [`Runtime::hot_team_stats`](crate::runtime::Runtime::hot_team_stats).
 pub fn hot_team_stats() -> HotTeamStats {
     let s = obs::snapshot();
     HotTeamStats {
@@ -290,21 +377,32 @@ pub fn hot_team_stats() -> HotTeamStats {
     }
 }
 
-pub(crate) fn note_pooled_region() {
+pub(crate) fn stats_from_scope(scope: &obs::Scope) -> HotTeamStats {
+    HotTeamStats {
+        pooled_regions: scope.counter(obs::Counter::RegionPooled),
+        spawned_regions: scope.counter(obs::Counter::RegionSpawned),
+        teams_created: scope.counter(obs::Counter::TeamsCreated),
+    }
+}
+
+pub(crate) fn note_pooled_region(scope: &obs::Scope) {
     obs::count_always(obs::Counter::RegionPooled);
+    scope.bump(obs::Counter::RegionPooled);
 }
 
-pub(crate) fn note_spawned_region() {
+pub(crate) fn note_spawned_region(scope: &obs::Scope) {
     obs::count_always(obs::Counter::RegionSpawned);
+    scope.bump(obs::Counter::RegionSpawned);
 }
 
-/// An exclusive lease on a [`HotTeam`] from the runtime cache. Dropping
+/// An exclusive lease on a [`HotTeam`] from a runtime's cache. Dropping
 /// the lease returns the team to the cache (or tears it down past
-/// [`MAX_IDLE_WORKERS`]). Exclusivity is the reason the hot path needs no
-/// dispatch serialisation: concurrent top-level regions each hold their
-/// own team.
+/// [`MAX_IDLE_WORKERS`], or when the cache has been closed by runtime
+/// teardown). Exclusivity is the reason the hot path needs no dispatch
+/// serialisation: concurrent top-level regions each hold their own team.
 pub(crate) struct HotLease {
     team: Option<HotTeam>,
+    cache: Arc<HotCache>,
 }
 
 impl HotLease {
@@ -317,8 +415,8 @@ impl Drop for HotLease {
     fn drop(&mut self) {
         let team = self.team.take().expect("lease holds a team until drop");
         let evicted = {
-            let mut st = cache().lock();
-            if st.workers + team.workers() <= MAX_IDLE_WORKERS {
+            let mut st = self.cache.state.lock();
+            if !st.closed && st.workers + team.workers() <= MAX_IDLE_WORKERS {
                 st.workers += team.workers();
                 st.teams.entry(team.size()).or_default().push(team);
                 None
@@ -329,36 +427,6 @@ impl Drop for HotLease {
         // Tear down outside the lock: Drop joins the workers.
         drop(evicted);
     }
-}
-
-/// Lease a hot team of exactly `size` threads from the cache, creating
-/// one on a miss. Returns `None` when the workers cannot be spawned —
-/// the caller falls back to the spawn executor.
-pub(crate) fn lease(size: usize) -> Option<HotLease> {
-    debug_assert!(size >= 2, "size-1 regions run inline, not pooled");
-    let cached = {
-        let mut st = cache().lock();
-        match st.teams.get_mut(&size).and_then(|v| v.pop()) {
-            Some(t) => {
-                st.workers -= t.workers();
-                Some(t)
-            }
-            None => None,
-        }
-    };
-    let team = match cached {
-        Some(t) => {
-            obs::count_always(obs::Counter::PoolCacheHit);
-            t
-        }
-        None => {
-            obs::count_always(obs::Counter::PoolCacheMiss);
-            let t = HotTeam::new(size).ok()?;
-            obs::count_always(obs::Counter::TeamsCreated);
-            t
-        }
-    };
-    Some(HotLease { team: Some(team) })
 }
 
 // ---------------------------------------------------------------------
@@ -407,7 +475,7 @@ impl TeamPool {
     where
         F: Fn() + Sync,
     {
-        let n = if crate::runtime::parallel_enabled() {
+        let n = if crate::runtime::current().parallel_enabled() {
             self.size()
         } else {
             1
@@ -562,13 +630,25 @@ mod tests {
 
     #[test]
     fn lease_round_trips_through_cache() {
-        // Two sequential leases of an unusual size: the first may miss,
-        // the second must be servable either way (cache hit or re-spawn).
+        let cache = HotCache::new(Arc::new(obs::Scope::new(true)));
         {
-            let l = lease(7).expect("lease");
+            let l = cache.lease(7).expect("lease");
             assert_eq!(l.team().size(), 7);
         } // returned to cache on drop
-        let l = lease(7).expect("lease");
+        let l = cache.lease(7).expect("lease");
         assert_eq!(l.team().size(), 7);
+        // The first lease missed (fresh cache), the second must hit.
+        assert_eq!(cache.scope.counter(obs::Counter::PoolCacheMiss), 1);
+        assert_eq!(cache.scope.counter(obs::Counter::PoolCacheHit), 1);
+    }
+
+    #[test]
+    fn closed_cache_refuses_leases_and_tears_down_returns() {
+        let cache = HotCache::new(Arc::new(obs::Scope::new(true)));
+        let l = cache.lease(3).expect("lease");
+        cache.close();
+        drop(l); // returns into a closed cache: torn down, not re-cached
+        assert!(cache.state.lock().teams.is_empty());
+        assert!(cache.lease(3).is_none(), "closed cache must refuse");
     }
 }

@@ -8,9 +8,13 @@
 //! annotation (crate `aomp-macros`) both dispatch into.
 //!
 //! Top-level multi-thread regions are served by **hot teams** by
-//! default: parked workers leased from a process-wide, size-keyed cache
+//! default: parked workers leased from the resolved
+//! [`Runtime`](crate::runtime::Runtime)'s size-keyed cache
 //! (see [`pool`](crate::pool)) instead of `n − 1` fresh OS threads per
-//! region. Nested regions, `AOMP_NO_POOL=1` /
+//! region. A region resolves its runtime as [`RegionConfig::runtime`] >
+//! the innermost entered runtime on the calling thread (which is how a
+//! nested region inherits its parent's) > the default runtime.
+//! Nested regions, `AOMP_NO_POOL=1` /
 //! [`runtime::set_pool_enabled(false)`](crate::runtime::set_pool_enabled),
 //! [`RegionConfig::pooled(false)`] and [`try_parallel_detached`] use the
 //! spawn executor. Pooled or spawned, the member protocol — context
@@ -71,7 +75,7 @@ use crate::runtime;
 /// Configuration of a parallel region — the Rust analogue of
 /// `@Parallel(threads = n)` / overriding `numThreads()` in a concrete
 /// aspect.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RegionConfig {
     threads: Option<usize>,
     /// Allow creating a nested team when already inside a region.
@@ -88,6 +92,8 @@ pub struct RegionConfig {
     stall_deadline: Option<Duration>,
     /// Allow (default) or refuse the hot-team cache for this region.
     pooled: Option<bool>,
+    /// Pin the region to a specific runtime instance.
+    runtime: Option<runtime::Runtime>,
 }
 
 impl RegionConfig {
@@ -163,9 +169,28 @@ impl RegionConfig {
         self
     }
 
-    fn resolve_threads(&self) -> usize {
-        let n = self.threads.unwrap_or_else(runtime::default_threads);
-        if !runtime::parallel_enabled() || self.only_if == Some(false) {
+    /// Pin this region to a specific [`Runtime`](crate::runtime::Runtime)
+    /// instance: its defaults (team size, kill switches, stall deadline),
+    /// its hot-team cache and its counter scope serve the region,
+    /// regardless of which runtime the calling thread has entered.
+    /// Unset, the region uses the innermost entered runtime (the
+    /// enclosing region's, inside one) or the default runtime.
+    pub fn runtime(mut self, rt: &runtime::Runtime) -> Self {
+        self.runtime = Some(rt.clone());
+        self
+    }
+
+    pub(crate) fn has_runtime(&self) -> bool {
+        self.runtime.is_some()
+    }
+
+    pub(crate) fn resolve_runtime(&self) -> runtime::Runtime {
+        self.runtime.clone().unwrap_or_else(runtime::current)
+    }
+
+    fn resolve_threads(&self, rt: &runtime::Runtime) -> usize {
+        let n = self.threads.unwrap_or_else(|| rt.default_threads());
+        if !rt.parallel_enabled() || self.only_if == Some(false) {
             return 1;
         }
         if ctx::level() > 0 && !self.nested.unwrap_or(true) {
@@ -174,8 +199,8 @@ impl RegionConfig {
         n
     }
 
-    fn effective_stall_deadline(&self) -> Option<Duration> {
-        self.stall_deadline.or_else(runtime::default_stall_deadline)
+    fn effective_stall_deadline(&self, rt: &runtime::Runtime) -> Option<Duration> {
+        self.stall_deadline.or_else(|| rt.default_stall_deadline())
     }
 }
 
@@ -303,7 +328,7 @@ where
     F: Fn(usize) -> T + Sync,
     T: Send,
 {
-    let n = cfg.resolve_threads();
+    let n = cfg.resolve_threads(&cfg.resolve_runtime());
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     {
         let results = &results;
@@ -379,12 +404,13 @@ fn classify(shared: &TeamShared, payload: &PayloadSlot) -> RawOutcome {
     RawOutcome::Completed
 }
 
-fn new_team(cfg: &RegionConfig, n: usize, watched: bool) -> Arc<TeamShared> {
-    Arc::new(TeamShared::with_robustness(
+fn new_team(cfg: &RegionConfig, rt: &runtime::Runtime, n: usize, watched: bool) -> Arc<TeamShared> {
+    Arc::new(TeamShared::for_runtime(
         n,
         ctx::level() + 1,
         cfg.cancellable.unwrap_or(false),
         watched,
+        rt.downgrade(),
     ))
 }
 
@@ -392,9 +418,12 @@ fn run_region<F>(cfg: RegionConfig, body: F) -> RawOutcome
 where
     F: Fn() + Sync,
 {
-    let n = cfg.resolve_threads();
-    let deadline = cfg.effective_stall_deadline();
-    let shared = new_team(&cfg, n, deadline.is_some());
+    // The master's `rt` binding keeps the runtime alive for the region's
+    // duration — the team itself only holds a weak handle.
+    let rt = cfg.resolve_runtime();
+    let n = cfg.resolve_threads(&rt);
+    let deadline = cfg.effective_stall_deadline(&rt);
+    let shared = new_team(&cfg, &rt, n, deadline.is_some());
     let payload: PayloadSlot = Mutex::new(None);
 
     hook::emit(|| HookEvent::RegionStart {
@@ -407,14 +436,15 @@ where
     let t0 = obs::region_timer();
     if n == 1 {
         obs::count(obs::Counter::RegionInline);
+        rt.scope().bump(obs::Counter::RegionInline);
         inline_region(&shared, &payload, &body, deadline);
         obs::region_done(t0, obs::Lat::RegionInline);
-    } else if let Some(lease) = hot_lease(&cfg, n) {
-        crate::pool::note_pooled_region();
+    } else if let Some(lease) = hot_lease(&cfg, &rt, n) {
+        crate::pool::note_pooled_region(rt.scope());
         hot_region(lease.team(), deadline, &shared, &payload, &body);
         obs::region_done(t0, obs::Lat::RegionPooled);
     } else {
-        crate::pool::note_spawned_region();
+        crate::pool::note_spawned_region(rt.scope());
         scoped_region(n, deadline, &shared, &payload, &body);
         obs::region_done(t0, obs::Lat::RegionSpawned);
     }
@@ -429,9 +459,10 @@ fn run_region_detached<F>(cfg: RegionConfig, body: F) -> RawOutcome
 where
     F: Fn() + Send + Sync + 'static,
 {
-    let n = cfg.resolve_threads();
-    let deadline = cfg.effective_stall_deadline();
-    let shared = new_team(&cfg, n, deadline.is_some());
+    let rt = cfg.resolve_runtime();
+    let n = cfg.resolve_threads(&rt);
+    let deadline = cfg.effective_stall_deadline(&rt);
+    let shared = new_team(&cfg, &rt, n, deadline.is_some());
 
     hook::emit(|| HookEvent::RegionStart {
         team: shared.token(),
@@ -442,13 +473,14 @@ where
     let outcome = if n == 1 {
         let payload: PayloadSlot = Mutex::new(None);
         obs::count(obs::Counter::RegionInline);
+        rt.scope().bump(obs::Counter::RegionInline);
         inline_region(&shared, &payload, &body, deadline);
         obs::region_done(t0, obs::Lat::RegionInline);
         classify(&shared, &payload)
     } else {
         // Never pooled: abandonment on the stall path needs threads the
         // runtime can afford to leak, so fresh detached ones are spawned.
-        crate::pool::note_spawned_region();
+        crate::pool::note_spawned_region(rt.scope());
         let o = detached_region(n, deadline, &shared, body);
         obs::region_done(t0, obs::Lat::RegionSpawned);
         o
@@ -486,11 +518,11 @@ fn inline_region<F>(
 /// top-level regions: a nested region's caller may itself be a hot-team
 /// worker mid-dispatch, and the spawn executor handles arbitrary nesting
 /// depth without lease re-entrancy questions.
-fn hot_lease(cfg: &RegionConfig, n: usize) -> Option<crate::pool::HotLease> {
-    if cfg.pooled == Some(false) || !runtime::pool_enabled() || ctx::level() > 0 {
+fn hot_lease(cfg: &RegionConfig, rt: &runtime::Runtime, n: usize) -> Option<crate::pool::HotLease> {
+    if cfg.pooled == Some(false) || !rt.pool_enabled() || ctx::level() > 0 {
         return None;
     }
-    crate::pool::lease(n)
+    rt.lease(n)
 }
 
 /// The hot-team executor behind the default [`parallel_with`] path: the
@@ -1150,18 +1182,20 @@ mod tests {
 
     #[test]
     fn default_stall_deadline_applies() {
-        let _g = runtime::STALL_TEST_LOCK.lock().unwrap();
-        runtime::set_default_stall_deadline(Some(Duration::from_millis(150)));
+        // A private runtime carries the default deadline, so this test no
+        // longer mutates (or serialises against) process-global state.
+        let rt = runtime::Runtime::builder()
+            .stall_deadline(Duration::from_millis(150))
+            .build();
         // Same barrier-round mismatch as
         // `scoped_watchdog_reports_sync_deadlock`, but the watchdog is
-        // armed by the process-wide default instead of the region config.
-        let r = try_parallel_with(RegionConfig::new().threads(2), || {
+        // armed by the runtime's default instead of the region config.
+        let r = try_parallel_with(RegionConfig::new().threads(2).runtime(&rt), || {
             crate::ctx::barrier();
             if thread_id() == 1 {
                 crate::ctx::barrier();
             }
         });
-        runtime::set_default_stall_deadline(None);
         assert!(matches!(r, Err(RegionError::Stalled { .. })), "got {r:?}");
     }
 }

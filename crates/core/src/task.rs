@@ -149,6 +149,12 @@ impl<T> OneShot<T> {
 /// join point. Prefer [`TaskGroup::spawn`] when completion must be
 /// awaited.
 ///
+/// The task runs on the calling context's
+/// [`Runtime`](crate::runtime::Runtime) — the innermost entered one
+/// (inside a region: the region's), else the default runtime — and the
+/// task body itself runs *in* that runtime, so regions and tasks it
+/// starts inherit it too.
+///
 /// Never panics on resource exhaustion: with the executor saturated and
 /// no thread to be had, `f` runs inline on the caller before `spawn`
 /// returns (sequential semantics).
@@ -156,13 +162,29 @@ pub fn spawn<F>(f: F)
 where
     F: FnOnce() + Send + 'static,
 {
+    spawn_in(&crate::runtime::current(), f)
+}
+
+pub(crate) fn spawn_in<F>(rt: &crate::runtime::Runtime, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
     hook::emit_team(|team, tid| HookEvent::TaskSpawn { team, tid });
-    crate::executor::dispatch("aomp-task", Box::new(f));
+    rt.dispatch_task("aomp-task", in_runtime(rt, f));
 }
 
 /// Spawn an activity computing a value — `@FutureTask`. The returned
-/// [`FutureTask`] is the `@FutureResult` object.
+/// [`FutureTask`] is the `@FutureResult` object. Runtime resolution as
+/// in [`spawn`].
 pub fn spawn_future<T, F>(f: F) -> FutureTask<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    spawn_future_in(&crate::runtime::current(), f)
+}
+
+pub(crate) fn spawn_future_in<T, F>(rt: &crate::runtime::Runtime, f: F) -> FutureTask<T>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
@@ -170,16 +192,31 @@ where
     hook::emit_team(|team, tid| HookEvent::TaskSpawn { team, tid });
     let shot = Arc::new(OneShot::new());
     let shot2 = Arc::clone(&shot);
-    crate::executor::dispatch(
+    rt.dispatch_task(
         "aomp-future-task",
         // Capture the panic payload so `get` can re-raise the *original*
         // panic instead of a generic "producer died" message.
-        Box::new(move || match catch_unwind(AssertUnwindSafe(f)) {
+        in_runtime(rt, move || match catch_unwind(AssertUnwindSafe(f)) {
             Ok(v) => shot2.publish(v),
             Err(p) => shot2.poison(Some(p)),
         }),
     );
     FutureTask { shot }
+}
+
+/// Wrap a task body so it executes with `rt` entered: anything the task
+/// starts (nested tasks, regions) inherits the spawning context's
+/// runtime instead of the default one. Weakly captured — a task that
+/// outlives its runtime falls back to the surrounding resolution.
+fn in_runtime<F>(rt: &crate::runtime::Runtime, f: F) -> crate::executor::Task
+where
+    F: FnOnce() + Send + 'static,
+{
+    let weak = rt.downgrade();
+    Box::new(move || {
+        let _g = weak.upgrade().map(|rt| rt.enter());
+        f()
+    })
 }
 
 /// Handle to a value being computed by a spawned activity
@@ -363,9 +400,10 @@ impl TaskGroup {
         hook::emit_team(|team, tid| HookEvent::TaskSpawn { team, tid });
         let state = Arc::clone(&self.state);
         state.outstanding.fetch_add(1, Ordering::AcqRel);
-        crate::executor::dispatch(
+        let rt = crate::runtime::current();
+        rt.dispatch_task(
             "aomp-task",
-            Box::new(move || {
+            in_runtime(&rt, move || {
                 let ok = std::panic::catch_unwind(AssertUnwindSafe(f)).is_ok();
                 if !ok {
                     state.failed.store(true, Ordering::Release);

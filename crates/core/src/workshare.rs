@@ -14,6 +14,11 @@
 //! Outside a parallel region the body runs once with the original range —
 //! sequential semantics.
 //!
+//! Construct state (dispenser cursors, ordered turns) is keyed by team,
+//! not stored on a [`Runtime`](crate::Runtime): a `ForConstruct` works
+//! unchanged inside regions of any runtime instance, including two
+//! instances work-sharing through distinct constructs concurrently.
+//!
 //! Every chunk handout is a *cancellation point*: after a
 //! [`cancel_team`](crate::ctx::cancel_team) (or a watchdog force-cancel)
 //! the dispensers stop handing out iterations and the thread skips to the

@@ -252,9 +252,11 @@ fn rewrap(header: Vec<TokenTree>, new_body: &str) -> TokenStream {
 /// `stall_deadline_ms = <int>` (arm the stall watchdog; a team stuck in
 /// its synchronisation primitives is cancelled and diagnosed instead of
 /// deadlocking — see `aomp::region` for what the watchdog can and
-/// cannot interrupt), and `pooled = <bool>` (default `true`: serve the
+/// cannot interrupt), `pooled = <bool>` (default `true`: serve the
 /// region from the runtime's hot-team cache; `false` forces freshly
-/// spawned threads).
+/// spawned threads), and `runtime = <expr>` (run the region on an
+/// explicit [`aomp::Runtime`] instead of the ambient one; the
+/// expression is evaluated at call time and borrowed).
 #[proc_macro_attribute]
 pub fn parallel(attr: TokenStream, item: TokenStream) -> TokenStream {
     let (header, body) = match split_fn(item) {
@@ -303,9 +305,15 @@ pub fn parallel(attr: TokenStream, item: TokenStream) -> TokenStream {
                 Ok(p) => cfg.push_str(&format!("__aomp_cfg = __aomp_cfg.pooled({p});")),
                 Err(e) => return compile_err(&e),
             },
+            "runtime" => match &arg.value {
+                Some(e) => {
+                    cfg.push_str(&format!("__aomp_cfg = __aomp_cfg.runtime(&({e}));"))
+                }
+                None => return compile_err("aomp: `runtime` needs a value"),
+            },
             other => {
                 return compile_err(&format!(
-                    "aomp: unknown #[parallel] argument `{other}` (expected threads/nested/only_if/cancellable/stall_deadline_ms/pooled)"
+                    "aomp: unknown #[parallel] argument `{other}` (expected threads/nested/only_if/cancellable/stall_deadline_ms/pooled/runtime)"
                 ))
             }
         }

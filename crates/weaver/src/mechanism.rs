@@ -59,6 +59,7 @@ pub(crate) enum MechanismKind {
         cancellable: bool,
         stall_deadline: Option<std::time::Duration>,
         pooled: Option<bool>,
+        runtime: Option<aomp::Runtime>,
     },
     For {
         construct: ForConstruct,
@@ -107,6 +108,7 @@ impl Mechanism {
                 cancellable: false,
                 stall_deadline: None,
                 pooled: None,
+                runtime: None,
             },
         }
     }
@@ -157,6 +159,19 @@ impl Mechanism {
         match &mut self.kind {
             MechanismKind::Parallel { pooled: p, .. } => *p = Some(pooled),
             _ => panic!("pooled() only applies to Mechanism::parallel()"),
+        }
+        self
+    }
+
+    /// Pin regions woven by this [`parallel`](Self::parallel) mechanism
+    /// to an explicit [`aomp::Runtime`] — see
+    /// [`RegionConfig::runtime`]. The handle is cheap to clone; the
+    /// mechanism keeps the runtime alive for as long as the aspect is
+    /// woven.
+    pub fn runtime(mut self, rt: &aomp::Runtime) -> Self {
+        match &mut self.kind {
+            MechanismKind::Parallel { runtime, .. } => *runtime = Some(rt.clone()),
+            _ => panic!("runtime() only applies to Mechanism::parallel()"),
         }
         self
     }
@@ -318,29 +333,33 @@ impl Mechanism {
     }
 
     pub(crate) fn region_config(&self) -> Option<RegionConfig> {
-        match self.kind {
+        match &self.kind {
             MechanismKind::Parallel {
                 threads,
                 nested,
                 cancellable,
                 stall_deadline,
                 pooled,
+                runtime,
             } => {
                 let mut cfg = RegionConfig::new();
                 if let Some(t) = threads {
-                    cfg = cfg.threads(t);
+                    cfg = cfg.threads(*t);
                 }
                 if let Some(n) = nested {
-                    cfg = cfg.nested(n);
+                    cfg = cfg.nested(*n);
                 }
-                if cancellable {
+                if *cancellable {
                     cfg = cfg.cancellable(true);
                 }
                 if let Some(d) = stall_deadline {
-                    cfg = cfg.stall_deadline(d);
+                    cfg = cfg.stall_deadline(*d);
                 }
                 if let Some(p) = pooled {
-                    cfg = cfg.pooled(p);
+                    cfg = cfg.pooled(*p);
+                }
+                if let Some(rt) = runtime {
+                    cfg = cfg.runtime(rt);
                 }
                 Some(cfg)
             }
@@ -414,5 +433,21 @@ mod tests {
     #[should_panic(expected = "only applies")]
     fn cancellable_on_non_parallel_panics() {
         let _ = Mechanism::critical().cancellable();
+    }
+
+    #[test]
+    fn region_config_carries_runtime() {
+        let rt = aomp::Runtime::builder().threads(2).build();
+        let cfg = Mechanism::parallel().runtime(&rt).region_config().unwrap();
+        assert_eq!(cfg, RegionConfig::new().runtime(&rt));
+        let other = aomp::Runtime::builder().threads(2).build();
+        assert_ne!(cfg, RegionConfig::new().runtime(&other));
+    }
+
+    #[test]
+    #[should_panic(expected = "only applies")]
+    fn runtime_on_non_parallel_panics() {
+        let rt = aomp::Runtime::builder().build();
+        let _ = Mechanism::master().runtime(&rt);
     }
 }

@@ -353,7 +353,7 @@ where
     for _ in 0..plan.pre_barriers {
         ctx::barrier();
     }
-    match plan.region {
+    match plan.region.clone() {
         Some(cfg) => parallel_with(cfg, || run_gated(&plan, &jp, &body)),
         None => run_gated(&plan, &jp, &body),
     }
@@ -409,7 +409,7 @@ where
         }
         plan.run_reduces_and_postbarriers();
     };
-    match plan.region {
+    match plan.region.clone() {
         Some(cfg) => parallel_with(cfg, inner),
         None => inner(),
     }
@@ -483,7 +483,7 @@ where
         }
         plan.run_reduces_and_postbarriers();
     };
-    match plan.region {
+    match plan.region.clone() {
         Some(cfg) => parallel_with(cfg, inner),
         None => inner(),
     }
