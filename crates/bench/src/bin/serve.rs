@@ -1,0 +1,214 @@
+//! Load-generation harness for `aomp-serve`: drives a multi-tenant
+//! server in closed-loop then open-loop mode and writes
+//! `BENCH_serve.json` with throughput, latency quantiles and shed rate.
+//!
+//! The open-loop phase deliberately offers ~2× the closed-loop measured
+//! capacity: a server without admission control queue-collapses there
+//! (latency grows without bound); this one sheds, and the report
+//! quantifies both the shed rate and the accepted requests' p99.
+//!
+//! ```text
+//! serve [--duration-ms N] [--tenants N] [--threads N] [--concurrency N]
+//!       [--deadline-ms N] [--rps F] [--fault-panic F] [--fault-cancel F]
+//! ```
+
+use aomp::obs;
+use aomp_bench::metrics_json;
+use aomp_serve::loadgen::{self, LoadConfig, LoadStats, Mode};
+use aomp_serve::{Backoff, FaultPlan, Server, TenantSpec, Workload};
+use aomp_simcore::Json;
+use std::time::Duration;
+
+struct Opts {
+    duration: Duration,
+    tenants: usize,
+    threads: usize,
+    concurrency: usize,
+    deadline: Duration,
+    rps: Option<f64>,
+    fault_panic: f64,
+    fault_cancel: f64,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        duration: Duration::from_millis(1000),
+        tenants: 2,
+        threads: 2,
+        concurrency: 4,
+        deadline: Duration::from_millis(500),
+        rps: None,
+        fault_panic: 0.0,
+        fault_cancel: 0.0,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = || -> ! {
+        eprintln!(
+            "usage: serve [--duration-ms N] [--tenants N] [--threads N] [--concurrency N]\n\
+             \x20            [--deadline-ms N] [--rps F] [--fault-panic F] [--fault-cancel F]"
+        );
+        std::process::exit(2)
+    };
+    while i < args.len() {
+        let val = |args: &[String], i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--duration-ms" => {
+                opts.duration =
+                    Duration::from_millis(val(&args, i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--tenants" => opts.tenants = val(&args, i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => opts.threads = val(&args, i).parse().unwrap_or_else(|_| usage()),
+            "--concurrency" => opts.concurrency = val(&args, i).parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                opts.deadline =
+                    Duration::from_millis(val(&args, i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--rps" => opts.rps = Some(val(&args, i).parse().unwrap_or_else(|_| usage())),
+            "--fault-panic" => opts.fault_panic = val(&args, i).parse().unwrap_or_else(|_| usage()),
+            "--fault-cancel" => {
+                opts.fault_cancel = val(&args, i).parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn stats_json(stats: &LoadStats) -> Json {
+    Json::Obj(vec![
+        ("submitted".to_owned(), Json::Num(stats.submitted as f64)),
+        ("accepted".to_owned(), Json::Num(stats.accepted as f64)),
+        ("shed".to_owned(), Json::Num(stats.shed as f64)),
+        ("completed".to_owned(), Json::Num(stats.completed as f64)),
+        (
+            "deadline_missed".to_owned(),
+            Json::Num(stats.deadline_missed as f64),
+        ),
+        ("faulted".to_owned(), Json::Num(stats.faulted as f64)),
+        ("retries".to_owned(), Json::Num(stats.retries as f64)),
+        (
+            "wall_ms".to_owned(),
+            Json::Num(stats.wall.as_secs_f64() * 1e3),
+        ),
+        ("throughput_rps".to_owned(), Json::Num(stats.throughput_rps)),
+        ("shed_rate".to_owned(), Json::Num(stats.shed_rate)),
+        ("p50_ns".to_owned(), Json::Num(stats.p50_ns as f64)),
+        ("p99_ns".to_owned(), Json::Num(stats.p99_ns as f64)),
+        ("mean_ns".to_owned(), Json::Num(stats.mean_ns)),
+        (
+            "queue_wait_p99_ns".to_owned(),
+            Json::Num(stats.queue_wait_p99_ns as f64),
+        ),
+        (
+            "counters_consistent".to_owned(),
+            Json::Bool(stats.counters_consistent()),
+        ),
+    ])
+}
+
+fn print_stats(label: &str, s: &LoadStats) {
+    println!(
+        "{label:<8} {:>7.1} req/s  p50 {:>8.2} ms  p99 {:>8.2} ms  shed {:>5.1}%  \
+         (completed {} / missed {} / faulted {} / retries {})",
+        s.throughput_rps,
+        s.p50_ns as f64 / 1e6,
+        s.p99_ns as f64 / 1e6,
+        s.shed_rate * 100.0,
+        s.completed,
+        s.deadline_missed,
+        s.faulted,
+        s.retries,
+    );
+}
+
+fn main() {
+    let opts = parse_args();
+    obs::set_metrics(true);
+    let before = obs::snapshot();
+
+    // CLI flags override the AOMP_SERVE_FAULTS env plan when given.
+    let mut faults = FaultPlan::from_env().unwrap_or_else(|| FaultPlan::none().seed(11));
+    if opts.fault_panic > 0.0 {
+        faults = faults.panic_fraction(opts.fault_panic);
+    }
+    if opts.fault_cancel > 0.0 {
+        faults = faults.cancel_fraction(opts.fault_cancel);
+    }
+    let mut cfg = Server::config().graph(4096, 8, 42);
+    for t in 0..opts.tenants.max(1) {
+        cfg = cfg.tenant(
+            TenantSpec::new(format!("tenant{t}"))
+                .threads(opts.threads)
+                .queue_capacity(opts.concurrency.max(2))
+                .default_deadline(opts.deadline)
+                .faults(faults),
+        );
+    }
+    let server = cfg.build();
+    let tenants: Vec<usize> = (0..server.tenant_count()).collect();
+    let workload = Workload::SumRange { n: 400_000 };
+
+    // Phase 1: closed loop measures sustainable capacity.
+    let closed = loadgen::run(
+        &server,
+        &LoadConfig {
+            mode: Mode::Closed {
+                concurrency: opts.concurrency,
+            },
+            duration: opts.duration,
+            tenants: tenants.clone(),
+            deadline: opts.deadline,
+            workload,
+            retry: Some(Backoff::default()),
+        },
+    );
+    print_stats("closed", &closed);
+
+    // Phase 2: open loop at ~2x measured capacity — the overload regime
+    // where shedding (not queue collapse) must carry the server.
+    let rps = opts
+        .rps
+        .unwrap_or_else(|| (closed.throughput_rps * 2.0).max(50.0));
+    let open = loadgen::run(
+        &server,
+        &LoadConfig {
+            mode: Mode::Open { rps },
+            duration: opts.duration,
+            tenants: tenants.clone(),
+            deadline: opts.deadline,
+            workload,
+            retry: None,
+        },
+    );
+    print_stats("open", &open);
+
+    let delta = obs::snapshot().since(&before);
+    obs::set_metrics(false);
+    let report = Json::Obj(vec![
+        (
+            "workload".to_owned(),
+            Json::Str("sum_range_400k".to_owned()),
+        ),
+        (
+            "tenants".to_owned(),
+            Json::Num(server.tenant_count() as f64),
+        ),
+        ("open_rps_offered".to_owned(), Json::Num(rps)),
+        ("closed".to_owned(), stats_json(&closed)),
+        ("open".to_owned(), stats_json(&open)),
+        ("metrics".to_owned(), metrics_json(&delta)),
+    ]);
+    std::fs::write("BENCH_serve.json", report.pretty()).expect("write BENCH_serve.json");
+    println!("(wrote BENCH_serve.json)");
+
+    let consistent = closed.counters_consistent() && open.counters_consistent();
+    if closed.completed == 0 || !consistent {
+        eprintln!(
+            "FAILED: completed={} consistent={consistent}",
+            closed.completed
+        );
+        std::process::exit(1);
+    }
+}

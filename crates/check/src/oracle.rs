@@ -20,6 +20,7 @@
 
 use aomp::error::WaitSite;
 use aomp::hook::HookEvent;
+use aomp::obs::{Counter, Snapshot};
 use std::collections::HashMap;
 
 /// Check every built-in invariant over one schedule's event log.
@@ -27,6 +28,47 @@ pub fn check_invariants(log: &[HookEvent]) -> Result<(), String> {
     barrier_lockstep(log)?;
     master_publishes_from_master(log)?;
     critical_alternation(log)?;
+    Ok(())
+}
+
+/// Tenant-isolation oracle over per-runtime counter scopes.
+///
+/// Multi-tenant serving (`aomp-serve`) pins every tenant to its own
+/// [`aomp::Runtime`], whose counter scope attributes only that tenant's
+/// activity. Isolation then has a checkable shape: across a window in
+/// which a *neighbour* tenant was cancelled, panicked or overloaded, the
+/// victim tenant's scope must have moved by exactly its own workload —
+/// `expect` names the counters that must have advanced by an exact
+/// amount, `zero` the failure/shedding counters that must not have moved
+/// at all. Feed it `before`/`after` from
+/// [`aomp::Runtime::metrics_snapshot`]; combine with schedule
+/// exploration to assert it under chosen interleavings.
+pub fn check_tenant_isolation(
+    before: &Snapshot,
+    after: &Snapshot,
+    expect: &[(Counter, u64)],
+    zero: &[Counter],
+) -> Result<(), String> {
+    let delta = after.since(before);
+    for &(c, want) in expect {
+        let got = delta.counter(c);
+        if got != want {
+            return Err(format!(
+                "tenant isolation violated: counter {} moved by {got}, expected exactly {want}",
+                c.name()
+            ));
+        }
+    }
+    for &c in zero {
+        let got = delta.counter(c);
+        if got != 0 {
+            return Err(format!(
+                "tenant isolation violated: counter {} moved by {got} in a window where \
+                 it must stay untouched",
+                c.name()
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -220,6 +262,33 @@ mod tests {
             site: WaitSite::SingleBroadcast,
         }];
         assert!(check_invariants(&log).is_ok());
+    }
+
+    #[test]
+    fn tenant_isolation_oracle_judges_deltas() {
+        // Exercised against a private runtime's scope: bumps attribute
+        // to that runtime only, so this test is hermetic even though
+        // other tests run concurrently in this binary.
+        let rt = aomp::Runtime::builder().threads(1).build();
+        let before = rt.metrics_snapshot();
+        rt.record_counter(Counter::ServeCompleted);
+        rt.record_counter(Counter::ServeCompleted);
+        let after = rt.metrics_snapshot();
+        check_tenant_isolation(
+            &before,
+            &after,
+            &[(Counter::ServeCompleted, 2)],
+            &[Counter::ServeShed, Counter::ServeFaulted],
+        )
+        .expect("clean window must pass");
+        assert!(
+            check_tenant_isolation(&before, &after, &[(Counter::ServeCompleted, 1)], &[]).is_err(),
+            "wrong exact count must fail"
+        );
+        assert!(
+            check_tenant_isolation(&before, &after, &[], &[Counter::ServeCompleted]).is_err(),
+            "non-zero counter in the zero set must fail"
+        );
     }
 
     #[test]

@@ -242,6 +242,24 @@ counters! {
     CancelsRequested => "cancels_requested",
     /// Trace events dropped because a per-thread buffer filled up.
     TraceDropped => "trace_dropped",
+    /// Serve: requests offered to a server's admission control.
+    ServeSubmitted => "serve_submitted",
+    /// Serve: requests admitted past a tenant's bounded queue.
+    ServeAccepted => "serve_accepted",
+    /// Serve: requests shed (rejected-newest) by admission control.
+    ServeShed => "serve_shed",
+    /// Serve: admitted requests that completed successfully.
+    ServeCompleted => "serve_completed",
+    /// Serve: admitted requests that missed their deadline (expired in
+    /// queue, or stalled/timed out mid-execution).
+    ServeDeadlineMissed => "serve_deadline_missed",
+    /// Serve: admitted requests that failed from an (injected or real)
+    /// panic or cancellation inside the request body.
+    ServeFaulted => "serve_faulted",
+    /// Serve: faults injected by a `serve::faults` plan.
+    ServeFaultInjected => "serve_fault_injected",
+    /// Serve: resubmissions performed by the retry/backoff helper.
+    ServeRetries => "serve_retries",
 }
 
 // ---------------------------------------------------------------------
@@ -304,6 +322,12 @@ lats! {
     WaitFutureGet => "wait_future_get",
     /// Time the master blocked joining its workers at region end.
     WaitJoin => "wait_join",
+    /// End-to-end latency of admitted serve requests (submit to
+    /// completion, shed requests excluded).
+    ServeRequest => "serve_request",
+    /// Time an admitted serve request spent queued before a worker
+    /// picked it up.
+    ServeQueueWait => "serve_queue_wait",
 }
 
 impl Lat {
@@ -395,6 +419,24 @@ pub(crate) fn record_lat(l: Lat, d: Duration) {
     if gate() & F_METRICS != 0 {
         REG.hists[l as usize].record(d);
     }
+}
+
+/// Bump a counter in the process-global registry (one relaxed load when
+/// metrics are off). Public so runtime layers built *on top of* aomp —
+/// the `aomp-serve` request server is the motivating one — can account
+/// their events (admissions, sheds, completions) in the same registry
+/// the benchmarks and `AOMP_METRICS=1` already read.
+#[inline]
+pub fn counter_inc(c: Counter) {
+    count(c);
+}
+
+/// Record a latency sample in the process-global registry (no-op with
+/// metrics off). The public companion of [`counter_inc`] for
+/// higher-layer latencies such as [`Lat::ServeRequest`].
+#[inline]
+pub fn record_latency(l: Lat, d: Duration) {
+    record_lat(l, d);
 }
 
 // ---------------------------------------------------------------------

@@ -155,6 +155,21 @@ impl RegionConfig {
         self
     }
 
+    /// Optional form of [`stall_deadline`](Self::stall_deadline) for
+    /// callers threading a computed time budget — `None` leaves the
+    /// config unchanged (the runtime default, if any, still applies).
+    /// This is the deadline-propagation hook used by request-serving
+    /// layers: a request's remaining budget flows here so a wedged
+    /// region times out as
+    /// [`RegionError::Stalled`](crate::error::RegionError) instead of
+    /// occupying its workers past the deadline.
+    pub fn stall_deadline_opt(self, deadline: Option<Duration>) -> Self {
+        match deadline {
+            Some(d) => self.stall_deadline(d),
+            None => self,
+        }
+    }
+
     /// Allow (`true`, the default) or refuse (`false`) serving this
     /// region from the runtime's hot-team cache. With pooling refused the
     /// region always spawns fresh scoped threads — the per-region

@@ -295,6 +295,19 @@ impl Runtime {
         self.inner.scope.snapshot()
     }
 
+    /// Attribute one event to this runtime's counter scope (and, when
+    /// metrics are armed, to the process-global registry). This is how
+    /// layers above the core runtime — per-tenant admission control in
+    /// `aomp-serve` — keep per-runtime accounting observably disjoint:
+    /// each tenant bumps only its own runtime's scope, so one tenant's
+    /// sheds and faults never move a neighbour's counters. No-op on a
+    /// runtime built with `.metrics(false)` (scope side; the global
+    /// registry still ticks when `AOMP_METRICS` is on).
+    pub fn record_counter(&self, c: obs::Counter) {
+        obs::counter_inc(c);
+        self.inner.scope.bump(c);
+    }
+
     fn apply_to(&self, cfg: RegionConfig) -> RegionConfig {
         if cfg.has_runtime() {
             cfg

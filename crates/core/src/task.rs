@@ -286,6 +286,17 @@ impl<T> FutureTask<T> {
         }
     }
 
+    /// Deadline form of [`get_timeout`](Self::get_timeout): waits until
+    /// the absolute instant `deadline`. An already-expired deadline
+    /// still takes a value that is ready right now (one lock-free
+    /// check) before reporting [`WaitTimedOut`] — the semantics a
+    /// request server wants when propagating a request's time budget
+    /// through chained waits.
+    pub fn get_by(self, deadline: Instant) -> Result<T, WaitTimedOut> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        self.get_timeout(remaining)
+    }
+
     fn take(self, timeout: Option<Duration>) -> TakeOutcome<T> {
         ctx::with_current(|c| match c {
             None => self.shot.take_inner(timeout, &|| {}, &|| false),
@@ -436,6 +447,16 @@ impl TaskGroup {
     /// [`wait`](Self::wait) can still join them).
     pub fn wait_timeout(&self, timeout: Duration) -> Result<(), WaitTimedOut> {
         self.wait_inner(Some(timeout))
+    }
+
+    /// Deadline form of [`wait_timeout`](Self::wait_timeout): waits
+    /// until the absolute instant `deadline`. An expired deadline still
+    /// observes a group that is already drained before reporting
+    /// [`WaitTimedOut`] — see
+    /// [`FutureTask::get_by`](crate::task::FutureTask::get_by).
+    pub fn wait_until(&self, deadline: Instant) -> Result<(), WaitTimedOut> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        self.wait_inner(Some(remaining))
     }
 
     fn wait_inner(&self, timeout: Option<Duration>) -> Result<(), WaitTimedOut> {
@@ -636,6 +657,30 @@ mod tests {
         release.store(true, Ordering::Release);
         group.wait();
         assert_eq!(group.outstanding(), 0);
+    }
+
+    #[test]
+    fn get_by_takes_ready_value_despite_expired_deadline() {
+        let (promise, fut) = future_pair::<u8>();
+        promise.set(9);
+        let past = Instant::now() - Duration::from_secs(1);
+        assert_eq!(fut.get_by(past), Ok(9));
+    }
+
+    #[test]
+    fn get_by_times_out_without_producer() {
+        let (_promise, fut) = future_pair::<u8>();
+        let r = fut.get_by(Instant::now() + Duration::from_millis(20));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn wait_until_on_drained_group_is_ok_despite_expired_deadline() {
+        let group = TaskGroup::new();
+        group.spawn(|| {});
+        group.wait();
+        let past = Instant::now() - Duration::from_secs(1);
+        assert_eq!(group.wait_until(past), Ok(()));
     }
 
     #[test]

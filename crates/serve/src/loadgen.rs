@@ -1,0 +1,253 @@
+//! Closed- and open-loop load generation against a [`Server`].
+//!
+//! * **Closed loop** — `concurrency` caller threads submit, wait for the
+//!   response inline, and immediately submit again: offered load adapts
+//!   to service rate (classic think-time-zero closed system).
+//! * **Open loop** — a pacer submits at a fixed request rate regardless
+//!   of completions, the regime where an overloaded server without
+//!   admission control queue-collapses. Here it sheds instead, which is
+//!   the behaviour the bench harness quantifies.
+//!
+//! Outcome counts come from per-tenant runtime counter deltas; latency
+//! quantiles come from the process-global [`aomp::obs`] histograms
+//! ([`run`] arms metrics itself).
+
+use crate::{Backoff, Request, ServeError, Server, Workload};
+use aomp::obs::{self, Counter, Lat};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How the generator offers load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// `concurrency` workers submit → wait → repeat.
+    Closed {
+        /// Number of synchronous caller threads.
+        concurrency: usize,
+    },
+    /// Submit at a fixed rate, independent of completions.
+    Open {
+        /// Offered requests per second (across all target tenants).
+        rps: f64,
+    },
+}
+
+/// One load-generation run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Closed or open loop.
+    pub mode: Mode,
+    /// How long to offer load.
+    pub duration: Duration,
+    /// Target tenants, rotated round-robin per request.
+    pub tenants: Vec<usize>,
+    /// Per-request deadline.
+    pub deadline: Duration,
+    /// The workload every request runs.
+    pub workload: Workload,
+    /// Client-side retry policy for shed requests (None = give up).
+    pub retry: Option<Backoff>,
+}
+
+/// Aggregated outcome of one [`run`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoadStats {
+    /// Requests offered (including resubmissions).
+    pub submitted: u64,
+    /// Requests past admission control.
+    pub accepted: u64,
+    /// Requests rejected by admission control.
+    pub shed: u64,
+    /// Accepted requests that completed with a valid response.
+    pub completed: u64,
+    /// Accepted requests that missed their deadline.
+    pub deadline_missed: u64,
+    /// Accepted requests that faulted (panic/cancel/validation).
+    pub faulted: u64,
+    /// Client-side resubmissions performed by the retry helper.
+    pub retries: u64,
+    /// Wall-clock time of the run including the final drain.
+    pub wall: Duration,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// `shed / submitted` (0 when nothing was submitted).
+    pub shed_rate: f64,
+    /// Median end-to-end request latency (ns, accepted requests).
+    pub p50_ns: u64,
+    /// 99th-percentile end-to-end request latency (ns).
+    pub p99_ns: u64,
+    /// Mean end-to-end request latency (ns).
+    pub mean_ns: f64,
+    /// 99th-percentile queue wait before execution began (ns).
+    pub queue_wait_p99_ns: u64,
+}
+
+impl LoadStats {
+    /// `accepted == completed + deadline_missed + faulted` — must hold
+    /// after every drained run.
+    pub fn counters_consistent(&self) -> bool {
+        self.accepted == self.completed + self.deadline_missed + self.faulted
+    }
+}
+
+/// Drive `cfg` against `server` and aggregate the outcome.
+///
+/// Arms [`obs::set_metrics`] so latency histograms populate. Blocks
+/// until offered load ends *and* the server drains (bounded by
+/// `cfg.duration + 60s`).
+pub fn run(server: &Server, cfg: &LoadConfig) -> LoadStats {
+    assert!(
+        !cfg.tenants.is_empty(),
+        "load generator needs target tenants"
+    );
+    obs::set_metrics(true);
+    let global_before = obs::snapshot();
+    let tenants_before: Vec<_> = unique(&cfg.tenants)
+        .into_iter()
+        .map(|t| (t, server.tenant_runtime(t).metrics_snapshot()))
+        .collect();
+    let started = Instant::now();
+    let end = started + cfg.duration;
+    let rr = AtomicU64::new(0);
+    let next_tenant =
+        || cfg.tenants[rr.fetch_add(1, Ordering::Relaxed) as usize % cfg.tenants.len()];
+
+    match cfg.mode {
+        Mode::Closed { concurrency } => {
+            std::thread::scope(|s| {
+                for worker in 0..concurrency.max(1) {
+                    let next_tenant = &next_tenant;
+                    let retry = cfg.retry.map(|p| Backoff {
+                        seed: p.seed ^ worker as u64,
+                        ..p
+                    });
+                    s.spawn(move || {
+                        while Instant::now() < end {
+                            let tenant = next_tenant();
+                            let req = Request::new(cfg.workload).deadline(cfg.deadline);
+                            let submitted = match &retry {
+                                Some(policy) => {
+                                    crate::submit_with_retry(server, tenant, &req, policy)
+                                }
+                                None => server.submit(tenant, req),
+                            };
+                            match submitted {
+                                Ok(handle) => {
+                                    let _ = handle.wait();
+                                }
+                                Err(ServeError::Shed { retry_after, .. }) => {
+                                    // Terminal shed: brief pause so a
+                                    // saturated closed loop doesn't spin.
+                                    std::thread::sleep(retry_after.min(Duration::from_millis(10)));
+                                }
+                                Err(_) => {}
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        Mode::Open { rps } => {
+            let interval = Duration::from_secs_f64(1.0 / rps.max(0.001));
+            let mut handles = Vec::new();
+            let mut next = started;
+            while Instant::now() < end {
+                let tenant = next_tenant();
+                let req = Request::new(cfg.workload).deadline(cfg.deadline);
+                // Open loop never retries inline — that would stall the
+                // pacer and silently close the loop.
+                if let Ok(handle) = server.submit(tenant, req) {
+                    handles.push(handle);
+                }
+                next += interval;
+                let now = Instant::now();
+                if next > now {
+                    std::thread::sleep(next - now);
+                }
+            }
+            for handle in handles {
+                let _ = handle.wait();
+            }
+        }
+    }
+
+    server.drain(cfg.duration + Duration::from_secs(60));
+    let wall = started.elapsed();
+    let global_delta = obs::snapshot().since(&global_before);
+
+    let sum = |c: Counter| -> u64 {
+        tenants_before
+            .iter()
+            .map(|(t, before)| {
+                server
+                    .tenant_runtime(*t)
+                    .metrics_snapshot()
+                    .since(before)
+                    .counter(c)
+            })
+            .sum()
+    };
+    let submitted = sum(Counter::ServeSubmitted);
+    let accepted = sum(Counter::ServeAccepted);
+    let shed = sum(Counter::ServeShed);
+    let completed = sum(Counter::ServeCompleted);
+    let deadline_missed = sum(Counter::ServeDeadlineMissed);
+    let faulted = sum(Counter::ServeFaulted);
+    let retries = sum(Counter::ServeRetries);
+    let req_hist = global_delta.hist(Lat::ServeRequest);
+    LoadStats {
+        submitted,
+        accepted,
+        shed,
+        completed,
+        deadline_missed,
+        faulted,
+        retries,
+        wall,
+        throughput_rps: completed as f64 / wall.as_secs_f64().max(1e-9),
+        shed_rate: if submitted == 0 {
+            0.0
+        } else {
+            shed as f64 / submitted as f64
+        },
+        p50_ns: req_hist.quantile_ns(0.5),
+        p99_ns: req_hist.quantile_ns(0.99),
+        mean_ns: req_hist.mean_ns(),
+        queue_wait_p99_ns: global_delta.hist(Lat::ServeQueueWait).quantile_ns(0.99),
+    }
+}
+
+fn unique(tenants: &[usize]) -> Vec<usize> {
+    let mut u = tenants.to_vec();
+    u.sort_unstable();
+    u.dedup();
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TenantSpec;
+
+    #[test]
+    fn closed_loop_completes_and_balances() {
+        let server = Server::config()
+            .graph(256, 6, 3)
+            .tenant(TenantSpec::new("a").threads(2).queue_capacity(8))
+            .build();
+        let stats = run(
+            &server,
+            &LoadConfig {
+                mode: Mode::Closed { concurrency: 2 },
+                duration: Duration::from_millis(300),
+                tenants: vec![0],
+                deadline: Duration::from_secs(5),
+                workload: Workload::SumRange { n: 20_000 },
+                retry: None,
+            },
+        );
+        assert!(stats.completed > 0, "closed loop completed nothing");
+        assert!(stats.counters_consistent(), "{stats:?}");
+        assert!(stats.p50_ns > 0, "histogram never populated");
+    }
+}

@@ -1,0 +1,150 @@
+//! Caller-side retry with jittered exponential backoff.
+//!
+//! When admission control sheds a request ([`ServeError::Shed`]), the
+//! rejection carries a `retry_after` hint derived from the tenant's
+//! observed service time. [`submit_with_retry`] is the cooperative
+//! client: it honours the hint, backs off exponentially with seeded
+//! jitter (so a burst of rejected clients decorrelates instead of
+//! re-stampeding), and gives up after a bounded number of attempts.
+
+use crate::{Request, ResponseHandle, ServeError, Server};
+use aomp::obs;
+use std::time::Duration;
+
+/// Jittered exponential backoff policy for resubmitting shed requests.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    /// First-retry delay before jitter.
+    pub base: Duration,
+    /// Multiplier applied per attempt.
+    pub factor: f64,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// Total submission attempts (first try included). 1 disables retry.
+    pub max_attempts: u32,
+    /// Seed decorrelating this client's jitter from its neighbours'.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base: Duration::from_millis(1),
+            factor: 2.0,
+            max_delay: Duration::from_millis(250),
+            max_attempts: 5,
+            seed: 0,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay to sleep before retry number `attempt` (0-based), given
+    /// the server's `retry_after` hint from the rejection.
+    ///
+    /// The exponential component is `base * factor^attempt`; the server
+    /// hint acts as a floor (the server knows its drain rate better than
+    /// the client). The result is jittered uniformly into `[d/2, d]` —
+    /// deterministic in `(seed, attempt)` — and capped at `max_delay`.
+    pub fn delay(&self, attempt: u32, hint: Option<Duration>) -> Duration {
+        let exp = self.base.as_secs_f64() * self.factor.powi(attempt as i32);
+        let mut d = Duration::from_secs_f64(exp.min(self.max_delay.as_secs_f64()));
+        if let Some(h) = hint {
+            d = d.max(h.min(self.max_delay));
+        }
+        // Uniform jitter in [d/2, d]: full jitter re-synchronises half
+        // the herd at ~0; half-floor keeps the backoff meaningful.
+        let x = splitmix64(self.seed ^ (attempt as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let frac = 0.5 + 0.5 * ((x >> 11) as f64 / (1u64 << 53) as f64);
+        d.mul_f64(frac)
+    }
+}
+
+/// Submit `req` to `tenant`, sleeping and resubmitting on shed
+/// rejections according to `policy`.
+///
+/// Returns the accepted request's handle, or the final error once
+/// attempts are exhausted (the terminal `Shed` is returned as-is) or a
+/// non-shed error occurs (those are never retried: a deadline or fault
+/// outcome means the request was *accepted* and consumed capacity).
+/// Each resubmission bumps [`obs::Counter::ServeRetries`] on the
+/// tenant's runtime.
+pub fn submit_with_retry(
+    server: &Server,
+    tenant: usize,
+    req: &Request,
+    policy: &Backoff,
+) -> Result<ResponseHandle, ServeError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        match server.submit(tenant, req.clone()) {
+            Ok(handle) => return Ok(handle),
+            Err(err @ ServeError::Shed { .. }) => {
+                if attempt + 1 >= attempts {
+                    return Err(err);
+                }
+                let hint = match err {
+                    ServeError::Shed { retry_after, .. } => Some(retry_after),
+                    _ => unreachable!(),
+                };
+                std::thread::sleep(policy.delay(attempt, hint));
+                server
+                    .tenant_runtime(tenant)
+                    .record_counter(obs::Counter::ServeRetries);
+                attempt += 1;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_deterministic_and_bounded() {
+        let p = Backoff::default();
+        for attempt in 0..6 {
+            let a = p.delay(attempt, None);
+            let b = p.delay(attempt, None);
+            assert_eq!(a, b, "jitter must be deterministic in (seed, attempt)");
+            assert!(a <= p.max_delay, "delay exceeds cap: {a:?}");
+        }
+    }
+
+    #[test]
+    fn hint_floors_the_delay() {
+        let p = Backoff {
+            base: Duration::from_micros(10),
+            ..Backoff::default()
+        };
+        let hint = Duration::from_millis(20);
+        let d = p.delay(0, Some(hint));
+        assert!(d >= hint / 2, "hint ignored: {d:?}");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = Backoff {
+            seed: 1,
+            ..Backoff::default()
+        };
+        let b = Backoff {
+            seed: 2,
+            ..Backoff::default()
+        };
+        assert!(
+            (0..8).any(|i| a.delay(i, None) != b.delay(i, None)),
+            "seeds produced identical jitter streams"
+        );
+    }
+}

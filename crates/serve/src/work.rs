@@ -1,0 +1,311 @@
+//! Request workloads: small parallel task graphs over aomp constructs.
+//!
+//! Each [`Workload`] is a self-validating parallel computation — it has a
+//! closed-form (or precomputable) expected result, so the serving layer
+//! can verify every completed response and the robustness suite can
+//! prove that shedding, deadlines and injected faults never corrupt an
+//! accepted request's answer.
+
+use crate::faults::Fault;
+use aomp::prelude::*;
+use aomp_irregular::graph::CsrGraph;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A request's computation, executed as a parallel region (plus spawned
+/// futures for [`Workload::Fanout`]) on the owning tenant's runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Workload {
+    /// Sum a scrambling hash of `0..n` under a static-block for
+    /// construct.
+    SumRange {
+        /// Number of loop iterations.
+        n: u64,
+    },
+    /// Sum all vertex degrees of the server's shared graph `rounds`
+    /// times under a dynamic schedule (irregular, chunk-handout path).
+    DegreeSum {
+        /// Number of passes over the vertex set.
+        rounds: u32,
+    },
+    /// Split `0..n` into `parts` slices, hash-sum each in a spawned
+    /// future on the tenant's task executor, and join them with a
+    /// deadline-bounded wait.
+    Fanout {
+        /// Number of spawned futures.
+        parts: u32,
+        /// Total iterations across all parts.
+        n: u64,
+    },
+}
+
+/// A completed workload's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Output {
+    /// Scalar checksum.
+    U64(u64),
+}
+
+/// Cheap avalanche hash so loop iterations are not compiler-foldable.
+#[inline]
+fn scramble(i: u64) -> u64 {
+    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x
+}
+
+fn sum_range_expected(n: u64) -> u64 {
+    (0..n).fold(0u64, |acc, i| acc.wrapping_add(scramble(i)))
+}
+
+impl Workload {
+    /// The result this workload must produce (given the server's shared
+    /// `graph`). Sequential reference used to validate parallel answers.
+    pub fn expected(&self, graph: &CsrGraph) -> Output {
+        match *self {
+            Workload::SumRange { n } => Output::U64(sum_range_expected(n)),
+            Workload::DegreeSum { rounds } => {
+                let per_round: u64 = (0..graph.vertices()).map(|v| graph.degree(v) as u64).sum();
+                Output::U64(per_round.wrapping_mul(rounds as u64))
+            }
+            Workload::Fanout { n, .. } => Output::U64(sum_range_expected(n)),
+        }
+    }
+}
+
+/// Outcome of [`execute`], before serve-layer accounting.
+pub(crate) enum ExecError {
+    /// The region tripped its stall watchdog or a fanout join timed out.
+    TimedOut,
+    /// The region was cooperatively cancelled.
+    Cancelled,
+    /// A worker panicked.
+    Panicked(String),
+}
+
+/// Run `work` on `rt` inside a cancellable region with a stall deadline
+/// of `remaining`, optionally applying an injected `fault`.
+///
+/// Fault placement is deliberate: panics and cancels fire on the master
+/// (tid 0) so the error path through team poisoning is exercised; stalls
+/// wedge the *last* member (never the master) so the master reaches the
+/// join wait-site and the stall watchdog can observe and diagnose the
+/// hang. A stalled worker also polls its cancellation point and carries
+/// a wall-clock bound, so the region always unwinds even on one-thread
+/// teams where the stalled member *is* the master.
+pub(crate) fn execute(
+    rt: &Runtime,
+    threads: usize,
+    graph: &Arc<CsrGraph>,
+    work: Workload,
+    remaining: Duration,
+    fault: Option<Fault>,
+) -> Result<Output, ExecError> {
+    let acc = AtomicU64::new(0);
+    let timed_out = AtomicBool::new(false);
+    // Constructs must be created once and shared by the whole team —
+    // their identity keys the team-shared handout state, so a per-member
+    // construct would give every thread the full range.
+    let for_static = ForConstruct::new(Schedule::StaticBlock);
+    let for_dynamic = ForConstruct::new(Schedule::Dynamic { chunk: 256 });
+    let cfg = RegionConfig::new()
+        .threads(threads)
+        .runtime(rt)
+        .cancellable(true)
+        .stall_deadline(remaining.max(Duration::from_millis(5)));
+    let deadline = Instant::now() + remaining;
+    let result = region::try_parallel_with(cfg, || {
+        if apply_fault(fault, remaining) {
+            return;
+        }
+        match work {
+            Workload::SumRange { n } => {
+                let mut local = 0u64;
+                for_static.execute(LoopRange::upto(0, n as i64), |lo, hi, step| {
+                    let mut i = lo;
+                    while i < hi {
+                        local = local.wrapping_add(scramble(i as u64));
+                        i += step;
+                    }
+                });
+                acc.fetch_add(local, Ordering::Relaxed);
+            }
+            Workload::DegreeSum { rounds } => {
+                let mut local = 0u64;
+                for _ in 0..rounds {
+                    for_dynamic.execute(
+                        LoopRange::upto(0, graph.vertices() as i64),
+                        |lo, hi, step| {
+                            let mut v = lo;
+                            while v < hi {
+                                local = local.wrapping_add(graph.degree(v as usize) as u64);
+                                v += step;
+                            }
+                        },
+                    );
+                }
+                acc.fetch_add(local, Ordering::Relaxed);
+            }
+            Workload::Fanout { parts, n } => {
+                // Each member fans out its share of the slices as
+                // futures on the tenant's executor, then joins them
+                // against the request deadline.
+                let parts = parts.max(1) as u64;
+                let tid = thread_id() as u64;
+                let team = team_size() as u64;
+                let mut futs = Vec::new();
+                let mut p = tid;
+                while p < parts {
+                    let lo = n * p / parts;
+                    let hi = n * (p + 1) / parts;
+                    futs.push(task::spawn_future(move || {
+                        (lo..hi).fold(0u64, |a, i| a.wrapping_add(scramble(i)))
+                    }));
+                    p += team;
+                }
+                let mut local = 0u64;
+                for fut in futs {
+                    match fut.get_by(deadline) {
+                        Ok(part) => local = local.wrapping_add(part),
+                        Err(_) => {
+                            timed_out.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                acc.fetch_add(local, Ordering::Relaxed);
+            }
+        }
+    });
+    match result {
+        Ok(()) if timed_out.load(Ordering::Relaxed) => Err(ExecError::TimedOut),
+        Ok(()) => Ok(Output::U64(acc.load(Ordering::Relaxed))),
+        Err(RegionError::Stalled { .. }) => Err(ExecError::TimedOut),
+        Err(RegionError::Cancelled) => Err(ExecError::Cancelled),
+        Err(err) => Err(ExecError::Panicked(err.to_string())),
+    }
+}
+
+/// Apply an injected fault from inside the region body. Returns true if
+/// the calling member must skip its workload share.
+fn apply_fault(fault: Option<Fault>, remaining: Duration) -> bool {
+    match fault {
+        None => false,
+        Some(Fault::Panic) if thread_id() == 0 => panic!("injected fault: panic"),
+        Some(Fault::Panic) => false,
+        Some(Fault::Cancel) => {
+            if thread_id() == 0 {
+                cancel_team();
+            }
+            // Everyone observes the flag and unwinds cooperatively.
+            let _ = cancellation_point();
+            true
+        }
+        // Wedge the last member, not the master: the master then blocks
+        // at the join wait-site, which is what arms the stall watchdog's
+        // diagnosis. Bounded by wall clock so the region unwinds even if
+        // the watchdog path is unavailable.
+        Some(Fault::Stall) if thread_id() == team_size() - 1 => {
+            let give_up = Instant::now() + remaining + Duration::from_millis(100);
+            while Instant::now() < give_up {
+                if cancellation_point().is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            true
+        }
+        Some(Fault::Stall) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aomp_irregular::graph::GraphKind;
+
+    fn test_graph() -> Arc<CsrGraph> {
+        Arc::new(CsrGraph::generate(GraphKind::Uniform, 512, 8, 1))
+    }
+
+    fn rt() -> Runtime {
+        Runtime::builder().threads(2).build()
+    }
+
+    #[test]
+    fn sum_range_matches_expected() {
+        let g = test_graph();
+        let rt = rt();
+        let w = Workload::SumRange { n: 10_000 };
+        let out = execute(&rt, 2, &g, w, Duration::from_secs(5), None)
+            .unwrap_or_else(|_| panic!("clean workload failed"));
+        assert_eq!(out, w.expected(&g));
+    }
+
+    #[test]
+    fn degree_sum_matches_expected() {
+        let g = test_graph();
+        let rt = rt();
+        let w = Workload::DegreeSum { rounds: 3 };
+        let out = execute(&rt, 2, &g, w, Duration::from_secs(5), None)
+            .unwrap_or_else(|_| panic!("clean workload failed"));
+        assert_eq!(out, w.expected(&g));
+    }
+
+    #[test]
+    fn fanout_matches_expected() {
+        let g = test_graph();
+        let rt = rt();
+        let w = Workload::Fanout {
+            parts: 4,
+            n: 10_000,
+        };
+        let out = execute(&rt, 2, &g, w, Duration::from_secs(5), None)
+            .unwrap_or_else(|_| panic!("clean workload failed"));
+        assert_eq!(out, w.expected(&g));
+    }
+
+    #[test]
+    fn injected_panic_surfaces() {
+        let g = test_graph();
+        let rt = rt();
+        let w = Workload::SumRange { n: 100 };
+        match execute(&rt, 2, &g, w, Duration::from_secs(5), Some(Fault::Panic)) {
+            Err(ExecError::Panicked(msg)) => assert!(msg.contains("injected"), "msg: {msg}"),
+            _ => panic!("expected a panic outcome"),
+        }
+    }
+
+    #[test]
+    fn injected_cancel_surfaces() {
+        let g = test_graph();
+        let rt = rt();
+        let w = Workload::SumRange { n: 100 };
+        match execute(&rt, 2, &g, w, Duration::from_secs(5), Some(Fault::Cancel)) {
+            Err(ExecError::Cancelled) => {}
+            _ => panic!("expected a cancelled outcome"),
+        }
+    }
+
+    #[test]
+    fn injected_stall_times_out() {
+        let g = test_graph();
+        let rt = rt();
+        let w = Workload::SumRange { n: 100 };
+        match execute(&rt, 2, &g, w, Duration::from_millis(50), Some(Fault::Stall)) {
+            Err(ExecError::TimedOut) => {}
+            Err(ExecError::Cancelled) => {} // watchdog may cancel first
+            other => panic!(
+                "expected a timeout outcome, got {:?}",
+                match other {
+                    Ok(_) => "Ok",
+                    Err(ExecError::Panicked(_)) => "Panicked",
+                    _ => unreachable!(),
+                }
+            ),
+        }
+    }
+}

@@ -1,13 +1,26 @@
-//! Failure semantics tour: panic reporting, team cancellation and the
-//! stall watchdog, through the public API only.
+//! Failure semantics tour: panic reporting, team cancellation, the
+//! stall watchdog, and multi-tenant serving under overload — through the
+//! public API only.
 //!
-//! Run with `cargo run --example robustness`.
+//! Run with `cargo run --example robustness`. Every section *asserts*
+//! that its injected failure was actually observed; the process exits
+//! nonzero if any expected failure silently vanished, so CI can run this
+//! example as a check rather than a demo.
 
+use aomp_serve::{Backoff, Request, ServeError, Server, TenantSpec, Workload};
 use aomplib::prelude::*;
+use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-fn main() {
+fn main() -> ExitCode {
+    let mut failures: Vec<String> = Vec::new();
+    let mut expect = |observed: bool, label: &str| {
+        if !observed {
+            failures.push(label.to_owned());
+        }
+    };
+
     // 1. A panic inside a team comes back as a value, not an abort.
     let r = region::try_parallel_with(RegionConfig::new().threads(4), || {
         if thread_id() == 2 {
@@ -16,6 +29,10 @@ fn main() {
         barrier();
     });
     println!("1. panicking team   -> {r:?}");
+    expect(
+        matches!(r, Err(RegionError::Panicked { .. })),
+        "section 1: injected panic was not reported",
+    );
 
     // 2. Team cancellation stops a dynamic loop early (OpenMP 4.0 cancel).
     let seen = AtomicUsize::new(0);
@@ -31,20 +48,33 @@ fn main() {
             }
         });
     });
-    println!(
-        "2. cancelled loop   -> {r:?} after {} of 1000000 iterations",
-        seen.load(Ordering::SeqCst)
+    let iterations = seen.load(Ordering::SeqCst);
+    println!("2. cancelled loop   -> {r:?} after {iterations} of 1000000 iterations");
+    expect(
+        matches!(r, Err(RegionError::Cancelled)) && iterations < 1_000_000,
+        "section 2: cancellation did not stop the loop early",
     );
 
     // 3. cancel_team() is gated: outside a region / on a non-cancellable
     //    team it is a no-op returning false.
-    println!("3. cancel, no team  -> honoured: {}", cancel_team());
+    let outside = cancel_team();
+    println!("3. cancel, no team  -> honoured: {outside}");
+    expect(!outside, "section 3: cancel outside a region was honoured");
+    let gated = AtomicUsize::new(0);
     region::parallel_with(RegionConfig::new().threads(2), || {
         if thread_id() == 0 {
-            println!("   cancel, gated    -> honoured: {}", cancel_team());
+            gated.store(cancel_team() as usize + 1, Ordering::SeqCst);
         }
         barrier();
     });
+    println!(
+        "   cancel, gated    -> honoured: {}",
+        gated.load(Ordering::SeqCst) == 2
+    );
+    expect(
+        gated.load(Ordering::SeqCst) == 1,
+        "section 3: cancel on a non-cancellable team was honoured",
+    );
 
     // 4. The stall watchdog converts a hung worker into a diagnosis.
     //    The body owns its captures (`'static`), so the detached executor
@@ -67,6 +97,10 @@ fn main() {
         }
         other => println!("4. hung worker      -> UNEXPECTED {other:?}"),
     }
+    expect(
+        matches!(r, Err(RegionError::Stalled { .. })),
+        "section 4: the watchdog did not diagnose the hung worker",
+    );
 
     // 5. The runtime is immediately reusable after all of the above.
     let hits = AtomicUsize::new(0);
@@ -78,13 +112,82 @@ fn main() {
         "5. healthy region   -> {}/4 threads ran",
         hits.load(Ordering::SeqCst)
     );
+    expect(
+        hits.load(Ordering::SeqCst) == 4,
+        "section 5: the runtime was not reusable after the failures",
+    );
 
     // 6. Bounded task waits: a future that never resolves times out.
     let (_promise, fut) = task::future_pair::<u32>();
-    println!(
-        "6. future timeout   -> {:?}",
-        fut.get_timeout(Duration::from_millis(50))
+    let timed_out = fut.get_timeout(Duration::from_millis(50));
+    println!("6. future timeout   -> {timed_out:?}");
+    expect(
+        timed_out.is_err(),
+        "section 6: the bounded wait never timed out",
     );
     let fut = task::spawn_future(|| -> u32 { panic!("producer exploded") });
-    println!("   future try_get   -> {:?}", fut.try_get());
+    let poisoned = fut.try_get();
+    println!("   future try_get   -> {poisoned:?}");
+    expect(
+        poisoned.is_err(),
+        "section 6: the producer panic was not reported",
+    );
+
+    // 7. Multi-tenant serving: a bounded tenant queue sheds a burst
+    //    (reject-newest, with a retry-after hint) instead of queueing
+    //    without bound, and a cooperative client lands its request by
+    //    backing off and resubmitting.
+    let server = Server::config()
+        .graph(512, 6, 1)
+        .tenant(
+            TenantSpec::new("demo")
+                .threads(2)
+                .queue_capacity(2)
+                .default_deadline(Duration::from_secs(30)),
+        )
+        .build();
+    let slow = Workload::SumRange { n: 20_000_000 };
+    let mut held = Vec::new();
+    let mut sheds = 0;
+    let mut hint = Duration::ZERO;
+    for _ in 0..8 {
+        match server.submit(0, Request::new(slow)) {
+            Ok(h) => held.push(h),
+            Err(ServeError::Shed { retry_after, .. }) => {
+                sheds += 1;
+                hint = retry_after;
+            }
+            Err(other) => println!("   UNEXPECTED submit error: {other}"),
+        }
+    }
+    println!("7. overloaded tenant-> shed {sheds}/8 (retry after {hint:?})");
+    expect(sheds > 0, "section 7: the bounded queue never shed");
+    let quick = Request::new(Workload::SumRange { n: 1_000 });
+    let retry = Backoff {
+        base: Duration::from_millis(2),
+        max_attempts: 500,
+        ..Backoff::default()
+    };
+    let landed = aomp_serve::submit_with_retry(&server, 0, &quick, &retry)
+        .map(|h| h.wait())
+        .is_ok();
+    println!("   backoff client   -> landed after retries: {landed}");
+    expect(landed, "section 7: the retrying client never landed");
+    for h in held {
+        let _ = h.wait();
+    }
+    expect(
+        server.drain(Duration::from_secs(60)),
+        "section 7: the server failed to drain",
+    );
+
+    if failures.is_empty() {
+        println!("all injected failures were observed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("MISSED FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
 }
