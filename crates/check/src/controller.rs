@@ -47,6 +47,7 @@
 //! programs this path never fires under control — no event means no state
 //! change, so the re-probe re-blocks without recording a decision.
 
+use aomp::check::{AccessEvent, AccessSink};
 use aomp::error::WaitSite;
 use aomp::hook::{HookEvent, SchedHook, TeamId};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -55,6 +56,7 @@ use std::time::{Duration, Instant};
 
 use crate::strategy::Chooser;
 use crate::trace::Decision;
+use crate::vclock::{RaceReport, RaceTracker};
 
 /// Bounded slice for controlled parks: long enough that the path is cold,
 /// short enough that watchdog cancels and freepark probes stay live.
@@ -110,11 +112,23 @@ pub(crate) struct RunState {
     decisions: Vec<Decision>,
     log: Vec<HookEvent>,
     verdict: Option<String>,
+    /// Race detection, when the exploration enabled it: fed every logged
+    /// event and (through [`AccessSink`]) every tracked access.
+    tracker: Option<RaceTracker>,
 }
 
 impl RunState {
     fn managed(&self, team: TeamId, tid: usize) -> bool {
         self.team == Some(team) && tid < self.slots.len() && self.slots[tid] != Slot::Done
+    }
+
+    /// Record one event in the log and, when race checking is on, in the
+    /// happens-before tracker (which sees the exact serialised order).
+    fn record(&mut self, ev: &HookEvent) {
+        self.log.push(*ev);
+        if let Some(t) = self.tracker.as_mut() {
+            t.on_event(ev);
+        }
     }
 }
 
@@ -144,7 +158,8 @@ impl Controller {
     }
 
     /// Install a fresh schedule. The calling thread becomes the master.
-    pub(crate) fn install(&self, chooser: Box<dyn Chooser>) {
+    /// `races` arms the happens-before tracker for this schedule.
+    pub(crate) fn install(&self, chooser: Box<dyn Chooser>, races: bool) {
         let mut g = self.lock();
         g.gen += 1;
         let gen = g.gen;
@@ -164,17 +179,26 @@ impl Controller {
             decisions: Vec::new(),
             log: Vec::new(),
             verdict: None,
+            tracker: races.then(RaceTracker::new),
         });
     }
 
     /// Tear down the schedule and return what it recorded.
-    pub(crate) fn harvest(&self) -> (Vec<Decision>, Vec<HookEvent>, Option<String>) {
+    pub(crate) fn harvest(
+        &self,
+    ) -> (
+        Vec<Decision>,
+        Vec<HookEvent>,
+        Option<String>,
+        Option<RaceReport>,
+    ) {
         let mut g = self.lock();
         g.gen += 1;
         let run = g.run.take().expect("harvest without install");
         drop(g);
         self.cv.notify_all();
-        (run.decisions, run.log, run.verdict)
+        let race = run.tracker.and_then(|t| t.race().cloned());
+        (run.decisions, run.log, run.verdict, race)
     }
 
     /// Pick the next token holder. Called with no token assigned.
@@ -302,13 +326,13 @@ impl SchedHook for Controller {
                     run.token = None;
                     run.freepark = false;
                     run.freepark_since = None;
-                    run.log.push(*ev);
+                    run.record(ev);
                 }
                 return;
             }
             HookEvent::RegionEnd { team } => {
                 if run.team == Some(team) {
-                    run.log.push(*ev);
+                    run.record(ev);
                     run.team = None;
                     run.token = None;
                 }
@@ -344,7 +368,7 @@ impl SchedHook for Controller {
                 if run.slots[tid] != Slot::Absent {
                     return;
                 }
-                run.log.push(*ev);
+                run.record(ev);
                 run.slots[tid] = Slot::Ready;
                 run.arrived += 1;
                 if run.arrived == run.n {
@@ -356,7 +380,7 @@ impl SchedHook for Controller {
                 // until the whole team has arrived.
             }
             HookEvent::MemberEnd { .. } => {
-                run.log.push(*ev);
+                run.record(ev);
                 run.slots[tid] = Slot::Done;
                 if run.token == Some(tid) {
                     run.token = None;
@@ -368,7 +392,7 @@ impl SchedHook for Controller {
                 return; // the thread is leaving; it must not park
             }
             _ => {
-                run.log.push(*ev);
+                run.record(ev);
                 run.epoch += 1;
                 if run.token == Some(tid) {
                     run.token = None;
@@ -479,6 +503,25 @@ impl SchedHook for Controller {
                 // then it will re-probe us.
                 return false;
             }
+        }
+    }
+}
+
+impl AccessSink for Controller {
+    fn access(&self, team: TeamId, tid: usize, ev: &AccessEvent) {
+        let mut g = self.lock();
+        let Some(run) = g.run.as_mut() else { return };
+        // Accesses are *not* yield points and record no decision: they
+        // only feed the race tracker, in the serialised order the token
+        // protocol already imposes. Freerun means the serialisation
+        // guarantee is gone, so judging further accesses would be
+        // unsound; outside-team accesses (setup/teardown, other teams,
+        // nested regions) are ignored like their events are.
+        if run.freerun || !run.managed(team, tid) {
+            return;
+        }
+        if let Some(t) = run.tracker.as_mut() {
+            t.on_access(tid, ev);
         }
     }
 }

@@ -70,8 +70,10 @@ pub mod oracle;
 pub mod rng;
 pub mod strategy;
 pub mod trace;
+pub mod vclock;
 
 pub use trace::{Decision, Trace};
+pub use vclock::{RaceAccess, RaceReport};
 
 use std::collections::HashSet;
 use std::fmt;
@@ -130,9 +132,14 @@ pub struct RunReport {
     /// when no decision point had more than one eligible member).
     pub events: usize,
     /// Why the schedule failed: the program's panic message, a controller
-    /// verdict (deadlock, budget), or an invariant-oracle violation.
-    /// `None` for a clean schedule.
+    /// verdict (deadlock, budget), a data race, or an invariant-oracle
+    /// violation. `None` for a clean schedule.
     pub failure: Option<String>,
+    /// The first conflicting access pair the race oracle found on this
+    /// schedule (only when the exploration enabled race checking). Also
+    /// folded into [`failure`](Self::failure) unless the schedule already
+    /// failed harder (panic/verdict).
+    pub race: Option<RaceReport>,
 }
 
 /// Aggregate result of one exploration.
@@ -198,6 +205,17 @@ pub fn seeds_from_env(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Environment variable turning the race oracle on for explorations that
+/// did not choose explicitly (`AOMP_CHECK_RACES=1`; any non-empty value
+/// other than `0` counts). Suites that call
+/// [`Explorer::races`] are unaffected.
+pub const RACES_ENV: &str = "AOMP_CHECK_RACES";
+
+/// The env-driven default for race checking (see [`RACES_ENV`]).
+pub fn races_from_env() -> bool {
+    std::env::var(RACES_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// One exploration at a time: the hook registry is process-global, so
 /// concurrent explorations (e.g. `cargo test` running checked tests on
 /// several harness threads) must serialise.
@@ -251,21 +269,29 @@ fn run_schedule(
     id: ScheduleId,
     chooser: Box<dyn Chooser>,
     rt: &aomp::Runtime,
+    races: bool,
     f: &dyn Fn(),
 ) -> RunReport {
-    CONTROLLER.install(chooser);
+    CONTROLLER.install(chooser, races);
     aomp::hook::register(&CONTROLLER);
+    if races {
+        aomp::check::arm(&CONTROLLER);
+    }
     let caught = {
         let _in_rt = rt.enter();
         catch_unwind(AssertUnwindSafe(f))
     };
+    if races {
+        aomp::check::disarm();
+    }
     aomp::hook::unregister();
-    let (decisions, log, verdict) = CONTROLLER.harvest();
+    let (decisions, log, verdict, race) = CONTROLLER.harvest();
     let trace = Trace { decisions };
     let failure = match caught {
         Err(p) => Some(format!("panicked: {}", panic_message(p.as_ref()))),
         Ok(()) => verdict
             .map(|v| format!("verdict: {v}"))
+            .or_else(|| race.as_ref().map(|r| r.to_string()))
             .or_else(|| oracle::check_invariants(&log).err()),
     };
     RunReport {
@@ -273,6 +299,7 @@ fn run_schedule(
         trace,
         events: log.len(),
         failure,
+        race,
     }
 }
 
@@ -287,143 +314,242 @@ fn session_runtime() -> aomp::Runtime {
     aomp::Runtime::builder().build()
 }
 
-/// Explore `schedules` seeded-random interleavings of `f`. Schedule `i`
-/// uses seed `mix64(base_seed) + i`-style derivation, so the whole
-/// exploration is a pure function of `base_seed` and any failure names
-/// the exact seed to replay.
-pub fn explore_random(schedules: usize, base_seed: u64, f: impl Fn()) -> Report {
-    let _s = lock_session();
-    let _q = QuietPanics::install();
-    let rt = session_runtime();
-    let mut runs = Vec::with_capacity(schedules);
-    for i in 0..schedules as u64 {
-        let seed = rng::mix64(base_seed ^ rng::mix64(i));
-        runs.push(run_schedule(
+/// An exploration configuration: strategy-independent options applied to
+/// every schedule of one exploration session.
+///
+/// The only option today is the **race oracle** ([`races`](Self::races)):
+/// when on, the controller also builds a happens-before relation from the
+/// event stream ([`vclock`]) and judges every tracked shared-memory
+/// access ([`aomp::cell::SyncSlice::tracked`], [`aomp::check::Tracked`])
+/// against it; the first conflicting pair fails the schedule like any
+/// other oracle, with both access sites named in the failure and the same
+/// replayable trace.
+///
+/// The free functions ([`explore_random`] & co.) are thin wrappers over
+/// `Explorer::new()`, whose race default comes from [`RACES_ENV`] —
+/// exporting `AOMP_CHECK_RACES=1` turns the oracle on across every
+/// existing exploration without touching its call site.
+#[derive(Debug, Clone, Default)]
+pub struct Explorer {
+    races: Option<bool>,
+}
+
+impl Explorer {
+    /// Explorer with defaults: race checking per [`RACES_ENV`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explicitly enable/disable the race oracle, overriding the env
+    /// default.
+    pub fn races(mut self, on: bool) -> Self {
+        self.races = Some(on);
+        self
+    }
+
+    fn races_on(&self) -> bool {
+        self.races.unwrap_or_else(races_from_env)
+    }
+
+    /// Explore `schedules` seeded-random interleavings of `f`. Schedule
+    /// `i` uses seed `mix64(base_seed) + i`-style derivation, so the
+    /// whole exploration is a pure function of `base_seed` and any
+    /// failure names the exact seed to replay.
+    pub fn random(&self, schedules: usize, base_seed: u64, f: impl Fn()) -> Report {
+        let races = self.races_on();
+        let _s = lock_session();
+        let _q = QuietPanics::install();
+        let rt = session_runtime();
+        let mut runs = Vec::with_capacity(schedules);
+        for i in 0..schedules as u64 {
+            let seed = rng::mix64(base_seed ^ rng::mix64(i));
+            runs.push(run_schedule(
+                ScheduleId::Random { seed },
+                Box::new(RandomChooser::new(seed)),
+                &rt,
+                races,
+                &f,
+            ));
+        }
+        Report {
+            runs,
+            truncated: false,
+        }
+    }
+
+    /// Replay the seeded-random schedule `seed` (as printed by a failing
+    /// [`Report::assert_ok`]) exactly once.
+    pub fn replay_random(&self, seed: u64, f: impl Fn()) -> RunReport {
+        let races = self.races_on();
+        let _s = lock_session();
+        let _q = QuietPanics::install();
+        let rt = session_runtime();
+        run_schedule(
             ScheduleId::Random { seed },
             Box::new(RandomChooser::new(seed)),
             &rt,
+            races,
             &f,
-        ));
+        )
     }
-    Report {
-        runs,
-        truncated: false,
-    }
-}
 
-/// Replay the seeded-random schedule `seed` (as printed by a failing
-/// [`Report::assert_ok`]) exactly once.
-pub fn replay_random(seed: u64, f: impl Fn()) -> RunReport {
-    let _s = lock_session();
-    let _q = QuietPanics::install();
-    let rt = session_runtime();
-    run_schedule(
-        ScheduleId::Random { seed },
-        Box::new(RandomChooser::new(seed)),
-        &rt,
-        &f,
-    )
-}
-
-/// Replay a recorded trace exactly. With a deterministic program this
-/// reproduces the original execution decision-for-decision (the returned
-/// report's digest equals the input trace's digest).
-pub fn replay(trace: &Trace, f: impl Fn()) -> RunReport {
-    let _s = lock_session();
-    let _q = QuietPanics::install();
-    let rt = session_runtime();
-    let prefix: Vec<usize> = trace.decisions.iter().map(|d| d.chosen_idx).collect();
-    run_schedule(
-        ScheduleId::Replay,
-        Box::new(PrefixChooser::new(prefix)),
-        &rt,
-        &f,
-    )
-}
-
-/// Bounded-exhaustive DFS: enumerate every interleaving of `f` whose
-/// divergence from first-runnable order happens within the first
-/// `depth_cap` decision points, up to `max_schedules` schedules (the
-/// report is marked [truncated](Report::truncated) if the cap hit first).
-///
-/// With a `depth_cap` at least the program's decision count this is a
-/// complete enumeration of the serialised schedule space.
-pub fn explore_dfs(max_schedules: usize, depth_cap: usize, f: impl Fn()) -> Report {
-    let _s = lock_session();
-    let _q = QuietPanics::install();
-    let rt = session_runtime();
-    let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
-    let mut runs = Vec::new();
-    let mut truncated = false;
-    while let Some(prefix) = frontier.pop() {
-        if runs.len() >= max_schedules {
-            truncated = true;
-            break;
-        }
-        let run = run_schedule(
-            ScheduleId::Dfs {
-                prefix: prefix.clone(),
-            },
-            Box::new(PrefixChooser::new(prefix.clone())),
+    /// Replay a recorded trace exactly. With a deterministic program this
+    /// reproduces the original execution decision-for-decision (the
+    /// returned report's digest equals the input trace's digest).
+    pub fn replay(&self, trace: &Trace, f: impl Fn()) -> RunReport {
+        let races = self.races_on();
+        let _s = lock_session();
+        let _q = QuietPanics::install();
+        let rt = session_runtime();
+        let prefix: Vec<usize> = trace.decisions.iter().map(|d| d.chosen_idx).collect();
+        run_schedule(
+            ScheduleId::Replay,
+            Box::new(PrefixChooser::new(prefix)),
             &rt,
+            races,
             &f,
-        );
-        // Branch on every decision point past the fixed prefix (those at
-        // or before it were enumerated at shallower frontier levels).
-        for (i, d) in run.trace.decisions.iter().enumerate().skip(prefix.len()) {
-            if i >= depth_cap {
+        )
+    }
+
+    /// Bounded-exhaustive DFS: enumerate every interleaving of `f` whose
+    /// divergence from first-runnable order happens within the first
+    /// `depth_cap` decision points, up to `max_schedules` schedules (the
+    /// report is marked [truncated](Report::truncated) if the cap hit
+    /// first).
+    ///
+    /// With a `depth_cap` at least the program's decision count this is a
+    /// complete enumeration of the serialised schedule space.
+    pub fn dfs(&self, max_schedules: usize, depth_cap: usize, f: impl Fn()) -> Report {
+        let races = self.races_on();
+        let _s = lock_session();
+        let _q = QuietPanics::install();
+        let rt = session_runtime();
+        let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut runs = Vec::new();
+        let mut truncated = false;
+        while let Some(prefix) = frontier.pop() {
+            if runs.len() >= max_schedules {
+                truncated = true;
                 break;
             }
-            for alt in 1..d.eligible.len() {
-                let mut p: Vec<usize> = run.trace.decisions[..i]
-                    .iter()
-                    .map(|x| x.chosen_idx)
-                    .collect();
-                p.push(alt);
-                frontier.push(p);
+            let run = run_schedule(
+                ScheduleId::Dfs {
+                    prefix: prefix.clone(),
+                },
+                Box::new(PrefixChooser::new(prefix.clone())),
+                &rt,
+                races,
+                &f,
+            );
+            // Branch on every decision point past the fixed prefix (those
+            // at or before it were enumerated at shallower frontier
+            // levels).
+            for (i, d) in run.trace.decisions.iter().enumerate().skip(prefix.len()) {
+                if i >= depth_cap {
+                    break;
+                }
+                for alt in 1..d.eligible.len() {
+                    let mut p: Vec<usize> = run.trace.decisions[..i]
+                        .iter()
+                        .map(|x| x.chosen_idx)
+                        .collect();
+                    p.push(alt);
+                    frontier.push(p);
+                }
             }
+            runs.push(run);
         }
-        runs.push(run);
+        Report { runs, truncated }
     }
-    Report { runs, truncated }
-}
 
-/// Explore `schedules` PCT interleavings of `f` with `depth` priority
-/// change points each. A probe schedule (seeded random) first estimates
-/// the schedule length that change points are sampled over.
-pub fn explore_pct(schedules: usize, base_seed: u64, depth: usize, f: impl Fn()) -> Report {
-    let _s = lock_session();
-    let _q = QuietPanics::install();
-    let rt = session_runtime();
-    let probe_seed = rng::mix64(base_seed);
-    let probe = run_schedule(
-        ScheduleId::Random { seed: probe_seed },
-        Box::new(RandomChooser::new(probe_seed)),
-        &rt,
-        &f,
-    );
-    let len_bound = (probe.trace.len() * 2).max(16);
-    let mut runs = vec![probe];
-    for i in 0..schedules as u64 {
-        let seed = rng::mix64(base_seed ^ rng::mix64(i ^ 0x9C75_A1E5));
-        runs.push(run_schedule(
-            ScheduleId::Pct { seed, depth },
-            Box::new(PctChooser::new(seed, depth, len_bound)),
+    /// Explore `schedules` PCT interleavings of `f` with `depth` priority
+    /// change points each. A probe schedule (seeded random) first
+    /// estimates the schedule length that change points are sampled over.
+    pub fn pct(&self, schedules: usize, base_seed: u64, depth: usize, f: impl Fn()) -> Report {
+        let races = self.races_on();
+        let _s = lock_session();
+        let _q = QuietPanics::install();
+        let rt = session_runtime();
+        let probe_seed = rng::mix64(base_seed);
+        let probe = run_schedule(
+            ScheduleId::Random { seed: probe_seed },
+            Box::new(RandomChooser::new(probe_seed)),
             &rt,
+            races,
             &f,
-        ));
+        );
+        let len_bound = (probe.trace.len() * 2).max(16);
+        let mut runs = vec![probe];
+        for i in 0..schedules as u64 {
+            let seed = rng::mix64(base_seed ^ rng::mix64(i ^ 0x9C75_A1E5));
+            runs.push(run_schedule(
+                ScheduleId::Pct { seed, depth },
+                Box::new(PctChooser::new(seed, depth, len_bound)),
+                &rt,
+                races,
+                &f,
+            ));
+        }
+        Report {
+            runs,
+            truncated: false,
+        }
     }
-    Report {
-        runs,
-        truncated: false,
+
+    /// Differential oracle: explore `schedules` random interleavings of
+    /// `parallel`, asserting each schedule's result equals `golden` (the
+    /// sequential semantics — compute it with the `seq` version of the
+    /// kernel). Bitwise/structural equality via `PartialEq`, per the
+    /// paper's "equal results" claim.
+    pub fn differential<T>(
+        &self,
+        schedules: usize,
+        base_seed: u64,
+        golden: T,
+        parallel: impl Fn() -> T,
+    ) -> Report
+    where
+        T: PartialEq + fmt::Debug,
+    {
+        self.random(schedules, base_seed, || {
+            let got = parallel();
+            assert!(
+                got == golden,
+                "differential oracle: parallel result {got:?} != sequential golden {golden:?}"
+            );
+        })
     }
 }
 
-/// Differential oracle: explore `schedules` random interleavings of
-/// `parallel`, asserting each schedule's result equals `golden` (the
-/// sequential semantics — compute it with the `seq` version of the
-/// kernel). Bitwise/structural equality via `PartialEq`, per the paper's
-/// "equal results" claim.
+/// Explore `schedules` seeded-random interleavings of `f` (see
+/// [`Explorer::random`]; race checking per [`RACES_ENV`]).
+pub fn explore_random(schedules: usize, base_seed: u64, f: impl Fn()) -> Report {
+    Explorer::new().random(schedules, base_seed, f)
+}
+
+/// Replay the seeded-random schedule `seed` exactly once (see
+/// [`Explorer::replay_random`]).
+pub fn replay_random(seed: u64, f: impl Fn()) -> RunReport {
+    Explorer::new().replay_random(seed, f)
+}
+
+/// Replay a recorded trace exactly (see [`Explorer::replay`]).
+pub fn replay(trace: &Trace, f: impl Fn()) -> RunReport {
+    Explorer::new().replay(trace, f)
+}
+
+/// Bounded-exhaustive DFS exploration (see [`Explorer::dfs`]).
+pub fn explore_dfs(max_schedules: usize, depth_cap: usize, f: impl Fn()) -> Report {
+    Explorer::new().dfs(max_schedules, depth_cap, f)
+}
+
+/// PCT exploration (see [`Explorer::pct`]).
+pub fn explore_pct(schedules: usize, base_seed: u64, depth: usize, f: impl Fn()) -> Report {
+    Explorer::new().pct(schedules, base_seed, depth, f)
+}
+
+/// Differential exploration against a sequential golden value (see
+/// [`Explorer::differential`]).
 pub fn explore_differential<T>(
     schedules: usize,
     base_seed: u64,
@@ -433,11 +559,5 @@ pub fn explore_differential<T>(
 where
     T: PartialEq + fmt::Debug,
 {
-    explore_random(schedules, base_seed, || {
-        let got = parallel();
-        assert!(
-            got == golden,
-            "differential oracle: parallel result {got:?} != sequential golden {golden:?}"
-        );
-    })
+    Explorer::new().differential(schedules, base_seed, golden, parallel)
 }

@@ -1,0 +1,626 @@
+//! Vector-clock happens-before race detection over the hook stream.
+//!
+//! A [`RaceTracker`] consumes the same serialised [`HookEvent`] stream
+//! the controller logs, maintains one vector clock per team member, and
+//! judges every tracked shared-memory access (reported through
+//! [`aomp::check`]) against the happens-before relation those events
+//! define:
+//!
+//! * **fork** — `RegionStart` seeds every member's clock from the
+//!   master timeline (everything before the region happens-before
+//!   everything in it); `MemberEnd`/`RegionEnd` join the members back.
+//! * **join-all** — `BarrierExit`: a barrier round releases only after
+//!   every live member arrived, so each exiter's clock becomes the join
+//!   of all live members' entry clocks.
+//! * **release/acquire** — `CriticalRelease` stores the holder's clock
+//!   into the lock's clock; `CriticalAcquire` joins it into the
+//!   acquirer. Same for `OrderedExit`/`OrderedEnter` along the ticket
+//!   chain.
+//! * **publisher→reader** — `BroadcastPublish` accumulates the
+//!   publisher's clock into the broadcast site's clock;
+//!   `BroadcastReceive` joins it into the receiver. Members that never
+//!   waited on the broadcast get no edge.
+//! * **task fork/join** — `TaskSpawn` accumulates the spawner's clock
+//!   into a team task clock, `TaskJoin` joins it into the joiner. (This
+//!   over-approximates joins — a join sees *all* earlier spawns, not
+//!   just its own tasks — which can only add HB edges, i.e. miss a
+//!   race, never invent one. Detached-thread task *bodies* run outside
+//!   the team and are not tracked at all.)
+//! * **no edge** — `ChunkHandout` deliberately creates no order: chunks
+//!   of one work-sharing loop may interleave freely, which is exactly
+//!   how overlapping-chunk races stay visible.
+//!
+//! Shadow state per location is FastTrack-style (Flanagan & Freund):
+//! the last write as a single *epoch* `(tid, clock)` plus one read
+//! epoch per thread since that write. The fast path is an epoch
+//! comparison (same thread, same clock → already judged); only when the
+//! last-access epoch does not trivially dominate does the tracker
+//! consult clock components — never a full O(n) vector scan per access.
+//!
+//! Like the invariant oracles, the tracker goes *degraded* for the rest
+//! of a region once cancellation or a mid-construct member exit is
+//! observed: unwinding members skip release events, so judging accesses
+//! after that point would report phantom races. Sync edges keep being
+//! processed (they can only add order), so tracking resumes soundly in
+//! the next region.
+
+use aomp::check::AccessEvent;
+use aomp::error::WaitSite;
+use aomp::hook::HookEvent;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A grow-on-demand vector clock, indexed by member id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    c: Vec<u32>,
+}
+
+impl VClock {
+    /// Component `i` (0 when never bumped).
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        self.c.get(i).copied().unwrap_or(0)
+    }
+
+    /// Advance component `i`.
+    #[inline]
+    pub fn bump(&mut self, i: usize) {
+        if self.c.len() <= i {
+            self.c.resize(i + 1, 0);
+        }
+        self.c[i] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VClock) {
+        if self.c.len() < other.c.len() {
+            self.c.resize(other.c.len(), 0);
+        }
+        for (i, &v) in other.c.iter().enumerate() {
+            if self.c[i] < v {
+                self.c[i] = v;
+            }
+        }
+    }
+}
+
+/// One side of a reported race: which tracked location, by whom, when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceAccess {
+    /// Declared name of the tracked array/cell.
+    pub name: &'static str,
+    /// Element index within it.
+    pub index: usize,
+    /// Member id that performed the access.
+    pub tid: usize,
+    /// Whether the access was a write.
+    pub is_write: bool,
+    /// Number of hook events the tracker had consumed when the access
+    /// happened — locates the access between decision points of the
+    /// schedule's replayable trace.
+    pub event_pos: usize,
+}
+
+impl fmt::Display for RaceAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of `{}[{}]` by t{} (after event #{})",
+            if self.is_write { "write" } else { "read" },
+            self.name,
+            self.index,
+            self.tid,
+            self.event_pos
+        )
+    }
+}
+
+/// The first conflicting access pair found on a schedule: same location,
+/// at least one write, vector clocks incomparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The earlier access (still in the shadow state when caught).
+    pub prior: RaceAccess,
+    /// The access that completed the conflicting pair.
+    pub current: RaceAccess,
+    /// Address of the element both touched.
+    pub addr: usize,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data race: {} and {} are unordered by happens-before (addr {:#x})",
+            self.prior, self.current, self.addr
+        )
+    }
+}
+
+/// Last access epoch for one location and thread: `clock` is the value
+/// of the accessor's own clock component at access time.
+#[derive(Debug, Clone, Copy)]
+struct Epoch {
+    tid: usize,
+    clock: u32,
+    name: &'static str,
+    index: usize,
+    pos: usize,
+    is_write: bool,
+}
+
+impl Epoch {
+    fn site(&self) -> RaceAccess {
+        RaceAccess {
+            name: self.name,
+            index: self.index,
+            tid: self.tid,
+            is_write: self.is_write,
+            event_pos: self.pos,
+        }
+    }
+}
+
+/// FastTrack-style shadow word: the last write epoch plus the read
+/// epochs (one per thread) since that write.
+#[derive(Debug, Default)]
+struct Shadow {
+    write: Option<Epoch>,
+    reads: Vec<Epoch>,
+}
+
+/// Happens-before tracker for one explored schedule. Feed it the hook
+/// events in serialised order via [`on_event`](Self::on_event) and
+/// every tracked access via [`on_access`](Self::on_access); the first
+/// conflicting pair is kept in [`race`](Self::race).
+#[derive(Debug, Default)]
+pub struct RaceTracker {
+    /// Team size of the current region (0 outside any region).
+    n: usize,
+    in_region: bool,
+    /// Per-member clocks, indexed by tid.
+    clocks: Vec<VClock>,
+    /// The master timeline between regions; every region forks from and
+    /// joins back into it, ordering accesses across regions.
+    global: VClock,
+    /// Release clocks per critical lock id (process-scoped, like locks).
+    locks: HashMap<usize, VClock>,
+    /// Accumulated publisher clocks per broadcast site kind.
+    bcasts: HashMap<u8, VClock>,
+    /// Release clock of the last completed ordered turn.
+    ordered: VClock,
+    /// Accumulated spawner clocks for task joins.
+    tasks: VClock,
+    /// In-progress barrier round: the join of all live members' entry
+    /// clocks, and how many exits are still owed it.
+    round: Option<(VClock, usize)>,
+    done: Vec<bool>,
+    degraded: bool,
+    shadow: HashMap<usize, Shadow>,
+    race: Option<RaceReport>,
+    /// Hook events consumed; stamps accesses for reports.
+    events: usize,
+}
+
+fn bcast_key(site: WaitSite) -> u8 {
+    match site {
+        WaitSite::MasterBroadcast => 0,
+        _ => 1, // SingleBroadcast (and anything future) share a slot
+    }
+}
+
+impl RaceTracker {
+    /// Fresh tracker (one per explored schedule).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The first conflicting pair found, if any.
+    pub fn race(&self) -> Option<&RaceReport> {
+        self.race.as_ref()
+    }
+
+    /// Consume the next serialised hook event and update the HB state.
+    pub fn on_event(&mut self, ev: &HookEvent) {
+        self.events += 1;
+        match *ev {
+            HookEvent::RegionStart { size, .. } => {
+                self.n = size;
+                self.in_region = true;
+                self.degraded = false;
+                self.round = None;
+                self.done = vec![false; size];
+                self.clocks = (0..size)
+                    .map(|t| {
+                        let mut c = self.global.clone();
+                        c.bump(t);
+                        c
+                    })
+                    .collect();
+                return;
+            }
+            HookEvent::RegionEnd { .. } => {
+                self.in_region = false;
+                return;
+            }
+            HookEvent::CancelRequested { .. } => {
+                self.degraded = true;
+                return;
+            }
+            _ => {}
+        }
+        let Some(tid) = ev.tid() else { return };
+        if !self.in_region || tid >= self.n {
+            return;
+        }
+        match *ev {
+            HookEvent::MemberEnd { .. } => {
+                if self.round.is_some() {
+                    // A member left mid-barrier-round: the region was
+                    // interrupted; stop judging its accesses.
+                    self.degraded = true;
+                }
+                let c = self.clocks[tid].clone();
+                self.global.join(&c);
+                self.done[tid] = true;
+                return;
+            }
+            HookEvent::BarrierExit { .. } => {
+                let (joined, remaining) = self.round.take().unwrap_or_else(|| {
+                    // First exit of a round: the barrier released, so
+                    // every live member has arrived and is parked — their
+                    // clocks *are* the round's entry clocks.
+                    let mut j = VClock::default();
+                    let mut live = 0;
+                    for t in 0..self.n {
+                        if !self.done[t] {
+                            j.join(&self.clocks[t]);
+                            live += 1;
+                        }
+                    }
+                    (j, live)
+                });
+                self.clocks[tid] = joined.clone();
+                if remaining > 1 {
+                    self.round = Some((joined, remaining - 1));
+                }
+            }
+            HookEvent::CriticalAcquire { lock, .. } => {
+                if let Some(l) = self.locks.get(&lock) {
+                    self.clocks[tid].join(l);
+                }
+            }
+            HookEvent::CriticalRelease { lock, .. } => {
+                self.locks.insert(lock, self.clocks[tid].clone());
+            }
+            HookEvent::OrderedEnter { .. } => {
+                let o = self.ordered.clone();
+                self.clocks[tid].join(&o);
+            }
+            HookEvent::OrderedExit { .. } => {
+                self.ordered = self.clocks[tid].clone();
+            }
+            HookEvent::BroadcastPublish { site, .. } => {
+                // Accumulate rather than overwrite: a later publish to
+                // the same site kind must not erase the edge a receiver
+                // of an earlier publish is owed.
+                let c = self.clocks[tid].clone();
+                self.bcasts.entry(bcast_key(site)).or_default().join(&c);
+            }
+            HookEvent::BroadcastReceive { site, .. } => {
+                if let Some(b) = self.bcasts.get(&bcast_key(site)) {
+                    let b = b.clone();
+                    self.clocks[tid].join(&b);
+                }
+            }
+            HookEvent::TaskSpawn { .. } => {
+                let c = self.clocks[tid].clone();
+                self.tasks.join(&c);
+            }
+            HookEvent::TaskJoin { .. } => {
+                let t = self.tasks.clone();
+                self.clocks[tid].join(&t);
+            }
+            // ChunkHandout / MemberStart / CancellationPoint /
+            // WaitRegister: no HB edge, just a tick below.
+            _ => {}
+        }
+        // Every member-scoped event advances the member's own component,
+        // so epochs recorded before a release/exit never equal epochs
+        // after it — the same-epoch fast path stays exact.
+        self.clocks[tid].bump(tid);
+    }
+
+    /// Judge one tracked access by member `tid` against the HB state.
+    pub fn on_access(&mut self, tid: usize, ev: &AccessEvent) {
+        if self.race.is_some() || self.degraded || !self.in_region || tid >= self.n {
+            return;
+        }
+        let clock = &self.clocks[tid];
+        let me = Epoch {
+            tid,
+            clock: clock.get(tid),
+            name: ev.name,
+            index: ev.index,
+            pos: self.events,
+            is_write: ev.is_write,
+        };
+        let shadow = self.shadow.entry(ev.addr).or_default();
+        let conflict = if ev.is_write {
+            // Write-same-epoch fast path: nothing can have interleaved.
+            if let Some(w) = shadow.write {
+                if w.tid == tid && w.clock == me.clock {
+                    return;
+                }
+            }
+            let lost_write = shadow
+                .write
+                .filter(|w| w.tid != tid && w.clock > clock.get(w.tid));
+            let lost_read = shadow
+                .reads
+                .iter()
+                .find(|r| r.tid != tid && r.clock > clock.get(r.tid))
+                .copied();
+            let c = lost_write.or(lost_read);
+            if c.is_none() {
+                shadow.write = Some(me);
+                shadow.reads.clear();
+            }
+            c
+        } else {
+            // Read-same-epoch fast path.
+            if let Some(r) = shadow.reads.iter_mut().find(|r| r.tid == tid) {
+                if r.clock == me.clock {
+                    return;
+                }
+                let lost = shadow
+                    .write
+                    .filter(|w| w.tid != tid && w.clock > clock.get(w.tid));
+                if lost.is_none() {
+                    if let Some(r) = shadow.reads.iter_mut().find(|r| r.tid == tid) {
+                        *r = me;
+                    }
+                }
+                lost
+            } else {
+                let lost = shadow
+                    .write
+                    .filter(|w| w.tid != tid && w.clock > clock.get(w.tid));
+                if lost.is_none() {
+                    shadow.reads.push(me);
+                }
+                lost
+            }
+        };
+        if let Some(prior) = conflict {
+            self.race = Some(RaceReport {
+                prior: prior.site(),
+                current: me.site(),
+                addr: ev.addr,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEAM: usize = 1;
+
+    fn region(n: usize) -> HookEvent {
+        HookEvent::RegionStart {
+            team: TEAM,
+            size: n,
+            level: 1,
+        }
+    }
+    fn member(tid: usize) -> HookEvent {
+        HookEvent::MemberStart { team: TEAM, tid }
+    }
+    fn barrier_exit(tid: usize) -> HookEvent {
+        HookEvent::BarrierExit {
+            team: TEAM,
+            tid,
+            leader: tid == 0,
+        }
+    }
+    fn acq(tid: usize, lock: usize) -> HookEvent {
+        HookEvent::CriticalAcquire {
+            team: TEAM,
+            tid,
+            lock,
+        }
+    }
+    fn rel(tid: usize, lock: usize) -> HookEvent {
+        HookEvent::CriticalRelease {
+            team: TEAM,
+            tid,
+            lock,
+        }
+    }
+    fn access(is_write: bool, index: usize) -> AccessEvent {
+        AccessEvent {
+            addr: 0x1000 + index * 8,
+            name: "arr",
+            index,
+            is_write,
+        }
+    }
+
+    fn start(tracker: &mut RaceTracker, n: usize) {
+        tracker.on_event(&region(n));
+        for t in 0..n {
+            tracker.on_event(&member(t));
+        }
+    }
+
+    #[test]
+    fn unsynchronized_write_read_is_a_race() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_access(0, &access(true, 3));
+        tr.on_access(1, &access(false, 3));
+        let race = tr.race().expect("conflicting pair must be reported");
+        assert!(race.prior.is_write && !race.current.is_write);
+        assert_eq!((race.prior.tid, race.current.tid), (0, 1));
+        assert_eq!(race.prior.index, 3);
+        let text = race.to_string();
+        assert!(text.contains("write of `arr[3]` by t0"), "{text}");
+        assert!(text.contains("read of `arr[3]` by t1"), "{text}");
+    }
+
+    #[test]
+    fn barrier_orders_the_phases() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_access(0, &access(true, 0));
+        tr.on_event(&barrier_exit(1));
+        tr.on_event(&barrier_exit(0));
+        tr.on_access(1, &access(false, 0));
+        assert!(tr.race().is_none(), "{:?}", tr.race());
+        // And the write-write pair across the barrier is ordered too.
+        tr.on_access(1, &access(true, 0));
+        assert!(tr.race().is_none());
+    }
+
+    #[test]
+    fn reads_alone_never_race() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 3);
+        for t in 0..3 {
+            tr.on_access(t, &access(false, 7));
+            tr.on_access(t, &access(false, 7)); // same-epoch fast path
+        }
+        assert!(tr.race().is_none());
+    }
+
+    #[test]
+    fn critical_on_both_sides_orders_accesses() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_event(&acq(0, 0xA));
+        tr.on_access(0, &access(true, 1));
+        tr.on_event(&rel(0, 0xA));
+        tr.on_event(&acq(1, 0xA));
+        tr.on_access(1, &access(true, 1));
+        tr.on_event(&rel(1, 0xA));
+        assert!(tr.race().is_none(), "{:?}", tr.race());
+    }
+
+    #[test]
+    fn critical_on_writer_only_is_a_race() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_event(&acq(0, 0xA));
+        tr.on_access(0, &access(true, 1));
+        tr.on_event(&rel(0, 0xA));
+        tr.on_access(1, &access(false, 1)); // no acquire: no edge
+        assert!(tr.race().is_some());
+    }
+
+    #[test]
+    fn broadcast_orders_publisher_and_receiver_only() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 3);
+        tr.on_access(0, &access(true, 2));
+        tr.on_event(&HookEvent::BroadcastPublish {
+            team: TEAM,
+            tid: 0,
+            site: WaitSite::MasterBroadcast,
+        });
+        tr.on_event(&HookEvent::BroadcastReceive {
+            team: TEAM,
+            tid: 1,
+            site: WaitSite::MasterBroadcast,
+        });
+        tr.on_access(1, &access(false, 2));
+        assert!(tr.race().is_none(), "receiver is ordered after publish");
+        tr.on_access(2, &access(false, 2));
+        assert!(tr.race().is_some(), "non-receiver got no edge");
+    }
+
+    #[test]
+    fn task_spawn_join_orders_spawner_and_joiner() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_access(0, &access(true, 5));
+        tr.on_event(&HookEvent::TaskSpawn { team: TEAM, tid: 0 });
+        tr.on_event(&HookEvent::TaskJoin {
+            team: TEAM,
+            tid: 1,
+            site: WaitSite::TaskWait,
+        });
+        tr.on_access(1, &access(false, 5));
+        assert!(tr.race().is_none());
+    }
+
+    #[test]
+    fn chunk_handouts_create_no_order() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_event(&HookEvent::ChunkHandout {
+            team: TEAM,
+            tid: 0,
+            kind: "dynamic",
+            lo: 0,
+            hi: 1,
+        });
+        tr.on_access(0, &access(true, 0));
+        tr.on_event(&HookEvent::ChunkHandout {
+            team: TEAM,
+            tid: 1,
+            kind: "dynamic",
+            lo: 1,
+            hi: 2,
+        });
+        tr.on_access(1, &access(true, 0)); // overlapping chunk: same element
+        assert!(tr.race().is_some());
+    }
+
+    #[test]
+    fn regions_are_ordered_through_the_master_timeline() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_access(1, &access(true, 4));
+        for t in 0..2 {
+            tr.on_event(&HookEvent::MemberEnd { team: TEAM, tid: t });
+        }
+        tr.on_event(&HookEvent::RegionEnd { team: TEAM });
+        start(&mut tr, 2);
+        tr.on_access(0, &access(false, 4));
+        tr.on_access(0, &access(true, 4));
+        assert!(tr.race().is_none(), "{:?}", tr.race());
+    }
+
+    #[test]
+    fn degraded_region_reports_nothing_but_next_region_recovers() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_access(0, &access(true, 6));
+        tr.on_event(&HookEvent::CancelRequested { team: TEAM, tid: 1 });
+        tr.on_access(1, &access(true, 6)); // would be a race; not judged
+        assert!(tr.race().is_none());
+        for t in 0..2 {
+            tr.on_event(&HookEvent::MemberEnd { team: TEAM, tid: t });
+        }
+        tr.on_event(&HookEvent::RegionEnd { team: TEAM });
+        start(&mut tr, 2);
+        tr.on_access(0, &access(true, 6));
+        tr.on_access(1, &access(false, 6));
+        assert!(tr.race().is_some(), "fresh region is judged again");
+    }
+
+    #[test]
+    fn first_race_only_is_kept() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_access(0, &access(true, 0));
+        tr.on_access(1, &access(true, 0));
+        let first = tr.race().cloned().unwrap();
+        tr.on_access(1, &access(true, 1));
+        tr.on_access(0, &access(true, 1));
+        assert_eq!(tr.race().cloned().unwrap(), first);
+    }
+}

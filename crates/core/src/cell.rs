@@ -8,8 +8,23 @@
 //! comparisons) or a narrowly-scoped unsafe wrapper. These are those
 //! wrappers: unguarded shared storage whose users must uphold the
 //! schedule's disjointness contract, documented at every call site.
+//!
+//! # Tracked mode
+//!
+//! The disjointness contract is checkable: build the wrapper with
+//! [`SyncSlice::tracked`] / [`SyncVec::tracked`] (a name plus the data)
+//! and every element access additionally reports a
+//! `{addr, index, is_write, thread}` shadow event to the
+//! [`check`](crate::check) layer, where aomp-check's vector-clock race
+//! detector judges it against the happens-before relation built from
+//! hook events. Cost discipline: an untracked wrapper pays nothing (the
+//! `name` branch is `None` and no atomic is touched); a tracked wrapper
+//! with no checker armed pays one relaxed load of the shared gate byte
+//! per access.
 
 use std::cell::UnsafeCell;
+
+use crate::check;
 
 /// A shared, unguarded slice. Cloneable handles alias the same storage.
 ///
@@ -21,6 +36,8 @@ use std::cell::UnsafeCell;
 /// static cyclic, dynamic chunks) provides for index-owned data.
 pub struct SyncSlice<'a, T> {
     data: &'a [UnsafeCell<T>],
+    /// `Some(label)` puts the wrapper in tracked mode (see module docs).
+    name: Option<&'static str>,
 }
 
 // SAFETY: access discipline is delegated to the schedule (see type docs).
@@ -43,6 +60,37 @@ impl<'a, T> SyncSlice<'a, T> {
         let ptr = data.as_mut_ptr() as *const UnsafeCell<T>;
         Self {
             data: unsafe { std::slice::from_raw_parts(ptr, data.len()) },
+            name: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), but every access reports to an armed
+    /// race checker under `name` (see module docs).
+    pub fn tracked(data: &'a mut [T], name: &'static str) -> Self {
+        Self {
+            name: Some(name),
+            ..Self::new(data)
+        }
+    }
+
+    /// Report one element access when tracked and a checker is armed.
+    #[inline]
+    fn note(&self, i: usize, is_write: bool) {
+        if let Some(name) = self.name {
+            check::report(name, self.data[i].get() as usize, i, is_write);
+        }
+    }
+
+    /// Report a range access (`as_slice`/`as_mut_slice`), element-wise so
+    /// the detector sees the same per-location granularity as `get`/`set`.
+    #[inline]
+    fn note_range(&self, lo: usize, len: usize, is_write: bool) {
+        if let Some(name) = self.name {
+            if check::armed() {
+                for i in lo..lo + len {
+                    check::report(name, self.data[i].get() as usize, i, is_write);
+                }
+            }
         }
     }
 
@@ -64,6 +112,7 @@ impl<'a, T> SyncSlice<'a, T> {
     /// No concurrent writer to index `i`.
     #[inline]
     pub unsafe fn get(&self, i: usize) -> &T {
+        self.note(i, false);
         &*self.data[i].get()
     }
 
@@ -75,6 +124,7 @@ impl<'a, T> SyncSlice<'a, T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        self.note(i, true);
         &mut *self.data[i].get()
     }
 
@@ -84,6 +134,7 @@ impl<'a, T> SyncSlice<'a, T> {
     /// As for [`get_mut`](Self::get_mut).
     #[inline]
     pub unsafe fn set(&self, i: usize, v: T) {
+        self.note(i, true);
         *self.data[i].get() = v;
     }
 }
@@ -91,16 +142,31 @@ impl<'a, T> SyncSlice<'a, T> {
 impl<T> SyncSlice<'_, T> {
     /// Borrow `len` elements starting at `lo` as a plain shared slice.
     ///
+    /// The empty borrow `(lo == self.len(), len == 0)` is valid — it is
+    /// what a block schedule hands the tail thread of an undersized loop.
+    ///
     /// # Safety
     /// No concurrent writer to any index in `lo..lo+len` for the
     /// borrow's duration (e.g. the range was written in a previous,
     /// barrier-separated phase or by this thread).
     #[inline]
     pub unsafe fn as_slice(&self, lo: usize, len: usize) -> &[T] {
-        std::slice::from_raw_parts(self.data[lo].get() as *const T, len)
+        assert!(
+            lo + len <= self.data.len(),
+            "as_slice range {lo}..{} out of bounds (len {})",
+            lo + len,
+            self.data.len()
+        );
+        self.note_range(lo, len, false);
+        // Pointer arithmetic, not `self.data[lo]`: indexing would reject
+        // the valid empty borrow at `lo == len()`.
+        std::slice::from_raw_parts(self.data.as_ptr().add(lo) as *const T, len)
     }
 
     /// Borrow `len` elements starting at `lo` as an exclusive slice.
+    ///
+    /// As with [`as_slice`](Self::as_slice), the empty borrow at
+    /// `lo == self.len()` is valid.
     ///
     /// # Safety
     /// This thread is the sole accessor of `lo..lo+len` for the borrow's
@@ -108,7 +174,17 @@ impl<T> SyncSlice<'_, T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn as_mut_slice(&self, lo: usize, len: usize) -> &mut [T] {
-        std::slice::from_raw_parts_mut(self.data[lo].get(), len)
+        assert!(
+            lo + len <= self.data.len(),
+            "as_mut_slice range {lo}..{} out of bounds (len {})",
+            lo + len,
+            self.data.len()
+        );
+        self.note_range(lo, len, true);
+        std::slice::from_raw_parts_mut(
+            self.data.as_ptr().add(lo) as *mut UnsafeCell<T> as *mut T,
+            len,
+        )
     }
 }
 
@@ -119,6 +195,7 @@ impl<T: Copy> SyncSlice<'_, T> {
     /// No concurrent writer to index `i`.
     #[inline]
     pub unsafe fn read(&self, i: usize) -> T {
+        self.note(i, false);
         *self.data[i].get()
     }
 }
@@ -131,9 +208,11 @@ impl<T: Copy> SyncSlice<'_, T> {
 /// # Safety contract
 /// Same as [`SyncSlice`]: concurrent accesses to one index must follow a
 /// disjoint-writer discipline established by the loop schedule or by
-/// barrier-separated phases.
+/// barrier-separated phases. [`tracked`](Self::tracked) makes that
+/// contract machine-checked under aomp-check.
 pub struct SyncVec<T> {
     data: Vec<UnsafeCell<T>>,
+    name: Option<&'static str>,
 }
 
 // SAFETY: access discipline is delegated to the schedule (see type docs).
@@ -145,6 +224,24 @@ impl<T> SyncVec<T> {
     pub fn new(data: Vec<T>) -> Self {
         Self {
             data: data.into_iter().map(UnsafeCell::new).collect(),
+            name: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), but every access reports to an armed
+    /// race checker under `name` (see module docs).
+    pub fn tracked(data: Vec<T>, name: &'static str) -> Self {
+        Self {
+            name: Some(name),
+            ..Self::new(data)
+        }
+    }
+
+    /// Report one element access when tracked and a checker is armed.
+    #[inline]
+    fn note(&self, i: usize, is_write: bool) {
+        if let Some(name) = self.name {
+            check::report(name, self.data[i].get() as usize, i, is_write);
         }
     }
 
@@ -166,6 +263,7 @@ impl<T> SyncVec<T> {
     /// No concurrent writer to index `i`.
     #[inline]
     pub unsafe fn get(&self, i: usize) -> &T {
+        self.note(i, false);
         &*self.data[i].get()
     }
 
@@ -176,6 +274,7 @@ impl<T> SyncVec<T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        self.note(i, true);
         &mut *self.data[i].get()
     }
 
@@ -185,6 +284,7 @@ impl<T> SyncVec<T> {
     /// As for [`get_mut`](Self::get_mut).
     #[inline]
     pub unsafe fn set(&self, i: usize, v: T) {
+        self.note(i, true);
         *self.data[i].get() = v;
     }
 }
@@ -196,6 +296,7 @@ impl<T: Copy> SyncVec<T> {
     /// No concurrent writer to index `i`.
     #[inline]
     pub unsafe fn read(&self, i: usize) -> T {
+        self.note(i, false);
         *self.data[i].get()
     }
 
@@ -212,6 +313,11 @@ impl<T: Copy + Default> SyncVec<T> {
     /// Zero-filled vector of length `n`.
     pub fn zeroed(n: usize) -> Self {
         Self::new(vec![T::default(); n])
+    }
+
+    /// Zero-filled tracked vector of length `n` (see [`tracked`](Self::tracked)).
+    pub fn zeroed_tracked(n: usize, name: &'static str) -> Self {
+        Self::tracked(vec![T::default(); n], name)
     }
 }
 
@@ -267,5 +373,54 @@ mod tests {
         }
         assert_eq!(a.len(), 3);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_borrow_at_end_is_valid() {
+        // Regression: `as_slice(len, 0)` / `as_mut_slice(len, 0)` used to
+        // index `self.data[lo]` and panic, but a zero-length borrow one
+        // past the end is exactly what a block schedule hands the tail
+        // thread of an undersized loop.
+        let mut data = vec![1u8, 2, 3];
+        let s = SyncSlice::new(&mut data);
+        unsafe {
+            assert_eq!(s.as_slice(3, 0), &[] as &[u8]);
+            assert_eq!(s.as_mut_slice(3, 0), &mut [] as &mut [u8]);
+            assert_eq!(s.as_slice(1, 2), &[2, 3]);
+            let empty_mid: &[u8] = s.as_slice(1, 0);
+            assert!(empty_mid.is_empty());
+        }
+        let mut none: Vec<u8> = Vec::new();
+        let e = SyncSlice::new(&mut none);
+        unsafe {
+            assert!(e.as_slice(0, 0).is_empty());
+            assert!(e.as_mut_slice(0, 0).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn as_slice_past_end_panics() {
+        let mut data = vec![0u8; 4];
+        let s = SyncSlice::new(&mut data);
+        let _ = unsafe { s.as_slice(3, 2) };
+    }
+
+    #[test]
+    fn tracked_wrappers_behave_like_untracked_when_unarmed() {
+        let mut data = vec![0u32; 8];
+        {
+            let s = SyncSlice::tracked(&mut data, "test.slice");
+            unsafe {
+                s.set(2, 5);
+                assert_eq!(s.read(2), 5);
+                assert_eq!(s.as_slice(0, 8)[2], 5);
+            }
+        }
+        let v = SyncVec::<f64>::zeroed_tracked(4, "test.vec");
+        unsafe {
+            v.set(1, 2.5);
+            assert_eq!(v.snapshot(), vec![0.0, 2.5, 0.0, 0.0]);
+        }
     }
 }

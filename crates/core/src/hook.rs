@@ -140,6 +140,20 @@ pub enum HookEvent {
         /// [`WaitSite::MasterBroadcast`]).
         site: WaitSite,
     },
+    /// A member returned from waiting on a single/master broadcast with
+    /// the published value in hand. Together with
+    /// [`BroadcastPublish`](Self::BroadcastPublish) this is the
+    /// publisher→reader happens-before edge the race detector needs: the
+    /// receiver is ordered after the publish, other members are not.
+    BroadcastReceive {
+        /// Team identity.
+        team: TeamId,
+        /// Member id of the receiving thread.
+        tid: usize,
+        /// Which broadcast ([`WaitSite::SingleBroadcast`] or
+        /// [`WaitSite::MasterBroadcast`]).
+        site: WaitSite,
+    },
     /// A member won its ordered-section turn and is about to run it.
     OrderedEnter {
         /// Team identity.
@@ -213,6 +227,7 @@ impl HookEvent {
             | HookEvent::CriticalRelease { team, .. }
             | HookEvent::ChunkHandout { team, .. }
             | HookEvent::BroadcastPublish { team, .. }
+            | HookEvent::BroadcastReceive { team, .. }
             | HookEvent::OrderedEnter { team, .. }
             | HookEvent::OrderedExit { team, .. }
             | HookEvent::TaskSpawn { team, .. }
@@ -235,6 +250,7 @@ impl HookEvent {
             | HookEvent::CriticalRelease { tid, .. }
             | HookEvent::ChunkHandout { tid, .. }
             | HookEvent::BroadcastPublish { tid, .. }
+            | HookEvent::BroadcastReceive { tid, .. }
             | HookEvent::OrderedEnter { tid, .. }
             | HookEvent::OrderedExit { tid, .. }
             | HookEvent::TaskSpawn { tid, .. }

@@ -74,6 +74,7 @@
 
 pub mod barrier;
 pub mod cell;
+pub mod check;
 pub mod clock;
 pub mod critical;
 pub mod ctx;

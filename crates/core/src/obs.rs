@@ -80,6 +80,11 @@ pub(crate) const F_HOOK: u8 = 1;
 pub(crate) const F_METRICS: u8 = 2;
 /// Bit: the trace recorder is running.
 pub(crate) const F_TRACE: u8 = 4;
+/// Bit: a race-check access sink is armed (see [`crate::check`]).
+/// Deliberately *not* part of [`F_EVENTS`]: tracked data accesses are
+/// orders of magnitude more frequent than decision sites, so they get
+/// their own bit and report nothing to metrics/trace.
+pub(crate) const F_RACE: u8 = 8;
 /// Bit: the gate has been initialised from the environment.
 const F_INIT: u8 = 0x80;
 /// Any consumer that wants decision-site events built.
@@ -1134,6 +1139,9 @@ pub mod trace {
                 );
             }
             HookEvent::BroadcastPublish { .. } => push_now("broadcast", 'i', [None, None]),
+            HookEvent::BroadcastReceive { tid, .. } => {
+                push_now("broadcast-recv", 'i', [Some(("tid", tid as i64)), None])
+            }
             HookEvent::OrderedEnter { ticket, .. } => {
                 push_now("ordered", 'B', [Some(("ticket", ticket as i64)), None])
             }

@@ -109,10 +109,18 @@ impl Single {
                     let team = c.shared.token();
                     let tid = c.tid;
                     let _w = c.shared.begin_wait(tid, WaitSite::SingleBroadcast);
-                    cell.await_value(
+                    let v = cell.await_value(
                         || c.shared.check_interrupt(),
                         || hook::yield_blocked(team, tid, WaitSite::SingleBroadcast),
-                    )
+                    );
+                    // The value is in hand: this member is now ordered
+                    // after the publish (the HB edge the race checker uses).
+                    hook::emit(|| HookEvent::BroadcastReceive {
+                        team,
+                        tid,
+                        site: WaitSite::SingleBroadcast,
+                    });
+                    v
                 };
                 c.shared.detach_slot(self.key, round);
                 result
@@ -190,10 +198,16 @@ impl Master {
                     let team = c.shared.token();
                     let tid = c.tid;
                     let _w = c.shared.begin_wait(tid, WaitSite::MasterBroadcast);
-                    cell.await_value(
+                    let v = cell.await_value(
                         || c.shared.check_interrupt(),
                         || hook::yield_blocked(team, tid, WaitSite::MasterBroadcast),
-                    )
+                    );
+                    hook::emit(|| HookEvent::BroadcastReceive {
+                        team,
+                        tid,
+                        site: WaitSite::MasterBroadcast,
+                    });
+                    v
                 };
                 c.shared.detach_slot(self.key, round);
                 result

@@ -51,7 +51,10 @@ pub fn run(g: &CsrGraph, tol: f64, max_iters: usize) -> (Vec<f64>, usize) {
     let gt = g.transpose();
     let out_degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
     // Double buffer, flipped by iteration parity.
-    let bufs = [SyncVec::new(vec![1.0 / n as f64; n]), SyncVec::zeroed(n)];
+    let bufs = [
+        SyncVec::tracked(vec![1.0 / n as f64; n], "pagerank.ranks.even"),
+        SyncVec::zeroed_tracked(n, "pagerank.ranks.odd"),
+    ];
     let err_tlf = ThreadLocalField::new(0.0f64);
     let iters_done = Mutex::new(0usize);
 

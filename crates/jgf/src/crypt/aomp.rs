@@ -110,9 +110,9 @@ pub fn run(data: &CryptData, threads: usize) -> CryptResult {
     let mut cipher = vec![0u8; n];
     let mut round_trip = vec![0u8; n];
     {
-        let plain_s = SyncSlice::new(&mut plain);
-        let cipher_s = SyncSlice::new(&mut cipher);
-        let trip_s = SyncSlice::new(&mut round_trip);
+        let plain_s = SyncSlice::tracked(&mut plain, "crypt.plain");
+        let cipher_s = SyncSlice::tracked(&mut cipher, "crypt.cipher");
+        let trip_s = SyncSlice::tracked(&mut round_trip, "crypt.round_trip");
         Weaver::global().with_deployed(aspect(threads), || {
             crypt_run(plain_s, cipher_s, trip_s, &data.z, &data.dk);
         });

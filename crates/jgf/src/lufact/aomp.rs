@@ -157,8 +157,8 @@ pub fn run_base(data: &LufactData) -> LufactResult {
     let mut ipvt = vec![0usize; data.n];
     {
         let lp = Linpack {
-            a: SyncSlice::new(&mut a),
-            ipvt: SyncSlice::new(&mut ipvt),
+            a: SyncSlice::tracked(&mut a, "lufact.a"),
+            ipvt: SyncSlice::tracked(&mut ipvt, "lufact.ipvt"),
             n: data.n,
         };
         dgefa(lp);

@@ -172,19 +172,19 @@ impl MolShared {
             side: data.side,
             rcoff: data.rcoff,
             pos: [
-                SyncVec::new(data.pos[0].clone()),
-                SyncVec::new(data.pos[1].clone()),
-                SyncVec::new(data.pos[2].clone()),
+                SyncVec::tracked(data.pos[0].clone(), "moldyn.pos.x"),
+                SyncVec::tracked(data.pos[1].clone(), "moldyn.pos.y"),
+                SyncVec::tracked(data.pos[2].clone(), "moldyn.pos.z"),
             ],
             vel: [
-                SyncVec::new(data.vel[0].clone()),
-                SyncVec::new(data.vel[1].clone()),
-                SyncVec::new(data.vel[2].clone()),
+                SyncVec::tracked(data.vel[0].clone(), "moldyn.vel.x"),
+                SyncVec::tracked(data.vel[1].clone(), "moldyn.vel.y"),
+                SyncVec::tracked(data.vel[2].clone(), "moldyn.vel.z"),
             ],
             force: [
-                SyncVec::zeroed(data.n),
-                SyncVec::zeroed(data.n),
-                SyncVec::zeroed(data.n),
+                SyncVec::zeroed_tracked(data.n, "moldyn.force.x"),
+                SyncVec::zeroed_tracked(data.n, "moldyn.force.y"),
+                SyncVec::zeroed_tracked(data.n, "moldyn.force.z"),
             ],
         }
     }

@@ -48,7 +48,7 @@ pub fn aspect(threads: usize) -> AspectModule {
 pub fn run(d: &McData, threads: usize) -> McResult {
     let mut results = vec![0.0; d.nruns];
     {
-        let r_s = SyncSlice::new(&mut results);
+        let r_s = SyncSlice::tracked(&mut results, "montecarlo.results");
         Weaver::global().with_deployed(aspect(threads), || mc_run(d, r_s));
     }
     finish(results)

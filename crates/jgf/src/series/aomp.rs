@@ -54,8 +54,8 @@ pub fn run(n: usize, threads: usize) -> SeriesResult {
     let mut a = vec![0.0; n];
     let mut b = vec![0.0; n];
     {
-        let a_s = SyncSlice::new(&mut a);
-        let b_s = SyncSlice::new(&mut b);
+        let a_s = SyncSlice::tracked(&mut a, "series.a");
+        let b_s = SyncSlice::tracked(&mut b, "series.b");
         Weaver::global().with_deployed(aspect(threads), || series_run(n, a_s, b_s));
     }
     SeriesResult { coeffs: [a, b] }

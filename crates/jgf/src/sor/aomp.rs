@@ -51,7 +51,7 @@ pub fn run(grid: &Grid, iterations: usize, threads: usize) -> Grid {
     let mut out = grid.clone();
     let n = out.n;
     {
-        let g_s = SyncSlice::new(&mut out.g);
+        let g_s = SyncSlice::tracked(&mut out.g, "sor.G");
         Weaver::global().with_deployed(aspect(threads), || sor_run(g_s, n, iterations));
     }
     out

@@ -101,7 +101,7 @@ pub fn aspect(threads: usize, d: &SparseData) -> AspectModule {
 pub fn run(d: &SparseData, iterations: usize, threads: usize) -> Vec<f64> {
     let mut y = vec![0.0f64; d.n];
     {
-        let y_s = SyncSlice::new(&mut y);
+        let y_s = SyncSlice::tracked(&mut y, "sparse.y");
         Weaver::global().with_deployed(aspect(threads, d), || sparse_run(d, y_s, iterations));
     }
     y

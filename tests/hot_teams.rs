@@ -183,18 +183,21 @@ fn stall_watchdog_fires_inside_a_pooled_region() {
 fn explored_pooled_region_is_schedule_independent() {
     let _s = serial();
     let before = hot_team_stats();
-    let report = check::explore_random(check::seeds_from_env(24), 0x407_7EA5, || {
-        let h = CriticalHandle::new();
-        let total = AtomicUsize::new(0);
-        region::parallel_with(RegionConfig::new().threads(2), || {
-            h.run(|| {
-                total.fetch_add(thread_id() + 1, Ordering::SeqCst);
+    let report =
+        check::Explorer::new()
+            .races(true)
+            .random(check::seeds_from_env(24), 0x407_7EA5, || {
+                let h = CriticalHandle::new();
+                let total = AtomicUsize::new(0);
+                region::parallel_with(RegionConfig::new().threads(2), || {
+                    h.run(|| {
+                        total.fetch_add(thread_id() + 1, Ordering::SeqCst);
+                    });
+                    barrier();
+                    total.fetch_add(10, Ordering::SeqCst);
+                });
+                assert_eq!(total.load(Ordering::SeqCst), 23);
             });
-            barrier();
-            total.fetch_add(10, Ordering::SeqCst);
-        });
-        assert_eq!(total.load(Ordering::SeqCst), 23);
-    });
     report.assert_ok();
     assert!(report.schedules() > 1);
     let after = hot_team_stats();

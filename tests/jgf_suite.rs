@@ -107,7 +107,10 @@ fn raytracer_all_versions_agree() {
 // must reproduce the sequential golden output on *every* explored
 // interleaving — the paper's Figure 13 equality claim quantified over
 // schedules instead of over one lucky run. A failing seed prints with its
-// trace and replays via `aomp_check::replay_random`.
+// trace and replays via `aomp_check::replay_random`. Every run also arms
+// the vector-clock race oracle over the kernels' tracked shared arrays
+// (`Explorer::races(true)`), so a schedule that exposes an unordered
+// conflicting access pair fails even if the output happens to match.
 // ---------------------------------------------------------------------------
 
 use aomp_check as check;
@@ -122,50 +125,60 @@ fn schedules() -> usize {
 fn crypt_aomp_matches_seq_under_random_schedules() {
     let data = jgf::crypt::generate(Size::Small);
     let golden = jgf::crypt::seq::run(&data).cipher;
-    check::explore_differential(schedules(), 0x0C11, golden, || {
-        jgf::crypt::aomp::run(&data, CHECKED_THREADS).cipher
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .differential(schedules(), 0x0C11, golden, || {
+            jgf::crypt::aomp::run(&data, CHECKED_THREADS).cipher
+        })
+        .assert_ok();
 }
 
 #[test]
 fn lufact_aomp_matches_seq_under_random_schedules() {
     let data = jgf::lufact::generate(Size::Small);
     let golden = jgf::lufact::seq::run(&data).x;
-    check::explore_differential(schedules(), 0x1FAC, golden, || {
-        jgf::lufact::aomp::run(&data, CHECKED_THREADS).x
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .differential(schedules(), 0x1FAC, golden, || {
+            jgf::lufact::aomp::run(&data, CHECKED_THREADS).x
+        })
+        .assert_ok();
 }
 
 #[test]
 fn series_aomp_matches_seq_under_random_schedules() {
     let n = jgf::series::coefficients_for(Size::Small);
     let golden = jgf::series::seq::run(n).coeffs;
-    check::explore_differential(schedules(), 0x5E11, golden, || {
-        jgf::series::aomp::run(n, CHECKED_THREADS).coeffs
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .differential(schedules(), 0x5E11, golden, || {
+            jgf::series::aomp::run(n, CHECKED_THREADS).coeffs
+        })
+        .assert_ok();
 }
 
 #[test]
 fn sor_aomp_matches_seq_under_random_schedules() {
     let grid = jgf::sor::generate(Size::Small);
     let golden = jgf::sor::seq::run(&grid, 10).g;
-    check::explore_differential(schedules(), 0x50BB, golden, || {
-        jgf::sor::aomp::run(&grid, 10, CHECKED_THREADS).g
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .differential(schedules(), 0x50BB, golden, || {
+            jgf::sor::aomp::run(&grid, 10, CHECKED_THREADS).g
+        })
+        .assert_ok();
 }
 
 #[test]
 fn sparse_aomp_matches_seq_under_random_schedules() {
     let d = jgf::sparse::generate(Size::Small);
     let golden = jgf::sparse::seq::run(&d, 10);
-    check::explore_differential(schedules(), 0x5AA5, golden, || {
-        jgf::sparse::aomp::run(&d, 10, CHECKED_THREADS)
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .differential(schedules(), 0x5AA5, golden, || {
+            jgf::sparse::aomp::run(&d, 10, CHECKED_THREADS)
+        })
+        .assert_ok();
 }
 
 #[test]
@@ -175,31 +188,37 @@ fn moldyn_aomp_matches_seq_under_random_schedules() {
     // suite's own tolerance check rather than bitwise equality.
     let d = jgf::moldyn::generate(3, 5);
     let s = jgf::moldyn::seq::run(&d);
-    check::explore_random(schedules(), 0x30D1, || {
-        let r = jgf::moldyn::aomp::run(&d, CHECKED_THREADS);
-        assert!(jgf::moldyn::agrees(&r, &s, 1e-6), "{r:?} vs {s:?}");
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .random(schedules(), 0x30D1, || {
+            let r = jgf::moldyn::aomp::run(&d, CHECKED_THREADS);
+            assert!(jgf::moldyn::agrees(&r, &s, 1e-6), "{r:?} vs {s:?}");
+        })
+        .assert_ok();
 }
 
 #[test]
 fn montecarlo_aomp_matches_seq_under_random_schedules() {
     let d = jgf::montecarlo::generate(Size::Small);
     let golden = jgf::montecarlo::seq::run(&d).results;
-    check::explore_differential(schedules(), 0x3011, golden, || {
-        jgf::montecarlo::aomp::run(&d, CHECKED_THREADS).results
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .differential(schedules(), 0x3011, golden, || {
+            jgf::montecarlo::aomp::run(&d, CHECKED_THREADS).results
+        })
+        .assert_ok();
 }
 
 #[test]
 fn raytracer_aomp_matches_seq_under_random_schedules() {
     let scene = jgf::raytracer::generate(Size::Small);
     let golden = jgf::raytracer::seq::run(&scene);
-    check::explore_differential(schedules(), 0x11A1, golden, || {
-        jgf::raytracer::aomp::run(&scene, CHECKED_THREADS)
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .differential(schedules(), 0x11A1, golden, || {
+            jgf::raytracer::aomp::run(&scene, CHECKED_THREADS)
+        })
+        .assert_ok();
 }
 
 #[test]

@@ -36,7 +36,9 @@ fn barrier_critical_combo() {
 
 #[test]
 fn dfs_exhausts_two_thread_barrier_critical_combo() {
-    let report = check::explore_dfs(20_000, 64, barrier_critical_combo);
+    let report = check::Explorer::new()
+        .races(true)
+        .dfs(20_000, 64, barrier_critical_combo);
     report.assert_ok();
     assert!(
         !report.truncated,
@@ -49,13 +51,15 @@ fn dfs_exhausts_two_thread_barrier_critical_combo() {
         "DFS enumerated a duplicate interleaving"
     );
     // The enumeration itself is deterministic (same frontier both times).
-    let again = check::explore_dfs(20_000, 64, barrier_critical_combo);
+    let again = check::Explorer::new()
+        .races(true)
+        .dfs(20_000, 64, barrier_critical_combo);
     assert_eq!(report.digests(), again.digests());
 }
 
 #[test]
 fn dfs_exhausts_three_thread_critical_barrier_combo() {
-    let report = check::explore_dfs(20_000, 10, || {
+    let report = check::Explorer::new().races(true).dfs(20_000, 10, || {
         let h = CriticalHandle::new();
         let total = AtomicUsize::new(0);
         region::parallel_with(RegionConfig::new().threads(3), || {
@@ -78,15 +82,17 @@ fn dfs_exhausts_three_thread_critical_barrier_combo() {
 #[test]
 fn random_schedules_preserve_reduction_semantics() {
     let reducer = SumReducer;
-    check::explore_random(check::seeds_from_env(32), 0x2ED0CE, || {
-        let n = 3;
-        let body = |tid: usize| (tid + 1) * (tid + 1);
-        let par =
-            reduction::parallel_reduce(RegionConfig::new().threads(n), 0usize, &reducer, body);
-        let seq = reduction::sequential_reduce(n, 0usize, &reducer, body);
-        assert_eq!(par, seq, "reduction diverged from sequential semantics");
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .random(check::seeds_from_env(32), 0x2ED0CE, || {
+            let n = 3;
+            let body = |tid: usize| (tid + 1) * (tid + 1);
+            let par =
+                reduction::parallel_reduce(RegionConfig::new().threads(n), 0usize, &reducer, body);
+            let seq = reduction::sequential_reduce(n, 0usize, &reducer, body);
+            assert_eq!(par, seq, "reduction diverged from sequential semantics");
+        })
+        .assert_ok();
 }
 
 #[test]
@@ -98,7 +104,7 @@ fn fixed_schedule_makes_float_reduction_bitwise_deterministic() {
     // the sum bitwise — the paper's determinism claim made schedule-local.
     let run_once = |seed: u64| -> (u64, u64) {
         let bits = Mutex::new(0u64);
-        let run = check::replay_random(seed, || {
+        let run = check::Explorer::new().races(true).replay_random(seed, || {
             let h = CriticalHandle::new();
             let acc = Mutex::new(0.0f64);
             region::parallel_with(RegionConfig::new().threads(3), || {
@@ -131,45 +137,84 @@ fn fixed_schedule_makes_float_reduction_bitwise_deterministic() {
 
 #[test]
 fn pct_cancel_racing_barrier_entry_is_never_lost() {
-    check::explore_pct(check::seeds_from_env(32), 0xCAB0, 3, || {
-        let r = region::try_parallel_with(RegionConfig::new().threads(2).cancellable(true), || {
-            if thread_id() == 0 {
-                assert!(cancel_team());
-            }
-            barrier();
-        });
-        assert_eq!(
-            r,
-            Err(RegionError::Cancelled),
-            "a cancel racing the barrier entry must cancel the region in \
+    check::Explorer::new()
+        .races(true)
+        .pct(check::seeds_from_env(32), 0xCAB0, 3, || {
+            let r =
+                region::try_parallel_with(RegionConfig::new().threads(2).cancellable(true), || {
+                    if thread_id() == 0 {
+                        assert!(cancel_team());
+                    }
+                    barrier();
+                });
+            assert_eq!(
+                r,
+                Err(RegionError::Cancelled),
+                "a cancel racing the barrier entry must cancel the region in \
              every interleaving"
-        );
-    })
-    .assert_ok();
+            );
+        })
+        .assert_ok();
 }
 
 #[test]
 fn pct_cancel_racing_dynamic_chunk_handout_stops_the_loop() {
     let for_c = ForConstruct::new(Schedule::Dynamic { chunk: 1 });
-    check::explore_pct(check::seeds_from_env(32), 0xCA2C, 3, || {
-        let seen = AtomicUsize::new(0);
-        let r = region::try_parallel_with(RegionConfig::new().threads(2).cancellable(true), || {
-            for_c.execute(LoopRange::upto(0, 40), |_lo, _hi, _step| {
-                if seen.fetch_add(1, Ordering::SeqCst) == 5 {
-                    assert!(cancel_team());
-                }
-            });
-        });
-        assert_eq!(r, Err(RegionError::Cancelled));
-        let seen = seen.load(Ordering::SeqCst);
-        assert!(seen > 5, "the trigger iteration ran, saw {seen}");
-        assert!(
-            seen < 40,
-            "cancellation must beat the remaining chunk handouts in every \
+    check::Explorer::new()
+        .races(true)
+        .pct(check::seeds_from_env(32), 0xCA2C, 3, || {
+            let seen = AtomicUsize::new(0);
+            let r =
+                region::try_parallel_with(RegionConfig::new().threads(2).cancellable(true), || {
+                    for_c.execute(LoopRange::upto(0, 40), |_lo, _hi, _step| {
+                        if seen.fetch_add(1, Ordering::SeqCst) == 5 {
+                            assert!(cancel_team());
+                        }
+                    });
+                });
+            assert_eq!(r, Err(RegionError::Cancelled));
+            let seen = seen.load(Ordering::SeqCst);
+            assert!(seen > 5, "the trigger iteration ran, saw {seen}");
+            assert!(
+                seen < 40,
+                "cancellation must beat the remaining chunk handouts in every \
              interleaving, saw {seen}"
-        );
-    })
-    .assert_ok();
+            );
+        })
+        .assert_ok();
+}
+
+#[test]
+fn dfs_race_oracle_stays_quiet_on_barrier_separated_phases() {
+    // Tracked shared array, two threads, two phases separated by a
+    // barrier: phase 1 writes the own half, phase 2 reads the *other*
+    // half. Correctly synchronised, so the race oracle must stay silent
+    // on every enumerated interleaving while still observing every
+    // instrumented access.
+    use aomplib::runtime::cell::SyncSlice;
+    let report = check::Explorer::new().races(true).dfs(20_000, 64, || {
+        let mut data = vec![0usize; 4];
+        let total = AtomicUsize::new(0);
+        {
+            let arr = SyncSlice::tracked(&mut data, "explore.phased");
+            region::parallel_with(RegionConfig::new().threads(2), || {
+                let me = thread_id();
+                // SAFETY: indices 2·me.. are owned by this member here.
+                unsafe {
+                    arr.set(2 * me, me + 1);
+                    arr.set(2 * me + 1, me + 10);
+                }
+                barrier();
+                let other = 1 - me;
+                // SAFETY: reads of the other half are ordered by the barrier.
+                let sum = unsafe { arr.read(2 * other) + arr.read(2 * other + 1) };
+                total.fetch_add(sum, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 1 + 10 + 2 + 11);
+    });
+    report.assert_ok();
+    assert!(report.schedules() > 1);
 }
 
 #[test]
@@ -177,20 +222,22 @@ fn pct_stall_deadline_never_fires_on_a_live_schedule() {
     // A healthy region under a generous stall deadline: no explored
     // interleaving may trip the watchdog (the checker's pauses are
     // microseconds of wall-clock; the deadline is seconds).
-    check::explore_pct(check::seeds_from_env(24), 0x57A11, 3, || {
-        let hits = AtomicUsize::new(0);
-        let r = region::try_parallel_with(
-            RegionConfig::new()
-                .threads(2)
-                .stall_deadline(std::time::Duration::from_secs(30)),
-            || {
-                hits.fetch_add(1, Ordering::SeqCst);
-                barrier();
-                hits.fetch_add(1, Ordering::SeqCst);
-            },
-        );
-        assert_eq!(r, Ok(()), "the watchdog fired on a live schedule");
-        assert_eq!(hits.load(Ordering::SeqCst), 4);
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .pct(check::seeds_from_env(24), 0x57A11, 3, || {
+            let hits = AtomicUsize::new(0);
+            let r = region::try_parallel_with(
+                RegionConfig::new()
+                    .threads(2)
+                    .stall_deadline(std::time::Duration::from_secs(30)),
+                || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    barrier();
+                    hits.fetch_add(1, Ordering::SeqCst);
+                },
+            );
+            assert_eq!(r, Ok(()), "the watchdog fired on a live schedule");
+            assert_eq!(hits.load(Ordering::SeqCst), 4);
+        })
+        .assert_ok();
 }

@@ -39,44 +39,46 @@ fn two_tenant_server(aggressor_faults: FaultPlan) -> Server {
 /// runtime boundary.
 #[test]
 fn exploration_cancel_in_one_tenant_never_perturbs_the_other() {
-    check::explore_random(check::seeds_from_env(8), 0x5E21E, || {
-        let srv = two_tenant_server(FaultPlan::none().seed(3).cancel_fraction(1.0));
-        let before_victim = srv.tenant_runtime(1).metrics_snapshot();
-        let before_aggr = srv.tenant_runtime(0).metrics_snapshot();
-        let w = Workload::SumRange { n: 4_000 };
-        let aggr = srv.submit(0, Request::new(w)).expect("admitted");
-        let victim = srv.submit(1, Request::new(w)).expect("admitted");
-        assert_eq!(
-            victim.wait().expect("victim must complete"),
-            srv.expected_output(w)
-        );
-        assert!(matches!(aggr.wait(), Err(ServeError::Cancelled)));
-        assert!(srv.drain(LONG), "server failed to drain");
-        check::oracle::check_tenant_isolation(
-            &before_victim,
-            &srv.tenant_runtime(1).metrics_snapshot(),
-            &[(Counter::ServeAccepted, 1), (Counter::ServeCompleted, 1)],
-            &[
-                Counter::ServeShed,
-                Counter::ServeFaulted,
-                Counter::ServeDeadlineMissed,
-                Counter::ServeFaultInjected,
-            ],
-        )
-        .expect("victim scope perturbed by neighbour's cancellation");
-        check::oracle::check_tenant_isolation(
-            &before_aggr,
-            &srv.tenant_runtime(0).metrics_snapshot(),
-            &[
-                (Counter::ServeFaulted, 1),
-                (Counter::ServeFaultInjected, 1),
-                (Counter::ServeCompleted, 0),
-            ],
-            &[],
-        )
-        .expect("aggressor scope must record its own fault exactly once");
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .random(check::seeds_from_env(8), 0x5E21E, || {
+            let srv = two_tenant_server(FaultPlan::none().seed(3).cancel_fraction(1.0));
+            let before_victim = srv.tenant_runtime(1).metrics_snapshot();
+            let before_aggr = srv.tenant_runtime(0).metrics_snapshot();
+            let w = Workload::SumRange { n: 4_000 };
+            let aggr = srv.submit(0, Request::new(w)).expect("admitted");
+            let victim = srv.submit(1, Request::new(w)).expect("admitted");
+            assert_eq!(
+                victim.wait().expect("victim must complete"),
+                srv.expected_output(w)
+            );
+            assert!(matches!(aggr.wait(), Err(ServeError::Cancelled)));
+            assert!(srv.drain(LONG), "server failed to drain");
+            check::oracle::check_tenant_isolation(
+                &before_victim,
+                &srv.tenant_runtime(1).metrics_snapshot(),
+                &[(Counter::ServeAccepted, 1), (Counter::ServeCompleted, 1)],
+                &[
+                    Counter::ServeShed,
+                    Counter::ServeFaulted,
+                    Counter::ServeDeadlineMissed,
+                    Counter::ServeFaultInjected,
+                ],
+            )
+            .expect("victim scope perturbed by neighbour's cancellation");
+            check::oracle::check_tenant_isolation(
+                &before_aggr,
+                &srv.tenant_runtime(0).metrics_snapshot(),
+                &[
+                    (Counter::ServeFaulted, 1),
+                    (Counter::ServeFaultInjected, 1),
+                    (Counter::ServeCompleted, 0),
+                ],
+                &[],
+            )
+            .expect("aggressor scope must record its own fault exactly once");
+        })
+        .assert_ok();
 }
 
 /// Same invariant with a panicking aggressor, explored under PCT (the
@@ -84,31 +86,33 @@ fn exploration_cancel_in_one_tenant_never_perturbs_the_other() {
 /// uniform sampler tends to miss).
 #[test]
 fn exploration_panic_in_one_tenant_never_perturbs_the_other() {
-    check::explore_pct(check::seeds_from_env(8), 0xA0317, 3, || {
-        let srv = two_tenant_server(FaultPlan::none().seed(5).panic_fraction(1.0));
-        let before_victim = srv.tenant_runtime(1).metrics_snapshot();
-        let w = Workload::DegreeSum { rounds: 1 };
-        let aggr = srv.submit(0, Request::new(w)).expect("admitted");
-        let victim = srv.submit(1, Request::new(w)).expect("admitted");
-        assert_eq!(
-            victim.wait().expect("victim must complete"),
-            srv.expected_output(w)
-        );
-        assert!(matches!(aggr.wait(), Err(ServeError::Faulted { .. })));
-        assert!(srv.drain(LONG), "server failed to drain");
-        check::oracle::check_tenant_isolation(
-            &before_victim,
-            &srv.tenant_runtime(1).metrics_snapshot(),
-            &[(Counter::ServeAccepted, 1), (Counter::ServeCompleted, 1)],
-            &[
-                Counter::ServeShed,
-                Counter::ServeFaulted,
-                Counter::ServeDeadlineMissed,
-            ],
-        )
-        .expect("victim scope perturbed by neighbour's panic");
-    })
-    .assert_ok();
+    check::Explorer::new()
+        .races(true)
+        .pct(check::seeds_from_env(8), 0xA0317, 3, || {
+            let srv = two_tenant_server(FaultPlan::none().seed(5).panic_fraction(1.0));
+            let before_victim = srv.tenant_runtime(1).metrics_snapshot();
+            let w = Workload::DegreeSum { rounds: 1 };
+            let aggr = srv.submit(0, Request::new(w)).expect("admitted");
+            let victim = srv.submit(1, Request::new(w)).expect("admitted");
+            assert_eq!(
+                victim.wait().expect("victim must complete"),
+                srv.expected_output(w)
+            );
+            assert!(matches!(aggr.wait(), Err(ServeError::Faulted { .. })));
+            assert!(srv.drain(LONG), "server failed to drain");
+            check::oracle::check_tenant_isolation(
+                &before_victim,
+                &srv.tenant_runtime(1).metrics_snapshot(),
+                &[(Counter::ServeAccepted, 1), (Counter::ServeCompleted, 1)],
+                &[
+                    Counter::ServeShed,
+                    Counter::ServeFaulted,
+                    Counter::ServeDeadlineMissed,
+                ],
+            )
+            .expect("victim scope perturbed by neighbour's panic");
+        })
+        .assert_ok();
 }
 
 /// Deterministic overload: a burst of 24 requests against capacity 3
