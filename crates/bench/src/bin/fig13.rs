@@ -5,10 +5,11 @@
 //! the real kernels (the paper's "difference … is less than 1 %" claim).
 
 use aomp::obs;
-use aomp_bench::{bar, fig13_series, json_arg, measure_entry_overhead, metrics_json, write_json};
-use aomp_jgf::harness::timed;
+use aomp_bench::{
+    bar, fig13_series, host_threads, json_arg, measure_entry_overhead, metrics_json, write_json,
+};
 use aomp_jgf::Size;
-use aomp_simcore::{Json, ToJson};
+use aomp_simcore::{Json, Machine, ToJson};
 
 /// Environment variable overriding the timed region entries per path
 /// (default 300; CI's bench-smoke job runs a reduced count).
@@ -16,12 +17,9 @@ const ENTRY_ITERS_ENV: &str = "AOMP_FIG13_ENTRY_ITERS";
 
 /// Best-of-3 wall time of `f`, in seconds (one-shot timings on a busy
 /// single-core container are noisy).
-fn best_of<R>(mut f: impl FnMut() -> R) -> f64 {
-    (0..3)
-        .map(|_| timed(&mut f).1.as_secs_f64())
-        .fold(f64::INFINITY, f64::min)
+fn best_of<R>(f: impl FnMut() -> R) -> f64 {
+    aomp_bench::best_of_secs(3, f)
 }
-use aomp_simcore::Machine;
 
 fn main() {
     let measure = std::env::args().any(|a| a == "--measure");
@@ -112,12 +110,6 @@ fn main() {
     } else {
         println!("(run with --measure to also time the real kernels on this host)");
     }
-}
-
-fn host_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 fn ratio_line(name: &str, jgf_s: f64, aomp_s: f64) {

@@ -1,0 +1,216 @@
+//! Contention crossover bench for `aomp::nr`: the same shared counter
+//! driven through flat-combining node replication (`Replicated<T>`),
+//! the paper's single named lock (`critical_named`), and the
+//! thread-local `@Reduce` pattern, swept across team sizes — plus the
+//! simcore NUMA curve (`Step::NrCritical` vs `Step::Critical` on the
+//! modelled Xeon) and the unarmed-hook cost of the replicated fast
+//! path. Writes `BENCH_nr.json`.
+//!
+//! The expected shape, and what CI validates: uncontended the plain
+//! lock wins (the NR protocol pays a slot round-trip per op), and past
+//! a measured thread-count crossover the replicated structure wins —
+//! the lock's handoff storm grows with the team while the combiner
+//! batches. `Reduce` is the upper bound where commutativity allows it.
+//!
+//! ```text
+//! nr [--ops N]   (or AOMP_NR_BENCH_OPS=N; default 100000)
+//! ```
+
+use aomp::nr::{Dispatch, Replicated};
+use aomp::prelude::*;
+use aomp_bench::{best_of_secs, host_threads, thread_ladder, SweepGrid};
+use aomp_simcore::{Json, Machine, Program, Simulator, Step, ToJson};
+use std::cell::UnsafeCell;
+
+/// The replicated structure: a counter whose write op adds and returns
+/// the new total (forcing a real response round-trip per op, like a
+/// ticket or stats update — not a fire-and-forget add).
+#[derive(Clone)]
+struct Count(u64);
+
+#[derive(Clone, Debug)]
+struct Add(u64);
+
+impl Dispatch for Count {
+    type ReadOp = ();
+    type WriteOp = Add;
+    type Response = u64;
+
+    fn dispatch(&self, _op: &()) -> u64 {
+        self.0
+    }
+
+    fn dispatch_mut(&mut self, op: &Add) -> u64 {
+        self.0 += op.0;
+        self.0
+    }
+}
+
+/// The single-lock reference: a plain cell only ever touched inside
+/// `critical_named`.
+struct LockCell(UnsafeCell<u64>);
+// SAFETY: every access goes through the process-wide named lock below.
+unsafe impl Sync for LockCell {}
+
+impl LockCell {
+    /// Increment and return the new total. Caller must hold the lock.
+    /// (A method, not inline field access: closures would otherwise
+    /// capture the non-`Sync` `UnsafeCell` field under edition-2021
+    /// precise capture.)
+    unsafe fn bump(&self) -> u64 {
+        let p = self.0.get();
+        unsafe {
+            *p += 1;
+            *p
+        }
+    }
+
+    fn get(&self) -> u64 {
+        unsafe { *self.0.get() }
+    }
+}
+
+fn per_thread(total: usize, t: usize) -> usize {
+    total.div_ceil(t)
+}
+
+/// ops/µs of the replicated counter at team size `t`.
+fn run_replicated(total: usize, t: usize) -> f64 {
+    let n = per_thread(total, t);
+    let secs = best_of_secs(2, || {
+        let repl = Replicated::new(Count(0));
+        region::parallel_with(RegionConfig::new().threads(t), || {
+            for _ in 0..n {
+                std::hint::black_box(repl.execute(Add(1)));
+            }
+        });
+        assert_eq!(repl.execute_ro(&()), (n * t) as u64);
+    });
+    (n * t) as f64 / (secs * 1e6)
+}
+
+/// ops/µs of the same counter behind one named lock.
+fn run_lock(total: usize, t: usize) -> f64 {
+    let n = per_thread(total, t);
+    let secs = best_of_secs(2, || {
+        let cell = LockCell(UnsafeCell::new(0));
+        region::parallel_with(RegionConfig::new().threads(t), || {
+            for _ in 0..n {
+                let v = critical_named("bench.nr.lock", || unsafe { cell.bump() });
+                std::hint::black_box(v);
+            }
+        });
+        assert_eq!(cell.get(), (n * t) as u64);
+    });
+    (n * t) as f64 / (secs * 1e6)
+}
+
+/// ops/µs of the thread-local `@Reduce` pattern — the commutative upper
+/// bound (no response per op, one merge at the end).
+fn run_reduce(total: usize, t: usize) -> f64 {
+    let n = per_thread(total, t);
+    let secs = best_of_secs(2, || {
+        let field = ThreadLocalField::new(0u64);
+        region::parallel_with(RegionConfig::new().threads(t), || {
+            for _ in 0..n {
+                field.update_or_init(|| 0, |v| *v += 1);
+            }
+        });
+        field.reduce(&SumReducer);
+        assert_eq!(field.with_global(|v| *v), (n * t) as u64);
+    });
+    (n * t) as f64 / (secs * 1e6)
+}
+
+/// Mean ns per `Replicated::execute` on a lone thread with no checker
+/// armed — the unarmed-hook fast path a release build actually pays.
+fn unarmed_execute_ns(ops: usize) -> f64 {
+    let repl = Replicated::new(Count(0));
+    let secs = best_of_secs(3, || {
+        for _ in 0..ops {
+            std::hint::black_box(repl.execute(Add(1)));
+        }
+    });
+    secs * 1e9 / ops as f64
+}
+
+/// The simcore side of the crossover: modelled ops/µs of the same
+/// contended phase on the dual-socket Xeon, one lock vs NR.
+fn simulated_grid() -> SweepGrid {
+    let m = Machine::xeon();
+    let sim = Simulator::new(m.clone());
+    let entries = 2e5;
+    let phase = |step: Step| Program::new("contended", vec![step]);
+    let lock = phase(Step::Critical {
+        entries,
+        ops_each: 10.0,
+        overlap_ops: 0.0,
+        bytes: 0.0,
+    });
+    let nr = phase(Step::NrCritical {
+        entries,
+        ops_each: 10.0,
+        overlap_ops: 0.0,
+        bytes: 0.0,
+    });
+    let mut grid = SweepGrid::new(m.name.clone(), "ops/us", (1..=m.hw_threads).collect());
+    grid.run("replicated", |t| entries * 10.0 / sim.run(&nr, t));
+    grid.run("critical_named", |t| entries * 10.0 / sim.run(&lock, t));
+    grid
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops = args
+        .iter()
+        .position(|a| a == "--ops")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("AOMP_NR_BENCH_OPS").ok())
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1000)
+        .unwrap_or(100_000);
+
+    // Sweep past the core count on purpose: oversubscription is where a
+    // single contended lock degrades hardest (handoff + scheduler
+    // storms) while the combiner keeps batching.
+    let max_t = host_threads().max(8);
+    let mut measured = SweepGrid::new(
+        format!("this host ({} hw threads)", host_threads()),
+        "ops/us",
+        thread_ladder(max_t),
+    );
+    measured.run("replicated", |t| run_replicated(ops, t));
+    measured.run("critical_named", |t| run_lock(ops, t));
+    measured.run("reduce", |t| run_reduce(ops, t));
+    measured.print_table();
+
+    let crossover = measured.crossover("replicated", "critical_named");
+    match crossover {
+        Some(t) => println!("measured crossover: replicated >= critical_named from t={t}\n"),
+        None => println!("measured crossover: none on this host\n"),
+    }
+
+    let simulated = simulated_grid();
+    simulated.print_table();
+    let sim_crossover = simulated.crossover("replicated", "critical_named");
+    println!(
+        "simulated crossover (Xeon model): t={}\n",
+        sim_crossover.map_or("none".to_owned(), |t| t.to_string())
+    );
+
+    let fast_path_ns = unarmed_execute_ns(ops.min(50_000));
+    println!("unarmed replicated fast path: {fast_path_ns:.0} ns/op\n");
+
+    let num = |v: Option<usize>| v.map_or(Json::Null, |t| Json::Num(t as f64));
+    let report = Json::Obj(vec![
+        ("ops_total".to_owned(), Json::Num(ops as f64)),
+        ("measured".to_owned(), measured.to_json()),
+        ("measured_crossover_threads".to_owned(), num(crossover)),
+        ("simulated".to_owned(), simulated.to_json()),
+        ("simulated_crossover_threads".to_owned(), num(sim_crossover)),
+        ("unarmed_execute_ns".to_owned(), Json::Num(fast_path_ns)),
+    ]);
+    std::fs::write("BENCH_nr.json", report.pretty()).expect("write BENCH_nr.json");
+    println!("(wrote BENCH_nr.json)");
+}

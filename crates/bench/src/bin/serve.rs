@@ -10,13 +10,18 @@
 //! ```text
 //! serve [--duration-ms N] [--tenants N] [--threads N] [--concurrency N]
 //!       [--deadline-ms N] [--rps F] [--fault-panic F] [--fault-cancel F]
+//!       [--sweep]
 //! ```
+//!
+//! `--sweep` additionally runs a per-tenant worker-thread sweep of
+//! closed-loop throughput through the shared [`SweepGrid`] measurement
+//! loop and embeds it in the report under `"thread_sweep"`.
 
 use aomp::obs;
-use aomp_bench::metrics_json;
+use aomp_bench::{metrics_json, thread_ladder, SweepGrid};
 use aomp_serve::loadgen::{self, LoadConfig, LoadStats, Mode};
 use aomp_serve::{Backoff, FaultPlan, Server, TenantSpec, Workload};
-use aomp_simcore::Json;
+use aomp_simcore::{Json, ToJson};
 use std::time::Duration;
 
 struct Opts {
@@ -28,6 +33,7 @@ struct Opts {
     rps: Option<f64>,
     fault_panic: f64,
     fault_cancel: f64,
+    sweep: bool,
 }
 
 fn parse_args() -> Opts {
@@ -40,13 +46,15 @@ fn parse_args() -> Opts {
         rps: None,
         fault_panic: 0.0,
         fault_cancel: 0.0,
+        sweep: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let usage = || -> ! {
         eprintln!(
             "usage: serve [--duration-ms N] [--tenants N] [--threads N] [--concurrency N]\n\
-             \x20            [--deadline-ms N] [--rps F] [--fault-panic F] [--fault-cancel F]"
+             \x20            [--deadline-ms N] [--rps F] [--fault-panic F] [--fault-cancel F]\n\
+             \x20            [--sweep]"
         );
         std::process::exit(2)
     };
@@ -68,6 +76,11 @@ fn parse_args() -> Opts {
             "--fault-panic" => opts.fault_panic = val(&args, i).parse().unwrap_or_else(|_| usage()),
             "--fault-cancel" => {
                 opts.fault_cancel = val(&args, i).parse().unwrap_or_else(|_| usage())
+            }
+            "--sweep" => {
+                opts.sweep = true;
+                i += 1;
+                continue;
             }
             _ => usage(),
         }
@@ -184,9 +197,49 @@ fn main() {
     );
     print_stats("open", &open);
 
+    // Optional worker-thread sweep: closed-loop throughput per tenant
+    // worker count, through the shared SweepGrid measurement loop.
+    let sweep_json = opts.sweep.then(|| {
+        let per_point = Duration::from_millis((opts.duration.as_millis() as u64 / 2).max(100));
+        let mut grid = SweepGrid::new(
+            format!("{} tenants, closed loop", opts.tenants.max(1)),
+            "req/s",
+            thread_ladder(opts.threads.max(2)),
+        );
+        grid.run("closed_rps", |t| {
+            let mut cfg = Server::config().graph(4096, 8, 42);
+            for k in 0..opts.tenants.max(1) {
+                cfg = cfg.tenant(
+                    TenantSpec::new(format!("tenant{k}"))
+                        .threads(t)
+                        .queue_capacity(opts.concurrency.max(2))
+                        .default_deadline(opts.deadline),
+                );
+            }
+            let server = cfg.build();
+            let tenants: Vec<usize> = (0..server.tenant_count()).collect();
+            loadgen::run(
+                &server,
+                &LoadConfig {
+                    mode: Mode::Closed {
+                        concurrency: opts.concurrency,
+                    },
+                    duration: per_point,
+                    tenants,
+                    deadline: opts.deadline,
+                    workload,
+                    retry: Some(Backoff::default()),
+                },
+            )
+            .throughput_rps
+        });
+        grid.print_table();
+        grid.to_json()
+    });
+
     let delta = obs::snapshot().since(&before);
     obs::set_metrics(false);
-    let report = Json::Obj(vec![
+    let mut fields = vec![
         (
             "workload".to_owned(),
             Json::Str("sum_range_400k".to_owned()),
@@ -199,7 +252,11 @@ fn main() {
         ("closed".to_owned(), stats_json(&closed)),
         ("open".to_owned(), stats_json(&open)),
         ("metrics".to_owned(), metrics_json(&delta)),
-    ]);
+    ];
+    if let Some(sweep) = sweep_json {
+        fields.push(("thread_sweep".to_owned(), sweep));
+    }
+    let report = Json::Obj(fields);
     std::fs::write("BENCH_serve.json", report.pretty()).expect("write BENCH_serve.json");
     println!("(wrote BENCH_serve.json)");
 

@@ -8,27 +8,9 @@
 //! event executor instead of the bulk-synchronous one (the two agree on
 //! these barrier-separated models; the option exists for cross-checking).
 
-use aomp_bench::{json_arg, write_json};
+use aomp_bench::{json_arg, write_json, SweepGrid};
 use aomp_simcore::models::{self, MolDynStrategy};
-use aomp_simcore::{EventSimulator, Json, Machine, Program, Simulator, ToJson};
-
-struct SweepPoint {
-    machine: String,
-    benchmark: String,
-    threads: usize,
-    speedup: f64,
-}
-
-impl ToJson for SweepPoint {
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("machine".to_owned(), Json::Str(self.machine.clone())),
-            ("benchmark".to_owned(), Json::Str(self.benchmark.clone())),
-            ("threads".to_owned(), Json::Num(self.threads as f64)),
-            ("speedup".to_owned(), Json::Num(self.speedup)),
-        ])
-    }
-}
+use aomp_simcore::{EventSimulator, Machine, Program, Simulator};
 
 fn benchmarks() -> Vec<(&'static str, Program)> {
     vec![
@@ -44,10 +26,10 @@ fn benchmarks() -> Vec<(&'static str, Program)> {
 
 fn main() {
     let use_event = std::env::args().any(|a| a == "--event");
-    let mut points = Vec::new();
+    let mut grids = Vec::new();
     for machine in [Machine::i7(), Machine::xeon()] {
-        println!(
-            "== {} ({}) ==",
+        let label = format!(
+            "{} ({})",
             machine.name,
             if use_event {
                 "event executor"
@@ -55,11 +37,7 @@ fn main() {
                 "bulk-sync executor"
             }
         );
-        print!("{:<12}", "threads");
-        for t in 1..=machine.hw_threads {
-            print!("{t:>6}");
-        }
-        println!();
+        let mut grid = SweepGrid::new(label, "speedup", (1..=machine.hw_threads).collect());
         let run = |p: &Program, t: usize| -> f64 {
             if use_event {
                 EventSimulator::new(machine.clone()).speedup(p, t)
@@ -68,22 +46,10 @@ fn main() {
             }
         };
         for (name, p) in benchmarks() {
-            print!("{name:<12}");
-            for t in 1..=machine.hw_threads {
-                let su = run(&p, t);
-                print!("{su:>6.2}");
-                points.push(SweepPoint {
-                    machine: machine.name.clone(),
-                    benchmark: name.to_owned(),
-                    threads: t,
-                    speedup: su,
-                });
-            }
-            println!();
+            grid.run(name, |t| run(&p, t));
         }
         // MolDyn is thread-aware: rebuild the model per thread count.
-        print!("{:<12}", "MolDyn");
-        for t in 1..=machine.hw_threads {
+        grid.run("MolDyn", |t| {
             let base = Simulator::new(machine.clone()).run(
                 &models::moldyn(8788, 50, 1, MolDynStrategy::ThreadLocal, &machine, false),
                 1,
@@ -92,19 +58,13 @@ fn main() {
                 &models::moldyn(8788, 50, t, MolDynStrategy::ThreadLocal, &machine, false),
                 t,
             );
-            let su = base / this;
-            print!("{su:>6.2}");
-            points.push(SweepPoint {
-                machine: machine.name.clone(),
-                benchmark: "MolDyn".to_owned(),
-                threads: t,
-                speedup: su,
-            });
-        }
-        println!("\n");
+            base / this
+        });
+        grid.print_table();
+        grids.push(grid);
     }
     if let Some(path) = json_arg() {
-        write_json(&path, &points).expect("write sweep json");
+        write_json(&path, &grids).expect("write sweep json");
         println!("(wrote {path})");
     }
 }

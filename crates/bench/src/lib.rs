@@ -330,6 +330,152 @@ pub fn bar(value: f64, scale: f64) -> String {
     "#".repeat(n.max(usize::from(value > 0.25)))
 }
 
+/// Hardware threads available on this host (1 if unknown).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds — one-shot timings on a
+/// busy shared container are noisy, and the minimum is the least noisy
+/// location estimator for a deterministic workload.
+pub fn best_of_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    use std::time::Instant;
+    (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The standard sweep x-axis: powers of two from 1 up to (and always
+/// including) `max` — `1, 2, 4, …, max`.
+pub fn thread_ladder(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut ts = Vec::new();
+    let mut t = 1;
+    while t < max {
+        ts.push(t);
+        t *= 2;
+    }
+    ts.push(max);
+    ts
+}
+
+/// The one measurement loop shared by the sweep/fig13/serve/nr binaries:
+/// a threads × variants grid of scalar measurements, with table
+/// rendering and JSON emission in one place instead of one copy per
+/// binary.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Grid label (machine name, server config, …).
+    pub label: String,
+    /// Unit of the measured values (`"speedup"`, `"Mops/s"`, `"req/s"`).
+    pub unit: &'static str,
+    /// The thread counts on the x-axis.
+    pub threads: Vec<usize>,
+    /// One measured series per variant, `values[i]` at `threads[i]`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl SweepGrid {
+    /// An empty grid over `threads`.
+    pub fn new(label: impl Into<String>, unit: &'static str, threads: Vec<usize>) -> Self {
+        Self {
+            label: label.into(),
+            unit,
+            threads: if threads.is_empty() { vec![1] } else { threads },
+            series: Vec::new(),
+        }
+    }
+
+    /// Measure one variant across the whole x-axis: calls `f(t)` for
+    /// every thread count and records the series.
+    pub fn run(&mut self, name: impl Into<String>, mut f: impl FnMut(usize) -> f64) -> &mut Self {
+        let values = self.threads.iter().map(|&t| f(t)).collect();
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// The measured value of `name` at thread count `t`.
+    pub fn value(&self, name: &str, t: usize) -> Option<f64> {
+        let col = self.threads.iter().position(|&x| x == t)?;
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, vs)| vs.get(col).copied())
+    }
+
+    /// Largest thread count on the x-axis.
+    pub fn max_threads(&self) -> usize {
+        self.threads.iter().copied().max().unwrap_or(1)
+    }
+
+    /// Smallest thread count at which `a`'s value reaches `b`'s and
+    /// never falls back below it for the rest of the axis — the
+    /// contention crossover point, if the grid has one.
+    pub fn crossover(&self, a: &str, b: &str) -> Option<usize> {
+        let mut from = None;
+        for &t in &self.threads {
+            let (va, vb) = (self.value(a, t)?, self.value(b, t)?);
+            if va >= vb {
+                from.get_or_insert(t);
+            } else {
+                from = None;
+            }
+        }
+        from
+    }
+
+    /// Print the grid as an aligned text table.
+    pub fn print_table(&self) {
+        println!("== {} ({}) ==", self.label, self.unit);
+        print!("{:<16}", "threads");
+        for t in &self.threads {
+            print!("{t:>10}");
+        }
+        println!();
+        for (name, values) in &self.series {
+            print!("{name:<16}");
+            for v in values {
+                print!("{v:>10.2}");
+            }
+            println!();
+        }
+        println!();
+    }
+}
+
+impl ToJson for SweepGrid {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".to_owned(), Json::Str(self.label.clone())),
+            ("unit".to_owned(), Json::Str(self.unit.to_owned())),
+            (
+                "threads".to_owned(),
+                Json::Arr(self.threads.iter().map(|&t| Json::Num(t as f64)).collect()),
+            ),
+            (
+                "series".to_owned(),
+                Json::Obj(
+                    self.series
+                        .iter()
+                        .map(|(n, vs)| {
+                            (
+                                n.clone(),
+                                Json::Arr(vs.iter().map(|&v| Json::Num(v)).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +550,45 @@ mod tests {
     fn bar_renders_monotonically() {
         assert!(bar(8.0, 2.0).len() > bar(2.0, 2.0).len());
         assert_eq!(bar(0.0, 2.0), "");
+    }
+
+    #[test]
+    fn thread_ladder_is_powers_of_two_plus_max() {
+        assert_eq!(thread_ladder(1), vec![1]);
+        assert_eq!(thread_ladder(8), vec![1, 2, 4, 8]);
+        assert_eq!(thread_ladder(12), vec![1, 2, 4, 8, 12]);
+        assert_eq!(thread_ladder(0), vec![1]);
+    }
+
+    #[test]
+    fn sweep_grid_records_and_finds_the_crossover() {
+        let mut g = SweepGrid::new("m", "Mops/s", vec![1, 2, 4, 8]);
+        g.run("lock", |t| 10.0 / t as f64) // collapses
+            .run("nr", |t| 2.0 + t as f64); // scales
+        assert_eq!(g.value("lock", 1), Some(10.0));
+        assert_eq!(g.value("nr", 8), Some(10.0));
+        assert_eq!(g.max_threads(), 8);
+        // lock: 10, 5, 2.5, 1.25; nr: 3, 4, 6, 10 → nr wins from t=4 on.
+        assert_eq!(g.crossover("nr", "lock"), Some(4));
+        assert_eq!(g.crossover("lock", "nr"), None);
+    }
+
+    #[test]
+    fn sweep_grid_crossover_requires_staying_ahead() {
+        let mut g = SweepGrid::new("m", "x", vec![1, 2, 4]);
+        g.series.push(("a".into(), vec![2.0, 0.5, 3.0]));
+        g.series.push(("b".into(), vec![1.0, 1.0, 1.0]));
+        // `a` dips back below `b` at t=2, so only t=4 counts.
+        assert_eq!(g.crossover("a", "b"), Some(4));
+    }
+
+    #[test]
+    fn sweep_grid_json_shape() {
+        let mut g = SweepGrid::new("xeon", "speedup", vec![1, 2]);
+        g.run("crypt", |t| t as f64);
+        let j = g.to_json().pretty();
+        for key in ["\"label\"", "\"unit\"", "\"threads\"", "\"crypt\""] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
     }
 }

@@ -231,7 +231,10 @@ impl Controller {
             let external = live.iter().any(|&(_, s)| {
                 matches!(
                     s,
-                    WaitSite::Critical | WaitSite::FutureGet | WaitSite::TaskWait
+                    WaitSite::Critical
+                        | WaitSite::FutureGet
+                        | WaitSite::TaskWait
+                        | WaitSite::Replicated
                 )
             });
             if external {

@@ -192,6 +192,15 @@ pub struct RaceTracker {
     ordered: VClock,
     /// Accumulated spawner clocks for task joins.
     tasks: VClock,
+    /// Accumulated appender clocks per replicated structure (`nr` id):
+    /// everything published toward the structure's operation log. Like
+    /// `tasks`, this over-approximates (a combine joins *all* earlier
+    /// appends, not only those at positions below its batch end) — extra
+    /// edges can hide a race but never invent one.
+    nr_logs: HashMap<usize, VClock>,
+    /// Release clocks per `(nr id, replica)`: the joined clocks of every
+    /// combiner that published a batch into that replica.
+    nr_replicas: HashMap<(usize, usize), VClock>,
     /// In-progress barrier round: the join of all live members' entry
     /// clocks, and how many exits are still owed it.
     round: Option<(VClock, usize)>,
@@ -321,6 +330,36 @@ impl RaceTracker {
             HookEvent::TaskJoin { .. } => {
                 let t = self.tasks.clone();
                 self.clocks[tid].join(&t);
+            }
+            HookEvent::NrAppend { nr, .. } => {
+                // Release: the publisher's clock flows into the log.
+                let c = self.clocks[tid].clone();
+                self.nr_logs.entry(nr).or_default().join(&c);
+            }
+            HookEvent::NrCombine { nr, replica, .. } => {
+                // Acquire: before applying the batch the combiner
+                // observes every publish into the log *and* everything
+                // earlier combiners already applied to this replica (the
+                // replica data itself carries those effects).
+                if let Some(l) = self.nr_logs.get(&nr) {
+                    let l = l.clone();
+                    self.clocks[tid].join(&l);
+                }
+                if let Some(r) = self.nr_replicas.get(&(nr, replica)) {
+                    let r = r.clone();
+                    self.clocks[tid].join(&r);
+                }
+            }
+            HookEvent::NrSync { nr, replica, .. } => {
+                // Symmetric merge: a combiner releases its applied batch
+                // into the replica clock; a reader/writer returning from
+                // a sync acquires every batch published so far. Merging
+                // both ways is conservative (adds edges, never removes),
+                // matching the task-join treatment above.
+                let r = self.nr_replicas.entry((nr, replica)).or_default();
+                r.join(&self.clocks[tid]);
+                let r = r.clone();
+                self.clocks[tid].join(&r);
             }
             // ChunkHandout / MemberStart / CancellationPoint /
             // WaitRegister: no HB edge, just a tick below.

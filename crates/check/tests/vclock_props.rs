@@ -152,6 +152,69 @@ fn lock_program(r: &mut SplitMix64, n: usize, episodes: usize) -> (Vec<Item>, Ve
     (items, acquires)
 }
 
+/// A node-replication program on one replicated structure: `episodes`
+/// combining passes on replica 0, the combiner rotating per episode
+/// (adjacent passes always run on different members). Episode `e` by
+/// member `c`:
+///
+/// * a poster `p ≠ c` writes the op payload (location `700 + e`) and
+///   publishes it (`NrAppend`),
+/// * the combiner acquires (`NrCombine`), reads the payload, applies it
+///   to the replica state (location 600, write), and releases
+///   (`NrSync`).
+///
+/// Returns the items plus the index of each episode's `NrAppend` and
+/// `NrCombine`, for the mutation tests: the append is what orders the
+/// combiner's payload read after the poster's write; the combine is
+/// what orders episode `e`'s state write after episode `e - 1`'s.
+fn nr_program(
+    r: &mut SplitMix64,
+    n: usize,
+    episodes: usize,
+) -> (Vec<Item>, Vec<usize>, Vec<usize>) {
+    const NR: usize = 7;
+    let mut items = region_start(n);
+    let mut appends = Vec::new();
+    let mut combines = Vec::new();
+    let base = r.below(n);
+    for e in 0..episodes {
+        let c = (base + e) % n;
+        let p = (c + 1 + r.below(n - 1)) % n;
+        items.push(Item::Acc(p, access(700 + e, true)));
+        appends.push(items.len());
+        items.push(Item::Ev(HookEvent::NrAppend {
+            team: TEAM,
+            tid: p,
+            nr: NR,
+            lo: e as u64,
+            hi: e as u64 + 1,
+        }));
+        combines.push(items.len());
+        items.push(Item::Ev(HookEvent::NrCombine {
+            team: TEAM,
+            tid: c,
+            nr: NR,
+            replica: 0,
+            lo: e as u64,
+            hi: e as u64 + 1,
+        }));
+        items.push(Item::Acc(c, access(700 + e, false)));
+        items.push(Item::Acc(c, access(600, true)));
+        if r.below(2) == 0 {
+            items.push(Item::Acc(c, access(600, false)));
+        }
+        items.push(Item::Ev(HookEvent::NrSync {
+            team: TEAM,
+            tid: c,
+            nr: NR,
+            replica: 0,
+            upto: e as u64 + 1,
+        }));
+    }
+    items.extend(region_end(n));
+    (items, appends, combines)
+}
+
 fn params(seed: u64) -> (SplitMix64, usize) {
     let mut r = SplitMix64::new(seed);
     let n = 2 + r.below(3); // 2..=4 members
@@ -207,6 +270,78 @@ fn dropping_one_barrier_round_makes_the_cross_phase_pair_concurrent() {
             race.prior.tid != race.current.tid,
             "seed {seed}: a race needs two members: {race}"
         );
+    }
+}
+
+#[test]
+fn well_formed_nr_streams_never_report_a_race() {
+    for seed in 0..60u64 {
+        let (mut r, n) = params(seed);
+        let episodes = 2 + r.below(5);
+        let (items, _, _) = nr_program(&mut r, n, episodes);
+        let tr = run(&items);
+        assert!(
+            tr.race().is_none(),
+            "seed {seed}: false positive on an append/combine/sync-chained stream: {}",
+            tr.race().unwrap()
+        );
+    }
+}
+
+#[test]
+fn dropping_one_nr_combine_makes_the_replica_writes_concurrent() {
+    for seed in 0..60u64 {
+        let (mut r, n) = params(seed);
+        let episodes = 2 + r.below(5);
+        let (items, _, combines) = nr_program(&mut r, n, episodes);
+        // Drop the acquire edge of one pass past the first: its replica
+        // state write is no longer ordered after its predecessor's
+        // (adjacent passes always run on different members).
+        let victim = combines[1 + r.below(combines.len() - 1)];
+        let mutated: Vec<Item> = items[..victim]
+            .iter()
+            .chain(&items[victim + 1..])
+            .cloned()
+            .collect();
+        let tr = run(&mutated);
+        let race = tr
+            .race()
+            .unwrap_or_else(|| panic!("seed {seed}: dropped NrCombine left no race behind"));
+        // The combine was the acquire edge for both the episode's
+        // payload read and its replica-state write; whichever access
+        // comes first is the reported race.
+        assert!(
+            race.current.index == 600 || race.current.index >= 700,
+            "seed {seed}: race must be on the replica state or the episode payload: {race}"
+        );
+        assert!(race.prior.tid != race.current.tid, "seed {seed}: {race}");
+    }
+}
+
+#[test]
+fn dropping_one_nr_append_unorders_the_op_payload_handoff() {
+    for seed in 0..60u64 {
+        let (mut r, n) = params(seed);
+        let episodes = 2 + r.below(5);
+        let (items, appends, _) = nr_program(&mut r, n, episodes);
+        // Drop one publish edge: the combiner's read of that episode's
+        // op payload is no longer ordered after the poster's write (the
+        // poster is always a different member than the combiner).
+        let victim = appends[r.below(appends.len())];
+        let mutated: Vec<Item> = items[..victim]
+            .iter()
+            .chain(&items[victim + 1..])
+            .cloned()
+            .collect();
+        let tr = run(&mutated);
+        let race = tr
+            .race()
+            .unwrap_or_else(|| panic!("seed {seed}: dropped NrAppend left no race behind"));
+        assert!(
+            race.current.index >= 700,
+            "seed {seed}: race must be on an op payload: {race}"
+        );
+        assert!(race.prior.tid != race.current.tid, "seed {seed}: {race}");
     }
 }
 

@@ -19,6 +19,7 @@
 
 use parking_lot::{Mutex, ReentrantMutex, ReentrantMutexGuard};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -28,59 +29,82 @@ use crate::error::WaitSite;
 use crate::hook::{self, HookEvent};
 use crate::obs;
 
+/// A critical lock paired with a process-unique monotonic id. Hook events
+/// key locks by this id, never by address: a dropped-and-reallocated lock
+/// must not inherit the happens-before history (vclock release→acquire
+/// chains) of whatever previously lived at the same address.
+#[derive(Debug)]
+pub(crate) struct LockBody {
+    mutex: ReentrantMutex<()>,
+    id: usize,
+}
+
+impl LockBody {
+    fn new() -> Self {
+        static NEXT_LOCK_ID: AtomicUsize = AtomicUsize::new(1);
+        Self {
+            mutex: ReentrantMutex::new(()),
+            id: NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
 /// Acquire a critical lock. Inside a team this is a *cancellation point*:
 /// the wait is chopped into bounded slices so a poisoned or cancelled
 /// team unwinds instead of blocking on a lock a dead sibling still
 /// holds, and the blocked thread is registered as a
 /// [`WaitSite::Critical`] for the stall watchdog.
-fn acquire(lock: &ReentrantMutex<()>) -> ReentrantMutexGuard<'_, ()> {
+///
+/// Metrics on and metrics off take the same path and emit the identical
+/// hook-event sequence (WaitRegister, then CriticalAcquire): the metrics
+/// toggle only adds a zero-duration contention probe whose result feeds
+/// the `critical_contended` counter, never a separate emit path — so an
+/// explored schedule is byte-for-byte identical with metrics toggled.
+fn acquire(lock: &LockBody) -> ReentrantMutexGuard<'_, ()> {
     ctx::with_current(|c| match c {
-        None => lock.lock(),
+        None => lock.mutex.lock(),
         Some(c) => {
             c.shared.check_interrupt();
             let team = c.shared.token();
             let tid = c.tid;
+            let _w = c.shared.begin_wait(tid, WaitSite::Critical);
             // Contention probe: a failed zero-duration try means another
             // thread holds the lock right now. Only with metrics on —
             // the extra try_lock is not free. (Criticals taken outside
-            // any team go through the bare `lock.lock()` above and are
+            // any team go through the bare `lock()` above and are
             // not counted; `@Critical` contention matters inside teams.)
+            let mut got = None;
             if obs::metrics_enabled() {
-                match lock.try_lock_for(Duration::ZERO) {
-                    Some(g) => {
-                        hook::emit(|| HookEvent::CriticalAcquire {
-                            team,
-                            tid,
-                            lock: lock as *const _ as usize,
-                        });
-                        return g;
-                    }
-                    None => obs::count(obs::Counter::CriticalContended),
+                got = lock.mutex.try_lock_for(Duration::ZERO);
+                if got.is_none() {
+                    obs::count(obs::Counter::CriticalContended);
                 }
             }
-            let _w = c.shared.begin_wait(tid, WaitSite::Critical);
-            let g = loop {
-                // Under a registered hook, probe without sleeping: the
-                // hook's blocked callback owns the park.
-                let got = if hook::active() {
-                    lock.try_lock_for(Duration::ZERO)
-                } else {
-                    lock.try_lock_for(PARK_TIMEOUT)
-                };
-                if let Some(g) = got {
-                    break g;
-                }
-                c.shared.check_interrupt();
-                if !hook::yield_blocked(team, tid, WaitSite::Critical) && hook::active() {
-                    // Hook declined the park (e.g. it is letting external
-                    // waits drain): bound the probe loop ourselves.
-                    std::thread::sleep(Duration::from_millis(1));
-                }
+            let g = match got {
+                Some(g) => g,
+                None => loop {
+                    // Under a registered hook, probe without sleeping: the
+                    // hook's blocked callback owns the park.
+                    let got = if hook::active() {
+                        lock.mutex.try_lock_for(Duration::ZERO)
+                    } else {
+                        lock.mutex.try_lock_for(PARK_TIMEOUT)
+                    };
+                    if let Some(g) = got {
+                        break g;
+                    }
+                    c.shared.check_interrupt();
+                    if !hook::yield_blocked(team, tid, WaitSite::Critical) && hook::active() {
+                        // Hook declined the park (e.g. it is letting external
+                        // waits drain): bound the probe loop ourselves.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                },
             };
             hook::emit(|| HookEvent::CriticalAcquire {
                 team,
                 tid,
-                lock: lock as *const _ as usize,
+                lock: lock.id,
             });
             g
         }
@@ -89,31 +113,31 @@ fn acquire(lock: &ReentrantMutex<()>) -> ReentrantMutexGuard<'_, ()> {
 
 /// Run `f` holding `lock`, reporting the release to the scheduler hook
 /// after the guard drops (so a checker observes the lock actually free).
-fn run_locked<R>(lock: &ReentrantMutex<()>, f: impl FnOnce() -> R) -> R {
+fn run_locked<R>(lock: &LockBody, f: impl FnOnce() -> R) -> R {
     let g = acquire(lock);
     let r = f();
     drop(g);
     hook::emit_team(|team, tid| HookEvent::CriticalRelease {
         team,
         tid,
-        lock: lock as *const _ as usize,
+        lock: lock.id,
     });
     r
 }
 
 /// Registry of process-wide named locks. Entries are never removed: lock
 /// names are static program structure (annotation ids), not data.
-fn registry() -> &'static Mutex<HashMap<String, Arc<ReentrantMutex<()>>>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<ReentrantMutex<()>>>>> = OnceLock::new();
+fn registry() -> &'static Mutex<HashMap<String, Arc<LockBody>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<LockBody>>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-fn named_lock(name: &str) -> Arc<ReentrantMutex<()>> {
+fn named_lock(name: &str) -> Arc<LockBody> {
     let mut reg = registry().lock();
     if let Some(l) = reg.get(name) {
         return Arc::clone(l);
     }
-    let l = Arc::new(ReentrantMutex::new(()));
+    let l = Arc::new(LockBody::new());
     reg.insert(name.to_owned(), Arc::clone(&l));
     l
 }
@@ -140,15 +164,29 @@ pub fn critical<R>(f: impl FnOnce() -> R) -> R {
 ///   parallel;
 /// * *shared lock* — share one handle (e.g. in an aspect module) across
 ///   otherwise unrelated call sites.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CriticalHandle {
-    lock: Arc<ReentrantMutex<()>>,
+    lock: Arc<LockBody>,
+}
+
+impl Default for CriticalHandle {
+    fn default() -> Self {
+        Self {
+            lock: Arc::new(LockBody::new()),
+        }
+    }
 }
 
 impl CriticalHandle {
     /// A fresh, unshared lock.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The process-unique monotonic id hook events use for this lock.
+    /// Never reused, even after the handle is dropped.
+    pub fn lock_id(&self) -> usize {
+        self.lock.id
     }
 
     /// Handle to the process-wide named lock `id`; handles with equal ids
@@ -256,6 +294,30 @@ mod tests {
     fn handle_run_returns_value() {
         let h = CriticalHandle::new();
         assert_eq!(h.run(|| "ok"), "ok");
+    }
+
+    #[test]
+    fn lock_ids_are_monotonic_and_never_reused() {
+        // A dropped-and-recreated handle must get a fresh id even when the
+        // allocator reuses the address — the id is what hook events key
+        // happens-before chains by, so address aliasing would make a new
+        // lock inherit the old lock's release history.
+        let first = CriticalHandle::new().lock_id();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let h = CriticalHandle::new();
+            assert!(seen.insert(h.lock_id()), "id {} reused", h.lock_id());
+            assert!(h.lock_id() > first);
+            drop(h); // freed slot may be reallocated by the next iteration
+        }
+    }
+
+    #[test]
+    fn named_handles_share_one_id() {
+        let a = CriticalHandle::named("id-shared");
+        let b = CriticalHandle::named("id-shared");
+        assert_eq!(a.lock_id(), b.lock_id());
+        assert_ne!(a.lock_id(), CriticalHandle::named("id-other").lock_id());
     }
 
     #[test]

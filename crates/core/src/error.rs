@@ -82,6 +82,10 @@ pub enum WaitSite {
     Ordered,
     /// `TaskGroup::wait` (`@TaskWait`).
     TaskWait,
+    /// Waiting on a replicated structure ([`nr`](crate::nr)): for a
+    /// flat-combining slot to be executed, for the combiner lock, or for
+    /// operation-log space while a lagging replica catches up.
+    Replicated,
     /// `FutureTask::get` (`@FutureResult` getter).
     FutureGet,
     /// The master joining its workers at the region end — registered so
@@ -100,6 +104,7 @@ impl fmt::Display for WaitSite {
             WaitSite::MasterBroadcast => "master-broadcast",
             WaitSite::Ordered => "ordered",
             WaitSite::TaskWait => "task-wait",
+            WaitSite::Replicated => "replicated",
             WaitSite::FutureGet => "future-get",
             WaitSite::Join => "region-join",
         };

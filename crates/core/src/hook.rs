@@ -212,6 +212,58 @@ pub enum HookEvent {
         /// The wait site it is about to block at.
         site: WaitSite,
     },
+    /// A member published one or more operations toward a replicated
+    /// structure ([`nr`](crate::nr)): either a direct log append or a
+    /// flat-combining slot publication that a combiner will append on its
+    /// behalf. The release half of the publish→sync happens-before edge.
+    NrAppend {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// Identity of the replicated structure (monotonic, never
+        /// address-derived — see [`CriticalAcquire`](Self::CriticalAcquire)).
+        nr: usize,
+        /// First appended log position (inclusive).
+        lo: u64,
+        /// Last appended log position (exclusive). A slot publication
+        /// whose log position is not yet known uses `hi == lo`.
+        hi: u64,
+    },
+    /// A member became the combiner for one replica and is about to apply
+    /// log entries `[lo, hi)` to the local copy. The acquire half: the
+    /// combiner observes every append up to `hi` plus everything earlier
+    /// combiners published into this replica.
+    NrCombine {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// Identity of the replicated structure.
+        nr: usize,
+        /// Replica index the batch is applied to.
+        replica: usize,
+        /// First applied log position (inclusive).
+        lo: u64,
+        /// End of the applied range (exclusive).
+        hi: u64,
+    },
+    /// A member synchronised with a replica: a combiner publishing its
+    /// applied batch, a reader that observed the replica at the log tail,
+    /// or a writer that observed its operation's response. Orders the
+    /// member after every combine previously published into the replica.
+    NrSync {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// Identity of the replicated structure.
+        nr: usize,
+        /// Replica index synchronised with.
+        replica: usize,
+        /// Log position (exclusive) the replica had applied up to.
+        upto: u64,
+    },
 }
 
 impl HookEvent {
@@ -234,7 +286,10 @@ impl HookEvent {
             | HookEvent::TaskJoin { team, .. }
             | HookEvent::CancelRequested { team, .. }
             | HookEvent::CancellationPoint { team, .. }
-            | HookEvent::WaitRegister { team, .. } => team,
+            | HookEvent::WaitRegister { team, .. }
+            | HookEvent::NrAppend { team, .. }
+            | HookEvent::NrCombine { team, .. }
+            | HookEvent::NrSync { team, .. } => team,
         }
     }
 
@@ -257,7 +312,10 @@ impl HookEvent {
             | HookEvent::TaskJoin { tid, .. }
             | HookEvent::CancelRequested { tid, .. }
             | HookEvent::CancellationPoint { tid, .. }
-            | HookEvent::WaitRegister { tid, .. } => Some(tid),
+            | HookEvent::WaitRegister { tid, .. }
+            | HookEvent::NrAppend { tid, .. }
+            | HookEvent::NrCombine { tid, .. }
+            | HookEvent::NrSync { tid, .. } => Some(tid),
         }
     }
 }

@@ -81,6 +81,7 @@ pub mod ctx;
 pub mod error;
 pub(crate) mod executor;
 pub mod hook;
+pub mod nr;
 pub mod obs;
 pub mod pool;
 pub mod range;
@@ -102,6 +103,7 @@ pub mod prelude {
         barrier, cancel_team, cancellation_point, in_parallel, team_size, thread_id,
     };
     pub use crate::error::{Cancelled, RegionError, TaskPanicked, WaitSite, WaitTimedOut};
+    pub use crate::nr::{replicated_named, Combiner, Dispatch, Replicated, ReplicatedHandle};
     pub use crate::pool::TeamPool;
     pub use crate::range::LoopRange;
     pub use crate::reduction::{

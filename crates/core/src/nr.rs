@@ -1,0 +1,1497 @@
+//! `aomp::nr` — node replication: scale past a single lock by replicating
+//! critical-guarded state.
+//!
+//! The paper's `@Critical` (§III-C) serialises *every* thread in the
+//! process through one lock, so a hot shared structure stops scaling the
+//! moment the lock is contended. This module offers a drop-in upgrade
+//! borrowed from node-replication designs (Calciu et al., *Black-box
+//! Concurrent Data Structures for NUMA Architectures*, ASPLOS '17): keep
+//! the structure single-threaded, but
+//!
+//! 1. record every mutating operation in a **shared bounded operation
+//!    log** (a ring of slots stamped with absolute positions),
+//! 2. keep one **replica** of the structure per "node" (NUMA socket or
+//!    just a contention domain), each replaying the log independently,
+//! 3. funnel writers through per-replica **flat combining**: a writer
+//!    publishes its op in a preassigned slot; whichever writer holds the
+//!    replica's combiner lock batches all published ops, appends the
+//!    batch to the log with one reservation, replays the log through the
+//!    local replica, and hands each poster its response,
+//! 4. serve readers from the local replica after it has caught up with
+//!    the log tail observed at the start of the read — the standard
+//!    node-replication linearizability condition.
+//!
+//! Writers on different replicas contend only on the log tail (one CAS
+//! per *batch*); readers on different replicas do not contend at all.
+//!
+//! Two front ends share the machinery:
+//!
+//! * [`Replicated<T>`] — the typed API: implement [`Dispatch`] for a
+//!   plain single-threaded structure (an enum of read/write ops mapped to
+//!   responses) and `Replicated` makes it concurrent.
+//! * [`Combiner`] — an untyped flat-combining *section* lock for closure
+//!   bodies: `combiner.run(|| ...)` is a scalability upgrade for
+//!   [`critical_named`](crate::critical::critical_named), used by the
+//!   weaver's `replicated` mechanism and the `#[replicated]` macro. It
+//!   has a single "replica" (the section body runs once), so it provides
+//!   flat combining without replication.
+//!
+//! # Configuration
+//!
+//! | Env var            | Meaning                               | Default |
+//! |--------------------|---------------------------------------|---------|
+//! | `AOMP_NR_REPLICAS` | replicas per [`Replicated`]           | by core count (1 / 2 / 4) |
+//! | `AOMP_NR_LOG`      | operation-log size in slots (min 128) | 1024    |
+//!
+//! # Checker integration
+//!
+//! Every protocol transition is reported to the [hook layer](crate::hook)
+//! so `aomp-check` can replay schedules and extend its happens-before
+//! relation: [`NrAppend`](crate::hook::HookEvent::NrAppend) when an op is
+//! published, [`NrCombine`](crate::hook::HookEvent::NrCombine) when a
+//! combiner starts replaying a log range into a replica, and
+//! [`NrSync`](crate::hook::HookEvent::NrSync) when a thread synchronises
+//! with a replica (combiner release, poster response pickup, reader
+//! catch-up). Blocked protocol waits park at
+//! [`WaitSite::Replicated`] and are visible to the stall watchdog.
+//!
+//! # Limitations
+//!
+//! * [`Dispatch::dispatch_mut`] must not panic: a panic mid-batch unwinds
+//!   the combiner with responses undelivered. Inside a team the panic
+//!   poisons the team and blocked posters unwind too; outside a team
+//!   they would wait forever.
+//! * A [`Combiner`] section body runs on *some* combining thread, not
+//!   necessarily the posting thread — thread-identity-dependent bodies
+//!   (thread-locals, [`thread_id`](crate::ctx::thread_id)) see the
+//!   combiner's identity, exactly like flat-combining in general.
+
+use parking_lot::{Mutex, RwLock};
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crate::ctx;
+use crate::error::WaitSite;
+use crate::hook::{self, HookEvent};
+use crate::obs;
+
+/// A single-threaded structure made concurrent by [`Replicated`].
+///
+/// Model the structure's interface as two op enums: `ReadOp` for
+/// operations that do not change state and `WriteOp` for those that do.
+/// `Replicated` replays every `WriteOp` on every replica in one global
+/// order (the operation log), so `dispatch_mut` must be deterministic —
+/// same op + same state must produce the same state on every replica.
+pub trait Dispatch {
+    /// Read-only operations; executed against one replica's state.
+    type ReadOp;
+    /// Mutating operations; appended to the shared log and replayed on
+    /// every replica (hence `Clone`), possibly by other threads (hence
+    /// `Send + Sync`).
+    type WriteOp: Clone + Send + Sync;
+    /// The result of either kind of operation; handed back across
+    /// threads from the combiner to the poster.
+    type Response: Send;
+
+    /// Execute a read-only operation against the current state.
+    fn dispatch(&self, op: &Self::ReadOp) -> Self::Response;
+
+    /// Execute a mutating operation. Must be deterministic and must not
+    /// panic (see module docs).
+    fn dispatch_mut(&mut self, op: &Self::WriteOp) -> Self::Response;
+}
+
+// --------------------------------------------------------------------
+// Shared plumbing
+// --------------------------------------------------------------------
+
+/// Flat-combining slot states. EMPTY → PENDING (poster publishes) →
+/// TAKEN (combiner claimed the op) → DONE (response ready) → EMPTY
+/// (poster consumed). The PENDING→EMPTY retract transition lets a
+/// poster withdraw an op no combiner has claimed yet (cancellation).
+const EMPTY: u8 = 0;
+const PENDING: u8 = 1;
+const TAKEN: u8 = 2;
+const DONE: u8 = 3;
+
+/// Combining slots per replica. Threads beyond this fall back to a
+/// slotless path (acquire the combiner lock, self-execute) — correct,
+/// just without the batching win.
+const NR_SLOTS: usize = 64;
+/// Sentinel assignment for threads that did not get a combining slot.
+const SLOTLESS: usize = usize::MAX;
+/// Smallest permitted operation log: must fit the largest possible
+/// batch (every slot plus one inline op) with room to spare.
+const MIN_LOG: usize = 2 * NR_SLOTS;
+
+/// Process-unique monotonic identity for replicated structures, shared
+/// by [`Replicated`] and [`Combiner`]. Never address-derived and never
+/// reused: hook events key happens-before state by this id, and a
+/// dropped-and-reallocated structure must not inherit the clock history
+/// of whatever previously lived at its address.
+fn next_nr_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Replicas a [`Replicated::new`] structure gets: `AOMP_NR_REPLICAS`, or
+/// a core-count heuristic (1 below 4 cores, 2 below 16, 4 beyond —
+/// stand-ins for NUMA nodes on machines where we cannot ask).
+pub fn default_replicas() -> usize {
+    env_usize("AOMP_NR_REPLICAS").unwrap_or_else(|| {
+        let p = std::thread::available_parallelism().map_or(1, |n| n.get());
+        match p {
+            0..=3 => 1,
+            4..=15 => 2,
+            _ => 4,
+        }
+    })
+}
+
+/// Operation-log size (slots) a [`Replicated::new`] structure gets:
+/// `AOMP_NR_LOG` (clamped to at least 128), default 1024.
+pub fn default_log_size() -> usize {
+    env_usize("AOMP_NR_LOG").unwrap_or(1024).max(MIN_LOG)
+}
+
+/// Block until `ready` yields a value. Outside a team: spin, then yield.
+/// Inside a team: register at [`WaitSite::Replicated`] for the stall
+/// watchdog, offer every park to a registered scheduler hook, and when
+/// the team is poisoned/cancelled ask `retract` whether it is safe to
+/// unwind (a poster must first withdraw its published op — or, for a
+/// [`Combiner`] task that points into the poster's stack frame, may only
+/// unwind once the op can no longer be claimed).
+fn block_on<R>(mut ready: impl FnMut() -> Option<R>, mut retract: impl FnMut() -> bool) -> R {
+    if let Some(r) = ready() {
+        return r;
+    }
+    ctx::with_current(|c| match c {
+        None => {
+            let mut spins = 0u32;
+            loop {
+                if let Some(r) = ready() {
+                    break r;
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        Some(c) => {
+            let team = c.shared.token();
+            let tid = c.tid;
+            let _w = c.shared.begin_wait(tid, WaitSite::Replicated);
+            loop {
+                if let Some(r) = ready() {
+                    break r;
+                }
+                let interrupted = c.shared.poisoned.load(Ordering::Acquire)
+                    || c.shared.cancelled.load(Ordering::Acquire);
+                if interrupted && retract() {
+                    c.shared.check_interrupt(); // unwinds
+                }
+                if !hook::yield_blocked(team, tid, WaitSite::Replicated) {
+                    if hook::active() {
+                        // Hook declined the park: bound the probe loop.
+                        std::thread::sleep(Duration::from_millis(1));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// A stable per-thread token (the address of a thread-local), used for
+/// re-entrancy detection. Never zero.
+fn thread_token() -> usize {
+    thread_local! {
+        static TOKEN: u8 = const { 0 };
+    }
+    TOKEN.with(|t| t as *const u8 as usize)
+}
+
+// --------------------------------------------------------------------
+// Operation log
+// --------------------------------------------------------------------
+
+/// One ring slot. `seq == pos + 1` (for the absolute log position `pos`
+/// the slot currently holds) published with Release once `op` is
+/// written; 0 means never filled. Absolute stamps disambiguate ring
+/// generations without a separate epoch.
+struct LogSlot<O> {
+    seq: AtomicU64,
+    op: UnsafeCell<Option<O>>,
+}
+
+// SAFETY: `op` is written only by the appender that reserved the slot's
+// current position (exclusive by the tail CAS) and read by repliers only
+// after observing the matching `seq` stamp (Acquire); the space check
+// keeps a position from being reassigned until every replica has
+// consumed it. `O: Send + Sync` lets ops be written and replayed from
+// any thread.
+unsafe impl<O: Send + Sync> Sync for LogSlot<O> {}
+
+struct Log<O> {
+    slots: Box<[LogSlot<O>]>,
+    tail: AtomicU64,
+}
+
+impl<O> Log<O> {
+    fn new(size: usize) -> Self {
+        Self {
+            slots: (0..size)
+                .map(|_| LogSlot {
+                    seq: AtomicU64::new(0),
+                    op: UnsafeCell::new(None),
+                })
+                .collect(),
+            tail: AtomicU64::new(0),
+        }
+    }
+
+    fn size(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    fn slot(&self, pos: u64) -> &LogSlot<O> {
+        &self.slots[(pos % self.size()) as usize]
+    }
+}
+
+// --------------------------------------------------------------------
+// Replicated<T>
+// --------------------------------------------------------------------
+
+struct OpCell<T: Dispatch> {
+    op: Option<T::WriteOp>,
+    resp: Option<T::Response>,
+}
+
+/// A typed flat-combining slot: one writer thread publishes here, the
+/// replica's combiner claims, executes and answers.
+struct OpSlot<T: Dispatch> {
+    state: AtomicU8,
+    cell: UnsafeCell<OpCell<T>>,
+}
+
+// SAFETY: `cell` ownership follows `state` (see the state constants):
+// the poster owns it at EMPTY/DONE, the combiner between a successful
+// PENDING→TAKEN claim and its DONE store. `WriteOp`/`Response` are
+// `Send`, so handing the contents across that protocol is sound.
+unsafe impl<T: Dispatch> Sync for OpSlot<T> {}
+
+struct Replica<T: Dispatch> {
+    data: RwLock<T>,
+    /// Log prefix replayed into `data`; mutated only by the thread
+    /// holding `combiner`.
+    applied: AtomicU64,
+    /// Combiner election: whoever try-locks this batches the replica's
+    /// pending ops. Never blocked on while holding another replica's
+    /// combiner lock (helpers use `try_lock`), so no lock-order cycles.
+    combiner: Mutex<()>,
+    slots: Box<[OpSlot<T>]>,
+    /// High-water mark of assigned slots (scan bound).
+    registered: AtomicUsize,
+    /// Slot indices returned by dropped [`ReplicatedHandle`]s.
+    free: Mutex<Vec<usize>>,
+}
+
+/// A single-threaded [`Dispatch`] structure replicated per contention
+/// domain behind a shared operation log — a scalable replacement for
+/// guarding the structure with one `@Critical` lock.
+///
+/// ```
+/// use aomp::nr::{Dispatch, Replicated};
+///
+/// #[derive(Clone)]
+/// struct Counter(u64);
+/// enum Read { Get }
+/// #[derive(Clone)]
+/// enum Write { Add(u64) }
+///
+/// impl Dispatch for Counter {
+///     type ReadOp = Read;
+///     type WriteOp = Write;
+///     type Response = u64;
+///     fn dispatch(&self, _op: &Read) -> u64 { self.0 }
+///     fn dispatch_mut(&mut self, op: &Write) -> u64 {
+///         let Write::Add(n) = op;
+///         self.0 += n;
+///         self.0
+///     }
+/// }
+///
+/// let c = Replicated::new(Counter(0));
+/// assert_eq!(c.execute(Write::Add(2)), 2);
+/// assert_eq!(c.execute(Write::Add(3)), 5);
+/// assert_eq!(c.execute_ro(&Read::Get), 5);
+/// ```
+pub struct Replicated<T: Dispatch> {
+    id: usize,
+    log: Log<T::WriteOp>,
+    replicas: Box<[Replica<T>]>,
+    next_replica: AtomicUsize,
+}
+
+thread_local! {
+    /// This thread's `(replica, slot)` assignment per structure id, made
+    /// on first use. Entries for dropped structures linger (ids are
+    /// never reused, so they are merely unused); a thread's slots are
+    /// not returned when the thread exits — slot exhaustion degrades to
+    /// the slotless path, never to an error.
+    static NR_REG: RefCell<HashMap<usize, (usize, usize)>> = RefCell::new(HashMap::new());
+}
+
+impl<T: Dispatch + Clone> Replicated<T> {
+    /// Replicate `initial` with the [configured](crate::nr#configuration)
+    /// replica count and log size.
+    pub fn new(initial: T) -> Self {
+        Self::with_config(initial, default_replicas(), default_log_size())
+    }
+
+    /// Replicate `initial` with an explicit replica count and log size
+    /// (clamped to at least 1 replica / 128 log slots).
+    pub fn with_config(initial: T, replicas: usize, log_size: usize) -> Self {
+        let n = replicas.max(1);
+        let replicas = (0..n)
+            .map(|_| Replica {
+                data: RwLock::new(initial.clone()),
+                applied: AtomicU64::new(0),
+                combiner: Mutex::new(()),
+                slots: (0..NR_SLOTS)
+                    .map(|_| OpSlot {
+                        state: AtomicU8::new(EMPTY),
+                        cell: UnsafeCell::new(OpCell {
+                            op: None,
+                            resp: None,
+                        }),
+                    })
+                    .collect(),
+                registered: AtomicUsize::new(0),
+                free: Mutex::new(Vec::new()),
+            })
+            .collect();
+        Self {
+            id: next_nr_id(),
+            log: Log::new(log_size.max(MIN_LOG)),
+            replicas,
+            next_replica: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<T: Dispatch> Replicated<T> {
+    /// The structure's process-unique id (the `nr` field of its hook
+    /// events). Monotonic, never reused.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of replicas.
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Current log tail: total mutating ops appended so far.
+    pub fn tail(&self) -> u64 {
+        self.log.tail.load(Ordering::Acquire)
+    }
+
+    /// Log prefix replica `r` has replayed. Always a prefix: ops are
+    /// applied in log order, so `applied(r) == n` means exactly ops
+    /// `0..n` are reflected in that replica's state.
+    pub fn applied(&self, r: usize) -> u64 {
+        self.replicas[r].applied.load(Ordering::Acquire)
+    }
+
+    /// Register the calling context on a replica (round-robin) and
+    /// reserve it a combining slot. The handle is cheaper than the
+    /// thread-keyed [`execute`](Self::execute) path in hot loops, and
+    /// returns its slot when dropped. Not `Sync`: a handle's slot admits
+    /// one posting thread at a time.
+    pub fn handle(&self) -> ReplicatedHandle<'_, T> {
+        let (replica, slot) = self.assign();
+        ReplicatedHandle {
+            nr: self,
+            replica,
+            slot,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Apply a mutating op: publish it for this thread's replica
+    /// combiner, combining ourselves if the combiner lock is free, and
+    /// return its response once some combiner has replayed it. A
+    /// cancellation point inside a team.
+    pub fn execute(&self, op: T::WriteOp) -> T::Response {
+        let (r, s) = self.thread_assignment();
+        self.write_at(r, s, op)
+    }
+
+    /// Execute a read-only op against this thread's replica after it has
+    /// caught up with the log tail observed at the call — the standard
+    /// node-replication condition making reads linearizable. Readers of
+    /// an up-to-date replica share a read lock (no mutual exclusion).
+    pub fn execute_ro(&self, op: &T::ReadOp) -> T::Response {
+        let (r, _) = self.thread_assignment();
+        self.read_at(r, op)
+    }
+
+    /// Bring this thread's replica up to the current log tail without
+    /// reading — e.g. before a direct [`read_direct`](Self::read_direct)
+    /// sweep at a quiescent point.
+    pub fn sync(&self) {
+        let (r, _) = self.thread_assignment();
+        self.catch_up(r, self.log.tail.load(Ordering::Acquire));
+    }
+
+    /// Run `f` against this thread's replica state *without* syncing to
+    /// the tail first — the caller asserts quiescence (e.g. after a team
+    /// join preceded by [`sync`](Self::sync)). Blocks only if a combiner
+    /// is mid-apply.
+    pub fn read_direct<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let (r, _) = self.thread_assignment();
+        let data = block_on(|| self.replicas[r].data.try_read(), || true);
+        hook::emit_team(|team, tid| HookEvent::NrSync {
+            team,
+            tid,
+            nr: self.id,
+            replica: r,
+            upto: self.replicas[r].applied.load(Ordering::Relaxed),
+        });
+        f(&data)
+    }
+
+    fn thread_assignment(&self) -> (usize, usize) {
+        NR_REG.with(|m| {
+            *m.borrow_mut()
+                .entry(self.id)
+                .or_insert_with(|| self.assign())
+        })
+    }
+
+    fn assign(&self) -> (usize, usize) {
+        let r = self.next_replica.fetch_add(1, Ordering::Relaxed) % self.replicas.len();
+        let rep = &self.replicas[r];
+        let slot = rep.free.lock().pop().unwrap_or_else(|| {
+            let i = rep.registered.fetch_add(1, Ordering::Relaxed);
+            if i < NR_SLOTS {
+                i
+            } else {
+                SLOTLESS
+            }
+        });
+        (r, slot)
+    }
+
+    fn write_at(&self, r: usize, si: usize, op: T::WriteOp) -> T::Response {
+        if si == SLOTLESS {
+            return self.write_slotless(r, op);
+        }
+        let rep = &self.replicas[r];
+        let slot = &rep.slots[si];
+        // Quiesce a slot a cancelled predecessor on this thread left
+        // mid-flight: consume a stale DONE, and wait out a TAKEN op the
+        // active combiner is still committed to answering.
+        if slot.state.load(Ordering::Acquire) != EMPTY {
+            block_on(
+                || match slot.state.load(Ordering::Acquire) {
+                    EMPTY => Some(()),
+                    DONE => {
+                        // SAFETY: DONE hands the cell back to the poster
+                        // side, and the slot is assigned to us.
+                        unsafe { (*slot.cell.get()).resp = None };
+                        slot.state.store(EMPTY, Ordering::Release);
+                        Some(())
+                    }
+                    _ => None,
+                },
+                || true, // nothing published yet: unwinding is safe
+            );
+        }
+        // SAFETY: EMPTY slot assigned to this thread — we own the cell.
+        unsafe {
+            let cell = &mut *slot.cell.get();
+            cell.op = Some(op);
+            cell.resp = None;
+        }
+        // Publish. The NrAppend release edge is recorded before the
+        // PENDING store so no combiner can claim the op first.
+        hook::emit_team(|team, tid| {
+            let t = self.log.tail.load(Ordering::Relaxed);
+            HookEvent::NrAppend {
+                team,
+                tid,
+                nr: self.id,
+                lo: t,
+                hi: t,
+            }
+        });
+        slot.state.store(PENDING, Ordering::Release);
+        let resp = block_on(
+            || loop {
+                match slot.state.load(Ordering::Acquire) {
+                    DONE => {
+                        // SAFETY: DONE hands the cell back to us.
+                        let resp = unsafe { (*slot.cell.get()).resp.take() };
+                        slot.state.store(EMPTY, Ordering::Release);
+                        break Some(resp.expect("replicated op completed without a response"));
+                    }
+                    st => {
+                        if let Some(_g) = rep.combiner.try_lock() {
+                            self.combine_locked(r, Some(si), None);
+                            // Our own op was part of the batch (it was
+                            // PENDING): re-check. A slot still TAKEN with
+                            // the lock free is orphaned — a dispatch
+                            // panic unwound its combiner — so park
+                            // rather than spin.
+                            if st == PENDING || slot.state.load(Ordering::Acquire) != TAKEN {
+                                continue;
+                            }
+                        }
+                        break None;
+                    }
+                }
+            },
+            || {
+                // Withdraw the op if no combiner claimed it; either way
+                // unwinding is safe (the op is owned by the slot, not
+                // borrowed from our stack) — a late DONE is reclaimed by
+                // this thread's next write.
+                if slot
+                    .state
+                    .compare_exchange(PENDING, EMPTY, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // SAFETY: the CAS re-acquired cell ownership.
+                    unsafe { (*slot.cell.get()).op = None };
+                }
+                true
+            },
+        );
+        hook::emit_team(|team, tid| HookEvent::NrSync {
+            team,
+            tid,
+            nr: self.id,
+            replica: r,
+            upto: rep.applied.load(Ordering::Relaxed),
+        });
+        obs::count(obs::Counter::NrWrites);
+        resp
+    }
+
+    /// No combining slot: serialise on the combiner lock and self-append.
+    fn write_slotless(&self, r: usize, op: T::WriteOp) -> T::Response {
+        let rep = &self.replicas[r];
+        hook::emit_team(|team, tid| {
+            let t = self.log.tail.load(Ordering::Relaxed);
+            HookEvent::NrAppend {
+                team,
+                tid,
+                nr: self.id,
+                lo: t,
+                hi: t,
+            }
+        });
+        let g = block_on(|| rep.combiner.try_lock(), || true);
+        let resp = self
+            .combine_locked(r, None, Some(op))
+            .expect("inline replicated op executed without a response");
+        drop(g);
+        hook::emit_team(|team, tid| HookEvent::NrSync {
+            team,
+            tid,
+            nr: self.id,
+            replica: r,
+            upto: rep.applied.load(Ordering::Relaxed),
+        });
+        obs::count(obs::Counter::NrWrites);
+        resp
+    }
+
+    fn read_at(&self, r: usize, op: &T::ReadOp) -> T::Response {
+        let rep = &self.replicas[r];
+        let t = self.log.tail.load(Ordering::Acquire);
+        if rep.applied.load(Ordering::Acquire) < t {
+            self.catch_up(r, t);
+        }
+        let data = block_on(|| rep.data.try_read(), || true);
+        // Join the replica's release history *before* reading: holding
+        // the read lock excludes combiners, so no apply intervenes
+        // between this edge and the dispatch below.
+        hook::emit_team(|team, tid| HookEvent::NrSync {
+            team,
+            tid,
+            nr: self.id,
+            replica: r,
+            upto: rep.applied.load(Ordering::Relaxed),
+        });
+        let resp = data.dispatch(op);
+        obs::count(obs::Counter::NrReads);
+        resp
+    }
+
+    fn catch_up(&self, r: usize, t: u64) {
+        let rep = &self.replicas[r];
+        block_on(
+            || {
+                if rep.applied.load(Ordering::Acquire) >= t {
+                    return Some(());
+                }
+                if let Some(_g) = rep.combiner.try_lock() {
+                    // Reader-turned-combiner: also batches any pending
+                    // writes on this replica (flat combining).
+                    self.combine_locked(r, None, None);
+                    return Some(());
+                }
+                None
+            },
+            || true,
+        );
+    }
+
+    /// The combining pass. Caller holds `replicas[r].combiner`.
+    ///
+    /// Claims every published op on `r`, appends the batch (plus an
+    /// optional `inline` op from a slotless caller) to the log with one
+    /// tail reservation, replays the log through the replica up to at
+    /// least the batch end, answers the batched posters and returns the
+    /// inline op's response.
+    fn combine_locked(
+        &self,
+        r: usize,
+        own_slot: Option<usize>,
+        inline: Option<T::WriteOp>,
+    ) -> Option<T::Response> {
+        let rep = &self.replicas[r];
+        let mut idxs: Vec<usize> = Vec::new();
+        let mut ops: Vec<T::WriteOp> = Vec::new();
+        let bound = rep.registered.load(Ordering::Acquire).min(NR_SLOTS);
+        for i in 0..bound {
+            let s = &rep.slots[i];
+            if s.state.load(Ordering::Relaxed) == PENDING
+                && s.state
+                    .compare_exchange(PENDING, TAKEN, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                // SAFETY: the CAS claimed the cell from the poster (and
+                // beat any concurrent retract).
+                let op = unsafe { (*s.cell.get()).op.take() };
+                idxs.push(i);
+                ops.push(op.expect("PENDING slot without an op"));
+            }
+        }
+        let inline_pos_rel = inline.is_some().then_some(ops.len());
+        ops.extend(inline);
+        let k = ops.len() as u64;
+        let mut inline_resp = None;
+        if k == 0 {
+            // Nothing to append — just bring the replica up to date (the
+            // reader catch-up path).
+            let t = self.log.tail.load(Ordering::Acquire);
+            self.apply_locked(r, t, u64::MAX, &[], None, &mut inline_resp);
+            return None;
+        }
+        let (lo, hi) = self.reserve(r, k);
+        for (j, op) in ops.into_iter().enumerate() {
+            let pos = lo + j as u64;
+            let ls = self.log.slot(pos);
+            // SAFETY: position `pos` was reserved to us by the tail CAS
+            // and its ring slot is past every replica's applied prefix
+            // (the reserve space check), so no replayer is reading it.
+            unsafe { *ls.op.get() = Some(op) };
+            ls.seq.store(pos + 1, Ordering::Release);
+        }
+        hook::emit_team(|team, tid| HookEvent::NrAppend {
+            team,
+            tid,
+            nr: self.id,
+            lo,
+            hi,
+        });
+        let target = self.log.tail.load(Ordering::Acquire).max(hi);
+        let inline_pos = inline_pos_rel.map(|o| lo + o as u64);
+        self.apply_locked(r, target, lo, &idxs, inline_pos, &mut inline_resp);
+        // Wake the batched posters — after the apply pass recorded its
+        // NrSync release edge, so a poster's own sync joins this pass.
+        for &i in &idxs {
+            rep.slots[i].state.store(DONE, Ordering::Release);
+        }
+        if obs::metrics_enabled() {
+            obs::count(obs::Counter::NrCombines);
+            for &i in &idxs {
+                if Some(i) != own_slot {
+                    obs::count(obs::Counter::NrCombinedOps);
+                }
+            }
+        }
+        inline_resp
+    }
+
+    /// Replay the log into replica `r` up to `target`. Caller holds the
+    /// replica's combiner lock. Positions `lo + j` (for `j <
+    /// slot_of.len()`) answer slot `slot_of[j]`; `inline_pos` answers
+    /// into `inline_resp`; responses of foreign ops are dropped (their
+    /// posters are answered by their own replica's combiner).
+    fn apply_locked(
+        &self,
+        r: usize,
+        target: u64,
+        lo: u64,
+        slot_of: &[usize],
+        inline_pos: Option<u64>,
+        inline_resp: &mut Option<T::Response>,
+    ) {
+        let rep = &self.replicas[r];
+        let from = rep.applied.load(Ordering::Acquire);
+        if from >= target {
+            return;
+        }
+        // Cooperative acquisition: a native blocking `write()` would
+        // wedge checker explorations (the serialised scheduler may have
+        // parked the reader that holds the lock). Never unwinds — the
+        // combiner owns claimed ops (`retract` = false).
+        let mut data = block_on(|| rep.data.try_write(), || false);
+        // Acquire edge for the pass — emitted *after* taking the data
+        // write lock, so it also orders this pass after every reader
+        // that released the lock (and merged with the replica clock)
+        // before us.
+        hook::emit_team(|team, tid| HookEvent::NrCombine {
+            team,
+            tid,
+            nr: self.id,
+            replica: r,
+            lo: from,
+            hi: target,
+        });
+        let mut pos = from;
+        while pos < target {
+            let ls = self.log.slot(pos);
+            // The appender that reserved `pos` fills it with no blocking
+            // operation in between, so this wait is always serviceable.
+            block_on(
+                || (ls.seq.load(Ordering::Acquire) == pos + 1).then_some(()),
+                || false,
+            );
+            // SAFETY: the seq stamp (Acquire) publishes the op, and the
+            // slot cannot be reused for `pos + size` until our `applied`
+            // (≥ min_applied) passes `pos`.
+            let resp = data.dispatch_mut(unsafe {
+                (*ls.op.get())
+                    .as_ref()
+                    .expect("stamped log slot without an op")
+            });
+            if inline_pos == Some(pos) {
+                *inline_resp = Some(resp);
+            } else if pos >= lo && ((pos - lo) as usize) < slot_of.len() {
+                let si = slot_of[(pos - lo) as usize];
+                // SAFETY: slot `si` is TAKEN — the combiner owns its cell.
+                unsafe { (*rep.slots[si].cell.get()).resp = Some(resp) };
+            }
+            pos += 1;
+            rep.applied.store(pos, Ordering::Release);
+        }
+        // Release edge for everything this pass executed; recorded while
+        // the write lock still excludes readers.
+        hook::emit_team(|team, tid| HookEvent::NrSync {
+            team,
+            tid,
+            nr: self.id,
+            replica: r,
+            upto: pos,
+        });
+        drop(data);
+    }
+
+    /// Reserve `k` consecutive log positions, waiting (and helping
+    /// laggard replicas) while the ring is full. Caller holds replica
+    /// `r`'s combiner lock, so waiting never unwinds — claimed ops must
+    /// be delivered.
+    fn reserve(&self, r: usize, k: u64) -> (u64, u64) {
+        debug_assert!(k <= self.log.size());
+        block_on(
+            || {
+                let t = self.log.tail.load(Ordering::Acquire);
+                if t + k <= self.min_applied() + self.log.size() {
+                    return self
+                        .log
+                        .tail
+                        .compare_exchange(t, t + k, Ordering::AcqRel, Ordering::Relaxed)
+                        .ok()
+                        .map(|_| (t, t + k));
+                }
+                // Ring full: our own replica may be the laggard (we hold
+                // its lock, nobody else can advance it), and stalled
+                // replicas with no active combiner need a helping hand.
+                let mut none = None;
+                self.apply_locked(r, t, u64::MAX, &[], None, &mut none);
+                self.help(t, r);
+                None
+            },
+            || false,
+        )
+    }
+
+    fn min_applied(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.applied.load(Ordering::Acquire))
+            .min()
+            .expect("at least one replica")
+    }
+
+    /// Advance every laggard replica whose combiner lock is free to
+    /// `target`. `try_lock` only — never blocks holding our own lock.
+    fn help(&self, target: u64, me: usize) {
+        for (i, rep) in self.replicas.iter().enumerate() {
+            if i != me && rep.applied.load(Ordering::Acquire) < target {
+                if let Some(_g) = rep.combiner.try_lock() {
+                    let mut none = None;
+                    self.apply_locked(i, target, u64::MAX, &[], None, &mut none);
+                    obs::count(obs::Counter::NrHelps);
+                }
+            }
+        }
+    }
+}
+
+/// A per-thread posting handle for a [`Replicated`] structure: a fixed
+/// `(replica, slot)` assignment, skipping the thread-local lookup of
+/// [`Replicated::execute`]. Returns the slot on drop.
+pub struct ReplicatedHandle<'a, T: Dispatch> {
+    nr: &'a Replicated<T>,
+    replica: usize,
+    slot: usize,
+    /// One slot admits one posting thread: `!Sync` (moving the handle to
+    /// another thread is fine, sharing it is not).
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl<T: Dispatch> ReplicatedHandle<'_, T> {
+    /// The replica this handle posts to.
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    /// [`Replicated::execute`] through this handle's assignment.
+    pub fn execute(&self, op: T::WriteOp) -> T::Response {
+        self.nr.write_at(self.replica, self.slot, op)
+    }
+
+    /// [`Replicated::execute_ro`] through this handle's assignment.
+    pub fn execute_ro(&self, op: &T::ReadOp) -> T::Response {
+        self.nr.read_at(self.replica, op)
+    }
+}
+
+impl<T: Dispatch> Drop for ReplicatedHandle<'_, T> {
+    fn drop(&mut self) {
+        if self.slot != SLOTLESS {
+            let rep = &self.nr.replicas[self.replica];
+            // Only a quiescent slot is reusable; an in-flight one (the
+            // owner unwound mid-protocol) stays retired.
+            if rep.slots[self.slot].state.load(Ordering::Acquire) == EMPTY {
+                rep.free.lock().push(self.slot);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Combiner: untyped flat-combining section lock
+// --------------------------------------------------------------------
+
+/// Type-erased pointer to a poster's stack-held task. The combiner
+/// dereferences it on another thread; the poster's wait protocol (never
+/// unwind while the task is claimable) keeps the frame alive.
+struct FcTask {
+    run: unsafe fn(*mut ()),
+    data: *mut (),
+}
+
+// SAFETY: posters guarantee the pointee is safe to run from another
+// thread — `Combiner::run` by its `Send` bounds, `run_unchecked` by its
+// caller contract.
+unsafe impl Send for FcTask {}
+
+struct FcSlot {
+    state: AtomicU8,
+    task: UnsafeCell<Option<FcTask>>,
+}
+
+// SAFETY: `task` ownership follows `state` exactly like [`OpSlot`].
+unsafe impl Sync for FcSlot {}
+
+/// Clears [`Combiner::owner`] on drop — including on unwind out of an
+/// inline section — so a panicking body never leaves the combiner
+/// looking owned by a thread that no longer holds the lock.
+struct OwnerReset<'a>(&'a AtomicUsize);
+
+impl Drop for OwnerReset<'_> {
+    fn drop(&mut self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+struct TaskData<F, R> {
+    f: Option<F>,
+    result: Option<std::thread::Result<R>>,
+}
+
+/// Run the poster's closure, capturing panics so they unwind on the
+/// poster (via `resume_unwind`), never through the combiner.
+unsafe fn run_task<F: FnOnce() -> R, R>(p: *mut ()) {
+    // SAFETY: `p` is the `TaskData` the poster published and still keeps
+    // alive on its stack.
+    let d = unsafe { &mut *(p as *mut TaskData<F, R>) };
+    let f = d.f.take().expect("replicated section task run twice");
+    d.result = Some(catch_unwind(AssertUnwindSafe(f)));
+}
+
+/// A flat-combining *section* lock: `run(f)` executes `f` in mutual
+/// exclusion with every other section on the same `Combiner`, but under
+/// contention one thread (the combiner) executes whole batches of
+/// waiters' sections back-to-back while they wait — one lock handoff per
+/// batch instead of one per section. A drop-in scalability upgrade for
+/// [`critical_named`](crate::critical::critical_named); the weaver's
+/// `replicated` mechanism and the `#[replicated]` macro compile to this.
+///
+/// Section bodies run on the combining thread (see module docs), and —
+/// unlike a poster *waiting* at a critical lock — a poster whose section
+/// has been claimed cannot be cancelled until it executes.
+pub struct Combiner {
+    id: usize,
+    lock: Mutex<()>,
+    /// [`thread_token`] of the thread currently combining (0 = none);
+    /// lets a section body re-enter sections on the same `Combiner`
+    /// inline, matching re-entrant `@Critical`.
+    owner: AtomicUsize,
+    /// Sections executed — the log-tail analogue for hook events.
+    ops: AtomicU64,
+    slots: Box<[FcSlot]>,
+    registered: AtomicUsize,
+}
+
+thread_local! {
+    /// This thread's slot per combiner id (see [`NR_REG`]).
+    static FC_REG: RefCell<HashMap<usize, usize>> = RefCell::new(HashMap::new());
+}
+
+impl Default for Combiner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Combiner {
+    /// A fresh, unshared combiner.
+    pub fn new() -> Self {
+        Self {
+            id: next_nr_id(),
+            lock: Mutex::new(()),
+            owner: AtomicUsize::new(0),
+            ops: AtomicU64::new(0),
+            slots: (0..NR_SLOTS)
+                .map(|_| FcSlot {
+                    state: AtomicU8::new(EMPTY),
+                    task: UnsafeCell::new(None),
+                })
+                .collect(),
+            registered: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide combiner named `id` — the replicated analogue of
+    /// a named critical lock. Sections with equal names exclude each
+    /// other; entries are never removed (names are program structure).
+    pub fn named(id: &str) -> Arc<Combiner> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<Combiner>>>> = OnceLock::new();
+        let mut reg = REGISTRY.get_or_init(|| Mutex::new(HashMap::new())).lock();
+        if let Some(c) = reg.get(id) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Combiner::new());
+        reg.insert(id.to_owned(), Arc::clone(&c));
+        c
+    }
+
+    /// The combiner's process-unique id (the `nr` field of its hook
+    /// events). Monotonic, never reused.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Sections executed so far.
+    pub fn sections(&self) -> u64 {
+        self.ops.load(Ordering::Acquire)
+    }
+
+    /// Run `f` in mutual exclusion with all other sections on this
+    /// combiner. `f` may execute on another (combining) thread; the
+    /// `Send` bounds make that sound. Panics in `f` unwind on the
+    /// calling thread. A cancellation point inside a team *until* the
+    /// section is claimed by a combiner.
+    pub fn run<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        // SAFETY: `F: Send` and `R: Send` — the closure and its result
+        // may cross to the combining thread.
+        unsafe { self.run_erased(f) }
+    }
+
+    /// Run `f` in mutual exclusion with all other sections on this
+    /// combiner, *on the calling thread* — no flat combining for this
+    /// section, so no `Send` bounds. Other threads' published sections
+    /// are batched first while we hold the lock, keeping them from
+    /// starving behind inline sections. Used by the weaver for value
+    /// join points, whose closures may not be `Send`.
+    pub fn run_inline<R>(&self, f: impl FnOnce() -> R) -> R {
+        let token = thread_token();
+        if self.owner.load(Ordering::Relaxed) == token {
+            return f();
+        }
+        let _g = block_on(|| self.lock.try_lock(), || true);
+        self.owner.store(token, Ordering::Relaxed);
+        let _reset = OwnerReset(&self.owner);
+        self.fc_combine(None);
+        let lo = self.ops.load(Ordering::Relaxed);
+        hook::emit_team(|team, tid| HookEvent::NrCombine {
+            team,
+            tid,
+            nr: self.id,
+            replica: 0,
+            lo,
+            hi: lo + 1,
+        });
+        let r = f();
+        self.ops.store(lo + 1, Ordering::Release);
+        hook::emit_team(|team, tid| HookEvent::NrSync {
+            team,
+            tid,
+            nr: self.id,
+            replica: 0,
+            upto: lo + 1,
+        });
+        r
+    }
+
+    /// [`run`](Self::run) without the `Send` bounds.
+    ///
+    /// # Safety
+    ///
+    /// `f` (with everything it captures) and its result must be safe to
+    /// move to and run on another thread of this process while the
+    /// caller blocks — i.e. the caller asserts the `Send` bounds that
+    /// [`run`](Self::run) would require. The weaver uses this for woven
+    /// section bodies, which are `Fn + Sync` closures run by reference.
+    pub unsafe fn run_unchecked<R>(&self, f: impl FnOnce() -> R) -> R {
+        unsafe { self.run_erased(f) }
+    }
+
+    unsafe fn run_erased<F: FnOnce() -> R, R>(&self, f: F) -> R {
+        let token = thread_token();
+        if self.owner.load(Ordering::Relaxed) == token {
+            // Re-entrant: we *are* the combiner; the lock is ours.
+            return f();
+        }
+        let mut data = TaskData {
+            f: Some(f),
+            result: None,
+        };
+        match self.slot_for_thread() {
+            None => {
+                // Slotless overflow path: plain lock + inline execution.
+                let _g = block_on(|| self.lock.try_lock(), || true);
+                self.owner.store(token, Ordering::Relaxed);
+                let _reset = OwnerReset(&self.owner);
+                let lo = self.ops.load(Ordering::Relaxed);
+                hook::emit_team(|team, tid| HookEvent::NrCombine {
+                    team,
+                    tid,
+                    nr: self.id,
+                    replica: 0,
+                    lo,
+                    hi: lo + 1,
+                });
+                // SAFETY: `data` is alive on this very stack frame.
+                unsafe { run_task::<F, R>(&mut data as *mut TaskData<F, R> as *mut ()) };
+                self.ops.store(lo + 1, Ordering::Release);
+                hook::emit_team(|team, tid| HookEvent::NrSync {
+                    team,
+                    tid,
+                    nr: self.id,
+                    replica: 0,
+                    upto: lo + 1,
+                });
+            }
+            Some(si) => {
+                let slot = &self.slots[si];
+                // A poster leaves its slot EMPTY on every exit path: a
+                // retract empties it, and the no-retract path always
+                // consumes the DONE before unwinding.
+                debug_assert_eq!(slot.state.load(Ordering::Acquire), EMPTY);
+                // SAFETY: EMPTY slot assigned to this thread — we own
+                // the cell.
+                unsafe {
+                    *slot.task.get() = Some(FcTask {
+                        run: run_task::<F, R>,
+                        data: &mut data as *mut TaskData<F, R> as *mut (),
+                    })
+                };
+                hook::emit_team(|team, tid| {
+                    let t = self.ops.load(Ordering::Relaxed);
+                    HookEvent::NrAppend {
+                        team,
+                        tid,
+                        nr: self.id,
+                        lo: t,
+                        hi: t,
+                    }
+                });
+                slot.state.store(PENDING, Ordering::Release);
+                block_on(
+                    || loop {
+                        match slot.state.load(Ordering::Acquire) {
+                            DONE => {
+                                slot.state.store(EMPTY, Ordering::Release);
+                                break Some(());
+                            }
+                            _ => {
+                                if let Some(_g) = self.lock.try_lock() {
+                                    self.owner.store(token, Ordering::Relaxed);
+                                    let _reset = OwnerReset(&self.owner);
+                                    self.fc_combine(Some(si));
+                                    // Our own task was in the batch.
+                                    continue;
+                                }
+                                break None;
+                            }
+                        }
+                    },
+                    || {
+                        // The combiner dereferences our stack frame: we
+                        // may unwind only while the task is still ours
+                        // to withdraw. Once TAKEN, the active combiner
+                        // is committed to finishing it — keep waiting.
+                        if slot
+                            .state
+                            .compare_exchange(PENDING, EMPTY, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            // SAFETY: the CAS re-acquired cell ownership.
+                            unsafe { (*slot.task.get()).take() };
+                            true
+                        } else {
+                            false
+                        }
+                    },
+                );
+                hook::emit_team(|team, tid| HookEvent::NrSync {
+                    team,
+                    tid,
+                    nr: self.id,
+                    replica: 0,
+                    upto: self.ops.load(Ordering::Relaxed),
+                });
+            }
+        }
+        match data
+            .result
+            .take()
+            .expect("replicated section finished without a result")
+        {
+            Ok(r) => r,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// The batching pass. Caller holds `lock` and has set `owner`.
+    fn fc_combine(&self, own: Option<usize>) {
+        let bound = self
+            .registered
+            .load(Ordering::Acquire)
+            .min(self.slots.len());
+        let mut batch: Vec<(usize, FcTask)> = Vec::new();
+        for i in 0..bound {
+            let s = &self.slots[i];
+            if s.state.load(Ordering::Relaxed) == PENDING
+                && s.state
+                    .compare_exchange(PENDING, TAKEN, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                // SAFETY: the CAS claimed the cell from the poster.
+                let t = unsafe { (*s.task.get()).take() };
+                batch.push((i, t.expect("PENDING fc slot without a task")));
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let lo = self.ops.load(Ordering::Relaxed);
+        let hi = lo + batch.len() as u64;
+        hook::emit_team(|team, tid| HookEvent::NrCombine {
+            team,
+            tid,
+            nr: self.id,
+            replica: 0,
+            lo,
+            hi,
+        });
+        for (_, t) in &batch {
+            // SAFETY: the poster is parked until we mark its slot DONE;
+            // its stack frame (holding the task state) is pinned, and
+            // `run_task` confines panics to the poster.
+            unsafe { (t.run)(t.data) };
+        }
+        self.ops.store(hi, Ordering::Release);
+        // Release edge before DONE wake-ups, so every poster's follow-up
+        // sync joins this pass (same order as `combine_locked`).
+        hook::emit_team(|team, tid| HookEvent::NrSync {
+            team,
+            tid,
+            nr: self.id,
+            replica: 0,
+            upto: hi,
+        });
+        for (i, _) in &batch {
+            self.slots[*i].state.store(DONE, Ordering::Release);
+        }
+        if obs::metrics_enabled() {
+            obs::count(obs::Counter::NrCombines);
+            for (i, _) in &batch {
+                if Some(*i) != own {
+                    obs::count(obs::Counter::NrCombinedOps);
+                }
+            }
+        }
+    }
+
+    fn slot_for_thread(&self) -> Option<usize> {
+        FC_REG.with(|m| {
+            let mut m = m.borrow_mut();
+            let e = m.entry(self.id).or_insert_with(|| {
+                let i = self.registered.fetch_add(1, Ordering::Relaxed);
+                if i < self.slots.len() {
+                    i
+                } else {
+                    SLOTLESS
+                }
+            });
+            (*e != SLOTLESS).then_some(*e)
+        })
+    }
+}
+
+/// Run `f` as a replicated section under the process-wide combiner named
+/// `id` — `@Replicated(id = name)`, the flat-combining counterpart of
+/// [`critical_named`](crate::critical::critical_named). Call sites that
+/// run hot should cache [`Combiner::named`] instead (the `#[replicated]`
+/// macro does).
+pub fn replicated_named<R: Send>(id: &str, f: impl FnOnce() -> R + Send) -> R {
+    Combiner::named(id).run(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{parallel_with, RegionConfig};
+
+    #[derive(Clone)]
+    struct Counter(u64);
+    enum CRead {
+        Get,
+    }
+    #[derive(Clone)]
+    enum CWrite {
+        Add(u64),
+    }
+    impl Dispatch for Counter {
+        type ReadOp = CRead;
+        type WriteOp = CWrite;
+        type Response = u64;
+        fn dispatch(&self, CRead::Get: &CRead) -> u64 {
+            self.0
+        }
+        fn dispatch_mut(&mut self, CWrite::Add(n): &CWrite) -> u64 {
+            self.0 += n;
+            self.0
+        }
+    }
+
+    #[test]
+    fn sequential_counter_round_trip() {
+        let c = Replicated::with_config(Counter(0), 2, 128);
+        assert_eq!(c.execute(CWrite::Add(2)), 2);
+        assert_eq!(c.execute(CWrite::Add(3)), 5);
+        assert_eq!(c.execute_ro(&CRead::Get), 5);
+        assert_eq!(c.tail(), 2);
+    }
+
+    #[test]
+    fn responses_are_distinct_prefix_sums() {
+        // fetch-add responses under any linearization are a permutation
+        // of the distinct prefix sums 1..=N — the linearizability oracle
+        // the checker suite leans on, verified here under real threads.
+        let c = Replicated::with_config(Counter(0), 2, 128);
+        let threads = 4;
+        let per = 100u64;
+        let responses = Mutex::new(Vec::new());
+        parallel_with(RegionConfig::new().threads(threads), || {
+            let h = c.handle();
+            let mut mine = Vec::with_capacity(per as usize);
+            for _ in 0..per {
+                mine.push(h.execute(CWrite::Add(1)));
+            }
+            responses.lock().extend(mine);
+        });
+        let mut all = responses.into_inner();
+        all.sort_unstable();
+        let expect: Vec<u64> = (1..=threads as u64 * per).collect();
+        assert_eq!(all, expect, "every prefix sum exactly once");
+        assert_eq!(c.execute_ro(&CRead::Get), threads as u64 * per);
+    }
+
+    #[test]
+    fn reads_observe_a_prefix_at_least_the_tail() {
+        let c = Replicated::with_config(Counter(0), 3, 128);
+        parallel_with(RegionConfig::new().threads(4), || {
+            for i in 0..200 {
+                let before = c.tail();
+                let v = c.execute_ro(&CRead::Get);
+                assert!(
+                    v >= before,
+                    "read ({v}) behind the tail ({before}) observed before it"
+                );
+                if i % 3 == 0 {
+                    c.execute(CWrite::Add(1));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn log_wraparound_with_lagging_replica() {
+        // A tiny log plus a replica nobody posts to forces the ring to
+        // fill; appenders must help the laggard forward rather than
+        // deadlock.
+        let c = Replicated::with_config(Counter(0), 2, 128);
+        // Pin every poster to replica 0 by registering handles round-robin
+        // and keeping only even ones: simpler — single thread, many ops.
+        let h = c.handle();
+        for _ in 0..10_000 {
+            h.execute(CWrite::Add(1));
+        }
+        assert_eq!(c.execute_ro(&CRead::Get), 10_000);
+        assert_eq!(c.tail(), 10_000);
+        // The helper advanced the idle replica past the ring boundary.
+        for r in 0..c.num_replicas() {
+            assert!(
+                c.applied(r) + c.log.size() >= c.tail(),
+                "replica {r} applied {} vs tail {}",
+                c.applied(r),
+                c.tail()
+            );
+        }
+    }
+
+    #[test]
+    fn handles_recycle_slots() {
+        let c = Replicated::with_config(Counter(0), 1, 128);
+        for _ in 0..1000 {
+            let h = c.handle();
+            h.execute(CWrite::Add(1));
+        }
+        // 1000 handles on 64 slots: without recycling most would be
+        // slotless; with it the high-water mark stays tiny.
+        assert!(c.replicas[0].registered.load(Ordering::Relaxed) <= 2);
+        assert_eq!(c.execute_ro(&CRead::Get), 1000);
+    }
+
+    #[test]
+    fn read_direct_after_sync_sees_everything() {
+        let c = Replicated::with_config(Counter(0), 2, 128);
+        parallel_with(RegionConfig::new().threads(4), || {
+            let h = c.handle();
+            for _ in 0..50 {
+                h.execute(CWrite::Add(1));
+            }
+        });
+        c.sync();
+        assert_eq!(c.read_direct(|s| s.0), 200);
+    }
+
+    #[test]
+    fn combiner_serialises_sections() {
+        struct Unsync(UnsafeCell<u64>);
+        unsafe impl Sync for Unsync {}
+        impl Unsync {
+            fn bump(&self) {
+                // Data race unless callers exclude each other.
+                unsafe { *self.0.get() += 1 }
+            }
+        }
+        let counter = Unsync(UnsafeCell::new(0));
+        let fc = Combiner::new();
+        parallel_with(RegionConfig::new().threads(4), || {
+            for _ in 0..1000 {
+                fc.run(|| counter.bump());
+            }
+        });
+        assert_eq!(unsafe { *counter.0.get() }, 4000);
+        assert_eq!(fc.sections(), 4000);
+    }
+
+    #[test]
+    fn combiner_returns_values_and_is_reentrant() {
+        let fc = Combiner::new();
+        let v = fc.run(|| fc.run(|| 41) + 1);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn combiner_panics_unwind_on_the_poster() {
+        let fc = Arc::new(Combiner::new());
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            fc.run(|| panic!("section panic"));
+        }));
+        assert!(r.is_err());
+        // The combiner survives for later sections.
+        assert_eq!(fc.run(|| 7), 7);
+    }
+
+    #[test]
+    fn named_combiners_are_shared() {
+        let a = Combiner::named("nr-test-shared");
+        let b = Combiner::named("nr-test-shared");
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), Combiner::named("nr-test-other").id());
+    }
+
+    #[test]
+    fn nr_ids_are_monotonic_and_never_reused() {
+        let first = Replicated::with_config(Counter(0), 1, 128).id();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let c = Replicated::with_config(Counter(0), 1, 128);
+            assert!(seen.insert(c.id()), "id {} reused", c.id());
+            assert!(c.id() > first);
+        }
+        // Combiners draw from the same sequence: no collisions either.
+        assert!(seen.insert(Combiner::new().id()));
+    }
+}

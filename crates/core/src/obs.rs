@@ -265,6 +265,18 @@ counters! {
     ServeFaultInjected => "serve_fault_injected",
     /// Serve: resubmissions performed by the retry/backoff helper.
     ServeRetries => "serve_retries",
+    /// Replicated structures: write operations executed.
+    NrWrites => "nr_writes",
+    /// Replicated structures: read operations served from a replica.
+    NrReads => "nr_reads",
+    /// Replicated structures: combiner passes (each applies a batch).
+    NrCombines => "nr_combines",
+    /// Replicated structures: operations applied by combiners on behalf
+    /// of another thread's flat-combining slot (batching wins).
+    NrCombinedOps => "nr_combined_ops",
+    /// Replicated structures: help passes applying the log to a lagging
+    /// replica so an appender could reclaim log space.
+    NrHelps => "nr_helps",
 }
 
 // ---------------------------------------------------------------------
@@ -325,6 +337,9 @@ lats! {
     WaitTaskWait => "wait_task_wait",
     /// Time blocked in `FutureTask::get`.
     WaitFutureGet => "wait_future_get",
+    /// Time blocked on a replicated structure (flat-combining slot,
+    /// combiner lock, or operation-log space).
+    WaitReplicated => "wait_replicated",
     /// Time the master blocked joining its workers at region end.
     WaitJoin => "wait_join",
     /// End-to-end latency of admitted serve requests (submit to
@@ -345,6 +360,7 @@ impl Lat {
             WaitSite::Ordered => Lat::WaitOrdered,
             WaitSite::TaskWait => Lat::WaitTaskWait,
             WaitSite::FutureGet => Lat::WaitFutureGet,
+            WaitSite::Replicated => Lat::WaitReplicated,
             // `WaitSite` is non_exhaustive towards future sites; fold
             // unknown ones into the join bucket rather than dropping.
             _ => Lat::WaitJoin,
@@ -1090,6 +1106,7 @@ pub mod trace {
             WaitSite::Ordered => "wait:ordered",
             WaitSite::TaskWait => "wait:task-wait",
             WaitSite::FutureGet => "wait:future-get",
+            WaitSite::Replicated => "wait:replicated",
             _ => "wait:join",
         };
         let ts_ns = u64::try_from(start.duration_since(epoch()).as_nanos()).unwrap_or(u64::MAX);
@@ -1153,9 +1170,18 @@ pub mod trace {
             HookEvent::CancelRequested { tid, .. } => {
                 push_now("cancel", 'i', [Some(("tid", tid as i64)), None])
             }
+            HookEvent::NrCombine { lo, hi, .. } => push_now(
+                "nr-combine",
+                'i',
+                [Some(("lo", lo as i64)), Some(("hi", hi as i64))],
+            ),
+            // NrAppend/NrSync are one per operation — too chatty to plot;
             // WaitRegister is covered by the timed wait slice; explicit
             // cancellation-point polls are too chatty to plot.
-            HookEvent::CancellationPoint { .. } | HookEvent::WaitRegister { .. } => {}
+            HookEvent::NrAppend { .. }
+            | HookEvent::NrSync { .. }
+            | HookEvent::CancellationPoint { .. }
+            | HookEvent::WaitRegister { .. } => {}
         }
     }
 }

@@ -11,6 +11,7 @@
 
 pub mod aomp;
 pub mod mt;
+pub mod nr;
 pub mod seq;
 pub mod tasks;
 
@@ -171,10 +172,13 @@ mod tests {
         for t in [1, 2, 4] {
             let m = mt::run(&d, t);
             let a = aomp::run(&d, t);
+            let n = nr::run(&d, t);
             assert_eq!(m.results, s.results, "mt t={t}");
             assert_eq!(a.results, s.results, "aomp t={t}");
+            assert_eq!(n.results, s.results, "nr t={t}");
             assert_eq!(m.avg, s.avg);
             assert_eq!(a.avg, s.avg);
+            assert_eq!(n.avg, s.avg);
         }
     }
 }

@@ -13,6 +13,7 @@
 //! | `@Parallel[(threads=n)]` | `#[parallel]`, `#[parallel(threads = 4)]`, `#[parallel(cancellable, stall_deadline_ms = 200)]` |
 //! | `@For[(schedule=…)]` | `#[for_loop]`, `#[for_loop(schedule = "staticCyclic")]`, `#[for_loop(schedule = "dynamic", chunk = 8)]` |
 //! | `@Critical[(id=name)]` | `#[critical]`, `#[critical(id = "lockname")]` |
+//! | `@Critical` via flat combining | `#[replicated]`, `#[replicated(id = "name")]` |
 //! | `@BarrierBefore` / `@BarrierAfter` | `#[barrier_before]` / `#[barrier_after]` |
 //! | `@Master` | `#[master]` (broadcasts the return value, if any) |
 //! | `@Single` | `#[single]` (ditto) |
@@ -445,6 +446,55 @@ pub fn critical(attr: TokenStream, item: TokenStream) -> TokenStream {
     let new_body = format!(
         "static __AOMP_CRIT: ::std::sync::OnceLock<::aomp::critical::CriticalHandle> = ::std::sync::OnceLock::new();\n\
          __AOMP_CRIT.get_or_init(|| {handle}).run(|| {body})"
+    );
+    rewrap(header, &new_body)
+}
+
+/// `@Critical` served by flat combining — a scalable drop-in for
+/// [`macro@critical`] on contended sections. The body still executes in
+/// mutual exclusion, but instead of every thread fighting for one lock,
+/// waiting threads publish their section and the current lock holder
+/// (the *combiner*) runs a whole batch in one lock tenure
+/// (`aomp::nr::Combiner`). With `id = "name"` a process-wide named
+/// combiner is shared across type-unrelated call sites, mirroring
+/// `#[critical(id = …)]`; without an id, a combiner private to this
+/// function.
+///
+/// Unlike `#[critical]`, the body may run on a *different* thread (the
+/// combiner), so it must be `Send` and close only over `Sync` shared
+/// state — which is what a shared-state critical section closes over
+/// anyway. Bodies needing thread affinity should stay on `#[critical]`.
+#[proc_macro_attribute]
+pub fn replicated(attr: TokenStream, item: TokenStream) -> TokenStream {
+    let (header, body) = match split_fn(item) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
+    let args = match parse_attr_args(attr) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
+    let mut id: Option<String> = None;
+    for arg in &args {
+        match arg.name.as_str() {
+            "id" => match str_value(arg) {
+                Ok(s) => id = Some(s),
+                Err(e) => return compile_err(&e),
+            },
+            other => {
+                return compile_err(&format!(
+                    "aomp: unknown #[replicated] argument `{other}` (expected `id = \"name\"`)"
+                ))
+            }
+        }
+    }
+    let combiner = match &id {
+        Some(name) => format!("::aomp::nr::Combiner::named({name:?})"),
+        None => "::std::sync::Arc::new(::aomp::nr::Combiner::new())".to_owned(),
+    };
+    let new_body = format!(
+        "static __AOMP_REPL: ::std::sync::OnceLock<::std::sync::Arc<::aomp::nr::Combiner>> = ::std::sync::OnceLock::new();\n\
+         __AOMP_REPL.get_or_init(|| {combiner}).run(|| {body})"
     );
     rewrap(header, &new_body)
 }

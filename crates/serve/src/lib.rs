@@ -40,6 +40,7 @@ pub use faults::{Fault, FaultPlan};
 pub use retry::{submit_with_retry, Backoff};
 pub use work::{Output, Workload};
 
+use aomp::nr::{Dispatch, Replicated};
 use aomp::obs::{Counter, Lat};
 use aomp::prelude::*;
 use aomp::{obs, Runtime};
@@ -169,7 +170,7 @@ impl ServerConfig {
                     rt,
                     depth: AtomicUsize::new(0),
                     seq: AtomicU64::new(0),
-                    ewma_service_ns: AtomicU64::new(0),
+                    stats: Replicated::new(TenantStats::default()),
                 })
             })
             .collect();
@@ -305,6 +306,57 @@ impl ResponseHandle {
     }
 }
 
+/// One tenant's observed service-time statistics.
+///
+/// The single-threaded structure is replicated via [`aomp::nr`]: every
+/// completion *logs* an [`StatsOp::Observe`] and the flat-combining
+/// replicas apply the log in one order, so the EWMA fold — which is
+/// *not* commutative — is deterministic and identical on every replica,
+/// where the old lock-free read-modify-write could drop samples under
+/// contention.
+#[derive(Clone, Debug, Default)]
+pub struct TenantStats {
+    /// EWMA of successful service time, in nanoseconds (0 = no samples).
+    pub ewma_service_ns: u64,
+    /// Number of successful completions folded into the EWMA.
+    pub samples: u64,
+    /// Worst successful service time seen, in nanoseconds.
+    pub max_service_ns: u64,
+}
+
+/// Write operations on [`TenantStats`] (the replication log alphabet).
+#[derive(Clone, Debug)]
+pub enum StatsOp {
+    /// Fold one successful completion's service time into the stats.
+    Observe {
+        /// Service time of the completion, in nanoseconds.
+        ns: u64,
+    },
+}
+
+impl Dispatch for TenantStats {
+    type ReadOp = ();
+    type WriteOp = StatsOp;
+    type Response = TenantStats;
+
+    fn dispatch(&self, _op: &()) -> TenantStats {
+        self.clone()
+    }
+
+    fn dispatch_mut(&mut self, op: &StatsOp) -> TenantStats {
+        let StatsOp::Observe { ns } = *op;
+        self.ewma_service_ns = if self.ewma_service_ns == 0 {
+            ns
+        } else {
+            // 0.8 * prev + 0.2 * sample, in integer ns.
+            self.ewma_service_ns - self.ewma_service_ns / 5 + ns / 5
+        };
+        self.samples += 1;
+        self.max_service_ns = self.max_service_ns.max(ns);
+        self.clone()
+    }
+}
+
 struct TenantState {
     spec: TenantSpec,
     rt: Runtime,
@@ -312,8 +364,9 @@ struct TenantState {
     depth: AtomicUsize,
     /// Per-tenant request sequence number, feeds the fault plan.
     seq: AtomicU64,
-    /// Relaxed EWMA of successful service time, drives retry-after.
-    ewma_service_ns: AtomicU64,
+    /// Service-time statistics, replicated shared state; drives
+    /// retry-after.
+    stats: Replicated<TenantStats>,
 }
 
 impl TenantState {
@@ -321,7 +374,7 @@ impl TenantState {
     /// roughly one observed service time (capacity frees at that rate),
     /// clamped to something a client can reasonably sleep.
     fn retry_after(&self) -> Duration {
-        let ewma = self.ewma_service_ns.load(Ordering::Relaxed);
+        let ewma = self.stats.execute_ro(&()).ewma_service_ns;
         let est = if ewma == 0 {
             self.spec.default_deadline / 4
         } else {
@@ -331,15 +384,8 @@ impl TenantState {
     }
 
     fn observe_service(&self, took: Duration) {
-        let sample = took.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let prev = self.ewma_service_ns.load(Ordering::Relaxed);
-        let next = if prev == 0 {
-            sample
-        } else {
-            // 0.8 * prev + 0.2 * sample, in integer ns.
-            prev - prev / 5 + sample / 5
-        };
-        self.ewma_service_ns.store(next, Ordering::Relaxed);
+        let ns = took.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.stats.execute(StatsOp::Observe { ns });
     }
 }
 
@@ -383,6 +429,13 @@ impl Server {
     /// A tenant's current in-flight depth.
     pub fn queue_depth(&self, tenant: usize) -> usize {
         self.inner.tenants[tenant].depth.load(Ordering::Acquire)
+    }
+
+    /// A linearizable snapshot of a tenant's service-time statistics
+    /// (reads its [`aomp::nr::Replicated`] store after syncing to the
+    /// operation-log tail).
+    pub fn tenant_stats(&self, tenant: usize) -> TenantStats {
+        self.inner.tenants[tenant].stats.execute_ro(&())
     }
 
     /// The shared graph that [`Workload::DegreeSum`] traverses.
@@ -571,6 +624,31 @@ mod tests {
         let snap = srv.tenant_runtime(0).metrics_snapshot();
         assert_eq!(snap.counter(Counter::ServeAccepted), 1);
         assert_eq!(snap.counter(Counter::ServeCompleted), 1);
+    }
+
+    #[test]
+    fn replicated_stats_count_every_completion() {
+        let srv = small_server(64);
+        let mut handles = Vec::new();
+        for i in 0..16u64 {
+            handles.push(
+                srv.submit(0, Request::new(Workload::SumRange { n: 5_000 + i * 31 }))
+                    .expect("admitted"),
+            );
+        }
+        for h in handles {
+            h.wait().expect("completed");
+        }
+        assert!(srv.drain(Duration::from_secs(30)));
+        let stats = srv.tenant_stats(0);
+        let snap = srv.tenant_runtime(0).metrics_snapshot();
+        assert_eq!(
+            stats.samples,
+            snap.counter(Counter::ServeCompleted),
+            "the replicated log must fold exactly one sample per completion"
+        );
+        assert!(stats.ewma_service_ns > 0);
+        assert!(stats.max_service_ns >= stats.ewma_service_ns / 2);
     }
 
     #[test]

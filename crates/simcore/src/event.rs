@@ -84,7 +84,7 @@ impl EventSimulator {
                 }
                 // Contended steps keep the bulk-synchronous formulas (the
                 // serialisation already couples the threads).
-                Step::Critical { .. } | Step::Locked { .. } => {
+                Step::Critical { .. } | Step::NrCritical { .. } | Step::Locked { .. } => {
                     let dt = crate::exec::Simulator::new(self.machine.clone())
                         .run(&Program::new("step", vec![step.clone()]), t);
                     for c in clocks.iter_mut() {

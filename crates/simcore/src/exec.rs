@@ -75,6 +75,43 @@ impl Simulator {
                         own.max(serial_eff).max(memory)
                     }
                 }
+                Step::NrCritical {
+                    entries,
+                    ops_each,
+                    overlap_ops,
+                    bytes,
+                } => {
+                    let hold = ops_each / m.ops_per_us;
+                    if t == 1 {
+                        // Degenerate single-thread run: the caller
+                        // combines its own op inline, paying the slot
+                        // round-trip a plain lock does not.
+                        overlap_ops / per_thread_rate
+                            + entries * (hold + m.lock_entry_us + m.handoff_us)
+                    } else {
+                        let sockets = m.sockets_spanned(t) as f64;
+                        // Posters publish into a replica slot and read
+                        // back the response: the slot's cache line
+                        // migrates poster → combiner → poster.
+                        let publish = m.lock_entry_us + 2.0 * m.handoff_us;
+                        let compute =
+                            overlap_ops / t as f64 / per_thread_rate + entries / t as f64 * publish;
+                        // One combiner per socket replays the whole log
+                        // into its replica. Batch ≈ threads per socket;
+                        // the combiner-lock entry and the log's line
+                        // migrations are paid once per batch (log slots
+                        // are contiguous and stream), remote-socket
+                        // batches costing one extra handoff. Unlike
+                        // `Critical`, no team-wide queueing multiplier:
+                        // waiting posters park on their own slot.
+                        let batch = (t as f64 / sockets).max(1.0);
+                        let remote = (sockets - 1.0) / sockets;
+                        let serial_replica = entries * hold
+                            + entries / batch * (m.lock_entry_us + m.handoff_us * (1.0 + remote));
+                        let memory = bytes / m.bw_bytes_per_us;
+                        compute.max(serial_replica).max(memory)
+                    }
+                }
                 Step::Locked {
                     entries,
                     ops_each,
@@ -230,6 +267,75 @@ mod tests {
         let su8 = s.speedup(&p, 8);
         // Barrier overhead eats the gains as t grows.
         assert!(su8 < su2 * 3.0, "su2={su2} su8={su8}");
+    }
+
+    fn contended(step: fn(f64) -> Step) -> Program {
+        Program::new("contended", vec![step(2e5)])
+    }
+
+    fn crit(entries: f64) -> Step {
+        Step::Critical {
+            entries,
+            ops_each: 10.0,
+            overlap_ops: 0.0,
+            bytes: 0.0,
+        }
+    }
+
+    fn nrcrit(entries: f64) -> Step {
+        Step::NrCritical {
+            entries,
+            ops_each: 10.0,
+            overlap_ops: 0.0,
+            bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn nr_has_a_contention_crossover_against_one_lock() {
+        // The NR model must lose to the plain lock uncontended (protocol
+        // overhead) and win at scale (no team-wide queueing blow-up):
+        // the crossover the BENCH_nr sweep measures.
+        let s = Simulator::new(Machine::xeon());
+        let lock = contended(crit);
+        let nr = contended(nrcrit);
+        assert!(
+            s.run(&nr, 1) > s.run(&lock, 1),
+            "uncontended, one lock must be cheaper than the NR protocol"
+        );
+        let t_max = s.machine.hw_threads;
+        assert!(
+            s.run(&nr, t_max) < s.run(&lock, t_max),
+            "at full scale the lock's handoff storm must dominate"
+        );
+        // The flip happens at some intermediate team size and never
+        // flips back.
+        let mut crossed = false;
+        for t in 1..=t_max {
+            let nr_wins = s.run(&nr, t) < s.run(&lock, t);
+            if crossed {
+                assert!(nr_wins, "t={t}: the crossover must be monotone");
+            }
+            crossed = crossed || nr_wins;
+        }
+        assert!(crossed);
+    }
+
+    #[test]
+    fn nr_cross_socket_handoff_costs_show_on_the_numa_machine() {
+        // Spanning the second socket adds remote batch migrations: the
+        // per-entry serial cost at 12 threads (2 sockets) exceeds that
+        // at 6 (1 socket) — but stays far below the one-lock model's.
+        let s = Simulator::new(Machine::xeon());
+        let nr = contended(nrcrit);
+        let lock = contended(crit);
+        let one_socket = s.run(&nr, 6);
+        let two_sockets = s.run(&nr, 12);
+        assert!(
+            two_sockets < one_socket * 1.5,
+            "replication must absorb most of the cross-socket cost: {one_socket} → {two_sockets}"
+        );
+        assert!(s.run(&lock, 12) > two_sockets * 2.0);
     }
 
     #[test]

@@ -53,6 +53,26 @@ pub enum Step {
         /// Memory traffic of the phase.
         bytes: f64,
     },
+    /// A parallel phase whose `entries` guarded updates are served by
+    /// flat-combining node replication (`aomp::nr`) instead of one
+    /// lock: posters publish ops into per-replica slots, one combiner
+    /// per socket batches them through a shared log onto its socket's
+    /// replica. The serial path is one replica's replay — per-op apply
+    /// cost plus per-*batch* lock and cache-line migration costs — and
+    /// does not inflate with team-wide queueing the way
+    /// [`Critical`](Step::Critical) does; the price is per-op publish
+    /// overhead that a plain lock does not pay, so one lock wins at low
+    /// thread counts (the measured crossover).
+    NrCritical {
+        /// Total guarded updates across the team.
+        entries: f64,
+        /// Operations per update (applied on every replica).
+        ops_each: f64,
+        /// Work-shared compute ops overlapping the updates.
+        overlap_ops: f64,
+        /// Memory traffic of the phase.
+        bytes: f64,
+    },
     /// A parallel phase with fine-grained locked updates spread over
     /// `nlocks` independent locks (the per-particle locks variant):
     /// lock costs parallelise, with a collision probability
@@ -114,6 +134,20 @@ impl Step {
                     ("bytes", bytes),
                 ],
             ),
+            Step::NrCritical {
+                entries,
+                ops_each,
+                overlap_ops,
+                bytes,
+            } => obj(
+                "NrCritical",
+                vec![
+                    ("entries", entries),
+                    ("ops_each", ops_each),
+                    ("overlap_ops", overlap_ops),
+                    ("bytes", bytes),
+                ],
+            ),
             Step::Locked {
                 entries,
                 ops_each,
@@ -162,6 +196,12 @@ impl Step {
                 overlap_ops: body.f64_field("overlap_ops")?,
                 bytes: body.f64_field("bytes")?,
             }),
+            "NrCritical" => Ok(Step::NrCritical {
+                entries: body.f64_field("entries")?,
+                ops_each: body.f64_field("ops_each")?,
+                overlap_ops: body.f64_field("overlap_ops")?,
+                bytes: body.f64_field("bytes")?,
+            }),
             "Locked" => Ok(Step::Locked {
                 entries: body.f64_field("entries")?,
                 ops_each: body.f64_field("ops_each")?,
@@ -201,6 +241,12 @@ impl Program {
                 Step::Replicated { ops, .. } => *ops,
                 Step::Serial { ops, .. } => *ops,
                 Step::Critical {
+                    entries,
+                    ops_each,
+                    overlap_ops,
+                    ..
+                } => entries * ops_each + overlap_ops,
+                Step::NrCritical {
                     entries,
                     ops_each,
                     overlap_ops,
@@ -293,6 +339,30 @@ mod tests {
             ],
         );
         assert_eq!(p.total_ops(), 100.0 + 10.0 + 5.0 + 8.0 + 7.0 + 3.0 + 2.0);
+    }
+
+    #[test]
+    fn nr_critical_round_trips_through_json() {
+        let step = Step::NrCritical {
+            entries: 4.0,
+            ops_each: 2.0,
+            overlap_ops: 7.0,
+            bytes: 64.0,
+        };
+        let back = Step::from_json(&step.to_json()).expect("round trip");
+        let Step::NrCritical {
+            entries,
+            ops_each,
+            overlap_ops,
+            bytes,
+        } = back
+        else {
+            panic!("wrong variant after round trip");
+        };
+        assert_eq!(
+            (entries, ops_each, overlap_ops, bytes),
+            (4.0, 2.0, 7.0, 64.0)
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use aomp::critical::CriticalHandle;
+use aomp::nr::Combiner;
 use aomp::range::LoopRange;
 use aomp::region::RegionConfig;
 use aomp::schedule::Schedule;
@@ -74,6 +75,9 @@ pub(crate) enum MechanismKind {
     },
     Critical {
         handle: CriticalHandle,
+    },
+    Replicated {
+        combiner: Arc<Combiner>,
     },
     Reader {
         rw: Arc<RwConstruct>,
@@ -255,6 +259,37 @@ impl Mechanism {
         }
     }
 
+    /// `@Replicated` with this aspect instance's own flat-combining
+    /// section lock — a drop-in scalability upgrade for
+    /// [`critical`](Self::critical): same mutual exclusion, but under
+    /// contention one thread executes whole batches of waiting sections
+    /// (see [`aomp::nr::Combiner`]). The section body may run on another
+    /// team thread, so it must not depend on thread identity.
+    pub fn replicated() -> Self {
+        Self {
+            kind: MechanismKind::Replicated {
+                combiner: Arc::new(Combiner::new()),
+            },
+        }
+    }
+
+    /// `@Replicated(id = name)` — process-wide named combiner, the
+    /// flat-combining counterpart of [`critical_named`](Self::critical_named).
+    pub fn replicated_named(id: &str) -> Self {
+        Self {
+            kind: MechanismKind::Replicated {
+                combiner: Combiner::named(id),
+            },
+        }
+    }
+
+    /// `@Replicated` sharing an explicit combiner across mechanisms.
+    pub fn replicated_with(combiner: Arc<Combiner>) -> Self {
+        Self {
+            kind: MechanismKind::Replicated { combiner },
+        }
+    }
+
     /// `@Reader` — shared access through `rw`. Pair with
     /// [`writer`](Self::writer) on the same construct.
     pub fn reader(rw: Arc<RwConstruct>) -> Self {
@@ -300,6 +335,7 @@ impl Mechanism {
             MechanismKind::Parallel { .. } => 1,
             MechanismKind::MasterGate { .. } | MechanismKind::SingleGate { .. } => 2,
             MechanismKind::Critical { .. }
+            | MechanismKind::Replicated { .. }
             | MechanismKind::Reader { .. }
             | MechanismKind::Writer { .. } => 3,
             MechanismKind::Custom { .. } => 4,
@@ -325,6 +361,7 @@ impl Mechanism {
             MechanismKind::MasterGate { .. } => "master",
             MechanismKind::SingleGate { .. } => "single",
             MechanismKind::Critical { .. } => "critical",
+            MechanismKind::Replicated { .. } => "replicated",
             MechanismKind::Reader { .. } => "reader",
             MechanismKind::Writer { .. } => "writer",
             MechanismKind::ReduceAfter { .. } => "reduce",

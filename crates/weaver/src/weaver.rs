@@ -233,6 +233,7 @@ impl<'a> Plan<'a> {
                     }
                 }
                 MechanismKind::Critical { .. }
+                | MechanismKind::Replicated { .. }
                 | MechanismKind::Reader { .. }
                 | MechanismKind::Writer { .. } => {
                     plan.locks.push(&m.kind);
@@ -265,13 +266,33 @@ impl<'a> Plan<'a> {
 }
 
 /// Recursively wrap `f` in the lock mechanisms, preserving binding order.
-fn wrap_locks<R>(locks: &[&MechanismKind], f: &mut dyn FnMut() -> R) -> R {
+///
+/// `combine` controls the `Replicated` mechanism: `true` lets a combiner
+/// batch the section onto another team thread (sound for the plain/for
+/// join-point paths, whose bodies are `Fn + Sync` and whose wrappers
+/// close only over `&`s to `Sync` weaver state), `false` forces inline
+/// execution on the calling thread (the value path, whose `FnOnce` and
+/// result need not be `Send`).
+fn wrap_locks<R>(locks: &[&MechanismKind], combine: bool, f: &mut dyn FnMut() -> R) -> R {
     match locks.split_first() {
         None => f(),
         Some((l, rest)) => match l {
-            MechanismKind::Critical { handle } => handle.run(|| wrap_locks(rest, f)),
-            MechanismKind::Reader { rw } => rw.read(|| wrap_locks(rest, f)),
-            MechanismKind::Writer { rw } => rw.write(|| wrap_locks(rest, f)),
+            MechanismKind::Critical { handle } => handle.run(|| wrap_locks(rest, combine, f)),
+            MechanismKind::Replicated { combiner } => {
+                if combine {
+                    // SAFETY: everything reachable from `f` on these
+                    // paths is shared weaver state (`&`s to `Sync`
+                    // mechanisms, the join point, and the `Fn + Sync`
+                    // body) plus stack closures composed of the same —
+                    // all safe to run from the combining team thread
+                    // while this one parks. `R` is `()` on these paths.
+                    unsafe { combiner.run_unchecked(|| wrap_locks(rest, combine, f)) }
+                } else {
+                    combiner.run_inline(|| wrap_locks(rest, combine, f))
+                }
+            }
+            MechanismKind::Reader { rw } => rw.read(|| wrap_locks(rest, combine, f)),
+            MechanismKind::Writer { rw } => rw.write(|| wrap_locks(rest, combine, f)),
             _ => unreachable!("non-lock mechanism in lock phase"),
         },
     }
@@ -311,7 +332,7 @@ fn wrap_customs_for(
 
 fn run_gated(plan: &Plan<'_>, jp: &JoinPoint<'_>, body: &(dyn Fn() + Sync)) {
     let gated = || {
-        wrap_locks(&plan.locks, &mut || {
+        wrap_locks(&plan.locks, true, &mut || {
             wrap_customs(&plan.customs, jp, &mut || body());
         })
     };
@@ -388,7 +409,7 @@ where
     let inner = || {
         let run_loop =
             || {
-                wrap_locks(&plan.locks, &mut || {
+                wrap_locks(&plan.locks, true, &mut || {
                     wrap_customs_for(&plan.customs, &jp, range, &mut |lo, hi, st| match plan
                         .for_mech
                     {
@@ -451,7 +472,7 @@ where
     }
     let inner = || {
         let run_loop = || {
-            wrap_locks(&plan.locks, &mut || {
+            wrap_locks(&plan.locks, true, &mut || {
                 wrap_customs_for(&plan.customs, &jp, range, &mut |lo, hi, st| {
                     let sub = LoopRange::new(lo, hi, st);
                     match plan.for_mech {
@@ -524,7 +545,9 @@ where
     let mut f = Some(f);
     let mut locked = || {
         let f = f.take().expect("value body invoked once");
-        wrap_locks(&plan.locks, &mut {
+        // `false`: the value body is `FnOnce() -> T` with no `Send`
+        // bound, so it must run inline on the calling thread.
+        wrap_locks(&plan.locks, false, &mut {
             let mut f = Some(f);
             move || (f.take().expect("value body invoked once"))()
         })
@@ -690,6 +713,65 @@ mod tests {
             });
         });
         assert_eq!(unsafe { *racy.0.get() }, 2000);
+    }
+
+    #[test]
+    fn replicated_mechanism_serialises() {
+        struct Racy(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Racy {}
+        impl Racy {
+            fn bump(&self) {
+                unsafe { *self.0.get() += 1 }
+            }
+            fn get(&self) -> u64 {
+                unsafe { *self.0.get() }
+            }
+        }
+        let racy = Racy(std::cell::UnsafeCell::new(0));
+        let racy = &racy;
+        let aspect = AspectModule::builder("repl-test")
+            .bind(
+                Pointcut::call("weaver.test.replwrap"),
+                Mechanism::parallel().threads(4),
+            )
+            .bind(Pointcut::call("weaver.test.repl"), Mechanism::replicated())
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("weaver.test.replwrap", || {
+                for _ in 0..500 {
+                    call("weaver.test.repl", || racy.bump());
+                }
+            });
+        });
+        assert_eq!(racy.get(), 2000);
+    }
+
+    #[test]
+    fn replicated_value_join_point_runs_inline() {
+        // The value path takes a `FnOnce() -> T` with no `Send` bound,
+        // so the replicated mechanism must execute it on the calling
+        // thread (inline combining) rather than batching it away.
+        let seen = parking_lot::Mutex::new(Vec::new());
+        let aspect = AspectModule::builder("repl-val-test")
+            .bind(
+                Pointcut::call("weaver.test.replvalwrap"),
+                Mechanism::parallel().threads(3),
+            )
+            .bind(
+                Pointcut::call("weaver.test.replval"),
+                Mechanism::replicated_named("weaver.test.replval"),
+            )
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("weaver.test.replvalwrap", || {
+                let me = std::thread::current().id();
+                let v: std::thread::ThreadId =
+                    call_value("weaver.test.replval", std::thread::current).id();
+                assert_eq!(v, me, "value body ran on the calling thread");
+                seen.lock().push(v);
+            });
+        });
+        assert_eq!(seen.into_inner().len(), 3);
     }
 
     #[test]

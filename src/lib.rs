@@ -50,8 +50,8 @@ pub use aomp_weaver as weaver;
 pub mod prelude {
     pub use aomp::prelude::*;
     pub use aomp_macros::{
-        barrier_after, barrier_before, critical, for_loop, future_task, master, parallel, single,
-        task,
+        barrier_after, barrier_before, critical, for_loop, future_task, master, parallel,
+        replicated, single, task,
     };
     pub use aomp_weaver::prelude::*;
 }
