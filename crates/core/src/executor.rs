@@ -9,6 +9,13 @@
 //! from the back of the others, so a burst of fine-grained tasks spreads
 //! over the pool without a single contended queue.
 //!
+//! Stealing is *locality-aware steal-half*: an idle worker scans victims
+//! same-socket first ([`schedule::steal_order`], driven by
+//! `AOMP_SOCKETS`), and when it finds a non-empty deque it adopts the
+//! whole back half — one lock acquisition amortised over half the
+//! victim's backlog, and the adopted tasks then drain from the thief's
+//! own queue instead of hammering the victim's lock once per task.
+//!
 //! Each [`Runtime`](crate::runtime::Runtime) owns one `Executor`
 //! instance (the process-wide singleton of earlier versions is now just
 //! the default runtime's executor), so two runtimes never share workers
@@ -57,6 +64,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::obs::{self, Counter};
+use crate::schedule;
 
 /// Environment variable capping the *default runtime's* worker count.
 /// Captured once when the default runtime is constructed
@@ -96,6 +104,9 @@ struct Ctl {
 
 pub(crate) struct Executor {
     queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Per-worker victim scan order: same-socket peers first in ring
+    /// order, then remote sockets (see [`schedule::steal_order`]).
+    steal_order: Vec<Vec<usize>>,
     inner: Mutex<Ctl>,
     cv: Condvar,
     /// Tasks enqueued but not yet popped. Incremented under `inner` (so
@@ -116,8 +127,12 @@ pub(crate) struct Executor {
 impl Executor {
     pub(crate) fn new(max_workers: usize, scope: Arc<obs::Scope>) -> Arc<Executor> {
         let max = max_workers.max(1);
+        let sockets = schedule::configured_sockets();
         Arc::new(Executor {
             queues: (0..max).map(|_| Mutex::new(VecDeque::new())).collect(),
+            steal_order: (0..max)
+                .map(|i| schedule::steal_order(i, max, sockets))
+                .collect(),
             inner: Mutex::new(Ctl {
                 idle: 0,
                 claims: 0,
@@ -218,25 +233,35 @@ impl Executor {
         self.queues[i].lock().push_back(task);
     }
 
-    /// Pop a task: the worker's own queue from the front, everyone else's
-    /// from the back (steal).
+    /// Pop a task: the worker's own queue from the front; when that is
+    /// empty, steal the back half of the nearest non-empty victim's
+    /// deque (near victims first), run the newest stolen task and adopt
+    /// the rest into the own queue. Adopted tasks stay enqueued —
+    /// `pending` drops only for the task actually returned.
     fn pop_any(&self, own: usize) -> Option<Task> {
-        let nq = self.queues.len();
-        for k in 0..nq {
-            let i = (own + k) % nq;
-            let t = if k == 0 {
-                self.queues[i].lock().pop_front()
-            } else {
-                self.queues[i].lock().pop_back()
-            };
-            if let Some(t) = t {
-                self.pending.fetch_sub(1, Ordering::Relaxed);
-                if k != 0 {
-                    obs::count(Counter::TaskStolen);
-                    self.scope.bump(Counter::TaskStolen);
+        if let Some(t) = self.queues[own].lock().pop_front() {
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+            return Some(t);
+        }
+        for &v in &self.steal_order[own] {
+            // Cut the batch under the victim's lock alone, then append
+            // under the own lock alone: never two queue locks at once.
+            let mut batch = {
+                let mut q = self.queues[v].lock();
+                let len = q.len();
+                if len == 0 {
+                    continue;
                 }
-                return Some(t);
+                q.split_off(len - len.div_ceil(2))
+            };
+            let t = batch.pop_back().expect("stolen batch is non-empty");
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+            if !batch.is_empty() {
+                self.queues[own].lock().append(&mut batch);
             }
+            obs::count(Counter::TaskStolen);
+            self.scope.bump(Counter::TaskStolen);
+            return Some(t);
         }
         None
     }
@@ -368,6 +393,71 @@ mod tests {
             assert!(t0.elapsed() < Duration::from_secs(30), "pool wedged");
             std::thread::yield_now();
         }
+    }
+
+    #[test]
+    fn steal_takes_half_and_keeps_victims_front() {
+        // Deterministic: queues are manipulated directly, no worker
+        // threads ever start (try_submit is never called).
+        let ex = test_exec(4);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..6 {
+            let log = Arc::clone(&log);
+            ex.queues[2]
+                .lock()
+                .push_back(Box::new(move || log.lock().push(i)) as Task);
+            ex.pending.fetch_add(1, Ordering::Relaxed);
+        }
+        // Worker 0's own queue is empty: in (single-socket) ring order
+        // 1, 2, 3 the first non-empty victim is queue 2. Of its 6
+        // tasks the thief cuts the back half [3, 4, 5], runs the
+        // newest and adopts the rest.
+        let t = ex.pop_any(0).expect("steal must find the batch");
+        t();
+        assert_eq!(
+            log.lock().as_slice(),
+            &[5],
+            "thief runs the newest stolen task"
+        );
+        assert_eq!(ex.queues[2].lock().len(), 3, "victim keeps its front half");
+        assert_eq!(ex.queues[0].lock().len(), 2, "thief adopts the rest");
+        assert_eq!(
+            ex.pending.load(Ordering::Relaxed),
+            5,
+            "adopted tasks stay pending"
+        );
+        // The adopted tasks drain from the thief's own front, in order.
+        ex.pop_any(0).unwrap()();
+        ex.pop_any(0).unwrap()();
+        assert_eq!(log.lock().as_slice(), &[5, 3, 4]);
+        // Thief dry again: next steal comes from the victim's remainder.
+        ex.pop_any(0).unwrap()();
+        assert_eq!(log.lock().as_slice(), &[5, 3, 4, 2]);
+    }
+
+    #[test]
+    fn own_queue_has_priority_over_stealing() {
+        let ex = test_exec(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (q, tag) in [(0usize, "own"), (1, "other")] {
+            let log = Arc::clone(&log);
+            ex.queues[q]
+                .lock()
+                .push_back(Box::new(move || log.lock().push(tag)) as Task);
+            ex.pending.fetch_add(1, Ordering::Relaxed);
+        }
+        ex.pop_any(0).unwrap()();
+        assert_eq!(log.lock().as_slice(), &["own"]);
+    }
+
+    #[test]
+    fn steal_orders_are_rings_on_one_socket() {
+        // AOMP_SOCKETS defaults to 1 in the test environment: every
+        // worker's victim order is the plain ring after itself.
+        let ex = test_exec(4);
+        assert_eq!(ex.steal_order[0], vec![1, 2, 3]);
+        assert_eq!(ex.steal_order[1], vec![2, 3, 0]);
+        assert_eq!(ex.steal_order[3], vec![0, 1, 2]);
     }
 
     #[test]

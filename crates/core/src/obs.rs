@@ -223,6 +223,10 @@ counters! {
     ChunkGuided => "chunk_guided",
     /// Chunk handouts: block-cyclic chunks dealt.
     ChunkBlockCyclic => "chunk_block_cyclic",
+    /// Chunk handouts: adaptive-schedule chunks dispensed.
+    ChunkAdaptive => "chunk_adaptive",
+    /// Adaptive schedule: ranges adopted from another thread (steal-half).
+    ChunkAdaptiveSteals => "chunk_adaptive_steals",
     /// Tasks handed to [`task::spawn`](crate::task)-family dispatch.
     TaskSpawned => "task_spawned",
     /// Tasks admitted to the shared work-stealing executor.
@@ -231,7 +235,8 @@ counters! {
     TaskDedicated => "task_dedicated",
     /// Tasks that degraded to inline execution on the caller.
     TaskInline => "task_inline",
-    /// Tasks popped from another worker's deque (steals).
+    /// Steal events: a worker adopting the back half of another
+    /// worker's deque (one tick per batch, not per task).
     TaskStolen => "task_stolen",
     /// Team-scoped task joins completed (`TaskGroup::wait`, `FutureTask::get`).
     TaskJoins => "task_joins",
@@ -342,6 +347,9 @@ lats! {
     WaitReplicated => "wait_replicated",
     /// Time the master blocked joining its workers at region end.
     WaitJoin => "wait_join",
+    /// Body execution time of one dispensed chunk (adaptive schedule) —
+    /// the handout→completion signal the adapter's EWMA is built from.
+    ChunkBody => "chunk_body",
     /// End-to-end latency of admitted serve requests (submit to
     /// completion, shed requests excluded).
     ServeRequest => "serve_request",
@@ -618,6 +626,7 @@ pub(crate) fn record_event(g: u8, ev: &HookEvent) {
                 "dynamic" => Some(Counter::ChunkDynamic),
                 "guided" => Some(Counter::ChunkGuided),
                 "block-cyclic" => Some(Counter::ChunkBlockCyclic),
+                "adaptive" => Some(Counter::ChunkAdaptive),
                 // Per-iteration cyclic events; counted via chunk_cyclic.
                 _ => None,
             },
@@ -1147,6 +1156,7 @@ pub mod trace {
                     "static-cyclic" => "chunk:static-cyclic",
                     "dynamic" => "chunk:dynamic",
                     "guided" => "chunk:guided",
+                    "adaptive" => "chunk:adaptive",
                     _ => "chunk:block-cyclic",
                 };
                 push_now(

@@ -46,6 +46,20 @@ pub enum Schedule {
         /// Iterations per dealt chunk; must be ≥ 1.
         chunk: u64,
     },
+    /// Self-refining schedule (`schedule=adaptive`): the iteration space
+    /// starts as the static-block partition, but each thread dispenses
+    /// its own block in halving chunks whose size refines from observed
+    /// per-chunk latency — threads running hot (per-iteration latency
+    /// above the team's EWMA) shrink their chunks so more of their block
+    /// stays stealable, cold threads stay coarse — and a thread that
+    /// drains its block steals the upper half of a victim's remaining
+    /// range, preferring same-socket victims. The answer to the paper's
+    /// "Case Specific" Sparse schedule (Table 2) that needs no hand-built
+    /// cost model; documented in DESIGN.md.
+    Adaptive {
+        /// Lower bound on a refined chunk; must be ≥ 1.
+        min_chunk: u64,
+    },
 }
 
 impl Schedule {
@@ -53,6 +67,8 @@ impl Schedule {
     pub const DYNAMIC: Schedule = Schedule::Dynamic { chunk: 1 };
     /// Guided schedule with a minimum chunk of 1.
     pub const GUIDED: Schedule = Schedule::Guided { min_chunk: 1 };
+    /// Adaptive schedule with a minimum refined chunk of 1.
+    pub const ADAPTIVE: Schedule = Schedule::Adaptive { min_chunk: 1 };
 
     /// Human-readable name matching the paper's annotation parameters.
     pub fn name(&self) -> &'static str {
@@ -62,27 +78,55 @@ impl Schedule {
             Schedule::Dynamic { .. } => "dynamic",
             Schedule::Guided { .. } => "guided",
             Schedule::BlockCyclic { .. } => "blockCyclic",
+            Schedule::Adaptive { .. } => "adaptive",
         }
     }
 
     /// Parse an `OMP_SCHEDULE`-style string: `staticBlock`,
     /// `staticCyclic`, `dynamic[,chunk]`, `guided[,min]`,
-    /// `blockCyclic,chunk` (aliases `static`/`cyclic` accepted).
+    /// `blockCyclic,chunk`, `adaptive[,min]` (aliases `static`/`cyclic`
+    /// accepted).
+    ///
+    /// Strict: a malformed chunk (`dynamic,abc`, `dynamic,0`), a missing
+    /// required chunk (`blockCyclic`), an argument on a schedule that
+    /// takes none (`static,4`) and trailing parts (`dynamic,4,9`) all
+    /// return `None` — a misconfigured schedule must be rejected, not
+    /// silently coerced to chunk 1.
     pub fn parse(s: &str) -> Option<Schedule> {
         let mut parts = s.split(',').map(str::trim);
         let kind = parts.next()?;
-        let arg: Option<u64> = parts.next().and_then(|p| p.parse().ok());
+        let arg = parts.next();
+        if parts.next().is_some() {
+            return None; // trailing junk like `dynamic,4,9`
+        }
+        // The optional numeric argument: absent is fine, present-but-not
+        // a positive integer is malformed.
+        let arg = match arg {
+            None => None,
+            Some(a) => match a.parse::<u64>() {
+                Ok(v) if v >= 1 => Some(v),
+                _ => return None,
+            },
+        };
         match kind {
-            "staticBlock" | "static_block" | "static" => Some(Schedule::StaticBlock),
-            "staticCyclic" | "static_cyclic" | "cyclic" => Some(Schedule::StaticCyclic),
+            "staticBlock" | "static_block" | "static" if arg.is_none() => {
+                Some(Schedule::StaticBlock)
+            }
+            "staticCyclic" | "static_cyclic" | "cyclic" if arg.is_none() => {
+                Some(Schedule::StaticCyclic)
+            }
             "dynamic" => Some(Schedule::Dynamic {
-                chunk: arg.unwrap_or(1).max(1),
+                chunk: arg.unwrap_or(1),
             }),
             "guided" => Some(Schedule::Guided {
-                min_chunk: arg.unwrap_or(1).max(1),
+                min_chunk: arg.unwrap_or(1),
             }),
-            "blockCyclic" | "block_cyclic" => Some(Schedule::BlockCyclic {
-                chunk: arg.unwrap_or(1).max(1),
+            // Block-cyclic without a chunk is `staticBlock` in disguise;
+            // the paper's annotation always names the chunk, so a missing
+            // one is a configuration error, not a default.
+            "blockCyclic" | "block_cyclic" => Some(Schedule::BlockCyclic { chunk: arg? }),
+            "adaptive" => Some(Schedule::Adaptive {
+                min_chunk: arg.unwrap_or(1),
             }),
             _ => None,
         }
@@ -90,19 +134,42 @@ impl Schedule {
 
     /// The schedule selected by the `AOMP_SCHEDULE` environment variable
     /// (OpenMP's `schedule(runtime)` + `OMP_SCHEDULE`), falling back to
-    /// `staticBlock` when unset or malformed.
+    /// `staticBlock` when unset or malformed. A malformed value logs a
+    /// one-time warning naming the rejected spelling — a misconfigured
+    /// deployment should not silently lose its schedule.
     pub fn from_env() -> Schedule {
-        std::env::var("AOMP_SCHEDULE")
-            .ok()
-            .and_then(|v| Schedule::parse(&v))
-            .unwrap_or(Schedule::StaticBlock)
+        match std::env::var("AOMP_SCHEDULE") {
+            Err(_) => Schedule::StaticBlock,
+            Ok(v) => match Schedule::parse(&v) {
+                Some(s) => s,
+                None => {
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    WARNED.call_once(|| {
+                        eprintln!(
+                            "aomp: ignoring malformed AOMP_SCHEDULE={v:?} \
+                             (expected staticBlock | staticCyclic | dynamic[,chunk] | \
+                             guided[,min] | blockCyclic,chunk | adaptive[,min]); \
+                             falling back to staticBlock"
+                        );
+                    });
+                    Schedule::StaticBlock
+                }
+            },
+        }
     }
 }
 
 /// The chunks of logical iterations thread `tid` of `n` executes under a
 /// block-cyclic schedule over `count` iterations, as `(lo, hi)` pairs.
 pub fn block_cyclic_iters(count: u64, chunk: u64, tid: usize, n: usize) -> Vec<(u64, u64)> {
-    debug_assert!(n > 0 && tid < n && chunk > 0);
+    // Unconditional: in a release build `tid >= n` would deal ranges the
+    // team never agreed to partition — corrupt results, not a crash. The
+    // panic is team-safe (poisoning cancels the region); precedent is
+    // `ForScope::iteration_of`.
+    assert!(
+        n > 0 && tid < n && chunk > 0,
+        "block_cyclic_iters: invalid tid={tid} n={n} chunk={chunk}"
+    );
     let mut out = Vec::new();
     let mut lo = tid as u64 * chunk;
     while lo < count {
@@ -117,7 +184,12 @@ pub fn block_cyclic_iters(count: u64, chunk: u64, tid: usize, n: usize) -> Vec<(
 /// iterations.
 #[inline]
 pub fn static_block_iters(count: u64, tid: usize, n: usize) -> (u64, u64) {
-    debug_assert!(n > 0 && tid < n);
+    // Unconditional for the same reason as `block_cyclic_iters`: a
+    // release-mode `tid >= n` yields a garbage range silently.
+    assert!(
+        n > 0 && tid < n,
+        "static_block_iters: invalid tid={tid} n={n}"
+    );
     let n64 = n as u64;
     let t = tid as u64;
     let q = count / n64;
@@ -146,9 +218,76 @@ pub fn static_cyclic_range(range: LoopRange, tid: usize, n: usize) -> LoopRange 
 /// threads and the schedule's `min_chunk`.
 #[inline]
 pub fn guided_chunk(remaining: u64, n: usize, min_chunk: u64) -> u64 {
-    debug_assert!(n > 0);
+    // Unconditional, with a named message: `n == 0` would otherwise
+    // surface as an anonymous divide-by-zero panic below.
+    assert!(n > 0, "guided_chunk: team size must be > 0");
     let target = remaining / (2 * n as u64);
     target.max(min_chunk).max(1).min(remaining)
+}
+
+// ---------------------------------------------------------------------
+// Locality topology
+// ---------------------------------------------------------------------
+
+/// Number of sockets (NUMA domains) work-stealers should assume, from
+/// the `AOMP_SOCKETS` environment variable. Defaults to 1 (every peer is
+/// "near"); read once per process. Thread/worker ids are grouped into
+/// sockets contiguously — id `i` of `n` with `s` sockets lives on socket
+/// `i / ceil(n/s)` — matching the simcore machine model's compact
+/// placement (`Machine::sockets_spanned`).
+pub fn configured_sockets() -> usize {
+    static SOCKETS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SOCKETS.get_or_init(|| {
+        std::env::var("AOMP_SOCKETS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&s| s >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// Hotness threshold for [`Schedule::Adaptive`]: a thread whose
+/// per-iteration EWMA exceeds `factor × team EWMA` starts refining its
+/// remaining range into smaller chunks. `AOMP_ADAPTIVE_HOT` overrides
+/// the default of 1.5 (values ≤ 1.0 or non-finite are ignored — a
+/// factor of 1 would mark half the team hot on pure noise); read once
+/// per process.
+pub fn adaptive_hot_factor() -> f64 {
+    static FACTOR: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *FACTOR.get_or_init(|| {
+        std::env::var("AOMP_ADAPTIVE_HOT")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|f| f.is_finite() && *f > 1.0)
+            .unwrap_or(1.5)
+    })
+}
+
+/// Socket of member `id` when `n` ids span `sockets` sockets under
+/// compact placement.
+pub fn socket_of(id: usize, n: usize, sockets: usize) -> usize {
+    let per = n.max(1).div_ceil(sockets.max(1));
+    id / per
+}
+
+/// Victim scan order for work-stealer `tid` of `n` across `sockets`
+/// sockets: same-socket peers first (ring order starting after `tid`),
+/// then remote peers in ring order. Steal-half from near victims first —
+/// a stolen range/batch stays in the thief's cache domain when it can.
+pub fn steal_order(tid: usize, n: usize, sockets: usize) -> Vec<usize> {
+    let mut near = Vec::new();
+    let mut far = Vec::new();
+    let home = socket_of(tid, n, sockets);
+    for k in 1..n {
+        let v = (tid + k) % n;
+        if socket_of(v, n, sockets) == home {
+            near.push(v);
+        } else {
+            far.push(v);
+        }
+    }
+    near.extend(far);
+    near
 }
 
 #[cfg(test)]
@@ -292,6 +431,79 @@ mod tests {
         assert_eq!(Schedule::StaticCyclic.name(), "staticCyclic");
         assert_eq!(Schedule::DYNAMIC.name(), "dynamic");
         assert_eq!(Schedule::GUIDED.name(), "guided");
+        assert_eq!(Schedule::ADAPTIVE.name(), "adaptive");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_arguments() {
+        // Regression: these used to be silently coerced to chunk 1.
+        assert_eq!(Schedule::parse("dynamic,abc"), None);
+        assert_eq!(Schedule::parse("dynamic,0"), None);
+        assert_eq!(Schedule::parse("dynamic,-3"), None);
+        assert_eq!(Schedule::parse("guided,1.5"), None);
+        assert_eq!(Schedule::parse("adaptive,x"), None);
+        assert_eq!(Schedule::parse("blockCyclic,nope"), None);
+    }
+
+    #[test]
+    fn parse_rejects_missing_required_chunk() {
+        // Regression: `blockCyclic` without its chunk used to default to
+        // 1 (i.e. staticCyclic in disguise).
+        assert_eq!(Schedule::parse("blockCyclic"), None);
+        assert_eq!(Schedule::parse("block_cyclic"), None);
+    }
+
+    #[test]
+    fn parse_rejects_trailing_junk() {
+        // Regression: `dynamic,4,9` used to parse as chunk 4.
+        assert_eq!(Schedule::parse("dynamic,4,9"), None);
+        assert_eq!(Schedule::parse("staticBlock,1,2"), None);
+        assert_eq!(Schedule::parse("adaptive,2,2"), None);
+        assert_eq!(Schedule::parse("dynamic,4,"), None);
+    }
+
+    #[test]
+    fn parse_rejects_arguments_on_argless_schedules() {
+        assert_eq!(Schedule::parse("staticBlock,4"), None);
+        assert_eq!(Schedule::parse("static,4"), None);
+        assert_eq!(Schedule::parse("cyclic,2"), None);
+    }
+
+    #[test]
+    fn parse_accepts_adaptive() {
+        assert_eq!(Schedule::parse("adaptive"), Some(Schedule::ADAPTIVE));
+        assert_eq!(
+            Schedule::parse("adaptive, 32"),
+            Some(Schedule::Adaptive { min_chunk: 32 })
+        );
+    }
+
+    #[test]
+    fn socket_grouping_is_compact() {
+        // 12 ids over 2 sockets: 0..6 on socket 0, 6..12 on socket 1 —
+        // the Xeon X5650 geometry the simcore model uses.
+        for id in 0..6 {
+            assert_eq!(socket_of(id, 12, 2), 0);
+        }
+        for id in 6..12 {
+            assert_eq!(socket_of(id, 12, 2), 1);
+        }
+    }
+
+    #[test]
+    fn steal_order_prefers_near_victims() {
+        // Thief 1 of 12 over 2 sockets: its five socket-mates (in ring
+        // order) come before any remote id.
+        let order = steal_order(1, 12, 2);
+        assert_eq!(order.len(), 11);
+        assert_eq!(&order[..5], &[2, 3, 4, 5, 0]);
+        assert!(order[5..].iter().all(|&v| (6..12).contains(&v)));
+        // One socket: plain ring order.
+        assert_eq!(steal_order(2, 4, 1), vec![3, 0, 1]);
+        // Every victim appears exactly once and the thief never does.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).filter(|&v| v != 1).collect::<Vec<_>>());
     }
 }
 

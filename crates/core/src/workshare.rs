@@ -27,7 +27,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::ctx::{self, fresh_key};
 use crate::error::WaitSite;
@@ -63,6 +63,116 @@ impl GuidedState {
         let lo = count - *rem;
         *rem -= c;
         Some((lo, lo + c))
+    }
+}
+
+/// Shared dispenser for [`Schedule::Adaptive`], built on first touch by
+/// whichever member arrives first (every member computes the same seed).
+#[derive(Default)]
+struct AdaptiveState {
+    shared: std::sync::OnceLock<AdaptiveShared>,
+}
+
+/// The adaptive dispenser proper: per-thread remaining ranges seeded
+/// exactly like static block, plus the latency signal that drives
+/// refinement.
+///
+/// Ownership protocol: slot `i` is *installed into* only by thread `i`
+/// (its static seed, then ranges it steals); thieves only ever shrink a
+/// slot. A non-empty slot therefore always has its owner draining it,
+/// which is what makes exiting after one fruitless victim scan
+/// work-conserving — no spinning on a global remaining count.
+struct AdaptiveShared {
+    /// Remaining logical iterations `[lo, hi)` per home slot.
+    ranges: Vec<Mutex<(u64, u64)>>,
+    /// Per-thread EWMA of observed ns per iteration (f64 bits; 0 means
+    /// no sample yet). Heuristic only: relaxed loads/stores, lost
+    /// updates are acceptable.
+    ewma: Vec<AtomicU64>,
+    /// Team-wide EWMA of ns per iteration (f64 bits), the baseline a
+    /// thread compares itself against to decide it is hot.
+    team: AtomicU64,
+}
+
+impl AdaptiveShared {
+    fn seed(count: u64, n: usize) -> Self {
+        AdaptiveShared {
+            ranges: (0..n)
+                .map(|i| Mutex::new(schedule::static_block_iters(count, i, n)))
+                .collect(),
+            ewma: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            team: AtomicU64::new(0),
+        }
+    }
+
+    /// Fold one observed chunk latency into the thread's and the team's
+    /// per-iteration EWMAs. The per-thread constant is aggressive (the
+    /// signal is the whole point); the team baseline moves slowly so one
+    /// expensive chunk does not mark everyone cold.
+    fn note(&self, tid: usize, ns_per_iter: f64) {
+        let own = f64::from_bits(self.ewma[tid].load(AtomicOrdering::Relaxed));
+        let next = if own == 0.0 {
+            ns_per_iter
+        } else {
+            own + 0.4 * (ns_per_iter - own)
+        };
+        self.ewma[tid].store(next.to_bits(), AtomicOrdering::Relaxed);
+        let team = f64::from_bits(self.team.load(AtomicOrdering::Relaxed));
+        let next_team = if team == 0.0 {
+            ns_per_iter
+        } else {
+            team + 0.1 * (ns_per_iter - team)
+        };
+        self.team
+            .store(next_team.to_bits(), AtomicOrdering::Relaxed);
+    }
+
+    /// Whether `tid`'s iterations are observably more expensive than the
+    /// team baseline (so its remaining range should refine into smaller
+    /// chunks, leaving more behind for thieves).
+    fn is_hot(&self, tid: usize) -> bool {
+        let own = f64::from_bits(self.ewma[tid].load(AtomicOrdering::Relaxed));
+        let team = f64::from_bits(self.team.load(AtomicOrdering::Relaxed));
+        team > 0.0 && own > schedule::adaptive_hot_factor() * team
+    }
+
+    /// Dispense the next chunk from the front of `slot`'s range: half of
+    /// what remains while cold (so a uniform loop costs only
+    /// ~log2(block/min_chunk) handouts — near static block), an eighth
+    /// while hot (fine grain where the latency signal says it matters).
+    fn take(&self, slot: usize, hot: bool, min_chunk: u64) -> Option<(u64, u64)> {
+        let mut g = self.ranges[slot].lock();
+        let (lo, hi) = *g;
+        if lo >= hi {
+            return None;
+        }
+        let rem = hi - lo;
+        // max-then-min, not `clamp`: the tail can leave `rem < min_chunk`.
+        let c = (rem / if hot { 8 } else { 2 }).max(min_chunk).min(rem);
+        g.0 = lo + c;
+        Some((lo, lo + c))
+    }
+
+    /// Cut the upper half `[mid, hi)` off `victim`'s remaining range
+    /// (the victim keeps `[lo, mid)` — its front, which it is already
+    /// walking). Ranges too small to split are left to their owner.
+    fn steal_half(&self, victim: usize, min_chunk: u64) -> Option<(u64, u64)> {
+        let mut g = self.ranges[victim].lock();
+        let (lo, hi) = *g;
+        if hi.saturating_sub(lo) < 2 * min_chunk {
+            return None;
+        }
+        let mid = lo + (hi - lo) / 2;
+        g.1 = mid;
+        Some((mid, hi))
+    }
+
+    /// Install a stolen range as `slot`'s own. Only `slot`'s owner calls
+    /// this, and only after draining its previous range.
+    fn install(&self, slot: usize, range: (u64, u64)) {
+        let mut g = self.ranges[slot].lock();
+        debug_assert!(g.0 >= g.1, "installing over a non-empty own range");
+        *g = range;
     }
 }
 
@@ -354,6 +464,69 @@ impl ForConstruct {
                             c.shared.team_barrier(tid);
                         }
                     }
+                    Schedule::Adaptive { min_chunk } => {
+                        let min_chunk = min_chunk.max(1);
+                        let astate = c
+                            .shared
+                            .slot::<AdaptiveState>(self.key ^ DYN_KEY_SALT, round);
+                        let sh = astate.shared.get_or_init(|| AdaptiveShared::seed(count, n));
+                        let scope = ForScope {
+                            full: range,
+                            shared: Some(scope_shared),
+                        };
+                        // Under the checker, skip wall-clock sampling
+                        // entirely: every thread stays cold, so the
+                        // handout stream is a pure function of the
+                        // explored interleaving and traces replay
+                        // byte-for-byte. Stealing still happens (ranges
+                        // drain in schedule-dependent order), so the
+                        // oracle exercises the interesting paths.
+                        let measure = !hook::active();
+                        let order = schedule::steal_order(tid, n, schedule::configured_sockets());
+                        'dispense: loop {
+                            // Drain the own range, refining chunk size
+                            // from the latency signal.
+                            loop {
+                                c.shared.check_interrupt();
+                                let hot = measure && sh.is_hot(tid);
+                                let Some((lo, hi)) = sh.take(tid, hot, min_chunk) else {
+                                    break;
+                                };
+                                c.shared.bump_progress();
+                                hook::emit(|| HookEvent::ChunkHandout {
+                                    team: c.shared.token(),
+                                    tid,
+                                    kind: "adaptive",
+                                    lo,
+                                    hi,
+                                });
+                                let t0 = measure.then(Instant::now);
+                                body(range.slice_iters(lo, hi), &scope);
+                                if let Some(t0) = t0 {
+                                    let dur = t0.elapsed();
+                                    sh.note(tid, dur.as_nanos() as f64 / (hi - lo) as f64);
+                                    obs::record_lat(obs::Lat::ChunkBody, dur);
+                                }
+                            }
+                            // Own range dry: adopt the back half of the
+                            // nearest victim with enough left to split
+                            // (same-socket ring first, then remote).
+                            for &v in &order {
+                                if let Some(r) = sh.steal_half(v, min_chunk) {
+                                    obs::count(obs::Counter::ChunkAdaptiveSteals);
+                                    sh.install(tid, r);
+                                    continue 'dispense;
+                                }
+                            }
+                            // A full scan found nothing splittable; what
+                            // little remains is drained by its owners.
+                            break;
+                        }
+                        c.shared.detach_slot(self.key ^ DYN_KEY_SALT, round);
+                        if !self.nowait {
+                            c.shared.team_barrier(tid);
+                        }
+                    }
                 }
                 c.shared.detach_slot(self.key, round);
             }
@@ -546,9 +719,79 @@ mod tests {
             Schedule::StaticBlock,
             Schedule::StaticCyclic,
             Schedule::DYNAMIC,
+            Schedule::ADAPTIVE,
         ] {
             assert!(run_for(s, 3, LoopRange::new(5, 5, 1)).is_empty());
         }
+    }
+
+    #[test]
+    fn adaptive_covers_range() {
+        let r = LoopRange::new(0, 173, 1);
+        assert_eq!(
+            run_for(Schedule::Adaptive { min_chunk: 4 }, 4, r),
+            expect(r)
+        );
+    }
+
+    #[test]
+    fn adaptive_covers_negative_step_and_repeats() {
+        let r = LoopRange::new(40, -1, -3);
+        assert_eq!(run_for(Schedule::ADAPTIVE, 3, r), expect(r));
+        // Fresh dispenser per encounter, like the other chunked arms.
+        let for_c = ForConstruct::new(Schedule::Adaptive { min_chunk: 2 });
+        let sum = AtomicI64::new(0);
+        parallel_with(RegionConfig::new().threads(3), || {
+            for _pass in 0..5 {
+                for_c.execute(LoopRange::upto(0, 20), |lo, hi, step| {
+                    let mut s = 0;
+                    for i in LoopRange::new(lo, hi, step).iter() {
+                        s += i;
+                    }
+                    sum.fetch_add(s, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 5 * (0..20).sum::<i64>());
+    }
+
+    #[test]
+    fn adaptive_skewed_work_still_partitions_exactly_once() {
+        // Heavy tail on low iterations forces hot-thread refinement and
+        // steals on a real clock; the covers-exactly-once contract must
+        // hold regardless of what the adapter decides.
+        let r = LoopRange::upto(0, 400);
+        let seen = PlMutex::new(Vec::new());
+        let for_c = ForConstruct::new(Schedule::Adaptive { min_chunk: 1 });
+        parallel_with(RegionConfig::new().threads(4), || {
+            for_c.execute(r, |lo, hi, step| {
+                let mut local = Vec::new();
+                for i in LoopRange::new(lo, hi, step).iter() {
+                    if i < 40 {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    local.push(i);
+                }
+                seen.lock().extend(local);
+            });
+        });
+        let mut v = seen.into_inner();
+        v.sort_unstable();
+        assert_eq!(v, expect(r));
+    }
+
+    #[test]
+    fn ordered_with_adaptive_schedule() {
+        let for_c = ForConstruct::new(Schedule::Adaptive { min_chunk: 1 });
+        let log = PlMutex::new(Vec::new());
+        parallel_with(RegionConfig::new().threads(3), || {
+            for_c.execute_scoped(LoopRange::upto(0, 24), |sub, scope| {
+                for i in sub.iter() {
+                    scope.ordered(i, || log.lock().push(i));
+                }
+            });
+        });
+        assert_eq!(log.into_inner(), (0..24).collect::<Vec<i64>>());
     }
 
     #[test]

@@ -104,17 +104,20 @@ pub enum TriSchedule {
     Dynamic,
     /// Library guided.
     Guided,
+    /// Library adaptive (self-refining, latency-driven).
+    Adaptive,
     /// The case-specific degree-balanced aspect.
     DegreeBalanced,
 }
 
 impl TriSchedule {
     /// All ablation points.
-    pub const ALL: [TriSchedule; 5] = [
+    pub const ALL: [TriSchedule; 6] = [
         TriSchedule::Block,
         TriSchedule::Cyclic,
         TriSchedule::Dynamic,
         TriSchedule::Guided,
+        TriSchedule::Adaptive,
         TriSchedule::DegreeBalanced,
     ];
 
@@ -125,6 +128,7 @@ impl TriSchedule {
             TriSchedule::Cyclic => "cyclic",
             TriSchedule::Dynamic => "dynamic",
             TriSchedule::Guided => "guided",
+            TriSchedule::Adaptive => "adaptive",
             TriSchedule::DegreeBalanced => "degree-balanced (CS)",
         }
     }
@@ -152,6 +156,10 @@ pub fn aspect(threads: usize, schedule: TriSchedule, oriented: &CsrGraph) -> Asp
         TriSchedule::Guided => b.bind(
             Pointcut::call("Graph.triangles.count"),
             Mechanism::for_loop(Schedule::Guided { min_chunk: 16 }),
+        ),
+        TriSchedule::Adaptive => b.bind(
+            Pointcut::call("Graph.triangles.count"),
+            Mechanism::for_loop(Schedule::Adaptive { min_chunk: 16 }),
         ),
         TriSchedule::DegreeBalanced => b.bind(
             Pointcut::call("Graph.triangles.count"),

@@ -332,9 +332,9 @@ pub fn parallel(attr: TokenStream, item: TokenStream) -> TokenStream {
 /// according to the schedule (paper Figures 10 and 11).
 ///
 /// Arguments: `schedule = "staticBlock" | "staticCyclic" | "dynamic" |
-/// "guided" | "blockCyclic" | "runtime"` (default `staticBlock`),
-/// `chunk = <int>` (dynamic/blockCyclic), `min_chunk = <int>` (guided),
-/// `nowait`.
+/// "guided" | "blockCyclic" | "adaptive" | "runtime"` (default
+/// `staticBlock`), `chunk = <int>` (dynamic/blockCyclic),
+/// `min_chunk = <int>` (guided/adaptive), `nowait`.
 #[proc_macro_attribute]
 pub fn for_loop(attr: TokenStream, item: TokenStream) -> TokenStream {
     let (header, body) = match split_fn(item) {
@@ -375,10 +375,13 @@ pub fn for_loop(attr: TokenStream, item: TokenStream) -> TokenStream {
         "blockCyclic" | "block_cyclic" => {
             format!("::aomp::schedule::Schedule::BlockCyclic {{ chunk: {chunk}u64 }}")
         }
+        "adaptive" => {
+            format!("::aomp::schedule::Schedule::Adaptive {{ min_chunk: {min_chunk}u64 }}")
+        }
         "runtime" => "::aomp::schedule::Schedule::from_env()".to_owned(),
         other => {
             return compile_err(&format!(
-                "unknown schedule `{other}` (expected staticBlock/staticCyclic/dynamic/guided/blockCyclic/runtime)"
+                "unknown schedule `{other}` (expected staticBlock/staticCyclic/dynamic/guided/blockCyclic/adaptive/runtime)"
             ))
         }
     };

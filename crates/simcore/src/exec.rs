@@ -112,6 +112,40 @@ impl Simulator {
                         compute.max(serial_replica).max(memory)
                     }
                 }
+                Step::AdaptiveChunk {
+                    ops,
+                    bytes,
+                    imbalance,
+                    chunks_per_thread,
+                } => {
+                    let chunks = chunks_per_thread.max(1.0);
+                    if t == 1 {
+                        // Sequential: nothing to refine or steal; the
+                        // dispenser still pays its per-chunk lock entry.
+                        (ops / m.ops_per_us + chunks * m.lock_entry_us)
+                            .max(bytes / m.bw_bytes_per_us)
+                    } else {
+                        let imb = imbalance.max(1.0);
+                        // Refinement smooths all but one chunk-grain of
+                        // the overload: residual imbalance shrinks with
+                        // the dispensed chunk count.
+                        let residual = 1.0 + (imb - 1.0) / chunks;
+                        let compute = ops / t as f64 * residual / per_thread_rate;
+                        // One range-lock entry per dispensed chunk, paid
+                        // by each thread on its own critical path.
+                        let dispense = chunks * m.lock_entry_us;
+                        // Steal-half adoptions migrate the adopted
+                        // range's working lines: the adoption count
+                        // scales with the overload being drained, and a
+                        // remote-socket fraction pays an extra handoff.
+                        let sockets = m.sockets_spanned(t) as f64;
+                        let remote = (sockets - 1.0) / sockets;
+                        let steals = (imb - 1.0) * t as f64;
+                        let steal = steals * m.handoff_us * (1.0 + remote) / t as f64;
+                        let memory = bytes / m.bw_bytes_per_us;
+                        (compute + dispense + steal).max(memory)
+                    }
+                }
                 Step::Locked {
                     entries,
                     ops_each,
@@ -336,6 +370,67 @@ mod tests {
             "replication must absorb most of the cross-socket cost: {one_socket} → {two_sockets}"
         );
         assert!(s.run(&lock, 12) > two_sockets * 2.0);
+    }
+
+    fn skewed_parallel(imbalance: f64) -> Program {
+        Program::new(
+            "p",
+            vec![Step::Parallel {
+                ops: 1e9,
+                bytes: 0.0,
+                imbalance,
+            }],
+        )
+    }
+
+    fn adaptive(imbalance: f64, chunks: f64) -> Program {
+        Program::new(
+            "a",
+            vec![Step::AdaptiveChunk {
+                ops: 1e9,
+                bytes: 0.0,
+                imbalance,
+                chunks_per_thread: chunks,
+            }],
+        )
+    }
+
+    #[test]
+    fn adaptive_chunking_smooths_imbalance() {
+        // The residual imbalance after 16 refinements is 1 + 1/16: the
+        // adaptive phase must land close to the balanced wall time while
+        // the fixed block schedule eats the full 2x overload.
+        let s = sim();
+        let t = 4;
+        let block = s.run(&skewed_parallel(2.0), t);
+        let ad = s.run(&adaptive(2.0, 16.0), t);
+        let ideal = s.run(&skewed_parallel(1.0), t);
+        assert!(ad < block * 0.6, "adaptive {ad} vs block {block}");
+        assert!(ad < ideal * 1.15, "adaptive {ad} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn adaptive_matches_static_block_when_balanced() {
+        // With nothing to refine, the only cost over a plain parallel
+        // phase is the per-chunk dispensing — a few percent, not more.
+        let s = sim();
+        let t = 4;
+        let block = s.run(&skewed_parallel(1.0), t);
+        let ad = s.run(&adaptive(1.0, 8.0), t);
+        assert!(ad >= block, "dispensing cannot be free");
+        assert!(ad < block * 1.05, "adaptive {ad} vs block {block}");
+    }
+
+    #[test]
+    fn adaptive_remote_steals_cost_more_on_the_numa_machine() {
+        // Same skewed program on the two-socket Xeon: spanning the
+        // second socket adds remote adoptions, but refinement must keep
+        // the phase well under the unrefined block time.
+        let s = Simulator::new(Machine::xeon());
+        let one_socket = s.run(&adaptive(2.0, 16.0), 6);
+        let two_sockets = s.run(&adaptive(2.0, 16.0), 12);
+        assert!(two_sockets < one_socket, "more threads must still help");
+        assert!(s.run(&skewed_parallel(2.0), 12) > two_sockets * 1.5);
     }
 
     #[test]

@@ -73,6 +73,27 @@ pub enum Step {
         /// Memory traffic of the phase.
         bytes: f64,
     },
+    /// A work-shared phase run under the *adaptive* schedule
+    /// (`aomp::schedule::Schedule::Adaptive`): the dispenser refines hot
+    /// threads' remaining ranges into smaller chunks and idle threads
+    /// adopt half of a loaded peer's remainder, so only a chunk-grained
+    /// residual of the input imbalance survives. In exchange the phase
+    /// pays per-chunk dispensing (one range-lock entry each) and
+    /// per-adoption cache-line migrations, remote-socket adoptions
+    /// costing an extra handoff.
+    AdaptiveChunk {
+        /// Total operations in the phase.
+        ops: f64,
+        /// Total bytes moved through the shared memory system.
+        bytes: f64,
+        /// Input load imbalance the dispenser starts from (as in
+        /// [`Parallel`](Step::Parallel): most-loaded thread's share over
+        /// the even share).
+        imbalance: f64,
+        /// Chunks dispensed per thread — ≈ log2(block/min_chunk) while
+        /// cold, more where the latency signal forces refinement.
+        chunks_per_thread: f64,
+    },
     /// A parallel phase with fine-grained locked updates spread over
     /// `nlocks` independent locks (the per-particle locks variant):
     /// lock costs parallelise, with a collision probability
@@ -148,6 +169,20 @@ impl Step {
                     ("bytes", bytes),
                 ],
             ),
+            Step::AdaptiveChunk {
+                ops,
+                bytes,
+                imbalance,
+                chunks_per_thread,
+            } => obj(
+                "AdaptiveChunk",
+                vec![
+                    ("ops", ops),
+                    ("bytes", bytes),
+                    ("imbalance", imbalance),
+                    ("chunks_per_thread", chunks_per_thread),
+                ],
+            ),
             Step::Locked {
                 entries,
                 ops_each,
@@ -202,6 +237,12 @@ impl Step {
                 overlap_ops: body.f64_field("overlap_ops")?,
                 bytes: body.f64_field("bytes")?,
             }),
+            "AdaptiveChunk" => Ok(Step::AdaptiveChunk {
+                ops: body.f64_field("ops")?,
+                bytes: body.f64_field("bytes")?,
+                imbalance: body.f64_field("imbalance")?,
+                chunks_per_thread: body.f64_field("chunks_per_thread")?,
+            }),
             "Locked" => Ok(Step::Locked {
                 entries: body.f64_field("entries")?,
                 ops_each: body.f64_field("ops_each")?,
@@ -240,6 +281,7 @@ impl Program {
                 Step::Parallel { ops, .. } => *ops,
                 Step::Replicated { ops, .. } => *ops,
                 Step::Serial { ops, .. } => *ops,
+                Step::AdaptiveChunk { ops, .. } => *ops,
                 Step::Critical {
                     entries,
                     ops_each,
@@ -362,6 +404,30 @@ mod tests {
         assert_eq!(
             (entries, ops_each, overlap_ops, bytes),
             (4.0, 2.0, 7.0, 64.0)
+        );
+    }
+
+    #[test]
+    fn adaptive_chunk_round_trips_through_json() {
+        let step = Step::AdaptiveChunk {
+            ops: 1e6,
+            bytes: 64.0,
+            imbalance: 2.5,
+            chunks_per_thread: 12.0,
+        };
+        let back = Step::from_json(&step.to_json()).expect("round trip");
+        let Step::AdaptiveChunk {
+            ops,
+            bytes,
+            imbalance,
+            chunks_per_thread,
+        } = back
+        else {
+            panic!("wrong variant after round trip");
+        };
+        assert_eq!(
+            (ops, bytes, imbalance, chunks_per_thread),
+            (1e6, 64.0, 2.5, 12.0)
         );
     }
 

@@ -355,6 +355,7 @@ impl Mechanism {
                 Schedule::Dynamic { .. } => "for(dynamic)",
                 Schedule::Guided { .. } => "for(guided)",
                 Schedule::BlockCyclic { .. } => "for(blockCyclic)",
+                Schedule::Adaptive { .. } => "for(adaptive)",
             },
             MechanismKind::BarrierBefore => "barrierBefore",
             MechanismKind::BarrierAfter => "barrierAfter",
@@ -431,6 +432,10 @@ mod tests {
         assert_eq!(
             Mechanism::for_loop(Schedule::DYNAMIC).kind_name(),
             "for(dynamic)"
+        );
+        assert_eq!(
+            Mechanism::for_loop(Schedule::ADAPTIVE).kind_name(),
+            "for(adaptive)"
         );
         assert_eq!(Mechanism::parallel().kind_name(), "parallel");
     }

@@ -281,6 +281,32 @@ fn guided_for_attribute_covers_range() {
     );
 }
 
+#[for_loop(schedule = "adaptive", min_chunk = 2)]
+fn accumulate_adaptive(start: i64, end: i64, step: i64) {
+    let mut local = 0;
+    let mut i = start;
+    while i < end {
+        local += i * 3;
+        i += step;
+    }
+    FOR_SUM.fetch_add(local, Ordering::SeqCst);
+}
+
+#[parallel(threads = 4)]
+fn region_with_adaptive() {
+    accumulate_adaptive(0, 250, 1);
+}
+
+#[test]
+fn adaptive_for_attribute_covers_range() {
+    FOR_SUM.store(0, Ordering::SeqCst);
+    region_with_adaptive();
+    assert_eq!(
+        FOR_SUM.load(Ordering::SeqCst),
+        (0..250).map(|i| i * 3).sum::<i64>()
+    );
+}
+
 #[critical]
 fn anonymous_critical_bump(counter: &AtomicUsize) {
     counter.fetch_add(1, Ordering::SeqCst);

@@ -121,6 +121,7 @@ fn all_schedules() -> Vec<(Schedule, &'static str)> {
         (Schedule::Dynamic { chunk: 4 }, "dynamic"),
         (Schedule::Guided { min_chunk: 2 }, "guided"),
         (Schedule::BlockCyclic { chunk: 3 }, "block-cyclic"),
+        (Schedule::Adaptive { min_chunk: 2 }, "adaptive"),
     ]
 }
 
