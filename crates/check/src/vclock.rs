@@ -26,6 +26,14 @@
 //!   just its own tasks — which can only add HB edges, i.e. miss a
 //!   race, never invent one. Detached-thread task *bodies* run outside
 //!   the team and are not tracked at all.)
+//! * **dependence release/acquire** — `TaskDepRelease { node }` joins
+//!   the releaser's clock into that *node's* clock (spawner publishing a
+//!   created task, completing task satisfying one successor's
+//!   dependence, or completion signalling the group's join sink);
+//!   `TaskDepReady { node }` joins the node clock into the acquirer.
+//!   Unlike the whole-group task clock above, these edges are *per
+//!   dependence node*: two dependent tasks with no path between them get
+//!   no edge, so a missing `depend` clause stays visible as a race.
 //! * **no edge** — `ChunkHandout` deliberately creates no order: chunks
 //!   of one work-sharing loop may interleave freely, which is exactly
 //!   how overlapping-chunk races stay visible.
@@ -192,6 +200,9 @@ pub struct RaceTracker {
     ordered: VClock,
     /// Accumulated spawner clocks for task joins.
     tasks: VClock,
+    /// Per-dependence-node release clocks (`TaskDepRelease` publishes,
+    /// `TaskDepReady` acquires). Process-scoped ids, like locks.
+    dep_nodes: HashMap<usize, VClock>,
     /// Accumulated appender clocks per replicated structure (`nr` id):
     /// everything published toward the structure's operation log. Like
     /// `tasks`, this over-approximates (a combine joins *all* earlier
@@ -330,6 +341,19 @@ impl RaceTracker {
             HookEvent::TaskJoin { .. } => {
                 let t = self.tasks.clone();
                 self.clocks[tid].join(&t);
+            }
+            HookEvent::TaskDepRelease { node, .. } => {
+                // Accumulate: one node collects its creation edge plus a
+                // release per satisfied dependence, and a group's sink
+                // collects every completion.
+                let c = self.clocks[tid].clone();
+                self.dep_nodes.entry(node).or_default().join(&c);
+            }
+            HookEvent::TaskDepReady { node, .. } => {
+                if let Some(d) = self.dep_nodes.get(&node) {
+                    let d = d.clone();
+                    self.clocks[tid].join(&d);
+                }
             }
             HookEvent::NrAppend { nr, .. } => {
                 // Release: the publisher's clock flows into the log.
@@ -593,6 +617,74 @@ mod tests {
         });
         tr.on_access(1, &access(false, 5));
         assert!(tr.race().is_none());
+    }
+
+    #[test]
+    fn dep_release_acquire_orders_the_pair() {
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_access(0, &access(true, 5));
+        tr.on_event(&HookEvent::TaskDepRelease {
+            team: TEAM,
+            tid: 0,
+            node: 42,
+        });
+        tr.on_event(&HookEvent::TaskDepReady {
+            team: TEAM,
+            tid: 1,
+            node: 42,
+        });
+        tr.on_access(1, &access(false, 5));
+        assert!(tr.race().is_none(), "{:?}", tr.race());
+    }
+
+    #[test]
+    fn dep_edges_are_per_node_not_whole_group() {
+        // A release toward node 7 orders nothing for a task acquiring
+        // node 8 — unlike the conservative TaskSpawn/TaskJoin edge.
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 2);
+        tr.on_access(0, &access(true, 5));
+        tr.on_event(&HookEvent::TaskDepRelease {
+            team: TEAM,
+            tid: 0,
+            node: 7,
+        });
+        tr.on_event(&HookEvent::TaskDepReady {
+            team: TEAM,
+            tid: 1,
+            node: 8,
+        });
+        tr.on_access(1, &access(false, 5));
+        assert!(tr.race().is_some(), "no path between the nodes");
+    }
+
+    #[test]
+    fn dep_releases_accumulate_per_node() {
+        // Two predecessors release toward the same successor node; the
+        // successor must be ordered after *both*.
+        let mut tr = RaceTracker::new();
+        start(&mut tr, 3);
+        tr.on_access(0, &access(true, 1));
+        tr.on_event(&HookEvent::TaskDepRelease {
+            team: TEAM,
+            tid: 0,
+            node: 9,
+        });
+        tr.on_access(1, &access(true, 2));
+        tr.on_event(&HookEvent::TaskDepRelease {
+            team: TEAM,
+            tid: 1,
+            node: 9,
+        });
+        tr.on_event(&HookEvent::TaskDepReady {
+            team: TEAM,
+            tid: 2,
+            node: 9,
+        });
+        tr.on_access(2, &access(false, 1));
+        tr.on_access(2, &access(false, 2));
+        assert!(tr.race().is_none(), "{:?}", tr.race());
     }
 
     #[test]

@@ -215,6 +215,49 @@ fn nr_program(
     (items, appends, combines)
 }
 
+/// A dependence-chain program: `episodes` tasks passing one tracked
+/// location (900) along a release→acquire chain, the runner rotating
+/// per episode (adjacent tasks always run on different members).
+/// Episode `e` by member `t`:
+///
+/// * for `e > 0`, the runner acquires its dependence node
+///   (`TaskDepReady { node: NODE + e }`) — all its `depend` clauses are
+///   satisfied,
+/// * the task body reads the handoff location (for `e > 0`) and
+///   rewrites it,
+/// * completion satisfies the successor's dependence
+///   (`TaskDepRelease { node: NODE + e + 1 }`).
+///
+/// Returns the items plus the index of each episode's release — the one
+/// edge that orders episode `e + 1`'s accesses after episode `e`'s
+/// write.
+fn dep_program(r: &mut SplitMix64, n: usize, episodes: usize) -> (Vec<Item>, Vec<usize>) {
+    const NODE: usize = 0xD00;
+    let mut items = region_start(n);
+    let mut releases = Vec::new();
+    let base = r.below(n);
+    for e in 0..episodes {
+        let t = (base + e) % n;
+        if e > 0 {
+            items.push(Item::Ev(HookEvent::TaskDepReady {
+                team: TEAM,
+                tid: t,
+                node: NODE + e,
+            }));
+            items.push(Item::Acc(t, access(900, false)));
+        }
+        items.push(Item::Acc(t, access(900, true)));
+        releases.push(items.len());
+        items.push(Item::Ev(HookEvent::TaskDepRelease {
+            team: TEAM,
+            tid: t,
+            node: NODE + e + 1,
+        }));
+    }
+    items.extend(region_end(n));
+    (items, releases)
+}
+
 fn params(seed: u64) -> (SplitMix64, usize) {
     let mut r = SplitMix64::new(seed);
     let n = 2 + r.below(3); // 2..=4 members
@@ -341,6 +384,78 @@ fn dropping_one_nr_append_unorders_the_op_payload_handoff() {
             race.current.index >= 700,
             "seed {seed}: race must be on an op payload: {race}"
         );
+        assert!(race.prior.tid != race.current.tid, "seed {seed}: {race}");
+    }
+}
+
+#[test]
+fn well_formed_dep_chains_never_report_a_race() {
+    for seed in 0..60u64 {
+        let (mut r, n) = params(seed);
+        let episodes = 2 + r.below(5);
+        let (items, _) = dep_program(&mut r, n, episodes);
+        let tr = run(&items);
+        assert!(
+            tr.race().is_none(),
+            "seed {seed}: false positive on a dependence-chained stream: {}",
+            tr.race().unwrap()
+        );
+    }
+}
+
+#[test]
+fn dropping_one_dep_release_makes_the_handoff_concurrent() {
+    for seed in 0..60u64 {
+        let (mut r, n) = params(seed);
+        let episodes = 2 + r.below(5);
+        let (items, releases) = dep_program(&mut r, n, episodes);
+        // Drop one release short of the last (the last satisfies no
+        // successor): the next task's handoff read and rewrite are no
+        // longer ordered after this task's write (adjacent tasks always
+        // run on different members) — exactly a missing `depend` clause.
+        let victim = releases[r.below(releases.len() - 1)];
+        let mutated: Vec<Item> = items[..victim]
+            .iter()
+            .chain(&items[victim + 1..])
+            .cloned()
+            .collect();
+        let tr = run(&mutated);
+        let race = tr
+            .race()
+            .unwrap_or_else(|| panic!("seed {seed}: dropped dependence release left no race"));
+        assert_eq!(
+            race.current.index, 900,
+            "seed {seed}: race must be on the handoff location: {race}"
+        );
+        assert!(race.prior.tid != race.current.tid, "seed {seed}: {race}");
+    }
+}
+
+#[test]
+fn acquiring_the_wrong_dep_node_carries_no_edge() {
+    // Per-node precision: redirecting one task's acquire to a node
+    // nothing released toward must leave the handoff racy — the edge is
+    // per dependence node, never a conservative whole-group join.
+    for seed in 0..60u64 {
+        let (mut r, n) = params(seed);
+        let episodes = 2 + r.below(5);
+        let (mut items, _) = dep_program(&mut r, n, episodes);
+        let mut readies: Vec<usize> = Vec::new();
+        for (i, it) in items.iter().enumerate() {
+            if matches!(it, Item::Ev(HookEvent::TaskDepReady { .. })) {
+                readies.push(i);
+            }
+        }
+        assert!(!readies.is_empty());
+        let victim = readies[r.below(readies.len())];
+        if let Item::Ev(HookEvent::TaskDepReady { node, .. }) = &mut items[victim] {
+            *node = 0xFFFF; // a node with no releases published toward it
+        }
+        let tr = run(&items);
+        let race = tr
+            .race()
+            .unwrap_or_else(|| panic!("seed {seed}: wrong-node acquire left no race"));
+        assert_eq!(race.current.index, 900, "seed {seed}: {race}");
         assert!(race.prior.tid != race.current.tid, "seed {seed}: {race}");
     }
 }

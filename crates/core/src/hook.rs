@@ -189,6 +189,37 @@ pub enum HookEvent {
         /// Which join ([`WaitSite::TaskWait`] or [`WaitSite::FutureGet`]).
         site: WaitSite,
     },
+    /// A member *released* toward dependence node `node`
+    /// ([`deps`](crate::deps)): the spawner publishing a freshly created
+    /// task, a completing task satisfying one successor's dependence, or
+    /// a completing task signalling its group's join sink. The release
+    /// half of the per-dependence happens-before edge — everything the
+    /// releasing member did so far is ordered before whoever becomes
+    /// ready through `node`.
+    TaskDepRelease {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// Process-unique dependence-node identity (a task node or a
+        /// group's join sink).
+        node: usize,
+    },
+    /// A member *acquired* dependence node `node`: a runner about to
+    /// execute a task whose dependences are all satisfied, or a joiner
+    /// returning from a group wait through the join sink. The acquire
+    /// half — the member is ordered after every
+    /// [`TaskDepRelease`](Self::TaskDepRelease) previously published
+    /// toward the same node, and after nothing else (no conservative
+    /// whole-group spawn→join edge).
+    TaskDepReady {
+        /// Team identity.
+        team: TeamId,
+        /// Member id within the team.
+        tid: usize,
+        /// Process-unique dependence-node identity.
+        node: usize,
+    },
     /// A member requested team cancellation (`cancel_team` succeeded).
     CancelRequested {
         /// Team identity.
@@ -284,6 +315,8 @@ impl HookEvent {
             | HookEvent::OrderedExit { team, .. }
             | HookEvent::TaskSpawn { team, .. }
             | HookEvent::TaskJoin { team, .. }
+            | HookEvent::TaskDepRelease { team, .. }
+            | HookEvent::TaskDepReady { team, .. }
             | HookEvent::CancelRequested { team, .. }
             | HookEvent::CancellationPoint { team, .. }
             | HookEvent::WaitRegister { team, .. }
@@ -310,6 +343,8 @@ impl HookEvent {
             | HookEvent::OrderedExit { tid, .. }
             | HookEvent::TaskSpawn { tid, .. }
             | HookEvent::TaskJoin { tid, .. }
+            | HookEvent::TaskDepRelease { tid, .. }
+            | HookEvent::TaskDepReady { tid, .. }
             | HookEvent::CancelRequested { tid, .. }
             | HookEvent::CancellationPoint { tid, .. }
             | HookEvent::WaitRegister { tid, .. }

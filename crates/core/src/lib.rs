@@ -78,6 +78,7 @@ pub mod check;
 pub mod clock;
 pub mod critical;
 pub mod ctx;
+pub mod deps;
 pub mod error;
 pub(crate) mod executor;
 pub mod hook;
@@ -102,6 +103,7 @@ pub mod prelude {
     pub use crate::ctx::{
         barrier, cancel_team, cancellation_point, in_parallel, team_size, thread_id,
     };
+    pub use crate::deps::{Dep, DepError, DepGroup, DepMode, Tag, TaskNode, TaskloopConstruct};
     pub use crate::error::{Cancelled, RegionError, TaskPanicked, WaitSite, WaitTimedOut};
     pub use crate::nr::{replicated_named, Combiner, Dispatch, Replicated, ReplicatedHandle};
     pub use crate::pool::TeamPool;

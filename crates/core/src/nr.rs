@@ -736,6 +736,7 @@ impl<T: Dispatch> Replicated<T> {
         }
         if obs::metrics_enabled() {
             obs::count(obs::Counter::NrCombines);
+            obs::nr_combine_batch((idxs.len() + usize::from(inline_pos.is_some())) as u64);
             for &i in &idxs {
                 if Some(i) != own_slot {
                     obs::count(obs::Counter::NrCombinedOps);
@@ -1273,6 +1274,7 @@ impl Combiner {
         }
         if obs::metrics_enabled() {
             obs::count(obs::Counter::NrCombines);
+            obs::nr_combine_batch(batch.len() as u64);
             for (i, _) in &batch {
                 if Some(*i) != own {
                     obs::count(obs::Counter::NrCombinedOps);

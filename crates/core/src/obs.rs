@@ -227,6 +227,10 @@ counters! {
     ChunkAdaptive => "chunk_adaptive",
     /// Adaptive schedule: ranges adopted from another thread (steal-half).
     ChunkAdaptiveSteals => "chunk_adaptive_steals",
+    /// Chunk handouts: taskloop bites executed (lazy-splitting tasks).
+    ChunkTaskloop => "chunk_taskloop",
+    /// Dependent tasks spawned into a [`deps::DepGroup`](crate::deps).
+    DepTasks => "dep_tasks",
     /// Tasks handed to [`task::spawn`](crate::task)-family dispatch.
     TaskSpawned => "task_spawned",
     /// Tasks admitted to the shared work-stealing executor.
@@ -411,6 +415,13 @@ fn bucket_of(ns: u64) -> usize {
 struct Registry {
     counters: [AtomicU64; N_COUNTERS],
     hists: [Hist; N_LATS],
+    /// Combiner occupancy for replicated structures ([`crate::nr`]):
+    /// a histogram of *operations applied per combine pass* (a count, not
+    /// a latency — buckets are still powers of two). Together with
+    /// [`Counter::NrCombines`] this exposes how well flat combining is
+    /// batching: mean ≈ 1 means the lock is bouncing per-op, larger
+    /// means one combiner is absorbing its peers' operations.
+    nr_batch: Hist,
 }
 
 #[allow(clippy::declare_interior_mutable_const)]
@@ -419,7 +430,19 @@ const HIST_ZERO: Hist = Hist::new();
 static REG: Registry = Registry {
     counters: [ZERO; N_COUNTERS],
     hists: [HIST_ZERO; N_LATS],
+    nr_batch: Hist::new(),
 };
+
+/// Record one combine pass that applied `ops` operations (replicated
+/// structures' flat-combining/combiner path). No-op with metrics off.
+#[inline]
+pub(crate) fn nr_combine_batch(ops: u64) {
+    if gate() & F_METRICS != 0 {
+        REG.nr_batch.count.fetch_add(1, Ordering::Relaxed);
+        REG.nr_batch.sum_ns.fetch_add(ops, Ordering::Relaxed);
+        REG.nr_batch.buckets[bucket_of(ops)].fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// Bump `c` if metrics are enabled: one relaxed load when they are not.
 #[inline]
@@ -528,6 +551,7 @@ impl Scope {
         Snapshot {
             counters,
             hists: [HistSnapshot::default(); N_LATS],
+            nr_batch: HistSnapshot::default(),
         }
     }
 }
@@ -627,6 +651,7 @@ pub(crate) fn record_event(g: u8, ev: &HookEvent) {
                 "guided" => Some(Counter::ChunkGuided),
                 "block-cyclic" => Some(Counter::ChunkBlockCyclic),
                 "adaptive" => Some(Counter::ChunkAdaptive),
+                "taskloop" => Some(Counter::ChunkTaskloop),
                 // Per-iteration cyclic events; counted via chunk_cyclic.
                 _ => None,
             },
@@ -652,6 +677,7 @@ pub(crate) fn record_event(g: u8, ev: &HookEvent) {
 pub struct Snapshot {
     counters: [u64; N_COUNTERS],
     hists: [HistSnapshot; N_LATS],
+    nr_batch: HistSnapshot,
 }
 
 /// One histogram's totals and buckets at snapshot time.
@@ -733,13 +759,25 @@ pub fn snapshot() -> Snapshot {
     }
     let mut hists = [HistSnapshot::default(); N_LATS];
     for (i, h) in REG.hists.iter().enumerate() {
-        hists[i].count = h.count.load(Ordering::Relaxed);
-        hists[i].sum_ns = h.sum_ns.load(Ordering::Relaxed);
-        for (j, b) in h.buckets.iter().enumerate() {
-            hists[i].buckets[j] = b.load(Ordering::Relaxed);
-        }
+        hists[i] = hist_snapshot(h);
     }
-    Snapshot { counters, hists }
+    Snapshot {
+        counters,
+        hists,
+        nr_batch: hist_snapshot(&REG.nr_batch),
+    }
+}
+
+fn hist_snapshot(h: &Hist) -> HistSnapshot {
+    let mut s = HistSnapshot {
+        count: h.count.load(Ordering::Relaxed),
+        sum_ns: h.sum_ns.load(Ordering::Relaxed),
+        buckets: [0; BUCKETS],
+    };
+    for (j, b) in h.buckets.iter().enumerate() {
+        s.buckets[j] = b.load(Ordering::Relaxed);
+    }
+    s
 }
 
 impl Snapshot {
@@ -751,6 +789,16 @@ impl Snapshot {
     /// One latency histogram.
     pub fn hist(&self, l: Lat) -> &HistSnapshot {
         &self.hists[l as usize]
+    }
+
+    /// Combiner-occupancy histogram for replicated structures
+    /// ([`aomp::nr`](crate::nr)): samples are *operations applied per
+    /// combine pass* (dimensionless counts, power-of-two buckets), one
+    /// sample per combine. `count()` equals the combine passes recorded
+    /// while metrics were on; `sum_ns()` holds the total operations
+    /// applied, so `mean_ns()` is the mean batch size.
+    pub fn nr_combine_batch(&self) -> &HistSnapshot {
+        &self.nr_batch
     }
 
     /// The activity between `base` and this snapshot.
@@ -769,7 +817,11 @@ impl Snapshot {
         {
             *h = a.since(b);
         }
-        Delta(Snapshot { counters, hists })
+        Delta(Snapshot {
+            counters,
+            hists,
+            nr_batch: self.nr_batch.since(&base.nr_batch),
+        })
     }
 
     /// Human-readable table: non-zero counters, then non-empty
@@ -807,6 +859,16 @@ impl Snapshot {
         if !any {
             out.push_str("  (no samples)\n");
         }
+        if self.nr_batch.count() != 0 {
+            out.push_str(&format!(
+                "nr combine batch (ops/pass):\n  passes={:<8} ops={:<10} mean={:<8.1} p50<{} p99<{}\n",
+                self.nr_batch.count(),
+                self.nr_batch.sum_ns(),
+                self.nr_batch.mean_ns(),
+                self.nr_batch.quantile_ns(0.5),
+                self.nr_batch.quantile_ns(0.99),
+            ));
+        }
         out
     }
 
@@ -837,7 +899,16 @@ impl Snapshot {
                 h.quantile_ns(0.99),
             ));
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  },\n  \"nr_combine_batch\": {");
+        out.push_str(&format!(
+            "\"passes\": {}, \"ops\": {}, \"mean\": {:.1}, \"p50\": {}, \"p99\": {}}}",
+            self.nr_batch.count(),
+            self.nr_batch.sum_ns(),
+            self.nr_batch.mean_ns(),
+            self.nr_batch.quantile_ns(0.5),
+            self.nr_batch.quantile_ns(0.99),
+        ));
+        out.push_str("\n}\n");
         out
     }
 }
@@ -1157,6 +1228,7 @@ pub mod trace {
                     "dynamic" => "chunk:dynamic",
                     "guided" => "chunk:guided",
                     "adaptive" => "chunk:adaptive",
+                    "taskloop" => "chunk:taskloop",
                     _ => "chunk:block-cyclic",
                 };
                 push_now(
@@ -1177,6 +1249,12 @@ pub mod trace {
                 push_now("task-spawn", 'i', [Some(("tid", tid as i64)), None])
             }
             HookEvent::TaskJoin { .. } => push_now("task-join", 'i', [None, None]),
+            HookEvent::TaskDepRelease { node, .. } => {
+                push_now("task-dep-release", 'i', [Some(("node", node as i64)), None])
+            }
+            HookEvent::TaskDepReady { node, .. } => {
+                push_now("task-dep-ready", 'i', [Some(("node", node as i64)), None])
+            }
             HookEvent::CancelRequested { tid, .. } => {
                 push_now("cancel", 'i', [Some(("tid", tid as i64)), None])
             }

@@ -208,7 +208,7 @@ where
 /// starts (nested tasks, regions) inherits the spawning context's
 /// runtime instead of the default one. Weakly captured — a task that
 /// outlives its runtime falls back to the surrounding resolution.
-fn in_runtime<F>(rt: &crate::runtime::Runtime, f: F) -> crate::executor::Task
+pub(crate) fn in_runtime<F>(rt: &crate::runtime::Runtime, f: F) -> crate::executor::Task
 where
     F: FnOnce() + Send + 'static,
 {
@@ -460,6 +460,17 @@ impl TaskGroup {
     }
 
     fn wait_inner(&self, timeout: Option<Duration>) -> Result<(), WaitTimedOut> {
+        // Empty group: nothing to join. Return before registering a wait
+        // site or consulting the stall watchdog — a no-op join must not
+        // look like a blocked member (and must not cost a park). The
+        // failed flag is still honoured so a zero-outstanding group whose
+        // last task panicked reports it at the next join, as before.
+        if self.state.outstanding.load(Ordering::Acquire) == 0 {
+            if self.state.failed.swap(false, Ordering::AcqRel) {
+                panic!("aomp task group: a task panicked");
+            }
+            return Ok(());
+        }
         let deadline = timeout.map(|t| Instant::now() + t);
         ctx::with_current(|c| {
             let ids = c.map(|c| (c.shared.token(), c.tid));
@@ -690,6 +701,28 @@ mod tests {
         promise.set(1);
         assert!(fut.is_ready());
         assert_eq!(fut.get(), 1);
+    }
+
+    #[test]
+    fn empty_group_wait_skips_wait_site_and_watchdog() {
+        // A watched team's progress counter bumps on every wait-site
+        // entry/exit: joining an empty group must leave it untouched
+        // (no registration, no watchdog consult) on all three wait
+        // surfaces.
+        let group = TaskGroup::new();
+        let shared = Arc::new(crate::ctx::TeamShared::with_robustness(1, 1, false, true));
+        let _g = crate::ctx::CtxGuard::enter(Arc::clone(&shared), 0);
+        let p0 = shared.progress();
+        group.wait();
+        assert_eq!(group.wait_timeout(Duration::from_millis(5)), Ok(()));
+        let past = Instant::now() - Duration::from_secs(1);
+        assert_eq!(group.wait_until(past), Ok(()));
+        assert_eq!(
+            shared.progress(),
+            p0,
+            "empty join must not register a wait site"
+        );
+        assert!(shared.blocked_snapshot().is_empty());
     }
 
     #[test]

@@ -5,9 +5,21 @@
 //! is a master point — so a deployed aspect turns it into the classic
 //! parallel BFS (dynamic chunks over the frontier, barrier, master
 //! merge) without touching this file's logic.
+//!
+//! [`run_deps`] replaces the two barriers per level with a dependent
+//! task graph over (level, source partition, destination partition)
+//! triples: a task scans the frontier segment its source partition
+//! produced and claims the unreached neighbours falling in its
+//! destination partition. `in` tags on the scanned segment, `inout` tags
+//! on the destination partition's level array and next segment carry
+//! exactly the orderings level-synchronous BFS needs — and nothing more,
+//! so on skewed graphs light partitions race ahead into the next level
+//! while the hub partition is still expanding.
 
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
+use aomp::cell::SyncVec;
 use aomp::prelude::*;
 use aomp_weaver::prelude::*;
 use parking_lot::Mutex;
@@ -136,6 +148,92 @@ pub fn reference(g: &CsrGraph, source: usize) -> Vec<i64> {
     levels
 }
 
+/// The aspect parallelising [`run_deps`] — a team and nothing else;
+/// ordering is carried by the dependence tags.
+pub fn aspect_deps(threads: usize) -> AspectModule {
+    AspectModule::builder("DependentBfs")
+        .bind(
+            Pointcut::call("Graph.bfs.dag"),
+            Mechanism::parallel().threads(threads),
+        )
+        .build()
+}
+
+/// BFS as a dependent task graph. `max_levels` bounds the DAG depth
+/// (levels beyond it stay [`UNREACHED`]; pass `g.vertices()` for an
+/// exact answer); `parts` is the vertex partition count. Bitwise equal
+/// to [`reference`] whenever `max_levels` covers the eccentricity of
+/// `source`.
+pub fn run_deps(g: &CsrGraph, source: usize, max_levels: usize, parts: usize) -> Vec<i64> {
+    let n = g.vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let part_of = |v: usize| (v * parts / n).min(parts - 1);
+    let levels = Arc::new(SyncVec::tracked(vec![UNREACHED; n], "bfs.dag.levels"));
+    // segs[l][p]: frontier vertices claimed *into* partition p at level l.
+    let segs: Arc<Vec<Vec<Mutex<Vec<u32>>>>> = Arc::new(
+        (0..=max_levels)
+            .map(|_| (0..parts).map(|_| Mutex::new(Vec::new())).collect())
+            .collect(),
+    );
+    // SAFETY: sole accessor — no tasks exist yet; the creation edges of
+    // the spawns below order every task after this write.
+    unsafe { levels.set(source, 0) };
+    segs[0][part_of(source)].lock().push(source as u32);
+    let graph = Arc::new(g.clone());
+    let group = DepGroup::new();
+    aomp_weaver::call("Graph.bfs.dag", || {
+        if !in_parallel() || thread_id() == 0 {
+            for l in 0..max_levels {
+                for sp in 0..parts {
+                    for dp in 0..parts {
+                        let deps = [
+                            // The segment this task scans: complete once
+                            // its level-(l-1) producers are done.
+                            Dep::input(Tag::part("bfs.seg", (l * parts + sp) as u64)),
+                            // Claims into dp: serialized per partition,
+                            // and after all level-l claims into dp.
+                            Dep::inout(Tag::part("bfs.levels", dp as u64)),
+                            // The segment this task appends to.
+                            Dep::inout(Tag::part("bfs.seg", ((l + 1) * parts + dp) as u64)),
+                        ];
+                        let levels = Arc::clone(&levels);
+                        let segs = Arc::clone(&segs);
+                        let graph = Arc::clone(&graph);
+                        group.spawn(deps, move || {
+                            let frontier = segs[l][sp].lock();
+                            let lvl = (l + 1) as i64;
+                            let mut found = Vec::new();
+                            for &v in frontier.iter() {
+                                for &w in graph.neighbours(v as usize) {
+                                    let w = w as usize;
+                                    let wp = (w * parts / n).min(parts - 1);
+                                    // SAFETY: the inout tag on dp's level
+                                    // partition makes this task its sole
+                                    // accessor right now.
+                                    if wp == dp && unsafe { levels.read(w) } == UNREACHED {
+                                        unsafe { levels.set(w, lvl) };
+                                        found.push(w as u32);
+                                    }
+                                }
+                            }
+                            if !found.is_empty() {
+                                segs[l + 1][dp].lock().extend(found);
+                            }
+                        });
+                    }
+                }
+            }
+            group.close();
+        }
+        group.run().expect("tag-derived dependences are acyclic");
+    });
+    // SAFETY: the graph has been joined; no concurrent access remains.
+    unsafe { levels.snapshot() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +267,29 @@ mod tests {
         let levels = run(&g, 0);
         assert_eq!(levels[3], UNREACHED);
         assert_eq!(levels[4], UNREACHED);
+    }
+
+    #[test]
+    fn dep_graph_bfs_matches_reference() {
+        for kind in [GraphKind::Uniform, GraphKind::PowerLaw] {
+            let g = CsrGraph::generate(kind, 400, 4, 11);
+            let expect = reference(&g, 0);
+            // Unwoven (executor-mode graph).
+            assert_eq!(run_deps(&g, 0, 32, 3), expect, "{kind:?} unwoven");
+            for t in [2usize, 4] {
+                let got =
+                    Weaver::global().with_deployed(aspect_deps(t), || run_deps(&g, 0, 32, 2 * t));
+                assert_eq!(got, expect, "{kind:?} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn dep_graph_bfs_truncates_at_max_levels() {
+        let g = CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let levels = run_deps(&g, 0, 2, 2);
+        assert_eq!(levels, vec![0, 1, 2, UNREACHED, UNREACHED]);
+        // Full depth recovers the reference.
+        assert_eq!(run_deps(&g, 0, 5, 2), reference(&g, 0));
     }
 }

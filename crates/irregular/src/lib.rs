@@ -8,8 +8,13 @@
 //! pluggable aspect modules:
 //!
 //! * [`bfs`] — level-synchronous breadth-first search (dynamic for over
-//!   the frontier + barriers);
-//! * [`pagerank`] — power iteration (block for + master-reduced error);
+//!   the frontier + barriers), plus a dependent-task-graph twin
+//!   ([`bfs::run_deps`]) that replaces the per-level barriers with
+//!   `depend` tags on frontier segments and level-array partitions;
+//! * [`pagerank`] — power iteration (block for + master-reduced error),
+//!   plus a barriered fixed-iteration twin ([`pagerank::run_phased`])
+//!   and its dependent-task-graph counterpart ([`pagerank::run_deps`])
+//!   whose per-partition tasks pipeline across iterations;
 //! * [`components`] — connected components by label propagation
 //!   (fixpoint loop with a master-broadcast convergence flag);
 //! * [`triangles`] — triangle counting, the schedule-ablation workhorse:

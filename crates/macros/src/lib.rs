@@ -17,8 +17,9 @@
 //! | `@BarrierBefore` / `@BarrierAfter` | `#[barrier_before]` / `#[barrier_after]` |
 //! | `@Master` | `#[master]` (broadcasts the return value, if any) |
 //! | `@Single` | `#[single]` (ditto) |
-//! | `@Task` | `#[task]` (detached activity) |
+//! | `@Task` | `#[task]` (detached activity), `#[task(depend(in = "a", out = "b"))]` (dependent task) |
 //! | `@FutureTask` + `@FutureResult` | `#[future_task]` (returns `FutureTask<T>`) |
+//! | OpenMP 4.5 `taskloop` | `#[taskloop]`, `#[taskloop(min_chunk = 8)]` (lazily-splitting range task) |
 //!
 //! `@ThreadLocalField`, `@Reduce`, `@Ordered`, `@Reader`/`@Writer` are
 //! data- or scope-coupled constructs: use the `aomp` runtime API or the
@@ -564,11 +565,81 @@ fn gate_macro(item: TokenStream, construct: &str) -> TokenStream {
     rewrap(header, &new_body)
 }
 
+/// Parse `depend(in = EXPR, out = EXPR, inout = EXPR)` attribute tokens
+/// into `Dep` constructor source text. Keys may repeat; each value is an
+/// arbitrary expression evaluating to something `Into<Tag>` (a `&'static
+/// str` name, `Tag::of(&x)`, `Tag::part("name", i)`, …).
+fn parse_depend_args(attr: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    if tokens.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut deps = Vec::new();
+    for seg in split_top_commas(&tokens) {
+        let [TokenTree::Ident(kw), TokenTree::Group(g)] = &seg[..] else {
+            return Err("aomp: #[task] expects `depend(in = …, out = …, inout = …)`".to_owned());
+        };
+        if kw.to_string() != "depend" || g.delimiter() != Delimiter::Parenthesis {
+            return Err(format!(
+                "aomp: unknown #[task] argument `{kw}` (expected `depend(…)`)"
+            ));
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        for clause in split_top_commas(&inner) {
+            let mut it = clause.into_iter();
+            let mode = match it.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => {
+                    return Err(format!(
+                        "aomp: expected `in`/`out`/`inout` in depend(…), found {other:?}"
+                    ))
+                }
+            };
+            let ctor = match mode.as_str() {
+                "in" => "input",
+                "out" => "output",
+                "inout" => "inout",
+                other => {
+                    return Err(format!(
+                        "aomp: unknown depend mode `{other}` (expected in/out/inout)"
+                    ))
+                }
+            };
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                other => {
+                    return Err(format!(
+                        "aomp: expected `=` after depend mode `{mode}`, found {other:?}"
+                    ))
+                }
+            }
+            let expr: TokenStream = it.collect();
+            let expr = expr.to_string();
+            if expr.is_empty() {
+                return Err(format!("aomp: `depend({mode} = )` needs a tag expression"));
+            }
+            deps.push(format!("::aomp::deps::Dep::{ctor}({expr})"));
+        }
+    }
+    if deps.is_empty() {
+        return Err("aomp: `depend(…)` lists at least one clause".to_owned());
+    }
+    Ok(deps)
+}
+
 /// `@Task` — calling the function spawns a new parallel activity that
 /// executes the body and returns immediately. Parameters must be
 /// `Send + 'static` (they move into the activity).
+///
+/// With `depend(in = …, out = …, inout = …)` clauses the activity is a
+/// *dependent task*: it spawns into the ambient
+/// [`aomp::deps::scope`] dependence group, ordered against earlier
+/// spawns naming a conflicting tag per the OpenMP 4.x rules. Outside any
+/// `scope` the body runs inline (sequential semantics). Tag expressions
+/// are anything `Into<aomp::deps::Tag>` — a `&'static str`,
+/// `Tag::of(&x)`, `Tag::part("name", i)`.
 #[proc_macro_attribute]
-pub fn task(_attr: TokenStream, item: TokenStream) -> TokenStream {
+pub fn task(attr: TokenStream, item: TokenStream) -> TokenStream {
     let (header, body) = match split_fn(item) {
         Ok(v) => v,
         Err(e) => return compile_err(&e),
@@ -580,7 +651,75 @@ pub fn task(_attr: TokenStream, item: TokenStream) -> TokenStream {
     if return_type(&header, params_idx).is_some() {
         return compile_err("#[task] functions cannot return a value; use #[future_task]");
     }
-    rewrap(header, &format!("::aomp::task::spawn(move || {body});"))
+    let deps = match parse_depend_args(attr) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
+    if deps.is_empty() {
+        return rewrap(header, &format!("::aomp::task::spawn(move || {body});"));
+    }
+    let list = deps.join(", ");
+    rewrap(
+        header,
+        &format!("::aomp::deps::spawn_depend(::std::vec![{list}], move || {body});"),
+    )
+}
+
+/// `taskloop` — the function is a *for method* (first three `i64`
+/// parameters are `(start, end, step)`) executed as a lazily-splitting
+/// range task: the whole range starts as one task and sheds half of the
+/// remainder only when another team member is observed waiting, at
+/// min-chunk bite boundaries (OpenMP 4.5 `taskloop` with a work-stealing
+/// flavour). Outside a parallel region the range runs inline.
+///
+/// Arguments: `min_chunk = <int>` — the bite/split granule (OpenMP
+/// `grainsize`); defaults to the adaptive schedule's floor.
+#[proc_macro_attribute]
+pub fn taskloop(attr: TokenStream, item: TokenStream) -> TokenStream {
+    let (header, body) = match split_fn(item) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
+    let args = match parse_attr_args(attr) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
+    let mut ctor = "::aomp::deps::TaskloopConstruct::new()".to_owned();
+    for arg in &args {
+        match arg.name.as_str() {
+            "min_chunk" => match int_value(arg) {
+                Ok(c) => ctor.push_str(&format!(".min_chunk({c}u64)")),
+                Err(e) => return compile_err(&e),
+            },
+            other => {
+                return compile_err(&format!(
+                    "aomp: unknown #[taskloop] argument `{other}` (expected `min_chunk = <int>`)"
+                ))
+            }
+        }
+    }
+    let params_idx = match param_group_index(&header) {
+        Ok(i) => i,
+        Err(e) => return compile_err(&e),
+    };
+    if return_type(&header, params_idx).is_some() {
+        return compile_err("#[taskloop] for methods cannot return a value");
+    }
+    let params = match &header[params_idx] {
+        TokenTree::Group(g) => g.clone(),
+        _ => unreachable!("param_group_index returns a group index"),
+    };
+    let names = match leading_param_names(&params, 3) {
+        Ok(v) => v,
+        Err(e) => return compile_err(&e),
+    };
+    let (p0, p1, p2) = (&names[0], &names[1], &names[2]);
+    let new_body = format!(
+        "static __AOMP_TL: ::std::sync::OnceLock<::aomp::deps::TaskloopConstruct> = ::std::sync::OnceLock::new();\n\
+         let __aomp_range = ::aomp::range::LoopRange::new({p0} as i64, {p1} as i64, {p2} as i64);\n\
+         __AOMP_TL.get_or_init(|| {ctor}).execute(__aomp_range, |{p0}, {p1}, {p2}| {body});"
+    );
+    rewrap(header, &new_body)
 }
 
 /// `@FutureTask` — calling the function spawns an activity computing the

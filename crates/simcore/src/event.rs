@@ -88,7 +88,8 @@ impl EventSimulator {
                 Step::Critical { .. }
                 | Step::NrCritical { .. }
                 | Step::Locked { .. }
-                | Step::AdaptiveChunk { .. } => {
+                | Step::AdaptiveChunk { .. }
+                | Step::TaskDag { .. } => {
                     let dt = crate::exec::Simulator::new(self.machine.clone())
                         .run(&Program::new("step", vec![step.clone()]), t);
                     for c in clocks.iter_mut() {

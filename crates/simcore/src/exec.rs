@@ -146,6 +146,28 @@ impl Simulator {
                         (compute + dispense + steal).max(memory)
                     }
                 }
+                Step::TaskDag {
+                    ops,
+                    bytes,
+                    crit_ops,
+                    tasks,
+                } => {
+                    // Wiring a task's tags holds the group lock once;
+                    // releasing its successors migrates the node's line.
+                    let task_over = m.lock_entry_us + m.handoff_us;
+                    if t == 1 {
+                        (ops / m.ops_per_us + tasks * task_over).max(bytes / m.bw_bytes_per_us)
+                    } else {
+                        // No barrier rounds: the lower envelope is the
+                        // even share or the critical path, whichever
+                        // dominates. The dependence bookkeeping is paid
+                        // across the team.
+                        let compute = (ops / t as f64).max(crit_ops) / per_thread_rate;
+                        let overhead = tasks / t as f64 * task_over;
+                        let memory = bytes / m.bw_bytes_per_us;
+                        (compute + overhead).max(memory)
+                    }
+                }
                 Step::Locked {
                     entries,
                     ops_each,
@@ -431,6 +453,80 @@ mod tests {
         let two_sockets = s.run(&adaptive(2.0, 16.0), 12);
         assert!(two_sockets < one_socket, "more threads must still help");
         assert!(s.run(&skewed_parallel(2.0), 12) > two_sockets * 1.5);
+    }
+
+    fn barriered_rounds(ops: f64, rounds: usize, imbalance: f64) -> Program {
+        Program::repeat(
+            "rounds",
+            vec![
+                Step::Parallel {
+                    ops: ops / rounds as f64,
+                    bytes: 0.0,
+                    imbalance,
+                },
+                Step::Barrier,
+            ],
+            rounds,
+        )
+    }
+
+    #[test]
+    fn task_dag_beats_barriered_rounds_on_skewed_work() {
+        // Same total work, 20 rounds: the barriered twin pays each
+        // round's worst-thread overload plus a barrier; the dag's wall
+        // is bounded by its critical path, below that envelope on a
+        // skewed graph.
+        let s = sim();
+        let t = 4;
+        let ops = 1e9;
+        let dag = Program::new(
+            "dag",
+            vec![Step::TaskDag {
+                ops,
+                bytes: 0.0,
+                crit_ops: 1.2 * ops / t as f64,
+                tasks: 20.0 * 8.0,
+            }],
+        );
+        let phased = barriered_rounds(ops, 20, 2.0);
+        assert!(s.run(&dag, t) < s.run(&phased, t));
+    }
+
+    #[test]
+    fn task_dag_cannot_beat_its_critical_path() {
+        let s = sim();
+        let crit = 6e8;
+        let dag = Program::new(
+            "dag",
+            vec![Step::TaskDag {
+                ops: 1e9,
+                bytes: 0.0,
+                crit_ops: crit,
+                tasks: 64.0,
+            }],
+        );
+        let floor = crit / (s.machine.ops_per_us * s.machine.thread_speed(4));
+        assert!(s.run(&dag, 4) >= floor);
+        // More threads past the critical-path bound stop helping: the
+        // chain dominates at both t=2 and t=4.
+        assert!(s.run(&dag, 4) < s.run(&dag, 2) * 1.01);
+    }
+
+    #[test]
+    fn task_dag_over_decomposition_costs() {
+        let s = sim();
+        let mk = |tasks: f64| {
+            Program::new(
+                "dag",
+                vec![Step::TaskDag {
+                    ops: 1e7,
+                    bytes: 0.0,
+                    crit_ops: 2.5e6,
+                    tasks,
+                }],
+            )
+        };
+        assert!(s.run(&mk(100_000.0), 4) > s.run(&mk(100.0), 4) * 1.5);
     }
 
     #[test]

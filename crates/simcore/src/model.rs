@@ -94,6 +94,24 @@ pub enum Step {
         /// cold, more where the latency signal forces refinement.
         chunks_per_thread: f64,
     },
+    /// A dependent task graph (`aomp::deps`) replacing a barrier-phased
+    /// loop nest: tasks release successors as their `depend` tags
+    /// resolve, so the wall time is bounded below by the *critical path*
+    /// (`crit_ops`, the ops-weighted longest dependence chain) rather
+    /// than by the sum of per-round maxima the barriered twin pays. Each
+    /// task pays dependence bookkeeping (wiring its tags under the group
+    /// lock plus the release cache-line handoff), so over-decomposing
+    /// has a measurable price.
+    TaskDag {
+        /// Total operations across all tasks.
+        ops: f64,
+        /// Total bytes moved through the shared memory system.
+        bytes: f64,
+        /// Operations along the longest dependence chain.
+        crit_ops: f64,
+        /// Number of tasks in the graph.
+        tasks: f64,
+    },
     /// A parallel phase with fine-grained locked updates spread over
     /// `nlocks` independent locks (the per-particle locks variant):
     /// lock costs parallelise, with a collision probability
@@ -183,6 +201,20 @@ impl Step {
                     ("chunks_per_thread", chunks_per_thread),
                 ],
             ),
+            Step::TaskDag {
+                ops,
+                bytes,
+                crit_ops,
+                tasks,
+            } => obj(
+                "TaskDag",
+                vec![
+                    ("ops", ops),
+                    ("bytes", bytes),
+                    ("crit_ops", crit_ops),
+                    ("tasks", tasks),
+                ],
+            ),
             Step::Locked {
                 entries,
                 ops_each,
@@ -243,6 +275,12 @@ impl Step {
                 imbalance: body.f64_field("imbalance")?,
                 chunks_per_thread: body.f64_field("chunks_per_thread")?,
             }),
+            "TaskDag" => Ok(Step::TaskDag {
+                ops: body.f64_field("ops")?,
+                bytes: body.f64_field("bytes")?,
+                crit_ops: body.f64_field("crit_ops")?,
+                tasks: body.f64_field("tasks")?,
+            }),
             "Locked" => Ok(Step::Locked {
                 entries: body.f64_field("entries")?,
                 ops_each: body.f64_field("ops_each")?,
@@ -282,6 +320,7 @@ impl Program {
                 Step::Replicated { ops, .. } => *ops,
                 Step::Serial { ops, .. } => *ops,
                 Step::AdaptiveChunk { ops, .. } => *ops,
+                Step::TaskDag { ops, .. } => *ops,
                 Step::Critical {
                     entries,
                     ops_each,
@@ -429,6 +468,27 @@ mod tests {
             (ops, bytes, imbalance, chunks_per_thread),
             (1e6, 64.0, 2.5, 12.0)
         );
+    }
+
+    #[test]
+    fn task_dag_round_trips_through_json() {
+        let step = Step::TaskDag {
+            ops: 1e9,
+            bytes: 128.0,
+            crit_ops: 3e8,
+            tasks: 160.0,
+        };
+        let back = Step::from_json(&step.to_json()).expect("round trip");
+        let Step::TaskDag {
+            ops,
+            bytes,
+            crit_ops,
+            tasks,
+        } = back
+        else {
+            panic!("wrong variant after round trip");
+        };
+        assert_eq!((ops, bytes, crit_ops, tasks), (1e9, 128.0, 3e8, 160.0));
     }
 
     #[test]

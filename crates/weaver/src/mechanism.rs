@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use aomp::critical::CriticalHandle;
+use aomp::deps::{Dep, DepGroup, TaskloopConstruct};
 use aomp::nr::Combiner;
 use aomp::range::LoopRange;
 use aomp::region::RegionConfig;
@@ -90,6 +91,13 @@ pub(crate) enum MechanismKind {
     },
     Custom {
         advice: Arc<dyn CustomAdvice>,
+    },
+    Task {
+        group: DepGroup,
+        deps: Vec<Dep>,
+    },
+    Taskloop {
+        construct: TaskloopConstruct,
     },
 }
 
@@ -327,6 +335,67 @@ impl Mechanism {
         }
     }
 
+    /// `@Task(depend(…))` — the matched execution becomes a dependence
+    /// node in this mechanism's own [`DepGroup`]: it waits for the
+    /// predecessors its [`depends`](Self::depends) clauses imply, runs
+    /// *undeferred* on the calling thread, then releases its successors.
+    /// To order join points against each other their mechanisms must
+    /// share a group — see [`task_in`](Self::task_in).
+    pub fn task() -> Self {
+        Self {
+            kind: MechanismKind::Task {
+                group: DepGroup::new(),
+                deps: Vec::new(),
+            },
+        }
+    }
+
+    /// `@Task(depend(…))` spawning into a shared, explicit [`DepGroup`]
+    /// — the captured-group analogue of
+    /// [`critical_with`](Self::critical_with). Dependences only order
+    /// tasks within one group, so bindings that must serialize against
+    /// each other share the group.
+    pub fn task_in(group: &DepGroup) -> Self {
+        Self {
+            kind: MechanismKind::Task {
+                group: group.clone(),
+                deps: Vec::new(),
+            },
+        }
+    }
+
+    /// The `depend(in/out/inout)` clauses of a [`task`](Self::task)
+    /// mechanism.
+    pub fn depends(mut self, clauses: impl IntoIterator<Item = Dep>) -> Self {
+        match &mut self.kind {
+            MechanismKind::Task { deps, .. } => deps.extend(clauses),
+            _ => panic!("depends() only applies to Mechanism::task()"),
+        }
+        self
+    }
+
+    /// OpenMP 4.5 `taskloop` — work-share a for method as a lazily
+    /// splitting range task (see [`TaskloopConstruct`]): the whole range
+    /// starts as one task and sheds half of the remainder only when
+    /// another member is observed waiting at a min-chunk bite boundary.
+    pub fn taskloop() -> Self {
+        Self {
+            kind: MechanismKind::Taskloop {
+                construct: TaskloopConstruct::new(),
+            },
+        }
+    }
+
+    /// [`taskloop`](Self::taskloop) with an explicit bite/split granule
+    /// (OpenMP `grainsize`).
+    pub fn taskloop_min_chunk(min_chunk: u64) -> Self {
+        Self {
+            kind: MechanismKind::Taskloop {
+                construct: TaskloopConstruct::new().min_chunk(min_chunk),
+            },
+        }
+    }
+
     /// Wrapping layer: lower layers are applied further out. Used by the
     /// weaver to order composed mechanisms deterministically.
     pub(crate) fn layer(&self) -> u8 {
@@ -337,9 +406,10 @@ impl Mechanism {
             MechanismKind::Critical { .. }
             | MechanismKind::Replicated { .. }
             | MechanismKind::Reader { .. }
-            | MechanismKind::Writer { .. } => 3,
+            | MechanismKind::Writer { .. }
+            | MechanismKind::Task { .. } => 3,
             MechanismKind::Custom { .. } => 4,
-            MechanismKind::For { .. } => 5,
+            MechanismKind::For { .. } | MechanismKind::Taskloop { .. } => 5,
             MechanismKind::ReduceAfter { .. } => 6,
             MechanismKind::BarrierAfter => 7,
         }
@@ -367,6 +437,8 @@ impl Mechanism {
             MechanismKind::Writer { .. } => "writer",
             MechanismKind::ReduceAfter { .. } => "reduce",
             MechanismKind::Custom { .. } => "custom",
+            MechanismKind::Task { .. } => "task",
+            MechanismKind::Taskloop { .. } => "taskloop",
         }
     }
 

@@ -12,8 +12,8 @@
 //!
 //! When several mechanisms match one join point they wrap it in a fixed,
 //! deterministic order (outermost first): barriers-before → parallel
-//! region → master/single gate → critical/reader/writer → custom advice →
-//! for work-sharing → body; then reduce points (team barrier, master
+//! region → master/single gate → critical/reader/writer/task → custom
+//! advice → for/taskloop work-sharing → body; then reduce points (team barrier, master
 //! merges, team barrier) and barriers-after. Barriers bind to the team
 //! that is current where they execute: a `@BarrierBefore` on a parallel
 //! method synchronises the *enclosing* team (no-op outside any region).
@@ -205,6 +205,7 @@ struct Plan<'a> {
     locks: Vec<&'a MechanismKind>,
     customs: Vec<&'a MechanismKind>,
     for_mech: Option<&'a aomp::workshare::ForConstruct>,
+    taskloop_mech: Option<&'a aomp::deps::TaskloopConstruct>,
     reduces: Vec<&'a MechanismKind>,
     post_barriers: usize,
 }
@@ -218,6 +219,7 @@ impl<'a> Plan<'a> {
             locks: Vec::new(),
             customs: Vec::new(),
             for_mech: None,
+            taskloop_mech: None,
             reduces: Vec::new(),
             post_barriers: 0,
         };
@@ -235,7 +237,8 @@ impl<'a> Plan<'a> {
                 MechanismKind::Critical { .. }
                 | MechanismKind::Replicated { .. }
                 | MechanismKind::Reader { .. }
-                | MechanismKind::Writer { .. } => {
+                | MechanismKind::Writer { .. }
+                | MechanismKind::Task { .. } => {
                     plan.locks.push(&m.kind);
                 }
                 MechanismKind::Custom { .. } => plan.customs.push(&m.kind),
@@ -244,6 +247,15 @@ impl<'a> Plan<'a> {
                         plan.for_mech = Some(construct);
                     }
                     // A @For binding on a non-for join point is inert.
+                }
+                MechanismKind::Taskloop { construct } => {
+                    if jp.kind == JoinPointKind::ForMethod && plan.taskloop_mech.is_none() {
+                        plan.taskloop_mech = Some(construct);
+                    }
+                    // Inert off for methods, like @For. When both @For
+                    // and @Taskloop match, @For wins (it was bound at
+                    // the same layer; the static schedule is the safer
+                    // default) — see the dispatch in `call_for`.
                 }
                 MechanismKind::ReduceAfter { .. } => plan.reduces.push(&m.kind),
                 MechanismKind::BarrierAfter => plan.post_barriers += 1,
@@ -293,6 +305,14 @@ fn wrap_locks<R>(locks: &[&MechanismKind], combine: bool, f: &mut dyn FnMut() ->
             }
             MechanismKind::Reader { rw } => rw.read(|| wrap_locks(rest, combine, f)),
             MechanismKind::Writer { rw } => rw.write(|| wrap_locks(rest, combine, f)),
+            MechanismKind::Task { group, deps } => {
+                // The execution becomes an *undeferred* dependence node:
+                // wait for the predecessors the clauses imply, run the
+                // rest of the stack inline, release successors. Inline
+                // execution keeps this sound on every path (including
+                // the non-`Send` value path).
+                group.run_undeferred(deps.iter().copied(), || wrap_locks(rest, combine, f))
+            }
             _ => unreachable!("non-lock mechanism in lock phase"),
         },
     }
@@ -414,7 +434,10 @@ where
                         .for_mech
                     {
                         Some(fc) => fc.execute(LoopRange::new(lo, hi, st), &body),
-                        None => body(lo, hi, st),
+                        None => match plan.taskloop_mech {
+                            Some(tl) => tl.execute(LoopRange::new(lo, hi, st), &body),
+                            None => body(lo, hi, st),
+                        },
                     });
                 })
             };
@@ -536,8 +559,8 @@ where
         &jp,
     );
     assert!(
-        plan.region.is_none() && plan.for_mech.is_none(),
-        "@Parallel/@For cannot apply to value-returning join point `{name}`"
+        plan.region.is_none() && plan.for_mech.is_none() && plan.taskloop_mech.is_none(),
+        "@Parallel/@For/@Taskloop cannot apply to value-returning join point `{name}`"
     );
     for _ in 0..plan.pre_barriers {
         ctx::barrier();
@@ -978,6 +1001,105 @@ mod tests {
             .iter()
             .any(|(n, _)| n == "weaver.test.stats.unmatched"));
         w.undeploy(h);
+    }
+
+    #[test]
+    fn task_mechanism_orders_dependent_join_points() {
+        // Writer join point then reader join point, bound with out/in
+        // deps on one tag in one shared group: the runs stay ordered
+        // even when each member of a team calls both.
+        use aomp::deps::{Dep, DepGroup, Tag};
+        static CELL: AtomicI64 = AtomicI64::new(0);
+        static BAD_READS: AtomicUsize = AtomicUsize::new(0);
+        CELL.store(0, AO::SeqCst);
+        BAD_READS.store(0, AO::SeqCst);
+        let group = DepGroup::new();
+        let aspect = AspectModule::builder("task-dep-test")
+            .bind(
+                Pointcut::call("weaver.test.taskwrap"),
+                Mechanism::parallel().threads(4),
+            )
+            .bind(
+                Pointcut::call("weaver.test.task.write"),
+                Mechanism::task_in(&group).depends([Dep::output(Tag::from("cell"))]),
+            )
+            .bind(
+                Pointcut::call("weaver.test.task.read"),
+                Mechanism::task_in(&group).depends([Dep::input(Tag::from("cell"))]),
+            )
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("weaver.test.taskwrap", || {
+                call("weaver.test.task.write", || {
+                    CELL.fetch_add(1, AO::SeqCst);
+                });
+                call("weaver.test.task.read", || {
+                    // Every read must observe at least its own thread's
+                    // preceding write (its in-dep waits on the last
+                    // out-dep wired before it).
+                    if CELL.load(AO::SeqCst) == 0 {
+                        BAD_READS.fetch_add(1, AO::SeqCst);
+                    }
+                });
+            });
+        });
+        assert_eq!(CELL.load(AO::SeqCst), 4);
+        assert_eq!(BAD_READS.load(AO::SeqCst), 0);
+    }
+
+    #[test]
+    fn taskloop_mechanism_covers_range() {
+        let sum = AtomicI64::new(0);
+        let aspect = AspectModule::builder("taskloop-test")
+            .bind(
+                Pointcut::call("weaver.test.tlwrap"),
+                Mechanism::parallel().threads(4),
+            )
+            .bind(
+                Pointcut::call("weaver.test.tl"),
+                Mechanism::taskloop_min_chunk(4),
+            )
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call("weaver.test.tlwrap", || {
+                call_for("weaver.test.tl", LoopRange::upto(0, 100), |lo, hi, step| {
+                    let mut i = lo;
+                    while i < hi {
+                        sum.fetch_add(i, AO::SeqCst);
+                        i += step;
+                    }
+                });
+            });
+        });
+        assert_eq!(sum.load(AO::SeqCst), (0..100).sum::<i64>());
+    }
+
+    #[test]
+    fn taskloop_sequential_fallback_runs_inline() {
+        let sum = AtomicI64::new(0);
+        let aspect = AspectModule::builder("taskloop-seq-test")
+            .bind(Pointcut::call("weaver.test.tlseq"), Mechanism::taskloop())
+            .build();
+        Weaver::global().with_deployed(aspect, || {
+            call_for(
+                "weaver.test.tlseq",
+                LoopRange::upto(0, 10),
+                |lo, hi, step| {
+                    let mut i = lo;
+                    while i < hi {
+                        sum.fetch_add(i, AO::SeqCst);
+                        i += step;
+                    }
+                },
+            );
+        });
+        assert_eq!(sum.load(AO::SeqCst), (0..10).sum::<i64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "depends() only applies")]
+    fn depends_on_non_task_mechanism_panics() {
+        let _ = Mechanism::critical().depends([aomp::deps::Dep::input("cell")]);
     }
 
     #[test]

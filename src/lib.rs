@@ -51,7 +51,7 @@ pub mod prelude {
     pub use aomp::prelude::*;
     pub use aomp_macros::{
         barrier_after, barrier_before, critical, for_loop, future_task, master, parallel,
-        replicated, single, task,
+        replicated, single, task, taskloop,
     };
     pub use aomp_weaver::prelude::*;
 }

@@ -374,3 +374,79 @@ fn only_if_clause_gates_parallelism() {
     conditionally_parallel(); // condition true -> team of 4
     assert_eq!(IF_CLAUSE_HITS.load(Ordering::SeqCst), 14);
 }
+
+// ---------------------------------------------------------------------
+// Task dependences (`#[task(depend(...))]`) and `#[taskloop]`.
+
+static DEP_CELL: AtomicI64 = AtomicI64::new(0);
+static DEP_BAD_READS: AtomicUsize = AtomicUsize::new(0);
+
+#[task(depend(out = "dep_cell"))]
+fn dep_writer() {
+    DEP_CELL.fetch_add(1, Ordering::SeqCst);
+}
+
+#[task(depend(in = "dep_cell"))]
+fn dep_reader() {
+    if DEP_CELL.load(Ordering::SeqCst) == 0 {
+        DEP_BAD_READS.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn task_depend_attribute_orders_writer_before_reader() {
+    DEP_CELL.store(0, Ordering::SeqCst);
+    DEP_BAD_READS.store(0, Ordering::SeqCst);
+    let group = DepGroup::new();
+    aomplib::runtime::deps::scope(&group, || {
+        dep_writer();
+        dep_reader();
+    });
+    group.wait().expect("acyclic");
+    assert_eq!(DEP_CELL.load(Ordering::SeqCst), 1);
+    assert_eq!(DEP_BAD_READS.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn task_depend_attribute_runs_inline_without_scope() {
+    // Outside any ambient dependence scope a dependent task degrades to
+    // an inline call — sequential semantics.
+    DEP_CELL.store(0, Ordering::SeqCst);
+    DEP_BAD_READS.store(0, Ordering::SeqCst);
+    dep_writer();
+    dep_reader();
+    assert_eq!(DEP_CELL.load(Ordering::SeqCst), 1);
+    assert_eq!(DEP_BAD_READS.load(Ordering::SeqCst), 0);
+}
+
+static TL_SUM: AtomicI64 = AtomicI64::new(0);
+
+#[taskloop(min_chunk = 4)]
+fn taskloop_accumulate(start: i64, end: i64, step: i64) {
+    let mut local = 0;
+    let mut i = start;
+    while i < end {
+        local += i;
+        i += step;
+    }
+    TL_SUM.fetch_add(local, Ordering::SeqCst);
+}
+
+#[parallel(threads = 4)]
+fn region_with_taskloop() {
+    taskloop_accumulate(0, 500, 1);
+}
+
+#[test]
+fn taskloop_attribute_covers_range_in_team() {
+    TL_SUM.store(0, Ordering::SeqCst);
+    region_with_taskloop();
+    assert_eq!(TL_SUM.load(Ordering::SeqCst), (0..500).sum::<i64>());
+}
+
+#[test]
+fn taskloop_attribute_sequential_without_region() {
+    TL_SUM.store(0, Ordering::SeqCst);
+    taskloop_accumulate(0, 100, 1);
+    assert_eq!(TL_SUM.load(Ordering::SeqCst), (0..100).sum::<i64>());
+}

@@ -15,7 +15,9 @@ use aomp_check as check;
 use aomplib::prelude::*;
 use aomplib::runtime::cell::SyncSlice;
 use aomplib::runtime::check::Tracked;
+use aomplib::runtime::deps::{Dep, DepGroup};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -163,9 +165,55 @@ fn twin_critical_both_sides() {
     });
 }
 
+/// BUG: a producer and a consumer task in one dependence group with no
+/// `depend` clauses. Group membership alone orders nothing between
+/// siblings — the tracker's dependence edges are per node, not a
+/// conservative whole-group join — so any schedule that hands the two
+/// tasks to different members races on the cell.
+fn racy_missing_depend() {
+    let cell = Arc::new(Tracked::new("racy.depend", 0u64));
+    let group = DepGroup::new();
+    let (w, rd) = (Arc::clone(&cell), Arc::clone(&cell));
+    region::parallel_with(RegionConfig::new().threads(2), move || {
+        if thread_id() == 0 {
+            let w = Arc::clone(&w);
+            let rd = Arc::clone(&rd);
+            // BUG: neither task names the handoff tag.
+            group.spawn([], move || unsafe { w.set(7) });
+            group.spawn([], move || {
+                let _ = unsafe { rd.read() };
+            });
+            group.close();
+        }
+        group.run().expect("no cycles");
+    });
+}
+
+/// Twin: the same pair, differing only by the `depend` clauses — the
+/// producer's `out` and the consumer's `in` on one tag give the tracker
+/// a release→acquire edge whichever members run them.
+fn twin_depend_ordered() {
+    let cell = Arc::new(Tracked::new("ok.depend", 0u64));
+    let group = DepGroup::new();
+    let (w, rd) = (Arc::clone(&cell), Arc::clone(&cell));
+    region::parallel_with(RegionConfig::new().threads(2), move || {
+        if thread_id() == 0 {
+            let w = Arc::clone(&w);
+            let rd = Arc::clone(&rd);
+            // SAFETY: the in-tag orders the read after the writer task.
+            group.spawn([Dep::output("handoff")], move || unsafe { w.set(7) });
+            group.spawn([Dep::input("handoff")], move || {
+                assert_eq!(unsafe { rd.read() }, 7);
+            });
+            group.close();
+        }
+        group.run().expect("no cycles");
+    });
+}
+
 type Program = fn();
 
-const RACY: [(&str, Program, &str); 4] = [
+const RACY: [(&str, Program, &str); 5] = [
     ("missing barrier", racy_missing_barrier, "racy.phased"),
     ("overlapping chunks", racy_overlapping_chunks, "racy.chunks"),
     ("unsynchronised flag", racy_unsynchronised_flag, "racy.flag"),
@@ -174,13 +222,15 @@ const RACY: [(&str, Program, &str); 4] = [
         racy_critical_writer_only,
         "racy.cell",
     ),
+    ("missing depend", racy_missing_depend, "racy.depend"),
 ];
 
-const TWINS: [(&str, Program); 4] = [
+const TWINS: [(&str, Program); 5] = [
     ("barrier separated", twin_barrier_separated),
     ("disjoint chunks", twin_disjoint_chunks),
     ("flag over barrier", twin_flag_over_barrier),
     ("critical both sides", twin_critical_both_sides),
+    ("depend ordered", twin_depend_ordered),
 ];
 
 /// At least one explored schedule reported a race; the failure names the
